@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduction of the experimental setup's precision criterion
+ * (Section VI-A): "the differences in inference precision of the
+ * tests run on CPU and accelerators are configured as 0.01% for all
+ * tested DNNs except for Bert Large, which is 0.05%".
+ *
+ * The simulator's engines are functional, so the drift of each
+ * operator class against an FP64 host reference is directly
+ * measurable per data type. The mean per-operator drift at FP16 is
+ * what accumulates into end-to-end precision differences.
+ */
+
+#include <cstdio>
+
+#include "runtime/accuracy.hh"
+#include "runtime/report.hh"
+
+using namespace dtu;
+using namespace dtu::accuracy;
+
+int
+main()
+{
+    printBanner("Operator precision vs FP64 host reference "
+                "(mean / max relative error, %)");
+    std::printf("  %-14s", "operator");
+    for (const char *column : {"fp16 mean", "fp16 max", "bf16 mean",
+                               "fp32 mean"})
+        std::printf(" %12s", column);
+    std::printf("\n");
+
+    auto fp16 = measurePanel(DType::FP16);
+    auto bf16 = measurePanel(DType::BF16);
+    auto fp32 = measurePanel(DType::FP32);
+    for (std::size_t i = 0; i < fp16.size(); ++i) {
+        std::printf("  %-14s %11.4f%% %11.4f%% %11.4f%% %11.5f%%\n",
+                    fp16[i].op.c_str(), 100.0 * fp16[i].meanRelError,
+                    100.0 * fp16[i].maxRelError,
+                    100.0 * bf16[i].meanRelError,
+                    100.0 * fp32[i].meanRelError);
+    }
+
+    // The paper's criterion applies to mean end-to-end drift; long
+    // reductions with FP32 accumulation average per-element rounding
+    // down, which is what keeps FP16 inference near the 0.01% class.
+    double vmm_mean = fp16[2].meanRelError; // k=1024, the BERT shape
+    std::printf("\n  paper criterion: 0.01%% (all DNNs) / 0.05%% "
+                "(BERT-Large)\n");
+    std::printf("  measured: FP16 k=1024 reductions drift %.4f%% on "
+                "average (max %.4f%%) — the %s class\n",
+                100.0 * vmm_mean, 100.0 * fp16[2].maxRelError,
+                vmm_mean < 5e-4 ? "0.01-0.05%" : ">0.05%");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries.
+ */
+
+#ifndef DTU_BENCH_BENCH_COMMON_HH
+#define DTU_BENCH_BENCH_COMMON_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baseline/gpu_model.hh"
+#include "compiler/lowering.hh"
+#include "models/model_zoo.hh"
+#include "runtime/executor.hh"
+#include "runtime/report.hh"
+#include "soc/dtu.hh"
+
+namespace dtu
+{
+namespace bench
+{
+
+/** Result of one full-chip i20/i10 model run. */
+struct ChipRun
+{
+    double latencyMs = 0.0;
+    double joules = 0.0;
+    double watts = 0.0;
+};
+
+/** Every processing group of a chip. */
+inline std::vector<unsigned>
+allGroups(const Dtu &)
+{
+    return {};
+}
+
+/** Run a model on a freshly built chip using all processing groups. */
+inline ChipRun
+runOnChip(const DtuConfig &config, const std::string &model,
+          ExecOptions options = {.powerManagement = false},
+          int batch = 1)
+{
+    Dtu chip(config);
+    Graph graph = models::buildModel(model, batch);
+    ExecutionPlan plan =
+        compile(graph, config, DType::FP16, config.totalGroups(), {},
+                batch);
+    std::vector<unsigned> groups;
+    for (unsigned g = 0; g < config.totalGroups(); ++g)
+        groups.push_back(g);
+    Executor executor(chip, groups, options);
+    ExecResult result = executor.run(plan);
+    return {result.latencyMs(), result.joules, result.watts};
+}
+
+/** The fused plan a GPU baseline evaluates (same compiler front end). */
+inline ExecutionPlan
+gpuPlan(const std::string &model, int batch = 1)
+{
+    Graph graph = models::buildModel(model, batch);
+    DtuConfig config = dtu2Config();
+    return compile(graph, config, DType::FP16, config.totalGroups(), {},
+                   batch);
+}
+
+} // namespace bench
+} // namespace dtu
+
+#endif // DTU_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Discussion reproduction ("Power management ON v.s. OFF"): run
+ * ResNet50 v1.5 and BERT-Large with (1) power management on — DVFS
+ * between 1.0 and 1.4 GHz plus LPME integrity — and (2) power
+ * management off — clocks pinned at 1.4 GHz with worst-case voltage
+ * guard-bands.
+ *
+ * Paper checkpoints: 0.85% (ResNet50) and 3.2% (BERT) performance
+ * drop with PM on, and 13% energy-efficiency improvement for both.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace dtu;
+using namespace dtu::bench;
+
+int
+main()
+{
+    printBanner("Discussion: power management ON vs OFF "
+                "(DVFS 1.0-1.4 GHz vs fixed 1.4 GHz)");
+    ReportTable table({"model", "off_ms", "on_ms", "perf_drop_%",
+                       "off_J", "on_J", "eff_gain_%"});
+    const char *models[] = {"resnet50", "bert_large"};
+    const double paper_drop[] = {0.85, 3.2};
+    for (int i = 0; i < 2; ++i) {
+        ChipRun off = runOnChip(dtu2Config(), models[i],
+                                {.powerManagement = false});
+        ChipRun on = runOnChip(dtu2Config(), models[i],
+                               {.powerManagement = true});
+        double drop = (on.latencyMs - off.latencyMs) / off.latencyMs *
+                      100.0;
+        // Efficiency = inferences per joule; fixed work per run makes
+        // the ratio the inverse energy ratio.
+        double gain = (off.joules / on.joules - 1.0) * 100.0;
+        table.addRow(models[i], {off.latencyMs, on.latencyMs, drop,
+                                 off.joules, on.joules, gain});
+        std::printf("  %s: paper drop %.2f%%, paper efficiency gain "
+                    "13%%\n",
+                    models[i], paper_drop[i]);
+    }
+    table.print();
+    std::printf("\n  mechanism: bandwidth-bound windows coast the core "
+                "clocks down (compute stays hidden under DMA), and the "
+                "closed loop removes the worst-case voltage "
+                "guard-band\n");
+    return 0;
+}

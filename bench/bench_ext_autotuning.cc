@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Extension study: search-based data-flow auto-tuning.
+ *
+ * TopsEngine's "auto-tuning on data flows searches for efficient
+ * data tiling solutions" (Section V-B), and the paper's future work
+ * considers deeper search-based automation. This bench compares the
+ * closed-form tiling heuristic (the calibrated default) against a
+ * per-operator search over tile counts using the pipeline cost model
+ * — deeper pipelines amortize DMA configuration and shrink the
+ * unhidden fill/drain.
+ */
+
+#include "bench_common.hh"
+
+using namespace dtu;
+using namespace dtu::bench;
+
+namespace
+{
+
+double
+latency(const std::string &model, bool search)
+{
+    DtuConfig config = dtu2Config();
+    Dtu chip(config);
+    LoweringOptions options;
+    options.searchTiling = search;
+    ExecutionPlan plan = compile(models::buildModel(model), config,
+                                 DType::FP16, config.totalGroups(),
+                                 options);
+    Executor executor(chip, {0, 1, 2, 3, 4, 5},
+                      {.powerManagement = false});
+    return executor.run(plan).latencyMs();
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner("Extension: search-based data-flow auto-tuning vs the "
+                "closed-form tiling heuristic");
+    ReportTable table({"model", "heuristic_ms", "search_ms", "gain_%"});
+    std::vector<double> gains;
+    for (const auto &model : models::modelZoo()) {
+        double h = latency(model.name, false);
+        double s = latency(model.name, true);
+        gains.push_back(h / s);
+        table.addRow(model.name, {h, s, (h / s - 1.0) * 100.0});
+    }
+    table.print();
+    std::printf("\n  geometric-mean gain: %.1f%% — the searched tile "
+                "depths pipeline DMA under compute more tightly,\n"
+                "  at the cost of a per-operator sweep at compile time "
+                "(64 candidates/op)\n",
+                (geomean(gains) - 1.0) * 100.0);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig. 12 reproduction: peak performance, memory capacity, and
+ * bandwidth comparisons across platforms.
+ *
+ *  (a) i20 vs i10, normalized to i10: the paper reports 1.6x on
+ *      FP32/FP16 peaks, 3.2x on INT8, 1x memory, 1.6x bandwidth.
+ *  (b) i20 vs T4/A10, normalized to T4: bandwidth 2.56x (i20) and
+ *      1.36x relative ratios; A10 holds 1.5x memory capacity.
+ */
+
+#include "bench_common.hh"
+
+using namespace dtu;
+
+int
+main()
+{
+    DtuConfig i20 = dtu2Config();
+    DtuConfig i10 = dtu1Config();
+    GpuSpec t4 = t4Spec();
+    GpuSpec a10 = a10Spec();
+
+    printBanner("Fig. 12(a): i20 vs i10 (normalized with i10)");
+    ReportTable a({"metric", "i10", "i20", "ratio", "paper"});
+    auto ratio_row = [&](const std::string &name, double v10, double v20,
+                         double paper) {
+        a.addRow(name, {1.0, v20 / v10, v20 / v10, paper});
+    };
+    ratio_row("FP32 peak", i10.peakOpsPerSecond(DType::FP32),
+              i20.peakOpsPerSecond(DType::FP32), 1.6);
+    ratio_row("FP16 peak", i10.peakOpsPerSecond(DType::FP16),
+              i20.peakOpsPerSecond(DType::FP16), 1.6);
+    ratio_row("INT8 peak", i10.peakOpsPerSecond(DType::INT8),
+              i20.peakOpsPerSecond(DType::INT8), 3.2);
+    ratio_row("Memory", static_cast<double>(i10.l3Bytes),
+              static_cast<double>(i20.l3Bytes), 1.0);
+    ratio_row("Bandwidth", i10.l3BytesPerSecond, i20.l3BytesPerSecond,
+              1.6);
+    a.print();
+
+    printBanner("Fig. 12(b): i20 vs T4/A10 (normalized with T4)");
+    ReportTable b({"metric", "T4", "A10", "i20"});
+    b.addRow("FP32 peak", {1.0, a10.fp32Tflops / t4.fp32Tflops,
+                           i20.peakOpsPerSecond(DType::FP32) / 1e12 /
+                               t4.fp32Tflops});
+    b.addRow("FP16 peak", {1.0, a10.fp16Tflops / t4.fp16Tflops,
+                           i20.peakOpsPerSecond(DType::FP16) / 1e12 /
+                               t4.fp16Tflops});
+    b.addRow("INT8 peak", {1.0, a10.int8Tops / t4.int8Tops,
+                           i20.peakOpsPerSecond(DType::INT8) / 1e12 /
+                               t4.int8Tops});
+    b.addRow("Memory", {1.0, a10.memoryGiB / t4.memoryGiB,
+                        static_cast<double>(i20.l3Bytes) / 1_GiB /
+                            t4.memoryGiB});
+    b.addRow("Bandwidth", {1.0, a10.bandwidthGBs / t4.bandwidthGBs,
+                           i20.l3BytesPerSecond / 1e9 /
+                               t4.bandwidthGBs});
+    b.print();
+    std::printf("\n  paper checkpoints: i20 bandwidth = 2.56x T4 "
+                "(measured %.2fx), 1.36x A10 (measured %.2fx); A10 "
+                "memory = 1.5x others (measured %.2fx)\n",
+                i20.l3BytesPerSecond / 1e9 / t4.bandwidthGBs,
+                i20.l3BytesPerSecond / 1e9 / a10.bandwidthGBs,
+                a10.memoryGiB / (static_cast<double>(i20.l3Bytes) /
+                                 1_GiB));
+    return 0;
+}

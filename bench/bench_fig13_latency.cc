@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig. 13 reproduction: DNN inference latency across platforms, all
+ * models in FP16 at batch 1, normalized to the Nvidia T4 (higher =
+ * faster than T4).
+ *
+ * Paper checkpoints: GeoMean speedup 2.22x over T4 and 1.16x over
+ * A10; largest win SRResNet at 4.34x (T4) / 2.37x (A10); A10 wins
+ * 3 of 10 models, notably in image classification (VGG16,
+ * Inception v4).
+ */
+
+#include "bench_common.hh"
+
+using namespace dtu;
+using namespace dtu::bench;
+
+int
+main()
+{
+    GpuModel t4(t4Spec(), t4Efficiency());
+    GpuModel a10(a10Spec(), a10Efficiency());
+
+    printBanner("Fig. 13: DNN latency normalized to T4 (FP16, batch 1)");
+    ReportTable table({"model", "i20_ms", "T4_ms", "A10_ms",
+                       "i20_vs_T4", "i20_vs_A10"});
+    std::vector<double> vs_t4, vs_a10;
+    for (const auto &model : models::modelZoo()) {
+        ChipRun i20 = runOnChip(dtu2Config(), model.name);
+        ExecutionPlan plan = gpuPlan(model.name);
+        double t4_ms = t4.run(plan).latencyMs();
+        double a10_ms = a10.run(plan).latencyMs();
+        double s4 = t4_ms / i20.latencyMs;
+        double sa = a10_ms / i20.latencyMs;
+        vs_t4.push_back(s4);
+        vs_a10.push_back(sa);
+        table.addRow(model.name,
+                     {i20.latencyMs, t4_ms, a10_ms, s4, sa});
+    }
+    table.addRow("GeoMean", {0, 0, 0, geomean(vs_t4), geomean(vs_a10)});
+    table.print();
+    std::printf("\n  paper: GeoMean 2.22x (T4), 1.16x (A10); "
+                "SRResNet 4.34x / 2.37x; A10 wins 3/10\n");
+    unsigned a10_wins = 0;
+    for (double s : vs_a10)
+        a10_wins += s < 1.0 ? 1 : 0;
+    std::printf("  measured: GeoMean %.2fx / %.2fx; SRResNet %.2fx / "
+                "%.2fx; A10 wins %u/10\n",
+                geomean(vs_t4), geomean(vs_a10), vs_t4[7], vs_a10[7],
+                a10_wins);
+    return 0;
+}

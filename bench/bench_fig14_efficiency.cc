@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig. 14 reproduction: TDP and theoretical power efficiency
+ * (peak performance / TDP) across platforms.
+ *
+ * Paper checkpoints: T4's FP16 (INT8) perf/TDP is 1.11x (1.11x) A10,
+ * 1.74x (3.48x) i10, and 1.09x (1.09x) i20; for FP32 the i20 leads
+ * at 1.6x i10, 1.84x T4, and 1.03x A10.
+ */
+
+#include "bench_common.hh"
+
+using namespace dtu;
+
+int
+main()
+{
+    DtuConfig i20 = dtu2Config();
+    DtuConfig i10 = dtu1Config();
+    GpuSpec t4 = t4Spec();
+    GpuSpec a10 = a10Spec();
+
+    printBanner("Fig. 14(a): TDP and Perf/TDP, i20 vs i10");
+    ReportTable a({"metric", "i10", "i20", "ratio"});
+    a.addRow("TDP (W)", {i10.tdpWatts, i20.tdpWatts,
+                         i20.tdpWatts / i10.tdpWatts});
+    a.addRow("FP32/TDP (GF/W)", {i10.opsPerWatt(DType::FP32) / 1e9,
+                                 i20.opsPerWatt(DType::FP32) / 1e9,
+                                 i20.opsPerWatt(DType::FP32) /
+                                     i10.opsPerWatt(DType::FP32)});
+    a.addRow("FP16/TDP (GF/W)", {i10.opsPerWatt(DType::FP16) / 1e9,
+                                 i20.opsPerWatt(DType::FP16) / 1e9,
+                                 i20.opsPerWatt(DType::FP16) /
+                                     i10.opsPerWatt(DType::FP16)});
+    a.addRow("INT8/TDP (GOP/W)", {i10.opsPerWatt(DType::INT8) / 1e9,
+                                  i20.opsPerWatt(DType::INT8) / 1e9,
+                                  i20.opsPerWatt(DType::INT8) /
+                                      i10.opsPerWatt(DType::INT8)});
+    a.print();
+
+    auto gpu_eff = [](const GpuSpec &spec, DType t) {
+        double peak = spec.peakOps(t);
+        return peak / spec.tdpWatts / 1e9;
+    };
+    double i20_fp32 = i20.opsPerWatt(DType::FP32) / 1e9;
+    double i20_fp16 = i20.opsPerWatt(DType::FP16) / 1e9;
+    double i20_int8 = i20.opsPerWatt(DType::INT8) / 1e9;
+
+    printBanner("Fig. 14(b): Perf/TDP, i20 vs T4/A10 (GFLOPS/W)");
+    ReportTable b({"dtype", "T4", "A10", "i20"});
+    b.addRow("FP32", {gpu_eff(t4, DType::FP32), gpu_eff(a10, DType::FP32),
+                      i20_fp32});
+    b.addRow("FP16", {gpu_eff(t4, DType::FP16), gpu_eff(a10, DType::FP16),
+                      i20_fp16});
+    b.addRow("INT8", {gpu_eff(t4, DType::INT8), gpu_eff(a10, DType::INT8),
+                      i20_int8});
+    b.print();
+
+    std::printf("\n  paper checkpoints (measured):\n");
+    std::printf("    T4 FP16/TDP vs i20: paper 1.09x, measured %.2fx\n",
+                gpu_eff(t4, DType::FP16) / i20_fp16);
+    std::printf("    T4 INT8/TDP vs i20: paper 1.09x, measured %.2fx\n",
+                gpu_eff(t4, DType::INT8) / i20_int8);
+    std::printf("    i20 FP32/TDP vs T4: paper 1.84x, measured %.2fx\n",
+                i20_fp32 / gpu_eff(t4, DType::FP32));
+    std::printf("    i20 FP32/TDP vs A10: paper 1.03x, measured %.2fx\n",
+                i20_fp32 / gpu_eff(a10, DType::FP32));
+    std::printf("    i20 FP32/TDP vs i10: paper 1.6x, measured %.2fx\n",
+                i20.opsPerWatt(DType::FP32) /
+                    i10.opsPerWatt(DType::FP32));
+    return 0;
+}

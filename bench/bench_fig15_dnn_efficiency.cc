@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig. 15 reproduction: per-DNN energy efficiency (performance per
+ * watt) normalized to T4, all models in FP16 at batch 1.
+ *
+ * Paper checkpoints: i20's power efficiency beats T4 by 4% and A10
+ * by 17% on (geometric) average; SRResNet shows the largest gain at
+ * 2.03x (T4) / 2.39x (A10); i20 beats T4 on half the models.
+ */
+
+#include "bench_common.hh"
+
+using namespace dtu;
+using namespace dtu::bench;
+
+int
+main()
+{
+    GpuModel t4(t4Spec(), t4Efficiency());
+    GpuModel a10(a10Spec(), a10Efficiency());
+
+    printBanner("Fig. 15: DNN energy efficiency normalized to T4 "
+                "(perf/W, FP16, batch 1)");
+    ReportTable table({"model", "i20_J", "T4_J", "A10_J",
+                       "i20_vs_T4", "i20_vs_A10"});
+    std::vector<double> vs_t4, vs_a10;
+    for (const auto &model : models::modelZoo()) {
+        // Power management ON: the shipping configuration.
+        ChipRun i20 = runOnChip(dtu2Config(), model.name,
+                                {.powerManagement = true});
+        ExecutionPlan plan = gpuPlan(model.name);
+        GpuResult r4 = t4.run(plan);
+        GpuResult ra = a10.run(plan);
+        // Efficiency = work per joule; with fixed work per inference
+        // the ratio reduces to inverse energy.
+        double s4 = r4.joules / i20.joules;
+        double sa = ra.joules / i20.joules;
+        vs_t4.push_back(s4);
+        vs_a10.push_back(sa);
+        table.addRow(model.name,
+                     {i20.joules, r4.joules, ra.joules, s4, sa});
+    }
+    table.addRow("GeoMean", {0, 0, 0, geomean(vs_t4), geomean(vs_a10)});
+    table.print();
+    unsigned t4_wins = 0;
+    for (double s : vs_t4)
+        t4_wins += s > 1.0 ? 1 : 0;
+    std::printf("\n  paper: GeoMean 1.04x (T4), 1.17x (A10); SRResNet "
+                "2.03x / 2.39x; i20 beats T4 on 5/10\n");
+    std::printf("  measured: GeoMean %.2fx / %.2fx; SRResNet %.2fx / "
+                "%.2fx; i20 beats T4 on %u/10\n",
+                geomean(vs_t4), geomean(vs_a10), vs_t4[7], vs_a10[7],
+                t4_wins);
+    return 0;
+}

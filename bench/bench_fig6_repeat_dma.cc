@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fig. 6 reproduction: the DMA engine's repeat mode vs normal mode
+ * when consuming a large tensor in fixed-stride slices.
+ *
+ * With N slices, normal mode pays N descriptor configurations while
+ * repeat mode pays one, eliminating (N-1)/N of the configuration
+ * overhead. The sweep shows the saving as slice count grows and how
+ * it matters most for small slices.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "dma/dma_engine.hh"
+#include "runtime/report.hh"
+
+using namespace dtu;
+
+namespace
+{
+
+struct Rig
+{
+    EventQueue queue;
+    StatRegistry stats;
+    ClockDomain clock{queue, 1.0e9};
+    Hbm hbm{"hbm", queue, &stats, 16_GiB, 819e9, 8, 120'000};
+    Sram l2{"l2", queue, &stats, MemLevel::L2, 8_MiB, 4, 83e9, 15'000,
+            20'000, 333e9};
+    Sram l1{"l1", queue, &stats, MemLevel::L1, 1_MiB, 1, 166e9, 2'000};
+    std::unique_ptr<DmaEngine> dma;
+
+    Rig()
+    {
+        DmaFabric fabric;
+        fabric.hbm = &hbm;
+        fabric.localL2 = &l2;
+        fabric.clusterL2 = {&l2};
+        fabric.coreL1 = {&l1};
+        dma = std::make_unique<DmaEngine>("dma", queue, &stats, clock,
+                                          fabric, DmaFeatures{});
+    }
+};
+
+Tick
+slicedTransfer(unsigned slices, std::uint64_t slice_bytes, bool repeat)
+{
+    Rig rig;
+    DmaDescriptor desc;
+    desc.src = MemLevel::L3;
+    desc.dst = MemLevel::L2;
+    desc.bytes = slice_bytes;
+    desc.repeatCount = slices;
+    desc.repeatStride = slice_bytes * 4; // strided out of a big tensor
+    desc.repeatMode = repeat;
+    return rig.dma->submit(desc).done;
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner("Fig. 6: repeat-mode DMA vs normal mode (strided "
+                "slices out of a large tensor)");
+    ReportTable table({"slices", "slice_KiB", "normal_us", "repeat_us",
+                       "speedup", "cfg_saved_%"});
+    for (unsigned slices : {2u, 4u, 9u, 16u, 32u, 64u}) {
+        for (std::uint64_t kib : {4ull, 16ull, 64ull}) {
+            Tick normal = slicedTransfer(slices, kib * 1024, false);
+            Tick repeat = slicedTransfer(slices, kib * 1024, true);
+            table.addRow(std::to_string(slices),
+                         {static_cast<double>(kib),
+                          ticksToMicroSeconds(normal),
+                          ticksToMicroSeconds(repeat),
+                          static_cast<double>(normal) /
+                              static_cast<double>(repeat),
+                          100.0 * (slices - 1) / slices});
+        }
+    }
+    table.print();
+    std::printf("\n  paper: repeat mode eliminates (N-1)/N of the DMA "
+                "configuration overheads (Fig. 6 shows N=9)\n");
+    Tick n9 = slicedTransfer(9, 4 * 1024, false);
+    Tick r9 = slicedTransfer(9, 4 * 1024, true);
+    std::printf("  measured at N=9, 4 KiB slices: %.2fx faster, "
+                "8/9 = 88.9%% of configurations eliminated\n",
+                static_cast<double>(n9) / static_cast<double>(r9));
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * SPU microbenchmarks (google-benchmark): LUT + quadratic-Taylor
+ * evaluation throughput and worst-case relative accuracy for each of
+ * the ~10 supported transcendental functions (Section IV-A2).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/spu.hh"
+
+using namespace dtu;
+
+namespace
+{
+
+void
+BM_SpuEvaluate(benchmark::State &state)
+{
+    auto f = static_cast<SpuFunc>(state.range(0));
+    Spu spu;
+    double lo = -4.0, hi = 4.0;
+    if (f == SpuFunc::Log || f == SpuFunc::Rsqrt) {
+        lo = 0.25;
+        hi = 8.0;
+    }
+    double x = lo;
+    double step = (hi - lo) / 1024.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(spu.evaluate(f, x));
+        x += step;
+        if (x >= hi)
+            x = lo;
+    }
+    state.SetLabel(spuFuncName(f));
+    state.counters["max_rel_err"] =
+        spu.maxRelativeError(f, lo, hi, 2000);
+    state.counters["lanes_per_cycle"] =
+        Spu::resultsPerCycle(DType::FP16, true);
+}
+BENCHMARK(BM_SpuEvaluate)->DenseRange(0, numSpuFuncs - 1);
+
+void
+BM_SpuTableSize(benchmark::State &state)
+{
+    auto entries = static_cast<unsigned>(state.range(0));
+    Spu spu(entries);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(spu.evaluate(SpuFunc::Tanh, 0.73));
+    state.counters["max_rel_err"] =
+        spu.maxRelativeError(SpuFunc::Tanh, -6, 6, 2000);
+}
+BENCHMARK(BM_SpuTableSize)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(
+    1024);
+
+} // namespace
+
+BENCHMARK_MAIN();

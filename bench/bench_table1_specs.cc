@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Table I reproduction: technical specifications of the Cloudblazer
+ * i20 accelerator, derived from the simulated DTU 2.0 configuration
+ * rather than hard-coded, so any model drift shows up here.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace dtu;
+
+int
+main()
+{
+    DtuConfig c = dtu2Config();
+    printBanner("Table I: Cloudblazer i20 technical specifications");
+    std::printf("  %-22s %8.0f teraFLOPS (paper: 32)\n", "FP32",
+                c.peakOpsPerSecond(DType::FP32) / 1e12);
+    std::printf("  %-22s %8.0f teraFLOPS (paper: 128)\n", "TF32",
+                c.peakOpsPerSecond(DType::TF32) / 1e12);
+    std::printf("  %-22s %8.0f teraFLOPS (paper: 128)\n", "FP16",
+                c.peakOpsPerSecond(DType::FP16) / 1e12);
+    std::printf("  %-22s %8.0f teraFLOPS (paper: 128)\n", "BF16",
+                c.peakOpsPerSecond(DType::BF16) / 1e12);
+    std::printf("  %-22s %8.0f TOPS      (paper: 256)\n", "INT8",
+                c.peakOpsPerSecond(DType::INT8) / 1e12);
+    std::printf("  %-22s %8.0f GB        (paper: 16)\n", "Memory",
+                static_cast<double>(c.l3Bytes) / (1024.0 * 1024.0 *
+                                                  1024.0));
+    std::printf("  %-22s %8.0f GB/s      (paper: 819)\n", "Bandwidth",
+                c.l3BytesPerSecond / 1e9);
+    std::printf("  %-22s %8.0f W         (paper: 150)\n", "Board TDP",
+                c.tdpWatts);
+    std::printf("  %-22s %8.0f GB/s      (paper: PCIe Gen4 64GB/s)\n",
+                "Interconnect", c.pcieBytesPerSecond / 1e9);
+    std::printf("  %-22s 2 clusters x 3 groups x 4 cores = %u cores\n",
+                "Topology", c.totalCores());
+    return 0;
+}

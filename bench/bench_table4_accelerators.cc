@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table IV reproduction: the accelerator roster used for evaluation
+ * (Cloudblazer i10, Nvidia T4, Nvidia A10), from the baseline spec
+ * database and the DTU 1.0 configuration.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace dtu;
+
+namespace
+{
+
+void
+row(const char *label, double i10, double t4, double a10,
+    const char *unit)
+{
+    std::printf("  %-22s %10.1f %10.1f %10.1f  %s\n", label, i10, t4, a10,
+                unit);
+}
+
+} // namespace
+
+int
+main()
+{
+    DtuConfig i10 = dtu1Config();
+    GpuSpec t4 = t4Spec();
+    GpuSpec a10 = a10Spec();
+
+    printBanner("Table IV: AI inference accelerators adopted for "
+                "evaluation");
+    std::printf("  %-22s %10s %10s %10s\n", "", "i10", "T4", "A10");
+    row("FP32 Perf", i10.peakOpsPerSecond(DType::FP32) / 1e12,
+        t4.fp32Tflops, a10.fp32Tflops, "TFLOPS (paper: 20/8.1/31.2)");
+    row("FP16 Perf", i10.peakOpsPerSecond(DType::FP16) / 1e12,
+        t4.fp16Tflops, a10.fp16Tflops, "TFLOPS (paper: 80/65/125)");
+    row("INT8 Perf", i10.peakOpsPerSecond(DType::INT8) / 1e12,
+        t4.int8Tops, a10.int8Tops, "TOPS (paper: 80/130/250)");
+    row("Memory", static_cast<double>(i10.l3Bytes) / 1_GiB,
+        t4.memoryGiB, a10.memoryGiB, "GB (paper: 16/16/24)");
+    row("Bandwidth", i10.l3BytesPerSecond / 1e9, t4.bandwidthGBs,
+        a10.bandwidthGBs, "GB/s (paper: 512/320/600)");
+    row("Board TDP", i10.tdpWatts, t4.tdpWatts, a10.tdpWatts,
+        "W (paper: 150/70/150)");
+    std::printf("  %-22s %10s %10s %10s  (paper: 12/12/7 nm)\n",
+                "Chip Technology", "12nm", "12nm", "7nm");
+    std::printf("  %-22s %10s %10s %10s\n", "Interconnect", "PCIe4",
+                t4.interconnect.c_str(), a10.interconnect.c_str());
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Matrix-engine microbenchmarks (google-benchmark): functional VMM
+ * execution across the supported shape/dtype patterns, the sorting
+ * facility, and utilization of the fine-grained shapes vs the DTU
+ * 1.0 coarse GEMM engine on tall-and-skinny reductions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/lowering.hh"
+#include "core/matrix_engine.hh"
+#include "core/register_file.hh"
+#include "sim/random.hh"
+
+using namespace dtu;
+
+namespace
+{
+
+void
+BM_VmmExecute(benchmark::State &state)
+{
+    auto rows = static_cast<unsigned>(state.range(0));
+    RegisterFile regs;
+    MatrixEngine engine(false);
+    Random rng(7);
+    for (unsigned r = 0; r < rows; ++r) {
+        regs.setVlane(0, r, rng.uniform(-1, 1));
+        for (unsigned c = 0; c < 16; ++c)
+            regs.setMelem(0, r, c, rng.uniform(-1, 1));
+    }
+    Instruction inst{.op = Opcode::Vmm, .dst = 0, .a = 0, .b = 0,
+                     .vmmRows = static_cast<int>(rows),
+                     .accumulate = true, .dtype = DType::FP32};
+    for (auto _ : state) {
+        engine.executeVmm(regs, inst);
+        benchmark::DoNotOptimize(regs);
+    }
+    state.counters["macs"] = static_cast<double>(rows) * 16;
+    state.counters["engine_cycles"] =
+        engine.vmmCycles(rows, DType::FP32);
+}
+BENCHMARK(BM_VmmExecute)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_SortVector(benchmark::State &state)
+{
+    auto n = static_cast<std::size_t>(state.range(0));
+    Random rng(11);
+    std::vector<double> input(n);
+    for (auto &v : input)
+        v = rng.uniform(-10, 10);
+    for (auto _ : state) {
+        auto sorted = MatrixEngine::sortVector(input);
+        benchmark::DoNotOptimize(sorted);
+    }
+}
+BENCHMARK(BM_SortVector)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_TopK(benchmark::State &state)
+{
+    Random rng(13);
+    std::vector<double> input(32);
+    for (auto &v : input)
+        v = rng.uniform(-10, 10);
+    for (auto _ : state) {
+        auto top = MatrixEngine::topK(input, 8);
+        benchmark::DoNotOptimize(top);
+    }
+}
+BENCHMARK(BM_TopK);
+
+/**
+ * Tall-and-skinny utilization: fine-grained VMM vs coarse GEMM, the
+ * motivation in Section III ("Capability v.s. Quantity").
+ */
+void
+BM_SkinnyUtilization(benchmark::State &state)
+{
+    auto k = state.range(0);
+    double vmm_util = 0.0, gemm_util = 0.0;
+    for (auto _ : state) {
+        vmm_util = tensorize(k, 512, DType::FP16, true).second;
+        gemm_util = tensorize(k, 512, DType::FP16, false).second;
+        benchmark::DoNotOptimize(vmm_util);
+    }
+    state.counters["vmm_util"] = vmm_util;
+    state.counters["gemm_util"] = gemm_util;
+    state.counters["advantage"] = vmm_util / gemm_util;
+}
+BENCHMARK(BM_SkinnyUtilization)->Arg(9)->Arg(27)->Arg(64)->Arg(576);
+
+} // namespace
+
+BENCHMARK_MAIN();

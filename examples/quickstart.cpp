@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Quickstart: simulate ResNet50 v1.5 inference on a Cloudblazer i20.
+ *
+ * The five steps every dtusim user goes through:
+ *   1. instantiate a chip from a configuration,
+ *   2. build (or import) a DNN graph,
+ *   3. compile it — fusion, auto-tensorization, tiling,
+ *   4. lease processing groups and execute,
+ *   5. read latency, throughput, power, and per-op traces.
+ *
+ * Build: part of the default cmake build; run ./example_quickstart.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "compiler/lowering.hh"
+#include "models/model_zoo.hh"
+#include "runtime/executor.hh"
+#include "soc/resource_manager.hh"
+
+using namespace dtu;
+
+int
+main()
+{
+    // 1. The chip: a full DTU 2.0 (2 clusters x 3 groups x 4 cores).
+    Dtu chip(dtu2Config());
+    std::printf("chip: %s, %u cores in %u processing groups, "
+                "%.0f GB/s HBM\n",
+                chip.config().name.c_str(), chip.totalCores(),
+                chip.totalGroups(),
+                chip.config().l3BytesPerSecond / 1e9);
+
+    // 2. The workload: ResNet50 v1.5 at batch 1 (Table III entry).
+    Graph graph = models::buildResnet50();
+    std::printf("model: %s, %zu nodes, %.2f GFLOPs, %.1f MB weights "
+                "(FP16)\n",
+                graph.name().c_str(), graph.size(),
+                2.0 * graph.totalMacs() / 1e9,
+                graph.totalWeightBytes(2) / 1e6);
+
+    // 3. Compile: operator fusion + auto-tensorization + tiling.
+    ExecutionPlan plan =
+        compile(graph, chip.config(), DType::FP16, chip.totalGroups());
+    std::printf("compiled: %zu fused operators (from %zu graph "
+                "nodes)\n",
+                plan.ops.size(), graph.size());
+
+    // 4. Lease the whole chip and execute.
+    ResourceManager rm(chip);
+    std::vector<unsigned> groups;
+    for (unsigned c = 0; c < chip.numClusters(); ++c) {
+        auto lease = rm.allocate(static_cast<int>(c), 3);
+        for (unsigned gid : lease->groups)
+            groups.push_back(gid);
+    }
+    Executor executor(chip, groups, {.trace = true});
+    ExecResult result = executor.run(plan);
+
+    // 5. Results.
+    std::printf("\nlatency:    %.3f ms\n", result.latencyMs());
+    std::printf("throughput: %.0f images/s (batch 1)\n",
+                result.throughput);
+    std::printf("energy:     %.1f mJ (avg %.1f W, mean clock "
+                "%.2f GHz)\n",
+                result.joules * 1e3, result.watts,
+                result.meanFrequencyGHz);
+    std::printf("HBM moved:  %.1f MB after sparse compression\n",
+                result.l3Bytes / 1e6);
+
+    std::printf("\nslowest operators:\n");
+    auto trace = result.trace;
+    std::sort(trace.begin(), trace.end(),
+              [](const OpTrace &a, const OpTrace &b) {
+                  return a.end - a.start > b.end - b.start;
+              });
+    for (std::size_t i = 0; i < 5 && i < trace.size(); ++i) {
+        std::printf("  %-28s %8.1f us (%s)\n", trace[i].name.c_str(),
+                    ticksToMicroSeconds(trace[i].end - trace[i].start),
+                    opKindName(trace[i].anchor).c_str());
+    }
+    return 0;
+}

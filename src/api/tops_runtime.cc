@@ -1,0 +1,120 @@
+#include "api/tops_runtime.hh"
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+Device::Device(DtuConfig config)
+    : dtu_(config), manager_(dtu_)
+{}
+
+DeviceBuffer
+Device::malloc(std::uint64_t bytes)
+{
+    fatalIf(bytes == 0, "device malloc of zero bytes");
+    fatalIf(allocated_ + bytes > dtu_.config().l3Bytes,
+            "device out of memory: ", allocated_, " + ", bytes, " > ",
+            dtu_.config().l3Bytes);
+    DeviceBuffer buffer;
+    buffer.address_ = nextAddress_;
+    buffer.bytes_ = bytes;
+    nextAddress_ += bytes;
+    allocated_ += bytes;
+    return buffer;
+}
+
+void
+Device::free(DeviceBuffer &buffer)
+{
+    fatalIf(buffer.bytes_ > allocated_, "double free or corruption");
+    allocated_ -= buffer.bytes_;
+    buffer = DeviceBuffer{};
+}
+
+Stream
+Device::createStream(unsigned groups)
+{
+    int tenant = nextTenant_++;
+    auto lease = manager_.allocate(tenant, groups);
+    fatalIf(!lease.has_value(),
+            "no cluster has ", groups, " free processing groups");
+    return Stream(*this, tenant, lease->groups);
+}
+
+Stream::Stream(Device &device, int tenant_id, std::vector<unsigned> groups)
+    : device_(&device), tenantId_(tenant_id), groups_(std::move(groups))
+{}
+
+Stream::~Stream()
+{
+    if (device_ && tenantId_ >= 0) {
+        // Return the lease; moved-from streams skip this.
+        device_->manager_.release(tenantId_);
+    }
+}
+
+Stream &
+Stream::memcpyH2D(const DeviceBuffer &dst, std::uint64_t bytes)
+{
+    fatalIf(!dst.valid(), "memcpyH2D into an invalid buffer");
+    fatalIf(bytes > dst.bytes(), "memcpyH2D overflows the buffer");
+    DmaDescriptor desc;
+    desc.src = MemLevel::Host;
+    desc.dst = MemLevel::L3;
+    desc.dstAddr = dst.address();
+    desc.bytes = bytes;
+    cursor_ = device_->dtu_.group(groups_[0])
+                  .dma()
+                  .submitAt(cursor_, desc)
+                  .done;
+    return *this;
+}
+
+Stream &
+Stream::memcpyD2H(const DeviceBuffer &src, std::uint64_t bytes)
+{
+    fatalIf(!src.valid(), "memcpyD2H from an invalid buffer");
+    fatalIf(bytes > src.bytes(), "memcpyD2H overflows the buffer");
+    DmaDescriptor desc;
+    desc.src = MemLevel::L3;
+    desc.dst = MemLevel::Host;
+    desc.srcAddr = src.address();
+    desc.bytes = bytes;
+    cursor_ = device_->dtu_.group(groups_[0])
+                  .dma()
+                  .submitAt(cursor_, desc)
+                  .done;
+    return *this;
+}
+
+Stream &
+Stream::launch(const Kernel &kernel, unsigned core_index)
+{
+    unsigned per_group = device_->dtu_.config().coresPerGroup;
+    fatalIf(core_index >= groups_.size() * per_group,
+            "core index ", core_index, " outside this stream's lease");
+    unsigned gid = groups_[core_index / per_group];
+    ComputeCore &core =
+        device_->dtu_.group(gid).core(core_index % per_group);
+    RunResult result = core.run(kernel, nextKernelId_++, cursor_);
+    cursor_ = result.endTick;
+    return *this;
+}
+
+Stream &
+Stream::run(const ExecutionPlan &plan)
+{
+    Executor executor(device_->dtu_, groups_);
+    lastRun_ = executor.run(plan, cursor_);
+    cursor_ = lastRun_.end;
+    return *this;
+}
+
+Tick
+Stream::synchronize()
+{
+    return cursor_;
+}
+
+} // namespace dtu

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The host-side runtime API — dtusim's TopsRuntime (Fig. 11).
+ *
+ * Section V-B: "Similar to CUDA, the developer needs to allocate
+ * device memory and launch the kernel to interact with accelerator
+ * from the host CPU." This header provides that programming model on
+ * top of the simulator:
+ *
+ *   Device device;                        // open the (simulated) i20
+ *   DeviceBuffer in = device.malloc(n);   // L3 allocation
+ *   Stream stream = device.createStream(1 group);
+ *   stream.memcpyH2D(in, bytes);          // PCIe transfer
+ *   stream.launch(kernel, core);          // microkernel launch
+ *   stream.run(plan);                     // compiled-model launch
+ *   stream.synchronize();                 // join the timeline
+ *
+ * Streams are backed by processing-group leases (the Fig. 7 resource
+ * abstraction), so two streams with disjoint leases run concurrently
+ * and in isolation, exactly like the multi-tenancy path.
+ */
+
+#ifndef DTU_API_TOPS_RUNTIME_HH
+#define DTU_API_TOPS_RUNTIME_HH
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compiler/plan.hh"
+#include "isa/instruction.hh"
+#include "runtime/executor.hh"
+#include "soc/resource_manager.hh"
+
+namespace dtu
+{
+
+class Device;
+class Stream;
+
+/** A device (L3) memory allocation. */
+class DeviceBuffer
+{
+  public:
+    DeviceBuffer() = default;
+
+    Addr address() const { return address_; }
+    std::uint64_t bytes() const { return bytes_; }
+    bool valid() const { return bytes_ != 0; }
+
+  private:
+    friend class Device;
+    Addr address_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+/**
+ * An in-order execution queue bound to a processing-group lease.
+ * Operations enqueue at the stream's cursor and complete in order;
+ * synchronize() returns the completion time.
+ */
+class Stream
+{
+  public:
+    Stream(Stream &&other) noexcept { *this = std::move(other); }
+    Stream &
+    operator=(Stream &&other) noexcept
+    {
+        device_ = other.device_;
+        tenantId_ = other.tenantId_;
+        groups_ = std::move(other.groups_);
+        cursor_ = other.cursor_;
+        lastRun_ = std::move(other.lastRun_);
+        nextKernelId_ = other.nextKernelId_;
+        other.device_ = nullptr; // moved-from: no lease to release
+        other.tenantId_ = -1;
+        return *this;
+    }
+    ~Stream();
+
+    /** Host-to-device copy into @p dst (PCIe -> L3). */
+    Stream &memcpyH2D(const DeviceBuffer &dst, std::uint64_t bytes);
+
+    /** Device-to-host copy from @p src (L3 -> PCIe). */
+    Stream &memcpyD2H(const DeviceBuffer &src, std::uint64_t bytes);
+
+    /**
+     * Launch a microkernel on core @p core_index of the lease (the
+     * low-level DSL path). The kernel executes functionally.
+     */
+    Stream &launch(const Kernel &kernel, unsigned core_index = 0);
+
+    /** Launch a compiled model (the graph-compiler path). */
+    Stream &run(const ExecutionPlan &plan);
+
+    /** Block until everything enqueued so far has completed. */
+    Tick synchronize();
+
+    /** Current stream cursor (simulated time of the last op). */
+    Tick cursor() const { return cursor_; }
+
+    /** The leased group ids backing this stream. */
+    const std::vector<unsigned> &groups() const { return groups_; }
+
+    /** Result of the most recent run() on this stream. */
+    const ExecResult &lastRunResult() const { return lastRun_; }
+
+  private:
+    friend class Device;
+    Stream(Device &device, int tenant_id, std::vector<unsigned> groups);
+
+    Device *device_ = nullptr;
+    int tenantId_ = -1;
+    std::vector<unsigned> groups_;
+    Tick cursor_ = 0;
+    ExecResult lastRun_;
+    int nextKernelId_ = 1'000'000; // avoid model kernel-id collisions
+};
+
+/** The device handle: owns the simulated chip and its leases. */
+class Device
+{
+  public:
+    /** Open a device with the given configuration (default: i20). */
+    explicit Device(DtuConfig config = dtu2Config());
+
+    /** Device properties (the cudaGetDeviceProperties analogue). */
+    const DtuConfig &properties() const { return dtu_.config(); }
+
+    /** Allocate @p bytes of device (L3) memory. */
+    DeviceBuffer malloc(std::uint64_t bytes);
+
+    /** Release a buffer. */
+    void free(DeviceBuffer &buffer);
+
+    /** Bytes currently allocated on the device. */
+    std::uint64_t bytesAllocated() const { return allocated_; }
+
+    /**
+     * Create a stream backed by @p groups processing groups
+     * (1..groupsPerCluster, co-located in one cluster).
+     * @throws FatalError when no cluster has capacity.
+     */
+    Stream createStream(unsigned groups = 1);
+
+    /** Total energy drawn by the device so far. */
+    double joules() { return dtu_.energy().joules(); }
+
+    /** Direct access for advanced use (profiling, stats). */
+    Dtu &chip() { return dtu_; }
+
+  private:
+    friend class Stream;
+    Dtu dtu_;
+    ResourceManager manager_;
+    std::uint64_t allocated_ = 0;
+    Addr nextAddress_ = 0x1000'0000;
+    int nextTenant_ = 0;
+};
+
+} // namespace dtu
+
+#endif // DTU_API_TOPS_RUNTIME_HH

@@ -1,0 +1,182 @@
+#include "baseline/gpu_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+double
+GpuSpec::peakOps(DType t) const
+{
+    switch (t) {
+      case DType::FP32:
+      case DType::INT32:
+        return fp32Tflops * 1e12;
+      case DType::TF32:
+        // Ampere (FP16 ~ 4x FP32) runs TF32 at half the FP16
+        // tensor-core rate; Turing (FP16 ~ 8x FP32) has no TF32 and
+        // falls back to FP32.
+        return fp16Tflops < 6.0 * fp32Tflops ? fp16Tflops * 1e12 / 2.0
+                                             : fp32Tflops * 1e12;
+      case DType::FP16:
+      case DType::BF16:
+      case DType::INT16:
+        return fp16Tflops * 1e12;
+      case DType::INT8:
+        return int8Tops * 1e12;
+    }
+    return fp32Tflops * 1e12;
+}
+
+GpuSpec
+t4Spec()
+{
+    GpuSpec spec;
+    spec.name = "T4";
+    spec.fp32Tflops = 8.1;
+    spec.fp16Tflops = 65.0;
+    spec.int8Tops = 130.0;
+    spec.memoryGiB = 16.0;
+    spec.bandwidthGBs = 320.0;
+    spec.tdpWatts = 70.0;
+    spec.techNm = 12;
+    spec.interconnect = "PCIe3";
+    spec.pcieGBs = 12.0;
+    return spec;
+}
+
+GpuSpec
+a10Spec()
+{
+    GpuSpec spec;
+    spec.name = "A10";
+    spec.fp32Tflops = 31.2;
+    spec.fp16Tflops = 125.0;
+    spec.int8Tops = 250.0;
+    spec.memoryGiB = 24.0;
+    spec.bandwidthGBs = 600.0;
+    spec.tdpWatts = 150.0;
+    spec.techNm = 7;
+    spec.interconnect = "PCIe4";
+    spec.pcieGBs = 24.0;
+    return spec;
+}
+
+GpuEfficiency
+t4Efficiency()
+{
+    GpuEfficiency eff;
+    eff.convDense = 0.68;
+    eff.convShallow = 0.31;
+    eff.convDepthwise = 0.07;
+    eff.gemm = 0.71;
+    eff.gemmSkinny = 0.12;
+    eff.attention = 0.39;
+    eff.memStreaming = 0.86;
+    eff.memShuffle = 0.33;
+    eff.launchMicros = 5.5;
+    eff.loadPowerFraction = 0.90;
+    return eff;
+}
+
+GpuEfficiency
+a10Efficiency()
+{
+    GpuEfficiency eff;
+    eff.convDense = 0.70;
+    eff.convShallow = 0.32;
+    eff.convDepthwise = 0.08;
+    eff.gemm = 0.72;
+    eff.gemmSkinny = 0.12;
+    eff.attention = 0.42;
+    eff.memStreaming = 0.85;
+    eff.memShuffle = 0.33;
+    eff.launchMicros = 3.5;
+    eff.loadPowerFraction = 0.85;
+    return eff;
+}
+
+GpuModel::GpuModel(GpuSpec spec, GpuEfficiency efficiency)
+    : spec_(std::move(spec)), eff_(efficiency)
+{}
+
+Tick
+GpuModel::opTicks(const PlannedOp &op, DType dtype, int batch) const
+{
+    // Batching raises SM occupancy and tile efficiency: more thread
+    // blocks per kernel hide latency better, up to a saturation cap.
+    double batch_uplift =
+        std::min(1.2, 1.0 + 0.06 * std::log2(std::max(1, batch)));
+
+    // Compute roof.
+    double compute_eff = eff_.convDense;
+    switch (op.anchor) {
+      case OpKind::Conv2d:
+        compute_eff = op.dimK < 128 ? eff_.convShallow : eff_.convDense;
+        // Tensor-core tile quantization: convs with few output
+        // channels fill only part of the 128-wide MMA tile.
+        if (op.dimN < 128)
+            compute_eff *= 0.55;
+        break;
+      case OpKind::DWConv2d:
+        compute_eff = eff_.convDepthwise;
+        break;
+      case OpKind::MatMul:
+      case OpKind::Linear:
+        compute_eff = op.dimM < 16 ? eff_.gemmSkinny : eff_.gemm;
+        break;
+      case OpKind::Attention:
+        compute_eff = eff_.attention;
+        break;
+      default:
+        compute_eff = eff_.convDense;
+        break;
+    }
+    double compute_seconds =
+        op.flops() /
+        (spec_.peakOps(dtype) * compute_eff * batch_uplift);
+
+    // Memory roof: everything materializes in DRAM between fused
+    // kernels (no software-managed scratchpad residency).
+    bool shuffle = op.loadTransform == TransformKind::Transpose ||
+                   op.anchor == OpKind::Upsample ||
+                   op.anchor == OpKind::PixelShuffle ||
+                   op.anchor == OpKind::Transpose ||
+                   op.anchor == OpKind::Concat;
+    double mem_eff = shuffle ? eff_.memShuffle : eff_.memStreaming;
+    double bytes = static_cast<double>(op.inputBytes) +
+                   static_cast<double>(op.outputBytes) +
+                   static_cast<double>(op.weightBytes);
+    double mem_seconds = bytes / (spec_.bandwidthGBs * 1e9 * mem_eff);
+
+    double seconds = std::max(compute_seconds, mem_seconds) +
+                     eff_.launchMicros * 1e-6;
+    return secondsToTicks(seconds);
+}
+
+GpuResult
+GpuModel::run(const ExecutionPlan &plan) const
+{
+    GpuResult result;
+    Tick total = 0;
+    // Host transfers: input upload + output download over PCIe.
+    if (!plan.ops.empty()) {
+        double bytes =
+            static_cast<double>(plan.ops.front().inputBytes) +
+            static_cast<double>(plan.ops.back().outputBytes);
+        total += secondsToTicks(bytes / (spec_.pcieGBs * 1e9) + 20e-6);
+    }
+    for (const PlannedOp &op : plan.ops)
+        total += opTicks(op, plan.dtype, plan.batch);
+    result.latency = total;
+    double seconds = ticksToSeconds(total);
+    result.watts = spec_.tdpWatts * eff_.loadPowerFraction;
+    result.joules = result.watts * seconds;
+    result.throughput = seconds > 0.0 ? plan.batch / seconds : 0.0;
+    return result;
+}
+
+} // namespace dtu

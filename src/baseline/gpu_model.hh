@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Analytical GPU baselines: Nvidia T4 and A10 under TensorRT.
+ *
+ * The comparison hardware is not available, so per the substitution
+ * policy these are roofline models driven by the public spec sheets
+ * (Table IV) plus per-operator-class efficiency factors representing
+ * well-known TensorRT behaviour: dense convolutions and large GEMMs
+ * run near tensor-core peak, depthwise convolutions and skinny
+ * matrices run far below it, layout-shuffling ops (pixel shuffle,
+ * upsampling, transpose) achieve a fraction of DRAM bandwidth, and
+ * every fused kernel pays a launch overhead. The factors are global
+ * constants — one set per GPU, never tuned per benchmark.
+ */
+
+#ifndef DTU_BASELINE_GPU_MODEL_HH
+#define DTU_BASELINE_GPU_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "compiler/plan.hh"
+#include "sim/ticks.hh"
+
+namespace dtu
+{
+
+/** Public data-sheet numbers (Table IV). */
+struct GpuSpec
+{
+    std::string name;
+    double fp32Tflops = 0.0;
+    double fp16Tflops = 0.0;
+    double int8Tops = 0.0;
+    double memoryGiB = 0.0;
+    double bandwidthGBs = 0.0;
+    double tdpWatts = 0.0;
+    int techNm = 0;
+    std::string interconnect;
+    /** Effective host-transfer bandwidth over the interconnect. */
+    double pcieGBs = 12.0;
+
+    /** Peak ops/s for a dtype. */
+    double peakOps(DType t) const;
+};
+
+/** Nvidia T4 (PB-09256). */
+GpuSpec t4Spec();
+/** Nvidia A10 (PB-10415). */
+GpuSpec a10Spec();
+
+struct GpuEfficiency;
+/** Turing-generation TensorRT efficiency profile. */
+GpuEfficiency t4Efficiency();
+/** Ampere-generation TensorRT efficiency profile (better kernels,
+ *  lower launch overhead, async copy pipelines). */
+GpuEfficiency a10Efficiency();
+
+/** Per-operator-class fractions of peak (TensorRT behaviour). */
+struct GpuEfficiency
+{
+    /** Dense conv with a healthy reduction dimension. */
+    double convDense = 0.62;
+    /** Conv whose reduction dim is small (first layers, K < 128). */
+    double convShallow = 0.28;
+    /** Depthwise conv: tensor cores sit idle. */
+    double convDepthwise = 0.06;
+    /** Large GEMM. */
+    double gemm = 0.62;
+    /** Skinny GEMM (M below a warp tile): batch-1 FC layers. */
+    double gemmSkinny = 0.10;
+    /** Attention (bmm + softmax round trips). */
+    double attention = 0.35;
+    /** Fraction of DRAM bandwidth streaming elementwise ops reach. */
+    double memStreaming = 0.78;
+    /** Fraction of DRAM bandwidth for layout-shuffling access. */
+    double memShuffle = 0.30;
+    /** Per-fused-kernel launch + scheduling overhead. */
+    double launchMicros = 7.0;
+    /** Power drawn while running DNNs, as a fraction of TDP. */
+    double loadPowerFraction = 0.88;
+};
+
+/** Per-run outcome of the analytical model. */
+struct GpuResult
+{
+    Tick latency = 0;
+    double joules = 0.0;
+    double watts = 0.0;
+    double throughput = 0.0;
+    double latencyMs() const { return ticksToMilliSeconds(latency); }
+};
+
+/** The roofline evaluator. */
+class GpuModel
+{
+  public:
+    explicit GpuModel(GpuSpec spec, GpuEfficiency efficiency = {});
+
+    const GpuSpec &spec() const { return spec_; }
+
+    /**
+     * Evaluate a fused plan (the same fusion pass models TensorRT's
+     * kernel fusion).
+     */
+    GpuResult run(const ExecutionPlan &plan) const;
+
+    /** Time for one operator (exposed for tests). */
+    Tick opTicks(const PlannedOp &op, DType dtype, int batch = 1) const;
+
+  private:
+    GpuSpec spec_;
+    GpuEfficiency eff_;
+};
+
+} // namespace dtu
+
+#endif // DTU_BASELINE_GPU_MODEL_HH

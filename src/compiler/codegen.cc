@@ -1,0 +1,206 @@
+#include "compiler/codegen.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/spu.hh"
+#include "isa/assembler.hh"
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+namespace
+{
+
+/**
+ * Vector-register allocator. With conflict avoidance it hands out
+ * registers round-robin across the four banks so consecutive values
+ * never share one; without it, it allocates within bank 0 only
+ * (registers 0, 4, 8, ...) — the pathological schedule a naive
+ * allocator can produce.
+ */
+class VRegAllocator
+{
+  public:
+    explicit VRegAllocator(bool avoid_conflicts)
+        : avoidConflicts_(avoid_conflicts)
+    {}
+
+    int
+    next()
+    {
+        int reg;
+        if (avoidConflicts_) {
+            reg = cursor_;
+            cursor_ = (cursor_ + 1) % 32;
+        } else {
+            reg = (cursor_ * 4) % 32; // always bank 0
+            ++cursor_;
+        }
+        return reg;
+    }
+
+  private:
+    bool avoidConflicts_;
+    int cursor_ = 0;
+};
+
+} // namespace
+
+Kernel
+generateElementwiseKernel(const std::string &name,
+                          const std::vector<ElementwiseStage> &stages,
+                          const ElementwiseLayout &layout,
+                          CodegenOptions options)
+{
+    fatalIf(stages.empty(), "codegen: empty elementwise chain");
+    fatalIf(stages.size() > 20,
+            "codegen: chain too long for the register file");
+    fatalIf(layout.tiles == 0, "codegen: zero tiles");
+    bool needs_aux = std::any_of(stages.begin(), stages.end(),
+                                 [](const ElementwiseStage &s) {
+                                     return s.usesAux();
+                                 });
+
+    // Scalar register plan.
+    constexpr int sA = 0, sB = 1, sOut = 2, sStride = 3, sCount = 4,
+                  sLimit = 5;
+
+    VRegAllocator vregs(options.avoidBankConflicts);
+    const int vA = vregs.next();
+    const int vB = needs_aux ? vregs.next() : -1;
+    const int vZero = vregs.next(); // for Relu via vmax
+
+    Assembler as(name);
+    as.sli(sA, static_cast<double>(layout.aBase));
+    as.sli(sB, static_cast<double>(layout.bBase));
+    as.sli(sOut, static_cast<double>(layout.outBase));
+    as.sli(sStride, 16.0); // one FP32 vector per iteration
+    as.sli(sCount, 0.0);
+    as.sli(sLimit, static_cast<double>(layout.tiles));
+    as.vli(vZero, 0.0);
+
+    std::size_t loop = as.here();
+
+    // Loads. The packetizer co-issues the iteration-counter bump with
+    // the first load (memory + scalar units).
+    if (options.packetize) {
+        as.pack().vload(vA, sA).saddi(sCount, sCount, 1).endPack();
+    } else {
+        as.vload(vA, sA);
+        as.saddi(sCount, sCount, 1);
+    }
+    if (needs_aux) {
+        if (options.packetize)
+            as.pack().vload(vB, sB).sadd(sA, sA, sStride).endPack();
+        else {
+            as.vload(vB, sB);
+            as.sadd(sA, sA, sStride);
+        }
+    } else if (options.packetize) {
+        // No aux load: fold the a-pointer bump into the next packet
+        // stream instead.
+        as.sadd(sA, sA, sStride);
+    } else {
+        as.sadd(sA, sA, sStride);
+    }
+
+    // Stages. Each result goes to a fresh register; with conflict
+    // avoidance the allocator guarantees the packet never reads two
+    // registers from one bank.
+    int value = vA;
+    bool bumped_b = !needs_aux;
+    for (const ElementwiseStage &stage : stages) {
+        int dst = vregs.next();
+        auto emit = [&](Instruction inst) {
+            if (options.packetize && !bumped_b &&
+                inst.unit() == UnitKind::Vector) {
+                // Co-issue the b-pointer bump with a vector slot.
+                bumped_b = true;
+                as.pack();
+                switch (inst.op) {
+                  case Opcode::VAdd: as.vadd(inst.dst, inst.a, inst.b);
+                    break;
+                  case Opcode::VMul: as.vmul(inst.dst, inst.a, inst.b);
+                    break;
+                  case Opcode::VMax: as.vmax(inst.dst, inst.a, inst.b);
+                    break;
+                  default: panic("unexpected packed opcode");
+                }
+                as.sadd(sB, sB, sStride).endPack();
+            } else {
+                switch (inst.op) {
+                  case Opcode::VAdd: as.vadd(inst.dst, inst.a, inst.b);
+                    break;
+                  case Opcode::VMul: as.vmul(inst.dst, inst.a, inst.b);
+                    break;
+                  case Opcode::VMax: as.vmax(inst.dst, inst.a, inst.b);
+                    break;
+                  case Opcode::SpuApply:
+                    as.spu(inst.spuFunc, inst.dst, inst.a);
+                    break;
+                  default: panic("unexpected codegen opcode");
+                }
+            }
+        };
+        switch (stage.kind) {
+          case ElementwiseStage::Kind::AddAux:
+            emit({.op = Opcode::VAdd, .dst = dst, .a = value, .b = vB});
+            break;
+          case ElementwiseStage::Kind::MulAux:
+            emit({.op = Opcode::VMul, .dst = dst, .a = value, .b = vB});
+            break;
+          case ElementwiseStage::Kind::MaxAux:
+            emit({.op = Opcode::VMax, .dst = dst, .a = value, .b = vB});
+            break;
+          case ElementwiseStage::Kind::Relu:
+            emit({.op = Opcode::VMax, .dst = dst, .a = value,
+                  .b = vZero});
+            break;
+          case ElementwiseStage::Kind::Spu:
+            emit({.op = Opcode::SpuApply, .dst = dst, .a = value,
+                  .spuFunc = stage.func});
+            break;
+        }
+        value = dst;
+    }
+    if (needs_aux && !bumped_b)
+        as.sadd(sB, sB, sStride);
+
+    // Store + out-pointer bump + loop.
+    if (options.packetize) {
+        as.pack().vstore(value, sOut).sadd(sOut, sOut, sStride).endPack();
+    } else {
+        as.vstore(value, sOut);
+        as.sadd(sOut, sOut, sStride);
+    }
+    as.bne(sCount, sLimit, loop);
+    return as.finish();
+}
+
+double
+elementwiseReference(const std::vector<ElementwiseStage> &stages,
+                     double a, double b)
+{
+    double value = a;
+    Spu spu;
+    for (const ElementwiseStage &stage : stages) {
+        switch (stage.kind) {
+          case ElementwiseStage::Kind::AddAux: value += b; break;
+          case ElementwiseStage::Kind::MulAux: value *= b; break;
+          case ElementwiseStage::Kind::MaxAux:
+            value = std::max(value, b);
+            break;
+          case ElementwiseStage::Kind::Relu:
+            value = std::max(value, 0.0);
+            break;
+          case ElementwiseStage::Kind::Spu:
+            value = spu.evaluate(stage.func, value);
+            break;
+        }
+    }
+    return value;
+}
+
+} // namespace dtu

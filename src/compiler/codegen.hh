@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Microkernel code generation for elementwise chains: the
+ * auto-vectorizer, VLIW packetizer, and bank-aware register
+ * allocator of Section V-B, producing real Kernels that run on the
+ * simulated compute core.
+ *
+ * A fused elementwise chain
+ *
+ *     out[i] = f_n(... f_1(a[i]) ...)        (with optional b[i] aux)
+ *
+ * lowers to a loop over 512-bit tiles: load, apply the stages on the
+ * vector/SPU engines, store, bump pointers, branch. The packetizer
+ * co-issues scalar pointer arithmetic with vector/memory slots; the
+ * register allocator spreads operands across the four vector-register
+ * banks so no packet reads one bank twice. Both are switchable so
+ * their benefit is measurable.
+ */
+
+#ifndef DTU_COMPILER_CODEGEN_HH
+#define DTU_COMPILER_CODEGEN_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace dtu
+{
+
+/** One stage of an elementwise chain. */
+struct ElementwiseStage
+{
+    enum class Kind
+    {
+        AddAux, ///< value += b-tile
+        MulAux, ///< value *= b-tile
+        MaxAux, ///< value = max(value, b-tile)
+        Relu,   ///< value = max(value, 0)
+        Spu,    ///< value = func(value)
+    };
+
+    Kind kind = Kind::Relu;
+    SpuFunc func = SpuFunc::Gelu;
+
+    /** True when the stage consumes the auxiliary b operand. */
+    bool
+    usesAux() const
+    {
+        return kind == Kind::AddAux || kind == Kind::MulAux ||
+               kind == Kind::MaxAux;
+    }
+};
+
+/** Codegen switches (each one a Section V-B compiler feature). */
+struct CodegenOptions
+{
+    /** Pack independent slots into VLIW packets. */
+    bool packetize = true;
+    /** Spread operands across vector-register banks. */
+    bool avoidBankConflicts = true;
+};
+
+/**
+ * Memory layout contract of the generated kernel: the a-tile stream
+ * starts at L1 word aBase, the b stream at bBase, outputs at outBase;
+ * each of @p tiles iterations advances by one 16-lane FP32 vector.
+ */
+struct ElementwiseLayout
+{
+    std::uint64_t aBase = 0;
+    std::uint64_t bBase = 4096;
+    std::uint64_t outBase = 8192;
+    unsigned tiles = 1;
+};
+
+/**
+ * Generate the microkernel for an elementwise chain.
+ * @param name kernel name.
+ * @param stages the chain, applied in order.
+ * @param layout L1 addressing contract.
+ */
+Kernel generateElementwiseKernel(const std::string &name,
+                                 const std::vector<ElementwiseStage> &stages,
+                                 const ElementwiseLayout &layout,
+                                 CodegenOptions options = {});
+
+/** Host reference of the same chain for validation. */
+double elementwiseReference(const std::vector<ElementwiseStage> &stages,
+                            double a, double b);
+
+} // namespace dtu
+
+#endif // DTU_COMPILER_CODEGEN_HH

@@ -1,0 +1,267 @@
+#include "compiler/fusion.hh"
+
+#include <map>
+#include <set>
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+namespace
+{
+
+/** True when a node can be absorbed behind a compute anchor. */
+bool
+absorbable(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Activation:
+      case OpKind::BatchNorm:
+      case OpKind::LayerNorm:
+      case OpKind::Add:
+      case OpKind::Mul:
+      case OpKind::Softmax:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** True for nodes that anchor a fusion group. */
+bool
+isAnchor(OpKind kind)
+{
+    return opIsMatrix(kind) || kind == OpKind::Embedding ||
+           kind == OpKind::MaxPool || kind == OpKind::AvgPool ||
+           kind == OpKind::GlobalAvgPool;
+}
+
+/** SPU vs vector-engine attribution for an elementwise node. */
+bool
+usesSpu(const Node &node)
+{
+    if (node.kind == OpKind::Activation)
+        return !node.attrs.cheapActivation;
+    return node.kind == OpKind::Softmax;
+}
+
+/** Map a folded layout node onto the DMA transform it becomes. */
+TransformKind
+layoutTransform(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Transpose:
+      case OpKind::PixelShuffle:
+        return TransformKind::Transpose;
+      case OpKind::Pad:
+      case OpKind::Upsample:
+        return TransformKind::Pad;
+      case OpKind::Slice:
+        return TransformKind::Slice;
+      case OpKind::Concat:
+        return TransformKind::Concat;
+      default:
+        return TransformKind::None;
+    }
+}
+
+/**
+ * Structural signature of a fused group, used to share kernel code
+ * between repeated blocks (e.g. the 16 identical SRResNet residual
+ * blocks hit the same kernel in the instruction cache).
+ */
+std::string
+groupSignature(const Graph &graph, const std::vector<int> &members)
+{
+    std::string sig;
+    for (int id : members) {
+        const Node &node = graph.node(id);
+        sig += opKindName(node.kind);
+        sig += ':';
+        sig += node.shape.toString();
+        sig += ';';
+    }
+    return sig;
+}
+
+} // namespace
+
+std::vector<PlannedOp>
+fuseGraph(const Graph &graph, DType dtype, FusionOptions options)
+{
+    graph.validate();
+    auto consumers = graph.consumers();
+    std::size_t elem = dtypeBytes(dtype);
+
+    std::vector<bool> taken(graph.size(), false);
+    std::vector<PlannedOp> ops;
+    std::map<std::string, int> kernel_ids;
+
+    // Layout nodes with a single consumer fold into that consumer's
+    // load DMA; remember the pending transform per consumer.
+    std::vector<TransformKind> pending(graph.size(), TransformKind::None);
+    std::vector<bool> folded(graph.size(), false);
+    if (options.enabled) {
+        for (const Node &node : graph.nodes()) {
+            if (!opIsLayout(node.kind))
+                continue;
+            const auto &users = consumers[static_cast<std::size_t>(
+                node.id)];
+            if (users.size() == 1) {
+                TransformKind t = layoutTransform(node.kind);
+                // Reshape is free (pure metadata); keep whatever
+                // transform was already pending through it.
+                if (node.kind == OpKind::Reshape)
+                    t = pending[static_cast<std::size_t>(node.id)];
+                if (t != TransformKind::None ||
+                    node.kind == OpKind::Reshape) {
+                    pending[static_cast<std::size_t>(users[0])] = t;
+                    folded[static_cast<std::size_t>(node.id)] = true;
+                }
+            }
+        }
+    }
+
+    for (const Node &node : graph.nodes()) {
+        auto idx = static_cast<std::size_t>(node.id);
+        if (taken[idx] || folded[idx])
+            continue;
+        if (node.kind == OpKind::Input || node.kind == OpKind::Output)
+            continue;
+
+        // Collect the fusion group.
+        std::vector<int> members{node.id};
+        taken[idx] = true;
+        if (options.enabled &&
+            (isAnchor(node.kind) || opIsElementwise(node.kind))) {
+            int tail = node.id;
+            while (members.size() < options.maxNodesPerFusion) {
+                const auto &users =
+                    consumers[static_cast<std::size_t>(tail)];
+                if (users.size() != 1)
+                    break;
+                const Node &next = graph.node(users[0]);
+                auto next_idx = static_cast<std::size_t>(next.id);
+                if (taken[next_idx] || folded[next_idx])
+                    break;
+                if (!absorbable(next.kind))
+                    break;
+                // A binary op can fuse only when its other operand is
+                // already materialized (produced before the anchor).
+                bool ready = true;
+                for (int in : next.inputs) {
+                    if (in != tail && in > node.id)
+                        ready = false;
+                }
+                if (!ready)
+                    break;
+                members.push_back(next.id);
+                taken[next_idx] = true;
+                tail = next.id;
+            }
+        }
+
+        // Account the group.
+        PlannedOp op;
+        op.anchor = node.kind;
+        op.name = node.name;
+        op.nodes = members;
+        std::set<int> inside(members.begin(), members.end());
+        const Node &last = graph.node(members.back());
+        op.outputBytes = static_cast<std::uint64_t>(last.shape.numel()) *
+                         elem;
+        op.loadTransform = pending[idx];
+        op.inputDensity = node.attrs.inputDensity;
+
+        for (int id : members) {
+            const Node &member = graph.node(id);
+            if (member.kind == OpKind::Activation &&
+                member.attrs.cheapActivation) {
+                // ReLU-family output: roughly half the values are
+                // zeroed, making the tensor sparse-DMA friendly.
+                op.outputDensity = 0.55;
+            }
+            op.macs += member.macs;
+            if (usesSpu(member))
+                op.spuOps += member.laneOps;
+            else
+                op.vecOps += member.laneOps;
+            op.weightBytes += static_cast<std::uint64_t>(
+                member.weightElems * static_cast<double>(elem));
+            for (int in : member.inputs) {
+                if (!inside.count(in)) {
+                    op.inputBytes += static_cast<std::uint64_t>(
+                        graph.node(in).shape.numel() *
+                        static_cast<std::int64_t>(elem));
+                }
+            }
+        }
+
+        // Embedding is a gather: it reads only the looked-up rows,
+        // and those rows stream sparsely from L3.
+        if (node.kind == OpKind::Embedding) {
+            op.weightBytes = op.outputBytes;
+            op.inputBytes = 0;
+        }
+
+        // Tensorization dimensions of the anchor.
+        switch (node.kind) {
+          case OpKind::Conv2d:
+            op.dimK = static_cast<std::int64_t>(
+                graph.node(node.inputs[0]).shape.dim(1) /
+                node.attrs.groups) *
+                node.attrs.kernelH * node.attrs.kernelW;
+            op.dimN = node.shape.dim(1);
+            op.dimM = node.shape.dim(0) * node.shape.dim(2) *
+                      node.shape.dim(3);
+            break;
+          case OpKind::DWConv2d:
+            op.dimK = node.attrs.kernelH * node.attrs.kernelW;
+            op.dimN = node.shape.dim(1);
+            op.dimM = node.shape.dim(0) * node.shape.dim(2) *
+                      node.shape.dim(3);
+            break;
+          case OpKind::MatMul:
+          case OpKind::Linear: {
+            const Shape &in_shape = graph.node(node.inputs[0]).shape;
+            op.dimK = in_shape.dim(-1);
+            op.dimN = node.shape.dim(-1);
+            op.dimM = node.shape.numel() / node.shape.dim(-1);
+            break;
+          }
+          case OpKind::Attention: {
+            std::int64_t s = node.shape.dim(1);
+            std::int64_t h = node.shape.dim(2);
+            op.dimK = h / node.attrs.heads; // per-head reduction
+            op.dimN = s;
+            op.dimM = node.shape.dim(0) * node.attrs.heads * s;
+            break;
+          }
+          default:
+            break;
+        }
+
+        if (opIsLayout(node.kind)) {
+            // A standalone (multi-consumer or unfused) layout node is
+            // pure DMA work: no compute kernel to load.
+            op.loadTransform = layoutTransform(node.kind);
+            op.kernelBytes = 0;
+            op.kernelId = -1;
+        } else {
+            // Kernel code: fused kernels grow with the member count;
+            // structurally identical groups share one kernel image.
+            op.kernelBytes = 8192 + 6144 * members.size();
+            std::string sig = groupSignature(graph, members);
+            auto it = kernel_ids.try_emplace(
+                sig, static_cast<int>(kernel_ids.size())).first;
+            op.kernelId = it->second;
+        }
+
+        ops.push_back(std::move(op));
+    }
+
+    return ops;
+}
+
+} // namespace dtu

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Automatic operator fusion (Section V-B).
+ *
+ * TopsInference "optimizes the computation graph through automatic
+ * operator fusion to eliminate unnecessary materialization and scan
+ * of intermediate values". The pass anchors a fusion group at every
+ * matrix operator (or at the head of a pure elementwise chain) and
+ * greedily absorbs single-consumer elementwise, normalization,
+ * activation, residual-add, and layout nodes behind it. Layout nodes
+ * fold into the next operator's DMA transform instead of costing
+ * compute.
+ */
+
+#ifndef DTU_COMPILER_FUSION_HH
+#define DTU_COMPILER_FUSION_HH
+
+#include "compiler/plan.hh"
+#include "graph/graph.hh"
+
+namespace dtu
+{
+
+/** Fusion pass tunables. */
+struct FusionOptions
+{
+    /** Master switch (ablation: measure unfused execution). */
+    bool enabled = true;
+    /** Upper bound on nodes folded into one fused operator. */
+    unsigned maxNodesPerFusion = 12;
+};
+
+/**
+ * Fuse a graph into operator groups.
+ * @return one PlannedOp per group, with work/byte accounting filled
+ *         in for @p dtype (tensorize/tile fields still default).
+ */
+std::vector<PlannedOp> fuseGraph(const Graph &graph, DType dtype,
+                                 FusionOptions options = {});
+
+} // namespace dtu
+
+#endif // DTU_COMPILER_FUSION_HH

@@ -1,0 +1,177 @@
+#include "compiler/lowering.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/matrix_engine.hh"
+#include "core/register_file.hh"
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+double
+vmmUtilization(std::int64_t k, std::int64_t n, unsigned rows,
+               unsigned lanes)
+{
+    if (k <= 0 || n <= 0)
+        return 1.0;
+    auto k_pad = static_cast<double>((k + rows - 1) / rows) * rows;
+    auto n_pad = static_cast<double>((n + lanes - 1) / lanes) * lanes;
+    return (static_cast<double>(k) / k_pad) *
+           (static_cast<double>(n) / n_pad);
+}
+
+std::pair<unsigned, double>
+tensorize(std::int64_t k, std::int64_t n, DType dtype, bool dtu2,
+          bool auto_tensorize)
+{
+    unsigned lanes = vectorLanes(dtype);
+    MatrixEngine probe(!dtu2);
+    // When the output-feature dimension is narrower than the lane
+    // width (e.g. a 3-channel image-output conv), auto-tensorization
+    // remaps output *pixels* (the M dimension) onto the lanes via a
+    // loop switch, keeping the array busy at a small transform cost.
+    auto lane_util = [&](std::int64_t nn) {
+        double direct = vmmUtilization(1, nn, 1, lanes);
+        return std::max(direct, nn < lanes ? 0.85 : 0.0);
+    };
+    if (!dtu2 || !auto_tensorize) {
+        // DTU 1.0's GEMM engine (or disabled auto-tensorization):
+        // full 16-row tiles only and no lane remapping.
+        return {16u, vmmUtilization(k, n, 16, lanes)};
+    }
+    unsigned best_rows = 16;
+    double best_util = 0.0;
+    for (unsigned rows : {4u, 8u, 16u, 32u}) {
+        if (!probe.supports(rows, dtype))
+            continue;
+        // K-utilization of this row count times the lane utilization.
+        double util = vmmUtilization(k, lanes, rows, lanes) *
+                      lane_util(n);
+        // Ties prefer the larger shape: fewer VMM issues per output.
+        if (util > best_util + 1e-12 ||
+            (util >= best_util - 1e-12 && rows > best_rows)) {
+            best_util = util;
+            best_rows = rows;
+        }
+    }
+    return {best_rows, best_util};
+}
+
+void
+tileOp(PlannedOp &op, unsigned cores, std::uint64_t l1_bytes,
+       unsigned repeat_threshold)
+{
+    fatalIf(cores == 0, "tiling needs at least one core");
+    // Per-core working set: this core's slice of activations plus a
+    // reusable weight slice. Double buffering requires two tiles
+    // resident plus the weight slice: budget a third of L1 per tile.
+    std::uint64_t per_core =
+        (op.inputBytes + op.outputBytes) / cores + op.weightBytes / cores;
+    std::uint64_t tile_budget = std::max<std::uint64_t>(l1_bytes / 3, 1);
+    op.tiles = static_cast<unsigned>(
+        std::max<std::uint64_t>(1, (per_core + tile_budget - 1) /
+                                       tile_budget));
+    op.tileInBytes = op.inputBytes / cores / op.tiles;
+    op.tileOutBytes = op.outputBytes / cores / op.tiles;
+    // A regular multi-tile stream over a fixed stride is what the
+    // repeat mode replays from one configuration (Fig. 6).
+    op.repeatEligible = op.tiles >= repeat_threshold;
+}
+
+double
+tileOpSearch(PlannedOp &op, unsigned cores, const DtuConfig &config,
+             DType dtype, unsigned repeat_threshold)
+{
+    fatalIf(cores == 0, "tiling needs at least one core");
+    // Modeled operator time as a function of the tile count T:
+    //   compute = work / throughput (T-independent),
+    //   dma     = bytes / bandwidth + T x config,
+    //   time    = max(compute, dma) + (dma / (T+1))  [fill + drain]
+    // subject to the double-buffered tile fitting L1.
+    double compute_seconds =
+        op.macs / cores /
+            (MatrixEngine::macsPerCycle(dtype, config.dtu2) *
+             std::max(0.05, op.utilization) * config.nominalHz) +
+        (op.spuOps + op.vecOps) / cores /
+            (vectorLanes(dtype) * config.nominalHz);
+    double bytes_per_core =
+        static_cast<double>(op.inputBytes + op.outputBytes) / cores;
+    // Per-group DMA bandwidth seen by one core's share of traffic.
+    double dma_bw = config.dmaBytesPerCycle * config.dmaHz /
+                    config.coresPerGroup;
+    double config_seconds = config.dmaConfigCycles / config.dmaHz;
+
+    double best_time = 1e18;
+    unsigned best_tiles = 1;
+    std::uint64_t tile_limit = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(bytes_per_core) / 1024);
+    for (unsigned tiles = 1; tiles <= 64; ++tiles) {
+        if (tiles > tile_limit && tiles > 1)
+            break;
+        // Capacity: two tiles resident (double buffering) plus the
+        // weight slice must fit this core's L1.
+        double tile_bytes = bytes_per_core / tiles;
+        double weight_slice =
+            static_cast<double>(op.weightBytes) / cores;
+        if (2 * tile_bytes + weight_slice >
+            static_cast<double>(config.l1BytesPerCore))
+            continue;
+        bool repeat = config.dmaFeatures.repeatMode &&
+                      tiles >= repeat_threshold;
+        double configs = repeat ? 1.0 : static_cast<double>(tiles);
+        double dma_seconds =
+            bytes_per_core / dma_bw + configs * config_seconds;
+        double time = std::max(compute_seconds, dma_seconds) +
+                      dma_seconds / (tiles + 1);
+        if (time < best_time) {
+            best_time = time;
+            best_tiles = tiles;
+        }
+    }
+    if (best_time >= 1e18) {
+        // Nothing fit (giant weights): fall back to the heuristic.
+        tileOp(op, cores, config.l1BytesPerCore, repeat_threshold);
+        return compute_seconds;
+    }
+    op.tiles = best_tiles;
+    op.tileInBytes = op.inputBytes / cores / best_tiles;
+    op.tileOutBytes = op.outputBytes / cores / best_tiles;
+    op.repeatEligible = best_tiles >= repeat_threshold;
+    return best_time;
+}
+
+ExecutionPlan
+compile(const Graph &graph, const DtuConfig &config, DType dtype,
+        unsigned groups, LoweringOptions options, int batch)
+{
+    fatalIf(groups == 0 || groups > config.totalGroups(),
+            "compile: invalid group count ", groups);
+    ExecutionPlan plan;
+    plan.model = graph.name();
+    plan.dtype = dtype;
+    plan.batch = batch;
+    plan.ops = fuseGraph(graph, dtype, options.fusion);
+
+    unsigned cores = groups * config.coresPerGroup;
+    for (PlannedOp &op : plan.ops) {
+        if (op.matrixBound()) {
+            auto [rows, util] = tensorize(op.dimK, op.dimN, dtype,
+                                          config.dtu2,
+                                          options.autoTensorize);
+            op.vmmRows = rows;
+            op.utilization = util;
+        }
+        if (options.searchTiling) {
+            tileOpSearch(op, cores, config, dtype,
+                         options.repeatThreshold);
+        } else {
+            tileOp(op, cores, config.l1BytesPerCore,
+                   options.repeatThreshold);
+        }
+    }
+    return plan;
+}
+
+} // namespace dtu

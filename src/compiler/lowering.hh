@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Lowering: auto-tensorization and data-flow (tiling) auto-tuning.
+ *
+ * TopsEngine (Section V-B) maps each fused operator onto the
+ * hardware:
+ *  - auto-tensorization picks the VMM shape (4/8/16/32 rows) that
+ *    maximizes matrix-engine utilization for the operator's reduction
+ *    length — the fine-grained shapes are exactly what makes tall
+ *    and skinny matrices (depthwise convs, small heads) efficient;
+ *  - data-flow auto-tuning tiles the operator so double-buffered
+ *    working sets fit the L1 buffer, and recognizes regular tile
+ *    streams that the DMA repeat mode can replay from one
+ *    configuration.
+ */
+
+#ifndef DTU_COMPILER_LOWERING_HH
+#define DTU_COMPILER_LOWERING_HH
+
+#include "compiler/fusion.hh"
+#include "compiler/plan.hh"
+#include "soc/config.hh"
+
+namespace dtu
+{
+
+/** Compilation switches (each is an ablation knob). */
+struct LoweringOptions
+{
+    FusionOptions fusion;
+    /** Pick best VMM rows vs always using full 16-row tiles. */
+    bool autoTensorize = true;
+    /** Minimum tiles before the repeat-DMA pattern is used. */
+    unsigned repeatThreshold = 3;
+    /**
+     * Search-based data-flow tuning (the paper's "auto-tuning on
+     * data flows"): sweep candidate tile counts per operator against
+     * a pipeline cost model instead of the closed-form capacity
+     * heuristic. Finds deeper pipelines for bandwidth-heavy ops.
+     */
+    bool searchTiling = false;
+};
+
+/**
+ * Matrix-engine utilization for reduction length @p k and output
+ * width @p n with the VMM pattern of @p rows rows on a chip with
+ * @p lanes output lanes.
+ */
+double vmmUtilization(std::int64_t k, std::int64_t n, unsigned rows,
+                      unsigned lanes);
+
+/**
+ * Pick the best VMM row count for (@p k, @p n, @p dtype) on the
+ * given chip generation.
+ * @return {rows, utilization}.
+ */
+std::pair<unsigned, double> tensorize(std::int64_t k, std::int64_t n,
+                                      DType dtype, bool dtu2,
+                                      bool auto_tensorize = true);
+
+/**
+ * Fill tiling fields of @p op for @p cores cooperating cores with
+ * @p l1_bytes of local buffer each.
+ */
+void tileOp(PlannedOp &op, unsigned cores, std::uint64_t l1_bytes,
+            unsigned repeat_threshold);
+
+/**
+ * Search-based variant: sweep tile counts and keep the one with the
+ * lowest modeled operator time on @p config (compute/DMA pipeline
+ * with per-transaction configuration cost and fill/drain).
+ * @return the modeled time (seconds) of the chosen tiling.
+ */
+double tileOpSearch(PlannedOp &op, unsigned cores,
+                    const DtuConfig &config, DType dtype,
+                    unsigned repeat_threshold);
+
+/**
+ * Full lowering: fusion + tensorization + tiling for a model on a
+ * chip configuration, assuming @p groups processing groups execute
+ * the plan cooperatively.
+ */
+ExecutionPlan compile(const Graph &graph, const DtuConfig &config,
+                      DType dtype, unsigned groups,
+                      LoweringOptions options = {}, int batch = 1);
+
+} // namespace dtu
+
+#endif // DTU_COMPILER_LOWERING_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The compiled execution plan.
+ *
+ * TopsInference + TopsEngine (Section V-B) lower a DNN graph into a
+ * sequence of fused operators, each annotated with everything the
+ * runtime needs to schedule it on the simulated hardware: work
+ * amounts per engine, tensorization efficiency, tile geometry, DMA
+ * pattern properties, and kernel-code footprint.
+ */
+
+#ifndef DTU_COMPILER_PLAN_HH
+#define DTU_COMPILER_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dma/descriptor.hh"
+#include "graph/graph.hh"
+
+namespace dtu
+{
+
+/** One fused operator ready for execution. */
+struct PlannedOp
+{
+    std::string name;
+    /** Kind of the anchor (dominant) node. */
+    OpKind anchor = OpKind::Conv2d;
+    /** Graph node ids folded into this operator. */
+    std::vector<int> nodes;
+
+    //
+    // Work
+    //
+    double macs = 0.0;
+    /** SPU (transcendental) lane operations. */
+    double spuOps = 0.0;
+    /** Vector-engine lane operations. */
+    double vecOps = 0.0;
+
+    //
+    // Tensorization (matrix-engine mapping)
+    //
+    /** Reduction length of one VMM chain. */
+    std::int64_t dimK = 0;
+    /** Output feature count. */
+    std::int64_t dimN = 0;
+    /** Output rows (batch x spatial). */
+    std::int64_t dimM = 0;
+    /** Fraction of matrix-engine peak the chosen VMM shapes reach. */
+    double utilization = 1.0;
+    /** Rows of the chosen VMM pattern. */
+    unsigned vmmRows = 16;
+
+    //
+    // Data
+    //
+    std::uint64_t weightBytes = 0;
+    std::uint64_t inputBytes = 0;
+    std::uint64_t outputBytes = 0;
+    /** Nonzero density of the input stream (sparse DMA eligible). */
+    double inputDensity = 1.0;
+    /**
+     * Nonzero density of this operator's output. ReLU-family
+     * activations zero roughly half the tensor — "data with high
+     * sparsity is often observed in DNN's ... intermediate values"
+     * (Table II) — which the next operator's sparse DMA load can
+     * exploit when the tensor spills to L3.
+     */
+    double outputDensity = 1.0;
+    /** Layout transform the DMA applies while loading. */
+    TransformKind loadTransform = TransformKind::None;
+
+    //
+    // Tiling (per core)
+    //
+    unsigned tiles = 1;
+    std::uint64_t tileInBytes = 0;
+    std::uint64_t tileOutBytes = 0;
+    /** The tile stream follows a regular strided pattern (Fig. 6). */
+    bool repeatEligible = false;
+
+    //
+    // Kernel code
+    //
+    int kernelId = 0;
+    std::uint64_t kernelBytes = 0;
+
+    /** Total FLOPs of the fused operator. */
+    double flops() const { return 2.0 * macs + spuOps + vecOps; }
+    /** True when the matrix engine dominates. */
+    bool matrixBound() const { return macs > 0.0; }
+};
+
+/** A fully lowered model. */
+struct ExecutionPlan
+{
+    std::string model;
+    DType dtype = DType::FP16;
+    int batch = 1;
+    std::vector<PlannedOp> ops;
+
+    double
+    totalMacs() const
+    {
+        double total = 0.0;
+        for (const auto &op : ops)
+            total += op.macs;
+        return total;
+    }
+
+    std::uint64_t
+    totalWeightBytes() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &op : ops)
+            total += op.weightBytes;
+        return total;
+    }
+};
+
+} // namespace dtu
+
+#endif // DTU_COMPILER_PLAN_HH

@@ -1,0 +1,173 @@
+#include "core/matrix_engine.hh"
+
+#include <algorithm>
+
+#include "core/register_file.hh"
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+MatrixEngine::MatrixEngine(bool gemm_mode)
+    : gemmMode_(gemm_mode)
+{}
+
+bool
+MatrixEngine::supports(unsigned rows, DType t) const
+{
+    if (gemmMode_)
+        return rows == 16; // DTU 1.0: coarse GEMM tiles only
+    if (rows == 4 || rows == 8 || rows == 16)
+        return true;
+    // 32-row shapes exist for narrow types, where 32 elements still
+    // fit one 512-bit input vector.
+    if (rows == 32 && dtypeBytes(t) <= 2)
+        return true;
+    return false;
+}
+
+std::vector<VmmPattern>
+MatrixEngine::supportedPatterns()
+{
+    std::vector<VmmPattern> patterns;
+    const DType all[] = {DType::FP32, DType::TF32, DType::FP16,
+                         DType::BF16, DType::INT32, DType::INT16,
+                         DType::INT8};
+    MatrixEngine probe(false);
+    for (DType t : all) {
+        for (unsigned rows : {4u, 8u, 16u, 32u}) {
+            if (!probe.supports(rows, t))
+                continue;
+            for (bool acc : {false, true}) {
+                patterns.push_back(
+                    {t, rows, vectorLanes(t), acc});
+            }
+        }
+    }
+    return patterns;
+}
+
+double
+MatrixEngine::macsPerCycle(DType t, bool dtu2)
+{
+    // Structural peak of the outer-product array per core:
+    // DTU 2.0 pairs two VMM units; DTU 1.0 had a single GEMM unit of
+    // half the FP32 MAC count. Narrow types run proportionally wider
+    // (Table I rate ratios).
+    return dtu2 ? 512.0 * dtypeRateFactorDtu2(t)
+                : 256.0 * dtypeRateFactorDtu1(t);
+}
+
+double
+MatrixEngine::vmmCycles(unsigned rows, DType t) const
+{
+    fatalIf(!supports(rows, t) && !(gemmMode_ && rows <= 16),
+            "VMM shape ", rows, "x", vectorLanes(t), " (", dtypeName(t),
+            ") unsupported");
+    unsigned effective_rows = gemmMode_ ? 16 : rows;
+    double macs =
+        static_cast<double>(effective_rows) * vectorLanes(t);
+    return macs / macsPerCycle(t, !gemmMode_);
+}
+
+void
+MatrixEngine::executeVmm(RegisterFile &regs, const Instruction &inst) const
+{
+    unsigned rows = static_cast<unsigned>(inst.vmmRows);
+    fatalIf(!supports(rows, inst.dtype) && !gemmMode_,
+            "VMM shape ", rows, " rows unsupported for ",
+            dtypeName(inst.dtype));
+    unsigned lanes = vectorLanes(inst.dtype);
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+        double sum = inst.accumulate ? regs.aclane(inst.dst, lane) : 0.0;
+        for (unsigned r = 0; r < rows; ++r) {
+            double product = dtypeQuantize(
+                inst.dtype,
+                regs.vlane(inst.a, r) * regs.melem(inst.b, r, lane));
+            // Accumulation registers hold wider precision (FP32-class
+            // accumulate even for narrow inputs), as on real tensor
+            // engines.
+            sum = dtypeQuantize(DType::FP32, sum + product);
+        }
+        regs.setAclane(inst.dst, lane, sum);
+    }
+}
+
+std::vector<std::vector<double>>
+MatrixEngine::relationshipMatrix(const std::vector<double> &input)
+{
+    std::size_t n = input.size();
+    std::vector<std::vector<double>> rel(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            // Element j precedes element i in ascending order when it
+            // is smaller, or equal but with a smaller original index
+            // (the tie-break the paper calls handling "identical
+            // elements ... according to their original indices").
+            bool precedes = input[j] < input[i] ||
+                            (input[j] == input[i] && j < i);
+            rel[i][j] = precedes ? 1.0 : 0.0;
+        }
+    }
+    return rel;
+}
+
+std::vector<double>
+MatrixEngine::orderVector(const std::vector<std::vector<double>> &rel)
+{
+    std::size_t n = rel.size();
+    std::vector<double> order(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+            sum += rel[i][j];
+        order[i] = sum;
+    }
+    return order;
+}
+
+std::vector<std::vector<double>>
+MatrixEngine::permutationMatrix(const std::vector<double> &order)
+{
+    std::size_t n = order.size();
+    std::vector<std::vector<double>> perm(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        auto target = static_cast<std::size_t>(order[i]);
+        panicIf(target >= n, "order vector entry out of range");
+        perm[i][target] = 1.0;
+    }
+    return perm;
+}
+
+std::vector<double>
+MatrixEngine::sortVector(const std::vector<double> &input)
+{
+    auto rel = relationshipMatrix(input);
+    auto order = orderVector(rel);
+    auto perm = permutationMatrix(order);
+    // Step 4: sorted = input x perm (one VMM pass).
+    std::size_t n = input.size();
+    std::vector<double> sorted(n, 0.0);
+    for (std::size_t lane = 0; lane < n; ++lane) {
+        double sum = 0.0;
+        for (std::size_t r = 0; r < n; ++r)
+            sum += input[r] * perm[r][lane];
+        sorted[lane] = sum;
+    }
+    return sorted;
+}
+
+std::vector<double>
+MatrixEngine::topK(const std::vector<double> &input, std::size_t k)
+{
+    fatalIf(k > input.size(), "topK k=", k, " exceeds input size ",
+            input.size());
+    auto sorted = sortVector(input); // ascending
+    std::vector<double> result;
+    result.reserve(k);
+    for (std::size_t i = 0; i < k; ++i)
+        result.push_back(sorted[sorted.size() - 1 - i]);
+    return result;
+}
+
+} // namespace dtu

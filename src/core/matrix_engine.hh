@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The matrix engine: fine-grained vector-matrix multiplication and
+ * the VMM-assisted sorting facility (Sections IV-A1, Figs. 3 and 4).
+ *
+ * DTU 2.0 replaced DTU 1.0's coarse-grained GEMM engine with a VMM
+ * engine supporting many (matrix-rows x lanes) shapes per data type —
+ * "more than 40 VMM patterns" (Table II). A VMM computes
+ *
+ *     out[lane] (+)= sum_r vec[r] * mat[r][lane]
+ *
+ * as a sequence of outer-product steps, accumulating into one of the
+ * 1024 accumulation registers so partial results never leave the
+ * engine.
+ *
+ * The same datapath implements sorting: build the relationship matrix
+ * by all-pairs comparison (ties broken by original index), sum its
+ * columns into the order vector, expand that into a permutation
+ * matrix, and apply one VMM to produce the sorted vector.
+ */
+
+#ifndef DTU_CORE_MATRIX_ENGINE_HH
+#define DTU_CORE_MATRIX_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/register_file.hh"
+#include "isa/instruction.hh"
+#include "tensor/dtype.hh"
+
+namespace dtu
+{
+
+/** One supported VMM configuration. */
+struct VmmPattern
+{
+    DType dtype = DType::FP32;
+    /** Matrix rows == input vector length. */
+    unsigned rows = 16;
+    /** Matrix columns == output lanes (fixed by the 512-bit width). */
+    unsigned lanes = 16;
+    /** Accumulate into vs overwrite the accumulation register. */
+    bool accumulate = true;
+};
+
+/** The per-core matrix engine. */
+class MatrixEngine
+{
+  public:
+    /**
+     * @param gemm_mode model DTU 1.0's coarse engine: only full
+     *        16-row GEMM tiles are supported, so skinny shapes are
+     *        padded up to 16 rows and waste the difference.
+     */
+    explicit MatrixEngine(bool gemm_mode = false);
+
+    /** True when the engine accepts this (rows, dtype) shape. */
+    bool supports(unsigned rows, DType t) const;
+
+    /** All supported patterns (the ">40 VMM patterns" inventory). */
+    static std::vector<VmmPattern> supportedPatterns();
+
+    /**
+     * MAC throughput of the engine per cycle for @p t, i.e. how many
+     * multiply-accumulates the outer-product array retires each
+     * cycle. The 512-bit array does lanes(t) MACs per row step and
+     * processes rateFactor rows per cycle.
+     */
+    static double macsPerCycle(DType t, bool dtu2 = true);
+
+    /**
+     * Cycles (possibly fractional) one VMM of @p rows rows consumes.
+     * In GEMM mode skinny shapes round up to the full tile.
+     */
+    double vmmCycles(unsigned rows, DType t) const;
+
+    /**
+     * Functional VMM: acc[dst] (+)= v[a](rows) x m[b](rows x lanes).
+     * Values are quantized per @p t at each accumulate step.
+     */
+    void executeVmm(RegisterFile &regs, const Instruction &inst) const;
+
+    //
+    // Sorting facility (Fig. 4). Each step is exposed separately so
+    // kernels can drive it instruction-by-instruction; sortVector()
+    // composes them for library use.
+    //
+
+    /**
+     * Step 1: relationship matrix. rel[i][j] = 1 when element j must
+     * precede element i in ascending order (value less, or equal with
+     * smaller original index), else 0.
+     */
+    static std::vector<std::vector<double>>
+    relationshipMatrix(const std::vector<double> &input);
+
+    /** Step 2: order vector = per-column sums of the matrix. */
+    static std::vector<double>
+    orderVector(const std::vector<std::vector<double>> &rel);
+
+    /**
+     * Step 3: permutation matrix; row i has its 1 in the column given
+     * by order[i].
+     */
+    static std::vector<std::vector<double>>
+    permutationMatrix(const std::vector<double> &order);
+
+    /** Step 4 and composition: ascending sort via one VMM. */
+    static std::vector<double> sortVector(const std::vector<double> &input);
+
+    /**
+     * Top-K selection: the K largest values in descending order,
+     * implemented with the sorting facility.
+     */
+    static std::vector<double> topK(const std::vector<double> &input,
+                                    std::size_t k);
+
+    bool gemmMode() const { return gemmMode_; }
+
+  private:
+    bool gemmMode_;
+};
+
+} // namespace dtu
+
+#endif // DTU_CORE_MATRIX_ENGINE_HH

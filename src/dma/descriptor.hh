@@ -1,0 +1,102 @@
+/**
+ * @file
+ * DMA transfer descriptors.
+ *
+ * A descriptor tells a DMA engine what to move, between which levels,
+ * with which on-the-fly tensor layout transformation, and with which
+ * of the DTU 2.0 optimizations enabled: sparse decompression, L2
+ * broadcast, and repeat mode (Section IV-C).
+ */
+
+#ifndef DTU_DMA_DESCRIPTOR_HH
+#define DTU_DMA_DESCRIPTOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/mem_types.hh"
+#include "tensor/dtype.hh"
+
+namespace dtu
+{
+
+/** On-the-fly layout transformation performed during a transfer. */
+enum class TransformKind : std::uint8_t
+{
+    None,
+    Pad,
+    Slice,
+    Transpose,
+    Concat,
+};
+
+/** Printable transform name. */
+std::string transformName(TransformKind kind);
+
+/**
+ * Relative engine throughput while applying the transform. Transposes
+ * gather/scatter across strides and run below streaming rate; the
+ * other transforms are address arithmetic only.
+ */
+double transformRateFactor(TransformKind kind);
+
+/** One DMA transfer request. */
+struct DmaDescriptor
+{
+    /** Source memory level. */
+    MemLevel src = MemLevel::L3;
+    /** Destination memory level. */
+    MemLevel dst = MemLevel::L2;
+    /** Source base address within the level's region. */
+    Addr srcAddr = 0;
+    /** Destination base address. */
+    Addr dstAddr = 0;
+    /** Logical (dense) payload size per transaction in bytes. */
+    std::uint64_t bytes = 0;
+    /** Sentinel port value: stripe bulk L2 traffic over all ports. */
+    static constexpr unsigned anyPort = ~0u;
+    /**
+     * Route unpinned L2 traffic through the dedicated DMA fill port
+     * (background weight streaming) instead of striping the
+     * core-bonded ports. Keeps prefetch from stealing core cycles.
+     */
+    bool useFillPort = false;
+    /**
+     * L2 port / core index on the source side. For L1 endpoints this
+     * selects the core whose local buffer is addressed; for L2 it
+     * pins a port (anyPort stripes across all four).
+     */
+    unsigned srcPort = anyPort;
+    /** L2 port / core index on the destination side. */
+    unsigned dstPort = anyPort;
+    /** Layout transformation applied on the fly. */
+    TransformKind transform = TransformKind::None;
+    /**
+     * Source data is stored in the hardware sparse format with this
+     * nonzero density; the engine decompresses while storing. Only
+     * meaningful when sparse is true.
+     */
+    bool sparse = false;
+    double density = 1.0;
+    /** Element type (affects sparse mask overhead). */
+    DType dtype = DType::FP16;
+    /**
+     * Broadcast to all processing groups in the cluster: the engine
+     * writes identical copies into every group's L2 slice at once
+     * (destination must be L2).
+     */
+    bool broadcast = false;
+    /**
+     * Number of transactions in this request. With repeatMode the
+     * engine is configured once and replays the pattern; without it
+     * each transaction pays the configuration overhead (Fig. 6).
+     */
+    unsigned repeatCount = 1;
+    bool repeatMode = false;
+    /** Stride between repeated transactions (address bookkeeping). */
+    std::uint64_t repeatStride = 0;
+};
+
+} // namespace dtu
+
+#endif // DTU_DMA_DESCRIPTOR_HH

@@ -1,0 +1,227 @@
+#include "dma/dma_engine.hh"
+
+#include <algorithm>
+
+#include "dma/sparse_codec.hh"
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+std::string
+transformName(TransformKind kind)
+{
+    switch (kind) {
+      case TransformKind::None: return "none";
+      case TransformKind::Pad: return "pad";
+      case TransformKind::Slice: return "slice";
+      case TransformKind::Transpose: return "transpose";
+      case TransformKind::Concat: return "concat";
+    }
+    return "?";
+}
+
+double
+transformRateFactor(TransformKind kind)
+{
+    switch (kind) {
+      case TransformKind::None:
+      case TransformKind::Concat:
+        return 1.0;
+      case TransformKind::Pad:
+      case TransformKind::Slice:
+        return 0.9; // address generation gaps on row boundaries
+      case TransformKind::Transpose:
+        return 0.5; // strided gather/scatter halves streaming rate
+    }
+    return 1.0;
+}
+
+DmaEngine::DmaEngine(std::string name, EventQueue &queue,
+                     StatRegistry *stats, ClockDomain &clock,
+                     DmaFabric fabric, DmaFeatures features,
+                     unsigned datapath_bytes_per_cycle,
+                     unsigned config_cycles)
+    : SimObject(std::move(name), queue, stats), clock_(clock),
+      fabric_(std::move(fabric)), features_(features),
+      configCycles_(config_cycles)
+{
+    double bytes_per_second =
+        static_cast<double>(datapath_bytes_per_cycle) * clock.frequency();
+    pipe_ = std::make_unique<BandwidthResource>(
+        this->name() + ".pipe", queue, stats, bytes_per_second);
+    if (stats) {
+        transactions_.init(*stats, this->name() + ".transactions",
+                           "DMA transactions completed");
+        configOps_.init(*stats, this->name() + ".configs",
+                        "descriptor configurations performed");
+        configTicks_.init(*stats, this->name() + ".config_ticks",
+                          "ticks spent on configuration");
+        sparseSavedBytes_.init(*stats, this->name() + ".sparse_saved_bytes",
+                               "bytes saved by sparse compression");
+        broadcastCopies_.init(*stats, this->name() + ".broadcast_copies",
+                              "extra L2 copies written by broadcast");
+    }
+}
+
+Tick
+DmaEngine::l2AccessAt(Tick at, Sram *l2, unsigned port,
+                      std::uint64_t bytes, bool fill_port)
+{
+    // When the caller pins a port (core-affine data) the engine
+    // honours it. Background streams (weight prefetch) take the
+    // dedicated DMA-side fill port so they never steal core-bonded
+    // port cycles; other unpinned traffic stripes the core ports.
+    if (port < l2->numPorts())
+        return l2->accessAt(at, port, port, bytes);
+    if (fill_port && l2->hasDmaPort())
+        return l2->dmaAccessAt(at, bytes);
+    unsigned nports = l2->numPorts();
+    std::uint64_t chunk = bytes / nports;
+    std::uint64_t rem = bytes % nports;
+    Tick done = at;
+    for (unsigned p = 0; p < nports; ++p) {
+        std::uint64_t b = chunk + (p < rem ? 1 : 0);
+        if (b)
+            done = std::max(done, l2->accessAt(at, p, p, b));
+    }
+    return done;
+}
+
+Tick
+DmaEngine::endpointAccess(Tick at, MemLevel level, Addr addr, unsigned port,
+                          std::uint64_t bytes, bool fill_port)
+{
+    switch (level) {
+      case MemLevel::L3:
+        panicIf(!fabric_.hbm, "DMA '", name(), "' has no L3 endpoint");
+        return fabric_.hbm->accessAt(at, addr, bytes);
+      case MemLevel::L2:
+        panicIf(!fabric_.localL2, "DMA '", name(), "' has no L2 endpoint");
+        return l2AccessAt(at, fabric_.localL2, port, bytes, fill_port);
+      case MemLevel::L1: {
+        if (port == DmaDescriptor::anyPort)
+            port = 0;
+        panicIf(port >= fabric_.coreL1.size(), "DMA '", name(),
+                "' L1 port ", port, " out of range");
+        return fabric_.coreL1[port]->accessAt(at, 0, 0, bytes);
+      }
+      case MemLevel::Host:
+        panicIf(!fabric_.pcie, "DMA '", name(), "' has no host link");
+        return fabric_.pcie->transferAt(at, bytes);
+    }
+    panic("unreachable DMA endpoint");
+}
+
+DmaResult
+DmaEngine::submit(const DmaDescriptor &desc)
+{
+    return submitAt(curTick(), desc);
+}
+
+DmaResult
+DmaEngine::submitAt(Tick at, const DmaDescriptor &desc)
+{
+    fatalIf(desc.repeatCount == 0, "DMA repeatCount must be >= 1");
+    fatalIf(desc.broadcast && desc.dst != MemLevel::L2,
+            "DMA broadcast destination must be L2");
+    fatalIf(desc.broadcast && !features_.broadcast,
+            "broadcast requested but not supported by this DMA engine");
+    fatalIf(desc.sparse && !features_.sparseDecompress,
+            "sparse transfer requested but not supported");
+
+    bool use_repeat = desc.repeatMode && features_.repeatMode &&
+                      desc.repeatCount > 1;
+    Tick config_ticks = clock_.ticksFor(configCycles_);
+
+    // Indirect routing on DTU 1.0: L1 <-> L3 must stage through L2.
+    if (!features_.l1L3Direct &&
+        ((desc.src == MemLevel::L1 && desc.dst == MemLevel::L3) ||
+         (desc.src == MemLevel::L3 && desc.dst == MemLevel::L1))) {
+        DmaDescriptor hop1 = desc;
+        DmaDescriptor hop2 = desc;
+        hop1.dst = MemLevel::L2;
+        hop1.dstPort = desc.src == MemLevel::L1 ? desc.srcPort
+                                                : desc.dstPort;
+        hop2.src = MemLevel::L2;
+        hop2.srcPort = hop1.dstPort;
+        DmaResult first = submitAt(at, hop1);
+        DmaResult second = submitAt(first.done, hop2);
+        second.srcBytes += first.srcBytes;
+        second.dstBytes += first.dstBytes;
+        second.configs += first.configs;
+        return second;
+    }
+
+    // Effective wire bytes per transaction on each side. Sparse data
+    // travels compressed on the L3 side and is expanded on the fly.
+    std::uint64_t elem = dtypeBytes(desc.dtype);
+    std::uint64_t numel = elem ? desc.bytes / elem : desc.bytes;
+    std::uint64_t compressed =
+        desc.sparse ? sparseEncodedBytes(numel, desc.density, desc.dtype)
+                    : desc.bytes;
+    // The engine never sends a compressed stream bigger than dense.
+    compressed = std::min<std::uint64_t>(compressed, desc.bytes);
+
+    std::uint64_t src_bytes =
+        desc.sparse && desc.src == MemLevel::L3 ? compressed : desc.bytes;
+    std::uint64_t dst_bytes =
+        desc.sparse && desc.dst == MemLevel::L3 ? compressed : desc.bytes;
+
+    // The engine datapath sits upstream of the (de)compressor at the
+    // destination port, so it carries the source-side byte stream.
+    double rate_factor = transformRateFactor(desc.transform);
+    auto pipe_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(src_bytes) / rate_factor + 0.5);
+
+    DmaResult result;
+    Tick t = std::max(at, curTick());
+    for (unsigned i = 0; i < desc.repeatCount; ++i) {
+        bool pay_config = i == 0 || !use_repeat;
+        if (pay_config) {
+            t += config_ticks;
+            ++result.configs;
+            ++configOps_;
+            configTicks_ += static_cast<double>(config_ticks);
+        }
+        Addr src_addr = desc.srcAddr + i * desc.repeatStride;
+        Addr dst_addr = desc.dstAddr + i * desc.repeatStride;
+
+        Tick engine_done = pipe_->transferAt(t, pipe_bytes);
+        Tick src_done =
+            endpointAccess(t, desc.src, src_addr, desc.srcPort, src_bytes,
+                           desc.useFillPort);
+        Tick dst_done = 0;
+        if (desc.broadcast) {
+            for (std::size_t g = 0; g < fabric_.clusterL2.size(); ++g) {
+                dst_done = std::max(
+                    dst_done, l2AccessAt(t, fabric_.clusterL2[g],
+                                         DmaDescriptor::anyPort,
+                                         dst_bytes, desc.useFillPort));
+            }
+            broadcastCopies_ += static_cast<double>(
+                fabric_.clusterL2.size() > 0 ? fabric_.clusterL2.size() - 1
+                                             : 0);
+            result.dstBytes += dst_bytes * fabric_.clusterL2.size();
+        } else {
+            dst_done = endpointAccess(t, desc.dst, dst_addr, desc.dstPort,
+                                      dst_bytes, desc.useFillPort);
+            result.dstBytes += dst_bytes;
+        }
+        result.srcBytes += src_bytes;
+        ++transactions_;
+        if (desc.sparse)
+            sparseSavedBytes_ +=
+                static_cast<double>(desc.bytes - compressed);
+
+        Tick txn_done = std::max({engine_done, src_done, dst_done});
+        result.done = txn_done;
+        // Back-to-back transactions pipeline behind the engine
+        // datapath; memory-side stalls surface through the endpoints'
+        // own queues on the next transaction.
+        t = std::max(engine_done, t);
+    }
+    return result;
+}
+
+} // namespace dtu

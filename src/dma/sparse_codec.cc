@@ -1,0 +1,79 @@
+#include "dma/sparse_codec.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+CompressedBlob
+sparseCompress(const Tensor &tensor)
+{
+    CompressedBlob blob;
+    blob.shape = tensor.shape();
+    blob.dtype = tensor.dtype();
+    std::int64_t n = tensor.numel();
+    std::int64_t blocks =
+        (n + static_cast<std::int64_t>(sparseBlockElems) - 1) /
+        static_cast<std::int64_t>(sparseBlockElems);
+    blob.masks.assign(static_cast<std::size_t>(blocks), 0);
+    for (std::int64_t i = 0; i < n; ++i) {
+        double v = tensor.at(i);
+        if (v != 0.0) {
+            auto block = static_cast<std::size_t>(
+                i / static_cast<std::int64_t>(sparseBlockElems));
+            auto bit = static_cast<unsigned>(
+                i % static_cast<std::int64_t>(sparseBlockElems));
+            blob.masks[block] |= (1ULL << bit);
+            blob.values.push_back(v);
+        }
+    }
+    return blob;
+}
+
+Tensor
+sparseDecompress(const CompressedBlob &blob)
+{
+    Tensor out(blob.shape, blob.dtype);
+    std::size_t next_value = 0;
+    std::int64_t n = out.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        auto block = static_cast<std::size_t>(
+            i / static_cast<std::int64_t>(sparseBlockElems));
+        auto bit = static_cast<unsigned>(
+            i % static_cast<std::int64_t>(sparseBlockElems));
+        if (blob.masks[block] & (1ULL << bit)) {
+            panicIf(next_value >= blob.values.size(),
+                    "sparse blob value stream underflow");
+            out.set(i, blob.values[next_value++]);
+        }
+    }
+    panicIf(next_value != blob.values.size(),
+            "sparse blob value stream has trailing values");
+    return out;
+}
+
+std::uint64_t
+sparseEncodedBytes(std::uint64_t numel, double density, DType dtype)
+{
+    fatalIf(density < 0.0 || density > 1.0,
+            "density must be in [0, 1], got ", density);
+    std::uint64_t blocks =
+        (numel + sparseBlockElems - 1) / sparseBlockElems;
+    auto nnz = static_cast<std::uint64_t>(
+        std::llround(density * static_cast<double>(numel)));
+    return blocks * 8 + nnz * dtypeBytes(dtype);
+}
+
+double
+sparseRatio(std::uint64_t numel, double density, DType dtype)
+{
+    if (numel == 0)
+        return 1.0;
+    double dense = static_cast<double>(numel * dtypeBytes(dtype));
+    return static_cast<double>(sparseEncodedBytes(numel, density, dtype)) /
+           dense;
+}
+
+} // namespace dtu

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The hardware sparse compression format.
+ *
+ * DTU 2.0's DMA engines "support automatic data decompression: given
+ * the data compressed in hardware-defined formats, DMA engines
+ * decompress the data while storing them at the destination memory
+ * locations" (Section IV-C). The hardware-defined format modelled
+ * here is a block-bitmask scheme: elements are grouped into blocks of
+ * 64; each block stores a 64-bit occupancy mask followed by the
+ * packed nonzero values. Dense data therefore costs a ~1.6-12.5%
+ * mask overhead (dtype-dependent) while sparse data shrinks towards
+ * the mask floor.
+ */
+
+#ifndef DTU_DMA_SPARSE_CODEC_HH
+#define DTU_DMA_SPARSE_CODEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace dtu
+{
+
+/** Elements per occupancy-mask block. */
+constexpr std::uint64_t sparseBlockElems = 64;
+
+/** A compressed tensor blob in the hardware format. */
+struct CompressedBlob
+{
+    Shape shape;
+    DType dtype = DType::FP32;
+    /** One 64-bit mask per block of 64 elements. */
+    std::vector<std::uint64_t> masks;
+    /** Nonzero values in block order. */
+    std::vector<double> values;
+
+    /** Encoded size in bytes (masks + packed values). */
+    std::uint64_t bytes() const
+    {
+        return masks.size() * 8 +
+               values.size() * dtypeBytes(dtype);
+    }
+};
+
+/** Compress a tensor into the hardware bitmask format. */
+CompressedBlob sparseCompress(const Tensor &tensor);
+
+/** Decompress a blob back into a dense tensor (exact inverse). */
+Tensor sparseDecompress(const CompressedBlob &blob);
+
+/**
+ * Encoded size for a hypothetical tensor without materializing it.
+ * @param numel element count.
+ * @param density fraction of nonzero elements.
+ * @param dtype element type.
+ */
+std::uint64_t sparseEncodedBytes(std::uint64_t numel, double density,
+                                 DType dtype);
+
+/**
+ * Compression ratio (encoded/dense); > 1 means compression hurts.
+ * The DMA engine only uses the compressed stream when it is smaller.
+ */
+double sparseRatio(std::uint64_t numel, double density, DType dtype);
+
+} // namespace dtu
+
+#endif // DTU_DMA_SPARSE_CODEC_HH

@@ -1,0 +1,461 @@
+#include "graph/graph.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+std::string
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Input: return "input";
+      case OpKind::Conv2d: return "conv2d";
+      case OpKind::DWConv2d: return "dwconv2d";
+      case OpKind::MatMul: return "matmul";
+      case OpKind::Linear: return "linear";
+      case OpKind::MaxPool: return "maxpool";
+      case OpKind::AvgPool: return "avgpool";
+      case OpKind::GlobalAvgPool: return "gap";
+      case OpKind::Activation: return "activation";
+      case OpKind::BatchNorm: return "batchnorm";
+      case OpKind::LayerNorm: return "layernorm";
+      case OpKind::Add: return "add";
+      case OpKind::Mul: return "mul";
+      case OpKind::Concat: return "concat";
+      case OpKind::Softmax: return "softmax";
+      case OpKind::Attention: return "attention";
+      case OpKind::Embedding: return "embedding";
+      case OpKind::Upsample: return "upsample";
+      case OpKind::PixelShuffle: return "pixelshuffle";
+      case OpKind::Transpose: return "transpose";
+      case OpKind::Reshape: return "reshape";
+      case OpKind::Slice: return "slice";
+      case OpKind::Pad: return "pad";
+      case OpKind::Output: return "output";
+    }
+    return "?";
+}
+
+bool
+opIsMatrix(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Conv2d:
+      case OpKind::DWConv2d:
+      case OpKind::MatMul:
+      case OpKind::Linear:
+      case OpKind::Attention:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+opIsElementwise(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Activation:
+      case OpKind::BatchNorm:
+      case OpKind::LayerNorm:
+      case OpKind::Add:
+      case OpKind::Mul:
+      case OpKind::Softmax:
+      case OpKind::MaxPool:
+      case OpKind::AvgPool:
+      case OpKind::GlobalAvgPool:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+opIsLayout(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Concat:
+      case OpKind::Upsample:
+      case OpKind::PixelShuffle:
+      case OpKind::Transpose:
+      case OpKind::Reshape:
+      case OpKind::Slice:
+      case OpKind::Pad:
+        return true;
+      default:
+        return false;
+    }
+}
+
+int
+Graph::addInput(const std::string &name, Shape shape)
+{
+    Node node;
+    node.id = static_cast<int>(nodes_.size());
+    node.kind = OpKind::Input;
+    node.name = name;
+    node.shape = std::move(shape);
+    nodes_.push_back(std::move(node));
+    return nodes_.back().id;
+}
+
+int
+Graph::add(OpKind kind, const std::string &name, std::vector<int> inputs,
+           OpAttrs attrs)
+{
+    fatalIf(kind == OpKind::Input, "use addInput for inputs");
+    for (int in : inputs) {
+        fatalIf(in < 0 || in >= static_cast<int>(nodes_.size()),
+                "node '", name, "' references undefined input ", in);
+    }
+    Node node;
+    node.id = static_cast<int>(nodes_.size());
+    node.kind = kind;
+    node.name = name;
+    node.inputs = std::move(inputs);
+    node.attrs = attrs;
+    infer(node);
+    nodes_.push_back(std::move(node));
+    return nodes_.back().id;
+}
+
+void
+Graph::markOutput(int id)
+{
+    fatalIf(id < 0 || id >= static_cast<int>(nodes_.size()),
+            "output id out of range");
+    outputs_.push_back(id);
+}
+
+namespace
+{
+
+std::int64_t
+convOut(std::int64_t in, int kernel, int pad, int stride)
+{
+    return (in + 2 * pad - kernel) / stride + 1;
+}
+
+} // namespace
+
+void
+Graph::infer(Node &node)
+{
+    auto in_shape = [&](std::size_t i) -> const Shape & {
+        fatalIf(i >= node.inputs.size(), "node '", node.name,
+                "' missing input ", i);
+        return nodes_[static_cast<std::size_t>(node.inputs[i])].shape;
+    };
+
+    switch (node.kind) {
+      case OpKind::Input:
+        break;
+
+      case OpKind::Conv2d:
+      case OpKind::DWConv2d: {
+        const Shape &x = in_shape(0); // [N, C, H, W]
+        fatalIf(x.rank() != 4, "conv input must be NCHW, got ",
+                x.toString());
+        std::int64_t n = x.dim(0), c = x.dim(1);
+        std::int64_t oh = convOut(x.dim(2), node.attrs.kernelH,
+                                  node.attrs.padH, node.attrs.strideH);
+        std::int64_t ow = convOut(x.dim(3), node.attrs.kernelW,
+                                  node.attrs.padW, node.attrs.strideW);
+        fatalIf(oh <= 0 || ow <= 0, "conv '", node.name,
+                "' produces empty output");
+        std::int64_t oc;
+        std::int64_t groups;
+        if (node.kind == OpKind::DWConv2d) {
+            oc = c;
+            groups = c;
+        } else {
+            oc = node.attrs.outChannels;
+            groups = node.attrs.groups;
+            fatalIf(oc <= 0, "conv '", node.name, "' needs outChannels");
+            fatalIf(c % groups != 0, "conv '", node.name,
+                    "' groups do not divide channels");
+        }
+        node.shape = Shape({n, oc, oh, ow});
+        double k_elems = static_cast<double>(c / groups) *
+                         node.attrs.kernelH * node.attrs.kernelW;
+        node.macs = static_cast<double>(n * oc * oh * ow) * k_elems;
+        node.weightElems = static_cast<double>(oc) * k_elems +
+                           static_cast<double>(oc); // + bias
+        break;
+      }
+
+      case OpKind::MatMul: {
+        const Shape &a = in_shape(0);
+        const Shape &b = in_shape(1);
+        fatalIf(a.rank() < 2 || b.rank() < 2, "matmul needs rank>=2");
+        std::int64_t k = a.dim(-1);
+        fatalIf(b.dim(-2) != k, "matmul K mismatch: ", a.toString(),
+                " x ", b.toString());
+        auto dims = a.dims();
+        dims.back() = b.dim(-1);
+        node.shape = Shape(dims);
+        double batch = 1.0;
+        for (std::size_t i = 0; i + 2 < a.rank(); ++i)
+            batch *= static_cast<double>(a.dims()[i]);
+        node.macs = batch * static_cast<double>(a.dim(-2)) *
+                    static_cast<double>(k) * static_cast<double>(b.dim(-1));
+        break;
+      }
+
+      case OpKind::Linear: {
+        const Shape &x = in_shape(0);
+        std::int64_t k = x.dim(-1);
+        std::int64_t n = node.attrs.outFeatures;
+        fatalIf(n <= 0, "linear '", node.name, "' needs outFeatures");
+        auto dims = x.dims();
+        dims.back() = n;
+        node.shape = Shape(dims);
+        double rows = static_cast<double>(x.numel()) /
+                      static_cast<double>(k);
+        node.macs = rows * static_cast<double>(k) * static_cast<double>(n);
+        node.weightElems =
+            static_cast<double>(k) * n + static_cast<double>(n);
+        break;
+      }
+
+      case OpKind::MaxPool:
+      case OpKind::AvgPool: {
+        const Shape &x = in_shape(0);
+        fatalIf(x.rank() != 4, "pool input must be NCHW");
+        std::int64_t oh = convOut(x.dim(2), node.attrs.kernelH,
+                                  node.attrs.padH, node.attrs.strideH);
+        std::int64_t ow = convOut(x.dim(3), node.attrs.kernelW,
+                                  node.attrs.padW, node.attrs.strideW);
+        node.shape = Shape({x.dim(0), x.dim(1), oh, ow});
+        node.laneOps = static_cast<double>(node.shape.numel()) *
+                       node.attrs.kernelH * node.attrs.kernelW;
+        break;
+      }
+
+      case OpKind::GlobalAvgPool: {
+        const Shape &x = in_shape(0);
+        fatalIf(x.rank() != 4, "gap input must be NCHW");
+        node.shape = Shape({x.dim(0), x.dim(1), 1, 1});
+        node.laneOps = static_cast<double>(x.numel());
+        break;
+      }
+
+      case OpKind::Activation: {
+        node.shape = in_shape(0);
+        // A transcendental costs several lane operations' worth of
+        // SPU work (the LUT+Taylor pipeline); ReLU-family functions
+        // are single vector-engine operations.
+        node.laneOps = (node.attrs.cheapActivation ? 1.0 : 4.0) *
+                       static_cast<double>(node.shape.numel());
+        break;
+      }
+
+      case OpKind::BatchNorm: {
+        node.shape = in_shape(0);
+        node.laneOps = 2.0 * static_cast<double>(node.shape.numel());
+        node.weightElems = 2.0 * static_cast<double>(node.shape.dim(1));
+        break;
+      }
+
+      case OpKind::LayerNorm: {
+        node.shape = in_shape(0);
+        node.laneOps = 5.0 * static_cast<double>(node.shape.numel());
+        node.weightElems = 2.0 * static_cast<double>(node.shape.dim(-1));
+        break;
+      }
+
+      case OpKind::Add:
+      case OpKind::Mul: {
+        const Shape &a = in_shape(0);
+        fatalIf(node.inputs.size() != 2, "binary op needs two inputs");
+        fatalIf(in_shape(1) != a, "elementwise shape mismatch on '",
+                node.name, "': ", a.toString(), " vs ",
+                in_shape(1).toString());
+        node.shape = a;
+        node.laneOps = static_cast<double>(a.numel());
+        break;
+      }
+
+      case OpKind::Concat: {
+        fatalIf(node.inputs.empty(), "concat needs inputs");
+        Shape out = in_shape(0);
+        auto axis = static_cast<std::size_t>(node.attrs.axis);
+        std::int64_t total = out.dims()[axis];
+        for (std::size_t i = 1; i < node.inputs.size(); ++i) {
+            const Shape &s = in_shape(i);
+            fatalIf(s.rank() != out.rank(), "concat rank mismatch");
+            total += s.dims()[axis];
+        }
+        node.shape = out.withDim(axis, total);
+        break;
+      }
+
+      case OpKind::Softmax: {
+        node.shape = in_shape(0);
+        node.laneOps = 6.0 * static_cast<double>(node.shape.numel());
+        break;
+      }
+
+      case OpKind::Attention: {
+        // Input [B, S, H]; multi-head self-attention with output
+        // projection. QKV and output projections are separate Linear
+        // nodes in our builders; this node is scores + softmax +
+        // context.
+        const Shape &x = in_shape(0);
+        fatalIf(x.rank() != 3, "attention input must be [B, S, H]");
+        std::int64_t b = x.dim(0), s = x.dim(1), h = x.dim(2);
+        node.shape = x;
+        // scores: B*heads*S*S*(H/heads); context: same again.
+        node.macs = 2.0 * static_cast<double>(b) * s * s * h;
+        node.laneOps =
+            6.0 * static_cast<double>(b) * node.attrs.heads * s * s;
+        break;
+      }
+
+      case OpKind::Embedding: {
+        const Shape &ids = in_shape(0); // [B, S]
+        fatalIf(node.attrs.outFeatures <= 0,
+                "embedding needs outFeatures");
+        auto dims = ids.dims();
+        dims.push_back(node.attrs.outFeatures);
+        node.shape = Shape(dims);
+        node.weightElems = static_cast<double>(node.attrs.vocab) *
+                           node.attrs.outFeatures;
+        break;
+      }
+
+      case OpKind::Upsample: {
+        const Shape &x = in_shape(0);
+        fatalIf(x.rank() != 4, "upsample input must be NCHW");
+        node.shape = Shape({x.dim(0), x.dim(1),
+                            x.dim(2) * node.attrs.factor,
+                            x.dim(3) * node.attrs.factor});
+        node.laneOps = static_cast<double>(node.shape.numel());
+        break;
+      }
+
+      case OpKind::PixelShuffle: {
+        const Shape &x = in_shape(0);
+        fatalIf(x.rank() != 4, "pixelshuffle input must be NCHW");
+        std::int64_t r = node.attrs.factor;
+        fatalIf(x.dim(1) % (r * r) != 0,
+                "pixelshuffle channels not divisible by factor^2");
+        node.shape = Shape({x.dim(0), x.dim(1) / (r * r), x.dim(2) * r,
+                            x.dim(3) * r});
+        break;
+      }
+
+      case OpKind::Transpose: {
+        const Shape &x = in_shape(0);
+        fatalIf(x.rank() < 2, "transpose needs rank >= 2");
+        node.shape = x.transposed(x.rank() - 2, x.rank() - 1);
+        break;
+      }
+
+      case OpKind::Reshape: {
+        Shape target(node.attrs.targetShape);
+        fatalIf(target.numel() != in_shape(0).numel(),
+                "reshape numel mismatch on '", node.name, "'");
+        node.shape = target;
+        break;
+      }
+
+      case OpKind::Slice: {
+        const Shape &x = in_shape(0);
+        auto axis = static_cast<std::size_t>(node.attrs.axis);
+        fatalIf(axis >= x.rank(), "slice axis out of range");
+        fatalIf(node.attrs.sliceLen <= 0 ||
+                    node.attrs.sliceLen > x.dims()[axis],
+                "slice length invalid on '", node.name, "'");
+        node.shape = x.withDim(axis, node.attrs.sliceLen);
+        break;
+      }
+
+      case OpKind::Pad: {
+        const Shape &x = in_shape(0);
+        auto axis = static_cast<std::size_t>(node.attrs.axis);
+        node.shape = x.withDim(
+            axis, x.dims()[axis] + node.attrs.padH + node.attrs.padW);
+        break;
+      }
+
+      case OpKind::Output:
+        node.shape = in_shape(0);
+        break;
+    }
+}
+
+std::vector<std::vector<int>>
+Graph::consumers() const
+{
+    std::vector<std::vector<int>> result(nodes_.size());
+    for (const Node &node : nodes_) {
+        for (int in : node.inputs)
+            result[static_cast<std::size_t>(in)].push_back(node.id);
+    }
+    return result;
+}
+
+double
+Graph::totalMacs() const
+{
+    double total = 0.0;
+    for (const Node &node : nodes_)
+        total += node.macs;
+    return total;
+}
+
+double
+Graph::totalWeightBytes(std::size_t element_bytes) const
+{
+    double total = 0.0;
+    for (const Node &node : nodes_)
+        total += node.weightElems * static_cast<double>(element_bytes);
+    return total;
+}
+
+double
+Graph::totalActivationBytes(std::size_t element_bytes) const
+{
+    double total = 0.0;
+    for (const Node &node : nodes_)
+        total += static_cast<double>(node.shape.numel()) *
+                 static_cast<double>(element_bytes);
+    return total;
+}
+
+double
+Graph::matrixFlopsFraction() const
+{
+    double matrix = 0.0, total = 0.0;
+    for (const Node &node : nodes_) {
+        total += node.flops();
+        if (opIsMatrix(node.kind))
+            matrix += node.flops();
+    }
+    return total > 0.0 ? matrix / total : 0.0;
+}
+
+void
+Graph::validate() const
+{
+    for (const Node &node : nodes_) {
+        for (int in : node.inputs) {
+            fatalIf(in < 0 || in >= node.id,
+                    "graph '", name_, "' node '", node.name,
+                    "' has a non-topological edge");
+        }
+        fatalIf(node.kind != OpKind::Input && node.inputs.empty(),
+                "node '", node.name, "' has no inputs");
+    }
+    for (int out : outputs_) {
+        fatalIf(out < 0 || out >= static_cast<int>(nodes_.size()),
+                "invalid output id");
+    }
+}
+
+} // namespace dtu

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The DNN graph intermediate representation.
+ *
+ * TopsInference imports ONNX graphs (Section V-B); our equivalent is
+ * a small operator IR rich enough to express the 10 Table III
+ * networks at layer granularity. Every node carries enough attributes
+ * for shape inference and for exact FLOP / byte accounting — the
+ * quantities that drive the accelerator timing model.
+ */
+
+#ifndef DTU_GRAPH_GRAPH_HH
+#define DTU_GRAPH_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/opcode.hh"
+#include "tensor/shape.hh"
+
+namespace dtu
+{
+
+/** Operator taxonomy. */
+enum class OpKind : std::uint8_t
+{
+    Input,       ///< graph input placeholder
+    Conv2d,      ///< dense convolution (NCHW)
+    DWConv2d,    ///< depthwise convolution (groups == channels)
+    MatMul,      ///< [M, K] x [K, N]
+    Linear,      ///< fully connected layer over the last axis
+    MaxPool,
+    AvgPool,
+    GlobalAvgPool,
+    Activation,  ///< elementwise transcendental (SPU)
+    BatchNorm,
+    LayerNorm,
+    Add,         ///< elementwise add (residual)
+    Mul,         ///< elementwise multiply (gating)
+    Concat,
+    Softmax,
+    Attention,   ///< multi-head self-attention over [B, S, H]
+    Embedding,   ///< table lookup (sparse, bandwidth-bound)
+    Upsample,    ///< nearest/bilinear spatial upsampling
+    PixelShuffle,///< depth-to-space (super-resolution upsampling)
+    Transpose,   ///< layout transform (DMA work)
+    Reshape,
+    Slice,
+    Pad,
+    Output,
+};
+
+/** Printable op name. */
+std::string opKindName(OpKind kind);
+
+/** True for ops whose main work is matrix multiplication. */
+bool opIsMatrix(OpKind kind);
+
+/** True for elementwise/vector ops. */
+bool opIsElementwise(OpKind kind);
+
+/** True for ops that are pure data movement / layout manipulation. */
+bool opIsLayout(OpKind kind);
+
+/** Operator attributes (meaning depends on kind). */
+struct OpAttrs
+{
+    int kernelH = 1, kernelW = 1;
+    int strideH = 1, strideW = 1;
+    int padH = 0, padW = 0;
+    int groups = 1;
+    int outChannels = 0;
+    /** Linear/MatMul output features. */
+    int outFeatures = 0;
+    /** Activation function for Activation nodes. */
+    SpuFunc func = SpuFunc::Tanh;
+    /**
+     * ReLU-family activation: runs on the vector engine (one lane op
+     * per element) instead of the SPU's LUT+Taylor path.
+     */
+    bool cheapActivation = false;
+    /** Concat/Softmax/Slice axis. */
+    int axis = 1;
+    /** Upsample / PixelShuffle scale factor. */
+    int factor = 2;
+    /** Attention heads. */
+    int heads = 1;
+    /** Embedding table rows. */
+    std::int64_t vocab = 0;
+    /** Slice extent on `axis`. */
+    std::int64_t sliceLen = 0;
+    /** Target shape for Reshape. */
+    std::vector<std::int64_t> targetShape;
+    /** Nonzero density of this op's input (sparse embedding etc.). */
+    double inputDensity = 1.0;
+};
+
+/** One operator node. */
+struct Node
+{
+    int id = -1;
+    OpKind kind = OpKind::Input;
+    std::string name;
+    std::vector<int> inputs;
+    OpAttrs attrs;
+    /** Inferred output shape. */
+    Shape shape;
+
+    /** Multiply-accumulate count (0 for non-matrix ops). */
+    double macs = 0.0;
+    /** Elementwise lane operations. */
+    double laneOps = 0.0;
+    /** Parameter element count (scale by dtype bytes for storage). */
+    double weightElems = 0.0;
+
+    /** Total FLOPs (2 per MAC plus lane ops). */
+    double flops() const { return 2.0 * macs + laneOps; }
+};
+
+/** A DNN computation graph (a DAG in topological insertion order). */
+class Graph
+{
+  public:
+    explicit Graph(std::string name = "graph")
+        : name_(std::move(name))
+    {}
+
+    const std::string &name() const { return name_; }
+
+    /** Add a graph input of the given shape. @return node id. */
+    int addInput(const std::string &name, Shape shape);
+
+    /**
+     * Add an operator node; output shape is inferred and FLOP/byte
+     * accounting filled in.
+     * @return node id.
+     */
+    int add(OpKind kind, const std::string &name, std::vector<int> inputs,
+            OpAttrs attrs = {});
+
+    /** Mark a node as a graph output. */
+    void markOutput(int id);
+
+    const std::vector<Node> &nodes() const { return nodes_; }
+    const Node &node(int id) const { return nodes_.at(
+        static_cast<std::size_t>(id)); }
+    const std::vector<int> &outputs() const { return outputs_; }
+    std::size_t size() const { return nodes_.size(); }
+
+    /** Consumers of each node (built on demand). */
+    std::vector<std::vector<int>> consumers() const;
+
+    /** Total MACs across the graph. */
+    double totalMacs() const;
+    /** Total parameter bytes for @p element_bytes wide weights. */
+    double totalWeightBytes(std::size_t element_bytes) const;
+    /** Total activation bytes flowing between nodes. */
+    double totalActivationBytes(std::size_t element_bytes) const;
+
+    /**
+     * Fraction of FLOPs in high-computational-density operators
+     * (matrix convolution and multiplication) — the statistic the
+     * paper's discussion section reports (~81% for image
+     * classification DNNs).
+     */
+    double matrixFlopsFraction() const;
+
+    /** Validate edges and shapes; throws FatalError on corruption. */
+    void validate() const;
+
+  private:
+    /** Infer shape + accounting for a freshly added node. */
+    void infer(Node &node);
+
+    std::string name_;
+    std::vector<Node> nodes_;
+    std::vector<int> outputs_;
+};
+
+} // namespace dtu
+
+#endif // DTU_GRAPH_GRAPH_HH

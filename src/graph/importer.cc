@@ -1,0 +1,289 @@
+#include "graph/importer.hh"
+
+#include <map>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+namespace
+{
+
+/** Parse "1x3x224x224" into a Shape. */
+Shape
+parseShape(const std::string &text)
+{
+    std::vector<std::int64_t> dims;
+    std::string token;
+    std::istringstream is(text);
+    while (std::getline(is, token, 'x')) {
+        fatalIf(token.empty(), "importer: empty dimension in '", text,
+                "'");
+        dims.push_back(std::stoll(token));
+    }
+    return Shape(dims);
+}
+
+/** Operator keyword -> OpKind (with relu/gelu sugar via Activation). */
+OpKind
+parseKind(const std::string &kw)
+{
+    static const std::map<std::string, OpKind> kinds = {
+        {"conv2d", OpKind::Conv2d},   {"dwconv2d", OpKind::DWConv2d},
+        {"matmul", OpKind::MatMul},   {"linear", OpKind::Linear},
+        {"maxpool", OpKind::MaxPool}, {"avgpool", OpKind::AvgPool},
+        {"gap", OpKind::GlobalAvgPool},
+        {"activation", OpKind::Activation},
+        {"batchnorm", OpKind::BatchNorm},
+        {"layernorm", OpKind::LayerNorm},
+        {"add", OpKind::Add},         {"mul", OpKind::Mul},
+        {"concat", OpKind::Concat},   {"softmax", OpKind::Softmax},
+        {"attention", OpKind::Attention},
+        {"embedding", OpKind::Embedding},
+        {"upsample", OpKind::Upsample},
+        {"pixelshuffle", OpKind::PixelShuffle},
+        {"transpose", OpKind::Transpose},
+        {"reshape", OpKind::Reshape}, {"slice", OpKind::Slice},
+        {"pad", OpKind::Pad},
+        // sugar
+        {"relu", OpKind::Activation}, {"gelu", OpKind::Activation},
+        {"sigmoid", OpKind::Activation},
+        {"tanh", OpKind::Activation}, {"swish", OpKind::Activation},
+    };
+    auto it = kinds.find(kw);
+    fatalIf(it == kinds.end(), "importer: unknown operator '", kw, "'");
+    return it->second;
+}
+
+void
+applyActivationSugar(const std::string &kw, OpAttrs &attrs)
+{
+    if (kw == "relu") {
+        attrs.cheapActivation = true;
+    } else if (kw == "gelu") {
+        attrs.func = SpuFunc::Gelu;
+    } else if (kw == "sigmoid") {
+        attrs.func = SpuFunc::Sigmoid;
+    } else if (kw == "tanh") {
+        attrs.func = SpuFunc::Tanh;
+    } else if (kw == "swish") {
+        attrs.func = SpuFunc::Swish;
+    }
+}
+
+void
+applyAttr(OpAttrs &attrs, const std::string &key,
+          const std::string &value, int line_no)
+{
+    auto as_int = [&] { return std::stoi(value); };
+    if (key == "k") {
+        attrs.kernelH = attrs.kernelW = as_int();
+    } else if (key == "kh") {
+        attrs.kernelH = as_int();
+    } else if (key == "kw") {
+        attrs.kernelW = as_int();
+    } else if (key == "s") {
+        attrs.strideH = attrs.strideW = as_int();
+    } else if (key == "sh") {
+        attrs.strideH = as_int();
+    } else if (key == "sw") {
+        attrs.strideW = as_int();
+    } else if (key == "p") {
+        attrs.padH = attrs.padW = as_int();
+    } else if (key == "ph") {
+        attrs.padH = as_int();
+    } else if (key == "pw") {
+        attrs.padW = as_int();
+    } else if (key == "g") {
+        attrs.groups = as_int();
+    } else if (key == "oc") {
+        attrs.outChannels = as_int();
+    } else if (key == "of") {
+        attrs.outFeatures = as_int();
+    } else if (key == "axis") {
+        attrs.axis = as_int();
+    } else if (key == "factor") {
+        attrs.factor = as_int();
+    } else if (key == "heads") {
+        attrs.heads = as_int();
+    } else if (key == "vocab") {
+        attrs.vocab = std::stoll(value);
+    } else if (key == "len") {
+        attrs.sliceLen = std::stoll(value);
+    } else if (key == "density") {
+        attrs.inputDensity = std::stod(value);
+    } else if (key == "shape") {
+        attrs.targetShape = parseShape(value).dims();
+    } else if (key == "func") {
+        if (value == "relu") {
+            attrs.cheapActivation = true;
+        } else {
+            bool found = false;
+            for (int f = 0; f < numSpuFuncs; ++f) {
+                if (spuFuncName(static_cast<SpuFunc>(f)) == value) {
+                    attrs.func = static_cast<SpuFunc>(f);
+                    found = true;
+                }
+            }
+            fatalIf(!found, "importer: unknown activation '", value,
+                    "' on line ", line_no);
+        }
+    } else {
+        fatal("importer: unknown attribute '", key, "' on line ",
+              line_no);
+    }
+}
+
+} // namespace
+
+Graph
+importGraphText(std::istream &in)
+{
+    Graph graph("imported");
+    std::map<std::string, int> names;
+    std::string line;
+    int line_no = 0;
+    bool have_graph = false;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Strip comments and whitespace.
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream is(line);
+        std::string kw;
+        if (!(is >> kw))
+            continue;
+
+        if (kw == "graph") {
+            std::string name;
+            fatalIf(!(is >> name), "importer: 'graph' needs a name on "
+                                   "line ",
+                    line_no);
+            graph = Graph(name);
+            names.clear();
+            have_graph = true;
+            continue;
+        }
+        fatalIf(!have_graph,
+                "importer: file must start with a 'graph' line");
+
+        if (kw == "input") {
+            std::string name, shape;
+            fatalIf(!(is >> name >> shape),
+                    "importer: 'input <name> <shape>' on line ", line_no);
+            names[name] = graph.addInput(name, parseShape(shape));
+            continue;
+        }
+        if (kw == "output") {
+            std::string name;
+            fatalIf(!(is >> name), "importer: 'output <name>' on line ",
+                    line_no);
+            auto it = names.find(name);
+            fatalIf(it == names.end(), "importer: unknown tensor '",
+                    name, "' on line ", line_no);
+            graph.markOutput(it->second);
+            continue;
+        }
+
+        // Operator line: <kind> <name> <inputs> [attrs].
+        OpKind kind = parseKind(kw);
+        std::string name, inputs_csv;
+        fatalIf(!(is >> name >> inputs_csv),
+                "importer: '", kw, " <name> <inputs>' on line ", line_no);
+        std::vector<int> inputs;
+        {
+            std::istringstream csv(inputs_csv);
+            std::string input;
+            while (std::getline(csv, input, ',')) {
+                auto it = names.find(input);
+                fatalIf(it == names.end(), "importer: unknown tensor '",
+                        input, "' on line ", line_no);
+                inputs.push_back(it->second);
+            }
+        }
+        OpAttrs attrs;
+        applyActivationSugar(kw, attrs);
+        std::string attr;
+        while (is >> attr) {
+            auto eq = attr.find('=');
+            fatalIf(eq == std::string::npos,
+                    "importer: attribute '", attr,
+                    "' must be key=value on line ", line_no);
+            applyAttr(attrs, attr.substr(0, eq), attr.substr(eq + 1),
+                      line_no);
+        }
+        fatalIf(names.count(name) != 0, "importer: duplicate tensor '",
+                name, "' on line ", line_no);
+        names[name] = graph.add(kind, name, std::move(inputs), attrs);
+    }
+    graph.validate();
+    return graph;
+}
+
+Graph
+importGraphText(const std::string &text)
+{
+    std::istringstream is(text);
+    return importGraphText(is);
+}
+
+std::string
+exportGraphText(const Graph &graph)
+{
+    std::ostringstream os;
+    os << "graph " << graph.name() << "\n";
+    for (const Node &node : graph.nodes()) {
+        if (node.kind == OpKind::Input) {
+            os << "input " << node.name << " ";
+            for (std::size_t i = 0; i < node.shape.rank(); ++i)
+                os << (i ? "x" : "") << node.shape.dims()[i];
+            os << "\n";
+            continue;
+        }
+        os << opKindName(node.kind) << " " << node.name << " ";
+        for (std::size_t i = 0; i < node.inputs.size(); ++i) {
+            os << (i ? "," : "")
+               << graph.node(node.inputs[i]).name;
+        }
+        const OpAttrs &a = node.attrs;
+        OpAttrs defaults;
+        auto emit = [&](const char *key, int value, int fallback) {
+            if (value != fallback)
+                os << " " << key << "=" << value;
+        };
+        emit("kh", a.kernelH, defaults.kernelH);
+        emit("kw", a.kernelW, defaults.kernelW);
+        emit("sh", a.strideH, defaults.strideH);
+        emit("sw", a.strideW, defaults.strideW);
+        emit("ph", a.padH, defaults.padH);
+        emit("pw", a.padW, defaults.padW);
+        emit("g", a.groups, defaults.groups);
+        emit("oc", a.outChannels, defaults.outChannels);
+        emit("of", a.outFeatures, defaults.outFeatures);
+        emit("axis", a.axis, defaults.axis);
+        emit("factor", a.factor, defaults.factor);
+        emit("heads", a.heads, defaults.heads);
+        if (a.vocab != defaults.vocab)
+            os << " vocab=" << a.vocab;
+        if (a.sliceLen != defaults.sliceLen)
+            os << " len=" << a.sliceLen;
+        if (!a.targetShape.empty()) {
+            os << " shape=";
+            for (std::size_t i = 0; i < a.targetShape.size(); ++i)
+                os << (i ? "x" : "") << a.targetShape[i];
+        }
+        if (node.kind == OpKind::Activation) {
+            os << " func="
+               << (a.cheapActivation ? "relu" : spuFuncName(a.func));
+        }
+        os << "\n";
+    }
+    for (int out : graph.outputs())
+        os << "output " << graph.node(out).name << "\n";
+    return os.str();
+}
+
+} // namespace dtu

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * A text-format graph importer.
+ *
+ * TopsInference "leverages ONNX to import/convert DNN models
+ * developed with various frameworks" (Section V-B). dtusim's
+ * equivalent is a small line-oriented text format so users can run
+ * custom networks without recompiling:
+ *
+ *     # comments and blank lines are ignored
+ *     graph mynet
+ *     input x 1x3x224x224
+ *     conv2d c1 x k=7 s=2 p=3 oc=64
+ *     batchnorm b1 c1
+ *     relu r1 b1
+ *     maxpool p1 r1 k=3 s=2 p=1
+ *     linear fc p1 of=1000
+ *     softmax sm fc axis=1
+ *     output sm
+ *
+ * Each operator line is: <kind> <name> <input>[,<input>...] [attrs].
+ * Attribute keys: k/kh/kw (kernel), s/sh/sw (stride), p/ph/pw (pad),
+ * g (groups), oc (out channels), of (out features), axis, factor,
+ * heads, vocab, len (slice), shape=AxBxC (reshape target),
+ * func=<spu function or relu>.
+ */
+
+#ifndef DTU_GRAPH_IMPORTER_HH
+#define DTU_GRAPH_IMPORTER_HH
+
+#include <istream>
+#include <string>
+
+#include "graph/graph.hh"
+
+namespace dtu
+{
+
+/** Parse a graph from the text format. Throws FatalError on errors. */
+Graph importGraphText(std::istream &in);
+
+/** Parse a graph from a string. */
+Graph importGraphText(const std::string &text);
+
+/** Serialize a graph back to the text format (round-trippable). */
+std::string exportGraphText(const Graph &graph);
+
+} // namespace dtu
+
+#endif // DTU_GRAPH_IMPORTER_HH

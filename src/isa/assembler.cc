@@ -1,0 +1,254 @@
+#include "isa/assembler.hh"
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+Kernel
+Assembler::finish()
+{
+    panicIf(packing_, "finish() called inside an open pack()");
+    const auto &packets = kernel_.packets();
+    bool has_halt = !packets.empty() && packets.back().slots.size() == 1 &&
+                    packets.back().slots[0].op == Opcode::Halt;
+    if (!has_halt)
+        halt();
+    return std::move(kernel_);
+}
+
+Assembler &
+Assembler::pack()
+{
+    panicIf(packing_, "nested pack()");
+    packing_ = true;
+    pending_ = Packet{};
+    return *this;
+}
+
+Assembler &
+Assembler::endPack()
+{
+    panicIf(!packing_, "endPack() without pack()");
+    panicIf(pending_.slots.empty(), "empty VLIW packet");
+    packing_ = false;
+    kernel_.append(std::move(pending_));
+    pending_ = Packet{};
+    return *this;
+}
+
+Assembler &
+Assembler::push(Instruction inst)
+{
+    if (packing_) {
+        fatalIf(pending_.hasUnit(inst.unit()),
+                "VLIW packet already has a slot on unit of '",
+                opcodeName(inst.op), "'");
+        pending_.slots.push_back(inst);
+    } else {
+        Packet packet;
+        packet.slots.push_back(inst);
+        kernel_.append(std::move(packet));
+    }
+    return *this;
+}
+
+Assembler &
+Assembler::sli(int dst, double imm)
+{
+    return push({.op = Opcode::SLoadImm, .dst = dst, .imm = imm});
+}
+
+Assembler &
+Assembler::sadd(int dst, int a, int b)
+{
+    return push({.op = Opcode::SAdd, .dst = dst, .a = a, .b = b});
+}
+
+Assembler &
+Assembler::ssub(int dst, int a, int b)
+{
+    return push({.op = Opcode::SSub, .dst = dst, .a = a, .b = b});
+}
+
+Assembler &
+Assembler::smul(int dst, int a, int b)
+{
+    return push({.op = Opcode::SMul, .dst = dst, .a = a, .b = b});
+}
+
+Assembler &
+Assembler::saddi(int dst, int a, double imm)
+{
+    return push({.op = Opcode::SAddImm, .dst = dst, .a = a, .imm = imm});
+}
+
+Assembler &
+Assembler::vli(int dst, double imm, DType t)
+{
+    return push({.op = Opcode::VLoadImm, .dst = dst, .imm = imm,
+                 .dtype = t});
+}
+
+Assembler &
+Assembler::vload(int dst, int addr_reg, DType t)
+{
+    return push({.op = Opcode::VLoad, .dst = dst, .a = addr_reg,
+                 .dtype = t});
+}
+
+Assembler &
+Assembler::vstore(int src, int addr_reg, DType t)
+{
+    return push({.op = Opcode::VStore, .a = addr_reg, .b = src,
+                 .dtype = t});
+}
+
+Assembler &
+Assembler::vadd(int dst, int a, int b)
+{
+    return push({.op = Opcode::VAdd, .dst = dst, .a = a, .b = b});
+}
+
+Assembler &
+Assembler::vsub(int dst, int a, int b)
+{
+    return push({.op = Opcode::VSub, .dst = dst, .a = a, .b = b});
+}
+
+Assembler &
+Assembler::vmul(int dst, int a, int b)
+{
+    return push({.op = Opcode::VMul, .dst = dst, .a = a, .b = b});
+}
+
+Assembler &
+Assembler::vmac(int dst, int a, int b)
+{
+    return push({.op = Opcode::VMac, .dst = dst, .a = a, .b = b});
+}
+
+Assembler &
+Assembler::vmax(int dst, int a, int b)
+{
+    return push({.op = Opcode::VMax, .dst = dst, .a = a, .b = b});
+}
+
+Assembler &
+Assembler::vmin(int dst, int a, int b)
+{
+    return push({.op = Opcode::VMin, .dst = dst, .a = a, .b = b});
+}
+
+Assembler &
+Assembler::vrelu(int dst, int a)
+{
+    return push({.op = Opcode::VRelu, .dst = dst, .a = a});
+}
+
+Assembler &
+Assembler::vredsum(int sdst, int a)
+{
+    return push({.op = Opcode::VRedSum, .dst = sdst, .a = a});
+}
+
+Assembler &
+Assembler::spu(SpuFunc f, int dst, int a)
+{
+    return push({.op = Opcode::SpuApply, .dst = dst, .a = a, .spuFunc = f});
+}
+
+Assembler &
+Assembler::mloadrow(int mreg, int vsrc, int row_sreg)
+{
+    return push({.op = Opcode::MLoadRow, .dst = mreg, .a = vsrc,
+                 .b = row_sreg});
+}
+
+Assembler &
+Assembler::mzeroacc(int acc)
+{
+    return push({.op = Opcode::MZeroAcc, .dst = acc});
+}
+
+Assembler &
+Assembler::vmm(int acc, int vsrc, int mreg, int rows, bool accumulate,
+               DType t)
+{
+    return push({.op = Opcode::Vmm, .dst = acc, .a = vsrc, .b = mreg,
+                 .vmmRows = rows, .accumulate = accumulate, .dtype = t});
+}
+
+Assembler &
+Assembler::mreadacc(int vdst, int acc)
+{
+    return push({.op = Opcode::MReadAcc, .dst = vdst, .a = acc});
+}
+
+Assembler &
+Assembler::mrel(int mdst, int vsrc)
+{
+    return push({.op = Opcode::MRelMatrix, .dst = mdst, .a = vsrc});
+}
+
+Assembler &
+Assembler::morder(int vdst, int msrc)
+{
+    return push({.op = Opcode::MOrderVec, .dst = vdst, .a = msrc});
+}
+
+Assembler &
+Assembler::mperm(int mdst, int vorder)
+{
+    return push({.op = Opcode::MPermMatrix, .dst = mdst, .a = vorder});
+}
+
+Assembler &
+Assembler::prefetch(int kernel_id)
+{
+    return push({.op = Opcode::Prefetch,
+                 .imm = static_cast<double>(kernel_id)});
+}
+
+Assembler &
+Assembler::dmacfg(int descriptor_id)
+{
+    return push({.op = Opcode::DmaConfig,
+                 .imm = static_cast<double>(descriptor_id)});
+}
+
+Assembler &
+Assembler::dmago(int descriptor_id)
+{
+    return push({.op = Opcode::DmaLaunch,
+                 .imm = static_cast<double>(descriptor_id)});
+}
+
+Assembler &
+Assembler::syncset(int sem_id)
+{
+    return push({.op = Opcode::SyncSet,
+                 .imm = static_cast<double>(sem_id)});
+}
+
+Assembler &
+Assembler::syncwait(int sem_id, int count)
+{
+    return push({.op = Opcode::SyncWait, .a = count,
+                 .imm = static_cast<double>(sem_id)});
+}
+
+Assembler &
+Assembler::bne(int a, int b, std::size_t target_packet)
+{
+    return push({.op = Opcode::BranchNe, .a = a, .b = b,
+                 .imm = static_cast<double>(target_packet)});
+}
+
+Assembler &
+Assembler::halt()
+{
+    return push({.op = Opcode::Halt});
+}
+
+} // namespace dtu

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A programmatic assembler for DTU kernels.
+ *
+ * This plays the role of TopsEngine's low-level DSL (Section V-B):
+ * it exposes the architecture directly — registers, VLIW packets,
+ * VMM shapes, sync semaphores — to developers writing custom
+ * operators. Each emit*() call appends a single-slot packet; pack()
+ * opens a multi-slot packet for explicit instruction-level
+ * parallelism, mirroring what the VLIW packetizer produces.
+ */
+
+#ifndef DTU_ISA_ASSEMBLER_HH
+#define DTU_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/instruction.hh"
+
+namespace dtu
+{
+
+/** Fluent builder producing Kernel objects. */
+class Assembler
+{
+  public:
+    explicit Assembler(std::string kernel_name = "kernel")
+        : kernel_(std::move(kernel_name))
+    {}
+
+    /** Finish and return the kernel (appends Halt if missing). */
+    Kernel finish();
+
+    /** Current packet index — usable as a branch target label. */
+    std::size_t here() const { return kernel_.size(); }
+
+    //
+    // Packet control
+    //
+
+    /** Begin a multi-slot packet; subsequent emits join it. */
+    Assembler &pack();
+    /** Close the current multi-slot packet. */
+    Assembler &endPack();
+
+    //
+    // Scalar
+    //
+    Assembler &sli(int dst, double imm);
+    Assembler &sadd(int dst, int a, int b);
+    Assembler &ssub(int dst, int a, int b);
+    Assembler &smul(int dst, int a, int b);
+    Assembler &saddi(int dst, int a, double imm);
+
+    //
+    // Vector
+    //
+    Assembler &vli(int dst, double imm, DType t = DType::FP32);
+    Assembler &vload(int dst, int addr_reg, DType t = DType::FP32);
+    Assembler &vstore(int src, int addr_reg, DType t = DType::FP32);
+    Assembler &vadd(int dst, int a, int b);
+    Assembler &vsub(int dst, int a, int b);
+    Assembler &vmul(int dst, int a, int b);
+    Assembler &vmac(int dst, int a, int b);
+    Assembler &vmax(int dst, int a, int b);
+    Assembler &vmin(int dst, int a, int b);
+    Assembler &vrelu(int dst, int a);
+    Assembler &vredsum(int sdst, int a);
+
+    //
+    // SPU
+    //
+    Assembler &spu(SpuFunc f, int dst, int a);
+
+    //
+    // Matrix engine
+    //
+    Assembler &mloadrow(int mreg, int vsrc, int row_sreg);
+    Assembler &mzeroacc(int acc);
+    Assembler &vmm(int acc, int vsrc, int mreg, int rows,
+                   bool accumulate = true, DType t = DType::FP32);
+    Assembler &mreadacc(int vdst, int acc);
+    Assembler &mrel(int mdst, int vsrc);
+    Assembler &morder(int vdst, int msrc);
+    Assembler &mperm(int mdst, int vorder);
+
+    //
+    // Memory / DMA / sync / control
+    //
+    Assembler &prefetch(int kernel_id);
+    Assembler &dmacfg(int descriptor_id);
+    Assembler &dmago(int descriptor_id);
+    Assembler &syncset(int sem_id);
+    Assembler &syncwait(int sem_id, int count);
+    Assembler &bne(int a, int b, std::size_t target_packet);
+    Assembler &halt();
+
+  private:
+    Assembler &push(Instruction inst);
+
+    Kernel kernel_;
+    Packet pending_;
+    bool packing_ = false;
+};
+
+} // namespace dtu
+
+#endif // DTU_ISA_ASSEMBLER_HH

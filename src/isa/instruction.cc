@@ -1,0 +1,88 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+namespace dtu
+{
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(op);
+    if (op == Opcode::SpuApply)
+        os << "." << spuFuncName(spuFunc);
+    if (op == Opcode::Vmm)
+        os << "." << vmmRows << "x" << (accumulate ? "acc" : "ovw");
+    os << " d" << dst << ", a" << a << ", b" << b;
+    if (imm != 0.0)
+        os << ", #" << imm;
+    return os.str();
+}
+
+bool
+Packet::hasUnit(UnitKind kind) const
+{
+    for (const auto &inst : slots) {
+        if (inst.unit() == kind)
+            return true;
+    }
+    return false;
+}
+
+std::string
+Packet::toString() const
+{
+    std::ostringstream os;
+    os << "{";
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (i)
+            os << " | ";
+        os << slots[i].toString();
+    }
+    os << "}";
+    return os.str();
+}
+
+std::size_t
+Kernel::codeBytes() const
+{
+    std::size_t bytes = 0;
+    for (const auto &packet : packets_)
+        bytes += packet.codeBytes();
+    return bytes;
+}
+
+void
+Kernel::fuse(const Kernel &other)
+{
+    // Strip this kernel's trailing Halt so control falls through into
+    // the fused continuation.
+    if (!packets_.empty()) {
+        auto &last = packets_.back();
+        if (last.slots.size() == 1 && last.slots[0].op == Opcode::Halt)
+            packets_.pop_back();
+    }
+    std::size_t base = packets_.size();
+    for (Packet packet : other.packets()) {
+        for (auto &inst : packet.slots) {
+            if (inst.op == Opcode::BranchNe)
+                inst.imm += static_cast<double>(base);
+        }
+        packets_.push_back(std::move(packet));
+    }
+    name_ += "+" + other.name();
+}
+
+std::string
+Kernel::toString() const
+{
+    std::ostringstream os;
+    os << "kernel " << name_ << " (" << packets_.size() << " packets, "
+       << codeBytes() << " bytes)\n";
+    for (std::size_t i = 0; i < packets_.size(); ++i)
+        os << "  [" << i << "] " << packets_[i].toString() << "\n";
+    return os.str();
+}
+
+} // namespace dtu

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Instructions, VLIW packets, and kernels.
+ */
+
+#ifndef DTU_ISA_INSTRUCTION_HH
+#define DTU_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/opcode.hh"
+#include "tensor/dtype.hh"
+
+namespace dtu
+{
+
+/** One operation occupying one VLIW slot. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    /** Destination register index (unit-specific register file). */
+    int dst = 0;
+    /** First source register index. */
+    int a = 0;
+    /** Second source register index. */
+    int b = 0;
+    /** Immediate value (scalar constants, branch targets, ids). */
+    double imm = 0.0;
+    /** SPU function selector for SpuApply. */
+    SpuFunc spuFunc = SpuFunc::Exp;
+    /** Matrix rows for Vmm (the supported fine-grained VMM shapes). */
+    int vmmRows = 16;
+    /** Accumulate (true) vs overwrite (false) for Vmm. */
+    bool accumulate = true;
+    /** Element type the slot operates on. */
+    DType dtype = DType::FP32;
+
+    /** The functional unit this instruction occupies. */
+    UnitKind unit() const { return opcodeUnit(op); }
+
+    /** Disassembly for traces and tests. */
+    std::string toString() const;
+};
+
+/**
+ * A VLIW packet: up to one instruction per functional unit, issued
+ * together in a single cycle. The VLIW packetizer in the software
+ * stack (Section V-B) is responsible for packing independent
+ * instructions into packets.
+ */
+struct Packet
+{
+    std::vector<Instruction> slots;
+
+    /** Number of occupied slots. */
+    std::size_t width() const { return slots.size(); }
+
+    /**
+     * Encoded size of this packet in bytes. Each slot encodes to 16
+     * bytes in our model; packets are padded to a 16-byte boundary
+     * header. Kernel-code footprint drives the icache behaviour.
+     */
+    std::size_t codeBytes() const { return 16 + 16 * slots.size(); }
+
+    /** True when a slot with this unit kind already exists. */
+    bool hasUnit(UnitKind kind) const;
+
+    std::string toString() const;
+};
+
+/**
+ * A kernel: the unit of code the runtime loads onto a compute core.
+ * Operator fusion in the graph compiler concatenates kernels, which
+ * grows code size and motivates the icache/prefetch design
+ * (Section IV-B).
+ */
+class Kernel
+{
+  public:
+    explicit Kernel(std::string name = "kernel")
+        : name_(std::move(name))
+    {}
+
+    const std::string &name() const { return name_; }
+
+    /** Append a packet; returns its index (branch target). */
+    std::size_t
+    append(Packet packet)
+    {
+        packets_.push_back(std::move(packet));
+        return packets_.size() - 1;
+    }
+
+    const std::vector<Packet> &packets() const { return packets_; }
+    std::size_t size() const { return packets_.size(); }
+    const Packet &packet(std::size_t i) const { return packets_.at(i); }
+
+    /** Total encoded size in bytes (drives icache footprint). */
+    std::size_t codeBytes() const;
+
+    /** Concatenate another kernel's packets onto this one (fusion). */
+    void fuse(const Kernel &other);
+
+    std::string toString() const;
+
+  private:
+    std::string name_;
+    std::vector<Packet> packets_;
+};
+
+} // namespace dtu
+
+#endif // DTU_ISA_INSTRUCTION_HH

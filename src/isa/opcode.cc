@@ -1,0 +1,112 @@
+#include "isa/opcode.hh"
+
+namespace dtu
+{
+
+UnitKind
+opcodeUnit(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::SLoadImm:
+      case Opcode::SAdd:
+      case Opcode::SSub:
+      case Opcode::SMul:
+      case Opcode::SAddImm:
+        return UnitKind::Scalar;
+      case Opcode::VLoadImm:
+      case Opcode::VAdd:
+      case Opcode::VSub:
+      case Opcode::VMul:
+      case Opcode::VMac:
+      case Opcode::VMax:
+      case Opcode::VMin:
+      case Opcode::VRelu:
+      case Opcode::VRedSum:
+        return UnitKind::Vector;
+      case Opcode::VLoad:
+      case Opcode::VStore:
+      case Opcode::Prefetch:
+        return UnitKind::Memory;
+      case Opcode::SpuApply:
+        return UnitKind::Spu;
+      case Opcode::MLoadRow:
+      case Opcode::MZeroAcc:
+      case Opcode::Vmm:
+      case Opcode::MReadAcc:
+      case Opcode::MRelMatrix:
+      case Opcode::MOrderVec:
+      case Opcode::MPermMatrix:
+        return UnitKind::Matrix;
+      case Opcode::DmaConfig:
+      case Opcode::DmaLaunch:
+        return UnitKind::Dma;
+      case Opcode::SyncSet:
+      case Opcode::SyncWait:
+        return UnitKind::Sync;
+      case Opcode::BranchNe:
+      case Opcode::Halt:
+        return UnitKind::Control;
+    }
+    return UnitKind::Scalar;
+}
+
+std::string
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::SLoadImm: return "sli";
+      case Opcode::SAdd: return "sadd";
+      case Opcode::SSub: return "ssub";
+      case Opcode::SMul: return "smul";
+      case Opcode::SAddImm: return "saddi";
+      case Opcode::VLoadImm: return "vli";
+      case Opcode::VLoad: return "vload";
+      case Opcode::VStore: return "vstore";
+      case Opcode::VAdd: return "vadd";
+      case Opcode::VSub: return "vsub";
+      case Opcode::VMul: return "vmul";
+      case Opcode::VMac: return "vmac";
+      case Opcode::VMax: return "vmax";
+      case Opcode::VMin: return "vmin";
+      case Opcode::VRelu: return "vrelu";
+      case Opcode::VRedSum: return "vredsum";
+      case Opcode::SpuApply: return "spu";
+      case Opcode::MLoadRow: return "mloadrow";
+      case Opcode::MZeroAcc: return "mzeroacc";
+      case Opcode::Vmm: return "vmm";
+      case Opcode::MReadAcc: return "mreadacc";
+      case Opcode::MRelMatrix: return "mrel";
+      case Opcode::MOrderVec: return "morder";
+      case Opcode::MPermMatrix: return "mperm";
+      case Opcode::Prefetch: return "prefetch";
+      case Opcode::DmaConfig: return "dmacfg";
+      case Opcode::DmaLaunch: return "dmago";
+      case Opcode::SyncSet: return "syncset";
+      case Opcode::SyncWait: return "syncwait";
+      case Opcode::BranchNe: return "bne";
+      case Opcode::Halt: return "halt";
+    }
+    return "unknown";
+}
+
+std::string
+spuFuncName(SpuFunc f)
+{
+    switch (f) {
+      case SpuFunc::Exp: return "exp";
+      case SpuFunc::Log: return "log";
+      case SpuFunc::Tanh: return "tanh";
+      case SpuFunc::Sigmoid: return "sigmoid";
+      case SpuFunc::Gelu: return "gelu";
+      case SpuFunc::Swish: return "swish";
+      case SpuFunc::Softplus: return "softplus";
+      case SpuFunc::Erf: return "erf";
+      case SpuFunc::Rsqrt: return "rsqrt";
+      case SpuFunc::Sin: return "sin";
+    }
+    return "unknown";
+}
+
+} // namespace dtu

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The DTU compute-core instruction set.
+ *
+ * The compute core is a VLIW machine (Section IV-A): each cycle it
+ * issues one instruction packet whose slots drive the scalar unit,
+ * the 512-bit vector engine, the matrix (VMM) engine, the special
+ * function unit, the local memory port, DMA configuration, and the
+ * synchronization engine. This header enumerates the operations the
+ * functional model executes.
+ */
+
+#ifndef DTU_ISA_OPCODE_HH
+#define DTU_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dtu
+{
+
+/** Functional unit a slot executes on. */
+enum class UnitKind : std::uint8_t
+{
+    Scalar,
+    Vector,
+    Matrix,
+    Spu,
+    Memory,
+    Dma,
+    Sync,
+    Control,
+};
+
+/** Operations available to kernel code. */
+enum class Opcode : std::uint8_t
+{
+    Nop,
+
+    // Scalar unit
+    SLoadImm,   ///< s[dst] = imm
+    SAdd,       ///< s[dst] = s[a] + s[b]
+    SSub,       ///< s[dst] = s[a] - s[b]
+    SMul,       ///< s[dst] = s[a] * s[b]
+    SAddImm,    ///< s[dst] = s[a] + imm
+
+    // Vector engine (512-bit SIMD)
+    VLoadImm,   ///< broadcast imm to all lanes of v[dst]
+    VLoad,      ///< v[dst] = L1[s[a] .. ] (one vector)
+    VStore,     ///< L1[s[a] .. ] = v[src]
+    VAdd,       ///< v[dst] = v[a] + v[b]
+    VSub,       ///< v[dst] = v[a] - v[b]
+    VMul,       ///< v[dst] = v[a] * v[b]
+    VMac,       ///< v[dst] += v[a] * v[b]
+    VMax,       ///< v[dst] = max(v[a], v[b])
+    VMin,       ///< v[dst] = min(v[a], v[b])
+    VRelu,      ///< v[dst] = max(v[a], 0)
+    VRedSum,    ///< s[dst] = sum of lanes of v[a]
+
+    // SPU (transcendental functions via LUT + quadratic Taylor)
+    SpuApply,   ///< v[dst] = f(v[a]) where f is inst.spuFunc
+
+    // Matrix engine
+    MLoadRow,   ///< m[dst].row[s[b]] = v[a]
+    MZeroAcc,   ///< acc[dst] = 0
+    Vmm,        ///< acc[dst] (+)= v[a] x m[b], shape inst.vmmRows
+    MReadAcc,   ///< v[dst] = acc[a]
+    MRelMatrix, ///< m[dst] = relationship matrix of v[a] (sorting step 1)
+    MOrderVec,  ///< v[dst] = column sums of m[a]        (sorting step 2)
+    MPermMatrix,///< m[dst] = permutation matrix from order vector v[a]
+
+    // Memory / kernel management
+    Prefetch,   ///< prefetch kernel inst.imm (id) into the icache
+
+    // DMA configuration from kernel code
+    DmaConfig,  ///< configure paired DMA engine from descriptor slot imm
+    DmaLaunch,  ///< launch configured DMA transaction
+
+    // Synchronization engine
+    SyncSet,    ///< signal semaphore id=inst.imm
+    SyncWait,   ///< block until semaphore id=inst.imm count >= a
+
+    // Control
+    BranchNe,   ///< if s[a] != s[b] jump to packet index imm
+    Halt,       ///< end of kernel
+};
+
+/** The functional unit an opcode occupies. */
+UnitKind opcodeUnit(Opcode op);
+
+/** Mnemonic, e.g. "vmm". */
+std::string opcodeName(Opcode op);
+
+/**
+ * Transcendental functions the SPU accelerates (Section IV-A2 lists
+ * Softplus, Tanh, Sigmoid, Gelu, Swish, Softmax, "etc." — softmax is
+ * composed from Exp plus vector reductions).
+ */
+enum class SpuFunc : std::uint8_t
+{
+    Exp,
+    Log,
+    Tanh,
+    Sigmoid,
+    Gelu,
+    Swish,
+    Softplus,
+    Erf,
+    Rsqrt,
+    Sin,
+};
+
+/** Number of SPU functions. */
+constexpr int numSpuFuncs = 10;
+
+/** Name of an SPU function, e.g. "tanh". */
+std::string spuFuncName(SpuFunc f);
+
+} // namespace dtu
+
+#endif // DTU_ISA_OPCODE_HH

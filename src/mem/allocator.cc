@@ -1,0 +1,61 @@
+#include "mem/allocator.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+ScratchpadAllocator::ScratchpadAllocator(std::string name, MemLevel level,
+                                         std::uint64_t capacity,
+                                         unsigned banks)
+    : name_(std::move(name)), level_(level), capacity_(capacity),
+      bankCapacity_(banks ? capacity / banks : 0), bankUsed_(banks, 0)
+{
+    fatalIf(banks == 0, "allocator '", name_, "' needs at least one bank");
+}
+
+std::optional<Allocation>
+ScratchpadAllocator::allocate(std::uint64_t bytes, unsigned preferred_bank)
+{
+    fatalIf(preferred_bank >= bankUsed_.size(), "bank ", preferred_bank,
+            " out of range on '", name_, "'");
+    unsigned bank = preferred_bank;
+    if (bankUsed_[bank] + bytes > bankCapacity_) {
+        // Preferred bank is full: fall back to the emptiest bank.
+        unsigned best = bank;
+        for (unsigned i = 0; i < bankUsed_.size(); ++i) {
+            if (bankUsed_[i] < bankUsed_[best])
+                best = i;
+        }
+        if (bankUsed_[best] + bytes > bankCapacity_)
+            return std::nullopt;
+        bank = best;
+        ++remoteAllocations_;
+    }
+    Allocation alloc;
+    alloc.base = static_cast<Addr>(bank) * bankCapacity_ + bankUsed_[bank];
+    alloc.bytes = bytes;
+    alloc.port = bank;
+    alloc.level = level_;
+    bankUsed_[bank] += bytes;
+    return alloc;
+}
+
+void
+ScratchpadAllocator::releaseAll()
+{
+    std::fill(bankUsed_.begin(), bankUsed_.end(), 0);
+}
+
+std::uint64_t
+ScratchpadAllocator::bytesInUse() const
+{
+    std::uint64_t used = 0;
+    for (auto b : bankUsed_)
+        used += b;
+    return used;
+}
+
+} // namespace dtu

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Affinity-aware scratchpad memory allocation.
+ *
+ * TopsEngine "allocates shared L2 memory wisely to take advantage of
+ * the memory affinity" (Section V-B): each of the 4 L2 ports in a
+ * processing group is bonded to one compute core, and data placed in
+ * a port's bank is cheapest for that core. The allocator hands out
+ * banked regions, records which port each allocation is affine to,
+ * and enforces capacity.
+ */
+
+#ifndef DTU_MEM_ALLOCATOR_HH
+#define DTU_MEM_ALLOCATOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/mem_types.hh"
+
+namespace dtu
+{
+
+/** One allocation handed out by a ScratchpadAllocator. */
+struct Allocation
+{
+    Addr base = 0;
+    std::uint64_t bytes = 0;
+    /** Port (bank) the allocation lives in; the affine requester. */
+    unsigned port = 0;
+    MemLevel level = MemLevel::L2;
+};
+
+/**
+ * A banked bump allocator for one scratchpad (an L1 buffer or an L2
+ * slice). Capacity is split evenly across banks (ports).
+ */
+class ScratchpadAllocator
+{
+  public:
+    /**
+     * @param level which hierarchy level this scratchpad is.
+     * @param capacity total bytes.
+     * @param banks number of banks (== ports for L2; 1 for L1).
+     */
+    ScratchpadAllocator(std::string name, MemLevel level,
+                        std::uint64_t capacity, unsigned banks);
+
+    /**
+     * Allocate @p bytes with affinity to @p preferred_bank. Falls
+     * back to the bank with the most free space when the preferred
+     * bank is full (a "remote" allocation the requester pays the
+     * crossbar penalty for).
+     * @return the allocation, or nullopt when no bank can hold it.
+     */
+    std::optional<Allocation> allocate(std::uint64_t bytes,
+                                       unsigned preferred_bank = 0);
+
+    /** Release everything (per-operator lifetimes are phase-scoped). */
+    void releaseAll();
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t bytesInUse() const;
+    std::uint64_t bytesFree() const { return capacity_ - bytesInUse(); }
+    unsigned numBanks() const
+    {
+        return static_cast<unsigned>(bankUsed_.size());
+    }
+    /** Bytes used within one bank. */
+    std::uint64_t bankUsed(unsigned bank) const { return bankUsed_.at(bank); }
+    /** Allocations that could not use their preferred bank. */
+    std::uint64_t remoteAllocations() const { return remoteAllocations_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    MemLevel level_;
+    std::uint64_t capacity_;
+    std::uint64_t bankCapacity_;
+    std::vector<std::uint64_t> bankUsed_;
+    std::uint64_t remoteAllocations_ = 0;
+};
+
+} // namespace dtu
+
+#endif // DTU_MEM_ALLOCATOR_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A serialized bandwidth resource.
+ *
+ * Memory ports, HBM channels, the PCIe link, and DMA data paths are
+ * all modelled as BandwidthResources: a pipe with a fixed byte rate
+ * that serves requests in arrival order. A request arriving while the
+ * pipe is busy queues behind the in-flight bytes, which is how
+ * contention (e.g. two cores sharing an L2 port, or three DMA engines
+ * hitting HBM) manifests as latency.
+ */
+
+#ifndef DTU_MEM_BANDWIDTH_HH
+#define DTU_MEM_BANDWIDTH_HH
+
+#include <string>
+#include <unordered_map>
+
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+namespace dtu
+{
+
+/**
+ * A capacity-ledger pipe with fixed bandwidth and per-access latency.
+ *
+ * Time is divided into fixed buckets; each bucket holds rate x
+ * bucket-width bytes of capacity. A request starting at tick t
+ * consumes capacity from bucket(t) forward and completes when its
+ * last byte is scheduled. Requests submitted out of simulation order
+ * (sequential co-simulation of concurrent tenants) therefore share
+ * capacity fairly: a later-submitted request for an earlier tick
+ * uses whatever capacity was still idle then, instead of queueing
+ * behind traffic that already finished.
+ */
+class BandwidthResource : public SimObject
+{
+  public:
+    /**
+     * @param name hierarchical name.
+     * @param queue event queue (provides current time).
+     * @param stats stat registry (may be null).
+     * @param bytes_per_second sustained bandwidth.
+     * @param access_latency fixed pipeline latency added to every
+     *        request (ticks).
+     */
+    BandwidthResource(std::string name, EventQueue &queue,
+                      StatRegistry *stats, double bytes_per_second,
+                      Tick access_latency = 0);
+
+    /**
+     * Occupy the pipe for @p bytes starting no earlier than now.
+     * @return the tick at which the last byte has been delivered.
+     */
+    Tick transfer(std::uint64_t bytes);
+
+    /**
+     * Like transfer() but the request enters the queue at @p at
+     * (>= now) rather than at the current tick — used when an engine
+     * computes a future phase without advancing global time.
+     */
+    Tick transferAt(Tick at, std::uint64_t bytes);
+
+    /** Tick at which the pipe next becomes idle. */
+    Tick freeAt() const { return freeAt_; }
+
+    /** Configured bandwidth in bytes/second. */
+    double bytesPerSecond() const { return bytesPerSecond_; }
+
+    /** Change the bandwidth (used by DVFS on core-side ports). */
+    void setBytesPerSecond(double bytes_per_second);
+
+    /** Pure service time for @p bytes with no queueing (ticks). */
+    Tick serviceTime(std::uint64_t bytes) const;
+
+    /** Total bytes moved through this resource. */
+    double totalBytes() const { return bytesMoved_.value(); }
+
+    /** Total ticks requests spent waiting behind earlier traffic. */
+    double totalWait() const { return waitTicks_.value(); }
+
+    /** Busy time as a fraction of [0, now]. */
+    double utilization() const;
+
+  private:
+    /** Capacity of one ledger bucket in bytes. */
+    double bucketBytes() const;
+
+    double bytesPerSecond_;
+    Tick accessLatency_;
+    /** Ledger bucket width. */
+    Tick bucketTicks_ = 50'000; // 50 ns
+    /** Bytes already scheduled per bucket index. */
+    std::unordered_map<std::uint64_t, double> used_;
+    Tick freeAt_ = 0;
+    double busyBytes_ = 0.0;
+
+    Stat bytesMoved_;
+    Stat transfers_;
+    Stat waitTicks_;
+};
+
+} // namespace dtu
+
+#endif // DTU_MEM_BANDWIDTH_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Common types for the DTU memory hierarchy.
+ */
+
+#ifndef DTU_MEM_MEM_TYPES_HH
+#define DTU_MEM_MEM_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dtu
+{
+
+/** A byte address within one memory region. */
+using Addr = std::uint64_t;
+
+/** Levels of the 3-level DTU memory hierarchy (Section IV-B). */
+enum class MemLevel : std::uint8_t
+{
+    L1, ///< per-core local data buffer
+    L2, ///< per-processing-group shared memory slice
+    L3, ///< on-board HBM
+    Host, ///< host DRAM across PCIe
+};
+
+/** Printable level name. */
+inline std::string
+memLevelName(MemLevel level)
+{
+    switch (level) {
+      case MemLevel::L1: return "L1";
+      case MemLevel::L2: return "L2";
+      case MemLevel::L3: return "L3";
+      case MemLevel::Host: return "Host";
+    }
+    return "?";
+}
+
+/** Kibibytes/mebibytes/gibibytes helpers. */
+constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v * 1024ULL;
+}
+constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v * 1024ULL * 1024ULL;
+}
+constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v * 1024ULL * 1024ULL * 1024ULL;
+}
+
+} // namespace dtu
+
+#endif // DTU_MEM_MEM_TYPES_HH

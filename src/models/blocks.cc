@@ -1,0 +1,172 @@
+#include "models/blocks.hh"
+
+namespace dtu
+{
+namespace models
+{
+
+int
+conv(Graph &g, int in, const std::string &name, int out_channels,
+     int kernel, int stride, int pad)
+{
+    OpAttrs attrs;
+    attrs.kernelH = kernel;
+    attrs.kernelW = kernel;
+    attrs.strideH = stride;
+    attrs.strideW = stride;
+    attrs.padH = pad;
+    attrs.padW = pad;
+    attrs.outChannels = out_channels;
+    return g.add(OpKind::Conv2d, name, {in}, attrs);
+}
+
+namespace
+{
+
+int
+convBnAct(Graph &g, int in, const std::string &name, int out_channels,
+          int kh, int kw, int stride, int ph, int pw, bool cheap_act)
+{
+    OpAttrs attrs;
+    attrs.kernelH = kh;
+    attrs.kernelW = kw;
+    attrs.strideH = stride;
+    attrs.strideW = stride;
+    attrs.padH = ph;
+    attrs.padW = pw;
+    attrs.outChannels = out_channels;
+    int c = g.add(OpKind::Conv2d, name, {in}, attrs);
+    int b = g.add(OpKind::BatchNorm, name + ".bn", {c});
+    OpAttrs act;
+    act.cheapActivation = cheap_act;
+    act.func = SpuFunc::Swish; // used only when not cheap
+    return g.add(OpKind::Activation, name + ".act", {b}, act);
+}
+
+} // namespace
+
+int
+convBnRelu(Graph &g, int in, const std::string &name, int out_channels,
+           int kernel, int stride, int pad)
+{
+    return convBnAct(g, in, name, out_channels, kernel, kernel, stride,
+                     pad, pad, /*cheap_act=*/true);
+}
+
+int
+convBnLeaky(Graph &g, int in, const std::string &name, int out_channels,
+            int kernel, int stride, int pad)
+{
+    // LeakyReLU is also a single vector-engine op (select + scale).
+    return convBnAct(g, in, name, out_channels, kernel, kernel, stride,
+                     pad, pad, /*cheap_act=*/true);
+}
+
+int
+convBnReluRect(Graph &g, int in, const std::string &name, int out_channels,
+               int kh, int kw, int stride, int ph, int pw)
+{
+    return convBnAct(g, in, name, out_channels, kh, kw, stride, ph, pw,
+                     /*cheap_act=*/true);
+}
+
+int
+bottleneck(Graph &g, int in, const std::string &name, int mid_channels,
+           int out_channels, int stride, bool downsample)
+{
+    int x = convBnRelu(g, in, name + ".conv1", mid_channels, 1, 1, 0);
+    // v1.5: the stride lives in the 3x3, not the 1x1.
+    x = convBnRelu(g, x, name + ".conv2", mid_channels, 3, stride, 1);
+    OpAttrs expand;
+    expand.kernelH = expand.kernelW = 1;
+    expand.outChannels = out_channels;
+    x = g.add(OpKind::Conv2d, name + ".conv3", {x}, expand);
+    x = g.add(OpKind::BatchNorm, name + ".bn3", {x});
+    int skip = in;
+    if (downsample) {
+        OpAttrs ds;
+        ds.kernelH = ds.kernelW = 1;
+        ds.strideH = ds.strideW = stride;
+        ds.outChannels = out_channels;
+        skip = g.add(OpKind::Conv2d, name + ".downsample", {in}, ds);
+        skip = g.add(OpKind::BatchNorm, name + ".downsample.bn", {skip});
+    }
+    int sum = g.add(OpKind::Add, name + ".add", {x, skip});
+    OpAttrs relu;
+    relu.cheapActivation = true;
+    return g.add(OpKind::Activation, name + ".relu", {sum}, relu);
+}
+
+int
+basicBlock(Graph &g, int in, const std::string &name, int channels,
+           int stride, bool downsample)
+{
+    int x = convBnRelu(g, in, name + ".conv1", channels, 3, stride, 1);
+    OpAttrs second;
+    second.kernelH = second.kernelW = 3;
+    second.padH = second.padW = 1;
+    second.outChannels = channels;
+    x = g.add(OpKind::Conv2d, name + ".conv2", {x}, second);
+    x = g.add(OpKind::BatchNorm, name + ".bn2", {x});
+    int skip = in;
+    if (downsample) {
+        OpAttrs ds;
+        ds.kernelH = ds.kernelW = 1;
+        ds.strideH = ds.strideW = stride;
+        ds.outChannels = channels;
+        skip = g.add(OpKind::Conv2d, name + ".downsample", {in}, ds);
+        skip = g.add(OpKind::BatchNorm, name + ".downsample.bn", {skip});
+    }
+    int sum = g.add(OpKind::Add, name + ".add", {x, skip});
+    OpAttrs relu;
+    relu.cheapActivation = true;
+    return g.add(OpKind::Activation, name + ".relu", {sum}, relu);
+}
+
+int
+darknetResidual(Graph &g, int in, const std::string &name,
+                int squeeze_channels, int channels)
+{
+    int x = convBnLeaky(g, in, name + ".squeeze", squeeze_channels, 1, 1,
+                        0);
+    x = convBnLeaky(g, x, name + ".expand", channels, 3, 1, 1);
+    return g.add(OpKind::Add, name + ".add", {x, in});
+}
+
+int
+transformerLayer(Graph &g, int in, const std::string &name, int hidden,
+                 int heads, int ff_hidden)
+{
+    // Self-attention sublayer.
+    OpAttrs proj;
+    proj.outFeatures = 3 * hidden;
+    int qkv = g.add(OpKind::Linear, name + ".qkv", {in}, proj);
+    OpAttrs narrow;
+    narrow.axis = 2;
+    narrow.sliceLen = hidden;
+    int q = g.add(OpKind::Slice, name + ".q", {qkv}, narrow);
+    OpAttrs attn;
+    attn.heads = heads;
+    int ctx = g.add(OpKind::Attention, name + ".attention", {q}, attn);
+    OpAttrs out_proj;
+    out_proj.outFeatures = hidden;
+    int o = g.add(OpKind::Linear, name + ".proj", {ctx}, out_proj);
+    int res1 = g.add(OpKind::Add, name + ".res1", {o, in});
+    int ln1 = g.add(OpKind::LayerNorm, name + ".ln1", {res1});
+
+    // Feed-forward sublayer with GELU.
+    OpAttrs up;
+    up.outFeatures = ff_hidden;
+    int ff1 = g.add(OpKind::Linear, name + ".ff1", {ln1}, up);
+    OpAttrs gelu;
+    gelu.func = SpuFunc::Gelu;
+    int act = g.add(OpKind::Activation, name + ".gelu", {ff1}, gelu);
+    OpAttrs down;
+    down.outFeatures = hidden;
+    int ff2 = g.add(OpKind::Linear, name + ".ff2", {act}, down);
+    int res2 = g.add(OpKind::Add, name + ".res2", {ff2, ln1});
+    return g.add(OpKind::LayerNorm, name + ".ln2", {res2});
+}
+
+} // namespace models
+} // namespace dtu

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared building blocks for the model zoo: conv/BN/activation
+ * triples, residual blocks, and transformer encoder layers.
+ */
+
+#ifndef DTU_MODELS_BLOCKS_HH
+#define DTU_MODELS_BLOCKS_HH
+
+#include <string>
+
+#include "graph/graph.hh"
+
+namespace dtu
+{
+namespace models
+{
+
+/** Conv + BatchNorm + ReLU (the CNN workhorse). */
+int convBnRelu(Graph &g, int in, const std::string &name, int out_channels,
+               int kernel, int stride, int pad);
+
+/** Conv + BatchNorm + LeakyReLU (Darknet style; leaky ~ cheap). */
+int convBnLeaky(Graph &g, int in, const std::string &name,
+                int out_channels, int kernel, int stride, int pad);
+
+/** Rectangular conv + BN + ReLU (Inception 1x7/7x1 factorizations). */
+int convBnReluRect(Graph &g, int in, const std::string &name,
+                   int out_channels, int kh, int kw, int stride, int ph,
+                   int pw);
+
+/** Plain conv without norm/activation. */
+int conv(Graph &g, int in, const std::string &name, int out_channels,
+         int kernel, int stride, int pad);
+
+/** ResNet bottleneck (1x1 -> 3x3 -> 1x1 + skip), v1.5 strides. */
+int bottleneck(Graph &g, int in, const std::string &name, int mid_channels,
+               int out_channels, int stride, bool downsample);
+
+/** ResNet basic block (3x3 -> 3x3 + skip). */
+int basicBlock(Graph &g, int in, const std::string &name, int channels,
+               int stride, bool downsample);
+
+/** Darknet residual block: 1x1 squeeze + 3x3 expand + skip. */
+int darknetResidual(Graph &g, int in, const std::string &name,
+                    int squeeze_channels, int channels);
+
+/**
+ * Transformer encoder layer over [B, S, H]: self-attention (QKV +
+ * attention + projection) and a GELU MLP, both with residuals and
+ * layer norms.
+ */
+int transformerLayer(Graph &g, int in, const std::string &name, int hidden,
+                     int heads, int ff_hidden);
+
+} // namespace models
+} // namespace dtu
+
+#endif // DTU_MODELS_BLOCKS_HH

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Image classification models: VGG16, ResNet50 v1.5, Inception v4.
+ */
+
+#include "models/blocks.hh"
+#include "models/model_zoo.hh"
+
+namespace dtu
+{
+namespace models
+{
+
+Graph
+buildVgg16(int batch)
+{
+    Graph g("vgg16");
+    int x = g.addInput("image", Shape({batch, 3, 224, 224}));
+
+    auto block = [&](int in, const std::string &name, int channels,
+                     int convs) {
+        int y = in;
+        for (int i = 0; i < convs; ++i) {
+            y = convBnRelu(g, y, name + ".conv" + std::to_string(i + 1),
+                           channels, 3, 1, 1);
+        }
+        OpAttrs pool;
+        pool.kernelH = pool.kernelW = 2;
+        pool.strideH = pool.strideW = 2;
+        return g.add(OpKind::MaxPool, name + ".pool", {y}, pool);
+    };
+
+    x = block(x, "block1", 64, 2);
+    x = block(x, "block2", 128, 2);
+    x = block(x, "block3", 256, 3);
+    x = block(x, "block4", 512, 3);
+    x = block(x, "block5", 512, 3);
+
+    OpAttrs flatten;
+    flatten.targetShape = {batch, 512 * 7 * 7};
+    x = g.add(OpKind::Reshape, "flatten", {x}, flatten);
+
+    OpAttrs fc1;
+    fc1.outFeatures = 4096;
+    x = g.add(OpKind::Linear, "fc1", {x}, fc1);
+    OpAttrs relu;
+    relu.cheapActivation = true;
+    x = g.add(OpKind::Activation, "fc1.relu", {x}, relu);
+    OpAttrs fc2;
+    fc2.outFeatures = 4096;
+    x = g.add(OpKind::Linear, "fc2", {x}, fc2);
+    x = g.add(OpKind::Activation, "fc2.relu", {x}, relu);
+    OpAttrs fc3;
+    fc3.outFeatures = 1000;
+    x = g.add(OpKind::Linear, "fc3", {x}, fc3);
+    OpAttrs softmax;
+    softmax.axis = 1;
+    x = g.add(OpKind::Softmax, "softmax", {x}, softmax);
+    g.markOutput(x);
+    return g;
+}
+
+Graph
+buildResnet50(int batch)
+{
+    Graph g("resnet50");
+    int x = g.addInput("image", Shape({batch, 3, 224, 224}));
+    x = convBnRelu(g, x, "stem", 64, 7, 2, 3);
+    OpAttrs pool;
+    pool.kernelH = pool.kernelW = 3;
+    pool.strideH = pool.strideW = 2;
+    pool.padH = pool.padW = 1;
+    x = g.add(OpKind::MaxPool, "stem.pool", {x}, pool);
+
+    struct Stage
+    {
+        int mid;
+        int out;
+        int blocks;
+        int stride;
+    };
+    const Stage stages[] = {
+        {64, 256, 3, 1}, {128, 512, 4, 2}, {256, 1024, 6, 2},
+        {512, 2048, 3, 2}};
+    int stage_id = 1;
+    for (const Stage &stage : stages) {
+        for (int b = 0; b < stage.blocks; ++b) {
+            std::string name = "stage" + std::to_string(stage_id) +
+                               ".block" + std::to_string(b);
+            int stride = b == 0 ? stage.stride : 1;
+            bool downsample = b == 0;
+            x = bottleneck(g, x, name, stage.mid, stage.out, stride,
+                           downsample);
+        }
+        ++stage_id;
+    }
+
+    x = g.add(OpKind::GlobalAvgPool, "gap", {x});
+    OpAttrs flatten;
+    flatten.targetShape = {batch, 2048};
+    x = g.add(OpKind::Reshape, "flatten", {x}, flatten);
+    OpAttrs fc;
+    fc.outFeatures = 1000;
+    x = g.add(OpKind::Linear, "fc", {x}, fc);
+    OpAttrs softmax;
+    softmax.axis = 1;
+    x = g.add(OpKind::Softmax, "softmax", {x}, softmax);
+    g.markOutput(x);
+    return g;
+}
+
+namespace
+{
+
+int
+inceptionA(Graph &g, int in, const std::string &name)
+{
+    OpAttrs pool;
+    pool.kernelH = pool.kernelW = 3;
+    pool.padH = pool.padW = 1;
+    int b0 = g.add(OpKind::AvgPool, name + ".pool", {in}, pool);
+    b0 = convBnRelu(g, b0, name + ".pool.conv", 96, 1, 1, 0);
+    int b1 = convBnRelu(g, in, name + ".b1", 96, 1, 1, 0);
+    int b2 = convBnRelu(g, in, name + ".b2a", 64, 1, 1, 0);
+    b2 = convBnRelu(g, b2, name + ".b2b", 96, 3, 1, 1);
+    int b3 = convBnRelu(g, in, name + ".b3a", 64, 1, 1, 0);
+    b3 = convBnRelu(g, b3, name + ".b3b", 96, 3, 1, 1);
+    b3 = convBnRelu(g, b3, name + ".b3c", 96, 3, 1, 1);
+    OpAttrs cat;
+    cat.axis = 1;
+    return g.add(OpKind::Concat, name + ".concat", {b0, b1, b2, b3}, cat);
+}
+
+int
+reductionA(Graph &g, int in, const std::string &name)
+{
+    OpAttrs pool;
+    pool.kernelH = pool.kernelW = 3;
+    pool.strideH = pool.strideW = 2;
+    int b0 = g.add(OpKind::MaxPool, name + ".pool", {in}, pool);
+    int b1 = convBnRelu(g, in, name + ".b1", 384, 3, 2, 0);
+    int b2 = convBnRelu(g, in, name + ".b2a", 192, 1, 1, 0);
+    b2 = convBnRelu(g, b2, name + ".b2b", 224, 3, 1, 1);
+    b2 = convBnRelu(g, b2, name + ".b2c", 256, 3, 2, 0);
+    OpAttrs cat;
+    cat.axis = 1;
+    return g.add(OpKind::Concat, name + ".concat", {b0, b1, b2}, cat);
+}
+
+int
+inceptionB(Graph &g, int in, const std::string &name)
+{
+    OpAttrs pool;
+    pool.kernelH = pool.kernelW = 3;
+    pool.padH = pool.padW = 1;
+    int b0 = g.add(OpKind::AvgPool, name + ".pool", {in}, pool);
+    b0 = convBnRelu(g, b0, name + ".pool.conv", 128, 1, 1, 0);
+    int b1 = convBnRelu(g, in, name + ".b1", 384, 1, 1, 0);
+    int b2 = convBnRelu(g, in, name + ".b2a", 192, 1, 1, 0);
+    b2 = convBnReluRect(g, b2, name + ".b2b", 224, 1, 7, 1, 0, 3);
+    b2 = convBnReluRect(g, b2, name + ".b2c", 256, 7, 1, 1, 3, 0);
+    int b3 = convBnRelu(g, in, name + ".b3a", 192, 1, 1, 0);
+    b3 = convBnReluRect(g, b3, name + ".b3b", 192, 1, 7, 1, 0, 3);
+    b3 = convBnReluRect(g, b3, name + ".b3c", 224, 7, 1, 1, 3, 0);
+    b3 = convBnReluRect(g, b3, name + ".b3d", 224, 1, 7, 1, 0, 3);
+    b3 = convBnReluRect(g, b3, name + ".b3e", 256, 7, 1, 1, 3, 0);
+    OpAttrs cat;
+    cat.axis = 1;
+    return g.add(OpKind::Concat, name + ".concat", {b0, b1, b2, b3}, cat);
+}
+
+int
+reductionB(Graph &g, int in, const std::string &name)
+{
+    OpAttrs pool;
+    pool.kernelH = pool.kernelW = 3;
+    pool.strideH = pool.strideW = 2;
+    int b0 = g.add(OpKind::MaxPool, name + ".pool", {in}, pool);
+    int b1 = convBnRelu(g, in, name + ".b1a", 192, 1, 1, 0);
+    b1 = convBnRelu(g, b1, name + ".b1b", 192, 3, 2, 0);
+    int b2 = convBnRelu(g, in, name + ".b2a", 256, 1, 1, 0);
+    b2 = convBnReluRect(g, b2, name + ".b2b", 256, 1, 7, 1, 0, 3);
+    b2 = convBnReluRect(g, b2, name + ".b2c", 320, 7, 1, 1, 3, 0);
+    b2 = convBnRelu(g, b2, name + ".b2d", 320, 3, 2, 0);
+    OpAttrs cat;
+    cat.axis = 1;
+    return g.add(OpKind::Concat, name + ".concat", {b0, b1, b2}, cat);
+}
+
+int
+inceptionC(Graph &g, int in, const std::string &name)
+{
+    OpAttrs pool;
+    pool.kernelH = pool.kernelW = 3;
+    pool.padH = pool.padW = 1;
+    int b0 = g.add(OpKind::AvgPool, name + ".pool", {in}, pool);
+    b0 = convBnRelu(g, b0, name + ".pool.conv", 256, 1, 1, 0);
+    int b1 = convBnRelu(g, in, name + ".b1", 256, 1, 1, 0);
+    int b2 = convBnRelu(g, in, name + ".b2a", 384, 1, 1, 0);
+    int b2l = convBnReluRect(g, b2, name + ".b2l", 256, 1, 3, 1, 0, 1);
+    int b2r = convBnReluRect(g, b2, name + ".b2r", 256, 3, 1, 1, 1, 0);
+    int b3 = convBnRelu(g, in, name + ".b3a", 384, 1, 1, 0);
+    b3 = convBnReluRect(g, b3, name + ".b3b", 448, 1, 3, 1, 0, 1);
+    b3 = convBnReluRect(g, b3, name + ".b3c", 512, 3, 1, 1, 1, 0);
+    int b3l = convBnReluRect(g, b3, name + ".b3l", 256, 1, 3, 1, 0, 1);
+    int b3r = convBnReluRect(g, b3, name + ".b3r", 256, 3, 1, 1, 1, 0);
+    OpAttrs cat;
+    cat.axis = 1;
+    return g.add(OpKind::Concat, name + ".concat",
+                 {b0, b1, b2l, b2r, b3l, b3r}, cat);
+}
+
+} // namespace
+
+Graph
+buildInceptionV4(int batch)
+{
+    Graph g("inception_v4");
+    int x = g.addInput("image", Shape({batch, 3, 299, 299}));
+
+    // Stem.
+    x = convBnRelu(g, x, "stem.conv1", 32, 3, 2, 0);   // 149
+    x = convBnRelu(g, x, "stem.conv2", 32, 3, 1, 0);   // 147
+    x = convBnRelu(g, x, "stem.conv3", 64, 3, 1, 1);   // 147
+    OpAttrs pool;
+    pool.kernelH = pool.kernelW = 3;
+    pool.strideH = pool.strideW = 2;
+    int p0 = g.add(OpKind::MaxPool, "stem.pool1", {x}, pool); // 73
+    int c0 = convBnRelu(g, x, "stem.conv4", 96, 3, 2, 0);     // 73
+    OpAttrs cat;
+    cat.axis = 1;
+    x = g.add(OpKind::Concat, "stem.cat1", {p0, c0}, cat); // 160ch
+
+    int l = convBnRelu(g, x, "stem.l1", 64, 1, 1, 0);
+    l = convBnRelu(g, l, "stem.l2", 96, 3, 1, 0); // 71
+    int r = convBnRelu(g, x, "stem.r1", 64, 1, 1, 0);
+    r = convBnReluRect(g, r, "stem.r2", 64, 1, 7, 1, 0, 3);
+    r = convBnReluRect(g, r, "stem.r3", 64, 7, 1, 1, 3, 0);
+    r = convBnRelu(g, r, "stem.r4", 96, 3, 1, 0); // 71
+    x = g.add(OpKind::Concat, "stem.cat2", {l, r}, cat); // 192ch@71
+
+    int c1 = convBnRelu(g, x, "stem.conv5", 192, 3, 2, 0); // 35
+    int p1 = g.add(OpKind::MaxPool, "stem.pool2", {x}, pool); // 35
+    x = g.add(OpKind::Concat, "stem.cat3", {c1, p1}, cat); // 384ch@35
+
+    for (int i = 0; i < 4; ++i)
+        x = inceptionA(g, x, "inceptionA" + std::to_string(i));
+    x = reductionA(g, x, "reductionA");
+    for (int i = 0; i < 7; ++i)
+        x = inceptionB(g, x, "inceptionB" + std::to_string(i));
+    x = reductionB(g, x, "reductionB");
+    for (int i = 0; i < 3; ++i)
+        x = inceptionC(g, x, "inceptionC" + std::to_string(i));
+
+    x = g.add(OpKind::GlobalAvgPool, "gap", {x});
+    OpAttrs flatten;
+    flatten.targetShape = {batch, 1536};
+    x = g.add(OpKind::Reshape, "flatten", {x}, flatten);
+    OpAttrs fc;
+    fc.outFeatures = 1000;
+    x = g.add(OpKind::Linear, "fc", {x}, fc);
+    OpAttrs softmax;
+    softmax.axis = 1;
+    x = g.add(OpKind::Softmax, "softmax", {x}, softmax);
+    g.markOutput(x);
+    return g;
+}
+
+} // namespace models
+} // namespace dtu

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Dense-prediction models: UNet (segmentation) and SRResNet (super
+ * resolution).
+ */
+
+#include "models/blocks.hh"
+#include "models/model_zoo.hh"
+
+namespace dtu
+{
+namespace models
+{
+
+Graph
+buildUnet(int batch)
+{
+    Graph g("unet");
+    int x = g.addInput("image", Shape({batch, 3, 512, 512}));
+
+    auto double_conv = [&](int in, const std::string &name, int channels) {
+        int y = convBnRelu(g, in, name + ".conv1", channels, 3, 1, 1);
+        return convBnRelu(g, y, name + ".conv2", channels, 3, 1, 1);
+    };
+
+    OpAttrs pool;
+    pool.kernelH = pool.kernelW = 2;
+    pool.strideH = pool.strideW = 2;
+
+    // Encoder.
+    int e1 = double_conv(x, "enc1", 64);    // 512
+    int d1 = g.add(OpKind::MaxPool, "enc1.pool", {e1}, pool);
+    int e2 = double_conv(d1, "enc2", 128);  // 256
+    int d2 = g.add(OpKind::MaxPool, "enc2.pool", {e2}, pool);
+    int e3 = double_conv(d2, "enc3", 256);  // 128
+    int d3 = g.add(OpKind::MaxPool, "enc3.pool", {e3}, pool);
+    int e4 = double_conv(d3, "enc4", 512);  // 64
+    int d4 = g.add(OpKind::MaxPool, "enc4.pool", {e4}, pool);
+    int mid = double_conv(d4, "bottleneck", 1024); // 32
+
+    // Decoder with skip concatenations.
+    OpAttrs up;
+    up.factor = 2;
+    OpAttrs cat;
+    cat.axis = 1;
+    auto up_block = [&](int in, int skip, const std::string &name,
+                        int channels) {
+        int u = g.add(OpKind::Upsample, name + ".up", {in}, up);
+        u = convBnRelu(g, u, name + ".upconv", channels, 2, 1, 1);
+        // The 2x2 "up-conv" keeps spatial size with pad 1 then crop;
+        // we model the crop with a slice to the skip's extent.
+        OpAttrs crop_h;
+        crop_h.axis = 2;
+        crop_h.sliceLen = g.node(skip).shape.dim(2);
+        u = g.add(OpKind::Slice, name + ".croph", {u}, crop_h);
+        OpAttrs crop_w;
+        crop_w.axis = 3;
+        crop_w.sliceLen = g.node(skip).shape.dim(3);
+        u = g.add(OpKind::Slice, name + ".cropw", {u}, crop_w);
+        int c = g.add(OpKind::Concat, name + ".concat", {u, skip}, cat);
+        return double_conv(c, name, channels);
+    };
+
+    int y = up_block(mid, e4, "dec4", 512);
+    y = up_block(y, e3, "dec3", 256);
+    y = up_block(y, e2, "dec2", 128);
+    y = up_block(y, e1, "dec1", 64);
+    y = conv(g, y, "head", 2, 1, 1, 0); // foreground/background
+    g.markOutput(y);
+    return g;
+}
+
+Graph
+buildSrResnet(int batch)
+{
+    // SRResNet (the SRGAN generator): 4x super resolution of a
+    // 224x224 input via 16 residual blocks and two pixel-shuffle
+    // upsampling stages. Activation-heavy and layout-heavy: exactly
+    // the workload where the paper reports its largest win.
+    Graph g("srresnet");
+    int x = g.addInput("image", Shape({batch, 3, 224, 224}));
+
+    int head = conv(g, x, "head", 64, 9, 1, 4);
+    OpAttrs prelu;
+    prelu.cheapActivation = true;
+    head = g.add(OpKind::Activation, "head.prelu", {head}, prelu);
+
+    int y = head;
+    for (int i = 0; i < 16; ++i) {
+        std::string name = "resblock" + std::to_string(i);
+        int r = convBnRelu(g, y, name + ".conv1", 64, 3, 1, 1);
+        r = conv(g, r, name + ".conv2", 64, 3, 1, 1);
+        r = g.add(OpKind::BatchNorm, name + ".bn2", {r});
+        y = g.add(OpKind::Add, name + ".add", {r, y});
+    }
+    y = conv(g, y, "trunk", 64, 3, 1, 1);
+    y = g.add(OpKind::BatchNorm, "trunk.bn", {y});
+    y = g.add(OpKind::Add, "trunk.add", {y, head});
+
+    // Two x2 pixel-shuffle upsampling stages: 224 -> 448 -> 896.
+    for (int i = 0; i < 2; ++i) {
+        std::string name = "upsample" + std::to_string(i + 1);
+        y = conv(g, y, name + ".conv", 256, 3, 1, 1);
+        OpAttrs shuffle;
+        shuffle.factor = 2;
+        y = g.add(OpKind::PixelShuffle, name + ".shuffle", {y}, shuffle);
+        y = g.add(OpKind::Activation, name + ".prelu", {y}, prelu);
+    }
+    y = conv(g, y, "tail", 3, 9, 1, 4);
+    OpAttrs tanh;
+    tanh.func = SpuFunc::Tanh;
+    y = g.add(OpKind::Activation, "tail.tanh", {y}, tanh);
+    g.markOutput(y);
+    return g;
+}
+
+} // namespace models
+} // namespace dtu

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Object detection models: YOLOv3, CenterNet, RetinaFace.
+ */
+
+#include "models/blocks.hh"
+#include "models/model_zoo.hh"
+
+namespace dtu
+{
+namespace models
+{
+
+Graph
+buildYoloV3(int batch)
+{
+    Graph g("yolov3");
+    int x = g.addInput("image", Shape({batch, 3, 608, 608}));
+
+    // Darknet-53 backbone.
+    x = convBnLeaky(g, x, "d0", 32, 3, 1, 1);
+    x = convBnLeaky(g, x, "d1", 64, 3, 2, 1); // 304
+    x = darknetResidual(g, x, "res1.0", 32, 64);
+    x = convBnLeaky(g, x, "d2", 128, 3, 2, 1); // 152
+    for (int i = 0; i < 2; ++i)
+        x = darknetResidual(g, x, "res2." + std::to_string(i), 64, 128);
+    x = convBnLeaky(g, x, "d3", 256, 3, 2, 1); // 76
+    for (int i = 0; i < 8; ++i)
+        x = darknetResidual(g, x, "res3." + std::to_string(i), 128, 256);
+    int route36 = x; // 76x76x256
+    x = convBnLeaky(g, x, "d4", 512, 3, 2, 1); // 38
+    for (int i = 0; i < 8; ++i)
+        x = darknetResidual(g, x, "res4." + std::to_string(i), 256, 512);
+    int route61 = x; // 38x38x512
+    x = convBnLeaky(g, x, "d5", 1024, 3, 2, 1); // 19
+    for (int i = 0; i < 4; ++i)
+        x = darknetResidual(g, x, "res5." + std::to_string(i), 512, 1024);
+
+    // Detection head helper: 5-conv set then 3x3 + 1x1 output.
+    auto conv_set = [&](int in, const std::string &name, int channels) {
+        int y = convBnLeaky(g, in, name + ".c1", channels, 1, 1, 0);
+        y = convBnLeaky(g, y, name + ".c2", channels * 2, 3, 1, 1);
+        y = convBnLeaky(g, y, name + ".c3", channels, 1, 1, 0);
+        y = convBnLeaky(g, y, name + ".c4", channels * 2, 3, 1, 1);
+        return convBnLeaky(g, y, name + ".c5", channels, 1, 1, 0);
+    };
+    auto detect = [&](int in, const std::string &name, int channels) {
+        int y = convBnLeaky(g, in, name + ".conv", channels * 2, 3, 1, 1);
+        return conv(g, y, name + ".out", 255, 1, 1, 0); // 3*(80+5)
+    };
+
+    // Scale 1 (19x19).
+    int set1 = conv_set(x, "head1", 512);
+    int det1 = detect(set1, "det1", 512);
+    g.markOutput(det1);
+
+    // Scale 2 (38x38): upsample + concat with route61.
+    int up1 = convBnLeaky(g, set1, "up1.conv", 256, 1, 1, 0);
+    OpAttrs up;
+    up.factor = 2;
+    up1 = g.add(OpKind::Upsample, "up1", {up1}, up);
+    OpAttrs cat;
+    cat.axis = 1;
+    int cat1 = g.add(OpKind::Concat, "cat1", {up1, route61}, cat);
+    int set2 = conv_set(cat1, "head2", 256);
+    int det2 = detect(set2, "det2", 256);
+    g.markOutput(det2);
+
+    // Scale 3 (76x76).
+    int up2 = convBnLeaky(g, set2, "up2.conv", 128, 1, 1, 0);
+    up2 = g.add(OpKind::Upsample, "up2", {up2}, up);
+    int cat2 = g.add(OpKind::Concat, "cat2", {up2, route36}, cat);
+    int set3 = conv_set(cat2, "head3", 128);
+    int det3 = detect(set3, "det3", 128);
+    g.markOutput(det3);
+    return g;
+}
+
+Graph
+buildCenterNet(int batch)
+{
+    // CenterNet with the ResNet-18 + 3-deconv configuration.
+    Graph g("centernet");
+    int x = g.addInput("image", Shape({batch, 3, 512, 512}));
+    x = convBnRelu(g, x, "stem", 64, 7, 2, 3); // 256
+    OpAttrs pool;
+    pool.kernelH = pool.kernelW = 3;
+    pool.strideH = pool.strideW = 2;
+    pool.padH = pool.padW = 1;
+    x = g.add(OpKind::MaxPool, "stem.pool", {x}, pool); // 128
+
+    const int channels[] = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+        for (int b = 0; b < 2; ++b) {
+            std::string name = "stage" + std::to_string(stage + 1) +
+                               ".block" + std::to_string(b);
+            int stride = (stage > 0 && b == 0) ? 2 : 1;
+            bool downsample = stage > 0 && b == 0;
+            x = basicBlock(g, x, name, channels[stage], stride,
+                           downsample);
+        }
+    }
+    // x: 512ch @ 16x16. Three upsampling stages back to 128x128.
+    const int up_channels[] = {256, 128, 64};
+    for (int i = 0; i < 3; ++i) {
+        std::string name = "deconv" + std::to_string(i + 1);
+        OpAttrs up;
+        up.factor = 2;
+        int u = g.add(OpKind::Upsample, name + ".up", {x}, up);
+        x = convBnRelu(g, u, name + ".conv", up_channels[i], 3, 1, 1);
+    }
+
+    // Heads: heatmap (80 classes), size (2), offset (2).
+    auto head = [&](const std::string &name, int out) {
+        int h = convBnRelu(g, x, name + ".conv", 64, 3, 1, 1);
+        return conv(g, h, name + ".out", out, 1, 1, 0);
+    };
+    int hm = head("heatmap", 80);
+    OpAttrs sig;
+    sig.func = SpuFunc::Sigmoid;
+    hm = g.add(OpKind::Activation, "heatmap.sigmoid", {hm}, sig);
+    g.markOutput(hm);
+    g.markOutput(head("wh", 2));
+    g.markOutput(head("offset", 2));
+    return g;
+}
+
+Graph
+buildRetinaFace(int batch)
+{
+    // RetinaFace with the ResNet-50 backbone + FPN + SSH heads.
+    Graph g("retinaface");
+    int x = g.addInput("image", Shape({batch, 3, 640, 640}));
+    x = convBnRelu(g, x, "stem", 64, 7, 2, 3); // 320
+    OpAttrs pool;
+    pool.kernelH = pool.kernelW = 3;
+    pool.strideH = pool.strideW = 2;
+    pool.padH = pool.padW = 1;
+    x = g.add(OpKind::MaxPool, "stem.pool", {x}, pool); // 160
+
+    struct Stage
+    {
+        int mid, out, blocks, stride;
+    };
+    const Stage stages[] = {
+        {64, 256, 3, 1}, {128, 512, 4, 2}, {256, 1024, 6, 2},
+        {512, 2048, 3, 2}};
+    int c_feats[4] = {0, 0, 0, 0};
+    for (int s = 0; s < 4; ++s) {
+        for (int b = 0; b < stages[s].blocks; ++b) {
+            std::string name = "stage" + std::to_string(s + 1) + ".block" +
+                               std::to_string(b);
+            x = bottleneck(g, x, name, stages[s].mid, stages[s].out,
+                           b == 0 ? stages[s].stride : 1, b == 0);
+        }
+        c_feats[s] = x;
+    }
+    // FPN over C3 (80x80x512), C4 (40x40x1024), C5 (20x20x2048).
+    int lat5 = convBnRelu(g, c_feats[3], "fpn.lat5", 256, 1, 1, 0);
+    int lat4 = convBnRelu(g, c_feats[2], "fpn.lat4", 256, 1, 1, 0);
+    int lat3 = convBnRelu(g, c_feats[1], "fpn.lat3", 256, 1, 1, 0);
+    OpAttrs up;
+    up.factor = 2;
+    int td4 = g.add(OpKind::Upsample, "fpn.up5", {lat5}, up);
+    int p4 = g.add(OpKind::Add, "fpn.add4", {td4, lat4});
+    p4 = convBnRelu(g, p4, "fpn.smooth4", 256, 3, 1, 1);
+    int td3 = g.add(OpKind::Upsample, "fpn.up4", {p4}, up);
+    int p3 = g.add(OpKind::Add, "fpn.add3", {td3, lat3});
+    p3 = convBnRelu(g, p3, "fpn.smooth3", 256, 3, 1, 1);
+    int p5 = convBnRelu(g, lat5, "fpn.smooth5", 256, 3, 1, 1);
+
+    // SSH context module + heads per pyramid level.
+    int level = 3;
+    for (int p : {p3, p4, p5}) {
+        std::string name = "ssh" + std::to_string(level);
+        int b1 = convBnRelu(g, p, name + ".b1", 128, 3, 1, 1);
+        int b2 = convBnRelu(g, p, name + ".b2a", 64, 3, 1, 1);
+        int b2b = convBnRelu(g, b2, name + ".b2b", 64, 3, 1, 1);
+        int b3 = convBnRelu(g, b2, name + ".b3a", 64, 3, 1, 1);
+        b3 = convBnRelu(g, b3, name + ".b3b", 64, 3, 1, 1);
+        OpAttrs cat;
+        cat.axis = 1;
+        int ssh = g.add(OpKind::Concat, name + ".concat", {b1, b2b, b3},
+                        cat);
+        // Heads: 2 anchors x (2 class + 4 bbox + 10 landmark).
+        g.markOutput(conv(g, ssh, name + ".class", 4, 1, 1, 0));
+        g.markOutput(conv(g, ssh, name + ".bbox", 8, 1, 1, 0));
+        g.markOutput(conv(g, ssh, name + ".landmark", 20, 1, 1, 0));
+        ++level;
+    }
+    return g;
+}
+
+} // namespace models
+} // namespace dtu

@@ -1,0 +1,54 @@
+#include "models/model_zoo.hh"
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+namespace models
+{
+
+std::vector<ModelInfo>
+modelZoo()
+{
+    return {
+        {"yolov3", "Object Detection", "3x608x608"},
+        {"centernet", "Object Detection", "3x512x512"},
+        {"retinaface", "Object Detection", "3x640x640"},
+        {"vgg16", "Image Classification", "3x224x224"},
+        {"resnet50", "Image Classification", "3x224x224"},
+        {"inception_v4", "Image Classification", "3x299x299"},
+        {"unet", "Segmentation", "3x512x512"},
+        {"srresnet", "Super Resolution", "224x224x3"},
+        {"bert_large", "NLP", "384"},
+        {"conformer", "Speech Recognition", "80x401"},
+    };
+}
+
+Graph
+buildModel(const std::string &name, int batch)
+{
+    if (name == "yolov3")
+        return buildYoloV3(batch);
+    if (name == "centernet")
+        return buildCenterNet(batch);
+    if (name == "retinaface")
+        return buildRetinaFace(batch);
+    if (name == "vgg16")
+        return buildVgg16(batch);
+    if (name == "resnet50")
+        return buildResnet50(batch);
+    if (name == "inception_v4")
+        return buildInceptionV4(batch);
+    if (name == "unet")
+        return buildUnet(batch);
+    if (name == "srresnet")
+        return buildSrResnet(batch);
+    if (name == "bert_large")
+        return buildBertLarge(batch);
+    if (name == "conformer")
+        return buildConformer(batch);
+    fatal("unknown model '", name, "'");
+}
+
+} // namespace models
+} // namespace dtu

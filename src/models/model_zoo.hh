@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The DNN benchmark zoo (Table III).
+ *
+ * Ten representative networks across six domains, each built at layer
+ * granularity with the paper's input sizes:
+ *
+ *   Object detection:      YOLOv3 (3x608x608), CenterNet (3x512x512),
+ *                          RetinaFace (3x640x640)
+ *   Image classification:  VGG16, ResNet50 v1.5 (3x224x224),
+ *                          Inception v4 (3x299x299)
+ *   Segmentation:          UNet (3x512x512)
+ *   Super resolution:      SRResNet (224x224x3)
+ *   NLP:                   BERT-Large (sequence 384)
+ *   Speech recognition:    Conformer (80x401)
+ */
+
+#ifndef DTU_MODELS_MODEL_ZOO_HH
+#define DTU_MODELS_MODEL_ZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace dtu
+{
+namespace models
+{
+
+/** Table III row. */
+struct ModelInfo
+{
+    std::string name;
+    std::string category;
+    std::string inputSize;
+};
+
+/** The ten Table III entries, in paper order. */
+std::vector<ModelInfo> modelZoo();
+
+/** Build a zoo model by name ("resnet50", "bert_large", ...). */
+Graph buildModel(const std::string &name, int batch = 1);
+
+Graph buildYoloV3(int batch = 1);
+Graph buildCenterNet(int batch = 1);
+Graph buildRetinaFace(int batch = 1);
+Graph buildVgg16(int batch = 1);
+Graph buildResnet50(int batch = 1);
+Graph buildInceptionV4(int batch = 1);
+Graph buildUnet(int batch = 1);
+Graph buildSrResnet(int batch = 1);
+Graph buildBertLarge(int batch = 1, int sequence = 384);
+Graph buildConformer(int batch = 1);
+
+} // namespace models
+} // namespace dtu
+
+#endif // DTU_MODELS_MODEL_ZOO_HH

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Sequence models: BERT-Large (NLP) and Conformer (speech).
+ */
+
+#include "models/blocks.hh"
+#include "models/model_zoo.hh"
+
+namespace dtu
+{
+namespace models
+{
+
+Graph
+buildBertLarge(int batch, int sequence)
+{
+    // BERT-Large: 24 layers, hidden 1024, 16 heads, FF 4096,
+    // WordPiece vocabulary 30522; input length 384 (Table III).
+    Graph g("bert_large");
+    constexpr int hidden = 1024;
+    constexpr int heads = 16;
+    constexpr int ff = 4096;
+    constexpr int layers = 24;
+
+    int ids = g.addInput("token_ids", Shape({batch, sequence}));
+    OpAttrs embed;
+    embed.outFeatures = hidden;
+    embed.vocab = 30522;
+    embed.inputDensity = 0.05; // one-hot rows: highly sparse lookups
+    int x = g.add(OpKind::Embedding, "embedding", {ids}, embed);
+    x = g.add(OpKind::LayerNorm, "embedding.ln", {x});
+
+    for (int i = 0; i < layers; ++i)
+        x = transformerLayer(g, x, "layer" + std::to_string(i), hidden,
+                             heads, ff);
+
+    // Pooler over [CLS].
+    OpAttrs first;
+    first.axis = 1;
+    first.sliceLen = 1;
+    int cls = g.add(OpKind::Slice, "cls", {x}, first);
+    OpAttrs pool;
+    pool.outFeatures = hidden;
+    int pooled = g.add(OpKind::Linear, "pooler", {cls}, pool);
+    OpAttrs tanh;
+    tanh.func = SpuFunc::Tanh;
+    pooled = g.add(OpKind::Activation, "pooler.tanh", {pooled}, tanh);
+    g.markOutput(pooled);
+    g.markOutput(x);
+    return g;
+}
+
+namespace
+{
+
+/** One Conformer block: FF/2 + MHSA + conv module + FF/2 + LN. */
+int
+conformerBlock(Graph &g, int in, const std::string &name, int d_model,
+               int heads, int ff_hidden, int conv_kernel)
+{
+    // Half-step feed-forward (Macaron) #1.
+    auto half_ff = [&](int x, const std::string &ff_name) {
+        int ln = g.add(OpKind::LayerNorm, ff_name + ".ln", {x});
+        OpAttrs up;
+        up.outFeatures = ff_hidden;
+        int f = g.add(OpKind::Linear, ff_name + ".up", {ln}, up);
+        OpAttrs swish;
+        swish.func = SpuFunc::Swish;
+        f = g.add(OpKind::Activation, ff_name + ".swish", {f}, swish);
+        OpAttrs down;
+        down.outFeatures = d_model;
+        f = g.add(OpKind::Linear, ff_name + ".down", {f}, down);
+        return g.add(OpKind::Add, ff_name + ".res", {f, x});
+    };
+
+    int x = half_ff(in, name + ".ff1");
+
+    // Multi-head self-attention sublayer.
+    int ln = g.add(OpKind::LayerNorm, name + ".mhsa.ln", {x});
+    OpAttrs qkv;
+    qkv.outFeatures = 3 * d_model;
+    int proj = g.add(OpKind::Linear, name + ".mhsa.qkv", {ln}, qkv);
+    OpAttrs narrow;
+    narrow.axis = 2;
+    narrow.sliceLen = d_model;
+    int q = g.add(OpKind::Slice, name + ".mhsa.q", {proj}, narrow);
+    OpAttrs attn;
+    attn.heads = heads;
+    int ctx = g.add(OpKind::Attention, name + ".mhsa.attn", {q}, attn);
+    OpAttrs out;
+    out.outFeatures = d_model;
+    ctx = g.add(OpKind::Linear, name + ".mhsa.proj", {ctx}, out);
+    x = g.add(OpKind::Add, name + ".mhsa.res", {ctx, x});
+
+    // Convolution module: pointwise (GLU) -> depthwise -> pointwise.
+    ln = g.add(OpKind::LayerNorm, name + ".conv.ln", {x});
+    OpAttrs pw1;
+    pw1.outFeatures = 2 * d_model; // GLU doubles then gates
+    int c = g.add(OpKind::Linear, name + ".conv.pw1", {ln}, pw1);
+    OpAttrs gate;
+    gate.axis = 2;
+    gate.sliceLen = d_model;
+    int a = g.add(OpKind::Slice, name + ".conv.glu.a", {c}, gate);
+    int b = g.add(OpKind::Slice, name + ".conv.glu.b", {c}, gate);
+    OpAttrs sig;
+    sig.func = SpuFunc::Sigmoid;
+    b = g.add(OpKind::Activation, name + ".conv.glu.sig", {b}, sig);
+    c = g.add(OpKind::Mul, name + ".conv.glu", {a, b});
+    // Depthwise conv over time: reshape [B,S,D] -> [B,D,S,1].
+    const Shape &cs = g.node(c).shape;
+    OpAttrs to_nchw;
+    to_nchw.targetShape = {cs.dim(0), cs.dim(2), cs.dim(1), 1};
+    int t = g.add(OpKind::Reshape, name + ".conv.to_nchw", {c}, to_nchw);
+    OpAttrs dw;
+    dw.kernelH = conv_kernel;
+    dw.kernelW = 1;
+    dw.padH = conv_kernel / 2;
+    t = g.add(OpKind::DWConv2d, name + ".conv.dw", {t}, dw);
+    t = g.add(OpKind::BatchNorm, name + ".conv.bn", {t});
+    OpAttrs swish;
+    swish.func = SpuFunc::Swish;
+    t = g.add(OpKind::Activation, name + ".conv.swish", {t}, swish);
+    OpAttrs to_bsd;
+    to_bsd.targetShape = {cs.dim(0), cs.dim(1), cs.dim(2)};
+    c = g.add(OpKind::Reshape, name + ".conv.to_bsd", {t}, to_bsd);
+    OpAttrs pw2;
+    pw2.outFeatures = d_model;
+    c = g.add(OpKind::Linear, name + ".conv.pw2", {c}, pw2);
+    x = g.add(OpKind::Add, name + ".conv.res", {c, x});
+
+    x = half_ff(x, name + ".ff2");
+    return g.add(OpKind::LayerNorm, name + ".ln_out", {x});
+}
+
+} // namespace
+
+Graph
+buildConformer(int batch)
+{
+    // Conformer (large-ish): 80-dim log-mel features over 401 frames
+    // (Table III input 80x401); conv subsampling to S=101, then 16
+    // blocks with d_model=512, 8 heads, FF 2048, depthwise kernel 31.
+    Graph g("conformer");
+    constexpr int d_model = 512;
+    constexpr int heads = 8;
+    constexpr int ff = 2048;
+    constexpr int blocks = 16;
+
+    int x = g.addInput("features", Shape({batch, 1, 80, 401}));
+    // Two 3x3 stride-2 convs subsample time (and frequency) by 4.
+    x = convBnRelu(g, x, "subsample.conv1", d_model / 4, 3, 2, 1);
+    x = convBnRelu(g, x, "subsample.conv2", d_model / 4, 3, 2, 1);
+    const Shape &s = g.node(x).shape; // [B, 128, 20, 101]
+    OpAttrs to_seq;
+    to_seq.targetShape = {s.dim(0), s.dim(3), s.dim(1) * s.dim(2)};
+    x = g.add(OpKind::Reshape, "subsample.flatten", {x}, to_seq);
+    OpAttrs in_proj;
+    in_proj.outFeatures = d_model;
+    x = g.add(OpKind::Linear, "subsample.proj", {x}, in_proj);
+
+    for (int i = 0; i < blocks; ++i)
+        x = conformerBlock(g, x, "block" + std::to_string(i), d_model,
+                           heads, ff, 31);
+
+    // CTC-style output head over a 1k wordpiece vocabulary.
+    OpAttrs head;
+    head.outFeatures = 1024;
+    x = g.add(OpKind::Linear, "ctc_head", {x}, head);
+    OpAttrs softmax;
+    softmax.axis = 2;
+    x = g.add(OpKind::Softmax, "softmax", {x}, softmax);
+    g.markOutput(x);
+    return g;
+}
+
+} // namespace models
+} // namespace dtu

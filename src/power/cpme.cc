@@ -1,0 +1,146 @@
+#include "power/cpme.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+Cpme::Cpme(double power_limit_watts, DvfsPolicy policy)
+    : limitWatts_(power_limit_watts), reserveWatts_(power_limit_watts),
+      policy_(std::move(policy))
+{
+    fatalIf(power_limit_watts <= 0.0, "power limit must be positive");
+    fatalIf(policy_.ladderHz.empty(), "DVFS ladder must not be empty");
+    // Boot at the top of the ladder; the loop ratchets down when the
+    // workload does not need it.
+    ladderIndex_ = policy_.ladderHz.size() - 1;
+}
+
+void
+Cpme::attach(Lpme &lpme)
+{
+    fatalIf(lpme.baselineWatts() > reserveWatts_,
+            "baseline budgets exceed the power limit when attaching '",
+            lpme.name(), "'");
+    reserveWatts_ -= lpme.baselineWatts();
+}
+
+double
+Cpme::requestBudget(Lpme &lpme, double watts)
+{
+    double granted = std::clamp(watts, 0.0, reserveWatts_);
+    reserveWatts_ -= granted;
+    lpme.grant(granted);
+    totalGranted_ += granted;
+    return granted;
+}
+
+void
+Cpme::returnBudget(Lpme &lpme, double watts)
+{
+    double surplus = std::max(0.0, watts);
+    lpme.reclaim(surplus);
+    reserveWatts_ += surplus;
+    panicIf(reserveWatts_ > limitWatts_ + 1e-9,
+            "reserve pool exceeded the power limit");
+}
+
+double
+Cpme::serviceWindow(Lpme &lpme, const ActivitySample &sample)
+{
+    LpmeDecision decision = lpme.onWindow(sample);
+    if (decision.requestWatts > 0.0) {
+        double granted = requestBudget(lpme, decision.requestWatts);
+        if (granted > 0.0 && sample.projectedWatts <= lpme.budgetWatts()) {
+            // The grant removed the bottleneck: no bubbles needed.
+            return 0.0;
+        }
+        if (granted > 0.0) {
+            // Partially satisfied: recompute the feedback throttle.
+            return sample.projectedWatts / lpme.budgetWatts() - 1.0;
+        }
+    } else if (decision.returnWatts > 0.0) {
+        returnBudget(lpme, decision.returnWatts);
+    }
+    return decision.throttle;
+}
+
+double
+Cpme::regulate(const ActivitySample &aggregate, double desired_hz)
+{
+    if (!policy_.enabled)
+        return frequency();
+    history_.push_back(classify(aggregate));
+    while (history_.size() > policy_.decisionWindows)
+        history_.pop_front();
+    // Find the lowest ladder point satisfying the demand.
+    std::size_t target = policy_.ladderHz.size() - 1;
+    for (std::size_t i = 0; i < policy_.ladderHz.size(); ++i) {
+        if (policy_.ladderHz[i] >= desired_hz - 1e5) {
+            target = i;
+            break;
+        }
+    }
+    std::size_t new_index = ladderIndex_;
+    if (target > ladderIndex_)
+        ++new_index; // climb one step per window (integrity-checked)
+    else if (target < ladderIndex_)
+        new_index = target; // coasting down is always integrity-safe
+    if (new_index != ladderIndex_) {
+        ladderIndex_ = new_index;
+        ++frequencyChanges_;
+    }
+    return frequency();
+}
+
+WorkloadClass
+Cpme::classify(const ActivitySample &sample) const
+{
+    if (sample.l3StallRatio > policy_.l3StallHighThreshold)
+        return WorkloadClass::BandwidthBound;
+    if (sample.busyRatio > policy_.busyHighThreshold)
+        return WorkloadClass::ComputeBound;
+    return WorkloadClass::Balanced;
+}
+
+double
+Cpme::onWindow(const ActivitySample &aggregate)
+{
+    if (!policy_.enabled)
+        return frequency();
+
+    // Observation already happened (the sample); Evaluation:
+    WorkloadClass cls = classify(aggregate);
+    history_.push_back(cls);
+    while (history_.size() > policy_.decisionWindows)
+        history_.pop_front();
+
+    // Decision: act only on a consistent recent history.
+    bool consistent = history_.size() >= policy_.decisionWindows &&
+                      std::all_of(history_.begin(), history_.end(),
+                                  [&](WorkloadClass c) { return c == cls; });
+    if (!consistent)
+        return frequency();
+
+    // Action: compute-bound work with a saturated pipeline earns a
+    // boost; bandwidth-bound work cannot use the clocks and steps
+    // down; balanced work holds.
+    std::size_t new_index = ladderIndex_;
+    if (cls == WorkloadClass::ComputeBound &&
+        aggregate.busyRatio > policy_.busyHighThreshold &&
+        ladderIndex_ + 1 < policy_.ladderHz.size()) {
+        ++new_index;
+    } else if (cls == WorkloadClass::BandwidthBound && ladderIndex_ > 0) {
+        --new_index;
+    }
+    if (new_index != ladderIndex_) {
+        ladderIndex_ = new_index;
+        ++frequencyChanges_;
+        history_.clear();
+    }
+    return frequency();
+}
+
+} // namespace dtu

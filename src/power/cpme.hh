@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The Central Power Management Engine (Section IV-F, Figs. 8-10).
+ *
+ * The CPME owns the chip-level power limit. At boot it assigns every
+ * function unit its baseline budget and keeps the remainder in a
+ * reserve pool for runtime distribution. It serves LPME borrow
+ * requests against that pool (power integrity), absorbs returns, and
+ * runs the 4-stage DVFS loop — Observation, Evaluation, Decision,
+ * Action — that classifies the running workload as compute-bound,
+ * bandwidth-bound, or balanced and steps the compute-core frequency
+ * along the 1.0-1.4 GHz ladder.
+ */
+
+#ifndef DTU_POWER_CPME_HH
+#define DTU_POWER_CPME_HH
+
+#include <deque>
+#include <vector>
+
+#include "power/lpme.hh"
+
+namespace dtu
+{
+
+/** Workload classification used by the Evaluation stage. */
+enum class WorkloadClass
+{
+    ComputeBound,
+    BandwidthBound,
+    Balanced,
+};
+
+/** Tunables of the DVFS policy. */
+struct DvfsPolicy
+{
+    /** Frequency ladder in Hz, ascending. */
+    std::vector<double> ladderHz = {1.0e9, 1.1e9, 1.2e9, 1.3e9, 1.4e9};
+    /** Busy duty-cycle ratio above which compute-bound raises clocks. */
+    double busyHighThreshold = 0.80;
+    /** L3-stall ratio above which the workload is bandwidth-bound. */
+    double l3StallHighThreshold = 0.30;
+    /** Consecutive same-class windows required before acting. */
+    unsigned decisionWindows = 2;
+    /** Disable frequency changes entirely (power management OFF). */
+    bool enabled = true;
+};
+
+/** The chip-level power manager. */
+class Cpme
+{
+  public:
+    /**
+     * @param power_limit_watts the board limit (150 W on i20).
+     * @param policy DVFS tunables.
+     */
+    explicit Cpme(double power_limit_watts, DvfsPolicy policy = {});
+
+    /**
+     * Register a function unit's LPME; its baseline budget is carved
+     * out of the limit at boot.
+     */
+    void attach(Lpme &lpme);
+
+    /** Watts still unassigned in the reserve pool. */
+    double reserveWatts() const { return reserveWatts_; }
+    double powerLimit() const { return limitWatts_; }
+
+    /**
+     * Serve a borrow request: grant at most the reserve, preserving
+     * overall integrity (sum of budgets never exceeds the limit).
+     * @return watts actually granted.
+     */
+    double requestBudget(Lpme &lpme, double watts);
+
+    /** Absorb a budget return from an LPME. */
+    void returnBudget(Lpme &lpme, double watts);
+
+    /**
+     * Run one pass of the LPME/CPME window protocol for a unit:
+     * applies the LPME decision against the pool and returns the
+     * throttle the unit must apply next window.
+     */
+    double serviceWindow(Lpme &lpme, const ActivitySample &sample);
+
+    //
+    // DVFS loop (core clock). One call per observation window with
+    // aggregated core+DMA activity; returns the frequency for the
+    // next window.
+    //
+
+    /** Current core frequency (Hz). */
+    double frequency() const { return policy_.ladderHz[ladderIndex_]; }
+
+    /** Observation + Evaluation + Decision + Action. */
+    double onWindow(const ActivitySample &aggregate);
+
+    /**
+     * Real-time regulation variant: the LPMEs report the frequency
+     * that just keeps compute hidden under the memory phases of the
+     * current window; the CPME rate-limits the clocks by one ladder
+     * step per window toward it (bandwidth-bound windows coast down,
+     * compute-bound windows climb back).
+     * @return the frequency for the coming window.
+     */
+    double regulate(const ActivitySample &aggregate, double desired_hz);
+
+    /** Evaluation stage: classify one sample. */
+    WorkloadClass classify(const ActivitySample &sample) const;
+
+    const DvfsPolicy &policy() const { return policy_; }
+    unsigned frequencyChanges() const { return frequencyChanges_; }
+    double totalGranted() const { return totalGranted_; }
+
+  private:
+    double limitWatts_;
+    double reserveWatts_;
+    DvfsPolicy policy_;
+    std::size_t ladderIndex_;
+    std::deque<WorkloadClass> history_;
+    unsigned frequencyChanges_ = 0;
+    double totalGranted_ = 0.0;
+};
+
+} // namespace dtu
+
+#endif // DTU_POWER_CPME_HH

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Activity-based energy model for the DTU.
+ *
+ * Power has a static component (leakage, always-on uncore, HBM
+ * standby) and a dynamic component proportional to activity: MACs
+ * retired, vector/SPU lane operations, and bytes moved at each
+ * memory level. Dynamic energy scales with V^2 and leakage with V^2
+ * as well (to first order in this regime); the voltage tracks the
+ * DVFS frequency point linearly.
+ *
+ * Coefficients are calibrated so a dense FP16 workload at full boost
+ * lands near the 150 W board TDP (Table I).
+ */
+
+#ifndef DTU_POWER_POWER_MODEL_HH
+#define DTU_POWER_POWER_MODEL_HH
+
+#include <cstdint>
+
+#include "sim/ticks.hh"
+#include "tensor/dtype.hh"
+
+namespace dtu
+{
+
+/** Per-chip power coefficients. */
+struct PowerParams
+{
+    /** Always-on chip power at reference voltage (uncore, PHYs). */
+    double baseStaticWatts = 59.0;
+    /** Leakage per compute core at reference voltage. */
+    double coreStaticWatts = 1.6;
+    /** Leakage per DMA engine at reference voltage. */
+    double dmaStaticWatts = 0.6;
+
+    /** Dynamic energy per FP32-equivalent MAC at reference voltage. */
+    double joulesPerMacFp32 = 2.6e-12;
+    /** Dynamic energy per vector/SPU lane operation. */
+    double joulesPerLaneOp = 0.8e-12;
+    /** Data movement energy per byte. */
+    double joulesPerByteL1 = 1.2e-12;
+    double joulesPerByteL2 = 2.4e-12;
+    double joulesPerByteL3 = 28.0e-12;
+    double joulesPerByteDma = 0.8e-12;
+
+    /** DVFS voltage curve: V(f) = v0 + vSlope * (f - f0). */
+    double f0Hz = 1.0e9;
+    double v0 = 0.75;
+    double vSlopePerGHz = 0.375; // reaches 0.9 V at 1.4 GHz
+    double vRef = 0.9;
+    /**
+     * Worst-case voltage guard-band applied when power management is
+     * disabled: without the LPMEs' closed-loop regulation the rails
+     * run with a static safety margin.
+     */
+    double avsMarginOff = 1.04;
+
+    /** Voltage at frequency @p hz. */
+    double
+    voltageAt(double hz) const
+    {
+        return v0 + vSlopePerGHz * (hz - f0Hz) / 1.0e9;
+    }
+
+    /** (V/Vref)^2 scale factor applied to both dynamic and leakage. */
+    double
+    voltageScale(double hz) const
+    {
+        double v = voltageAt(hz);
+        return (v * v) / (vRef * vRef);
+    }
+
+    /** Dynamic MAC energy for @p t: narrower types cost less. */
+    double
+    joulesPerMac(DType t) const
+    {
+        // Energy roughly tracks multiplier area: ~linear in operand
+        // width for MACs in this regime.
+        return joulesPerMacFp32 * dtypeBytes(t) / 4.0;
+    }
+};
+
+/** Accumulates energy and exposes average power. */
+class EnergyMeter
+{
+  public:
+    explicit EnergyMeter(PowerParams params = {})
+        : params_(params)
+    {}
+
+    const PowerParams &params() const { return params_; }
+
+    /**
+     * Voltage-margin multiplier applied to all voltage-scaled energy
+     * (1.0 under closed-loop power management; avsMarginOff when the
+     * CPME/LPMEs are disabled). Energy scales with margin^2.
+     */
+    void setVoltageMargin(double margin) { margin2_ = margin * margin; }
+    double voltageMargin2() const { return margin2_; }
+
+    /** Add compute activity executed at frequency @p hz. */
+    void
+    addCompute(double macs, DType t, double lane_ops, double hz)
+    {
+        double scale = margin2_ * params_.voltageScale(hz);
+        joules_ += scale * (macs * params_.joulesPerMac(t) +
+                            lane_ops * params_.joulesPerLaneOp);
+    }
+
+    /** Add data movement activity. */
+    void
+    addTraffic(double l1_bytes, double l2_bytes, double l3_bytes,
+               double dma_bytes)
+    {
+        joules_ += l1_bytes * params_.joulesPerByteL1 +
+                   l2_bytes * params_.joulesPerByteL2 +
+                   l3_bytes * params_.joulesPerByteL3 +
+                   dma_bytes * params_.joulesPerByteDma;
+    }
+
+    /**
+     * Add static energy for @p duration of wall time with
+     * @p active_cores cores and @p active_dmas DMA engines powered at
+     * frequency @p hz (idle processing groups are power-gated when
+     * the resource manager leaves them unassigned).
+     */
+    void
+    addStatic(Tick duration, unsigned active_cores, unsigned active_dmas,
+              double hz)
+    {
+        double seconds = ticksToSeconds(duration);
+        double scale = margin2_ * params_.voltageScale(hz);
+        double watts = params_.baseStaticWatts +
+                       active_cores * params_.coreStaticWatts +
+                       active_dmas * params_.dmaStaticWatts;
+        joules_ += scale * watts * seconds;
+    }
+
+    /** Total accumulated energy. */
+    double joules() const { return joules_; }
+
+    /** Average power over @p duration of wall time. */
+    double
+    averageWatts(Tick duration) const
+    {
+        double seconds = ticksToSeconds(duration);
+        return seconds > 0.0 ? joules_ / seconds : 0.0;
+    }
+
+    void reset() { joules_ = 0.0; }
+
+  private:
+    PowerParams params_;
+    double joules_ = 0.0;
+    double margin2_ = 1.0;
+};
+
+} // namespace dtu
+
+#endif // DTU_POWER_POWER_MODEL_HH

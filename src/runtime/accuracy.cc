@@ -1,0 +1,149 @@
+#include "runtime/accuracy.hh"
+
+#include <cmath>
+
+#include "core/matrix_engine.hh"
+#include "core/register_file.hh"
+#include "core/spu.hh"
+#include "sim/random.hh"
+
+namespace dtu
+{
+namespace accuracy
+{
+
+namespace
+{
+
+void
+record(OpAccuracy &acc, double got, double want, double floor)
+{
+    double denom = std::max(std::fabs(want), floor);
+    double rel = std::fabs(got - want) / denom;
+    acc.meanRelError += rel;
+    acc.maxRelError = std::max(acc.maxRelError, rel);
+}
+
+} // namespace
+
+OpAccuracy
+measureVmm(DType dtype, unsigned k, unsigned trials, std::uint64_t seed)
+{
+    OpAccuracy acc{"vmm_k" + std::to_string(k), dtype};
+    MatrixEngine engine(false);
+    Random rng(seed);
+    unsigned samples = 0;
+    for (unsigned t = 0; t < trials; ++t) {
+        RegisterFile regs;
+        unsigned lanes = vectorLanes(dtype);
+        // Chain ceil(k/32) VMM steps of <=32 rows to realize a
+        // length-k reduction, exactly as the tensorizer would.
+        std::vector<double> vec(k), col(k * lanes);
+        for (unsigned i = 0; i < k; ++i)
+            vec[i] = dtypeQuantize(dtype, rng.uniform(-1, 1));
+        for (auto &v : col)
+            v = dtypeQuantize(dtype, rng.uniform(-1, 1));
+        regs.accZero(0);
+        unsigned offset = 0;
+        while (offset < k) {
+            unsigned rows = std::min(32u, k - offset);
+            // Round rows down to a supported shape.
+            while (!engine.supports(rows, dtype) && rows > 4)
+                --rows;
+            rows = std::min(rows, k - offset);
+            if (!engine.supports(rows, dtype))
+                rows = 4;
+            for (unsigned r = 0; r < rows; ++r) {
+                regs.setVlane(0, r, vec[offset + r]);
+                for (unsigned c = 0; c < lanes; ++c)
+                    regs.setMelem(0, r, c,
+                                  col[(offset + r) * lanes + c]);
+            }
+            Instruction inst{.op = Opcode::Vmm, .dst = 0, .a = 0,
+                             .b = 0,
+                             .vmmRows = static_cast<int>(rows),
+                             .accumulate = true, .dtype = dtype};
+            engine.executeVmm(regs, inst);
+            offset += rows;
+        }
+        for (unsigned c = 0; c < lanes; ++c) {
+            double want = 0.0;
+            for (unsigned i = 0; i < k; ++i)
+                want += vec[i] * col[i * lanes + c];
+            record(acc, regs.aclane(0, c), want, 0.25);
+            ++samples;
+        }
+    }
+    acc.meanRelError /= samples;
+    return acc;
+}
+
+OpAccuracy
+measureActivation(DType dtype, SpuFunc func, unsigned trials,
+                  std::uint64_t seed)
+{
+    OpAccuracy acc{"spu_" + spuFuncName(func), dtype};
+    Spu spu;
+    Random rng(seed);
+    for (unsigned t = 0; t < trials; ++t) {
+        double x = rng.uniform(-4, 4);
+        if (func == SpuFunc::Log || func == SpuFunc::Rsqrt)
+            x = rng.uniform(0.1, 8.0);
+        double got = spu.evaluate(func, x, dtype);
+        double want = Spu::reference(func, x);
+        record(acc, got, want, 0.1);
+    }
+    acc.meanRelError /= trials;
+    return acc;
+}
+
+OpAccuracy
+measureSoftmax(DType dtype, unsigned n, unsigned trials,
+               std::uint64_t seed)
+{
+    OpAccuracy acc{"softmax_n" + std::to_string(n), dtype};
+    Spu spu;
+    Random rng(seed);
+    unsigned samples = 0;
+    for (unsigned t = 0; t < trials; ++t) {
+        std::vector<double> logits(n), want(n), got(n);
+        double max_logit = -1e30;
+        for (auto &v : logits) {
+            v = rng.uniform(-5, 5);
+            max_logit = std::max(max_logit, v);
+        }
+        double want_sum = 0.0, got_sum = 0.0;
+        for (unsigned i = 0; i < n; ++i) {
+            want[i] = std::exp(logits[i] - max_logit);
+            want_sum += want[i];
+            got[i] = spu.evaluate(
+                SpuFunc::Exp, dtypeQuantize(dtype, logits[i] - max_logit),
+                dtype);
+            got_sum += got[i];
+        }
+        for (unsigned i = 0; i < n; ++i) {
+            record(acc, dtypeQuantize(dtype, got[i] / got_sum),
+                   want[i] / want_sum, 1.0 / n);
+            ++samples;
+        }
+    }
+    acc.meanRelError /= samples;
+    return acc;
+}
+
+std::vector<OpAccuracy>
+measurePanel(DType dtype)
+{
+    std::vector<OpAccuracy> panel;
+    panel.push_back(measureVmm(dtype, 64, 20));
+    panel.push_back(measureVmm(dtype, 576, 10));
+    panel.push_back(measureVmm(dtype, 1024, 10));
+    panel.push_back(measureActivation(dtype, SpuFunc::Gelu, 4000));
+    panel.push_back(measureActivation(dtype, SpuFunc::Tanh, 4000));
+    panel.push_back(measureActivation(dtype, SpuFunc::Sigmoid, 4000));
+    panel.push_back(measureSoftmax(dtype, 128, 20));
+    return panel;
+}
+
+} // namespace accuracy
+} // namespace dtu

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Numerical accuracy measurement.
+ *
+ * The paper's experimental setup configures "the differences in
+ * inference precision of the tests run on CPU and accelerators ...
+ * as 0.01% for all tested DNNs except for Bert Large, which is
+ * 0.05%". The simulator's engines are functional — VMM quantizes
+ * products to the storage dtype and accumulates in FP32-class
+ * registers, the SPU evaluates real lookup tables — so the same
+ * precision question can be asked of them directly: how far do
+ * operator results drift from an FP64 host reference?
+ */
+
+#ifndef DTU_RUNTIME_ACCURACY_HH
+#define DTU_RUNTIME_ACCURACY_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/opcode.hh"
+#include "tensor/dtype.hh"
+
+namespace dtu
+{
+namespace accuracy
+{
+
+/** Error statistics of one operator class at one dtype. */
+struct OpAccuracy
+{
+    std::string op;
+    DType dtype = DType::FP16;
+    /** Mean |relative error| across trials. */
+    double meanRelError = 0.0;
+    /** Worst |relative error| observed. */
+    double maxRelError = 0.0;
+};
+
+/**
+ * Dot-product error of the matrix engine: random length-@p k
+ * reductions through executeVmm (products quantized to @p dtype,
+ * FP32 accumulation) vs FP64.
+ */
+OpAccuracy measureVmm(DType dtype, unsigned k, unsigned trials,
+                      std::uint64_t seed = 1);
+
+/** Activation error through the SPU at @p dtype vs libm in FP64. */
+OpAccuracy measureActivation(DType dtype, SpuFunc func, unsigned trials,
+                             std::uint64_t seed = 2);
+
+/**
+ * Softmax error: exp through the SPU, normalization on the vector
+ * engine, all at @p dtype, vs FP64.
+ */
+OpAccuracy measureSoftmax(DType dtype, unsigned n, unsigned trials,
+                          std::uint64_t seed = 3);
+
+/** The standard operator panel at one dtype. */
+std::vector<OpAccuracy> measurePanel(DType dtype);
+
+} // namespace accuracy
+} // namespace dtu
+
+#endif // DTU_RUNTIME_ACCURACY_HH

@@ -1,0 +1,436 @@
+#include "runtime/executor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/matrix_engine.hh"
+#include "core/register_file.hh"
+#include "core/spu.hh"
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+Executor::Executor(Dtu &dtu, std::vector<unsigned> groups,
+                   ExecOptions options)
+    : dtu_(dtu), groups_(std::move(groups)), options_(options)
+{
+    fatalIf(groups_.empty(), "executor needs at least one group");
+    for (unsigned gid : groups_)
+        fatalIf(gid >= dtu_.totalGroups(), "group ", gid, " out of range");
+}
+
+unsigned
+Executor::cores() const
+{
+    return static_cast<unsigned>(groups_.size()) *
+           dtu_.config().coresPerGroup;
+}
+
+ExecResult
+Executor::run(const ExecutionPlan &plan, Tick start)
+{
+    const DtuConfig &config = dtu_.config();
+    const unsigned ngroups = static_cast<unsigned>(groups_.size());
+    const unsigned total_cores = cores();
+    EnergyMeter &meter = dtu_.energy();
+    double joules_before = meter.joules();
+
+    // Power management: OFF pins the clocks at the ladder top for
+    // maximal performance (the paper's comparison configuration) and
+    // runs the rails at the worst-case voltage guard-band instead of
+    // the LPMEs' closed-loop setpoint.
+    bool pm = options_.powerManagement && config.dvfs.enabled;
+    if (!pm)
+        dtu_.setCoreFrequency(config.maxHz);
+    meter.setVoltageMargin(pm ? 1.0 : meter.params().avsMarginOff);
+
+    ExecResult result;
+    result.start = start;
+    Tick cursor = start;
+    double freq_ticks_weighted = 0.0;
+    double l3_bytes = 0.0;
+
+    // Does the previous operator's output stay resident in L2, and
+    // how sparse did the previous operator leave it?
+    bool input_in_l2 = false;
+    double upstream_density = 1.0;
+    double throttle = 0.0;
+
+    //
+    // Weight streaming: multiple buffering fetches the *next*
+    // operator's weights into L2 while the current operator runs
+    // (Section III "Memory v.s. ALUs"), so weight loads only stall
+    // when they outlast the previous operator's execution. With
+    // broadcast, one engine per cluster writes every L2 slice at
+    // once; otherwise each group fetches its own copy.
+    //
+    auto submit_weights = [&](const PlannedOp &op, Tick at) -> Tick {
+        if (op.weightBytes == 0)
+            return at;
+        Tick done = at;
+        DmaDescriptor wdesc;
+        wdesc.src = MemLevel::L3;
+        wdesc.dst = MemLevel::L2;
+        wdesc.dtype = plan.dtype;
+        wdesc.bytes = op.weightBytes;
+        // Background stream: use the L2 fill port, never the
+        // core-bonded ports.
+        wdesc.useFillPort = true;
+        if (op.anchor == OpKind::Embedding && options_.useSparse &&
+            config.dmaFeatures.sparseDecompress) {
+            wdesc.sparse = true;
+            wdesc.density = std::min(1.0, op.inputDensity + 0.2);
+        }
+        bool bcast = options_.useBroadcast &&
+                     config.dmaFeatures.broadcast && ngroups > 1;
+        if (bcast) {
+            // One broadcast per cluster covered by the lease.
+            std::vector<unsigned> leads;
+            for (unsigned gid : groups_) {
+                unsigned cl = gid / config.groupsPerCluster;
+                if (leads.size() <= cl)
+                    leads.resize(cl + 1, ~0u);
+                leads[cl] = std::min(leads[cl], gid);
+            }
+            wdesc.broadcast = true;
+            for (unsigned lead : leads) {
+                if (lead == ~0u)
+                    continue;
+                DmaResult r = dtu_.group(lead).dma().submitAt(at, wdesc);
+                done = std::max(done, r.done);
+                l3_bytes += static_cast<double>(r.srcBytes);
+            }
+        } else {
+            for (unsigned gid : groups_) {
+                DmaResult r = dtu_.group(gid).dma().submitAt(at, wdesc);
+                done = std::max(done, r.done);
+                l3_bytes += static_cast<double>(r.srcBytes);
+            }
+        }
+        return done;
+    };
+
+    // Host transfers: the input sample crosses PCIe into L3 before
+    // anything can start (outputs download at the end).
+    if (options_.hostTransfers && !plan.ops.empty() &&
+        plan.ops.front().inputBytes > 0) {
+        DmaDescriptor h2d;
+        h2d.src = MemLevel::Host;
+        h2d.dst = MemLevel::L3;
+        h2d.dtype = plan.dtype;
+        h2d.bytes = plan.ops.front().inputBytes;
+        cursor = dtu_.group(groups_[0]).dma().submitAt(cursor, h2d).done;
+    }
+
+    Tick weights_ready = plan.ops.empty()
+                             ? cursor
+                             : submit_weights(plan.ops.front(), cursor);
+
+    for (std::size_t oi = 0; oi < plan.ops.size(); ++oi) {
+        const PlannedOp &op = plan.ops[oi];
+        double freq = dtu_.coreFrequency();
+        Tick op_start = cursor;
+
+        //
+        // 1. Kernel code. Each group's lead core owns the fetch; the
+        // group's cores share the loaded image. Prefetch for the
+        // *next* operator is issued further down.
+        //
+        Tick code_ready = cursor;
+        if (op.kernelId >= 0) {
+            for (unsigned gi = 0; gi < ngroups; ++gi) {
+                InstructionCache &icache =
+                    dtu_.group(groups_[gi]).icache(0);
+                code_ready = std::max(
+                    code_ready,
+                    icache.fetchAt(cursor, op.kernelId, op.kernelBytes));
+            }
+        }
+        Tick kernel_stall = code_ready - cursor;
+
+        //
+        // 2. Wait for this operator's (prefetched) weights, then
+        // start streaming the next operator's.
+        //
+        Tick weights_stall =
+            weights_ready > code_ready ? weights_ready - code_ready : 0;
+        code_ready = std::max(code_ready, weights_ready);
+
+        //
+        // 3. Activations in: (L2 or L3) -> L1 tiles, per group, with
+        // transform / sparse / repeat properties from the plan.
+        //
+        Tick dma_in_done = code_ready;
+        std::uint64_t in_per_group =
+            op.inputBytes / std::max(1u, ngroups);
+        if (in_per_group > 0) {
+            DmaDescriptor desc;
+            desc.src = input_in_l2 ? MemLevel::L2 : MemLevel::L3;
+            desc.dst = MemLevel::L1;
+            desc.dtype = plan.dtype;
+            desc.transform = op.loadTransform;
+            // One transaction per tile per core: the engine replays
+            // the same strided slice into each core's L1 (Fig. 6).
+            desc.repeatCount =
+                std::max(1u, op.tiles) * config.coresPerGroup;
+            desc.repeatMode = options_.useRepeat && config.dmaFeatures
+                                  .repeatMode &&
+                              (op.repeatEligible ||
+                               desc.repeatCount >= 3);
+            desc.bytes = in_per_group / desc.repeatCount;
+            desc.repeatStride = desc.bytes;
+            if (desc.bytes == 0) {
+                desc.bytes = in_per_group;
+                desc.repeatCount = 1;
+            }
+            double density = std::min(op.inputDensity, upstream_density);
+            if (!input_in_l2 && options_.useSparse &&
+                config.dmaFeatures.sparseDecompress && density < 0.75) {
+                desc.sparse = true;
+                desc.density = density;
+            }
+            for (unsigned gid : groups_) {
+                DmaResult r =
+                    dtu_.group(gid).dma().submitAt(code_ready, desc);
+                dma_in_done = std::max(dma_in_done, r.done);
+                if (!input_in_l2)
+                    l3_bytes += static_cast<double>(r.srcBytes);
+            }
+        }
+
+        //
+        // 4. Output: L1 -> L2 (if the next op can consume from L2)
+        // or L3. Issued concurrently — double buffering drains tiles
+        // as they finish.
+        //
+        std::uint64_t l2_capacity =
+            static_cast<std::uint64_t>(ngroups) * config.l2BytesPerGroup;
+        bool output_fits_l2 =
+            options_.useL2Residency && op.outputBytes * 2 <= l2_capacity;
+        Tick dma_out_done = code_ready;
+        std::uint64_t out_per_group =
+            op.outputBytes / std::max(1u, ngroups);
+        if (out_per_group > 0) {
+            DmaDescriptor desc;
+            desc.src = MemLevel::L1;
+            desc.dst = output_fits_l2 ? MemLevel::L2 : MemLevel::L3;
+            desc.dtype = plan.dtype;
+            desc.repeatCount =
+                std::max(1u, op.tiles) * config.coresPerGroup;
+            desc.repeatMode = options_.useRepeat && config.dmaFeatures
+                                  .repeatMode &&
+                              (op.repeatEligible ||
+                               desc.repeatCount >= 3);
+            desc.bytes = out_per_group / desc.repeatCount;
+            desc.repeatStride = desc.bytes;
+            if (desc.bytes == 0) {
+                desc.bytes = out_per_group;
+                desc.repeatCount = 1;
+            }
+            for (unsigned gid : groups_) {
+                DmaResult r =
+                    dtu_.group(gid).dma().submitAt(code_ready, desc);
+                dma_out_done = std::max(dma_out_done, r.done);
+                if (!output_fits_l2)
+                    l3_bytes += static_cast<double>(r.dstBytes);
+            }
+        }
+
+        //
+        // 4b. Start streaming the next operator's weights now that
+        // this operator's transfers are queued (they take priority on
+        // the shared engines; weights use the L2 fill port).
+        //
+        if (oi + 1 < plan.ops.size())
+            weights_ready = submit_weights(plan.ops[oi + 1], code_ready);
+
+        //
+        // 5. Compute. Work is data-parallel across all leased cores;
+        // the matrix engine runs at the tensorized utilization and
+        // the vector/SPU engines co-issue on the VLIW pipeline.
+        //
+        double macs_per_core = op.macs / total_cores;
+        double spu_per_core = op.spuOps / total_cores;
+        double vec_per_core = op.vecOps / total_cores;
+        double matrix_cycles =
+            macs_per_core /
+            (MatrixEngine::macsPerCycle(plan.dtype, config.dtu2) *
+             std::max(0.05, op.utilization));
+        double spu_cycles =
+            spu_per_core / Spu::resultsPerCycle(plan.dtype, config.dtu2);
+        double vec_cycles = vec_per_core / vectorLanes(plan.dtype);
+        double compute_cycles =
+            std::max(matrix_cycles, spu_cycles + vec_cycles) + 256.0;
+        compute_cycles *= 1.0 + throttle;
+
+        Tick dma_in_ticks = dma_in_done - code_ready;
+        Tick dma_out_ticks = dma_out_done - code_ready;
+        // Memory character of this window: tile traffic plus any
+        // weight-stream stall (a weight-bound window is L3-bound).
+        Tick dma_span = std::max({dma_in_ticks, dma_out_ticks,
+                                  weights_stall});
+
+        //
+        // 5b. DVFS (Fig. 10): the LPMEs report the lowest frequency
+        // that keeps compute hidden under this window's memory
+        // phases; the CPME rate-limits the clocks one ladder step per
+        // window toward it. Bandwidth-bound windows coast down and
+        // cost (almost) nothing; compute-bound windows climb back.
+        //
+        if (options_.powerManagement && config.dvfs.enabled) {
+            double desired_hz = config.maxHz;
+            if (dma_span > 0) {
+                // Keep a 25% compute headroom under the memory phase
+                // so jitter never turns a hidden compute phase into
+                // the critical path.
+                desired_hz = 1.25 * compute_cycles *
+                             static_cast<double>(ticksPerSecond) /
+                             static_cast<double>(dma_span);
+            }
+            double busy_at_max = std::min(
+                1.0, compute_cycles * ticksPerSecond / config.maxHz /
+                         static_cast<double>(std::max<Tick>(1, dma_span)));
+            ActivitySample probe{busy_at_max,
+                                 busy_at_max < 0.7 ? 1.0 - busy_at_max
+                                                   : 0.0,
+                                 0.0};
+            double new_freq = dtu_.cpme().regulate(probe, desired_hz);
+            if (new_freq != freq) {
+                dtu_.setCoreFrequency(new_freq);
+                freq = new_freq;
+            }
+        }
+        auto compute_ticks = static_cast<Tick>(
+            compute_cycles * static_cast<double>(ticksPerSecond) / freq +
+            0.5);
+
+        //
+        // 6. Operator latency: pipelined phases overlap; the fill of
+        // the first tile and the drain of the last cannot hide.
+        //
+        Tick steady = std::max({compute_ticks, dma_in_ticks,
+                                dma_out_ticks});
+        // Fill/drain: with T tiles in flight, roughly one tile's
+        // worth of inbound and outbound transfer cannot overlap.
+        Tick unhidden = (dma_in_ticks + dma_out_ticks) / (op.tiles + 1);
+        Tick op_ticks = config.opLaunchOverheadTicks + kernel_stall +
+                        weights_stall + steady + unhidden;
+        Tick op_end = op_start + op_ticks;
+
+        //
+        // 7. Prefetch the next operator's kernel while this one runs.
+        //
+        if (options_.usePrefetch && oi + 1 < plan.ops.size()) {
+            const PlannedOp &next = plan.ops[oi + 1];
+            if (next.kernelId >= 0) {
+                for (unsigned gid : groups_) {
+                    dtu_.group(gid).icache(0).prefetchAt(
+                        op_start, next.kernelId, next.kernelBytes);
+                }
+            }
+        }
+
+        //
+        // 8. Power: the operator is one observation window.
+        //
+        double op_seconds = ticksToSeconds(op_ticks == 0 ? 1 : op_ticks);
+        double compute_joules =
+            meter.params().voltageScale(freq) *
+            (op.macs * meter.params().joulesPerMac(plan.dtype) +
+             (op.spuOps + op.vecOps) * meter.params().joulesPerLaneOp);
+        double core_watts =
+            compute_joules / op_seconds / total_cores +
+            meter.params().coreStaticWatts;
+        // Ratios are measured over the steady (pipelined) phase, the
+        // part of the window the engines actually contend in — the
+        // hardware's observation counters see duty cycles, not the
+        // driver's launch overhead.
+        Tick steady_span = std::max<Tick>(1, steady + unhidden);
+        double busy_ratio =
+            std::min(1.0, static_cast<double>(compute_ticks) /
+                              static_cast<double>(steady_span));
+        double l3_stall_ratio = 0.0;
+        if (dma_span > compute_ticks) {
+            l3_stall_ratio =
+                static_cast<double>(dma_span - compute_ticks) /
+                static_cast<double>(steady_span);
+        }
+        ActivitySample sample{busy_ratio, std::min(1.0, l3_stall_ratio),
+                              core_watts};
+        if (options_.powerManagement && config.dvfs.enabled) {
+            // Integrity: one representative core LPME per lease
+            // enforces the power budget with throttle bubbles.
+            throttle = dtu_.cpme().serviceWindow(
+                dtu_.group(groups_[0]).coreLpme(0), sample);
+        } else {
+            throttle = 0.0;
+        }
+
+        //
+        // 9. Energy accounting.
+        //
+        meter.addCompute(op.macs, plan.dtype, op.spuOps + op.vecOps,
+                         freq);
+        meter.addTraffic(
+            /*l1=*/static_cast<double>(op.inputBytes + op.outputBytes),
+            /*l2=*/static_cast<double>(op.weightBytes) +
+                (input_in_l2 ? static_cast<double>(op.inputBytes) : 0.0) +
+                (output_fits_l2 ? static_cast<double>(op.outputBytes)
+                                : 0.0),
+            /*l3=*/0.0, // accumulated precisely below from l3_bytes
+            /*dma=*/static_cast<double>(op.inputBytes + op.outputBytes +
+                                        op.weightBytes));
+        meter.addStatic(op_ticks,
+                        total_cores,
+                        ngroups, freq);
+
+        if (options_.trace) {
+            result.trace.push_back({op.name, op.anchor, op_start, op_end,
+                                    compute_ticks,
+                                    std::max(dma_in_ticks, dma_out_ticks),
+                                    kernel_stall, freq / 1e9, throttle});
+        }
+
+        freq_ticks_weighted +=
+            freq / 1e9 * static_cast<double>(op_ticks);
+        input_in_l2 = output_fits_l2;
+        upstream_density = op.outputDensity;
+        cursor = op_end;
+    }
+
+    // Output download to the host.
+    if (options_.hostTransfers && !plan.ops.empty() &&
+        plan.ops.back().outputBytes > 0) {
+        DmaDescriptor d2h;
+        d2h.src = MemLevel::L3;
+        d2h.dst = MemLevel::Host;
+        d2h.dtype = plan.dtype;
+        d2h.bytes = plan.ops.back().outputBytes;
+        cursor = dtu_.group(groups_[0]).dma().submitAt(cursor, d2h).done;
+    }
+
+    // L3 energy from the bytes that actually crossed the HBM pins
+    // (after sparse compression).
+    meter.addTraffic(0.0, 0.0, l3_bytes, 0.0);
+
+    result.end = cursor;
+    result.latency = cursor - start;
+    result.l3Bytes = l3_bytes;
+    result.joules = meter.joules() - joules_before;
+    result.watts =
+        result.latency > 0
+            ? result.joules / ticksToSeconds(result.latency)
+            : 0.0;
+    result.throughput =
+        result.latency > 0
+            ? plan.batch / ticksToSeconds(result.latency)
+            : 0.0;
+    result.meanFrequencyGHz =
+        result.latency > 0
+            ? freq_ticks_weighted / static_cast<double>(result.latency)
+            : 0.0;
+    return result;
+}
+
+} // namespace dtu

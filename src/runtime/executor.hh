@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The plan executor: TopsRuntime's analogue.
+ *
+ * Runs a compiled ExecutionPlan on a simulated DTU. Operators execute
+ * in sequence; within an operator the executor drives the real
+ * engine models:
+ *
+ *  - kernel code loads through the per-group instruction caches
+ *    (with optional prefetch of the next operator's kernel),
+ *  - weights stream L3 -> L2, broadcast across the processing groups
+ *    of a cluster when the hardware supports it,
+ *  - activations stream through the per-group DMA engines with
+ *    sparse compression, layout transforms, and repeat mode,
+ *  - compute time follows the matrix/vector/SPU throughput at the
+ *    current DVFS frequency and tensorization utilization,
+ *  - the CPME/LPME stack observes every operator as a window:
+ *    integrity throttling and the 4-stage DVFS loop feed back into
+ *    subsequent operators,
+ *  - the energy meter integrates activity into joules.
+ *
+ * Double buffering overlaps compute with data movement: an operator
+ * costs max(compute, dma) plus the unhidden first-tile fill.
+ */
+
+#ifndef DTU_RUNTIME_EXECUTOR_HH
+#define DTU_RUNTIME_EXECUTOR_HH
+
+#include <string>
+#include <vector>
+
+#include "compiler/plan.hh"
+#include "soc/dtu.hh"
+
+namespace dtu
+{
+
+/** Runtime switches (ablation knobs for Table II features). */
+struct ExecOptions
+{
+    /** CPME/LPME active: DVFS + integrity. Off pins max frequency. */
+    bool powerManagement = true;
+    /** Use sparse DMA compression when the data is sparse enough. */
+    bool useSparse = true;
+    /** Broadcast shared weights across a cluster's L2 slices. */
+    bool useBroadcast = true;
+    /** Use repeat-mode DMA for regular tile streams. */
+    bool useRepeat = true;
+    /** Prefetch the next operator's kernel during the current one. */
+    bool usePrefetch = true;
+    /** Keep inter-operator activations resident in L2 when they fit. */
+    bool useL2Residency = true;
+    /**
+     * Include host-side PCIe transfers: the input sample uploads to
+     * L3 before the first operator and the outputs download after
+     * the last (the CUDA-style host/device flow of Section V-B).
+     */
+    bool hostTransfers = true;
+    /** Record a per-operator trace. */
+    bool trace = false;
+};
+
+/** Per-operator execution record. */
+struct OpTrace
+{
+    std::string name;
+    OpKind anchor = OpKind::Conv2d;
+    Tick start = 0;
+    Tick end = 0;
+    Tick computeTicks = 0;
+    Tick dmaTicks = 0;
+    Tick kernelStallTicks = 0;
+    double frequencyGHz = 0.0;
+    double throttle = 0.0;
+};
+
+/** Outcome of one plan execution. */
+struct ExecResult
+{
+    Tick start = 0;
+    Tick end = 0;
+    /** End-to-end latency in ticks. */
+    Tick latency = 0;
+    /** Energy consumed by the run. */
+    double joules = 0.0;
+    /** Average power over the run. */
+    double watts = 0.0;
+    /** Samples per second (batch / latency). */
+    double throughput = 0.0;
+    /** L3 bytes actually moved (after sparse compression). */
+    double l3Bytes = 0.0;
+    /** Mean core frequency over the run (time-weighted, GHz). */
+    double meanFrequencyGHz = 0.0;
+    std::vector<OpTrace> trace;
+
+    double latencyMs() const { return ticksToMilliSeconds(latency); }
+};
+
+/** Executes plans on a leased set of processing groups. */
+class Executor
+{
+  public:
+    /**
+     * @param dtu the chip.
+     * @param groups global ids of the processing groups this tenant
+     *        leased (see ResourceManager); all cores of these groups
+     *        cooperate on each operator.
+     */
+    Executor(Dtu &dtu, std::vector<unsigned> groups,
+             ExecOptions options = {});
+
+    /** Execute a plan starting no earlier than @p start. */
+    ExecResult run(const ExecutionPlan &plan, Tick start = 0);
+
+    const ExecOptions &options() const { return options_; }
+    unsigned cores() const;
+
+  private:
+    Dtu &dtu_;
+    std::vector<unsigned> groups_;
+    ExecOptions options_;
+};
+
+} // namespace dtu
+
+#endif // DTU_RUNTIME_EXECUTOR_HH

@@ -1,0 +1,93 @@
+#include "runtime/profiler.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+Profile::Profile(const ExecResult &result)
+    : latency_(result.latency), trace_(result.trace)
+{
+    fatalIf(trace_.empty(),
+            "profiler needs a trace: run with options.trace = true");
+    std::map<std::string, KindSummary> kinds;
+    Tick compute_bound = 0;
+    double hidden = 0.0, dma_total = 0.0;
+    double last_freq = trace_.front().frequencyGHz;
+    for (const OpTrace &op : trace_) {
+        KindSummary &summary = kinds[opKindName(op.anchor)];
+        summary.kind = opKindName(op.anchor);
+        ++summary.ops;
+        summary.totalTicks += op.end - op.start;
+        summary.computeTicks += op.computeTicks;
+        summary.dmaTicks += op.dmaTicks;
+        if (op.computeTicks >= op.dmaTicks)
+            compute_bound += op.end - op.start;
+        dma_total += static_cast<double>(op.dmaTicks);
+        hidden += static_cast<double>(
+            std::min(op.dmaTicks, op.computeTicks));
+        if (op.frequencyGHz != last_freq) {
+            ++freqChanges_;
+            last_freq = op.frequencyGHz;
+        }
+    }
+    for (auto &[name, summary] : kinds) {
+        summary.share = latency_ > 0
+                            ? static_cast<double>(summary.totalTicks) /
+                                  static_cast<double>(latency_)
+                            : 0.0;
+        byKind_.push_back(summary);
+    }
+    std::sort(byKind_.begin(), byKind_.end(),
+              [](const KindSummary &a, const KindSummary &b) {
+                  return a.totalTicks > b.totalTicks;
+              });
+    computeBound_ =
+        latency_ > 0 ? static_cast<double>(compute_bound) /
+                           static_cast<double>(latency_)
+                     : 0.0;
+    overlap_ = dma_total > 0.0 ? hidden / dma_total : 1.0;
+}
+
+std::vector<OpTrace>
+Profile::slowest(std::size_t n) const
+{
+    std::vector<OpTrace> sorted = trace_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const OpTrace &a, const OpTrace &b) {
+                  return a.end - a.start > b.end - b.start;
+              });
+    if (sorted.size() > n)
+        sorted.resize(n);
+    return sorted;
+}
+
+void
+Profile::print(std::ostream &os) const
+{
+    os << "profile: " << ticksToMilliSeconds(latency_) << " ms over "
+       << trace_.size() << " operators\n";
+    os << std::left << std::setw(14) << "kind" << std::right
+       << std::setw(6) << "ops" << std::setw(12) << "time_us"
+       << std::setw(12) << "compute_us" << std::setw(12) << "dma_us"
+       << std::setw(9) << "share%" << "\n";
+    for (const KindSummary &k : byKind_) {
+        os << std::left << std::setw(14) << k.kind << std::right
+           << std::setw(6) << k.ops << std::setw(12) << std::fixed
+           << std::setprecision(1) << ticksToMicroSeconds(k.totalTicks)
+           << std::setw(12) << ticksToMicroSeconds(k.computeTicks)
+           << std::setw(12) << ticksToMicroSeconds(k.dmaTicks)
+           << std::setw(8) << std::setprecision(1) << 100.0 * k.share
+           << "%\n";
+    }
+    os << "compute-bound fraction: " << std::setprecision(1)
+       << 100.0 * computeBound_ << "%, DMA overlap efficiency: "
+       << 100.0 * overlap_ << "%, DVFS changes: " << freqChanges_
+       << "\n";
+    os.unsetf(std::ios::fixed);
+}
+
+} // namespace dtu

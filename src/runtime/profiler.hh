@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The profiler (the "profiler" box in Fig. 11's software stack).
+ *
+ * Aggregates an execution trace into the reports a performance
+ * engineer asks for first: where the time went by operator kind,
+ * how well compute overlapped data movement, how often the clocks
+ * moved, and which individual operators dominate.
+ */
+
+#ifndef DTU_RUNTIME_PROFILER_HH
+#define DTU_RUNTIME_PROFILER_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "runtime/executor.hh"
+
+namespace dtu
+{
+
+/** Aggregated view of one execution trace. */
+class Profile
+{
+  public:
+    /** Build from an executed result (requires options.trace=true). */
+    explicit Profile(const ExecResult &result);
+
+    /** Per-operator-kind totals. */
+    struct KindSummary
+    {
+        std::string kind;
+        unsigned ops = 0;
+        Tick totalTicks = 0;
+        Tick computeTicks = 0;
+        Tick dmaTicks = 0;
+        double share = 0.0; ///< fraction of end-to-end latency
+    };
+
+    const std::vector<KindSummary> &byKind() const { return byKind_; }
+
+    /** The @p n slowest operators, descending. */
+    std::vector<OpTrace> slowest(std::size_t n) const;
+
+    /** Fraction of the run where compute was the limiting phase. */
+    double computeBoundFraction() const { return computeBound_; }
+
+    /** Mean compute/dma overlap efficiency: how much of the DMA time
+     *  was hidden under compute (1 = fully hidden). */
+    double overlapEfficiency() const { return overlap_; }
+
+    /** Number of DVFS frequency changes observed in the trace. */
+    unsigned frequencyChanges() const { return freqChanges_; }
+
+    /** Pretty-print the standard report. */
+    void print(std::ostream &os) const;
+
+  private:
+    Tick latency_ = 0;
+    std::vector<KindSummary> byKind_;
+    std::vector<OpTrace> trace_;
+    double computeBound_ = 0.0;
+    double overlap_ = 0.0;
+    unsigned freqChanges_ = 0;
+};
+
+} // namespace dtu
+
+#endif // DTU_RUNTIME_PROFILER_HH

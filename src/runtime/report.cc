@@ -1,0 +1,89 @@
+#include "runtime/report.hh"
+
+#include <cmath>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+double
+geomean(const std::vector<double> &values)
+{
+    fatalIf(values.empty(), "geomean of empty set");
+    double log_sum = 0.0;
+    for (double v : values) {
+        fatalIf(v <= 0.0, "geomean requires positive values, got ", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+ReportTable::ReportTable(std::vector<std::string> columns)
+    : columns_(std::move(columns))
+{
+    fatalIf(columns_.empty(), "table needs at least a label column");
+}
+
+void
+ReportTable::addRow(const std::string &label, std::vector<double> cells)
+{
+    fatalIf(cells.size() != columns_.size() - 1,
+            "row '", label, "' has ", cells.size(), " cells, expected ",
+            columns_.size() - 1);
+    rows_.push_back({label, std::move(cells)});
+}
+
+void
+ReportTable::addGeomeanRow(const std::string &label)
+{
+    fatalIf(rows_.empty(), "geomean over empty table");
+    std::vector<double> means;
+    for (std::size_t c = 0; c + 1 < columns_.size(); ++c) {
+        std::vector<double> column;
+        for (const Row &row : rows_)
+            column.push_back(row.cells[c]);
+        means.push_back(geomean(column));
+    }
+    rows_.push_back({label, std::move(means)});
+}
+
+void
+ReportTable::print(std::ostream &os, int precision) const
+{
+    constexpr int label_width = 18;
+    constexpr int cell_width = 14;
+    os << std::left << std::setw(label_width) << columns_[0];
+    for (std::size_t c = 1; c < columns_.size(); ++c)
+        os << std::right << std::setw(cell_width) << columns_[c];
+    os << "\n";
+    os << std::string(label_width + cell_width * (columns_.size() - 1),
+                      '-')
+       << "\n";
+    for (const Row &row : rows_) {
+        os << std::left << std::setw(label_width) << row.label;
+        for (double cell : row.cells) {
+            os << std::right << std::setw(cell_width) << std::fixed
+               << std::setprecision(precision) << cell;
+        }
+        os << "\n";
+    }
+    os.unsetf(std::ios::fixed);
+}
+
+double
+ReportTable::cell(std::size_t row, std::size_t column) const
+{
+    fatalIf(row >= rows_.size(), "table row out of range");
+    fatalIf(column >= rows_[row].cells.size(), "table column out of range");
+    return rows_[row].cells[column];
+}
+
+void
+printBanner(const std::string &title, std::ostream &os)
+{
+    os << "\n=== " << title << " ===\n";
+}
+
+} // namespace dtu

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reporting helpers shared by the benchmark binaries: geometric
+ * means, normalized ratio rows, and fixed-width table printing in
+ * the style of the paper's figures.
+ */
+
+#ifndef DTU_RUNTIME_REPORT_HH
+#define DTU_RUNTIME_REPORT_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace dtu
+{
+
+/** Geometric mean of positive values. */
+double geomean(const std::vector<double> &values);
+
+/** A table with a label column and numeric columns. */
+class ReportTable
+{
+  public:
+    /** @param columns header labels, first is the row-label column. */
+    explicit ReportTable(std::vector<std::string> columns);
+
+    /** Add one row: a label plus numeric cells. */
+    void addRow(const std::string &label, std::vector<double> cells);
+
+    /** Append a geomean row over all current rows. */
+    void addGeomeanRow(const std::string &label = "GeoMean");
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os = std::cout, int precision = 3) const;
+
+    /** Cell accessor for tests: row r (insertion order), column c. */
+    double cell(std::size_t row, std::size_t column) const;
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> columns_;
+    struct Row
+    {
+        std::string label;
+        std::vector<double> cells;
+    };
+    std::vector<Row> rows_;
+};
+
+/** Print a figure/table banner. */
+void printBanner(const std::string &title, std::ostream &os = std::cout);
+
+} // namespace dtu
+
+#endif // DTU_RUNTIME_REPORT_HH

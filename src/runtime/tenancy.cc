@@ -1,0 +1,69 @@
+#include "runtime/tenancy.hh"
+
+#include <algorithm>
+
+#include "compiler/lowering.hh"
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+TenancyResult
+runTenants(Dtu &dtu, const std::vector<TenantJob> &jobs)
+{
+    fatalIf(jobs.empty(), "no tenants to run");
+    // Leases must be disjoint (the resource manager enforces this in
+    // the API flow; re-check here for direct users).
+    std::vector<bool> used(dtu.totalGroups(), false);
+    for (const TenantJob &job : jobs) {
+        for (unsigned gid : job.groups) {
+            fatalIf(gid >= dtu.totalGroups(), "group out of range");
+            fatalIf(used[gid], "tenants overlap on group ", gid);
+            used[gid] = true;
+        }
+    }
+
+    TenancyResult result;
+    double samples = 0.0;
+    for (const TenantJob &job : jobs) {
+        Executor executor(dtu, job.groups, job.options);
+        ExecResult r = executor.run(job.plan, 0);
+        result.makespan = std::max(result.makespan, r.end);
+        result.joules += r.joules;
+        samples += job.plan.batch;
+        result.tenants.push_back(std::move(r));
+    }
+    result.throughput = result.makespan > 0
+                            ? samples / ticksToSeconds(result.makespan)
+                            : 0.0;
+    return result;
+}
+
+TenancyResult
+runBatched(Dtu &dtu, const std::function<Graph(int)> &build, int batch,
+           unsigned tenants, unsigned groups_per_tenant,
+           ExecOptions options)
+{
+    fatalIf(tenants == 0, "need at least one tenant");
+    fatalIf(batch < static_cast<int>(tenants),
+            "batch ", batch, " smaller than tenant count ", tenants);
+    ResourceManager rm(dtu);
+    std::vector<TenantJob> jobs;
+    int remaining = batch;
+    for (unsigned t = 0; t < tenants; ++t) {
+        int share = remaining / static_cast<int>(tenants - t);
+        remaining -= share;
+        auto lease = rm.allocate(static_cast<int>(t), groups_per_tenant);
+        fatalIf(!lease.has_value(), "lease failed for tenant ", t);
+        Graph graph = build(share);
+        TenantJob job;
+        job.plan = compile(graph, dtu.config(), DType::FP16,
+                           groups_per_tenant, {}, share);
+        job.groups = lease->groups;
+        job.options = options;
+        jobs.push_back(std::move(job));
+    }
+    return runTenants(dtu, jobs);
+}
+
+} // namespace dtu

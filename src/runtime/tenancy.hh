@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Multi-task / multi-tenancy execution (Section IV-E, Fig. 7).
+ *
+ * Several tenants run concurrently, each on an isolated lease of
+ * processing groups. Compute resources never interfere (isolation);
+ * the shared L3 HBM and PCIe link are contended through their
+ * bandwidth models. Batch processing maps naturally: a batch is
+ * split into per-tenant sub-batches that execute in parallel, which
+ * is how the Cloudblazer i20 "improves its throughput by supporting
+ * multi-task/tenancy with parallel and isolated processing groups"
+ * for the VGG16 batch experiments in the paper's discussion.
+ */
+
+#ifndef DTU_RUNTIME_TENANCY_HH
+#define DTU_RUNTIME_TENANCY_HH
+
+#include <functional>
+#include <vector>
+
+#include "runtime/executor.hh"
+#include "soc/resource_manager.hh"
+
+namespace dtu
+{
+
+/** One tenant's workload and lease. */
+struct TenantJob
+{
+    ExecutionPlan plan;
+    std::vector<unsigned> groups;
+    ExecOptions options;
+};
+
+/** Combined outcome of a concurrent multi-tenant run. */
+struct TenancyResult
+{
+    /** When the last tenant finished. */
+    Tick makespan = 0;
+    /** Total samples processed per second across tenants. */
+    double throughput = 0.0;
+    /** Total energy over the run. */
+    double joules = 0.0;
+    std::vector<ExecResult> tenants;
+};
+
+/**
+ * Run all jobs concurrently from tick 0 on one chip. Isolation comes
+ * from disjoint leases; contention arises on the shared L3/PCIe.
+ */
+TenancyResult runTenants(Dtu &dtu, const std::vector<TenantJob> &jobs);
+
+/**
+ * Convenience: split a batch-@p batch workload of model-builder
+ * @p build across @p tenants equal leases and run it.
+ * @param groups_per_tenant lease size per tenant.
+ */
+TenancyResult runBatched(Dtu &dtu,
+                         const std::function<Graph(int)> &build,
+                         int batch, unsigned tenants,
+                         unsigned groups_per_tenant,
+                         ExecOptions options = {});
+
+} // namespace dtu
+
+#endif // DTU_RUNTIME_TENANCY_HH

@@ -1,0 +1,106 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+Event::Event(std::function<void()> callback, std::string name)
+    : callback_(std::move(callback)), name_(std::move(name))
+{}
+
+Event::~Event()
+{
+    if (scheduled_ && queue_)
+        queue_->deschedule(*this);
+}
+
+void
+EventQueue::schedule(Event &event, Tick when)
+{
+    panicIf(event.scheduled_,
+            "event '", event.name_, "' scheduled while already queued");
+    panicIf(when < now_, "event '", event.name_, "' scheduled in the past (",
+            when, " < ", now_, ")");
+    event.when_ = when;
+    event.sequence_ = nextSequence_++;
+    event.scheduled_ = true;
+    event.queue_ = this;
+    queue_.push(Entry{when, event.sequence_, &event});
+    ++live_;
+}
+
+void
+EventQueue::deschedule(Event &event)
+{
+    panicIf(!event.scheduled_ || event.queue_ != this,
+            "descheduling event '", event.name_, "' not in this queue");
+    // Lazy deletion: mark the event descheduled; the stale queue entry
+    // is discarded when popped. The sequence number distinguishes a
+    // stale entry from a re-scheduled incarnation of the same event.
+    event.scheduled_ = false;
+    --live_;
+}
+
+void
+EventQueue::reschedule(Event &event, Tick when)
+{
+    if (event.scheduled_)
+        deschedule(event);
+    schedule(event, when);
+}
+
+bool
+EventQueue::step()
+{
+    while (!queue_.empty()) {
+        Entry top = queue_.top();
+        queue_.pop();
+        Event *event = top.event;
+        if (!event->scheduled_ || event->sequence_ != top.sequence)
+            continue; // stale entry from deschedule/reschedule
+        now_ = top.when;
+        event->scheduled_ = false;
+        --live_;
+        ++executed_;
+        event->callback_();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!queue_.empty()) {
+        const Entry &top = queue_.top();
+        if (!top.event->scheduled_ || top.event->sequence_ != top.sequence) {
+            queue_.pop();
+            continue;
+        }
+        if (top.when > limit)
+            break;
+        step();
+    }
+    return now_;
+}
+
+void
+EventQueue::advanceTo(Tick when)
+{
+    panicIf(when < now_, "cannot advance time backwards");
+    while (!queue_.empty()) {
+        const Entry &top = queue_.top();
+        if (!top.event->scheduled_ || top.event->sequence_ != top.sequence) {
+            queue_.pop();
+            continue;
+        }
+        panicIf(top.when < when,
+                "advanceTo(", when, ") would skip event '",
+                top.event->name_, "' at ", top.when);
+        break;
+    }
+    now_ = when;
+}
+
+} // namespace dtu

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The event queue at the heart of the dtusim kernel.
+ *
+ * Every timed behaviour in the simulated DTU — instruction issue,
+ * DMA transactions, HBM channel service, synchronization wakeups,
+ * power-management observation windows — is an Event scheduled on a
+ * single EventQueue. Events at the same tick execute in FIFO order of
+ * scheduling (stable), which keeps runs deterministic.
+ */
+
+#ifndef DTU_SIM_EVENT_QUEUE_HH
+#define DTU_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace dtu
+{
+
+class EventQueue;
+
+/**
+ * A schedulable unit of work. Events are owned by the caller and may
+ * be rescheduled after they fire; an event can only be in the queue
+ * once at a time.
+ */
+class Event
+{
+  public:
+    /** Construct an event around a callback. */
+    explicit Event(std::function<void()> callback, std::string name = "");
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+    ~Event();
+
+    /** The tick this event is (or was last) scheduled for. */
+    Tick when() const { return when_; }
+
+    /** True while the event sits in an event queue. */
+    bool scheduled() const { return scheduled_; }
+
+    /** Diagnostic name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    friend class EventQueue;
+
+    std::function<void()> callback_;
+    std::string name_;
+    Tick when_ = 0;
+    std::uint64_t sequence_ = 0;
+    bool scheduled_ = false;
+    EventQueue *queue_ = nullptr;
+};
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * The queue is not global: each simulation (each DTU instance, each
+ * test) owns its own queue, so independent simulations can coexist in
+ * one process.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule an event at an absolute tick.
+     * @param event the event to schedule; must not already be scheduled.
+     * @param when absolute tick, must be >= now().
+     */
+    void schedule(Event &event, Tick when);
+
+    /** Schedule an event @p delay ticks in the future. */
+    void scheduleIn(Event &event, Tick delay) { schedule(event, now_ + delay); }
+
+    /** Remove a scheduled event from the queue without running it. */
+    void deschedule(Event &event);
+
+    /** Move an already-scheduled event to a new absolute tick. */
+    void reschedule(Event &event, Tick when);
+
+    /** True when no events remain. */
+    bool empty() const { return live_ != 0 ? false : true; }
+
+    /** Number of live (scheduled) events. */
+    std::size_t size() const { return live_; }
+
+    /** Total events executed since construction. */
+    std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Run events until the queue drains or @p limit ticks is reached.
+     * @param limit absolute tick bound (inclusive); events scheduled
+     *              beyond it stay queued.
+     * @return the tick of the last executed event, or now() if none ran.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /** Execute exactly one event if any is pending. @return true if run. */
+    bool step();
+
+    /**
+     * Advance simulated time to @p when without running any events.
+     * Only valid when nothing is scheduled before @p when.
+     */
+    void advanceTo(Tick when);
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t sequence;
+        Event *event;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            return when != other.when ? when > other.when
+                                      : sequence > other.sequence;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        queue_;
+    Tick now_ = 0;
+    std::uint64_t nextSequence_ = 0;
+    std::uint64_t executed_ = 0;
+    std::size_t live_ = 0;
+};
+
+} // namespace dtu
+
+#endif // DTU_SIM_EVENT_QUEUE_HH

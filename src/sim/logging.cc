@@ -1,0 +1,39 @@
+#include "sim/logging.hh"
+
+#include <iostream>
+
+namespace dtu
+{
+
+namespace
+{
+bool gLoggingEnabled = false;
+} // namespace
+
+bool
+loggingEnabled()
+{
+    return gLoggingEnabled;
+}
+
+void
+setLoggingEnabled(bool enabled)
+{
+    gLoggingEnabled = enabled;
+}
+
+void
+warn(const std::string &msg)
+{
+    if (gLoggingEnabled)
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+inform(const std::string &msg)
+{
+    if (gLoggingEnabled)
+        std::cout << "info: " << msg << "\n";
+}
+
+} // namespace dtu

@@ -1,0 +1,143 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+void
+Stat::init(StatRegistry &registry, std::string name, std::string description)
+{
+    name_ = std::move(name);
+    description_ = std::move(description);
+    registry.add(this);
+}
+
+void
+Histogram::init(StatRegistry &registry, std::string name,
+                std::string description, double lo, double hi,
+                std::size_t buckets)
+{
+    fatalIf(buckets == 0, "histogram '", name, "' needs at least 1 bucket");
+    fatalIf(hi <= lo, "histogram '", name, "' needs hi > lo");
+    name_ = std::move(name);
+    description_ = std::move(description);
+    lo_ = lo;
+    hi_ = hi;
+    counts_.assign(buckets, 0);
+    registry.add(this);
+}
+
+void
+Histogram::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+    double frac = (v - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::int64_t>(
+        frac * static_cast<double>(counts_.size()));
+    idx = std::clamp<std::int64_t>(
+        idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+void
+StatRegistry::add(Stat *stat)
+{
+    panicIf(scalars_.count(stat->name()) != 0,
+            "duplicate stat name '", stat->name(), "'");
+    scalars_[stat->name()] = stat;
+}
+
+void
+StatRegistry::add(Histogram *histogram)
+{
+    panicIf(histograms_.count(histogram->name()) != 0,
+            "duplicate histogram name '", histogram->name(), "'");
+    histograms_[histogram->name()] = histogram;
+}
+
+double
+StatRegistry::lookup(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? 0.0 : it->second->value();
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    return scalars_.count(name) != 0;
+}
+
+double
+StatRegistry::sumMatching(const std::string &prefix) const
+{
+    double total = 0.0;
+    for (auto it = scalars_.lower_bound(prefix); it != scalars_.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        total += it->second->value();
+    }
+    return total;
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, stat] : scalars_)
+        stat->reset();
+    for (auto &[name, histogram] : histograms_)
+        histogram->reset();
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    os << std::setprecision(12);
+    for (const auto &[name, stat] : scalars_) {
+        os << name << " " << stat->value();
+        if (!stat->description().empty())
+            os << " # " << stat->description();
+        os << "\n";
+    }
+    for (const auto &[name, histogram] : histograms_) {
+        os << name << ".count " << histogram->count() << "\n"
+           << name << ".mean " << histogram->mean() << "\n"
+           << name << ".min " << histogram->min() << "\n"
+           << name << ".max " << histogram->max() << "\n";
+    }
+}
+
+std::vector<std::string>
+StatRegistry::scalarNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(scalars_.size());
+    for (const auto &[name, stat] : scalars_)
+        names.push_back(name);
+    return names;
+}
+
+} // namespace dtu

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Statistics collection for dtusim.
+ *
+ * Engines expose their behaviour (bytes moved, stall cycles, VMM
+ * operations, power-budget requests, ...) through named statistics
+ * registered with a StatRegistry. Benchmarks and tests query stats by
+ * hierarchical name; the registry can also dump everything in a
+ * stable, diff-friendly text format.
+ */
+
+#ifndef DTU_SIM_STATS_HH
+#define DTU_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dtu
+{
+
+class StatRegistry;
+
+/** A named scalar statistic (a counter or a gauge). */
+class Stat
+{
+  public:
+    Stat() = default;
+
+    /** Register this stat under @p name with @p registry. */
+    void init(StatRegistry &registry, std::string name,
+              std::string description);
+
+    /** Accumulate. */
+    Stat &operator+=(double v) { value_ += v; return *this; }
+    /** Increment by one. */
+    Stat &operator++() { value_ += 1.0; return *this; }
+    /** Set to an absolute value (gauge semantics). */
+    void set(double v) { value_ = v; }
+    /** Current value. */
+    double value() const { return value_; }
+    /** Reset to zero. */
+    void reset() { value_ = 0.0; }
+
+    const std::string &name() const { return name_; }
+    const std::string &description() const { return description_; }
+
+  private:
+    std::string name_;
+    std::string description_;
+    double value_ = 0.0;
+};
+
+/** A histogram statistic with fixed-width buckets. */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /**
+     * Register and configure.
+     * @param lo lower bound of the first bucket.
+     * @param hi upper bound of the last bucket.
+     * @param buckets number of equal-width buckets.
+     */
+    void init(StatRegistry &registry, std::string name,
+              std::string description, double lo, double hi,
+              std::size_t buckets);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+    const std::string &name() const { return name_; }
+
+    void reset();
+
+  private:
+    std::string name_;
+    std::string description_;
+    double lo_ = 0.0;
+    double hi_ = 1.0;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Registry of all statistics in one simulation instance.
+ *
+ * Not global: each simulated chip owns a registry so multiple
+ * simulations can coexist (e.g. i20 and i10 side by side in one
+ * benchmark binary).
+ */
+class StatRegistry
+{
+  public:
+    StatRegistry() = default;
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
+
+    /** Add a scalar stat (called by Stat::init). */
+    void add(Stat *stat);
+    /** Add a histogram (called by Histogram::init). */
+    void add(Histogram *histogram);
+
+    /**
+     * Look up a scalar stat by exact name.
+     * @return the value, or 0.0 when absent.
+     */
+    double lookup(const std::string &name) const;
+
+    /** True when a scalar stat with this exact name exists. */
+    bool has(const std::string &name) const;
+
+    /** Sum of all scalar stats whose name begins with @p prefix. */
+    double sumMatching(const std::string &prefix) const;
+
+    /** Reset every registered stat to zero. */
+    void resetAll();
+
+    /** Dump all stats sorted by name, "name value # description". */
+    void dump(std::ostream &os) const;
+
+    /** Names of all registered scalar stats (sorted). */
+    std::vector<std::string> scalarNames() const;
+
+  private:
+    std::map<std::string, Stat *> scalars_;
+    std::map<std::string, Histogram *> histograms_;
+};
+
+} // namespace dtu
+
+#endif // DTU_SIM_STATS_HH

@@ -1,0 +1,77 @@
+#include "soc/config.hh"
+
+namespace dtu
+{
+
+DtuConfig
+dtu2Config()
+{
+    DtuConfig config;
+    config.name = "dtu2";
+    config.dtu2 = true;
+    config.clusters = 2;
+    config.groupsPerCluster = 3;
+    config.coresPerGroup = 4;
+    config.nominalHz = 1.3e9;
+    config.minHz = 1.0e9;
+    config.maxHz = 1.4e9;
+    config.l1BytesPerCore = 1_MiB;
+    config.l2BytesPerGroup = 8_MiB;
+    config.l2Ports = 4;
+    config.l3Bytes = 16_GiB;
+    config.l3BytesPerSecond = 819.0e9; // HBM2E
+    config.icacheBytes = 64_KiB;
+    config.icacheCacheMode = true;
+    config.dmaFeatures = DmaFeatures{
+        .sparseDecompress = true,
+        .broadcast = true,
+        .repeatMode = true,
+        .l1L3Direct = true,
+    };
+    config.tdpWatts = 150.0;
+    config.dvfs.enabled = true;
+    return config;
+}
+
+DtuConfig
+dtu1Config()
+{
+    DtuConfig config;
+    config.name = "dtu1";
+    config.dtu2 = false;
+    // 32 cores in 4 clusters; each cluster's 8 cores share one L2 and
+    // form a single (non-isolated) group in our abstraction.
+    config.clusters = 4;
+    config.groupsPerCluster = 1;
+    config.coresPerGroup = 8;
+    config.nominalHz = 1.25e9;
+    config.minHz = 1.25e9;
+    config.maxHz = 1.25e9;
+    config.l1BytesPerCore = 256_KiB;
+    config.l2BytesPerGroup = 4_MiB;
+    config.l2Ports = 1; // single-ported shared DRAM slice
+    config.l2PortBytesPerCycle = 128.0;
+    config.l2DmaPortBytesPerCycle = 128.0;
+    config.l3Bytes = 16_GiB;
+    config.l3BytesPerSecond = 512.0e9; // HBM2
+    config.icacheBytes = 32_KiB;
+    config.icacheCacheMode = false; // plain instruction buffer
+    config.dmaFeatures = DmaFeatures{
+        .sparseDecompress = false,
+        .broadcast = false,
+        .repeatMode = false,
+        .l1L3Direct = false,
+    };
+    config.dmaBytesPerCycle = 256;
+    config.dmaConfigCycles = 160;
+    config.opLaunchOverheadTicks = 6'000'000; // slower runtime path
+    config.tdpWatts = 150.0;
+    config.dvfs.enabled = false;
+    // Older process/implementation: higher per-operation energy.
+    config.power.joulesPerMacFp32 = 4.2e-12;
+    config.power.joulesPerLaneOp = 1.2e-12;
+    config.power.baseStaticWatts = 48.0;
+    return config;
+}
+
+} // namespace dtu

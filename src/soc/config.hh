@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Chip configurations for DTU 2.0 (Cloudblazer i20) and DTU 1.0
+ * (Cloudblazer i10).
+ *
+ * Every number traces to the paper:
+ *  - DTU 2.0: 2 clusters x 12 cores in 3 processing groups of 4;
+ *    L1 1 MiB/core and L2 8 MiB/group (4x / 6x the per-core/cluster
+ *    capacities of DTU 1.0, 3x overall); L2 has 4 parallel ports;
+ *    16 GB HBM2E at 819 GB/s; icache + prefetch; DMA with sparse
+ *    decompression, broadcast, repeat mode, L1<->L3 direct; DVFS
+ *    1.0-1.4 GHz; 150 W TDP (Tables I/II, Section IV).
+ *  - DTU 1.0: 4 clusters x 8 cores; L1 256 KiB/core, one 4 MiB L2
+ *    per cluster; 16 GB HBM2 at 512 GB/s; GEMM-only matrix engine;
+ *    none of the DTU 2.0 DMA/icache features (Section II-A).
+ */
+
+#ifndef DTU_SOC_CONFIG_HH
+#define DTU_SOC_CONFIG_HH
+
+#include <string>
+
+#include "core/matrix_engine.hh"
+#include "dma/dma_engine.hh"
+#include "mem/mem_types.hh"
+#include "power/cpme.hh"
+#include "power/power_model.hh"
+#include "sim/ticks.hh"
+#include "tensor/dtype.hh"
+
+namespace dtu
+{
+
+/** Full static description of one DTU chip. */
+struct DtuConfig
+{
+    std::string name = "dtu2";
+    bool dtu2 = true;
+
+    //
+    // Topology
+    //
+    unsigned clusters = 2;
+    unsigned groupsPerCluster = 3;
+    unsigned coresPerGroup = 4;
+
+    //
+    // Clocks
+    //
+    double nominalHz = 1.3e9;
+    double minHz = 1.0e9;
+    double maxHz = 1.4e9;
+    double dmaHz = 1.0e9;
+
+    //
+    // Memory hierarchy
+    //
+    std::uint64_t l1BytesPerCore = 1_MiB;
+    double l1BytesPerCycle = 128.0;
+    Tick l1LatencyTicks = 2'000; // ~2 ns
+
+    std::uint64_t l2BytesPerGroup = 8_MiB;
+    unsigned l2Ports = 4;
+    double l2PortBytesPerCycle = 64.0;
+    /** Dedicated DMA-side fill port width (bulk weight streaming). */
+    double l2DmaPortBytesPerCycle = 256.0;
+    Tick l2LatencyTicks = 15'000; // ~15 ns
+    Tick l2RemotePenaltyTicks = 20'000;
+
+    std::uint64_t l3Bytes = 16_GiB;
+    double l3BytesPerSecond = 819.0e9;
+    unsigned l3Channels = 8;
+    Tick l3LatencyTicks = 120'000; // ~120 ns
+
+    double pcieBytesPerSecond = 64.0e9;
+
+    //
+    // Instruction buffer
+    //
+    std::uint64_t icacheBytes = 64_KiB;
+    bool icacheCacheMode = true;
+
+    //
+    // DMA
+    //
+    DmaFeatures dmaFeatures = {};
+    unsigned dmaBytesPerCycle = 512;
+    unsigned dmaConfigCycles = 128;
+
+    //
+    // Runtime
+    //
+    /** Per-operator launch/sync overhead (driver + firmware). */
+    Tick opLaunchOverheadTicks = 4'700'000; // ~4.7 us
+
+    //
+    // Power
+    //
+    double tdpWatts = 150.0;
+    PowerParams power = {};
+    DvfsPolicy dvfs = {};
+    /** LPME baseline budgets. */
+    double coreBaselineWatts = 2.0;
+    double dmaBaselineWatts = 1.5;
+
+    //
+    // Derived quantities
+    //
+    unsigned totalGroups() const { return clusters * groupsPerCluster; }
+    unsigned totalCores() const { return totalGroups() * coresPerGroup; }
+    unsigned coresPerCluster() const
+    {
+        return groupsPerCluster * coresPerGroup;
+    }
+
+    /** Peak multiply-accumulates per second for @p t at nominal clock. */
+    double
+    peakMacsPerSecond(DType t) const
+    {
+        return totalCores() * MatrixEngine::macsPerCycle(t, dtu2) *
+               nominalHz;
+    }
+
+    /** Peak FLOPS/OPS (2 ops per MAC), the Table I / Table IV figure. */
+    double
+    peakOpsPerSecond(DType t) const
+    {
+        return 2.0 * peakMacsPerSecond(t);
+    }
+
+    /** Peak perf / TDP, the Fig. 14 metric. */
+    double
+    opsPerWatt(DType t) const
+    {
+        return peakOpsPerSecond(t) / tdpWatts;
+    }
+};
+
+/** The DTU 2.0 / Cloudblazer i20 configuration. */
+DtuConfig dtu2Config();
+
+/** The DTU 1.0 / Cloudblazer i10 configuration. */
+DtuConfig dtu1Config();
+
+} // namespace dtu
+
+#endif // DTU_SOC_CONFIG_HH

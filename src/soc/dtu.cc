@@ -1,0 +1,103 @@
+#include "soc/dtu.hh"
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+Cluster::Cluster(std::string name, EventQueue &queue, StatRegistry *stats,
+                 const DtuConfig &config, unsigned cluster_id,
+                 ClockDomain &core_clock, ClockDomain &dma_clock, Hbm &hbm,
+                 BandwidthResource *pcie)
+    : SimObject(std::move(name), queue, stats), coreClock_(core_clock)
+{
+    for (unsigned g = 0; g < config.groupsPerCluster; ++g) {
+        unsigned gid = cluster_id * config.groupsPerCluster + g;
+        groups_.push_back(std::make_unique<ProcessingGroup>(
+            this->name() + ".pg" + std::to_string(g), queue, stats, config,
+            gid, core_clock, dma_clock, hbm, pcie));
+    }
+    // Broadcast fan-out: every group's DMA engine can write all L2
+    // slices of this cluster at once.
+    std::vector<Sram *> slices;
+    for (auto &group : groups_)
+        slices.push_back(&group->l2());
+    for (auto &group : groups_)
+        group->connectClusterL2(slices);
+}
+
+Dtu::Dtu(const DtuConfig &config)
+    : config_(config), energy_(config.power)
+{
+    hbm_ = std::make_unique<Hbm>(config.name + ".hbm", queue_, &stats_,
+                                 config.l3Bytes, config.l3BytesPerSecond,
+                                 config.l3Channels, config.l3LatencyTicks);
+    pcie_ = std::make_unique<BandwidthResource>(
+        config.name + ".pcie", queue_, &stats_, config.pcieBytesPerSecond,
+        500'000 /* ~500 ns host round trip */);
+    dmaClock_ = std::make_unique<ClockDomain>(queue_, config.dmaHz);
+
+    DvfsPolicy dvfs = config.dvfs;
+    if (dvfs.enabled) {
+        dvfs.ladderHz.clear();
+        for (double hz = config.minHz; hz <= config.maxHz + 1e6;
+             hz += 0.1e9) {
+            dvfs.ladderHz.push_back(hz);
+        }
+    } else {
+        dvfs.ladderHz = {config.nominalHz};
+    }
+    cpme_ = std::make_unique<Cpme>(config.tdpWatts, dvfs);
+
+    for (unsigned c = 0; c < config.clusters; ++c) {
+        // Boot clocks at the CPME's initial point (top of ladder).
+        coreClocks_.push_back(
+            std::make_unique<ClockDomain>(queue_, cpme_->frequency()));
+        clusters_.push_back(std::make_unique<Cluster>(
+            config.name + ".cluster" + std::to_string(c), queue_, &stats_,
+            config, c, *coreClocks_.back(), *dmaClock_, *hbm_,
+            pcie_.get()));
+    }
+
+    // Register every function unit's LPME with the CPME.
+    for (auto &cluster : clusters_) {
+        for (unsigned g = 0; g < cluster->numGroups(); ++g) {
+            ProcessingGroup &pg = cluster->group(g);
+            for (unsigned i = 0; i < pg.numCores(); ++i)
+                cpme_->attach(pg.coreLpme(i));
+            cpme_->attach(pg.dmaLpme());
+        }
+    }
+}
+
+ProcessingGroup &
+Dtu::group(unsigned gid)
+{
+    fatalIf(gid >= totalGroups(), "group id ", gid, " out of range");
+    unsigned per = config_.groupsPerCluster;
+    return clusters_[gid / per]->group(gid % per);
+}
+
+ComputeCore &
+Dtu::core(unsigned cid)
+{
+    fatalIf(cid >= totalCores(), "core id ", cid, " out of range");
+    unsigned per = config_.coresPerGroup;
+    return group(cid / per).core(cid % per);
+}
+
+ClockDomain &
+Dtu::coreClockOf(unsigned gid)
+{
+    fatalIf(gid >= totalGroups(), "group id ", gid, " out of range");
+    return clusters_[gid / config_.groupsPerCluster]->coreClock();
+}
+
+void
+Dtu::setCoreFrequency(double hz)
+{
+    for (auto &clock : coreClocks_)
+        clock->setFrequency(hz);
+}
+
+} // namespace dtu

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The full DTU system-on-chip (Fig. 2).
+ *
+ * A Dtu owns one event queue, one statistics registry, the L3 HBM,
+ * the PCIe host link, per-cluster core clock domains (DVFS acts on
+ * the core clocks), a fixed DMA clock, the clusters of processing
+ * groups, the central power management engine, and the chip-level
+ * energy meter. Instantiating it with dtu1Config() yields a faithful
+ * DTU 1.0 for the i20-vs-i10 comparisons.
+ */
+
+#ifndef DTU_SOC_DTU_HH
+#define DTU_SOC_DTU_HH
+
+#include <memory>
+#include <vector>
+
+#include "power/cpme.hh"
+#include "power/power_model.hh"
+#include "soc/config.hh"
+#include "soc/processing_group.hh"
+
+namespace dtu
+{
+
+/** A cluster: a set of processing groups sharing broadcast reach. */
+class Cluster : public SimObject
+{
+  public:
+    Cluster(std::string name, EventQueue &queue, StatRegistry *stats,
+            const DtuConfig &config, unsigned cluster_id,
+            ClockDomain &core_clock, ClockDomain &dma_clock, Hbm &hbm,
+            BandwidthResource *pcie);
+
+    unsigned numGroups() const
+    {
+        return static_cast<unsigned>(groups_.size());
+    }
+    ProcessingGroup &group(unsigned i) { return *groups_.at(i); }
+    ClockDomain &coreClock() { return coreClock_; }
+
+  private:
+    ClockDomain &coreClock_;
+    std::vector<std::unique_ptr<ProcessingGroup>> groups_;
+};
+
+/** The chip. */
+class Dtu
+{
+  public:
+    explicit Dtu(const DtuConfig &config);
+
+    const DtuConfig &config() const { return config_; }
+    EventQueue &eventQueue() { return queue_; }
+    StatRegistry &stats() { return stats_; }
+    Hbm &hbm() { return *hbm_; }
+    BandwidthResource &pcie() { return *pcie_; }
+    Cpme &cpme() { return *cpme_; }
+    EnergyMeter &energy() { return energy_; }
+
+    unsigned numClusters() const
+    {
+        return static_cast<unsigned>(clusters_.size());
+    }
+    Cluster &cluster(unsigned i) { return *clusters_.at(i); }
+
+    /** Flat group addressing across clusters. */
+    unsigned totalGroups() const { return config_.totalGroups(); }
+    ProcessingGroup &group(unsigned gid);
+
+    /** Flat core addressing across the chip. */
+    unsigned totalCores() const { return config_.totalCores(); }
+    ComputeCore &core(unsigned cid);
+
+    /** Core clock of the cluster containing group @p gid. */
+    ClockDomain &coreClockOf(unsigned gid);
+
+    /** Set every cluster's core clock (the CPME Action stage). */
+    void setCoreFrequency(double hz);
+
+    /** Current core frequency (all clusters track the CPME). */
+    double coreFrequency() const { return coreClocks_.front()->frequency(); }
+
+  private:
+    DtuConfig config_;
+    EventQueue queue_;
+    StatRegistry stats_;
+    std::unique_ptr<Hbm> hbm_;
+    std::unique_ptr<BandwidthResource> pcie_;
+    std::vector<std::unique_ptr<ClockDomain>> coreClocks_;
+    std::unique_ptr<ClockDomain> dmaClock_;
+    std::vector<std::unique_ptr<Cluster>> clusters_;
+    std::unique_ptr<Cpme> cpme_;
+    EnergyMeter energy_;
+};
+
+} // namespace dtu
+
+#endif // DTU_SOC_DTU_HH

@@ -1,0 +1,82 @@
+#include "soc/resource_manager.hh"
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+ResourceManager::ResourceManager(Dtu &dtu)
+    : dtu_(dtu)
+{}
+
+std::optional<ResourceLease>
+ResourceManager::allocate(int tenant_id, unsigned num_groups)
+{
+    const DtuConfig &config = dtu_.config();
+    fatalIf(num_groups == 0, "cannot lease zero groups");
+    fatalIf(num_groups > config.groupsPerCluster,
+            "a lease spans at most one cluster (",
+            config.groupsPerCluster, " groups), requested ", num_groups);
+    fatalIf(tenants_.count(tenant_id) != 0, "tenant ", tenant_id,
+            " already holds a lease");
+
+    // First-fit over clusters: find one with enough free groups.
+    for (unsigned c = 0; c < config.clusters; ++c) {
+        std::vector<unsigned> free_gids;
+        for (unsigned g = 0; g < config.groupsPerCluster; ++g) {
+            unsigned gid = c * config.groupsPerCluster + g;
+            if (!leases_.count(gid))
+                free_gids.push_back(gid);
+        }
+        if (free_gids.size() >= num_groups) {
+            ResourceLease lease;
+            lease.tenantId = tenant_id;
+            lease.cluster = c;
+            lease.groups.assign(free_gids.begin(),
+                                free_gids.begin() + num_groups);
+            for (unsigned gid : lease.groups)
+                leases_[gid] = tenant_id;
+            tenants_[tenant_id] = lease;
+            return lease;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+ResourceManager::release(int tenant_id)
+{
+    auto it = tenants_.find(tenant_id);
+    fatalIf(it == tenants_.end(), "tenant ", tenant_id,
+            " holds no lease");
+    for (unsigned gid : it->second.groups)
+        leases_.erase(gid);
+    tenants_.erase(it);
+}
+
+unsigned
+ResourceManager::activeGroups() const
+{
+    return static_cast<unsigned>(leases_.size());
+}
+
+unsigned
+ResourceManager::freeGroups() const
+{
+    return dtu_.totalGroups() - activeGroups();
+}
+
+bool
+ResourceManager::isLeased(unsigned gid) const
+{
+    return leases_.count(gid) != 0;
+}
+
+int
+ResourceManager::tenantOf(unsigned gid) const
+{
+    auto it = leases_.find(gid);
+    return it == leases_.end() ? -1 : it->second;
+}
+
+} // namespace dtu

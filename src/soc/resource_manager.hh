@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Resource abstraction for multi-task/tenancy (Section IV-E, Fig. 7).
+ *
+ * The processing group is the minimal unit of workload deployment:
+ * large workloads take a whole cluster (3 groups), medium ones 2
+ * groups, small ones a single group. The resource manager hands out
+ * isolated group sets per tenant, keeps groups of one tenant within a
+ * cluster when possible (broadcast and L2 sharing only work
+ * intra-cluster), and reports how many groups are active so idle
+ * groups can be power-gated.
+ */
+
+#ifndef DTU_SOC_RESOURCE_MANAGER_HH
+#define DTU_SOC_RESOURCE_MANAGER_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "soc/dtu.hh"
+
+namespace dtu
+{
+
+/** A tenant's lease on a set of processing groups. */
+struct ResourceLease
+{
+    int tenantId = -1;
+    /** Global group ids, all within one cluster. */
+    std::vector<unsigned> groups;
+    unsigned cluster = 0;
+};
+
+/** Allocates isolated processing groups to tenants. */
+class ResourceManager
+{
+  public:
+    explicit ResourceManager(Dtu &dtu);
+
+    /**
+     * Lease @p num_groups groups (1..groupsPerCluster) for a tenant.
+     * Groups are always co-located in one cluster.
+     * @return the lease, or nullopt when no cluster has capacity.
+     */
+    std::optional<ResourceLease> allocate(int tenant_id,
+                                          unsigned num_groups);
+
+    /** Release a tenant's lease. */
+    void release(int tenant_id);
+
+    /** Groups currently leased. */
+    unsigned activeGroups() const;
+    /** Groups currently free. */
+    unsigned freeGroups() const;
+    /** True when @p gid is leased to someone. */
+    bool isLeased(unsigned gid) const;
+    /** The tenant holding @p gid, or -1. */
+    int tenantOf(unsigned gid) const;
+
+    Dtu &dtu() { return dtu_; }
+
+  private:
+    Dtu &dtu_;
+    /** gid -> tenant id (absent = free). */
+    std::map<unsigned, int> leases_;
+    std::map<int, ResourceLease> tenants_;
+};
+
+} // namespace dtu
+
+#endif // DTU_SOC_RESOURCE_MANAGER_HH

@@ -1,0 +1,98 @@
+#include "tensor/dtype.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+std::string
+dtypeName(DType t)
+{
+    switch (t) {
+      case DType::FP32: return "fp32";
+      case DType::TF32: return "tf32";
+      case DType::FP16: return "fp16";
+      case DType::BF16: return "bf16";
+      case DType::INT32: return "int32";
+      case DType::INT16: return "int16";
+      case DType::INT8: return "int8";
+    }
+    return "unknown";
+}
+
+DType
+dtypeFromName(const std::string &name)
+{
+    if (name == "fp32") return DType::FP32;
+    if (name == "tf32") return DType::TF32;
+    if (name == "fp16") return DType::FP16;
+    if (name == "bf16") return DType::BF16;
+    if (name == "int32") return DType::INT32;
+    if (name == "int16") return DType::INT16;
+    if (name == "int8") return DType::INT8;
+    fatal("unknown dtype name '", name, "'");
+}
+
+int
+dtypeMantissaBits(DType t)
+{
+    switch (t) {
+      case DType::FP32: return 23;
+      case DType::TF32: return 10;
+      case DType::FP16: return 10;
+      case DType::BF16: return 7;
+      default: return 0;
+    }
+}
+
+namespace
+{
+
+/** Round a double to a float format with @p mantissa_bits mantissa bits. */
+double
+roundMantissa(double value, int mantissa_bits)
+{
+    if (value == 0.0 || !std::isfinite(value))
+        return value;
+    int exponent = 0;
+    double mantissa = std::frexp(value, &exponent); // in [0.5, 1)
+    double scale = std::ldexp(1.0, mantissa_bits + 1);
+    mantissa = std::nearbyint(mantissa * scale) / scale;
+    return std::ldexp(mantissa, exponent);
+}
+
+double
+clampRange(double value, double lo, double hi)
+{
+    return std::clamp(value, lo, hi);
+}
+
+} // namespace
+
+double
+dtypeQuantize(DType t, double value)
+{
+    switch (t) {
+      case DType::FP32:
+        return static_cast<float>(value);
+      case DType::TF32:
+        return roundMantissa(static_cast<float>(value), 10);
+      case DType::FP16:
+        return clampRange(roundMantissa(value, 10), -65504.0, 65504.0);
+      case DType::BF16:
+        return roundMantissa(static_cast<float>(value), 7);
+      case DType::INT32:
+        return std::nearbyint(clampRange(value, -2147483648.0,
+                                         2147483647.0));
+      case DType::INT16:
+        return std::nearbyint(clampRange(value, -32768.0, 32767.0));
+      case DType::INT8:
+        return std::nearbyint(clampRange(value, -128.0, 127.0));
+    }
+    return value;
+}
+
+} // namespace dtu

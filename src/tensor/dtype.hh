@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Numeric data types supported by the DTU.
+ *
+ * DTU 2.0 supports "a full range of widely used data types, i.e. from
+ * 8-bit up to 32-bit integer and floating-point types" (Section IV-A)
+ * and its peak rates differ per type (Table I): 32 TFLOPS FP32,
+ * 128 TFLOPS TF32/FP16/BF16, 256 TOPS INT8.
+ */
+
+#ifndef DTU_TENSOR_DTYPE_HH
+#define DTU_TENSOR_DTYPE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dtu
+{
+
+/** Element data types the compute engines understand. */
+enum class DType : std::uint8_t
+{
+    FP32,
+    TF32,
+    FP16,
+    BF16,
+    INT32,
+    INT16,
+    INT8,
+};
+
+/** Number of distinct DType values. */
+constexpr int numDTypes = 7;
+
+/** Storage size of one element in bytes. */
+constexpr std::size_t
+dtypeBytes(DType t)
+{
+    switch (t) {
+      case DType::FP32:
+      case DType::TF32: // TF32 is stored in 32-bit containers
+      case DType::INT32:
+        return 4;
+      case DType::FP16:
+      case DType::BF16:
+      case DType::INT16:
+        return 2;
+      case DType::INT8:
+        return 1;
+    }
+    return 4;
+}
+
+/** True for the floating-point family (incl. TF32/BF16). */
+constexpr bool
+dtypeIsFloat(DType t)
+{
+    switch (t) {
+      case DType::FP32:
+      case DType::TF32:
+      case DType::FP16:
+      case DType::BF16:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * Throughput multiplier of a DTU 2.0 compute core for this type,
+ * relative to FP32 (Table I: FP32 32T, TF32/FP16/BF16 128T, INT8 256T;
+ * INT32/INT16 follow the FP32/FP16 rates respectively).
+ */
+constexpr double
+dtypeRateFactorDtu2(DType t)
+{
+    switch (t) {
+      case DType::FP32:
+      case DType::INT32:
+        return 1.0;
+      case DType::TF32:
+      case DType::FP16:
+      case DType::BF16:
+      case DType::INT16:
+        return 4.0;
+      case DType::INT8:
+        return 8.0;
+    }
+    return 1.0;
+}
+
+/**
+ * Same, for DTU 1.0 (Section II-A: 20/80/80 TFLOPS for FP32/FP16/BF16
+ * and 20/80/80 TOPS for INT32/INT16/INT8 — note INT8 runs at the
+ * INT16 rate; DTU 2.0 doubled it).
+ */
+constexpr double
+dtypeRateFactorDtu1(DType t)
+{
+    switch (t) {
+      case DType::FP32:
+      case DType::TF32:
+      case DType::INT32:
+        return 1.0;
+      case DType::FP16:
+      case DType::BF16:
+      case DType::INT16:
+      case DType::INT8:
+        return 4.0;
+    }
+    return 1.0;
+}
+
+/** Human-readable name, e.g. "fp16". */
+std::string dtypeName(DType t);
+
+/** Parse a dtype name; throws FatalError on unknown names. */
+DType dtypeFromName(const std::string &name);
+
+/**
+ * Quantize a double to the representable precision of @p t.
+ *
+ * Used by the functional engines so numerical behaviour (e.g. SPU
+ * polynomial accuracy in FP16) matches storage precision. Integer
+ * types saturate at their representable range.
+ */
+double dtypeQuantize(DType t, double value);
+
+/** Number of mantissa bits kept by @p t (0 for integer types). */
+int dtypeMantissaBits(DType t);
+
+} // namespace dtu
+
+#endif // DTU_TENSOR_DTYPE_HH

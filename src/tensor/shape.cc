@@ -1,0 +1,113 @@
+#include "tensor/shape.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+Shape::Shape(std::initializer_list<std::int64_t> dims)
+    : dims_(dims)
+{
+    for (auto d : dims_)
+        fatalIf(d < 0, "negative dimension in shape");
+}
+
+Shape::Shape(std::vector<std::int64_t> dims)
+    : dims_(std::move(dims))
+{
+    for (auto d : dims_)
+        fatalIf(d < 0, "negative dimension in shape");
+}
+
+std::int64_t
+Shape::dim(std::int64_t i) const
+{
+    auto r = static_cast<std::int64_t>(rank());
+    if (i < 0)
+        i += r;
+    fatalIf(i < 0 || i >= r, "shape dim index ", i, " out of range for rank ",
+            r);
+    return dims_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t
+Shape::numel() const
+{
+    std::int64_t n = 1;
+    for (auto d : dims_)
+        n *= d;
+    return n;
+}
+
+std::vector<std::int64_t>
+Shape::strides() const
+{
+    std::vector<std::int64_t> s(rank(), 1);
+    for (std::size_t i = rank(); i-- > 1;)
+        s[i - 1] = s[i] * dims_[i];
+    return s;
+}
+
+std::int64_t
+Shape::linearize(const std::vector<std::int64_t> &coord) const
+{
+    panicIf(coord.size() != rank(), "coordinate rank mismatch");
+    auto s = strides();
+    std::int64_t offset = 0;
+    for (std::size_t i = 0; i < rank(); ++i) {
+        panicIf(coord[i] < 0 || coord[i] >= dims_[i],
+                "coordinate out of bounds in dim ", i);
+        offset += coord[i] * s[i];
+    }
+    return offset;
+}
+
+std::vector<std::int64_t>
+Shape::delinearize(std::int64_t offset) const
+{
+    panicIf(offset < 0 || offset >= numel(), "offset out of bounds");
+    std::vector<std::int64_t> coord(rank(), 0);
+    auto s = strides();
+    for (std::size_t i = 0; i < rank(); ++i) {
+        coord[i] = offset / s[i];
+        offset %= s[i];
+    }
+    return coord;
+}
+
+Shape
+Shape::transposed(std::size_t a, std::size_t b) const
+{
+    fatalIf(a >= rank() || b >= rank(), "transpose axis out of range");
+    auto d = dims_;
+    std::swap(d[a], d[b]);
+    return Shape(std::move(d));
+}
+
+Shape
+Shape::withDim(std::size_t axis, std::int64_t size) const
+{
+    fatalIf(axis >= rank(), "withDim axis out of range");
+    fatalIf(size < 0, "withDim negative size");
+    auto d = dims_;
+    d[axis] = size;
+    return Shape(std::move(d));
+}
+
+std::string
+Shape::toString() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < rank(); ++i) {
+        if (i)
+            os << ", ";
+        os << dims_[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace dtu

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tensor shapes and row-major stride computation.
+ */
+
+#ifndef DTU_TENSOR_SHAPE_HH
+#define DTU_TENSOR_SHAPE_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace dtu
+{
+
+/** An N-dimensional tensor shape. Rank 0 denotes a scalar. */
+class Shape
+{
+  public:
+    Shape() = default;
+
+    /** Construct from dimension sizes, e.g. Shape({1, 3, 224, 224}). */
+    Shape(std::initializer_list<std::int64_t> dims);
+
+    /** Construct from a vector of dimension sizes. */
+    explicit Shape(std::vector<std::int64_t> dims);
+
+    /** Number of dimensions. */
+    std::size_t rank() const { return dims_.size(); }
+
+    /** Size of dimension @p i; negative indices count from the back. */
+    std::int64_t dim(std::int64_t i) const;
+
+    /** All dimension sizes. */
+    const std::vector<std::int64_t> &dims() const { return dims_; }
+
+    /** Total element count (1 for scalars). */
+    std::int64_t numel() const;
+
+    /** Row-major (C-order) strides in elements. */
+    std::vector<std::int64_t> strides() const;
+
+    /** Linear row-major offset of a coordinate. */
+    std::int64_t linearize(const std::vector<std::int64_t> &coord) const;
+
+    /** Inverse of linearize. */
+    std::vector<std::int64_t> delinearize(std::int64_t offset) const;
+
+    /** Shape with dimensions @p a and @p b swapped. */
+    Shape transposed(std::size_t a, std::size_t b) const;
+
+    /** Shape with a new size for dimension @p axis. */
+    Shape withDim(std::size_t axis, std::int64_t size) const;
+
+    bool operator==(const Shape &other) const { return dims_ == other.dims_; }
+    bool operator!=(const Shape &other) const { return !(*this == other); }
+
+    /** e.g. "[1, 3, 224, 224]". */
+    std::string toString() const;
+
+  private:
+    std::vector<std::int64_t> dims_;
+};
+
+} // namespace dtu
+
+#endif // DTU_TENSOR_SHAPE_HH

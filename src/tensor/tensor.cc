@@ -1,0 +1,226 @@
+#include "tensor/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+Tensor::Tensor()
+    : shape_(), dtype_(DType::FP32), data_(1, 0.0)
+{}
+
+Tensor::Tensor(Shape shape, DType dtype)
+    : shape_(std::move(shape)), dtype_(dtype),
+      data_(static_cast<std::size_t>(shape_.numel()), 0.0)
+{}
+
+Tensor::Tensor(Shape shape, DType dtype, std::vector<double> values)
+    : shape_(std::move(shape)), dtype_(dtype), data_(std::move(values))
+{
+    fatalIf(static_cast<std::int64_t>(data_.size()) != shape_.numel(),
+            "tensor value count ", data_.size(), " does not match shape ",
+            shape_.toString());
+    for (auto &v : data_)
+        v = dtypeQuantize(dtype_, v);
+}
+
+double
+Tensor::at(std::int64_t i) const
+{
+    panicIf(i < 0 || i >= numel(), "tensor index out of range");
+    return data_[static_cast<std::size_t>(i)];
+}
+
+double
+Tensor::at(const std::vector<std::int64_t> &coord) const
+{
+    return at(shape_.linearize(coord));
+}
+
+void
+Tensor::set(std::int64_t i, double v)
+{
+    panicIf(i < 0 || i >= numel(), "tensor index out of range");
+    data_[static_cast<std::size_t>(i)] = dtypeQuantize(dtype_, v);
+}
+
+void
+Tensor::set(const std::vector<std::int64_t> &coord, double v)
+{
+    set(shape_.linearize(coord), v);
+}
+
+void
+Tensor::apply(const std::function<double(double)> &fn)
+{
+    for (auto &v : data_)
+        v = dtypeQuantize(dtype_, fn(v));
+}
+
+void
+Tensor::fillRandom(Random &rng, double lo, double hi)
+{
+    for (auto &v : data_)
+        v = dtypeQuantize(dtype_, rng.uniform(lo, hi));
+}
+
+void
+Tensor::fillSparse(Random &rng, double density, double lo, double hi)
+{
+    fatalIf(density < 0.0 || density > 1.0,
+            "sparsity density must be in [0, 1], got ", density);
+    for (auto &v : data_) {
+        if (rng.chance(density)) {
+            double x = rng.uniform(lo, hi);
+            // Avoid accidental zeros so density() matches the request.
+            if (x == 0.0)
+                x = (lo + hi) / 2.0 + 0.25 * (hi - lo);
+            v = dtypeQuantize(dtype_, x);
+        } else {
+            v = 0.0;
+        }
+    }
+}
+
+double
+Tensor::density() const
+{
+    if (data_.empty())
+        return 0.0;
+    std::int64_t nnz = 0;
+    for (auto v : data_)
+        nnz += v != 0.0 ? 1 : 0;
+    return static_cast<double>(nnz) / static_cast<double>(data_.size());
+}
+
+Tensor
+Tensor::reshaped(const Shape &shape) const
+{
+    fatalIf(shape.numel() != numel(), "reshape numel mismatch: ",
+            shape_.toString(), " -> ", shape.toString());
+    Tensor out(shape, dtype_);
+    out.data_ = data_;
+    return out;
+}
+
+Tensor
+Tensor::cast(DType dtype) const
+{
+    Tensor out(shape_, dtype);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = dtypeQuantize(dtype, data_[i]);
+    return out;
+}
+
+double
+Tensor::maxAbsDiff(const Tensor &other) const
+{
+    fatalIf(shape_ != other.shape_, "maxAbsDiff shape mismatch");
+    double worst = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        worst = std::max(worst, std::fabs(data_[i] - other.data_[i]));
+    return worst;
+}
+
+Tensor
+Tensor::padded(std::size_t axis, std::int64_t before,
+               std::int64_t after) const
+{
+    fatalIf(axis >= shape_.rank(), "pad axis out of range");
+    fatalIf(before < 0 || after < 0, "negative padding");
+    Shape out_shape = shape_.withDim(
+        axis, shape_.dims()[axis] + before + after);
+    Tensor out(out_shape, dtype_);
+    for (std::int64_t i = 0; i < numel(); ++i) {
+        auto coord = shape_.delinearize(i);
+        coord[axis] += before;
+        out.set(out_shape.linearize(coord), data_[
+            static_cast<std::size_t>(i)]);
+    }
+    return out;
+}
+
+Tensor
+Tensor::sliced(std::size_t axis, std::int64_t start,
+               std::int64_t length) const
+{
+    fatalIf(axis >= shape_.rank(), "slice axis out of range");
+    fatalIf(start < 0 || length < 0 ||
+                start + length > shape_.dims()[axis],
+            "slice [", start, ", ", start + length, ") out of range for dim ",
+            shape_.dims()[axis]);
+    Shape out_shape = shape_.withDim(axis, length);
+    Tensor out(out_shape, dtype_);
+    for (std::int64_t i = 0; i < out_shape.numel(); ++i) {
+        auto coord = out_shape.delinearize(i);
+        coord[axis] += start;
+        out.set(i, at(shape_.linearize(coord)));
+    }
+    return out;
+}
+
+Tensor
+Tensor::slicedStrided(std::size_t axis, std::int64_t start,
+                      std::int64_t stop, std::int64_t step) const
+{
+    fatalIf(axis >= shape_.rank(), "slice axis out of range");
+    fatalIf(step <= 0, "slice step must be positive");
+    fatalIf(start < 0 || stop < start || stop > shape_.dims()[axis],
+            "strided slice range invalid");
+    std::int64_t length = (stop - start + step - 1) / step;
+    Shape out_shape = shape_.withDim(axis, length);
+    Tensor out(out_shape, dtype_);
+    for (std::int64_t i = 0; i < out_shape.numel(); ++i) {
+        auto coord = out_shape.delinearize(i);
+        coord[axis] = start + coord[axis] * step;
+        out.set(i, at(shape_.linearize(coord)));
+    }
+    return out;
+}
+
+Tensor
+Tensor::transposed(std::size_t a, std::size_t b) const
+{
+    Shape out_shape = shape_.transposed(a, b);
+    Tensor out(out_shape, dtype_);
+    for (std::int64_t i = 0; i < numel(); ++i) {
+        auto coord = shape_.delinearize(i);
+        std::swap(coord[a], coord[b]);
+        out.set(out_shape.linearize(coord),
+                data_[static_cast<std::size_t>(i)]);
+    }
+    return out;
+}
+
+Tensor
+Tensor::concatenated(const Tensor &other, std::size_t axis) const
+{
+    fatalIf(axis >= shape_.rank(), "concat axis out of range");
+    fatalIf(shape_.rank() != other.shape_.rank(),
+            "concat rank mismatch");
+    fatalIf(dtype_ != other.dtype_, "concat dtype mismatch");
+    for (std::size_t i = 0; i < shape_.rank(); ++i) {
+        fatalIf(i != axis && shape_.dims()[i] != other.shape_.dims()[i],
+                "concat non-axis dim mismatch at ", i);
+    }
+    std::int64_t mine = shape_.dims()[axis];
+    Shape out_shape = shape_.withDim(axis, mine + other.shape_.dims()[axis]);
+    Tensor out(out_shape, dtype_);
+    for (std::int64_t i = 0; i < numel(); ++i) {
+        auto coord = shape_.delinearize(i);
+        out.set(out_shape.linearize(coord),
+                data_[static_cast<std::size_t>(i)]);
+    }
+    for (std::int64_t i = 0; i < other.numel(); ++i) {
+        auto coord = other.shape_.delinearize(i);
+        coord[axis] += mine;
+        out.set(out_shape.linearize(coord),
+                other.data_[static_cast<std::size_t>(i)]);
+    }
+    return out;
+}
+
+} // namespace dtu

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A functional tensor used by the simulator's data path.
+ *
+ * The timing model mostly works on descriptors (shape + dtype), but
+ * the functional engines — DMA layout transforms, sparse codec, VMM,
+ * SPU, sorting — operate on real values so their correctness can be
+ * tested against references. Values are held as doubles and quantized
+ * to the tensor's DType on store, mirroring how the hardware rounds
+ * into its storage formats.
+ */
+
+#ifndef DTU_TENSOR_TENSOR_HH
+#define DTU_TENSOR_TENSOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "sim/random.hh"
+#include "tensor/dtype.hh"
+#include "tensor/shape.hh"
+
+namespace dtu
+{
+
+/** Dense tensor with row-major storage and dtype-faithful rounding. */
+class Tensor
+{
+  public:
+    /** An empty rank-0 FP32 tensor holding a single zero. */
+    Tensor();
+
+    /** Zero-filled tensor of a given shape/dtype. */
+    explicit Tensor(Shape shape, DType dtype = DType::FP32);
+
+    /** Tensor initialized from values (quantized to @p dtype). */
+    Tensor(Shape shape, DType dtype, std::vector<double> values);
+
+    const Shape &shape() const { return shape_; }
+    DType dtype() const { return dtype_; }
+    std::int64_t numel() const { return shape_.numel(); }
+    /** Total storage footprint in bytes. */
+    std::size_t bytes() const
+    {
+        return static_cast<std::size_t>(numel()) * dtypeBytes(dtype_);
+    }
+
+    /** Element access by linear offset. */
+    double at(std::int64_t i) const;
+    /** Element access by coordinate. */
+    double at(const std::vector<std::int64_t> &coord) const;
+    /** Store, quantizing to this tensor's dtype. */
+    void set(std::int64_t i, double v);
+    void set(const std::vector<std::int64_t> &coord, double v);
+
+    /** Raw (already quantized) storage. */
+    const std::vector<double> &data() const { return data_; }
+
+    /** Apply @p fn to every element in place (results quantized). */
+    void apply(const std::function<double(double)> &fn);
+
+    /** Fill with uniform random values in [lo, hi). */
+    void fillRandom(Random &rng, double lo = -1.0, double hi = 1.0);
+
+    /**
+     * Fill with random values where a fraction @p density of elements
+     * is nonzero (used to exercise the sparse codec).
+     */
+    void fillSparse(Random &rng, double density, double lo = -1.0,
+                    double hi = 1.0);
+
+    /** Fraction of nonzero elements. */
+    double density() const;
+
+    /** Reinterpret with a new shape of equal numel. */
+    Tensor reshaped(const Shape &shape) const;
+
+    /** Convert to another dtype (requantizing every element). */
+    Tensor cast(DType dtype) const;
+
+    /** Max absolute elementwise difference against another tensor. */
+    double maxAbsDiff(const Tensor &other) const;
+
+    //
+    // Layout transformations, matching the DMA engine's on-the-fly
+    // capabilities (Section IV-C: padding, slicing, transposing, and
+    // concatenation on specified tensor dimensions).
+    //
+
+    /**
+     * Zero-pad dimension @p axis with @p before leading and @p after
+     * trailing elements.
+     */
+    Tensor padded(std::size_t axis, std::int64_t before,
+                  std::int64_t after) const;
+
+    /** Slice [start, start+length) of dimension @p axis. */
+    Tensor sliced(std::size_t axis, std::int64_t start,
+                  std::int64_t length) const;
+
+    /** Strided slice: every @p step -th index of [start, stop). */
+    Tensor slicedStrided(std::size_t axis, std::int64_t start,
+                         std::int64_t stop, std::int64_t step) const;
+
+    /** Swap two dimensions (physically rearranging storage). */
+    Tensor transposed(std::size_t a, std::size_t b) const;
+
+    /** Concatenate with @p other along @p axis. */
+    Tensor concatenated(const Tensor &other, std::size_t axis) const;
+
+  private:
+    Shape shape_;
+    DType dtype_;
+    std::vector<double> data_;
+};
+
+} // namespace dtu
+
+#endif // DTU_TENSOR_TENSOR_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the numerical-accuracy harness: drift orderings across
+ * data types and the Section VI-A precision classes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include "runtime/accuracy.hh"
+
+namespace
+{
+
+using namespace dtu;
+using namespace dtu::accuracy;
+
+TEST(Accuracy, Fp32IsNearExact)
+{
+    OpAccuracy acc = measureVmm(DType::FP32, 256, 5);
+    EXPECT_LT(acc.maxRelError, 1e-5);
+}
+
+TEST(Accuracy, PrecisionOrderingFp32Fp16Bf16)
+{
+    // More mantissa bits -> less drift, for the same workload.
+    OpAccuracy fp32 = measureVmm(DType::FP32, 256, 5);
+    OpAccuracy fp16 = measureVmm(DType::FP16, 256, 5);
+    OpAccuracy bf16 = measureVmm(DType::BF16, 256, 5);
+    EXPECT_LT(fp32.meanRelError, fp16.meanRelError);
+    EXPECT_LT(fp16.meanRelError, bf16.meanRelError);
+}
+
+TEST(Accuracy, Fp16MeanDriftNearPaperCriterion)
+{
+    // Section VI-A configures 0.01%-0.05% acceptance; FP16 operator
+    // drift with FP32 accumulation lands in that decade.
+    OpAccuracy acc = measureVmm(DType::FP16, 576, 10);
+    EXPECT_GT(acc.meanRelError, 1e-5);
+    EXPECT_LT(acc.meanRelError, 2e-3);
+}
+
+TEST(Accuracy, ActivationsTrackSpuTables)
+{
+    OpAccuracy gelu = measureActivation(DType::FP32, SpuFunc::Gelu,
+                                        2000);
+    // FP32 activations are limited by the LUT, not the dtype.
+    EXPECT_LT(gelu.maxRelError, 5e-4);
+}
+
+TEST(Accuracy, SoftmaxNormalizationBoundsError)
+{
+    OpAccuracy soft = measureSoftmax(DType::FP16, 64, 10);
+    // Probabilities are normalized: drift stays well-conditioned.
+    EXPECT_LT(soft.maxRelError, 5e-3);
+}
+
+TEST(Accuracy, PanelCoversTheOperatorClasses)
+{
+    auto panel = measurePanel(DType::FP16);
+    EXPECT_EQ(panel.size(), 7u);
+    for (const auto &acc : panel) {
+        EXPECT_GE(acc.maxRelError, acc.meanRelError);
+        EXPECT_GE(acc.meanRelError, 0.0);
+    }
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the GPU baselines: spec-sheet fidelity (Table IV), the
+ * roofline structure of the model, and the headline Fig. 13/15
+ * reproduction properties that must not regress (geomeans, the
+ * SRResNet maximum, and who wins where).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include "baseline/gpu_model.hh"
+#include "compiler/lowering.hh"
+#include "models/model_zoo.hh"
+#include "runtime/executor.hh"
+#include "runtime/report.hh"
+
+namespace
+{
+
+using namespace dtu;
+
+TEST(GpuSpec, TableIvNumbers)
+{
+    GpuSpec t4 = t4Spec();
+    EXPECT_DOUBLE_EQ(t4.fp32Tflops, 8.1);
+    EXPECT_DOUBLE_EQ(t4.fp16Tflops, 65.0);
+    EXPECT_DOUBLE_EQ(t4.int8Tops, 130.0);
+    EXPECT_DOUBLE_EQ(t4.bandwidthGBs, 320.0);
+    EXPECT_DOUBLE_EQ(t4.tdpWatts, 70.0);
+    GpuSpec a10 = a10Spec();
+    EXPECT_DOUBLE_EQ(a10.fp32Tflops, 31.2);
+    EXPECT_DOUBLE_EQ(a10.fp16Tflops, 125.0);
+    EXPECT_DOUBLE_EQ(a10.bandwidthGBs, 600.0);
+    EXPECT_DOUBLE_EQ(a10.tdpWatts, 150.0);
+}
+
+TEST(GpuSpec, PeakOpsByDtype)
+{
+    GpuSpec a10 = a10Spec();
+    EXPECT_DOUBLE_EQ(a10.peakOps(DType::FP16), 125e12);
+    EXPECT_DOUBLE_EQ(a10.peakOps(DType::INT8), 250e12);
+    EXPECT_DOUBLE_EQ(a10.peakOps(DType::FP32), 31.2e12);
+    // Turing has no TF32: falls back to FP32 rate.
+    EXPECT_DOUBLE_EQ(t4Spec().peakOps(DType::TF32), 8.1e12);
+}
+
+TEST(GpuModel, ComputeBoundOpScalesWithPeak)
+{
+    PlannedOp op;
+    op.anchor = OpKind::Conv2d;
+    op.dimK = 512;
+    op.dimN = 512;
+    op.macs = 1e10; // clearly compute bound
+    GpuModel t4(t4Spec(), t4Efficiency());
+    GpuModel a10(a10Spec(), a10Efficiency());
+    EXPECT_GT(t4.opTicks(op, DType::FP16), a10.opTicks(op, DType::FP16));
+}
+
+TEST(GpuModel, MemoryBoundOpScalesWithBandwidth)
+{
+    PlannedOp op;
+    op.anchor = OpKind::Add;
+    op.inputBytes = 256 * 1024 * 1024;
+    op.outputBytes = 128 * 1024 * 1024;
+    GpuModel t4(t4Spec(), t4Efficiency());
+    GpuModel a10(a10Spec(), a10Efficiency());
+    double ratio = static_cast<double>(t4.opTicks(op, DType::FP16)) /
+                   static_cast<double>(a10.opTicks(op, DType::FP16));
+    // ~bandwidth ratio 600/320, modulated by efficiency profiles.
+    EXPECT_GT(ratio, 1.4);
+    EXPECT_LT(ratio, 2.3);
+}
+
+TEST(GpuModel, DepthwiseConvRunsFarBelowPeak)
+{
+    PlannedOp dense, dw;
+    dense.anchor = OpKind::Conv2d;
+    dense.dimK = 512;
+    dense.dimN = 512;
+    dense.macs = 1e9;
+    dw = dense;
+    dw.anchor = OpKind::DWConv2d;
+    GpuModel t4(t4Spec(), t4Efficiency());
+    EXPECT_GT(t4.opTicks(dw, DType::FP16),
+              5 * t4.opTicks(dense, DType::FP16));
+}
+
+TEST(GpuModel, ShuffleOpsPayBandwidthPenalty)
+{
+    PlannedOp streamed, shuffled;
+    streamed.anchor = OpKind::Add;
+    streamed.inputBytes = 64 * 1024 * 1024;
+    shuffled = streamed;
+    shuffled.anchor = OpKind::PixelShuffle;
+    GpuModel t4(t4Spec(), t4Efficiency());
+    EXPECT_GT(t4.opTicks(shuffled, DType::FP16),
+              2 * t4.opTicks(streamed, DType::FP16));
+}
+
+TEST(GpuModel, LaunchOverheadDominatesTinyOps)
+{
+    PlannedOp tiny;
+    tiny.anchor = OpKind::Add;
+    tiny.inputBytes = 64;
+    tiny.outputBytes = 64;
+    GpuModel t4(t4Spec(), t4Efficiency());
+    Tick t = t4.opTicks(tiny, DType::FP16);
+    EXPECT_NEAR(ticksToMicroSeconds(t), t4Efficiency().launchMicros,
+                0.5);
+}
+
+TEST(GpuModel, BatchRaisesThroughput)
+{
+    Graph g1 = models::buildVgg16(1);
+    Graph g8 = models::buildVgg16(8);
+    DtuConfig config = dtu2Config();
+    GpuModel a10(a10Spec(), a10Efficiency());
+    GpuResult r1 = a10.run(compile(g1, config, DType::FP16, 6, {}, 1));
+    GpuResult r8 = a10.run(compile(g8, config, DType::FP16, 6, {}, 8));
+    EXPECT_GT(r8.throughput, 1.5 * r1.throughput);
+}
+
+/**
+ * The headline reproduction guard: Fig. 13's shape must hold. This
+ * is the slowest test in the suite (runs all 10 models on the
+ * simulator and both baselines) and protects the calibration.
+ */
+TEST(Fig13Guard, ShapeOfTheHeadlineResult)
+{
+    GpuModel t4(t4Spec(), t4Efficiency());
+    GpuModel a10(a10Spec(), a10Efficiency());
+    std::vector<double> vs_t4, vs_a10;
+    double srresnet_t4 = 0.0, srresnet_a10 = 0.0;
+    double max_t4 = 0.0;
+    unsigned a10_wins = 0;
+    for (const auto &info : models::modelZoo()) {
+        DtuConfig config = dtu2Config();
+        Dtu chip(config);
+        ExecutionPlan plan = compile(models::buildModel(info.name),
+                                     config, DType::FP16, 6);
+        Executor executor(chip, {0, 1, 2, 3, 4, 5},
+                          {.powerManagement = false});
+        double i20 = executor.run(plan).latencyMs();
+        double s4 = t4.run(plan).latencyMs() / i20;
+        double sa = a10.run(plan).latencyMs() / i20;
+        vs_t4.push_back(s4);
+        vs_a10.push_back(sa);
+        max_t4 = std::max(max_t4, s4);
+        if (info.name == "srresnet") {
+            srresnet_t4 = s4;
+            srresnet_a10 = sa;
+        }
+        a10_wins += sa < 1.0 ? 1 : 0;
+    }
+    // Paper: 2.22x / 1.16x geomeans.
+    EXPECT_NEAR(geomean(vs_t4), 2.22, 0.25);
+    EXPECT_NEAR(geomean(vs_a10), 1.16, 0.12);
+    // Paper: SRResNet is the largest win (4.34x / 2.37x).
+    EXPECT_DOUBLE_EQ(srresnet_t4, max_t4);
+    EXPECT_GT(srresnet_t4, 3.5);
+    EXPECT_GT(srresnet_a10, 1.8);
+    // Paper: A10 wins 3 of 10.
+    EXPECT_GE(a10_wins, 2u);
+    EXPECT_LE(a10_wins, 4u);
+}
+
+} // namespace

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the DNN graph IR: shape inference per operator, FLOP and
+ * byte accounting, validation, and the dynamic-shape behaviours the
+ * software stack supports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include "graph/graph.hh"
+
+namespace
+{
+
+using namespace dtu;
+
+TEST(GraphIR, ConvShapeAndMacs)
+{
+    Graph g;
+    int in = g.addInput("x", Shape({1, 3, 224, 224}));
+    OpAttrs conv;
+    conv.kernelH = conv.kernelW = 7;
+    conv.strideH = conv.strideW = 2;
+    conv.padH = conv.padW = 3;
+    conv.outChannels = 64;
+    int c = g.add(OpKind::Conv2d, "conv", {in}, conv);
+    EXPECT_EQ(g.node(c).shape, Shape({1, 64, 112, 112}));
+    // MACs = N*OC*OH*OW * IC*KH*KW = 64*112^2*3*49.
+    EXPECT_DOUBLE_EQ(g.node(c).macs, 64.0 * 112 * 112 * 3 * 49);
+    // Weights = OC*IC*KH*KW + bias.
+    EXPECT_DOUBLE_EQ(g.node(c).weightElems, 64.0 * 3 * 49 + 64);
+}
+
+TEST(GraphIR, GroupedConvDividesReduction)
+{
+    Graph g;
+    int in = g.addInput("x", Shape({1, 64, 56, 56}));
+    OpAttrs conv;
+    conv.kernelH = conv.kernelW = 3;
+    conv.padH = conv.padW = 1;
+    conv.outChannels = 64;
+    conv.groups = 4;
+    int c = g.add(OpKind::Conv2d, "gconv", {in}, conv);
+    EXPECT_DOUBLE_EQ(g.node(c).macs, 64.0 * 56 * 56 * (64 / 4) * 9);
+    OpAttrs bad = conv;
+    bad.groups = 3; // does not divide 64
+    EXPECT_THROW(g.add(OpKind::Conv2d, "bad", {in}, bad), FatalError);
+}
+
+TEST(GraphIR, DepthwiseConv)
+{
+    Graph g;
+    int in = g.addInput("x", Shape({1, 32, 28, 28}));
+    OpAttrs dw;
+    dw.kernelH = dw.kernelW = 3;
+    dw.padH = dw.padW = 1;
+    int c = g.add(OpKind::DWConv2d, "dw", {in}, dw);
+    EXPECT_EQ(g.node(c).shape.dim(1), 32);
+    EXPECT_DOUBLE_EQ(g.node(c).macs, 32.0 * 28 * 28 * 9);
+}
+
+TEST(GraphIR, LinearAndMatMul)
+{
+    Graph g;
+    int in = g.addInput("x", Shape({2, 384, 1024}));
+    OpAttrs fc;
+    fc.outFeatures = 4096;
+    int l = g.add(OpKind::Linear, "fc", {in}, fc);
+    EXPECT_EQ(g.node(l).shape, Shape({2, 384, 4096}));
+    EXPECT_DOUBLE_EQ(g.node(l).macs, 2.0 * 384 * 1024 * 4096);
+
+    int a = g.addInput("a", Shape({4, 8, 16}));
+    int b = g.addInput("b", Shape({4, 16, 32}));
+    int m = g.add(OpKind::MatMul, "mm", {a, b});
+    EXPECT_EQ(g.node(m).shape, Shape({4, 8, 32}));
+    EXPECT_DOUBLE_EQ(g.node(m).macs, 4.0 * 8 * 16 * 32);
+}
+
+TEST(GraphIR, MatMulRejectsKMismatch)
+{
+    Graph g;
+    int a = g.addInput("a", Shape({8, 16}));
+    int b = g.addInput("b", Shape({17, 32}));
+    EXPECT_THROW(g.add(OpKind::MatMul, "mm", {a, b}), FatalError);
+}
+
+TEST(GraphIR, PoolAndGlobalPool)
+{
+    Graph g;
+    int in = g.addInput("x", Shape({1, 64, 56, 57}));
+    OpAttrs pool;
+    pool.kernelH = pool.kernelW = 2;
+    pool.strideH = pool.strideW = 2;
+    int p = g.add(OpKind::MaxPool, "pool", {in}, pool);
+    EXPECT_EQ(g.node(p).shape, Shape({1, 64, 28, 28}));
+    int gap = g.add(OpKind::GlobalAvgPool, "gap", {p});
+    EXPECT_EQ(g.node(gap).shape, Shape({1, 64, 1, 1}));
+}
+
+TEST(GraphIR, ElementwiseRequiresMatchingShapes)
+{
+    Graph g;
+    int a = g.addInput("a", Shape({1, 8, 4, 4}));
+    int b = g.addInput("b", Shape({1, 8, 4, 4}));
+    int c = g.addInput("c", Shape({1, 8, 4, 5}));
+    EXPECT_NO_THROW(g.add(OpKind::Add, "ok", {a, b}));
+    EXPECT_THROW(g.add(OpKind::Add, "bad", {a, c}), FatalError);
+}
+
+TEST(GraphIR, ConcatSumsAxis)
+{
+    Graph g;
+    int a = g.addInput("a", Shape({1, 96, 35, 35}));
+    int b = g.addInput("b", Shape({1, 64, 35, 35}));
+    OpAttrs cat;
+    cat.axis = 1;
+    int c = g.add(OpKind::Concat, "cat", {a, b}, cat);
+    EXPECT_EQ(g.node(c).shape, Shape({1, 160, 35, 35}));
+}
+
+TEST(GraphIR, AttentionAccounting)
+{
+    Graph g;
+    int in = g.addInput("x", Shape({1, 384, 1024}));
+    OpAttrs attn;
+    attn.heads = 16;
+    int a = g.add(OpKind::Attention, "attn", {in}, attn);
+    EXPECT_EQ(g.node(a).shape, Shape({1, 384, 1024}));
+    // scores + context: 2 * B * S^2 * H.
+    EXPECT_DOUBLE_EQ(g.node(a).macs, 2.0 * 384 * 384 * 1024);
+}
+
+TEST(GraphIR, PixelShuffleMovesChannelsToSpace)
+{
+    Graph g;
+    int in = g.addInput("x", Shape({1, 256, 224, 224}));
+    OpAttrs ps;
+    ps.factor = 2;
+    int p = g.add(OpKind::PixelShuffle, "ps", {in}, ps);
+    EXPECT_EQ(g.node(p).shape, Shape({1, 64, 448, 448}));
+    OpAttrs bad;
+    bad.factor = 3; // 256 not divisible by 9
+    EXPECT_THROW(g.add(OpKind::PixelShuffle, "bad", {in}, bad),
+                 FatalError);
+}
+
+TEST(GraphIR, ReshapeChecksNumel)
+{
+    Graph g;
+    int in = g.addInput("x", Shape({2, 6}));
+    OpAttrs ok;
+    ok.targetShape = {3, 4};
+    EXPECT_NO_THROW(g.add(OpKind::Reshape, "ok", {in}, ok));
+    OpAttrs bad;
+    bad.targetShape = {5, 3};
+    EXPECT_THROW(g.add(OpKind::Reshape, "bad", {in}, bad), FatalError);
+}
+
+TEST(GraphIR, EmbeddingShapesAndGatherAccounting)
+{
+    Graph g;
+    int ids = g.addInput("ids", Shape({1, 384}));
+    OpAttrs embed;
+    embed.outFeatures = 1024;
+    embed.vocab = 30522;
+    int e = g.add(OpKind::Embedding, "embed", {ids}, embed);
+    EXPECT_EQ(g.node(e).shape, Shape({1, 384, 1024}));
+    EXPECT_DOUBLE_EQ(g.node(e).weightElems, 30522.0 * 1024);
+}
+
+TEST(GraphIR, ConsumersAndValidation)
+{
+    Graph g;
+    int in = g.addInput("x", Shape({1, 8, 4, 4}));
+    int a = g.add(OpKind::Activation, "act", {in});
+    int b = g.add(OpKind::Add, "add", {a, in});
+    g.markOutput(b);
+    auto consumers = g.consumers();
+    EXPECT_EQ(consumers[static_cast<std::size_t>(in)].size(), 2u);
+    EXPECT_EQ(consumers[static_cast<std::size_t>(a)].size(), 1u);
+    EXPECT_NO_THROW(g.validate());
+}
+
+TEST(GraphIR, CheapActivationCostsLessThanTranscendental)
+{
+    Graph g;
+    int in = g.addInput("x", Shape({1, 8, 16, 16}));
+    OpAttrs relu;
+    relu.cheapActivation = true;
+    int r = g.add(OpKind::Activation, "relu", {in}, relu);
+    OpAttrs gelu;
+    gelu.func = SpuFunc::Gelu;
+    int t = g.add(OpKind::Activation, "gelu", {in}, gelu);
+    EXPECT_LT(g.node(r).laneOps, g.node(t).laneOps);
+}
+
+TEST(GraphIR, TotalsAggregate)
+{
+    Graph g;
+    int in = g.addInput("x", Shape({1, 3, 8, 8}));
+    OpAttrs conv;
+    conv.kernelH = conv.kernelW = 3;
+    conv.padH = conv.padW = 1;
+    conv.outChannels = 4;
+    int c = g.add(OpKind::Conv2d, "conv", {in}, conv);
+    g.markOutput(c);
+    EXPECT_DOUBLE_EQ(g.totalMacs(), g.node(c).macs);
+    EXPECT_GT(g.totalWeightBytes(2), 0.0);
+    EXPECT_GT(g.matrixFlopsFraction(), 0.9);
+}
+
+} // namespace

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the text-format graph importer (Fig. 11's ONNX-import
+ * role) and the profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include <sstream>
+
+#include "compiler/lowering.hh"
+#include "graph/importer.hh"
+#include "models/model_zoo.hh"
+#include "runtime/profiler.hh"
+
+namespace
+{
+
+using namespace dtu;
+
+const char *kTinyNet = R"(
+# a tiny convnet
+graph tinynet
+input x 1x3x32x32
+conv2d c1 x k=3 p=1 oc=16
+batchnorm b1 c1
+relu r1 b1
+maxpool p1 r1 k=2 s=2
+conv2d c2 p1 k=3 p=1 oc=32
+gelu g2 c2
+gap gp g2
+reshape f gp shape=1x32
+linear fc f of=10
+softmax sm fc axis=1
+output sm
+)";
+
+TEST(Importer, ParsesTinyNet)
+{
+    Graph g = importGraphText(kTinyNet);
+    EXPECT_EQ(g.name(), "tinynet");
+    EXPECT_EQ(g.size(), 11u);
+    EXPECT_EQ(g.outputs().size(), 1u);
+    const Node &out = g.node(g.outputs().front());
+    EXPECT_EQ(out.shape, Shape({1, 10}));
+    EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Importer, ActivationSugar)
+{
+    Graph g = importGraphText(kTinyNet);
+    // r1 is a cheap (vector-engine) activation, g2 a transcendental.
+    const Node *relu = nullptr, *gelu = nullptr;
+    for (const Node &n : g.nodes()) {
+        if (n.name == "r1")
+            relu = &n;
+        if (n.name == "g2")
+            gelu = &n;
+    }
+    ASSERT_NE(relu, nullptr);
+    ASSERT_NE(gelu, nullptr);
+    EXPECT_TRUE(relu->attrs.cheapActivation);
+    EXPECT_FALSE(gelu->attrs.cheapActivation);
+    EXPECT_EQ(gelu->attrs.func, SpuFunc::Gelu);
+}
+
+TEST(Importer, MultiInputOps)
+{
+    Graph g = importGraphText(R"(
+graph residual
+input x 1x8x4x4
+conv2d c x k=1 oc=8
+add sum c,x
+output sum
+)");
+    const Node &sum = g.node(g.outputs().front());
+    EXPECT_EQ(sum.inputs.size(), 2u);
+}
+
+TEST(Importer, ErrorsAreFatal)
+{
+    EXPECT_THROW(importGraphText("input x 1x3x4x4\n"), FatalError);
+    EXPECT_THROW(importGraphText("graph g\nfrobnicate f x\n"),
+                 FatalError);
+    EXPECT_THROW(importGraphText("graph g\ninput x 1x2\noutput y\n"),
+                 FatalError);
+    EXPECT_THROW(
+        importGraphText("graph g\ninput x 1x2\nlinear l x badattr\n"),
+        FatalError);
+    EXPECT_THROW(importGraphText(
+                     "graph g\ninput x 1x2\nrelu r x func=frob\n"),
+                 FatalError);
+}
+
+TEST(Importer, RoundTripThroughExport)
+{
+    Graph original = importGraphText(kTinyNet);
+    std::string text = exportGraphText(original);
+    Graph round = importGraphText(text);
+    ASSERT_EQ(round.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        const Node &a = original.nodes()[i];
+        const Node &b = round.nodes()[i];
+        EXPECT_EQ(a.kind, b.kind) << a.name;
+        EXPECT_EQ(a.shape, b.shape) << a.name;
+        EXPECT_DOUBLE_EQ(a.macs, b.macs) << a.name;
+    }
+    EXPECT_EQ(round.outputs().size(), original.outputs().size());
+}
+
+TEST(Importer, ImportedGraphCompilesAndRuns)
+{
+    Graph g = importGraphText(kTinyNet);
+    DtuConfig config = dtu2Config();
+    Dtu chip(config);
+    ExecutionPlan plan = compile(g, config, DType::FP16, 1);
+    Executor executor(chip, {0}, {.powerManagement = false});
+    ExecResult r = executor.run(plan);
+    EXPECT_GT(r.latency, 0u);
+}
+
+TEST(Profiler, AggregatesByKind)
+{
+    DtuConfig config = dtu2Config();
+    Dtu chip(config);
+    ExecutionPlan plan = compile(models::buildResnet50(), config,
+                                 DType::FP16, 6);
+    Executor executor(chip, {0, 1, 2, 3, 4, 5},
+                      {.powerManagement = false, .trace = true});
+    ExecResult r = executor.run(plan);
+    Profile profile(r);
+    ASSERT_FALSE(profile.byKind().empty());
+    // Convolutions dominate a ResNet.
+    EXPECT_EQ(profile.byKind().front().kind, "conv2d");
+    double share_sum = 0.0;
+    Tick ticks_sum = 0;
+    for (const auto &k : profile.byKind()) {
+        share_sum += k.share;
+        ticks_sum += k.totalTicks;
+    }
+    // Operators cover the run except the host PCIe transfers at the
+    // two ends, which the trace does not record.
+    EXPECT_LE(ticks_sum, r.latency);
+    EXPECT_GT(share_sum, 0.9);
+    EXPECT_LE(share_sum, 1.0 + 1e-9);
+    EXPECT_GE(profile.overlapEfficiency(), 0.0);
+    EXPECT_LE(profile.overlapEfficiency(), 1.0);
+}
+
+TEST(Profiler, SlowestAreSorted)
+{
+    DtuConfig config = dtu2Config();
+    Dtu chip(config);
+    ExecutionPlan plan = compile(models::buildSrResnet(), config,
+                                 DType::FP16, 6);
+    Executor executor(chip, {0, 1, 2, 3, 4, 5},
+                      {.powerManagement = false, .trace = true});
+    Profile profile(executor.run(plan));
+    auto top = profile.slowest(5);
+    ASSERT_EQ(top.size(), 5u);
+    for (std::size_t i = 1; i < top.size(); ++i) {
+        EXPECT_GE(top[i - 1].end - top[i - 1].start,
+                  top[i].end - top[i].start);
+    }
+}
+
+TEST(Profiler, RequiresTrace)
+{
+    ExecResult empty;
+    EXPECT_THROW(Profile p(empty), FatalError);
+}
+
+TEST(Profiler, PrintsReport)
+{
+    DtuConfig config = dtu2Config();
+    Dtu chip(config);
+    ExecutionPlan plan = compile(models::buildConformer(), config,
+                                 DType::FP16, 6);
+    Executor executor(chip, {0, 1, 2, 3, 4, 5},
+                      {.powerManagement = true, .trace = true});
+    Profile profile(executor.run(plan));
+    std::ostringstream os;
+    profile.print(os);
+    EXPECT_NE(os.str().find("compute-bound fraction"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("linear"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the VLIW ISA layer: opcode/unit mapping, packets, kernel
+ * code-size accounting, kernel fusion, and the assembler DSL.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include "isa/assembler.hh"
+#include "isa/instruction.hh"
+#include "isa/opcode.hh"
+
+namespace
+{
+
+using namespace dtu;
+
+TEST(Opcode, UnitAssignment)
+{
+    EXPECT_EQ(opcodeUnit(Opcode::SAdd), UnitKind::Scalar);
+    EXPECT_EQ(opcodeUnit(Opcode::VAdd), UnitKind::Vector);
+    EXPECT_EQ(opcodeUnit(Opcode::VLoad), UnitKind::Memory);
+    EXPECT_EQ(opcodeUnit(Opcode::SpuApply), UnitKind::Spu);
+    EXPECT_EQ(opcodeUnit(Opcode::Vmm), UnitKind::Matrix);
+    EXPECT_EQ(opcodeUnit(Opcode::DmaLaunch), UnitKind::Dma);
+    EXPECT_EQ(opcodeUnit(Opcode::SyncWait), UnitKind::Sync);
+    EXPECT_EQ(opcodeUnit(Opcode::Halt), UnitKind::Control);
+}
+
+TEST(Opcode, NamesAreDistinct)
+{
+    EXPECT_EQ(opcodeName(Opcode::Vmm), "vmm");
+    EXPECT_EQ(opcodeName(Opcode::MRelMatrix), "mrel");
+    EXPECT_NE(opcodeName(Opcode::VAdd), opcodeName(Opcode::SAdd));
+}
+
+TEST(Opcode, SpuFunctionRoster)
+{
+    // Section IV-A2: ~10 transcendental functions accelerated.
+    EXPECT_EQ(numSpuFuncs, 10);
+    EXPECT_EQ(spuFuncName(SpuFunc::Gelu), "gelu");
+}
+
+TEST(Packet, CodeBytesGrowWithWidth)
+{
+    Packet one;
+    one.slots.push_back({.op = Opcode::VAdd});
+    Packet two = one;
+    two.slots.push_back({.op = Opcode::SAdd});
+    EXPECT_LT(one.codeBytes(), two.codeBytes());
+    EXPECT_EQ(one.codeBytes(), 32u);
+}
+
+TEST(Packet, HasUnitDetects)
+{
+    Packet p;
+    p.slots.push_back({.op = Opcode::VAdd});
+    EXPECT_TRUE(p.hasUnit(UnitKind::Vector));
+    EXPECT_FALSE(p.hasUnit(UnitKind::Matrix));
+}
+
+TEST(Assembler, AppendsHaltAutomatically)
+{
+    Assembler as("k");
+    as.vadd(0, 1, 2);
+    Kernel k = as.finish();
+    ASSERT_EQ(k.size(), 2u);
+    EXPECT_EQ(k.packet(1).slots[0].op, Opcode::Halt);
+}
+
+TEST(Assembler, DoesNotDoubleHalt)
+{
+    Assembler as("k");
+    as.halt();
+    Kernel k = as.finish();
+    EXPECT_EQ(k.size(), 1u);
+}
+
+TEST(Assembler, PackRejectsUnitConflicts)
+{
+    Assembler as("k");
+    as.pack().vadd(0, 1, 2);
+    EXPECT_THROW(as.vmul(3, 4, 5), FatalError); // second vector slot
+}
+
+TEST(Assembler, PackBuildsMultiSlotPacket)
+{
+    Assembler as("k");
+    as.pack().vadd(0, 1, 2).sadd(0, 1, 2).endPack();
+    Kernel k = as.finish();
+    EXPECT_EQ(k.packet(0).width(), 2u);
+}
+
+TEST(Assembler, HereGivesBranchTargets)
+{
+    Assembler as("k");
+    as.sli(0, 0);
+    auto label = as.here();
+    EXPECT_EQ(label, 1u);
+    as.saddi(0, 0, 1);
+    as.bne(0, 1, label);
+    Kernel k = as.finish();
+    EXPECT_DOUBLE_EQ(k.packet(2).slots[0].imm, 1.0);
+}
+
+TEST(Kernel, FusionConcatenatesAndRetargets)
+{
+    Assembler a("first");
+    a.sli(0, 0);
+    auto loop = a.here();
+    a.saddi(0, 0, 1);
+    a.bne(0, 1, loop);
+    Kernel first = a.finish(); // 3 packets + halt
+
+    Assembler b("second");
+    b.sli(2, 0);
+    auto loop2 = b.here();
+    b.saddi(2, 2, 1);
+    b.bne(2, 3, loop2);
+    Kernel second = b.finish();
+
+    std::size_t first_size_without_halt = first.size() - 1;
+    Kernel fused = first;
+    fused.fuse(second);
+    EXPECT_EQ(fused.size(), first_size_without_halt + second.size());
+    // The second kernel's branch target shifted by the prefix length.
+    const Packet &branch = fused.packet(fused.size() - 2);
+    EXPECT_EQ(branch.slots[0].op, Opcode::BranchNe);
+    EXPECT_DOUBLE_EQ(branch.slots[0].imm,
+                     static_cast<double>(first_size_without_halt + 1));
+    EXPECT_EQ(fused.name(), "first+second");
+}
+
+TEST(Kernel, CodeBytesSumPackets)
+{
+    Assembler as("k");
+    as.vadd(0, 1, 2).sadd(0, 1, 2);
+    Kernel k = as.finish();
+    std::size_t expected = 0;
+    for (const auto &p : k.packets())
+        expected += p.codeBytes();
+    EXPECT_EQ(k.codeBytes(), expected);
+}
+
+TEST(Instruction, ToStringContainsMnemonic)
+{
+    Instruction inst{.op = Opcode::Vmm, .dst = 3, .a = 1, .b = 0,
+                     .vmmRows = 8};
+    auto s = inst.toString();
+    EXPECT_NE(s.find("vmm"), std::string::npos);
+    EXPECT_NE(s.find("8x"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the Table III model zoo: every network builds, validates,
+ * has the paper's input size, and lands near its published
+ * FLOP/parameter counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include <set>
+
+#include "models/model_zoo.hh"
+
+namespace
+{
+
+using namespace dtu;
+using namespace dtu::models;
+
+TEST(ModelZoo, HasTenModelsInSixCategories)
+{
+    auto zoo = modelZoo();
+    EXPECT_EQ(zoo.size(), 10u);
+    std::set<std::string> categories;
+    for (const auto &m : zoo)
+        categories.insert(m.category);
+    EXPECT_EQ(categories.size(), 6u);
+}
+
+TEST(ModelZoo, UnknownModelRejected)
+{
+    EXPECT_THROW(buildModel("alexnet"), FatalError);
+}
+
+class ZooBuild : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ZooBuild, BuildsAndValidates)
+{
+    auto zoo = modelZoo();
+    const auto &info = zoo[static_cast<std::size_t>(GetParam())];
+    Graph g = buildModel(info.name);
+    EXPECT_NO_THROW(g.validate());
+    EXPECT_GT(g.size(), 10u);
+    EXPECT_FALSE(g.outputs().empty());
+    EXPECT_GT(g.totalMacs(), 1e9); // all zoo members exceed 1 GMAC
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ZooBuild, ::testing::Range(0, 10),
+    [](const ::testing::TestParamInfo<int> &info) {
+        return modelZoo()[static_cast<std::size_t>(info.param)].name;
+    });
+
+TEST(ModelZoo, InputShapesMatchTableIII)
+{
+    EXPECT_EQ(buildYoloV3().node(0).shape, Shape({1, 3, 608, 608}));
+    EXPECT_EQ(buildCenterNet().node(0).shape, Shape({1, 3, 512, 512}));
+    EXPECT_EQ(buildRetinaFace().node(0).shape, Shape({1, 3, 640, 640}));
+    EXPECT_EQ(buildVgg16().node(0).shape, Shape({1, 3, 224, 224}));
+    EXPECT_EQ(buildResnet50().node(0).shape, Shape({1, 3, 224, 224}));
+    EXPECT_EQ(buildInceptionV4().node(0).shape,
+              Shape({1, 3, 299, 299}));
+    EXPECT_EQ(buildUnet().node(0).shape, Shape({1, 3, 512, 512}));
+    EXPECT_EQ(buildSrResnet().node(0).shape, Shape({1, 3, 224, 224}));
+    EXPECT_EQ(buildBertLarge().node(0).shape, Shape({1, 384}));
+    EXPECT_EQ(buildConformer().node(0).shape, Shape({1, 1, 80, 401}));
+}
+
+TEST(ModelZoo, PublishedComplexityCheckpoints)
+{
+    // GMACs within 15% of the published architecture numbers.
+    EXPECT_NEAR(buildVgg16().totalMacs() / 1e9, 15.5, 15.5 * 0.15);
+    EXPECT_NEAR(buildResnet50().totalMacs() / 1e9, 4.1, 4.1 * 0.15);
+    EXPECT_NEAR(buildInceptionV4().totalMacs() / 1e9, 12.3,
+                12.3 * 0.15);
+    EXPECT_NEAR(buildYoloV3().totalMacs() / 1e9, 70.0, 70.0 * 0.15);
+    EXPECT_NEAR(buildBertLarge().totalMacs() / 1e9, 123.0,
+                123.0 * 0.15);
+}
+
+TEST(ModelZoo, PublishedParameterCheckpoints)
+{
+    // Parameters (millions) within 15% of the published counts.
+    EXPECT_NEAR(buildVgg16().totalWeightBytes(2) / 2e6, 138.0,
+                138.0 * 0.15);
+    EXPECT_NEAR(buildResnet50().totalWeightBytes(2) / 2e6, 25.6,
+                25.6 * 0.15);
+    EXPECT_NEAR(buildBertLarge().totalWeightBytes(2) / 2e6, 335.0,
+                335.0 * 0.15);
+    EXPECT_NEAR(buildYoloV3().totalWeightBytes(2) / 2e6, 62.0,
+                62.0 * 0.15);
+}
+
+TEST(ModelZoo, BatchScalesComputeLinearly)
+{
+    double one = buildResnet50(1).totalMacs();
+    double eight = buildResnet50(8).totalMacs();
+    EXPECT_NEAR(eight / one, 8.0, 1e-9);
+}
+
+TEST(ModelZoo, SrResnetUpsamplesBy4)
+{
+    Graph g = buildSrResnet();
+    const Node &out = g.node(g.outputs().front());
+    EXPECT_EQ(out.shape.dim(2), 896);
+    EXPECT_EQ(out.shape.dim(3), 896);
+    EXPECT_EQ(out.shape.dim(1), 3);
+}
+
+TEST(ModelZoo, YoloHasThreeDetectionScales)
+{
+    Graph g = buildYoloV3();
+    ASSERT_EQ(g.outputs().size(), 3u);
+    EXPECT_EQ(g.node(g.outputs()[0]).shape.dim(2), 19);
+    EXPECT_EQ(g.node(g.outputs()[1]).shape.dim(2), 38);
+    EXPECT_EQ(g.node(g.outputs()[2]).shape.dim(2), 76);
+    for (int out : g.outputs())
+        EXPECT_EQ(g.node(out).shape.dim(1), 255);
+}
+
+TEST(ModelZoo, UnetIsSymmetricEncoderDecoder)
+{
+    Graph g = buildUnet();
+    const Node &out = g.node(g.outputs().front());
+    EXPECT_EQ(out.shape.dim(2), 512); // back to input resolution
+    EXPECT_EQ(out.shape.dim(1), 2);   // binary segmentation head
+}
+
+TEST(ModelZoo, BertSequenceParameter)
+{
+    Graph g = buildBertLarge(1, 128);
+    // The encoder output is the second marked output.
+    const Node &hidden = g.node(g.outputs()[1]);
+    EXPECT_EQ(hidden.shape, Shape({1, 128, 1024}));
+}
+
+TEST(ModelZoo, ConformerSubsamplesTimeBy4)
+{
+    Graph g = buildConformer();
+    const Node &out = g.node(g.outputs().front());
+    EXPECT_EQ(out.shape.dim(1), 101); // 401 frames -> 101 steps
+}
+
+TEST(ModelZoo, DetectionHasLowerMatrixOpShare)
+{
+    // Discussion section: object-detection DNNs carry relatively more
+    // non-matrix work (bigger inputs, more layout ops) than image
+    // classification models.
+    auto op_share = [](const Graph &g) {
+        std::size_t matrix = 0, total = 0;
+        for (const auto &node : g.nodes()) {
+            if (node.kind == OpKind::Input || node.kind == OpKind::Output)
+                continue;
+            ++total;
+            matrix += opIsMatrix(node.kind) ? 1 : 0;
+        }
+        return static_cast<double>(matrix) / static_cast<double>(total);
+    };
+    Graph vgg = buildVgg16();
+    Graph yolo = buildYoloV3();
+    EXPECT_GT(op_share(vgg), 0.2);
+    EXPECT_LT(op_share(yolo), op_share(vgg) + 0.2);
+}
+
+} // namespace

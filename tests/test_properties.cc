@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Cross-cutting property tests: functional VMM against a host
+ * reference over every (dtype, rows) pattern, sparse-codec and DMA
+ * monotonicity, bandwidth-ledger conservation under out-of-order
+ * arrival, and executor scaling laws.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#include <cmath>
+
+#include "compiler/lowering.hh"
+#include "core/matrix_engine.hh"
+#include "dma/dma_engine.hh"
+#include "dma/sparse_codec.hh"
+#include "models/model_zoo.hh"
+#include "runtime/executor.hh"
+#include "sim/random.hh"
+
+namespace
+{
+
+using namespace dtu;
+
+//
+// Functional VMM across every supported pattern.
+//
+
+class VmmPatternProperty
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>>
+{};
+
+TEST_P(VmmPatternProperty, MatchesHostReference)
+{
+    auto dtype = static_cast<DType>(std::get<0>(GetParam()));
+    unsigned rows = std::get<1>(GetParam());
+    MatrixEngine engine(false);
+    if (!engine.supports(rows, dtype))
+        GTEST_SKIP() << "unsupported pattern";
+
+    RegisterFile regs;
+    Random rng(static_cast<std::uint64_t>(rows) * 31 +
+               static_cast<std::uint64_t>(dtype));
+    unsigned lanes = vectorLanes(dtype);
+    double lo = dtypeIsFloat(dtype) ? -1.0 : -8.0;
+    double hi = dtypeIsFloat(dtype) ? 1.0 : 8.0;
+    std::vector<double> vec(rows), mat(rows * lanes);
+    for (unsigned r = 0; r < rows; ++r) {
+        vec[r] = dtypeQuantize(dtype, rng.uniform(lo, hi));
+        regs.setVlane(0, r, vec[r]);
+        for (unsigned c = 0; c < lanes; ++c) {
+            mat[r * lanes + c] =
+                dtypeQuantize(dtype, rng.uniform(lo, hi));
+            regs.setMelem(0, r, c, mat[r * lanes + c]);
+        }
+    }
+    regs.accZero(0);
+    Instruction inst{.op = Opcode::Vmm, .dst = 0, .a = 0, .b = 0,
+                     .vmmRows = static_cast<int>(rows),
+                     .accumulate = true, .dtype = dtype};
+    engine.executeVmm(regs, inst);
+    // Tolerance scales with the dtype's precision and the reduction
+    // length (accumulation happens in FP32-class registers).
+    double eps = dtypeIsFloat(dtype)
+                     ? rows * std::pow(2.0, -dtypeMantissaBits(dtype)) *
+                           4.0
+                     : 1e-9;
+    for (unsigned c = 0; c < lanes; ++c) {
+        double want = 0.0;
+        for (unsigned r = 0; r < rows; ++r)
+            want += vec[r] * mat[r * lanes + c];
+        EXPECT_NEAR(regs.aclane(0, c), want,
+                    std::max(eps, std::fabs(want) * eps))
+            << dtypeName(dtype) << " rows=" << rows << " lane=" << c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatterns, VmmPatternProperty,
+    ::testing::Combine(::testing::Range(0, numDTypes),
+                       ::testing::Values(4u, 8u, 16u, 32u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, unsigned>> &info) {
+        return dtypeName(static_cast<DType>(std::get<0>(info.param))) +
+               "_rows" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(VmmPatternProperty, PatternCountMatchesSupports)
+{
+    // supportedPatterns() and supports() must agree exactly.
+    MatrixEngine engine(false);
+    auto patterns = MatrixEngine::supportedPatterns();
+    for (const VmmPattern &p : patterns)
+        EXPECT_TRUE(engine.supports(p.rows, p.dtype));
+    std::size_t count = 0;
+    for (int d = 0; d < numDTypes; ++d) {
+        for (unsigned rows : {4u, 8u, 16u, 32u}) {
+            if (engine.supports(rows, static_cast<DType>(d)))
+                count += 2; // accumulate + overwrite
+        }
+    }
+    EXPECT_EQ(patterns.size(), count);
+}
+
+//
+// Sparse codec / DMA monotonicity.
+//
+
+class SparseMonotonicity : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SparseMonotonicity, EncodedBytesGrowWithDensity)
+{
+    auto numel = static_cast<std::uint64_t>(1000 + 517 * GetParam());
+    std::uint64_t prev = 0;
+    for (double density = 0.0; density <= 1.0; density += 0.1) {
+        std::uint64_t bytes =
+            sparseEncodedBytes(numel, density, DType::FP16);
+        EXPECT_GE(bytes, prev);
+        prev = bytes;
+    }
+    // Floor: the mask alone; ceiling: dense + mask.
+    EXPECT_EQ(sparseEncodedBytes(numel, 0.0, DType::FP16),
+              (numel + 63) / 64 * 8);
+    EXPECT_EQ(sparseEncodedBytes(numel, 1.0, DType::FP16),
+              (numel + 63) / 64 * 8 + numel * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SparseMonotonicity,
+                         ::testing::Range(0, 8));
+
+TEST(DmaProperty, CompletionMonotoneInBytes)
+{
+    EventQueue queue;
+    StatRegistry stats;
+    ClockDomain clock(queue, 1.0e9);
+    Hbm hbm("hbm", queue, &stats, 16_GiB, 819e9, 8, 0);
+    Sram l2("l2", queue, &stats, MemLevel::L2, 8_MiB, 4, 83e9, 0, 0,
+            333e9);
+    Sram l1("l1", queue, &stats, MemLevel::L1, 1_MiB, 1, 166e9, 0);
+    DmaFabric fabric;
+    fabric.hbm = &hbm;
+    fabric.localL2 = &l2;
+    fabric.clusterL2 = {&l2};
+    fabric.coreL1 = {&l1};
+    DmaEngine dma("dma", queue, &stats, clock, fabric, DmaFeatures{});
+    // Back-to-back transfers on one engine: completion never goes
+    // backwards, and an order of magnitude more data takes strictly
+    // longer (small sizes may tie within one ledger bucket).
+    Tick prev = 0;
+    Tick first = 0, last = 0;
+    for (std::uint64_t kib = 1; kib <= 1024; kib *= 4) {
+        DmaDescriptor desc;
+        desc.src = MemLevel::L3;
+        desc.dst = MemLevel::L2;
+        desc.bytes = kib * 1024;
+        DmaResult r = dma.submit(desc);
+        EXPECT_GE(r.done, prev);
+        prev = r.done;
+        if (kib == 1)
+            first = r.done;
+        last = r.done;
+    }
+    EXPECT_GT(last, 4 * first);
+}
+
+TEST(BandwidthProperty, OutOfOrderArrivalsConserveCapacity)
+{
+    // Submit a late request for an early time: it must use the idle
+    // capacity of the past, not queue behind already-finished work.
+    EventQueue queue;
+    StatRegistry stats;
+    BandwidthResource pipe("pipe", queue, &stats, 1e9); // 1 GB/s
+    Tick far = pipe.transferAt(10'000'000, 1000);       // at t=10us
+    Tick early = pipe.transferAt(0, 1000);              // at t=0
+    EXPECT_GT(far, 10'000'000u);
+    EXPECT_LE(early, 2'100'000u); // finishes long before the late one
+}
+
+TEST(BandwidthProperty, SimultaneousRequestsSumToSerialTime)
+{
+    EventQueue queue;
+    StatRegistry stats;
+    BandwidthResource pipe("pipe", queue, &stats, 1e9);
+    Tick a = pipe.transferAt(0, 500'000);
+    Tick b = pipe.transferAt(0, 500'000);
+    // Together they need 1 MB / 1 GB/s = 1 ms of capacity.
+    EXPECT_NEAR(static_cast<double>(std::max(a, b)), 1e9, 1e9 * 0.01);
+}
+
+//
+// Executor scaling laws.
+//
+
+TEST(ExecutorProperty, LatencyMonotoneInBatch)
+{
+    DtuConfig config = dtu2Config();
+    Tick prev = 0;
+    for (int batch : {1, 2, 4}) {
+        Dtu chip(config);
+        ExecutionPlan plan =
+            compile(models::buildResnet50(batch), config, DType::FP16,
+                    6, {}, batch);
+        Executor executor(chip, {0, 1, 2, 3, 4, 5},
+                          {.powerManagement = false});
+        Tick latency = executor.run(plan).latency;
+        EXPECT_GT(latency, prev);
+        prev = latency;
+    }
+}
+
+TEST(ExecutorProperty, FasterDtypeNeverSlower)
+{
+    DtuConfig config = dtu2Config();
+    Graph g = models::buildVgg16();
+    Tick prev = maxTick;
+    for (DType t : {DType::FP32, DType::FP16, DType::INT8}) {
+        Dtu chip(config);
+        ExecutionPlan plan = compile(g, config, t, 6);
+        Executor executor(chip, {0, 1, 2, 3, 4, 5},
+                          {.powerManagement = false});
+        Tick latency = executor.run(plan).latency;
+        EXPECT_LE(latency, prev) << dtypeName(t);
+        prev = latency;
+    }
+}
+
+TEST(ExecutorProperty, EveryFeatureOffNeverFaster)
+{
+    DtuConfig config = dtu2Config();
+    Graph g = models::buildResnet50();
+    ExecutionPlan plan = compile(g, config, DType::FP16, 6);
+    auto run_with = [&](ExecOptions options) {
+        Dtu chip(config);
+        Executor executor(chip, {0, 1, 2, 3, 4, 5}, options);
+        return executor.run(plan).latency;
+    };
+    ExecOptions base{.powerManagement = false};
+    Tick baseline = run_with(base);
+    for (int feature = 0; feature < 5; ++feature) {
+        ExecOptions options = base;
+        switch (feature) {
+          case 0: options.useSparse = false; break;
+          case 1: options.useBroadcast = false; break;
+          case 2: options.useRepeat = false; break;
+          case 3: options.usePrefetch = false; break;
+          case 4: options.useL2Residency = false; break;
+        }
+        EXPECT_GE(run_with(options) + 1000, baseline)
+            << "feature " << feature;
+    }
+}
+
+} // namespace

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Unit tests for the event-driven simulation kernel: event queue
+ * ordering, clock domains with DVFS-style frequency changes, and the
+ * statistics registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/clocked.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+namespace
+{
+
+using namespace dtu;
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    Event a([&] { order.push_back(1); }, "a");
+    Event b([&] { order.push_back(2); }, "b");
+    Event c([&] { order.push_back(3); }, "c");
+    q.schedule(c, 30);
+    q.schedule(a, 10);
+    q.schedule(b, 20);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    Event a([&] { order.push_back(1); }, "a");
+    Event b([&] { order.push_back(2); }, "b");
+    q.schedule(a, 5);
+    q.schedule(b, 5);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue q;
+    int fired_at = -1;
+    Event a([&] { fired_at = static_cast<int>(q.now()); }, "a");
+    q.schedule(a, 10);
+    q.reschedule(a, 50);
+    q.run();
+    EXPECT_EQ(fired_at, 50);
+    EXPECT_EQ(q.executed(), 1u);
+}
+
+TEST(EventQueue, DescheduleCancels)
+{
+    EventQueue q;
+    bool fired = false;
+    Event a([&] { fired = true; }, "a");
+    q.schedule(a, 10);
+    q.deschedule(a);
+    q.run();
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int count = 0;
+    Event *ptr = nullptr;
+    Event tick(
+        [&] {
+            if (++count < 5)
+                q.scheduleIn(*ptr, 100);
+        },
+        "tick");
+    ptr = &tick;
+    q.schedule(tick, 0);
+    q.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.now(), 400u);
+}
+
+TEST(EventQueue, RunRespectsLimit)
+{
+    EventQueue q;
+    int count = 0;
+    Event a([&] { ++count; }, "a");
+    Event b([&] { ++count; }, "b");
+    q.schedule(a, 10);
+    q.schedule(b, 1000);
+    q.run(500);
+    EXPECT_EQ(count, 1);
+    EXPECT_FALSE(q.empty());
+    q.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue q;
+    Event a([] {}, "a");
+    Event b([] {}, "b");
+    q.schedule(a, 100);
+    q.run();
+    EXPECT_THROW(q.schedule(b, 50), PanicError);
+}
+
+TEST(EventQueue, DoubleSchedulePanics)
+{
+    EventQueue q;
+    Event a([] {}, "a");
+    q.schedule(a, 10);
+    EXPECT_THROW(q.schedule(a, 20), PanicError);
+}
+
+TEST(ClockDomain, PeriodMatchesFrequency)
+{
+    EventQueue q;
+    ClockDomain clk(q, 1.0e9); // 1 GHz -> 1000 ps
+    EXPECT_EQ(clk.period(), 1000u);
+    EXPECT_DOUBLE_EQ(clk.frequency(), 1.0e9);
+}
+
+TEST(ClockDomain, CycleCountingAt1GHz)
+{
+    EventQueue q;
+    ClockDomain clk(q, 1.0e9);
+    EXPECT_EQ(clk.cyclesAt(0), 0u);
+    EXPECT_EQ(clk.cyclesAt(999), 0u);
+    EXPECT_EQ(clk.cyclesAt(1000), 1u);
+    EXPECT_EQ(clk.cyclesAt(123456), 123u);
+}
+
+TEST(ClockDomain, FrequencyChangeKeepsCyclesMonotonic)
+{
+    EventQueue q;
+    ClockDomain clk(q, 1.0e9);
+    q.advanceTo(10'000); // 10 cycles at 1 GHz
+    EXPECT_EQ(clk.curCycle(), 10u);
+    clk.setFrequency(1.4e9); // DVFS step up
+    Cycles at_switch = clk.curCycle();
+    EXPECT_EQ(at_switch, 10u);
+    q.advanceTo(10'000 + 10 * clk.period());
+    EXPECT_EQ(clk.curCycle(), at_switch + 10);
+}
+
+TEST(ClockDomain, TicksForScalesWithFrequency)
+{
+    EventQueue q;
+    ClockDomain slow(q, 1.0e9);
+    ClockDomain fast(q, 2.0e9);
+    EXPECT_EQ(slow.ticksFor(100), 2 * fast.ticksFor(100));
+}
+
+TEST(ClockDomain, NextEdgeAligns)
+{
+    EventQueue q;
+    ClockDomain clk(q, 1.0e9);
+    EXPECT_EQ(clk.nextEdge(), 0u);
+    q.advanceTo(1500);
+    EXPECT_EQ(clk.nextEdge(), 2000u);
+    q.advanceTo(2000);
+    EXPECT_EQ(clk.nextEdge(), 2000u);
+}
+
+TEST(ClockDomain, RejectsNonPositiveFrequency)
+{
+    EventQueue q;
+    EXPECT_THROW(ClockDomain(q, 0.0), FatalError);
+    EXPECT_THROW(ClockDomain(q, -1.0), FatalError);
+}
+
+TEST(Stats, ScalarAccumulationAndLookup)
+{
+    StatRegistry reg;
+    Stat s;
+    s.init(reg, "core0.vmm_ops", "VMM operations");
+    s += 5;
+    ++s;
+    EXPECT_DOUBLE_EQ(reg.lookup("core0.vmm_ops"), 6.0);
+    EXPECT_TRUE(reg.has("core0.vmm_ops"));
+    EXPECT_FALSE(reg.has("core0.missing"));
+    EXPECT_DOUBLE_EQ(reg.lookup("core0.missing"), 0.0);
+}
+
+TEST(Stats, SumMatchingPrefix)
+{
+    StatRegistry reg;
+    Stat a, b, c;
+    a.init(reg, "pg0.dma.bytes", "");
+    b.init(reg, "pg1.dma.bytes", "");
+    c.init(reg, "pg1.core.cycles", "");
+    a += 100;
+    b += 50;
+    c += 7;
+    EXPECT_DOUBLE_EQ(reg.sumMatching("pg1."), 57.0);
+    EXPECT_DOUBLE_EQ(reg.sumMatching("pg"), 157.0);
+}
+
+TEST(Stats, ResetAllZeroes)
+{
+    StatRegistry reg;
+    Stat a;
+    a.init(reg, "x", "");
+    a += 42;
+    reg.resetAll();
+    EXPECT_DOUBLE_EQ(reg.lookup("x"), 0.0);
+}
+
+TEST(Stats, DuplicateNamePanics)
+{
+    StatRegistry reg;
+    Stat a, b;
+    a.init(reg, "dup", "");
+    EXPECT_THROW(b.init(reg, "dup", ""), PanicError);
+}
+
+TEST(Stats, HistogramBasics)
+{
+    StatRegistry reg;
+    Histogram h;
+    h.init(reg, "lat", "latency", 0.0, 100.0, 10);
+    h.sample(5.0);
+    h.sample(15.0);
+    h.sample(95.0);
+    h.sample(200.0); // clamps to last bucket
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.min(), 5.0);
+    EXPECT_DOUBLE_EQ(h.max(), 200.0);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[9], 2u);
+}
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Random, UniformInRange)
+{
+    Random rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(2.0, 3.0);
+        EXPECT_GE(u, 2.0);
+        EXPECT_LT(u, 3.0);
+    }
+}
+
+TEST(Random, BetweenIsInclusive)
+{
+    Random rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        auto v = rng.between(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Logging, FatalAndPanicThrow)
+{
+    EXPECT_THROW(fatal("bad config"), FatalError);
+    EXPECT_THROW(panic("bug"), PanicError);
+    EXPECT_NO_THROW(fatalIf(false, "fine"));
+    EXPECT_THROW(fatalIf(true, "bad"), FatalError);
+}
+
+TEST(Ticks, FrequencyPeriodRoundTrip)
+{
+    Tick p = periodFromFrequency(1.4e9);
+    EXPECT_EQ(p, 714u);
+    EXPECT_NEAR(frequencyFromPeriod(p), 1.4e9, 2e6);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(ticksPerSecond), 1.0);
+    EXPECT_EQ(secondsToTicks(1e-6), 1'000'000u);
+}
+
+} // namespace

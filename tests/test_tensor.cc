@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the tensor substrate: dtypes, shapes, and the functional
+ * tensor with DMA-style layout transforms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "tensor/tensor.hh"
+
+namespace
+{
+
+using namespace dtu;
+
+TEST(DType, SizesMatchHardwareFormats)
+{
+    EXPECT_EQ(dtypeBytes(DType::FP32), 4u);
+    EXPECT_EQ(dtypeBytes(DType::TF32), 4u);
+    EXPECT_EQ(dtypeBytes(DType::FP16), 2u);
+    EXPECT_EQ(dtypeBytes(DType::BF16), 2u);
+    EXPECT_EQ(dtypeBytes(DType::INT32), 4u);
+    EXPECT_EQ(dtypeBytes(DType::INT16), 2u);
+    EXPECT_EQ(dtypeBytes(DType::INT8), 1u);
+}
+
+TEST(DType, RateFactorsFollowTableI)
+{
+    // Table I: FP32 32T, TF32/FP16/BF16 128T, INT8 256T.
+    EXPECT_DOUBLE_EQ(dtypeRateFactorDtu2(DType::FP32), 1.0);
+    EXPECT_DOUBLE_EQ(dtypeRateFactorDtu2(DType::FP16), 4.0);
+    EXPECT_DOUBLE_EQ(dtypeRateFactorDtu2(DType::BF16), 4.0);
+    EXPECT_DOUBLE_EQ(dtypeRateFactorDtu2(DType::TF32), 4.0);
+    EXPECT_DOUBLE_EQ(dtypeRateFactorDtu2(DType::INT8), 8.0);
+    // DTU 1.0 ran INT8 at the INT16 rate (Section II-A).
+    EXPECT_DOUBLE_EQ(dtypeRateFactorDtu1(DType::INT8), 4.0);
+}
+
+TEST(DType, NameRoundTrip)
+{
+    for (int i = 0; i < numDTypes; ++i) {
+        auto t = static_cast<DType>(i);
+        EXPECT_EQ(dtypeFromName(dtypeName(t)), t);
+    }
+    EXPECT_THROW(dtypeFromName("fp64"), FatalError);
+}
+
+TEST(DType, QuantizeFp16)
+{
+    // FP16 has a 10-bit mantissa: 1 + 2^-11 collapses to 1.
+    EXPECT_DOUBLE_EQ(dtypeQuantize(DType::FP16, 1.0 + 1.0 / 4096.0), 1.0);
+    // Values beyond the FP16 max saturate.
+    EXPECT_DOUBLE_EQ(dtypeQuantize(DType::FP16, 1e6), 65504.0);
+    EXPECT_DOUBLE_EQ(dtypeQuantize(DType::FP16, -1e6), -65504.0);
+}
+
+TEST(DType, QuantizeBf16KeepsRangeLosesPrecision)
+{
+    EXPECT_DOUBLE_EQ(dtypeQuantize(DType::BF16, 1e30), static_cast<double>(
+        static_cast<float>(dtypeQuantize(DType::BF16, 1e30))));
+    // 7-bit mantissa: relative step ~2^-8.
+    double q = dtypeQuantize(DType::BF16, 1.003);
+    EXPECT_NEAR(q, 1.003, 0.004);
+    EXPECT_NE(q, 1.003);
+}
+
+TEST(DType, QuantizeIntegersRoundAndSaturate)
+{
+    EXPECT_DOUBLE_EQ(dtypeQuantize(DType::INT8, 3.6), 4.0);
+    EXPECT_DOUBLE_EQ(dtypeQuantize(DType::INT8, 200.0), 127.0);
+    EXPECT_DOUBLE_EQ(dtypeQuantize(DType::INT8, -200.0), -128.0);
+    EXPECT_DOUBLE_EQ(dtypeQuantize(DType::INT16, 40000.0), 32767.0);
+    EXPECT_DOUBLE_EQ(dtypeQuantize(DType::INT32, 1.4), 1.0);
+}
+
+TEST(Shape, NumelAndStrides)
+{
+    Shape s({2, 3, 4});
+    EXPECT_EQ(s.rank(), 3u);
+    EXPECT_EQ(s.numel(), 24);
+    auto strides = s.strides();
+    EXPECT_EQ(strides, (std::vector<std::int64_t>{12, 4, 1}));
+}
+
+TEST(Shape, LinearizeDelinearizeRoundTrip)
+{
+    Shape s({3, 5, 7});
+    for (std::int64_t i = 0; i < s.numel(); ++i) {
+        auto coord = s.delinearize(i);
+        EXPECT_EQ(s.linearize(coord), i);
+    }
+}
+
+TEST(Shape, NegativeDimIndexing)
+{
+    Shape s({1, 3, 224, 224});
+    EXPECT_EQ(s.dim(-1), 224);
+    EXPECT_EQ(s.dim(-4), 1);
+    EXPECT_THROW(s.dim(4), FatalError);
+}
+
+TEST(Shape, ScalarShape)
+{
+    Shape s;
+    EXPECT_EQ(s.rank(), 0u);
+    EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Tensor, ConstructionQuantizes)
+{
+    Tensor t(Shape({2}), DType::INT8, {3.7, -300.0});
+    EXPECT_DOUBLE_EQ(t.at(0), 4.0);
+    EXPECT_DOUBLE_EQ(t.at(1), -128.0);
+}
+
+TEST(Tensor, BytesAccountsDtype)
+{
+    Tensor t(Shape({10, 10}), DType::FP16);
+    EXPECT_EQ(t.bytes(), 200u);
+}
+
+TEST(Tensor, PadPlacesValuesAndZeros)
+{
+    Tensor t(Shape({2, 2}), DType::FP32, {1, 2, 3, 4});
+    Tensor p = t.padded(1, 1, 2);
+    EXPECT_EQ(p.shape(), Shape({2, 5}));
+    EXPECT_DOUBLE_EQ(p.at({0, 0}), 0.0);
+    EXPECT_DOUBLE_EQ(p.at({0, 1}), 1.0);
+    EXPECT_DOUBLE_EQ(p.at({0, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(p.at({0, 3}), 0.0);
+    EXPECT_DOUBLE_EQ(p.at({1, 1}), 3.0);
+}
+
+TEST(Tensor, SliceInvertsPad)
+{
+    Random rng(3);
+    Tensor t(Shape({4, 6}), DType::FP32);
+    t.fillRandom(rng);
+    Tensor padded = t.padded(0, 2, 1);
+    Tensor back = padded.sliced(0, 2, 4);
+    EXPECT_DOUBLE_EQ(back.maxAbsDiff(t), 0.0);
+}
+
+TEST(Tensor, TransposeIsInvolution)
+{
+    Random rng(11);
+    Tensor t(Shape({3, 5, 2}), DType::FP32);
+    t.fillRandom(rng);
+    Tensor twice = t.transposed(0, 2).transposed(0, 2);
+    EXPECT_DOUBLE_EQ(twice.maxAbsDiff(t), 0.0);
+}
+
+TEST(Tensor, TransposeMovesElements)
+{
+    Tensor t(Shape({2, 3}), DType::FP32, {1, 2, 3, 4, 5, 6});
+    Tensor tr = t.transposed(0, 1);
+    EXPECT_EQ(tr.shape(), Shape({3, 2}));
+    EXPECT_DOUBLE_EQ(tr.at({0, 1}), 4.0);
+    EXPECT_DOUBLE_EQ(tr.at({2, 0}), 3.0);
+}
+
+TEST(Tensor, ConcatAlongAxis)
+{
+    Tensor a(Shape({2, 2}), DType::FP32, {1, 2, 3, 4});
+    Tensor b(Shape({2, 1}), DType::FP32, {9, 8});
+    Tensor c = a.concatenated(b, 1);
+    EXPECT_EQ(c.shape(), Shape({2, 3}));
+    EXPECT_DOUBLE_EQ(c.at({0, 2}), 9.0);
+    EXPECT_DOUBLE_EQ(c.at({1, 2}), 8.0);
+    EXPECT_DOUBLE_EQ(c.at({1, 1}), 4.0);
+}
+
+TEST(Tensor, ConcatRejectsMismatchedDims)
+{
+    Tensor a(Shape({2, 2}), DType::FP32);
+    Tensor b(Shape({3, 1}), DType::FP32);
+    EXPECT_THROW(a.concatenated(b, 1), FatalError);
+}
+
+TEST(Tensor, StridedSliceSelectsEveryOther)
+{
+    Tensor t(Shape({6}), DType::FP32, {0, 1, 2, 3, 4, 5});
+    Tensor s = t.slicedStrided(0, 1, 6, 2);
+    EXPECT_EQ(s.shape(), Shape({3}));
+    EXPECT_DOUBLE_EQ(s.at(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.at(1), 3.0);
+    EXPECT_DOUBLE_EQ(s.at(2), 5.0);
+}
+
+TEST(Tensor, FillSparseHitsRequestedDensity)
+{
+    Random rng(42);
+    Tensor t(Shape({10000}), DType::FP16);
+    t.fillSparse(rng, 0.3);
+    EXPECT_NEAR(t.density(), 0.3, 0.02);
+}
+
+TEST(Tensor, CastChangesPrecision)
+{
+    // 1 + 2^-12 is representable in FP32 but not FP16 (10-bit mantissa).
+    Tensor t(Shape({1}), DType::FP32, {1.000244140625});
+    Tensor half = t.cast(DType::FP16);
+    EXPECT_NE(half.at(0), t.at(0));
+    EXPECT_NEAR(half.at(0), 1.0, 0.002);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t(Shape({2, 3}), DType::FP32, {1, 2, 3, 4, 5, 6});
+    Tensor r = t.reshaped(Shape({3, 2}));
+    EXPECT_DOUBLE_EQ(r.at({2, 1}), 6.0);
+    EXPECT_THROW(t.reshaped(Shape({4, 2})), FatalError);
+}
+
+/** Property sweep: pad-then-slice is identity for many axis configs. */
+class PadSliceProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(PadSliceProperty, PadSliceRoundTrip)
+{
+    int seed = GetParam();
+    Random rng(static_cast<std::uint64_t>(seed));
+    std::vector<std::int64_t> dims;
+    auto rank = static_cast<std::size_t>(rng.between(1, 4));
+    for (std::size_t i = 0; i < rank; ++i)
+        dims.push_back(rng.between(1, 6));
+    Tensor t(Shape{std::vector<std::int64_t>(dims)}, DType::FP32);
+    t.fillRandom(rng);
+    auto axis = static_cast<std::size_t>(
+        rng.between(0, static_cast<std::int64_t>(rank) - 1));
+    auto before = rng.between(0, 3);
+    auto after = rng.between(0, 3);
+    Tensor round =
+        t.padded(axis, before, after)
+            .sliced(axis, before, t.shape().dims()[axis]);
+    EXPECT_DOUBLE_EQ(round.maxAbsDiff(t), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PadSliceProperty,
+                         ::testing::Range(0, 20));
+
+} // namespace
