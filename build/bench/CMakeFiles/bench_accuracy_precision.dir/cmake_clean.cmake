@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accuracy_precision.dir/bench_accuracy_precision.cc.o"
+  "CMakeFiles/bench_accuracy_precision.dir/bench_accuracy_precision.cc.o.d"
+  "bench_accuracy_precision"
+  "bench_accuracy_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accuracy_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disc_batch_tenancy.dir/bench_disc_batch_tenancy.cc.o"
+  "CMakeFiles/bench_disc_batch_tenancy.dir/bench_disc_batch_tenancy.cc.o.d"
+  "bench_disc_batch_tenancy"
+  "bench_disc_batch_tenancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disc_batch_tenancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disc_power_mgmt.dir/bench_disc_power_mgmt.cc.o"
+  "CMakeFiles/bench_disc_power_mgmt.dir/bench_disc_power_mgmt.cc.o.d"
+  "bench_disc_power_mgmt"
+  "bench_disc_power_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disc_power_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_autotuning.dir/bench_ext_autotuning.cc.o"
+  "CMakeFiles/bench_ext_autotuning.dir/bench_ext_autotuning.cc.o.d"
+  "bench_ext_autotuning"
+  "bench_ext_autotuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_autotuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

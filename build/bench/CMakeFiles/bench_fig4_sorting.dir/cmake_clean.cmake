@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_sorting.dir/bench_fig4_sorting.cc.o"
+  "CMakeFiles/bench_fig4_sorting.dir/bench_fig4_sorting.cc.o.d"
+  "bench_fig4_sorting"
+  "bench_fig4_sorting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sorting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_repeat_dma.dir/bench_fig6_repeat_dma.cc.o"
+  "CMakeFiles/bench_fig6_repeat_dma.dir/bench_fig6_repeat_dma.cc.o.d"
+  "bench_fig6_repeat_dma"
+  "bench_fig6_repeat_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_repeat_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

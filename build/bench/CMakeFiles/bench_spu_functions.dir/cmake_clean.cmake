@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spu_functions.dir/bench_spu_functions.cc.o"
+  "CMakeFiles/bench_spu_functions.dir/bench_spu_functions.cc.o.d"
+  "bench_spu_functions"
+  "bench_spu_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spu_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

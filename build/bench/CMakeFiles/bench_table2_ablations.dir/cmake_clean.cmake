@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ablations.dir/bench_table2_ablations.cc.o"
+  "CMakeFiles/bench_table2_ablations.dir/bench_table2_ablations.cc.o.d"
+  "bench_table2_ablations"
+  "bench_table2_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

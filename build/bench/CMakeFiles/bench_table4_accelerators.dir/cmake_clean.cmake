@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_accelerators.dir/bench_table4_accelerators.cc.o"
+  "CMakeFiles/bench_table4_accelerators.dir/bench_table4_accelerators.cc.o.d"
+  "bench_table4_accelerators"
+  "bench_table4_accelerators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_accelerators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

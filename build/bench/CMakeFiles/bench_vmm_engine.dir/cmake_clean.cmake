@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vmm_engine.dir/bench_vmm_engine.cc.o"
+  "CMakeFiles/bench_vmm_engine.dir/bench_vmm_engine.cc.o.d"
+  "bench_vmm_engine"
+  "bench_vmm_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vmm_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

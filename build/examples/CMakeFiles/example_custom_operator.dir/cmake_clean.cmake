@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_operator.dir/custom_operator.cpp.o"
+  "CMakeFiles/example_custom_operator.dir/custom_operator.cpp.o.d"
+  "example_custom_operator"
+  "example_custom_operator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_operator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

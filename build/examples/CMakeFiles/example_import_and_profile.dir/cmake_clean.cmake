@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_import_and_profile.dir/import_and_profile.cpp.o"
+  "CMakeFiles/example_import_and_profile.dir/import_and_profile.cpp.o.d"
+  "example_import_and_profile"
+  "example_import_and_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_import_and_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

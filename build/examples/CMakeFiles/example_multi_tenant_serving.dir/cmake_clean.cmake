@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_tenant_serving.dir/multi_tenant_serving.cpp.o"
+  "CMakeFiles/example_multi_tenant_serving.dir/multi_tenant_serving.cpp.o.d"
+  "example_multi_tenant_serving"
+  "example_multi_tenant_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_tenant_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_topk_recommendation.dir/topk_recommendation.cpp.o"
+  "CMakeFiles/example_topk_recommendation.dir/topk_recommendation.cpp.o.d"
+  "example_topk_recommendation"
+  "example_topk_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_topk_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

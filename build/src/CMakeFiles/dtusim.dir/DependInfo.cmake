@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/tops_runtime.cc" "src/CMakeFiles/dtusim.dir/api/tops_runtime.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/api/tops_runtime.cc.o.d"
+  "/root/repo/src/baseline/gpu_model.cc" "src/CMakeFiles/dtusim.dir/baseline/gpu_model.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/baseline/gpu_model.cc.o.d"
+  "/root/repo/src/compiler/codegen.cc" "src/CMakeFiles/dtusim.dir/compiler/codegen.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/compiler/codegen.cc.o.d"
+  "/root/repo/src/compiler/fusion.cc" "src/CMakeFiles/dtusim.dir/compiler/fusion.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/compiler/fusion.cc.o.d"
+  "/root/repo/src/compiler/lowering.cc" "src/CMakeFiles/dtusim.dir/compiler/lowering.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/compiler/lowering.cc.o.d"
+  "/root/repo/src/core/compute_core.cc" "src/CMakeFiles/dtusim.dir/core/compute_core.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/core/compute_core.cc.o.d"
+  "/root/repo/src/core/icache.cc" "src/CMakeFiles/dtusim.dir/core/icache.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/core/icache.cc.o.d"
+  "/root/repo/src/core/matrix_engine.cc" "src/CMakeFiles/dtusim.dir/core/matrix_engine.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/core/matrix_engine.cc.o.d"
+  "/root/repo/src/core/register_file.cc" "src/CMakeFiles/dtusim.dir/core/register_file.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/core/register_file.cc.o.d"
+  "/root/repo/src/core/spu.cc" "src/CMakeFiles/dtusim.dir/core/spu.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/core/spu.cc.o.d"
+  "/root/repo/src/dma/dma_engine.cc" "src/CMakeFiles/dtusim.dir/dma/dma_engine.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/dma/dma_engine.cc.o.d"
+  "/root/repo/src/dma/sparse_codec.cc" "src/CMakeFiles/dtusim.dir/dma/sparse_codec.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/dma/sparse_codec.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/dtusim.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/importer.cc" "src/CMakeFiles/dtusim.dir/graph/importer.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/graph/importer.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/dtusim.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/CMakeFiles/dtusim.dir/isa/instruction.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/isa/instruction.cc.o.d"
+  "/root/repo/src/isa/opcode.cc" "src/CMakeFiles/dtusim.dir/isa/opcode.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/isa/opcode.cc.o.d"
+  "/root/repo/src/mem/allocator.cc" "src/CMakeFiles/dtusim.dir/mem/allocator.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/mem/allocator.cc.o.d"
+  "/root/repo/src/mem/bandwidth.cc" "src/CMakeFiles/dtusim.dir/mem/bandwidth.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/mem/bandwidth.cc.o.d"
+  "/root/repo/src/mem/hbm.cc" "src/CMakeFiles/dtusim.dir/mem/hbm.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/mem/hbm.cc.o.d"
+  "/root/repo/src/mem/sram.cc" "src/CMakeFiles/dtusim.dir/mem/sram.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/mem/sram.cc.o.d"
+  "/root/repo/src/models/blocks.cc" "src/CMakeFiles/dtusim.dir/models/blocks.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/models/blocks.cc.o.d"
+  "/root/repo/src/models/classification.cc" "src/CMakeFiles/dtusim.dir/models/classification.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/models/classification.cc.o.d"
+  "/root/repo/src/models/dense_prediction.cc" "src/CMakeFiles/dtusim.dir/models/dense_prediction.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/models/dense_prediction.cc.o.d"
+  "/root/repo/src/models/detection.cc" "src/CMakeFiles/dtusim.dir/models/detection.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/models/detection.cc.o.d"
+  "/root/repo/src/models/model_zoo.cc" "src/CMakeFiles/dtusim.dir/models/model_zoo.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/models/model_zoo.cc.o.d"
+  "/root/repo/src/models/sequence.cc" "src/CMakeFiles/dtusim.dir/models/sequence.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/models/sequence.cc.o.d"
+  "/root/repo/src/power/cpme.cc" "src/CMakeFiles/dtusim.dir/power/cpme.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/power/cpme.cc.o.d"
+  "/root/repo/src/power/lpme.cc" "src/CMakeFiles/dtusim.dir/power/lpme.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/power/lpme.cc.o.d"
+  "/root/repo/src/runtime/accuracy.cc" "src/CMakeFiles/dtusim.dir/runtime/accuracy.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/runtime/accuracy.cc.o.d"
+  "/root/repo/src/runtime/executor.cc" "src/CMakeFiles/dtusim.dir/runtime/executor.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/runtime/executor.cc.o.d"
+  "/root/repo/src/runtime/profiler.cc" "src/CMakeFiles/dtusim.dir/runtime/profiler.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/runtime/profiler.cc.o.d"
+  "/root/repo/src/runtime/report.cc" "src/CMakeFiles/dtusim.dir/runtime/report.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/runtime/report.cc.o.d"
+  "/root/repo/src/runtime/tenancy.cc" "src/CMakeFiles/dtusim.dir/runtime/tenancy.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/runtime/tenancy.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/dtusim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/dtusim.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/dtusim.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/sim/stats.cc.o.d"
+  "/root/repo/src/soc/config.cc" "src/CMakeFiles/dtusim.dir/soc/config.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/soc/config.cc.o.d"
+  "/root/repo/src/soc/dtu.cc" "src/CMakeFiles/dtusim.dir/soc/dtu.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/soc/dtu.cc.o.d"
+  "/root/repo/src/soc/processing_group.cc" "src/CMakeFiles/dtusim.dir/soc/processing_group.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/soc/processing_group.cc.o.d"
+  "/root/repo/src/soc/resource_manager.cc" "src/CMakeFiles/dtusim.dir/soc/resource_manager.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/soc/resource_manager.cc.o.d"
+  "/root/repo/src/sync/sync_engine.cc" "src/CMakeFiles/dtusim.dir/sync/sync_engine.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/sync/sync_engine.cc.o.d"
+  "/root/repo/src/tensor/dtype.cc" "src/CMakeFiles/dtusim.dir/tensor/dtype.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/tensor/dtype.cc.o.d"
+  "/root/repo/src/tensor/shape.cc" "src/CMakeFiles/dtusim.dir/tensor/shape.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/tensor/shape.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/dtusim.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/dtusim.dir/tensor/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accuracy.cc" "tests/CMakeFiles/dtusim_tests.dir/test_accuracy.cc.o" "gcc" "tests/CMakeFiles/dtusim_tests.dir/test_accuracy.cc.o.d"
+  "/root/repo/tests/test_api.cc" "tests/CMakeFiles/dtusim_tests.dir/test_api.cc.o" "gcc" "tests/CMakeFiles/dtusim_tests.dir/test_api.cc.o.d"
+  "/root/repo/tests/test_baseline.cc" "tests/CMakeFiles/dtusim_tests.dir/test_baseline.cc.o" "gcc" "tests/CMakeFiles/dtusim_tests.dir/test_baseline.cc.o.d"
+  "/root/repo/tests/test_codegen.cc" "tests/CMakeFiles/dtusim_tests.dir/test_codegen.cc.o" "gcc" "tests/CMakeFiles/dtusim_tests.dir/test_codegen.cc.o.d"
+  "/root/repo/tests/test_compiler.cc" "tests/CMakeFiles/dtusim_tests.dir/test_compiler.cc.o" "gcc" "tests/CMakeFiles/dtusim_tests.dir/test_compiler.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/dtusim_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/dtusim_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_dma.cc" "tests/CMakeFiles/dtusim_tests.dir/test_dma.cc.o" "gcc" "tests/CMakeFiles/dtusim_tests.dir/test_dma.cc.o.d"
+  "/root/repo/tests/test_graph.cc" "tests/CMakeFiles/dtusim_tests.dir/test_graph.cc.o" "gcc" "tests/CMakeFiles/dtusim_tests.dir/test_graph.cc.o.d"
+  "/root/repo/tests/test_icache.cc" "tests/CMakeFiles/dtusim_tests.dir/test_icache.cc.o" "gcc" "tests/CMakeFiles/dtusim_tests.dir/test_icache.cc.o.d"
+  "/root/repo/tests/test_importer_profiler.cc" "tests/CMakeFiles/dtusim_tests.dir/test_importer_profiler.cc.o" "gcc" "tests/CMakeFiles/dtusim_tests.dir/test_importer_profiler.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/dtusim_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/dtusim_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/dtusim_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/dtusim_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/dtusim_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/dtusim_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_models.cc" "tests/CMakeFiles/dtusim_tests.dir/test_models.cc.o" "gcc" "tests/CMakeFiles/dtusim_tests.dir/test_models.cc.o.d"
+  "/root/repo/tests/test_multicore.cc" "tests/CMakeFiles/dtusim_tests.dir/test_multicore.cc.o" "gcc" "tests/CMakeFiles/dtusim_tests.dir/test_multicore.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/dtusim_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/dtusim_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_runtime.cc" "tests/CMakeFiles/dtusim_tests.dir/test_runtime.cc.o" "gcc" "tests/CMakeFiles/dtusim_tests.dir/test_runtime.cc.o.d"
+  "/root/repo/tests/test_sim_kernel.cc" "tests/CMakeFiles/dtusim_tests.dir/test_sim_kernel.cc.o" "gcc" "tests/CMakeFiles/dtusim_tests.dir/test_sim_kernel.cc.o.d"
+  "/root/repo/tests/test_soc.cc" "tests/CMakeFiles/dtusim_tests.dir/test_soc.cc.o" "gcc" "tests/CMakeFiles/dtusim_tests.dir/test_soc.cc.o.d"
+  "/root/repo/tests/test_sync_power.cc" "tests/CMakeFiles/dtusim_tests.dir/test_sync_power.cc.o" "gcc" "tests/CMakeFiles/dtusim_tests.dir/test_sync_power.cc.o.d"
+  "/root/repo/tests/test_tensor.cc" "tests/CMakeFiles/dtusim_tests.dir/test_tensor.cc.o" "gcc" "tests/CMakeFiles/dtusim_tests.dir/test_tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dtusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
