@@ -6,8 +6,13 @@
 #ifndef DTU_BENCH_BENCH_COMMON_HH
 #define DTU_BENCH_BENCH_COMMON_HH
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baseline/gpu_model.hh"
@@ -15,12 +20,102 @@
 #include "models/model_zoo.hh"
 #include "runtime/executor.hh"
 #include "runtime/report.hh"
+#include "sim/json.hh"
+#include "sim/logging.hh"
 #include "soc/dtu.hh"
 
 namespace dtu
 {
 namespace bench
 {
+
+/**
+ * Machine-readable output for the figure binaries. Every bench keeps
+ * printing its human-readable table to stdout; when invoked as
+ *
+ *     bench_figNN --json <path>
+ *
+ * the same numbers are also written to @p path as a JSON artifact:
+ *
+ *     {"bench": "...",
+ *      "metrics": {"geomean_vs_t4": 2.2, ...},
+ *      "tables": {"fig13": {"columns": [...], "rows": [...]}}}
+ *
+ * so CI can diff results across commits without screen-scraping the
+ * aligned-column text (see EXPERIMENTS.md).
+ */
+class BenchOutput
+{
+  public:
+    BenchOutput(int argc, char **argv, std::string bench_name)
+        : benchName_(std::move(bench_name))
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--json") {
+                fatalIf(i + 1 >= argc, "--json requires a file path");
+                jsonPath_ = argv[++i];
+            } else if (arg == "--help" || arg == "-h") {
+                std::printf("usage: %s [--json <path>]\n", argv[0]);
+                std::exit(0);
+            } else {
+                fatal("unknown argument '", arg,
+                      "' (usage: ", argv[0], " [--json <path>])");
+            }
+        }
+    }
+
+    /** Record a named table (serialized immediately, copy-free). */
+    void
+    table(const std::string &name, const ReportTable &t)
+    {
+        std::ostringstream ss;
+        t.writeJson(ss);
+        tables_.emplace_back(name, ss.str());
+    }
+
+    /** Record a named scalar (geomeans, checkpoint comparisons). */
+    void
+    metric(const std::string &name, double value)
+    {
+        metrics_.emplace_back(name, value);
+    }
+
+    /**
+     * Write the artifact when --json was given. Call last in main();
+     * returns the process exit code.
+     */
+    int
+    finish()
+    {
+        if (jsonPath_.empty())
+            return 0;
+        std::ofstream out(jsonPath_);
+        fatalIf(!out, "cannot open '", jsonPath_, "' for writing");
+        JsonWriter json(out);
+        json.beginObject();
+        json.field("bench", benchName_);
+        json.key("metrics").beginObject();
+        for (const auto &[name, value] : metrics_)
+            json.field(name, value);
+        json.endObject();
+        json.key("tables").beginObject();
+        for (const auto &[name, doc] : tables_)
+            json.key(name).raw(doc);
+        json.endObject();
+        json.endObject();
+        out << "\n";
+        fatalIf(!out.good(), "write to '", jsonPath_, "' failed");
+        std::printf("\n  json artifact: %s\n", jsonPath_.c_str());
+        return 0;
+    }
+
+  private:
+    std::string benchName_;
+    std::string jsonPath_;
+    std::vector<std::pair<std::string, double>> metrics_;
+    std::vector<std::pair<std::string, std::string>> tables_;
+};
 
 /** Result of one full-chip i20/i10 model run. */
 struct ChipRun

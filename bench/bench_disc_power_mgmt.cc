@@ -18,8 +18,9 @@ using namespace dtu;
 using namespace dtu::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOutput output(argc, argv, "disc_power_mgmt");
     printBanner("Discussion: power management ON vs OFF "
                 "(DVFS 1.0-1.4 GHz vs fixed 1.4 GHz)");
     ReportTable table({"model", "off_ms", "on_ms", "perf_drop_%",
@@ -47,5 +48,6 @@ main()
                 "clocks down (compute stays hidden under DMA), and the "
                 "closed loop removes the worst-case voltage "
                 "guard-band\n");
-    return 0;
+    output.table("power_mgmt_on_vs_off", table);
+    return output.finish();
 }

@@ -14,8 +14,9 @@
 using namespace dtu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchOutput output(argc, argv, "fig12_peak");
     DtuConfig i20 = dtu2Config();
     DtuConfig i10 = dtu1Config();
     GpuSpec t4 = t4Spec();
@@ -64,5 +65,11 @@ main()
                 i20.l3BytesPerSecond / 1e9 / a10.bandwidthGBs,
                 a10.memoryGiB / (static_cast<double>(i20.l3Bytes) /
                                  1_GiB));
-    return 0;
+    output.table("fig12a_i20_vs_i10", a);
+    output.table("fig12b_i20_vs_gpus", b);
+    output.metric("bandwidth_vs_t4",
+                  i20.l3BytesPerSecond / 1e9 / t4.bandwidthGBs);
+    output.metric("bandwidth_vs_a10",
+                  i20.l3BytesPerSecond / 1e9 / a10.bandwidthGBs);
+    return output.finish();
 }

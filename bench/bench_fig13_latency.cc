@@ -16,8 +16,9 @@ using namespace dtu;
 using namespace dtu::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOutput output(argc, argv, "fig13_latency");
     GpuModel t4(t4Spec(), t4Efficiency());
     GpuModel a10(a10Spec(), a10Efficiency());
 
@@ -48,5 +49,11 @@ main()
                 "%.2fx; A10 wins %u/10\n",
                 geomean(vs_t4), geomean(vs_a10), vs_t4[7], vs_a10[7],
                 a10_wins);
-    return 0;
+    output.table("fig13", table);
+    output.metric("geomean_vs_t4", geomean(vs_t4));
+    output.metric("geomean_vs_a10", geomean(vs_a10));
+    output.metric("srresnet_vs_t4", vs_t4[7]);
+    output.metric("srresnet_vs_a10", vs_a10[7]);
+    output.metric("a10_wins", a10_wins);
+    return output.finish();
 }

@@ -13,8 +13,9 @@
 using namespace dtu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchOutput output(argc, argv, "fig14_efficiency");
     DtuConfig i20 = dtu2Config();
     DtuConfig i10 = dtu1Config();
     GpuSpec t4 = t4Spec();
@@ -68,5 +69,14 @@ main()
     std::printf("    i20 FP32/TDP vs i10: paper 1.6x, measured %.2fx\n",
                 i20.opsPerWatt(DType::FP32) /
                     i10.opsPerWatt(DType::FP32));
-    return 0;
+    output.table("fig14a_perf_per_tdp_i20_vs_i10", a);
+    output.table("fig14b_perf_per_tdp_i20_vs_gpus", b);
+    output.metric("t4_fp16_per_tdp_vs_i20",
+                  gpu_eff(t4, DType::FP16) / i20_fp16);
+    output.metric("i20_fp32_per_tdp_vs_t4",
+                  i20_fp32 / gpu_eff(t4, DType::FP32));
+    output.metric("i20_fp32_per_tdp_vs_i10",
+                  i20.opsPerWatt(DType::FP32) /
+                      i10.opsPerWatt(DType::FP32));
+    return output.finish();
 }

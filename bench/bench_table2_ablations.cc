@@ -38,8 +38,9 @@ latencyWith(const std::string &model, ExecOptions options,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOutput output(argc, argv, "table2_ablations");
     const std::vector<std::string> subjects = {"resnet50", "srresnet",
                                                "bert_large", "conformer"};
     ExecOptions base{.powerManagement = false};
@@ -94,6 +95,7 @@ main()
     ablate("operator fusion", base, lowering);
 
     table.print();
+    output.table("table2_feature_slowdowns", table);
     std::printf("\n  note: sparse DMA shows ~1.0x at batch 1 because "
                 "double buffering hides the (reduced) L3 streams under "
                 "compute; its benefit is bandwidth-bound, shown "
@@ -131,6 +133,7 @@ main()
                      static_cast<double>(sparse_done)});
         }
         sparse_table.print();
+        output.table("sparse_dma_vs_density", sparse_table);
     }
 
     printBanner("End-to-end i20 vs i10 (feature set + capacities + "
@@ -145,5 +148,6 @@ main()
     std::printf("\n  paper: 'We omit the results of Cloudblazer i10, "
                 "which performs worse than Cloudblazer i20 for all "
                 "tested DNNs.'\n");
-    return 0;
+    output.table("i20_vs_i10_end_to_end", gen);
+    return output.finish();
 }

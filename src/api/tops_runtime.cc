@@ -105,7 +105,13 @@ Stream::launch(const Kernel &kernel, unsigned core_index)
 Stream &
 Stream::run(const ExecutionPlan &plan)
 {
-    Executor executor(device_->dtu_, groups_);
+    return run(plan, ExecOptions{});
+}
+
+Stream &
+Stream::run(const ExecutionPlan &plan, const ExecOptions &options)
+{
+    Executor executor(device_->dtu_, groups_, options);
     lastRun_ = executor.run(plan, cursor_);
     cursor_ = lastRun_.end;
     return *this;

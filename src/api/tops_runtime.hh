@@ -94,6 +94,13 @@ class Stream
     /** Launch a compiled model (the graph-compiler path). */
     Stream &run(const ExecutionPlan &plan);
 
+    /**
+     * Launch a compiled model with explicit runtime options, e.g.
+     * {.trace = true, .timeline = true} to record the per-operator
+     * profile and emit timeline events (see Device::writeTimeline).
+     */
+    Stream &run(const ExecutionPlan &plan, const ExecOptions &options);
+
     /** Block until everything enqueued so far has completed. */
     Tick synchronize();
 
@@ -146,6 +153,32 @@ class Device
 
     /** Total energy drawn by the device so far. */
     double joules() { return dtu_.energy().joules(); }
+
+    //
+    // Observability (see sim/tracer.hh and the README's
+    // "Observability" section).
+    //
+
+    /** The device's timeline tracer. */
+    Tracer &tracer() { return dtu_.tracer(); }
+
+    /** Start recording timeline events from every engine. */
+    void startTimeline() { dtu_.tracer().setEnabled(true); }
+
+    /** Stop recording (already-recorded events are kept). */
+    void stopTimeline() { dtu_.tracer().setEnabled(false); }
+
+    /**
+     * Write everything recorded so far as Chrome trace-event JSON,
+     * loadable in Perfetto (https://ui.perfetto.dev).
+     */
+    void writeTimeline(const std::string &path)
+    {
+        dtu_.tracer().writeChromeTrace(path);
+    }
+
+    /** Dump the device's full stat registry as JSON. */
+    void dumpStatsJson(std::ostream &os) { dtu_.stats().dumpJson(os); }
 
     /** Direct access for advanced use (profiling, stats). */
     Dtu &chip() { return dtu_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/tracer.hh"
 
 namespace dtu
 {
@@ -64,6 +65,12 @@ InstructionCache::prefetchAt(Tick at, int kernel_id, std::uint64_t bytes)
         return;
     ++prefetches_;
     inflight_[kernel_id] = loadTime(at, std::min(bytes, capacity_));
+    if (Tracer *tr = tracer(); tr && tr->enabled()) {
+        tr->span(tr->trackFor(name()),
+                 "prefetch kernel" + std::to_string(kernel_id),
+                 "kernel-load", at, inflight_[kernel_id],
+                 {{"bytes", static_cast<double>(bytes)}});
+    }
 }
 
 Tick
@@ -99,6 +106,12 @@ InstructionCache::fetchAt(Tick at, int kernel_id, std::uint64_t bytes)
     stallTicks_ += static_cast<double>(ready - at);
     if (cacheMode_)
         insert(kernel_id, bytes);
+    if (Tracer *tr = tracer(); tr && tr->enabled()) {
+        tr->span(tr->trackFor(name()),
+                 "load kernel" + std::to_string(kernel_id),
+                 "kernel-load", at, ready,
+                 {{"bytes", static_cast<double>(head)}});
+    }
     return ready;
 }
 

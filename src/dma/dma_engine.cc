@@ -4,6 +4,7 @@
 
 #include "dma/sparse_codec.hh"
 #include "sim/logging.hh"
+#include "sim/tracer.hh"
 
 namespace dtu
 {
@@ -220,6 +221,30 @@ DmaEngine::submitAt(Tick at, const DmaDescriptor &desc)
         // datapath; memory-side stalls surface through the endpoints'
         // own queues on the next transaction.
         t = std::max(engine_done, t);
+    }
+
+    // One span covers the whole request (all repeat transactions);
+    // per-transaction spans would swamp the timeline at no insight.
+    if (Tracer *tr = tracer(); tr && tr->enabled()) {
+        std::string label = memLevelName(desc.src);
+        label += "->";
+        label += memLevelName(desc.dst);
+        if (desc.broadcast)
+            label += " bcast";
+        if (desc.sparse)
+            label += " sparse";
+        if (desc.transform != TransformKind::None) {
+            label += " ";
+            label += transformName(desc.transform);
+        }
+        tr->span(tr->trackFor(name()), label, "dma",
+                 std::max(at, curTick()), result.done,
+                 {{"bytes", static_cast<double>(desc.bytes *
+                                               desc.repeatCount)},
+                  {"src_bytes", static_cast<double>(result.srcBytes)},
+                  {"dst_bytes", static_cast<double>(result.dstBytes)},
+                  {"repeats", static_cast<double>(desc.repeatCount)},
+                  {"configs", static_cast<double>(result.configs)}});
     }
     return result;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/tracer.hh"
 
 namespace dtu
 {
@@ -47,10 +48,39 @@ Cpme::returnBudget(Lpme &lpme, double watts)
             "reserve pool exceeded the power limit");
 }
 
+void
+Cpme::traceDvfsStep(std::size_t from_index, std::size_t to_index)
+{
+    if (!tracer_ || !tracer_->enabled())
+        return;
+    tracer_->instant(
+        tracer_->track("cpme", "dvfs"),
+        to_index > from_index ? "dvfs climb" : "dvfs coast", "dvfs",
+        traceTick_,
+        {{"from_ghz", policy_.ladderHz[from_index] / 1e9},
+         {"to_ghz", policy_.ladderHz[to_index] / 1e9}});
+}
+
 double
 Cpme::serviceWindow(Lpme &lpme, const ActivitySample &sample)
 {
+    if (tracer_ && tracer_->enabled()) {
+        tracer_->counter("cpme.reserve_watts", "W", traceTick_,
+                         reserveWatts_);
+    }
     LpmeDecision decision = lpme.onWindow(sample);
+    if (tracer_ && tracer_->enabled() &&
+        (decision.requestWatts > 0.0 || decision.returnWatts > 0.0)) {
+        tracer_->instant(
+            tracer_->track("cpme", "budget"),
+            decision.requestWatts > 0.0 ? "budget borrow"
+                                        : "budget return",
+            "power", traceTick_,
+            {{"watts", decision.requestWatts > 0.0
+                           ? decision.requestWatts
+                           : decision.returnWatts},
+             {"reserve_watts", reserveWatts_}});
+    }
     if (decision.requestWatts > 0.0) {
         double granted = requestBudget(lpme, decision.requestWatts);
         if (granted > 0.0 && sample.projectedWatts <= lpme.budgetWatts()) {
@@ -89,6 +119,7 @@ Cpme::regulate(const ActivitySample &aggregate, double desired_hz)
     else if (target < ladderIndex_)
         new_index = target; // coasting down is always integrity-safe
     if (new_index != ladderIndex_) {
+        traceDvfsStep(ladderIndex_, new_index);
         ladderIndex_ = new_index;
         ++frequencyChanges_;
     }
@@ -136,6 +167,7 @@ Cpme::onWindow(const ActivitySample &aggregate)
         --new_index;
     }
     if (new_index != ladderIndex_) {
+        traceDvfsStep(ladderIndex_, new_index);
         ladderIndex_ = new_index;
         ++frequencyChanges_;
         history_.clear();

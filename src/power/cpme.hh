@@ -19,9 +19,12 @@
 #include <vector>
 
 #include "power/lpme.hh"
+#include "sim/ticks.hh"
 
 namespace dtu
 {
+
+class Tracer;
 
 /** Workload classification used by the Evaluation stage. */
 enum class WorkloadClass
@@ -112,7 +115,24 @@ class Cpme
     unsigned frequencyChanges() const { return frequencyChanges_; }
     double totalGranted() const { return totalGranted_; }
 
+    //
+    // Timeline tracing. The CPME has no clock of its own: callers
+    // (the executor) stamp each observation window with
+    // beginTraceWindow() before invoking regulate()/serviceWindow(),
+    // and the DVFS steps and budget grants/returns of that window
+    // appear on the timeline at that simulated time.
+    //
+
+    /** Attach the chip tracer (null detaches). */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    /** Timestamp for the trace events of the coming window. */
+    void beginTraceWindow(Tick at) { traceTick_ = at; }
+
   private:
+    /** Emit a DVFS ladder-step instant event (no-op untraced). */
+    void traceDvfsStep(std::size_t from_index, std::size_t to_index);
+
     double limitWatts_;
     double reserveWatts_;
     DvfsPolicy policy_;
@@ -120,6 +140,8 @@ class Cpme
     std::deque<WorkloadClass> history_;
     unsigned frequencyChanges_ = 0;
     double totalGranted_ = 0.0;
+    Tracer *tracer_ = nullptr;
+    Tick traceTick_ = 0;
 };
 
 } // namespace dtu

@@ -6,7 +6,10 @@
 #include "core/matrix_engine.hh"
 #include "core/register_file.hh"
 #include "core/spu.hh"
+#include "graph/graph.hh"
+#include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/tracer.hh"
 
 namespace dtu
 {
@@ -50,6 +53,28 @@ Executor::run(const ExecutionPlan &plan, Tick start)
     Tick cursor = start;
     double freq_ticks_weighted = 0.0;
     double l3_bytes = 0.0;
+
+    //
+    // Timeline tracing: operator spans and the per-phase breakdown
+    // live on "runtime" tracks; the engines (DMA, icache, sync)
+    // contribute their own spans on the hardware track hierarchy,
+    // and counter tracks show the DVFS loop next to the operators
+    // that triggered it.
+    //
+    Tracer &tracer = dtu_.tracer();
+    if (options_.timeline || !options_.timelinePath.empty())
+        tracer.setEnabled(true);
+    const bool tl = tracer.enabled();
+    TrackId op_track, kernel_track, weights_track, dma_in_track,
+        dma_out_track, compute_track;
+    if (tl) {
+        op_track = tracer.track("runtime", "operators");
+        kernel_track = tracer.track("runtime", "phase.kernel-load");
+        weights_track = tracer.track("runtime", "phase.weight-stream");
+        dma_in_track = tracer.track("runtime", "phase.activation-in");
+        dma_out_track = tracer.track("runtime", "phase.activation-out");
+        compute_track = tracer.track("runtime", "phase.compute");
+    }
 
     // Does the previous operator's output stay resident in L2, and
     // how sparse did the previous operator leave it?
@@ -108,6 +133,12 @@ Executor::run(const ExecutionPlan &plan, Tick start)
                 l3_bytes += static_cast<double>(r.srcBytes);
             }
         }
+        if (tl && done > at) {
+            tracer.span(weights_track, "weights " + op.name,
+                        "weight-stream", at, done,
+                        {{"bytes",
+                          static_cast<double>(op.weightBytes)}});
+        }
         return done;
     };
 
@@ -131,6 +162,8 @@ Executor::run(const ExecutionPlan &plan, Tick start)
         const PlannedOp &op = plan.ops[oi];
         double freq = dtu_.coreFrequency();
         Tick op_start = cursor;
+        double op_joules_before = meter.joules();
+        double op_l3_before = l3_bytes;
 
         //
         // 1. Kernel code. Each group's lead core owns the fetch; the
@@ -148,6 +181,12 @@ Executor::run(const ExecutionPlan &plan, Tick start)
             }
         }
         Tick kernel_stall = code_ready - cursor;
+        if (tl && kernel_stall > 0) {
+            tracer.span(kernel_track, "kernel " + op.name,
+                        "kernel-load", op_start, code_ready,
+                        {{"bytes",
+                          static_cast<double>(op.kernelBytes)}});
+        }
 
         //
         // 2. Wait for this operator's (prefetched) weights, then
@@ -197,6 +236,12 @@ Executor::run(const ExecutionPlan &plan, Tick start)
                 if (!input_in_l2)
                     l3_bytes += static_cast<double>(r.srcBytes);
             }
+            if (tl && dma_in_done > code_ready) {
+                tracer.span(dma_in_track, "in " + op.name,
+                            "activation-dma", code_ready, dma_in_done,
+                            {{"bytes",
+                              static_cast<double>(op.inputBytes)}});
+            }
         }
 
         //
@@ -234,6 +279,12 @@ Executor::run(const ExecutionPlan &plan, Tick start)
                 dma_out_done = std::max(dma_out_done, r.done);
                 if (!output_fits_l2)
                     l3_bytes += static_cast<double>(r.dstBytes);
+            }
+            if (tl && dma_out_done > code_ready) {
+                tracer.span(dma_out_track, "out " + op.name,
+                            "activation-dma", code_ready, dma_out_done,
+                            {{"bytes",
+                              static_cast<double>(op.outputBytes)}});
             }
         }
 
@@ -278,6 +329,7 @@ Executor::run(const ExecutionPlan &plan, Tick start)
         // window toward it. Bandwidth-bound windows coast down and
         // cost (almost) nothing; compute-bound windows climb back.
         //
+        dtu_.cpme().beginTraceWindow(op_start);
         if (options_.powerManagement && config.dvfs.enabled) {
             double desired_hz = config.maxHz;
             if (dma_span > 0) {
@@ -304,6 +356,13 @@ Executor::run(const ExecutionPlan &plan, Tick start)
         auto compute_ticks = static_cast<Tick>(
             compute_cycles * static_cast<double>(ticksPerSecond) / freq +
             0.5);
+        if (tl && compute_ticks > 0) {
+            tracer.span(compute_track, op.name, "compute", code_ready,
+                        code_ready + compute_ticks,
+                        {{"macs", op.macs},
+                         {"utilization", op.utilization},
+                         {"ghz", freq / 1e9}});
+        }
 
         //
         // 6. Operator latency: pipelined phases overlap; the fill of
@@ -392,6 +451,30 @@ Executor::run(const ExecutionPlan &plan, Tick start)
                                     kernel_stall, freq / 1e9, throttle});
         }
 
+        if (tl) {
+            tracer.span(op_track, op.name, opKindName(op.anchor),
+                        op_start, op_end,
+                        {{"ghz", freq / 1e9},
+                         {"throttle", throttle},
+                         {"macs", op.macs},
+                         {"compute_us",
+                          ticksToMicroSeconds(compute_ticks)},
+                         {"dma_us", ticksToMicroSeconds(dma_span)}});
+            // Counter tracks: the DVFS loop and the power/bandwidth
+            // picture, sampled once per operator window.
+            tracer.counter("core_frequency_ghz", "GHz", op_start,
+                           freq / 1e9);
+            tracer.counter("power_watts", "W", op_start,
+                           (meter.joules() - op_joules_before) /
+                               op_seconds);
+            double hbm_bw = dtu_.hbm().totalBandwidth();
+            tracer.counter("hbm_bw_util", "ratio", op_start,
+                           hbm_bw > 0.0 ? (l3_bytes - op_l3_before) /
+                                              op_seconds / hbm_bw
+                                        : 0.0);
+            tracer.counter("throttle_level", "level", op_end, throttle);
+        }
+
         freq_ticks_weighted +=
             freq / 1e9 * static_cast<double>(op_ticks);
         input_in_l2 = output_fits_l2;
@@ -430,7 +513,43 @@ Executor::run(const ExecutionPlan &plan, Tick start)
         result.latency > 0
             ? freq_ticks_weighted / static_cast<double>(result.latency)
             : 0.0;
+
+    if (!options_.timelinePath.empty())
+        tracer.writeChromeTrace(options_.timelinePath);
     return result;
+}
+
+void
+writeJson(const ExecResult &result, std::ostream &os)
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("start_ticks", result.start)
+        .field("end_ticks", result.end)
+        .field("latency_ticks", result.latency)
+        .field("latency_ms", result.latencyMs())
+        .field("joules", result.joules)
+        .field("watts", result.watts)
+        .field("throughput_per_s", result.throughput)
+        .field("l3_bytes", result.l3Bytes)
+        .field("mean_frequency_ghz", result.meanFrequencyGHz);
+    json.key("operators").beginArray();
+    for (const OpTrace &op : result.trace) {
+        json.beginObject()
+            .field("name", op.name)
+            .field("kind", opKindName(op.anchor))
+            .field("start_ticks", op.start)
+            .field("end_ticks", op.end)
+            .field("compute_ticks", op.computeTicks)
+            .field("dma_ticks", op.dmaTicks)
+            .field("kernel_stall_ticks", op.kernelStallTicks)
+            .field("frequency_ghz", op.frequencyGHz)
+            .field("throttle", op.throttle)
+            .endObject();
+    }
+    json.endArray();
+    json.endObject();
+    os << "\n";
 }
 
 } // namespace dtu

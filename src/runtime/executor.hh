@@ -26,6 +26,7 @@
 #ifndef DTU_RUNTIME_EXECUTOR_HH
 #define DTU_RUNTIME_EXECUTOR_HH
 
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,20 @@ struct ExecOptions
     bool hostTransfers = true;
     /** Record a per-operator trace. */
     bool trace = false;
+    /**
+     * Emit timeline events into the chip's Tracer: operator and
+     * per-phase spans plus frequency/power/bandwidth/throttle counter
+     * tracks (see sim/tracer.hh). Enabling it here switches the chip
+     * tracer on; it stays on for subsequent runs on the same chip so
+     * back-to-back executions land on one timeline.
+     */
+    bool timeline = false;
+    /**
+     * When non-empty, write the chip's Chrome trace-event JSON here
+     * after run() completes (implies timeline). Open the file in
+     * https://ui.perfetto.dev or chrome://tracing.
+     */
+    std::string timelinePath{};
 };
 
 /** Per-operator execution record. */
@@ -95,6 +110,12 @@ struct ExecResult
 
     double latencyMs() const { return ticksToMilliSeconds(latency); }
 };
+
+/**
+ * Serialize an ExecResult as JSON: the summary scalars plus, when the
+ * run recorded a per-operator trace, one record per operator.
+ */
+void writeJson(const ExecResult &result, std::ostream &os);
 
 /** Executes plans on a leased set of processing groups. */
 class Executor

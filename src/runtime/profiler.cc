@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iomanip>
 
+#include "sim/json.hh"
 #include "sim/logging.hh"
 
 namespace dtu
@@ -88,6 +89,48 @@ Profile::print(std::ostream &os) const
        << 100.0 * overlap_ << "%, DVFS changes: " << freqChanges_
        << "\n";
     os.unsetf(std::ios::fixed);
+}
+
+void
+Profile::writeJson(std::ostream &os) const
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("latency_ticks", latency_)
+        .field("latency_ms", ticksToMilliSeconds(latency_))
+        .field("operators", static_cast<std::uint64_t>(trace_.size()))
+        .field("compute_bound_fraction", computeBound_)
+        .field("overlap_efficiency", overlap_)
+        .field("frequency_changes", freqChanges_);
+    json.key("by_kind").beginArray();
+    for (const KindSummary &k : byKind_) {
+        json.beginObject()
+            .field("kind", k.kind)
+            .field("ops", k.ops)
+            .field("total_ticks", k.totalTicks)
+            .field("compute_ticks", k.computeTicks)
+            .field("dma_ticks", k.dmaTicks)
+            .field("share", k.share)
+            .endObject();
+    }
+    json.endArray();
+    json.key("trace").beginArray();
+    for (const OpTrace &op : trace_) {
+        json.beginObject()
+            .field("name", op.name)
+            .field("kind", opKindName(op.anchor))
+            .field("start_ticks", op.start)
+            .field("end_ticks", op.end)
+            .field("compute_ticks", op.computeTicks)
+            .field("dma_ticks", op.dmaTicks)
+            .field("kernel_stall_ticks", op.kernelStallTicks)
+            .field("frequency_ghz", op.frequencyGHz)
+            .field("throttle", op.throttle)
+            .endObject();
+    }
+    json.endArray();
+    json.endObject();
+    os << "\n";
 }
 
 } // namespace dtu

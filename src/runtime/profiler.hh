@@ -57,6 +57,13 @@ class Profile
     /** Pretty-print the standard report. */
     void print(std::ostream &os) const;
 
+    /**
+     * Serialize the aggregated profile as JSON: latency, the by-kind
+     * table, the overlap/compute-bound/DVFS summary scalars, and the
+     * full per-operator trace.
+     */
+    void writeJson(std::ostream &os) const;
+
   private:
     Tick latency_ = 0;
     std::vector<KindSummary> byKind_;

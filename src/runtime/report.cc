@@ -3,6 +3,7 @@
 #include <cmath>
 #include <iomanip>
 
+#include "sim/json.hh"
 #include "sim/logging.hh"
 
 namespace dtu
@@ -78,6 +79,34 @@ ReportTable::cell(std::size_t row, std::size_t column) const
     fatalIf(row >= rows_.size(), "table row out of range");
     fatalIf(column >= rows_[row].cells.size(), "table column out of range");
     return rows_[row].cells[column];
+}
+
+const std::string &
+ReportTable::rowLabel(std::size_t row) const
+{
+    fatalIf(row >= rows_.size(), "table row out of range");
+    return rows_[row].label;
+}
+
+void
+ReportTable::writeJson(std::ostream &os) const
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.key("columns").beginArray();
+    for (const std::string &c : columns_)
+        json.value(c);
+    json.endArray();
+    json.key("rows").beginArray();
+    for (const Row &row : rows_) {
+        json.beginObject();
+        json.field(columns_[0], row.label);
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            json.field(columns_[c + 1], row.cells[c]);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
 }
 
 void

@@ -34,9 +34,22 @@ class ReportTable
     /** Render with aligned columns. */
     void print(std::ostream &os = std::cout, int precision = 3) const;
 
+    /**
+     * Serialize the table as JSON: the column headers plus one object
+     * per row keyed by column name. Diffable counterpart of print()
+     * for regression tracking (see the bench --json mode).
+     */
+    void writeJson(std::ostream &os) const;
+
     /** Cell accessor for tests: row r (insertion order), column c. */
     double cell(std::size_t row, std::size_t column) const;
     std::size_t rows() const { return rows_.size(); }
+
+    /** Header labels; [0] is the row-label column. */
+    const std::vector<std::string> &columns() const { return columns_; }
+
+    /** Label of row @p row (insertion order). */
+    const std::string &rowLabel(std::size_t row) const;
 
   private:
     std::vector<std::string> columns_;

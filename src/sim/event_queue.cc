@@ -9,6 +9,18 @@ Event::Event(std::function<void()> callback, std::string name)
     : callback_(std::move(callback)), name_(std::move(name))
 {}
 
+EventQueue::EventQueue()
+{
+    // Timestamp warn()/inform() with this queue's simulated time.
+    setLogClock(this);
+}
+
+EventQueue::~EventQueue()
+{
+    if (logClock() == this)
+        setLogClock(nullptr);
+}
+
 Event::~Event()
 {
     if (scheduled_ && queue_)

@@ -70,7 +70,9 @@ class Event
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    /** Registers this queue as the log clock (see setLogClock). */
+    EventQueue();
+    ~EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 

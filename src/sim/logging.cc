@@ -1,19 +1,64 @@
 #include "sim/logging.hh"
 
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
+#include <optional>
+
+#include "sim/event_queue.hh"
 
 namespace dtu
 {
 
 namespace
 {
+
 bool gLoggingEnabled = false;
+const EventQueue *gLogClock = nullptr;
+
+/** Parse DTU_LOG once; nullopt when unset or unrecognized. */
+std::optional<bool>
+envOverride()
+{
+    static const std::optional<bool> parsed = []() -> std::optional<bool> {
+        const char *raw = std::getenv("DTU_LOG");
+        if (!raw)
+            return std::nullopt;
+        std::string v(raw);
+        for (char &c : v)
+            c = static_cast<char>(std::tolower(c));
+        if (v == "1" || v == "on" || v == "true" || v == "yes")
+            return true;
+        if (v == "0" || v == "off" || v == "false" || v == "no" ||
+            v.empty())
+            return false;
+        return std::nullopt;
+    }();
+    return parsed;
+}
+
+/** "[WARN][t=1234ps] " style prefix for one severity. */
+std::string
+prefix(const char *severity)
+{
+    std::string p = "[";
+    p += severity;
+    p += "]";
+    if (gLogClock) {
+        p += "[t=";
+        p += std::to_string(gLogClock->now());
+        p += "ps]";
+    }
+    p += " ";
+    return p;
+}
+
 } // namespace
 
 bool
 loggingEnabled()
 {
-    return gLoggingEnabled;
+    return envOverride().value_or(gLoggingEnabled);
 }
 
 void
@@ -23,17 +68,29 @@ setLoggingEnabled(bool enabled)
 }
 
 void
+setLogClock(const EventQueue *queue)
+{
+    gLogClock = queue;
+}
+
+const EventQueue *
+logClock()
+{
+    return gLogClock;
+}
+
+void
 warn(const std::string &msg)
 {
-    if (gLoggingEnabled)
-        std::cerr << "warn: " << msg << "\n";
+    if (loggingEnabled())
+        std::cerr << prefix("WARN") << msg << "\n";
 }
 
 void
 inform(const std::string &msg)
 {
-    if (gLoggingEnabled)
-        std::cout << "info: " << msg << "\n";
+    if (loggingEnabled())
+        std::cout << prefix("INFO") << msg << "\n";
 }
 
 } // namespace dtu

@@ -89,16 +89,40 @@ fatal(const Args &...args)
     throw FatalError("fatal: " + csprintf(args...));
 }
 
-/** True when warn()/inform() output is enabled (off during tests). */
+class EventQueue;
+
+/**
+ * True when warn()/inform() output is enabled (off during tests).
+ *
+ * The DTU_LOG environment variable overrides whatever
+ * setLoggingEnabled() selected: DTU_LOG=1/on/true forces output on,
+ * DTU_LOG=0/off/false forces it off. Useful to surface warnings from
+ * test binaries or silence chatty benchmarks without recompiling.
+ */
 bool loggingEnabled();
 
-/** Enable or disable warn()/inform() console output. */
+/** Enable or disable warn()/inform() console output (see DTU_LOG). */
 void setLoggingEnabled(bool enabled);
 
-/** Print a warning about possibly-incorrect behaviour. */
+/**
+ * Register the event queue whose now() timestamps log messages.
+ * Pass nullptr to unregister. Each EventQueue registers itself on
+ * construction (last one constructed wins — with several coexisting
+ * simulations, timestamps follow the most recent chip).
+ */
+void setLogClock(const EventQueue *queue);
+
+/** The currently registered log clock (may be null). */
+const EventQueue *logClock();
+
+/**
+ * Print a warning about possibly-incorrect behaviour, prefixed with
+ * severity and, when a log clock is registered, the simulated time:
+ * "[WARN][t=1234ps] ...".
+ */
 void warn(const std::string &msg);
 
-/** Print an informational status message. */
+/** Print an informational status message (same format, [INFO]). */
 void inform(const std::string &msg);
 
 /**

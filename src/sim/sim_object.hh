@@ -19,6 +19,7 @@ namespace dtu
 {
 
 class StatRegistry;
+class Tracer;
 
 /** A named component attached to an event queue and a stat registry. */
 class SimObject
@@ -51,10 +52,15 @@ class SimObject
     /** The stat registry, or null. */
     StatRegistry *statRegistry() const { return stats_; }
 
+    /** The timeline tracer, or null (wired by the owning chip). */
+    Tracer *tracer() const { return tracer_; }
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
   private:
     std::string name_;
     EventQueue &queue_;
     StatRegistry *stats_;
+    Tracer *tracer_ = nullptr;
 };
 
 } // namespace dtu

@@ -1,9 +1,11 @@
 #include "sim/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <limits>
 
+#include "sim/json.hh"
 #include "sim/logging.hh"
 
 namespace dtu
@@ -35,6 +37,10 @@ Histogram::init(StatRegistry &registry, std::string name,
 void
 Histogram::sample(double v)
 {
+    if (std::isnan(v)) {
+        warn(csprintf("histogram '", name_, "': NaN sample dropped"));
+        return;
+    }
     if (count_ == 0) {
         min_ = v;
         max_ = v;
@@ -44,12 +50,21 @@ Histogram::sample(double v)
     }
     ++count_;
     sum_ += v;
-    double frac = (v - lo_) / (hi_ - lo_);
-    auto idx = static_cast<std::int64_t>(
-        frac * static_cast<double>(counts_.size()));
-    idx = std::clamp<std::int64_t>(
-        idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
-    ++counts_[static_cast<std::size_t>(idx)];
+    // Out-of-range samples clamp into the edge buckets (see the
+    // header); the explicit comparisons also keep +/-inf and values
+    // whose scaled fraction would overflow the cast well-defined.
+    std::size_t idx;
+    if (v < lo_) {
+        idx = 0;
+    } else if (v >= hi_) {
+        idx = counts_.size() - 1;
+    } else {
+        double frac = (v - lo_) / (hi_ - lo_);
+        idx = std::min(counts_.size() - 1,
+                       static_cast<std::size_t>(
+                           frac * static_cast<double>(counts_.size())));
+    }
+    ++counts_[idx];
 }
 
 void
@@ -82,7 +97,21 @@ double
 StatRegistry::lookup(const std::string &name) const
 {
     auto it = scalars_.find(name);
-    return it == scalars_.end() ? 0.0 : it->second->value();
+    if (it == scalars_.end()) {
+        warn(csprintf("lookup of unknown stat '", name,
+                      "' returns 0.0 (misspelled name?)"));
+        return 0.0;
+    }
+    return it->second->value();
+}
+
+std::optional<double>
+StatRegistry::tryLookup(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    if (it == scalars_.end())
+        return std::nullopt;
+    return it->second->value();
 }
 
 bool
@@ -130,6 +159,43 @@ StatRegistry::dump(std::ostream &os) const
     }
 }
 
+void
+StatRegistry::dumpJson(std::ostream &os) const
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.key("scalars").beginObject();
+    for (const auto &[name, stat] : scalars_) {
+        json.key(name).beginObject();
+        json.field("value", stat->value());
+        if (!stat->description().empty())
+            json.field("description", stat->description());
+        json.endObject();
+    }
+    json.endObject();
+    json.key("histograms").beginObject();
+    for (const auto &[name, histogram] : histograms_) {
+        json.key(name).beginObject();
+        json.field("count", histogram->count())
+            .field("sum", histogram->sum())
+            .field("mean", histogram->mean())
+            .field("min", histogram->min())
+            .field("max", histogram->max())
+            .field("lo", histogram->lo())
+            .field("hi", histogram->hi());
+        if (!histogram->description().empty())
+            json.field("description", histogram->description());
+        json.key("buckets").beginArray();
+        for (std::uint64_t b : histogram->buckets())
+            json.value(b);
+        json.endArray();
+        json.endObject();
+    }
+    json.endObject();
+    json.endObject();
+    os << "\n";
+}
+
 std::vector<std::string>
 StatRegistry::scalarNames() const
 {
@@ -138,6 +204,23 @@ StatRegistry::scalarNames() const
     for (const auto &[name, stat] : scalars_)
         names.push_back(name);
     return names;
+}
+
+std::vector<std::string>
+StatRegistry::histogramNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(histograms_.size());
+    for (const auto &[name, histogram] : histograms_)
+        names.push_back(name);
+    return names;
+}
+
+const Histogram *
+StatRegistry::histogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second;
 }
 
 } // namespace dtu

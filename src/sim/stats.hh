@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -69,15 +70,29 @@ class Histogram
               std::string description, double lo, double hi,
               std::size_t buckets);
 
-    /** Record one sample. */
+    /**
+     * Record one sample.
+     *
+     * Out-of-range samples clamp into the edge buckets: v < lo counts
+     * in the first bucket, v >= hi in the last. min()/max()/count()
+     * and the sum still see the raw value, so the tails remain
+     * visible even when the configured range was too narrow. NaN
+     * samples are dropped with a warn() — they carry no position.
+     */
     void sample(double v);
 
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
     double min() const { return min_; }
     double max() const { return max_; }
+    double sum() const { return sum_; }
+    /** Lower bound of the first bucket. */
+    double lo() const { return lo_; }
+    /** Upper bound of the last bucket. */
+    double hi() const { return hi_; }
     const std::vector<std::uint64_t> &buckets() const { return counts_; }
     const std::string &name() const { return name_; }
+    const std::string &description() const { return description_; }
 
     void reset();
 
@@ -114,9 +129,17 @@ class StatRegistry
 
     /**
      * Look up a scalar stat by exact name.
-     * @return the value, or 0.0 when absent.
+     * @return the value, or 0.0 when absent (with a warn(), so a
+     *         misspelled name cannot silently read zeros — prefer
+     *         tryLookup() when absence is expected).
      */
     double lookup(const std::string &name) const;
+
+    /**
+     * Look up a scalar stat by exact name without warning.
+     * @return the value, or nullopt when no such stat exists.
+     */
+    std::optional<double> tryLookup(const std::string &name) const;
 
     /** True when a scalar stat with this exact name exists. */
     bool has(const std::string &name) const;
@@ -130,8 +153,21 @@ class StatRegistry
     /** Dump all stats sorted by name, "name value # description". */
     void dump(std::ostream &os) const;
 
+    /**
+     * Dump every stat as JSON: scalars with value + description, and
+     * histograms in full (count, sum, mean, min, max, the configured
+     * [lo, hi) range, and every bucket — which the text dump drops).
+     */
+    void dumpJson(std::ostream &os) const;
+
     /** Names of all registered scalar stats (sorted). */
     std::vector<std::string> scalarNames() const;
+
+    /** Names of all registered histograms (sorted). */
+    std::vector<std::string> histogramNames() const;
+
+    /** Find a histogram by exact name, or nullptr. */
+    const Histogram *histogram(const std::string &name) const;
 
   private:
     std::map<std::string, Stat *> scalars_;

@@ -1,0 +1,249 @@
+#include "sim/tracer.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+namespace
+{
+
+/** Chrome trace timestamps are microseconds; ticks are picoseconds. */
+double
+ticksToTraceUs(Tick t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+} // namespace
+
+TrackId
+Tracer::track(const std::string &process, const std::string &thread)
+{
+    auto [pit, pnew] = processes_.try_emplace(
+        process, static_cast<std::uint32_t>(processes_.size() +
+                                            counters_.size() + 1));
+    (void)pnew;
+    std::uint32_t pid = pit->second;
+    auto [tit, tnew] = threads_.try_emplace(
+        {pid, thread}, static_cast<std::uint32_t>(threads_.size() + 1));
+    (void)tnew;
+    return TrackId{pid, tit->second};
+}
+
+TrackId
+Tracer::trackFor(const std::string &hierarchical_name)
+{
+    auto dot = hierarchical_name.rfind('.');
+    if (dot == std::string::npos || dot == 0 ||
+        dot + 1 == hierarchical_name.size())
+        return track(hierarchical_name, "main");
+    return track(hierarchical_name.substr(0, dot),
+                 hierarchical_name.substr(dot + 1));
+}
+
+std::uint32_t
+Tracer::counterPid(const std::string &counter_name)
+{
+    auto [it, fresh] = counters_.try_emplace(
+        counter_name, static_cast<std::uint32_t>(processes_.size() +
+                                                 counters_.size() + 1));
+    (void)fresh;
+    return it->second;
+}
+
+std::size_t
+Tracer::trackCount() const
+{
+    return threads_.size() + counters_.size();
+}
+
+void
+Tracer::span(TrackId track, const std::string &name,
+             const std::string &category, Tick start, Tick end,
+             TraceArgs args)
+{
+    if (!enabled_)
+        return;
+    if (end < start)
+        end = start;
+    TraceEvent e;
+    e.kind = Kind::Span;
+    e.pid = track.pid;
+    e.tid = track.tid;
+    e.name = name;
+    e.category = category;
+    e.start = start;
+    e.end = end;
+    e.args = std::move(args);
+    events_.push_back(std::move(e));
+}
+
+void
+Tracer::instant(TrackId track, const std::string &name,
+                const std::string &category, Tick at, TraceArgs args)
+{
+    if (!enabled_)
+        return;
+    TraceEvent e;
+    e.kind = Kind::Instant;
+    e.pid = track.pid;
+    e.tid = track.tid;
+    e.name = name;
+    e.category = category;
+    e.start = at;
+    e.end = at;
+    e.args = std::move(args);
+    events_.push_back(std::move(e));
+}
+
+void
+Tracer::counter(const std::string &counter_name,
+                const std::string &series_key, Tick at, double value)
+{
+    if (!enabled_)
+        return;
+    TraceEvent e;
+    e.kind = Kind::Counter;
+    e.pid = counterPid(counter_name);
+    e.tid = 0;
+    e.name = counter_name;
+    e.start = at;
+    e.end = at;
+    e.value = value;
+    e.seriesKey = series_key;
+    events_.push_back(std::move(e));
+}
+
+void
+Tracer::exportChromeTrace(std::ostream &os) const
+{
+    // Sort by start tick (stable: emission order breaks ties) so the
+    // file is monotonic in `ts`, which simplifies diffing and lets
+    // consumers stream it.
+    std::vector<const TraceEvent *> ordered;
+    ordered.reserve(events_.size());
+    for (const TraceEvent &e : events_)
+        ordered.push_back(&e);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const TraceEvent *a, const TraceEvent *b) {
+                         return a->start < b->start;
+                     });
+
+    JsonWriter json(os, 0);
+    json.beginObject();
+    json.key("displayTimeUnit").value("ns");
+    json.key("traceEvents");
+    json.beginArray();
+
+    // Track metadata: names and a stable sort order.
+    for (const auto &[process, pid] : processes_) {
+        json.beginObject()
+            .field("ph", "M")
+            .field("name", "process_name")
+            .field("pid", static_cast<std::uint64_t>(pid))
+            .key("args")
+            .beginObject()
+            .field("name", process)
+            .endObject()
+            .endObject();
+        json.beginObject()
+            .field("ph", "M")
+            .field("name", "process_sort_index")
+            .field("pid", static_cast<std::uint64_t>(pid))
+            .key("args")
+            .beginObject()
+            .field("sort_index", static_cast<std::uint64_t>(pid))
+            .endObject()
+            .endObject();
+    }
+    for (const auto &[key, tid] : threads_) {
+        // Find the thread's display name from the (pid, name) key.
+        json.beginObject()
+            .field("ph", "M")
+            .field("name", "thread_name")
+            .field("pid", static_cast<std::uint64_t>(key.first))
+            .field("tid", static_cast<std::uint64_t>(tid))
+            .key("args")
+            .beginObject()
+            .field("name", key.second)
+            .endObject()
+            .endObject();
+    }
+    for (const auto &[counter_name, pid] : counters_) {
+        json.beginObject()
+            .field("ph", "M")
+            .field("name", "process_name")
+            .field("pid", static_cast<std::uint64_t>(pid))
+            .key("args")
+            .beginObject()
+            .field("name", counter_name)
+            .endObject()
+            .endObject();
+    }
+
+    for (const TraceEvent *e : ordered) {
+        json.beginObject();
+        switch (e->kind) {
+          case Kind::Span:
+            json.field("ph", "X")
+                .field("name", e->name)
+                .field("cat", e->category.empty() ? "span" : e->category)
+                .field("pid", static_cast<std::uint64_t>(e->pid))
+                .field("tid", static_cast<std::uint64_t>(e->tid))
+                .field("ts", ticksToTraceUs(e->start))
+                .field("dur", ticksToTraceUs(e->end - e->start));
+            break;
+          case Kind::Instant:
+            json.field("ph", "i")
+                .field("name", e->name)
+                .field("cat", e->category.empty() ? "event" : e->category)
+                .field("s", "t") // thread-scoped instant
+                .field("pid", static_cast<std::uint64_t>(e->pid))
+                .field("tid", static_cast<std::uint64_t>(e->tid))
+                .field("ts", ticksToTraceUs(e->start));
+            break;
+          case Kind::Counter:
+            json.field("ph", "C")
+                .field("name", e->name)
+                .field("pid", static_cast<std::uint64_t>(e->pid))
+                .field("tid", std::uint64_t{0})
+                .field("ts", ticksToTraceUs(e->start));
+            break;
+        }
+        if (e->kind == Kind::Counter) {
+            json.key("args")
+                .beginObject()
+                .field(e->seriesKey.empty() ? "value" : e->seriesKey,
+                       e->value)
+                .endObject();
+        } else if (!e->args.empty()) {
+            json.key("args").beginObject();
+            for (const auto &[k, v] : e->args)
+                json.field(k, v);
+            json.endObject();
+        }
+        json.endObject();
+    }
+
+    json.endArray();
+    json.endObject();
+    os << "\n";
+}
+
+void
+Tracer::writeChromeTrace(const std::string &path) const
+{
+    std::ofstream file(path);
+    fatalIf(!file, "cannot open trace output file '", path, "'");
+    exportChromeTrace(file);
+    fatalIf(!file.good(), "error writing trace to '", path, "'");
+    inform(csprintf("wrote timeline trace (", events_.size(),
+                    " events, ", trackCount(), " tracks) to ", path));
+}
+
+} // namespace dtu

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Chip-wide timeline tracing for dtusim.
+ *
+ * Engines emit typed events into the chip's Tracer:
+ *
+ *  - duration spans (operator execution, DMA transfers, kernel code
+ *    loads, semaphore waits) attributed to a two-level track
+ *    hierarchy: a *process* for each hardware block (e.g.
+ *    "dtu2.cluster0.pg1") and a *thread* for each engine inside it
+ *    ("dma", "icache0", "sync"), mirroring the SimObject naming
+ *    hierarchy;
+ *  - instant events (DVFS ladder steps, power-budget grants);
+ *  - counter tracks sampled over simulated time (core frequency in
+ *    GHz, power in watts, HBM bandwidth utilization, throttle level).
+ *
+ * The collected timeline exports as Chrome trace-event JSON (the
+ * "JSON Array Format"), which loads directly into Perfetto
+ * (https://ui.perfetto.dev) or chrome://tracing. Timestamps convert
+ * from ticks (picoseconds) to the microseconds the format expects.
+ *
+ * Tracing is off by default and costs one branch per emission site
+ * when disabled. The Tracer is owned by the Dtu, alongside the
+ * StatRegistry, so independent simulated chips keep independent
+ * timelines.
+ */
+
+#ifndef DTU_SIM_TRACER_HH
+#define DTU_SIM_TRACER_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace dtu
+{
+
+/** Identifies one (process, thread) timeline track. */
+struct TrackId
+{
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+};
+
+/** Optional key/value annotations attached to a span or instant. */
+using TraceArgs = std::vector<std::pair<std::string, double>>;
+
+/** Collects timeline events and exports Chrome trace-event JSON. */
+class Tracer
+{
+  public:
+    Tracer() = default;
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** True when emission sites should record events. */
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+
+    /**
+     * Resolve (and lazily create) the track for @p process /
+     * @p thread. Track ids are stable for the Tracer's lifetime.
+     */
+    TrackId track(const std::string &process, const std::string &thread);
+
+    /**
+     * Resolve a track from a hierarchical SimObject name by splitting
+     * at the last '.': "dtu2.cluster0.pg1.dma" becomes process
+     * "dtu2.cluster0.pg1", thread "dma".
+     */
+    TrackId trackFor(const std::string &hierarchical_name);
+
+    /** Record a duration span [start, end] on @p track. */
+    void span(TrackId track, const std::string &name,
+              const std::string &category, Tick start, Tick end,
+              TraceArgs args = {});
+
+    /** Record an instantaneous event at @p at. */
+    void instant(TrackId track, const std::string &name,
+                 const std::string &category, Tick at,
+                 TraceArgs args = {});
+
+    /**
+     * Record one sample of counter track @p counter_name. Each
+     * counter name is its own Perfetto counter track; @p series_key
+     * labels the value inside it (e.g. "GHz", "W").
+     */
+    void counter(const std::string &counter_name,
+                 const std::string &series_key, Tick at, double value);
+
+    /** Events recorded so far (spans + instants + counter samples). */
+    std::size_t eventCount() const { return events_.size(); }
+
+    /** Distinct (process, thread) tracks created so far. */
+    std::size_t trackCount() const;
+
+    /** Drop all recorded events (track ids remain valid). */
+    void clear() { events_.clear(); }
+
+    /**
+     * Export everything as Chrome trace-event JSON. Events are sorted
+     * by timestamp; process/thread metadata records name the tracks.
+     */
+    void exportChromeTrace(std::ostream &os) const;
+
+    /** exportChromeTrace into a file; fatal() on I/O failure. */
+    void writeChromeTrace(const std::string &path) const;
+
+  private:
+    enum class Kind
+    {
+        Span,
+        Instant,
+        Counter,
+    };
+
+    struct TraceEvent
+    {
+        Kind kind = Kind::Span;
+        std::uint32_t pid = 0;
+        std::uint32_t tid = 0;
+        std::string name;
+        std::string category;
+        Tick start = 0;
+        Tick end = 0;
+        double value = 0.0; ///< counter sample value
+        std::string seriesKey;
+        TraceArgs args;
+    };
+
+    /** pid for a counter track, all grouped under one process. */
+    std::uint32_t counterPid(const std::string &counter_name);
+
+    bool enabled_ = false;
+    std::map<std::string, std::uint32_t> processes_;
+    /** (pid, thread name) -> tid. */
+    std::map<std::pair<std::uint32_t, std::string>, std::uint32_t> threads_;
+    std::map<std::string, std::uint32_t> counters_;
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace dtu
+
+#endif // DTU_SIM_TRACER_HH

@@ -68,6 +68,18 @@ Dtu::Dtu(const DtuConfig &config)
             cpme_->attach(pg.dmaLpme());
         }
     }
+    cpme_->setTracer(&tracer_);
+
+    // Wire every engine that emits timeline events to the chip tracer.
+    for (auto &cluster : clusters_) {
+        for (unsigned g = 0; g < cluster->numGroups(); ++g) {
+            ProcessingGroup &pg = cluster->group(g);
+            pg.dma().setTracer(&tracer_);
+            pg.sync().setTracer(&tracer_);
+            for (unsigned i = 0; i < pg.numCores(); ++i)
+                pg.icache(i).setTracer(&tracer_);
+        }
+    }
 }
 
 ProcessingGroup &

@@ -18,6 +18,7 @@
 
 #include "power/cpme.hh"
 #include "power/power_model.hh"
+#include "sim/tracer.hh"
 #include "soc/config.hh"
 #include "soc/processing_group.hh"
 
@@ -54,6 +55,8 @@ class Dtu
     const DtuConfig &config() const { return config_; }
     EventQueue &eventQueue() { return queue_; }
     StatRegistry &stats() { return stats_; }
+    /** The chip-wide timeline tracer (disabled until enabled). */
+    Tracer &tracer() { return tracer_; }
     Hbm &hbm() { return *hbm_; }
     BandwidthResource &pcie() { return *pcie_; }
     Cpme &cpme() { return *cpme_; }
@@ -86,6 +89,7 @@ class Dtu
     DtuConfig config_;
     EventQueue queue_;
     StatRegistry stats_;
+    Tracer tracer_;
     std::unique_ptr<Hbm> hbm_;
     std::unique_ptr<BandwidthResource> pcie_;
     std::vector<std::unique_ptr<ClockDomain>> coreClocks_;

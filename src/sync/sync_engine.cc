@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/tracer.hh"
 
 namespace dtu
 {
@@ -47,6 +48,11 @@ SyncEngine::waitUntil(int sem, unsigned count, Tick at)
     Tick released = std::max(at, available);
     ++waits_;
     waitTicks_ += static_cast<double>(released - at);
+    if (Tracer *tr = tracer(); tr && tr->enabled() && released > at) {
+        tr->span(tr->trackFor(name()),
+                 "wait sem" + std::to_string(sem), "sync", at, released,
+                 {{"count", static_cast<double>(count)}});
+    }
     return released;
 }
 
