@@ -6,10 +6,12 @@
 #ifndef DTU_BENCH_BENCH_COMMON_HH
 #define DTU_BENCH_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -47,22 +49,46 @@ namespace bench
 class BenchOutput
 {
   public:
-    BenchOutput(int argc, char **argv, std::string bench_name)
+    /**
+     * @param value_flags extra accepted flags that take one value
+     *        (e.g. {"--timeline"}); read them back with option().
+     */
+    BenchOutput(int argc, char **argv, std::string bench_name,
+                std::vector<std::string> value_flags = {})
         : benchName_(std::move(bench_name))
     {
+        auto usage = [&] {
+            std::string line = "[--json <path>]";
+            for (const std::string &flag : value_flags)
+                line += " [" + flag + " <value>]";
+            return line;
+        };
         for (int i = 1; i < argc; ++i) {
             std::string arg = argv[i];
             if (arg == "--json") {
                 fatalIf(i + 1 >= argc, "--json requires a file path");
                 jsonPath_ = argv[++i];
+            } else if (std::find(value_flags.begin(), value_flags.end(),
+                                 arg) != value_flags.end()) {
+                fatalIf(i + 1 >= argc, arg, " requires a value");
+                options_[arg] = argv[++i];
             } else if (arg == "--help" || arg == "-h") {
-                std::printf("usage: %s [--json <path>]\n", argv[0]);
+                std::printf("usage: %s %s\n", argv[0], usage().c_str());
                 std::exit(0);
             } else {
-                fatal("unknown argument '", arg,
-                      "' (usage: ", argv[0], " [--json <path>])");
+                fatal("unknown argument '", arg, "' (usage: ", argv[0],
+                      " ", usage(), ")");
             }
         }
+    }
+
+    /** Value of an extra flag, or "" when it was not given. */
+    const std::string &
+    option(const std::string &flag) const
+    {
+        static const std::string kEmpty;
+        auto it = options_.find(flag);
+        return it == options_.end() ? kEmpty : it->second;
     }
 
     /** Record a named table (serialized immediately, copy-free). */
@@ -113,6 +139,7 @@ class BenchOutput
   private:
     std::string benchName_;
     std::string jsonPath_;
+    std::map<std::string, std::string> options_;
     std::vector<std::pair<std::string, double>> metrics_;
     std::vector<std::pair<std::string, std::string>> tables_;
 };

@@ -1,0 +1,41 @@
+#include "api/server.hh"
+
+namespace dtu
+{
+
+Server::Server(Device &device, serve::ServingConfig config)
+    : device_(device), config_(config),
+      scheduler_(device.chip(), device.resources(), config)
+{}
+
+std::uint64_t
+Server::submit(const std::string &model, Tick arrival, Tick deadline)
+{
+    serve::Request r;
+    r.id = nextId_++;
+    r.model = model;
+    r.arrival = arrival;
+    r.deadline = deadline;
+    pending_.push_back(std::move(r));
+    return pending_.back().id;
+}
+
+void
+Server::submit(const std::vector<serve::Request> &trace)
+{
+    pending_.reserve(pending_.size() + trace.size());
+    for (serve::Request r : trace) {
+        r.id = nextId_++;
+        pending_.push_back(std::move(r));
+    }
+}
+
+const serve::ServingReport &
+Server::serve()
+{
+    last_ = scheduler_.serve(std::move(pending_));
+    pending_.clear();
+    return last_;
+}
+
+} // namespace dtu

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The inference-server facade — the top of the redesigned host API.
+ *
+ * A Server owns the serving pipeline over an open Device: clients
+ * submit timestamped requests (or whole arrival traces from
+ * serve/arrival.hh), serve() drains them through the dynamic batcher
+ * onto the device's processing-group leases, and the returned
+ * ServingReport carries the SLO picture (p50/p95/p99, goodput,
+ * deadline misses, energy per request).
+ *
+ *   Device device;
+ *   Server server(device, {.batching = {.maxBatch = 8,
+ *                                       .maxQueueDelay =
+ *                                           secondsToTicks(2e-3)}});
+ *   server.submit("resnet50", arrival, deadline);
+ *   server.submit(serve::poissonTrace("bert_large", 200, 64, seed));
+ *   serve::ServingReport report = server.serve();
+ *
+ * The Server shares the device's ResourceManager with any live
+ * Streams: streams keep their leases, the batcher works in whatever
+ * capacity remains.
+ */
+
+#ifndef DTU_API_SERVER_HH
+#define DTU_API_SERVER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/tops_runtime.hh"
+#include "serve/scheduler.hh"
+
+namespace dtu
+{
+
+/** Request-level serving on top of a Device. */
+class Server
+{
+  public:
+    explicit Server(Device &device, serve::ServingConfig config = {});
+
+    /**
+     * Submit one request.
+     * @param deadline absolute completion deadline (0 = no SLO).
+     * @return the assigned request id.
+     */
+    std::uint64_t submit(const std::string &model, Tick arrival,
+                         Tick deadline = 0);
+
+    /**
+     * Submit a whole arrival trace (ids are reassigned so the
+     * combined submission stream stays uniquely identified).
+     */
+    void submit(const std::vector<serve::Request> &trace);
+
+    /** Requests submitted and not yet served. */
+    std::size_t pending() const { return pending_.size(); }
+
+    /**
+     * Drain everything submitted so far and return the aggregated
+     * report (also retained; see lastReport()). Subsequent submits
+     * start a fresh trace.
+     */
+    const serve::ServingReport &serve();
+
+    /** Report of the most recent serve(). */
+    const serve::ServingReport &lastReport() const { return last_; }
+
+    const serve::ServingConfig &config() const { return config_; }
+
+  private:
+    Device &device_;
+    serve::ServingConfig config_;
+    serve::Scheduler scheduler_;
+    std::vector<serve::Request> pending_;
+    std::uint64_t nextId_ = 1;
+    serve::ServingReport last_;
+};
+
+} // namespace dtu
+
+#endif // DTU_API_SERVER_HH

@@ -1,5 +1,7 @@
 #include "api/tops_runtime.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace dtu
@@ -32,25 +34,54 @@ Device::free(DeviceBuffer &buffer)
     buffer = DeviceBuffer{};
 }
 
-Stream
+std::optional<Stream>
 Device::createStream(unsigned groups)
 {
-    int tenant = nextTenant_++;
-    auto lease = manager_.allocate(tenant, groups);
-    fatalIf(!lease.has_value(),
-            "no cluster has ", groups, " free processing groups");
-    return Stream(*this, tenant, lease->groups);
+    auto lease = manager_.allocate(nextTenant_, groups);
+    if (!lease.has_value())
+        return std::nullopt;
+    return Stream(*this, nextTenant_++, lease->groups);
 }
 
 Stream::Stream(Device &device, int tenant_id, std::vector<unsigned> groups)
     : device_(&device), tenantId_(tenant_id), groups_(std::move(groups))
 {}
 
+Stream::Stream(Stream &&other) noexcept
+{
+    *this = std::move(other);
+}
+
+Stream &
+Stream::operator=(Stream &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    releaseLease(); // do not strand the destination's groups
+    device_ = other.device_;
+    tenantId_ = other.tenantId_;
+    groups_ = std::move(other.groups_);
+    cursor_ = other.cursor_;
+    lastRun_ = std::move(other.lastRun_);
+    nextKernelId_ = other.nextKernelId_;
+    other.device_ = nullptr; // moved-from: no lease to release
+    other.tenantId_ = -1;
+    return *this;
+}
+
 Stream::~Stream()
+{
+    releaseLease();
+}
+
+void
+Stream::releaseLease()
 {
     if (device_ && tenantId_ >= 0) {
         // Return the lease; moved-from streams skip this.
         device_->manager_.release(tenantId_);
+        device_ = nullptr;
+        tenantId_ = -1;
     }
 }
 
@@ -102,18 +133,29 @@ Stream::launch(const Kernel &kernel, unsigned core_index)
     return *this;
 }
 
-Stream &
-Stream::run(const ExecutionPlan &plan)
-{
-    return run(plan, ExecOptions{});
-}
-
-Stream &
+const ExecResult &
 Stream::run(const ExecutionPlan &plan, const ExecOptions &options)
 {
     Executor executor(device_->dtu_, groups_, options);
     lastRun_ = executor.run(plan, cursor_);
     cursor_ = lastRun_.end;
+    return lastRun_;
+}
+
+StreamEvent
+Stream::record() const
+{
+    StreamEvent event;
+    event.tick_ = cursor_;
+    event.recorded_ = true;
+    return event;
+}
+
+Stream &
+Stream::wait(const StreamEvent &event)
+{
+    fatalIf(!event.recorded(), "waiting on an unrecorded event");
+    cursor_ = std::max(cursor_, event.tick());
     return *this;
 }
 

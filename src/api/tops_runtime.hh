@@ -9,21 +9,25 @@
  *
  *   Device device;                        // open the (simulated) i20
  *   DeviceBuffer in = device.malloc(n);   // L3 allocation
- *   Stream stream = device.createStream(1 group);
- *   stream.memcpyH2D(in, bytes);          // PCIe transfer
- *   stream.launch(kernel, core);          // microkernel launch
- *   stream.run(plan);                     // compiled-model launch
- *   stream.synchronize();                 // join the timeline
+ *   auto stream = device.createStream(1); // optional<Stream>
+ *   stream->memcpyH2D(in, bytes);         // PCIe transfer
+ *   stream->launch(kernel, core);         // microkernel launch
+ *   stream->run(plan);                    // compiled-model launch
+ *   StreamEvent done = stream->record();  // async completion marker
+ *   stream->synchronize();                // join the timeline
  *
  * Streams are backed by processing-group leases (the Fig. 7 resource
  * abstraction), so two streams with disjoint leases run concurrently
- * and in isolation, exactly like the multi-tenancy path.
+ * and in isolation, exactly like the multi-tenancy path. Events
+ * (record()/wait()/query()) order work across streams without
+ * blocking, the cudaEvent analogue in simulated time.
  */
 
 #ifndef DTU_API_TOPS_RUNTIME_HH
 #define DTU_API_TOPS_RUNTIME_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -56,6 +60,33 @@ class DeviceBuffer
 };
 
 /**
+ * A recorded point on a stream's timeline — the cudaEvent analogue
+ * in simulated time. Record one on a stream, then make another
+ * stream wait() on it (cross-stream ordering) or query() it against
+ * a simulated timestamp without blocking. (Named StreamEvent to stay
+ * clear of the sim kernel's scheduling Event.)
+ */
+class StreamEvent
+{
+  public:
+    StreamEvent() = default;
+
+    /** True once Stream::record() filled this event. */
+    bool recorded() const { return recorded_; }
+
+    /** Completion time of the work that preceded record(). */
+    Tick tick() const { return tick_; }
+
+    /** Non-blocking: has the event completed by simulated @p at? */
+    bool query(Tick at) const { return recorded_ && at >= tick_; }
+
+  private:
+    friend class Stream;
+    Tick tick_ = 0;
+    bool recorded_ = false;
+};
+
+/**
  * An in-order execution queue bound to a processing-group lease.
  * Operations enqueue at the stream's cursor and complete in order;
  * synchronize() returns the completion time.
@@ -63,20 +94,13 @@ class DeviceBuffer
 class Stream
 {
   public:
-    Stream(Stream &&other) noexcept { *this = std::move(other); }
-    Stream &
-    operator=(Stream &&other) noexcept
-    {
-        device_ = other.device_;
-        tenantId_ = other.tenantId_;
-        groups_ = std::move(other.groups_);
-        cursor_ = other.cursor_;
-        lastRun_ = std::move(other.lastRun_);
-        nextKernelId_ = other.nextKernelId_;
-        other.device_ = nullptr; // moved-from: no lease to release
-        other.tenantId_ = -1;
-        return *this;
-    }
+    Stream(Stream &&other) noexcept;
+    /**
+     * Move-assignment releases the destination's own lease (if any)
+     * back to the device before adopting the source's, so assigning
+     * over a live stream cannot strand processing groups.
+     */
+    Stream &operator=(Stream &&other) noexcept;
     ~Stream();
 
     /** Host-to-device copy into @p dst (PCIe -> L3). */
@@ -91,15 +115,33 @@ class Stream
      */
     Stream &launch(const Kernel &kernel, unsigned core_index = 0);
 
-    /** Launch a compiled model (the graph-compiler path). */
-    Stream &run(const ExecutionPlan &plan);
+    /**
+     * Launch a compiled model (the graph-compiler path), optionally
+     * with explicit runtime options, e.g. {.trace = true,
+     * .timeline = true} to record the per-operator profile and emit
+     * timeline events (see Device::writeTimeline).
+     * @return the run's result (also retained; see lastRunResult()).
+     */
+    const ExecResult &run(const ExecutionPlan &plan,
+                          const ExecOptions &options = {});
 
     /**
-     * Launch a compiled model with explicit runtime options, e.g.
-     * {.trace = true, .timeline = true} to record the per-operator
-     * profile and emit timeline events (see Device::writeTimeline).
+     * Record an event at the stream's current cursor: it completes
+     * exactly when all work enqueued so far completes.
      */
-    Stream &run(const ExecutionPlan &plan, const ExecOptions &options);
+    StreamEvent record() const;
+
+    /**
+     * Make subsequent work on this stream start no earlier than
+     * @p event's completion (cross-stream dependency).
+     */
+    Stream &wait(const StreamEvent &event);
+
+    /**
+     * Non-blocking completion check: true when everything enqueued
+     * so far has completed by simulated time @p at.
+     */
+    bool query(Tick at) const { return at >= cursor_; }
 
     /** Block until everything enqueued so far has completed. */
     Tick synchronize();
@@ -110,12 +152,18 @@ class Stream
     /** The leased group ids backing this stream. */
     const std::vector<unsigned> &groups() const { return groups_; }
 
-    /** Result of the most recent run() on this stream. */
+    /**
+     * Result of the most recent run() on this stream — a thin alias
+     * for the reference the last run() call returned.
+     */
     const ExecResult &lastRunResult() const { return lastRun_; }
 
   private:
     friend class Device;
     Stream(Device &device, int tenant_id, std::vector<unsigned> groups);
+
+    /** Return the lease to the device (idempotent). */
+    void releaseLease();
 
     Device *device_ = nullptr;
     int tenantId_ = -1;
@@ -147,9 +195,16 @@ class Device
     /**
      * Create a stream backed by @p groups processing groups
      * (1..groupsPerCluster, co-located in one cluster).
-     * @throws FatalError when no cluster has capacity.
+     * @return the stream, or std::nullopt when no cluster has that
+     *         much free capacity — capacity exhaustion is an
+     *         expected serving-time condition, not a fatal error.
+     *         (Requesting 0 or more than groupsPerCluster groups is
+     *         still a FatalError: that is a programming mistake.)
      */
-    Stream createStream(unsigned groups = 1);
+    std::optional<Stream> createStream(unsigned groups = 1);
+
+    /** The lease book-keeper backing createStream (accounting). */
+    ResourceManager &resources() { return manager_; }
 
     /** Total energy drawn by the device so far. */
     double joules() { return dtu_.energy().joules(); }

@@ -1,0 +1,132 @@
+#include "serve/arrival.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace dtu
+{
+namespace serve
+{
+
+namespace
+{
+
+/** Exponential inter-arrival gap for @p rate_qps, in ticks. */
+Tick
+expGap(Random &rng, double rate_qps)
+{
+    // Inverse-CDF sampling; uniform() is in [0, 1) so log(1 - u) is
+    // finite.
+    double seconds = -std::log(1.0 - rng.uniform()) / rate_qps;
+    return secondsToTicks(seconds);
+}
+
+Request
+makeRequest(const std::string &model, Tick arrival, Tick deadline)
+{
+    Request r;
+    r.model = model;
+    r.arrival = arrival;
+    r.deadline = deadline == 0 ? 0 : arrival + deadline;
+    return r;
+}
+
+} // namespace
+
+std::vector<Request>
+fixedRateTrace(const std::string &model, double qps, unsigned count,
+               Tick deadline, Tick start)
+{
+    fatalIf(qps <= 0.0, "arrival rate must be positive, got ", qps);
+    std::vector<Request> trace;
+    trace.reserve(count);
+    for (unsigned i = 0; i < count; ++i) {
+        Tick at = start + secondsToTicks(static_cast<double>(i) / qps);
+        trace.push_back(makeRequest(model, at, deadline));
+    }
+    return trace;
+}
+
+std::vector<Request>
+poissonTrace(const std::string &model, double qps, unsigned count,
+             std::uint64_t seed, Tick deadline, Tick start)
+{
+    fatalIf(qps <= 0.0, "arrival rate must be positive, got ", qps);
+    Random rng(seed);
+    std::vector<Request> trace;
+    trace.reserve(count);
+    Tick at = start;
+    for (unsigned i = 0; i < count; ++i) {
+        trace.push_back(makeRequest(model, at, deadline));
+        at += expGap(rng, qps);
+    }
+    return trace;
+}
+
+std::vector<Request>
+burstyTrace(const std::string &model, double qps, unsigned count,
+            std::uint64_t seed, unsigned burst_size,
+            double burst_factor, Tick deadline, Tick start)
+{
+    fatalIf(qps <= 0.0, "arrival rate must be positive, got ", qps);
+    fatalIf(burst_size == 0, "burst size must be at least 1");
+    fatalIf(burst_factor < 1.0, "burst factor must be >= 1, got ",
+            burst_factor);
+    Random rng(seed);
+    std::vector<Request> trace;
+    trace.reserve(count);
+    Tick at = start;
+    unsigned in_burst = 0;
+    for (unsigned i = 0; i < count; ++i) {
+        trace.push_back(makeRequest(model, at, deadline));
+        if (++in_burst < burst_size) {
+            at += expGap(rng, qps * burst_factor);
+        } else {
+            // Idle gap sized so the burst's head start is paid back
+            // and the long-run average rate stays qps.
+            in_burst = 0;
+            double burst_seconds =
+                static_cast<double>(burst_size) / (qps * burst_factor);
+            double period_seconds = static_cast<double>(burst_size) / qps;
+            double gap = period_seconds - burst_seconds;
+            at += secondsToTicks(std::max(gap, 0.0)) + expGap(rng, qps);
+        }
+    }
+    return trace;
+}
+
+std::vector<Request>
+finalizeTrace(std::vector<std::vector<Request>> traces)
+{
+    std::vector<Request> merged;
+    for (auto &trace : traces) {
+        merged.insert(merged.end(), trace.begin(), trace.end());
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Request &a, const Request &b) {
+                         if (a.arrival != b.arrival)
+                             return a.arrival < b.arrival;
+                         return a.model < b.model;
+                     });
+    std::uint64_t id = 1;
+    for (Request &r : merged)
+        r.id = id++;
+    return merged;
+}
+
+double
+offeredQps(const std::vector<Request> &trace)
+{
+    if (trace.size() < 2)
+        return 0.0;
+    Tick span = trace.back().arrival - trace.front().arrival;
+    if (span == 0)
+        return 0.0;
+    return static_cast<double>(trace.size() - 1) / ticksToSeconds(span);
+}
+
+} // namespace serve
+} // namespace dtu

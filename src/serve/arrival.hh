@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic arrival-trace generators for the serving runtime.
+ *
+ * Traces are plain vectors of Request, so the same trace can be
+ * replayed against different batching policies (the apples-to-apples
+ * comparison bench_serving sweeps) and identical (trace, seed) pairs
+ * reproduce identical serving reports. All randomness draws from the
+ * seeded xoshiro generator in sim/random.hh — never from global
+ * state.
+ */
+
+#ifndef DTU_SERVE_ARRIVAL_HH
+#define DTU_SERVE_ARRIVAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.hh"
+
+namespace dtu
+{
+namespace serve
+{
+
+/**
+ * @p count requests for @p model at a fixed rate of @p qps, evenly
+ * spaced starting at @p start. Each request's deadline is its
+ * arrival plus @p deadline (0 = no SLO).
+ */
+std::vector<Request> fixedRateTrace(const std::string &model,
+                                    double qps, unsigned count,
+                                    Tick deadline = 0, Tick start = 0);
+
+/**
+ * Poisson arrivals: @p count requests whose inter-arrival gaps are
+ * exponentially distributed around 1/@p qps, drawn from @p seed.
+ */
+std::vector<Request> poissonTrace(const std::string &model, double qps,
+                                  unsigned count, std::uint64_t seed,
+                                  Tick deadline = 0, Tick start = 0);
+
+/**
+ * Bursty arrivals: Poisson bursts of @p burst_size requests at
+ * @p burst_factor x the average rate, separated by idle gaps sized
+ * so the long-run average stays @p qps. Models the flash crowds a
+ * cloud inference service absorbs.
+ */
+std::vector<Request> burstyTrace(const std::string &model, double qps,
+                                 unsigned count, std::uint64_t seed,
+                                 unsigned burst_size = 8,
+                                 double burst_factor = 4.0,
+                                 Tick deadline = 0, Tick start = 0);
+
+/**
+ * Merge per-model traces into one serving trace: sort by (arrival,
+ * model) and assign sequential ids from 1 in that order. Every
+ * scheduler tie-break keys on these ids, so a finalized trace fully
+ * determines the serving outcome.
+ */
+std::vector<Request>
+finalizeTrace(std::vector<std::vector<Request>> traces);
+
+/** Offered load of a finalized trace in requests per second. */
+double offeredQps(const std::vector<Request> &trace);
+
+} // namespace serve
+} // namespace dtu
+
+#endif // DTU_SERVE_ARRIVAL_HH

@@ -1,0 +1,154 @@
+#include "serve/report.hh"
+
+#include <algorithm>
+
+#include "sim/json.hh"
+
+namespace dtu
+{
+namespace serve
+{
+
+ServingReport
+summarize(std::vector<CompletedRequest> completed, double offered_qps,
+          std::uint64_t batches, double joules,
+          double group_utilization)
+{
+    ServingReport report;
+    report.offeredQps = offered_qps;
+    report.batches = batches;
+    report.joules = joules;
+    report.groupUtilization = group_utilization;
+
+    std::sort(completed.begin(), completed.end(),
+              [](const CompletedRequest &a, const CompletedRequest &b) {
+                  if (a.completed != b.completed)
+                      return a.completed < b.completed;
+                  return a.request.id < b.request.id;
+              });
+    report.completed = std::move(completed);
+    report.requests = report.completed.size();
+    if (report.requests == 0)
+        return report;
+
+    double max_ms = 0.0;
+    double sum_ms = 0.0;
+    double sum_queue_ms = 0.0;
+    double sum_exec_ms = 0.0;
+    for (const CompletedRequest &r : report.completed) {
+        report.makespan = std::max(report.makespan, r.completed);
+        max_ms = std::max(max_ms, ticksToMilliSeconds(r.latency()));
+        sum_ms += ticksToMilliSeconds(r.latency());
+        sum_queue_ms += ticksToMilliSeconds(r.queueWait());
+        sum_exec_ms += ticksToMilliSeconds(r.execTime());
+        if (r.missedDeadline()) {
+            ++report.deadlineMisses;
+            report.missedIds.push_back(r.request.id);
+        }
+    }
+    std::sort(report.missedIds.begin(), report.missedIds.end());
+
+    double n = static_cast<double>(report.requests);
+    report.meanMs = sum_ms / n;
+    report.maxMs = max_ms;
+    report.meanQueueMs = sum_queue_ms / n;
+    report.meanExecMs = sum_exec_ms / n;
+    report.missRate = static_cast<double>(report.deadlineMisses) / n;
+    report.meanBatchSize =
+        report.batches
+            ? n / static_cast<double>(report.batches)
+            : 0.0;
+    report.joulesPerRequest = joules / n;
+
+    double seconds = ticksToSeconds(report.makespan);
+    if (seconds > 0.0) {
+        report.achievedQps = n / seconds;
+        report.goodputQps =
+            static_cast<double>(report.requests -
+                                report.deadlineMisses) /
+            seconds;
+    }
+
+    // Tail percentiles through the sim/stats.hh Histogram: 512
+    // equal-width buckets over the observed range give ~0.2% value
+    // resolution, then percentile() interpolates inside the bucket.
+    report.latencyMsHistogram.init(0.0, std::max(max_ms, 1e-9) * 1.001,
+                                   512);
+    for (const CompletedRequest &r : report.completed)
+        report.latencyMsHistogram.sample(
+            ticksToMilliSeconds(r.latency()));
+    report.p50Ms = report.latencyMsHistogram.percentile(0.50);
+    report.p95Ms = report.latencyMsHistogram.percentile(0.95);
+    report.p99Ms = report.latencyMsHistogram.percentile(0.99);
+    return report;
+}
+
+void
+writeJson(const ServingReport &report, std::ostream &os,
+          bool per_request)
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("requests", report.requests)
+        .field("batches", report.batches)
+        .field("mean_batch_size", report.meanBatchSize)
+        .field("makespan_ms", ticksToMilliSeconds(report.makespan))
+        .field("offered_qps", report.offeredQps)
+        .field("achieved_qps", report.achievedQps)
+        .field("goodput_qps", report.goodputQps)
+        .field("deadline_misses", report.deadlineMisses)
+        .field("miss_rate", report.missRate)
+        .field("latency_p50_ms", report.p50Ms)
+        .field("latency_p95_ms", report.p95Ms)
+        .field("latency_p99_ms", report.p99Ms)
+        .field("latency_mean_ms", report.meanMs)
+        .field("latency_max_ms", report.maxMs)
+        .field("queue_wait_mean_ms", report.meanQueueMs)
+        .field("exec_mean_ms", report.meanExecMs)
+        .field("joules", report.joules)
+        .field("joules_per_request", report.joulesPerRequest)
+        .field("group_utilization", report.groupUtilization);
+
+    json.key("missed_ids").beginArray();
+    for (std::uint64_t id : report.missedIds)
+        json.value(id);
+    json.endArray();
+
+    const Histogram &h = report.latencyMsHistogram;
+    json.key("latency_histogram_ms").beginObject();
+    json.field("lo", h.lo()).field("hi", h.hi());
+    json.key("buckets").beginArray();
+    for (std::uint64_t c : h.buckets())
+        json.value(c);
+    json.endArray();
+    json.endObject();
+
+    if (per_request) {
+        json.key("requests_detail").beginArray();
+        for (const CompletedRequest &r : report.completed) {
+            json.beginObject()
+                .field("id", r.request.id)
+                .field("model", r.request.model)
+                .field("arrival_ms",
+                       ticksToMilliSeconds(r.request.arrival))
+                .field("deadline_ms",
+                       ticksToMilliSeconds(r.request.deadline))
+                .field("dispatched_ms",
+                       ticksToMilliSeconds(r.dispatched))
+                .field("completed_ms",
+                       ticksToMilliSeconds(r.completed))
+                .field("latency_ms", ticksToMilliSeconds(r.latency()))
+                .field("queue_wait_ms",
+                       ticksToMilliSeconds(r.queueWait()))
+                .field("batch_size", r.batchSize)
+                .field("missed", r.missedDeadline())
+                .endObject();
+        }
+        json.endArray();
+    }
+    json.endObject();
+    os << "\n";
+}
+
+} // namespace serve
+} // namespace dtu

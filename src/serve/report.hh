@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The SLO-centric outcome of one serving run.
+ *
+ * Aggregates what a cloud operator actually watches: tail latency
+ * (p50/p95/p99 from the sim/stats.hh Histogram), queue-wait vs
+ * execution breakdown, goodput vs deadline misses, sustained QPS,
+ * chip occupancy, and energy per request. Exports as JSON via
+ * JsonWriter so CI can diff serving behaviour across commits the
+ * same way it diffs the figure benches.
+ */
+
+#ifndef DTU_SERVE_REPORT_HH
+#define DTU_SERVE_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "serve/request.hh"
+#include "sim/stats.hh"
+
+namespace dtu
+{
+namespace serve
+{
+
+/** Aggregated serving metrics over one drained request trace. */
+struct ServingReport
+{
+    /** Completed requests. */
+    std::uint64_t requests = 0;
+    /** Dynamic batches launched. */
+    std::uint64_t batches = 0;
+    /** Mean requests per launched batch. */
+    double meanBatchSize = 0.0;
+    /** Last completion time (the serving makespan). */
+    Tick makespan = 0;
+
+    /** Arrival rate the trace offered. */
+    double offeredQps = 0.0;
+    /** Completions per second of makespan (sustained throughput). */
+    double achievedQps = 0.0;
+    /** In-deadline completions per second of makespan. */
+    double goodputQps = 0.0;
+
+    /** Requests that finished after their deadline. */
+    std::uint64_t deadlineMisses = 0;
+    /** deadlineMisses / requests. */
+    double missRate = 0.0;
+    /** Ids of the missed requests, ascending (the SLO miss set). */
+    std::vector<std::uint64_t> missedIds;
+
+    /** End-to-end latency distribution in milliseconds. */
+    Histogram latencyMsHistogram;
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double meanMs = 0.0;
+    double maxMs = 0.0;
+
+    /** Mean time spent waiting in the arrival queue. */
+    double meanQueueMs = 0.0;
+    /** Mean time spent executing on the chip. */
+    double meanExecMs = 0.0;
+
+    /** Energy drawn over the run and its per-request share. */
+    double joules = 0.0;
+    double joulesPerRequest = 0.0;
+    /** Time-weighted fraction of processing groups leased. */
+    double groupUtilization = 0.0;
+
+    /** Every completed request, ordered by completion then id. */
+    std::vector<CompletedRequest> completed;
+};
+
+/**
+ * Build a report from the scheduler's raw completion log.
+ * @param completed per-request outcomes (any order).
+ * @param offered_qps the trace's offered load.
+ * @param batches dynamic batches launched.
+ * @param joules energy drawn between serve start and last completion.
+ * @param group_utilization lease occupancy from the ResourceManager.
+ */
+ServingReport summarize(std::vector<CompletedRequest> completed,
+                        double offered_qps, std::uint64_t batches,
+                        double joules, double group_utilization);
+
+/**
+ * Serialize a report as JSON: the summary scalars, the miss set,
+ * the latency histogram buckets, and one record per request.
+ * @param per_request include the full per-request log.
+ */
+void writeJson(const ServingReport &report, std::ostream &os,
+               bool per_request = true);
+
+} // namespace serve
+} // namespace dtu
+
+#endif // DTU_SERVE_REPORT_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Request-level serving primitives.
+ *
+ * The serving runtime drives the simulated i20 like an inference
+ * server: timestamped requests arrive (model, deadline), wait in
+ * per-model queues, get batched onto processing-group leases, and
+ * complete with a measurable queue-wait / execution breakdown. This
+ * header defines the request record and the arrival-ordered queue;
+ * arrival generators live in serve/arrival.hh and the dynamic
+ * batcher in serve/scheduler.hh.
+ */
+
+#ifndef DTU_SERVE_REQUEST_HH
+#define DTU_SERVE_REQUEST_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace dtu
+{
+namespace serve
+{
+
+/** One inference request as submitted by a client. */
+struct Request
+{
+    /** Unique id; finalizeTrace() assigns them in arrival order. */
+    std::uint64_t id = 0;
+    /** Zoo model name ("resnet50", "bert_large", ...). */
+    std::string model;
+    /** Simulated arrival time. */
+    Tick arrival = 0;
+    /** Absolute completion deadline; 0 means no SLO. */
+    Tick deadline = 0;
+};
+
+/** A request after the scheduler finished it. */
+struct CompletedRequest
+{
+    Request request;
+    /** When the batch containing this request launched. */
+    Tick dispatched = 0;
+    /** When the batch finished (request completion time). */
+    Tick completed = 0;
+    /** Size of the dynamic batch the request rode in. */
+    unsigned batchSize = 0;
+
+    Tick latency() const { return completed - request.arrival; }
+    Tick queueWait() const { return dispatched - request.arrival; }
+    Tick execTime() const { return completed - dispatched; }
+    bool missedDeadline() const
+    {
+        return request.deadline != 0 && completed > request.deadline;
+    }
+};
+
+/**
+ * Arrived-but-not-yet-dispatched requests, FIFO per model. Iteration
+ * over models is alphabetical, so scheduling decisions that walk the
+ * queue are deterministic.
+ */
+class RequestQueue
+{
+  public:
+    /** Enqueue an arrived request at its model's FIFO tail. */
+    void
+    push(const Request &request)
+    {
+        queues_[request.model].push_back(request);
+        ++size_;
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    /** Queued requests for one model. */
+    std::size_t
+    sizeFor(const std::string &model) const
+    {
+        auto it = queues_.find(model);
+        return it == queues_.end() ? 0 : it->second.size();
+    }
+
+    /** Arrival time of the oldest queued request for @p model. */
+    Tick
+    oldestArrival(const std::string &model) const
+    {
+        auto it = queues_.find(model);
+        return it == queues_.end() || it->second.empty()
+                   ? 0
+                   : it->second.front().arrival;
+    }
+
+    /** Models with at least one queued request, alphabetical. */
+    std::vector<std::string>
+    models() const
+    {
+        std::vector<std::string> names;
+        for (const auto &[model, fifo] : queues_) {
+            if (!fifo.empty())
+                names.push_back(model);
+        }
+        return names;
+    }
+
+    /** Dequeue up to @p max_batch oldest requests of @p model. */
+    std::vector<Request>
+    popBatch(const std::string &model, unsigned max_batch)
+    {
+        std::vector<Request> batch;
+        auto it = queues_.find(model);
+        if (it == queues_.end())
+            return batch;
+        while (!it->second.empty() && batch.size() < max_batch) {
+            batch.push_back(it->second.front());
+            it->second.pop_front();
+            --size_;
+        }
+        return batch;
+    }
+
+  private:
+    std::map<std::string, std::deque<Request>> queues_;
+    std::size_t size_ = 0;
+};
+
+} // namespace serve
+} // namespace dtu
+
+#endif // DTU_SERVE_REQUEST_HH

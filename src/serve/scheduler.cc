@@ -1,0 +1,252 @@
+#include "serve/scheduler.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "compiler/lowering.hh"
+#include "models/model_zoo.hh"
+#include "serve/arrival.hh"
+#include "sim/logging.hh"
+#include "sim/tracer.hh"
+
+namespace dtu
+{
+namespace serve
+{
+
+namespace
+{
+
+constexpr Tick kNever = std::numeric_limits<Tick>::max();
+
+/** One batch executing on a lease. */
+struct ActiveBatch
+{
+    Tick end = 0;
+    Tick dispatched = 0;
+    int tenant = -1;
+    std::string model;
+    std::vector<Request> requests;
+};
+
+} // namespace
+
+Scheduler::Scheduler(Dtu &dtu, ResourceManager &manager,
+                     ServingConfig config)
+    : dtu_(dtu), manager_(manager), config_(std::move(config))
+{
+    fatalIf(config_.batching.maxBatch == 0,
+            "dynamic batch size must be at least 1");
+    for (const auto &[model, cap] : config_.batching.perModelMaxBatch)
+        fatalIf(cap == 0, "per-model batch cap for '", model,
+                "' must be at least 1");
+    fatalIf(config_.groupsPerBatch == 0 ||
+                config_.groupsPerBatch >
+                    dtu_.config().groupsPerCluster,
+            "groups per batch must be 1..",
+            dtu_.config().groupsPerCluster);
+}
+
+const ExecutionPlan &
+Scheduler::plan(const std::string &model, unsigned batch)
+{
+    auto key = std::make_pair(model, batch);
+    auto it = plans_.find(key);
+    if (it == plans_.end()) {
+        Graph graph = models::buildModel(model,
+                                         static_cast<int>(batch));
+        it = plans_
+                 .emplace(key, compile(graph, dtu_.config(),
+                                       config_.dtype,
+                                       config_.groupsPerBatch, {},
+                                       static_cast<int>(batch)))
+                 .first;
+    }
+    return it->second;
+}
+
+ServingReport
+Scheduler::serve(std::vector<Request> trace)
+{
+    std::sort(trace.begin(), trace.end(),
+              [](const Request &a, const Request &b) {
+                  if (a.arrival != b.arrival)
+                      return a.arrival < b.arrival;
+                  return a.id < b.id;
+              });
+    const double offered = offeredQps(trace);
+
+    Tracer &tracer = dtu_.tracer();
+    if (config_.exec.timeline)
+        tracer.setEnabled(true);
+    const bool tl = tracer.enabled();
+    TrackId req_track, batch_track;
+    if (tl) {
+        req_track = tracer.track("serve", "requests");
+        batch_track = tracer.track("serve", "batches");
+    }
+
+    const double joules_before = dtu_.energy().joules();
+
+    // How many arrivals of each model are still in the future: the
+    // batcher stops holding a partial batch once no companion can
+    // ever join it.
+    std::map<std::string, unsigned> future;
+    for (const Request &r : trace)
+        ++future[r.model];
+
+    RequestQueue queue;
+    std::vector<ActiveBatch> active;
+    std::vector<CompletedRequest> completed;
+    completed.reserve(trace.size());
+    std::uint64_t batches = 0;
+    std::size_t next_arrival = 0;
+    int next_tenant = config_.tenantBase;
+    Tick now = trace.empty() ? 0 : trace.front().arrival;
+    Tick last_completion = 0;
+
+    auto admitArrivals = [&](Tick upto) {
+        while (next_arrival < trace.size() &&
+               trace[next_arrival].arrival <= upto) {
+            const Request &r = trace[next_arrival++];
+            queue.push(r);
+            --future[r.model];
+        }
+    };
+
+    // Launch rule: full batch, oldest request timed out, or no
+    // future arrival could grow the batch further.
+    auto shouldLaunch = [&](const std::string &model) {
+        std::size_t depth = queue.sizeFor(model);
+        if (depth == 0)
+            return false;
+        if (depth >= config_.batching.maxBatchFor(model))
+            return true;
+        if (now >= queue.oldestArrival(model) +
+                       config_.batching.maxQueueDelay)
+            return true;
+        return future[model] == 0;
+    };
+
+    auto completeBatches = [&](Tick upto) {
+        std::vector<ActiveBatch> still_running;
+        std::vector<ActiveBatch> done;
+        for (ActiveBatch &b : active) {
+            (b.end <= upto ? done : still_running)
+                .push_back(std::move(b));
+        }
+        active = std::move(still_running);
+        // Deterministic completion order: by (end, tenant).
+        std::sort(done.begin(), done.end(),
+                  [](const ActiveBatch &a, const ActiveBatch &b) {
+                      if (a.end != b.end)
+                          return a.end < b.end;
+                      return a.tenant < b.tenant;
+                  });
+        for (const ActiveBatch &b : done) {
+            manager_.release(b.tenant, b.end);
+            last_completion = std::max(last_completion, b.end);
+            auto size = static_cast<unsigned>(b.requests.size());
+            if (tl) {
+                tracer.span(batch_track, b.model, "serving-batch",
+                            b.dispatched, b.end,
+                            {{"batch",
+                              static_cast<double>(size)}});
+            }
+            for (const Request &r : b.requests) {
+                CompletedRequest c;
+                c.request = r;
+                c.dispatched = b.dispatched;
+                c.completed = b.end;
+                c.batchSize = size;
+                if (tl) {
+                    tracer.span(
+                        req_track,
+                        b.model + " #" + std::to_string(r.id),
+                        "request", r.arrival, b.end,
+                        {{"queue_wait_us",
+                          ticksToMicroSeconds(c.queueWait())},
+                         {"batch", static_cast<double>(size)},
+                         {"missed",
+                          c.missedDeadline() ? 1.0 : 0.0}});
+                }
+                completed.push_back(std::move(c));
+            }
+        }
+    };
+
+    admitArrivals(now);
+    while (true) {
+        // Launch everything launchable at the current time. The
+        // model scan restarts after every pass so a freed lease can
+        // host the next queued model (alphabetical, deterministic).
+        bool launched = true;
+        while (launched) {
+            launched = false;
+            for (const std::string &model : queue.models()) {
+                while (shouldLaunch(model) &&
+                       manager_.freeGroups() >=
+                           config_.groupsPerBatch) {
+                    auto lease =
+                        manager_.allocate(next_tenant,
+                                          config_.groupsPerBatch,
+                                          now);
+                    if (!lease)
+                        break; // free groups span clusters
+                    std::vector<Request> reqs = queue.popBatch(
+                        model, config_.batching.maxBatchFor(model));
+                    const ExecutionPlan &p = plan(
+                        model,
+                        static_cast<unsigned>(reqs.size()));
+                    Executor executor(dtu_, lease->groups,
+                                      config_.exec);
+                    ExecResult r = executor.run(p, now);
+                    ActiveBatch batch;
+                    batch.end = r.end;
+                    batch.dispatched = now;
+                    batch.tenant = next_tenant;
+                    batch.model = model;
+                    batch.requests = std::move(reqs);
+                    active.push_back(std::move(batch));
+                    ++next_tenant;
+                    ++batches;
+                    launched = true;
+                }
+            }
+        }
+
+        // Next event: an arrival, a batch completion, or a queue
+        // timeout maturing. Timeouts at or before `now` are already
+        // handled (or are waiting on a lease, which frees at a
+        // completion event).
+        Tick next = kNever;
+        if (next_arrival < trace.size())
+            next = std::min(next, trace[next_arrival].arrival);
+        for (const ActiveBatch &b : active)
+            next = std::min(next, b.end);
+        for (const std::string &model : queue.models()) {
+            Tick timeout = queue.oldestArrival(model) +
+                           config_.batching.maxQueueDelay;
+            if (timeout > now)
+                next = std::min(next, timeout);
+        }
+        if (next == kNever) {
+            fatalIf(!queue.empty(),
+                    "serving deadlock: ", queue.size(),
+                    " queued requests but no future event");
+            break;
+        }
+        now = next;
+        completeBatches(now);
+        admitArrivals(now);
+    }
+
+    ServingReport report = summarize(
+        std::move(completed), offered, batches,
+        dtu_.energy().joules() - joules_before,
+        manager_.utilization(last_completion));
+    return report;
+}
+
+} // namespace serve
+} // namespace dtu

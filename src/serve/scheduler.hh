@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The serving scheduler: arrival queues -> dynamic batches ->
+ * processing-group leases.
+ *
+ * A discrete-event loop over simulated time drives the whole serving
+ * pipeline. Requests are admitted from a finalized arrival trace
+ * into per-model FIFO queues; a dynamic batcher launches a batch
+ * when it is full (maxBatch), when the oldest queued request has
+ * waited maxQueueDelay, or when no further arrivals can join. Each
+ * launched batch leases processing groups from the ResourceManager
+ * (the Fig. 7 resource abstraction) and executes through the
+ * multi-tenancy path, so concurrent batches are compute-isolated and
+ * contend only on the shared HBM/PCIe bandwidth ledgers — online
+ * traffic generalizing the paper's VGG16 batch-8/16 tenancy
+ * discussion.
+ *
+ * Everything is deterministic: queue iteration is alphabetical,
+ * ties break on request ids, and the only randomness lives in the
+ * seeded arrival generators. Same trace + seed => identical
+ * makespan, percentiles, and deadline-miss set.
+ */
+
+#ifndef DTU_SERVE_SCHEDULER_HH
+#define DTU_SERVE_SCHEDULER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/executor.hh"
+#include "serve/report.hh"
+#include "serve/request.hh"
+#include "soc/resource_manager.hh"
+
+namespace dtu
+{
+namespace serve
+{
+
+/** When does a queued model launch? */
+struct BatchingPolicy
+{
+    /** Largest dynamic batch; 1 degenerates to FIFO batch-1. */
+    unsigned maxBatch = 8;
+    /**
+     * Longest a queued request may wait for companions before the
+     * batcher launches a partial batch. 0 launches greedily.
+     */
+    Tick maxQueueDelay = 0;
+    /**
+     * Per-model overrides of maxBatch. Batching pays off only where
+     * weight streams and kernel loads amortize (ResNet50 batch-8
+     * costs 0.6x per request); models whose runtime scales linearly
+     * with batch (BERT-Large) are better capped low so one long
+     * batch never serializes work that idle groups could run in
+     * parallel — the per-model knob every serving stack grows.
+     */
+    std::map<std::string, unsigned> perModelMaxBatch;
+
+    /** The cap that applies to @p model. */
+    unsigned
+    maxBatchFor(const std::string &model) const
+    {
+        auto it = perModelMaxBatch.find(model);
+        return it == perModelMaxBatch.end() ? maxBatch : it->second;
+    }
+};
+
+/** Configuration of one serving run. */
+struct ServingConfig
+{
+    BatchingPolicy batching;
+    /** Processing groups leased per in-flight batch. */
+    unsigned groupsPerBatch = 1;
+    /** Precision the plans compile to. */
+    DType dtype = DType::FP16;
+    /**
+     * Executor options for every batch. Power management defaults
+     * off: the chip-global DVFS loop assumes one monotonic window
+     * stream, which overlapping batches do not form.
+     */
+    ExecOptions exec{.powerManagement = false};
+    /**
+     * Tenant ids the scheduler leases under, kept far above the
+     * Device/Stream id space so a Server can share the manager with
+     * live streams.
+     */
+    int tenantBase = 1 << 20;
+};
+
+/** Admits requests onto leases as dynamic batches and reports SLOs. */
+class Scheduler
+{
+  public:
+    Scheduler(Dtu &dtu, ResourceManager &manager, ServingConfig config);
+
+    /**
+     * Drain a finalized arrival trace (see serve/arrival.hh) to
+     * completion and aggregate the outcome. When the chip's Tracer
+     * is enabled (or config.exec.timeline is set), every request
+     * contributes an arrival-to-completion span and every batch an
+     * execution span, nested over the executor's operator spans in
+     * the same timeline.
+     */
+    ServingReport serve(std::vector<Request> trace);
+
+    /** Compiled-plan cache size (plans are memoized per model/batch). */
+    std::size_t cachedPlans() const { return plans_.size(); }
+
+  private:
+    /** Memoized compile of @p model at @p batch samples. */
+    const ExecutionPlan &plan(const std::string &model, unsigned batch);
+
+    Dtu &dtu_;
+    ResourceManager &manager_;
+    ServingConfig config_;
+    std::map<std::pair<std::string, unsigned>, ExecutionPlan> plans_;
+};
+
+} // namespace serve
+} // namespace dtu
+
+#endif // DTU_SERVE_SCHEDULER_HH

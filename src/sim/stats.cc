@@ -24,14 +24,48 @@ Histogram::init(StatRegistry &registry, std::string name,
                 std::string description, double lo, double hi,
                 std::size_t buckets)
 {
-    fatalIf(buckets == 0, "histogram '", name, "' needs at least 1 bucket");
-    fatalIf(hi <= lo, "histogram '", name, "' needs hi > lo");
     name_ = std::move(name);
     description_ = std::move(description);
+    init(lo, hi, buckets);
+    registry.add(this);
+}
+
+void
+Histogram::init(double lo, double hi, std::size_t buckets)
+{
+    fatalIf(buckets == 0, "histogram '", name_,
+            "' needs at least 1 bucket");
+    fatalIf(hi <= lo, "histogram '", name_, "' needs hi > lo");
     lo_ = lo;
     hi_ = hi;
     counts_.assign(buckets, 0);
-    registry.add(this);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+double
+Histogram::percentile(double fraction) const
+{
+    if (count_ == 0)
+        return 0.0;
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    double target = fraction * static_cast<double>(count_);
+    double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] > 0 &&
+            static_cast<double>(cumulative + counts_[i]) >= target) {
+            double within =
+                (target - static_cast<double>(cumulative)) /
+                static_cast<double>(counts_[i]);
+            double v = lo_ + (static_cast<double>(i) + within) * width;
+            return std::clamp(v, min_, max_);
+        }
+        cumulative += counts_[i];
+    }
+    return max_;
 }
 
 void

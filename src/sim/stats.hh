@@ -71,6 +71,13 @@ class Histogram
               std::size_t buckets);
 
     /**
+     * Configure without registering: a standalone histogram for
+     * ad-hoc aggregation (e.g. the serving runtime's latency
+     * distribution, which outlives any one chip's StatRegistry).
+     */
+    void init(double lo, double hi, std::size_t buckets);
+
+    /**
      * Record one sample.
      *
      * Out-of-range samples clamp into the edge buckets: v < lo counts
@@ -83,6 +90,16 @@ class Histogram
 
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /**
+     * Estimate the value at quantile @p fraction (in [0, 1], e.g.
+     * 0.99 for p99) by linear interpolation inside the bucket that
+     * holds the target rank. The estimate is clamped to the observed
+     * [min(), max()] so edge-bucket clamping of out-of-range samples
+     * cannot place a percentile outside the data. Returns 0 when the
+     * histogram is empty.
+     */
+    double percentile(double fraction) const;
     double min() const { return min_; }
     double max() const { return max_; }
     double sum() const { return sum_; }

@@ -1,5 +1,7 @@
 #include "soc/resource_manager.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace dtu
@@ -10,7 +12,7 @@ ResourceManager::ResourceManager(Dtu &dtu)
 {}
 
 std::optional<ResourceLease>
-ResourceManager::allocate(int tenant_id, unsigned num_groups)
+ResourceManager::allocate(int tenant_id, unsigned num_groups, Tick now)
 {
     const DtuConfig &config = dtu_.config();
     fatalIf(num_groups == 0, "cannot lease zero groups");
@@ -32,26 +34,35 @@ ResourceManager::allocate(int tenant_id, unsigned num_groups)
             ResourceLease lease;
             lease.tenantId = tenant_id;
             lease.cluster = c;
+            lease.since = now;
             lease.groups.assign(free_gids.begin(),
                                 free_gids.begin() + num_groups);
             for (unsigned gid : lease.groups)
                 leases_[gid] = tenant_id;
             tenants_[tenant_id] = lease;
+            ++grants_;
+            peakActive_ = std::max(peakActive_, activeGroups());
             return lease;
         }
     }
+    ++denials_;
     return std::nullopt;
 }
 
 void
-ResourceManager::release(int tenant_id)
+ResourceManager::release(int tenant_id, Tick now)
 {
     auto it = tenants_.find(tenant_id);
     fatalIf(it == tenants_.end(), "tenant ", tenant_id,
             " holds no lease");
+    if (now > it->second.since) {
+        completedBusyTicks_ +=
+            (now - it->second.since) * it->second.groups.size();
+    }
     for (unsigned gid : it->second.groups)
         leases_.erase(gid);
     tenants_.erase(it);
+    ++releases_;
 }
 
 unsigned
@@ -77,6 +88,27 @@ ResourceManager::tenantOf(unsigned gid) const
 {
     auto it = leases_.find(gid);
     return it == leases_.end() ? -1 : it->second;
+}
+
+Tick
+ResourceManager::groupBusyTicks(Tick now) const
+{
+    Tick busy = completedBusyTicks_;
+    for (const auto &[tenant, lease] : tenants_) {
+        if (now > lease.since)
+            busy += (now - lease.since) * lease.groups.size();
+    }
+    return busy;
+}
+
+double
+ResourceManager::utilization(Tick now) const
+{
+    if (now == 0 || dtu_.totalGroups() == 0)
+        return 0.0;
+    return static_cast<double>(groupBusyTicks(now)) /
+           (static_cast<double>(now) *
+            static_cast<double>(dtu_.totalGroups()));
 }
 
 } // namespace dtu

@@ -2,7 +2,7 @@
  * @file
  * Tests for the TopsRuntime-style host API: device memory, streams
  * backed by processing-group leases, microkernel and model launches,
- * and host transfers.
+ * host transfers, and the event-style async semantics.
  */
 
 #include <gtest/gtest.h>
@@ -45,20 +45,25 @@ TEST(TopsRuntime, StreamsLeaseGroups)
 {
     Device device;
     {
-        Stream s1 = device.createStream(3);
-        Stream s2 = device.createStream(3);
-        EXPECT_EQ(s1.groups().size(), 3u);
-        EXPECT_EQ(s2.groups().size(), 3u);
-        EXPECT_THROW(device.createStream(1), FatalError); // all leased
+        std::optional<Stream> s1 = device.createStream(3);
+        std::optional<Stream> s2 = device.createStream(3);
+        ASSERT_TRUE(s1.has_value());
+        ASSERT_TRUE(s2.has_value());
+        EXPECT_EQ(s1->groups().size(), 3u);
+        EXPECT_EQ(s2->groups().size(), 3u);
+        // Capacity exhaustion is an expected condition, not a throw.
+        EXPECT_FALSE(device.createStream(1).has_value());
+        // Asking for an impossible lease is still a user error.
+        EXPECT_THROW(device.createStream(99), FatalError);
     }
     // Stream destruction returned the leases.
-    EXPECT_NO_THROW(device.createStream(3));
+    EXPECT_TRUE(device.createStream(3).has_value());
 }
 
 TEST(TopsRuntime, MemcpyAdvancesTime)
 {
     Device device;
-    Stream stream = device.createStream(1);
+    Stream stream = *device.createStream(1);
     DeviceBuffer buffer = device.malloc(16_MiB);
     stream.memcpyH2D(buffer, 16_MiB);
     Tick after_h2d = stream.synchronize();
@@ -72,7 +77,7 @@ TEST(TopsRuntime, MemcpyAdvancesTime)
 TEST(TopsRuntime, MicrokernelLaunch)
 {
     Device device;
-    Stream stream = device.createStream(1);
+    Stream stream = *device.createStream(1);
     Assembler as("saxpy_ish");
     as.vli(0, 2.0).vli(1, 3.0).vmul(2, 0, 1);
     stream.launch(as.finish(), /*core=*/0);
@@ -86,24 +91,26 @@ TEST(TopsRuntime, MicrokernelLaunch)
 TEST(TopsRuntime, ModelLaunchEndToEnd)
 {
     Device device;
-    Stream stream = device.createStream(3);
+    Stream stream = *device.createStream(3);
     ExecutionPlan plan =
         compile(models::buildResnet50(), device.properties(),
                 DType::FP16, 3);
     DeviceBuffer input = device.malloc(1_MiB);
-    stream.memcpyH2D(input, 301056 * 2) // 3x224x224 fp16
-        .run(plan);
+    stream.memcpyH2D(input, 301056 * 2); // 3x224x224 fp16
+    const ExecResult &result = stream.run(plan);
     Tick done = stream.synchronize();
     EXPECT_GT(done, 0u);
-    EXPECT_GT(stream.lastRunResult().latency, 0u);
+    EXPECT_GT(result.latency, 0u);
+    // lastRunResult() is a thin alias for what run() returned.
+    EXPECT_EQ(&result, &stream.lastRunResult());
     EXPECT_GT(device.joules(), 0.0);
 }
 
 TEST(TopsRuntime, StreamsAreOrderedIndividually)
 {
     Device device;
-    Stream a = device.createStream(1);
-    Stream b = device.createStream(1);
+    Stream a = *device.createStream(1);
+    Stream b = *device.createStream(1);
     DeviceBuffer buffer = device.malloc(4_MiB);
     a.memcpyH2D(buffer, 4_MiB);
     // Stream b is independent: its cursor is untouched by a's work,
@@ -115,12 +122,59 @@ TEST(TopsRuntime, StreamsAreOrderedIndividually)
 TEST(TopsRuntime, MoveTransfersLeaseOwnership)
 {
     Device device;
-    Stream a = device.createStream(3);
-    Stream b = std::move(a);
+    std::optional<Stream> a = device.createStream(3);
+    Stream b = std::move(*a);
     EXPECT_EQ(b.groups().size(), 3u);
     // The moved-from stream holds no lease; b holds cluster 0's.
-    Stream c = device.createStream(3); // second cluster
-    EXPECT_THROW(device.createStream(1), FatalError);
+    std::optional<Stream> c = device.createStream(3); // second cluster
+    ASSERT_TRUE(c.has_value());
+    EXPECT_FALSE(device.createStream(1).has_value());
+}
+
+TEST(TopsRuntime, MoveAssignReleasesDestinationLease)
+{
+    // Regression: move-assigning over a live stream used to
+    // overwrite its device/tenant without releasing the lease,
+    // stranding the destination's processing groups forever.
+    Device device;
+    std::optional<Stream> a = device.createStream(3); // cluster 0
+    std::optional<Stream> b = device.createStream(3); // cluster 1
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    *b = std::move(*a);
+    // b's original 3-group lease must be back in the pool.
+    EXPECT_EQ(device.resources().activeGroups(), 3u);
+    std::optional<Stream> c = device.createStream(3);
+    EXPECT_TRUE(c.has_value());
+}
+
+TEST(TopsRuntime, EventsOrderWorkAcrossStreams)
+{
+    Device device;
+    Stream a = *device.createStream(1);
+    Stream b = *device.createStream(1);
+    DeviceBuffer buffer = device.malloc(8_MiB);
+
+    a.memcpyH2D(buffer, 8_MiB);
+    StreamEvent uploaded = a.record();
+    EXPECT_TRUE(uploaded.recorded());
+    EXPECT_EQ(uploaded.tick(), a.cursor());
+
+    // b consumes a's upload: its subsequent work starts no earlier.
+    EXPECT_EQ(b.cursor(), 0u);
+    b.wait(uploaded);
+    EXPECT_EQ(b.cursor(), uploaded.tick());
+    b.memcpyD2H(buffer, 1_MiB);
+    EXPECT_GT(b.cursor(), uploaded.tick());
+
+    // Non-blocking queries in simulated time.
+    EXPECT_FALSE(uploaded.query(uploaded.tick() - 1));
+    EXPECT_TRUE(uploaded.query(uploaded.tick()));
+    EXPECT_FALSE(b.query(uploaded.tick()));
+    EXPECT_TRUE(b.query(b.cursor()));
+
+    // Waiting on an unrecorded event is a user error.
+    EXPECT_THROW(a.wait(StreamEvent{}), FatalError);
 }
 
 } // namespace

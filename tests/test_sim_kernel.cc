@@ -239,6 +239,28 @@ TEST(Stats, HistogramBasics)
     EXPECT_EQ(h.buckets()[9], 2u);
 }
 
+TEST(Stats, HistogramPercentiles)
+{
+    Histogram h;
+    h.init(0.0, 100.0, 100); // standalone (unregistered) histogram
+    for (int i = 1; i <= 100; ++i)
+        h.sample(static_cast<double>(i));
+    // Interpolated quantiles land inside the right bucket.
+    EXPECT_NEAR(h.percentile(0.50), 50.0, 1.0);
+    EXPECT_NEAR(h.percentile(0.95), 95.0, 1.0);
+    EXPECT_NEAR(h.percentile(0.99), 99.0, 1.0);
+    // Estimates clamp to the observed range, even with clamped
+    // out-of-range samples in the edge buckets.
+    EXPECT_LE(h.percentile(1.0), h.max());
+    EXPECT_GE(h.percentile(0.0), h.min());
+    h.sample(1000.0); // clamps into the last bucket
+    EXPECT_LE(h.percentile(0.999), 1000.0);
+
+    Histogram empty;
+    empty.init(0.0, 1.0, 4);
+    EXPECT_DOUBLE_EQ(empty.percentile(0.99), 0.0);
+}
+
 TEST(Random, DeterministicForSameSeed)
 {
     Random a(42), b(42);

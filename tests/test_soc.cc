@@ -209,4 +209,30 @@ TEST(ResourceManager, ReleaseRecyclesGroups)
     EXPECT_THROW(rm.release(99), FatalError);
 }
 
+TEST(ResourceManager, AccountsLeaseChurnAndOccupancy)
+{
+    Dtu chip(dtu2Config());
+    ResourceManager rm(chip);
+    // Two timestamped leases: tenant 1 holds 2 groups for 100 ticks,
+    // tenant 2 holds 1 group for 50 ticks.
+    ASSERT_TRUE(rm.allocate(1, 2, /*now=*/0).has_value());
+    ASSERT_TRUE(rm.allocate(2, 1, /*now=*/50).has_value());
+    EXPECT_EQ(rm.peakActiveGroups(), 3u);
+    rm.release(2, 100);
+    rm.release(1, 100);
+    ASSERT_TRUE(rm.allocate(3, 3).has_value());
+    ASSERT_TRUE(rm.allocate(4, 3).has_value());
+    EXPECT_FALSE(rm.allocate(5, 1).has_value()); // denial
+
+    EXPECT_EQ(rm.grants(), 4u);
+    EXPECT_EQ(rm.denials(), 1u);
+    EXPECT_EQ(rm.releases(), 2u);
+    EXPECT_EQ(rm.peakActiveGroups(), 6u);
+    // 2 groups x 100 + 1 group x 50 = 250 completed busy ticks; the
+    // live tick-0 leases of tenants 3/4 add 6 x now.
+    EXPECT_EQ(rm.groupBusyTicks(100), 250u + 6u * 100u);
+    EXPECT_DOUBLE_EQ(rm.utilization(100),
+                     (250.0 + 600.0) / (100.0 * 6.0));
+}
+
 } // namespace
