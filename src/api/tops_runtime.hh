@@ -235,6 +235,22 @@ class Device
     /** Dump the device's full stat registry as JSON. */
     void dumpStatsJson(std::ostream &os) { dtu_.stats().dumpJson(os); }
 
+    //
+    // Fault injection (see sim/fault.hh and the README's "Fault
+    // tolerance" section). Strictly opt-in: a device without
+    // installFaults() behaves bit-for-bit like one built before the
+    // subsystem existed.
+    //
+
+    /** Install a seeded fault injector on the chip (once). */
+    FaultInjector &installFaults(const FaultConfig &config)
+    {
+        return dtu_.installFaults(config);
+    }
+
+    /** The installed injector, or nullptr. */
+    FaultInjector *faults() { return dtu_.faults(); }
+
     /** Direct access for advanced use (profiling, stats). */
     Dtu &chip() { return dtu_; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dma/sparse_codec.hh"
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/tracer.hh"
 
@@ -123,6 +124,40 @@ DmaEngine::submit(const DmaDescriptor &desc)
 DmaResult
 DmaEngine::submitAt(Tick at, const DmaDescriptor &desc)
 {
+    if (!faults_ || !faults_->dmaEnabled())
+        return submitOnce(at, desc);
+
+    // Each attempt is one full pass through the engine; a transient
+    // fault discards the attempt's data (but not the time and wire
+    // traffic it burned) and the engine retries after an exponential
+    // backoff. Exhausted retries poison the execution that issued the
+    // request — the serving layer decides whether to rerun the batch.
+    DmaResult total;
+    Tick t = at;
+    unsigned attempt = 0;
+    for (;;) {
+        DmaResult r = submitOnce(t, desc);
+        total.done = r.done;
+        total.srcBytes += r.srcBytes;
+        total.dstBytes += r.dstBytes;
+        total.configs += r.configs;
+        if (!faults_->dmaTransient(r.done, name()))
+            break;
+        if (attempt >= faults_->dmaMaxRetries()) {
+            faults_->recordDmaExhausted(r.done, name());
+            break;
+        }
+        t = r.done + faults_->dmaBackoff(attempt);
+        ++attempt;
+        total.retries = attempt;
+        faults_->recordDmaRetry();
+    }
+    return total;
+}
+
+DmaResult
+DmaEngine::submitOnce(Tick at, const DmaDescriptor &desc)
+{
     fatalIf(desc.repeatCount == 0, "DMA repeatCount must be >= 1");
     fatalIf(desc.broadcast && desc.dst != MemLevel::L2,
             "DMA broadcast destination must be L2");
@@ -146,8 +181,10 @@ DmaEngine::submitAt(Tick at, const DmaDescriptor &desc)
                                                 : desc.dstPort;
         hop2.src = MemLevel::L2;
         hop2.srcPort = hop1.dstPort;
-        DmaResult first = submitAt(at, hop1);
-        DmaResult second = submitAt(first.done, hop2);
+        // Hops stay inside this attempt: the fault wrapper draws once
+        // per submitted request, not once per staging hop.
+        DmaResult first = submitOnce(at, hop1);
+        DmaResult second = submitOnce(first.done, hop2);
         second.srcBytes += first.srcBytes;
         second.dstBytes += first.dstBytes;
         second.configs += first.configs;

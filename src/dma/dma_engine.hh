@@ -32,6 +32,8 @@
 namespace dtu
 {
 
+class FaultInjector;
+
 /** Optional DTU 2.0 DMA capabilities (all false models DTU 1.0). */
 struct DmaFeatures
 {
@@ -67,6 +69,8 @@ struct DmaResult
     std::uint64_t dstBytes = 0;
     /** Configuration operations performed. */
     unsigned configs = 0;
+    /** Transient-fault retries the engine issued for this request. */
+    unsigned retries = 0;
 };
 
 /** A per-processing-group DMA engine. */
@@ -117,7 +121,17 @@ class DmaEngine : public SimObject
     /** Duty-cycle style busy ratio within a window, for the LPME. */
     double totalBytes() const { return pipe_->totalBytes(); }
 
+    /**
+     * Attach (or detach, with nullptr) the chip fault injector: each
+     * submitted request then draws a transient fault per attempt and
+     * the engine retries with bounded exponential backoff.
+     */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
+
   private:
+    /** One fault-free attempt at a request (the pre-fault submitAt). */
+    DmaResult submitOnce(Tick at, const DmaDescriptor &desc);
+
     /** Charge one endpoint and return its completion tick. */
     Tick endpointAccess(Tick at, MemLevel level, Addr addr, unsigned port,
                         std::uint64_t bytes, bool fill_port);
@@ -131,6 +145,7 @@ class DmaEngine : public SimObject
     DmaFeatures features_;
     unsigned configCycles_;
     std::unique_ptr<BandwidthResource> pipe_;
+    FaultInjector *faults_ = nullptr;
 
     Stat transactions_;
     Stat configOps_;

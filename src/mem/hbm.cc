@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 
 namespace dtu
@@ -48,6 +49,8 @@ Hbm::accessAt(Tick at, Addr addr, std::uint64_t bytes)
             std::min(ch_stripes * stripeBytes_, bytes);
         done = std::max(done, channels_[ch]->transferAt(at, ch_bytes));
     }
+    if (faults_)
+        done += faults_->eccAccess(done, name(), bytes);
     return done;
 }
 

@@ -24,6 +24,8 @@
 namespace dtu
 {
 
+class FaultInjector;
+
 /** A multi-channel high-bandwidth memory device. */
 class Hbm : public SimObject
 {
@@ -61,11 +63,19 @@ class Hbm : public SimObject
     /** Mean utilization across channels. */
     double utilization() const;
 
+    /**
+     * Attach (or detach, with nullptr) the chip fault injector: every
+     * access then draws its ECC outcome, and correctable errors
+     * lengthen the access by the scrub stall.
+     */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
+
   private:
     std::uint64_t capacity_;
     double totalBandwidth_;
     std::uint64_t stripeBytes_ = 256;
     std::vector<std::unique_ptr<BandwidthResource>> channels_;
+    FaultInjector *faults_ = nullptr;
 };
 
 } // namespace dtu

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/tracer.hh"
 
@@ -46,6 +47,14 @@ Cpme::returnBudget(Lpme &lpme, double watts)
     reserveWatts_ += surplus;
     panicIf(reserveWatts_ > limitWatts_ + 1e-9,
             "reserve pool exceeded the power limit");
+}
+
+double
+Cpme::thermalCappedHz(Tick at, double hz)
+{
+    if (!faults_)
+        return hz;
+    return faults_->thermalClampHz(at, hz);
 }
 
 void

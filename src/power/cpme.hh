@@ -24,6 +24,7 @@
 namespace dtu
 {
 
+class FaultInjector;
 class Tracer;
 
 /** Workload classification used by the Evaluation stage. */
@@ -129,6 +130,22 @@ class Cpme
     /** Timestamp for the trace events of the coming window. */
     void beginTraceWindow(Tick at) { traceTick_ = at; }
 
+    //
+    // Thermal throttling (fault injection). Sustained episodes cap
+    // the effective core clock below whatever the DVFS loop picked;
+    // the executor asks once per observation window.
+    //
+
+    /** Attach (or detach, with nullptr) the chip fault injector. */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
+
+    /**
+     * Clamp @p hz against the thermal-throttle episode active at
+     * @p at. Identity when no injector is installed or no episode is
+     * active.
+     */
+    double thermalCappedHz(Tick at, double hz);
+
   private:
     /** Emit a DVFS ladder-step instant event (no-op untraced). */
     void traceDvfsStep(std::size_t from_index, std::size_t to_index);
@@ -142,6 +159,7 @@ class Cpme
     double totalGranted_ = 0.0;
     Tracer *tracer_ = nullptr;
     Tick traceTick_ = 0;
+    FaultInjector *faults_ = nullptr;
 };
 
 } // namespace dtu

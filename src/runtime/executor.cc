@@ -353,6 +353,11 @@ Executor::run(const ExecutionPlan &plan, Tick start)
                 freq = new_freq;
             }
         }
+        // Thermal-throttle episodes (fault injection) cap the clock
+        // this window actually runs at, below whatever DVFS picked.
+        // The ladder state is untouched: the cap lifts by itself when
+        // the episode ends.
+        freq = dtu_.cpme().thermalCappedHz(op_start, freq);
         auto compute_ticks = static_cast<Tick>(
             compute_cycles * static_cast<double>(ticksPerSecond) / freq +
             0.5);

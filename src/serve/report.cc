@@ -9,16 +9,47 @@ namespace dtu
 namespace serve
 {
 
+const char *
+dropReasonName(DropReason reason)
+{
+    switch (reason) {
+      case DropReason::Rejected: return "rejected";
+      case DropReason::Shed: return "shed";
+      case DropReason::TimedOut: return "timed_out";
+      case DropReason::Failed: return "failed";
+    }
+    return "?";
+}
+
 ServingReport
 summarize(std::vector<CompletedRequest> completed, double offered_qps,
           std::uint64_t batches, double joules,
-          double group_utilization)
+          double group_utilization, std::vector<DroppedRequest> dropped,
+          std::uint64_t batch_retries, std::uint64_t faults_injected)
 {
     ServingReport report;
     report.offeredQps = offered_qps;
     report.batches = batches;
     report.joules = joules;
     report.groupUtilization = group_utilization;
+    report.batchRetries = batch_retries;
+    report.faultsInjected = faults_injected;
+
+    std::sort(dropped.begin(), dropped.end(),
+              [](const DroppedRequest &a, const DroppedRequest &b) {
+                  if (a.at != b.at)
+                      return a.at < b.at;
+                  return a.request.id < b.request.id;
+              });
+    for (const DroppedRequest &d : dropped) {
+        switch (d.reason) {
+          case DropReason::Rejected: ++report.rejectedRequests; break;
+          case DropReason::Shed: ++report.shedRequests; break;
+          case DropReason::TimedOut: ++report.timedOutRequests; break;
+          case DropReason::Failed: ++report.failedRequests; break;
+        }
+    }
+    report.dropped = std::move(dropped);
 
     std::sort(completed.begin(), completed.end(),
               [](const CompletedRequest &a, const CompletedRequest &b) {
@@ -28,8 +59,19 @@ summarize(std::vector<CompletedRequest> completed, double offered_qps,
               });
     report.completed = std::move(completed);
     report.requests = report.completed.size();
-    if (report.requests == 0)
+    report.submitted = report.requests + report.dropped.size();
+    report.availability =
+        report.submitted
+            ? static_cast<double>(report.requests) /
+                  static_cast<double>(report.submitted)
+            : 1.0;
+    if (report.requests == 0) {
+        // A run can legitimately complete nothing (everything shed,
+        // timed out, or failed); every ratio below divides by the
+        // request count, so stop here with zeros instead of NaNs.
+        report.meanBatchSize = 0.0;
         return report;
+    }
 
     double max_ms = 0.0;
     double sum_ms = 0.0;
@@ -89,7 +131,8 @@ writeJson(const ServingReport &report, std::ostream &os,
 {
     JsonWriter json(os);
     json.beginObject();
-    json.field("requests", report.requests)
+    json.field("submitted", report.submitted)
+        .field("requests", report.requests)
         .field("batches", report.batches)
         .field("mean_batch_size", report.meanBatchSize)
         .field("makespan_ms", ticksToMilliSeconds(report.makespan))
@@ -107,7 +150,14 @@ writeJson(const ServingReport &report, std::ostream &os,
         .field("exec_mean_ms", report.meanExecMs)
         .field("joules", report.joules)
         .field("joules_per_request", report.joulesPerRequest)
-        .field("group_utilization", report.groupUtilization);
+        .field("group_utilization", report.groupUtilization)
+        .field("availability", report.availability)
+        .field("shed_requests", report.shedRequests)
+        .field("timed_out_requests", report.timedOutRequests)
+        .field("rejected_requests", report.rejectedRequests)
+        .field("failed_requests", report.failedRequests)
+        .field("batch_retries", report.batchRetries)
+        .field("faults_injected", report.faultsInjected);
 
     json.key("missed_ids").beginArray();
     for (std::uint64_t id : report.missedIds)
@@ -142,6 +192,21 @@ writeJson(const ServingReport &report, std::ostream &os,
                        ticksToMilliSeconds(r.queueWait()))
                 .field("batch_size", r.batchSize)
                 .field("missed", r.missedDeadline())
+                .endObject();
+        }
+        json.endArray();
+
+        json.key("dropped_detail").beginArray();
+        for (const DroppedRequest &d : report.dropped) {
+            json.beginObject()
+                .field("id", d.request.id)
+                .field("model", d.request.model)
+                .field("arrival_ms",
+                       ticksToMilliSeconds(d.request.arrival))
+                .field("deadline_ms",
+                       ticksToMilliSeconds(d.request.deadline))
+                .field("dropped_ms", ticksToMilliSeconds(d.at))
+                .field("reason", dropReasonName(d.reason))
                 .endObject();
         }
         json.endArray();

@@ -28,6 +28,8 @@ namespace serve
 /** Aggregated serving metrics over one drained request trace. */
 struct ServingReport
 {
+    /** Requests the trace submitted (completed + dropped). */
+    std::uint64_t submitted = 0;
     /** Completed requests. */
     std::uint64_t requests = 0;
     /** Dynamic batches launched. */
@@ -70,8 +72,30 @@ struct ServingReport
     /** Time-weighted fraction of processing groups leased. */
     double groupUtilization = 0.0;
 
+    //
+    // Degradation and fault outcome (all zero on a fault-free run
+    // with degradation off).
+    //
+
+    /** Queued requests shed because their deadline expired. */
+    std::uint64_t shedRequests = 0;
+    /** Queued requests dropped by the per-request timeout. */
+    std::uint64_t timedOutRequests = 0;
+    /** Arrivals bounced by admission control. */
+    std::uint64_t rejectedRequests = 0;
+    /** Requests whose batch stayed poisoned after every retry. */
+    std::uint64_t failedRequests = 0;
+    /** Batch re-executions after poisoned runs. */
+    std::uint64_t batchRetries = 0;
+    /** Faults the injector scheduled during the run. */
+    std::uint64_t faultsInjected = 0;
+    /** completed / submitted; 1.0 when nothing was submitted. */
+    double availability = 1.0;
+
     /** Every completed request, ordered by completion then id. */
     std::vector<CompletedRequest> completed;
+    /** Every dropped request, ordered by drop time then id. */
+    std::vector<DroppedRequest> dropped;
 };
 
 /**
@@ -81,10 +105,20 @@ struct ServingReport
  * @param batches dynamic batches launched.
  * @param joules energy drawn between serve start and last completion.
  * @param group_utilization lease occupancy from the ResourceManager.
+ * @param dropped requests the scheduler gave up on (any order).
+ * @param batch_retries poisoned-batch re-executions.
+ * @param faults_injected faults scheduled during the run.
+ *
+ * Every ratio is guarded: a run that completes zero requests (all
+ * shed, timed out, or failed) reports zero QPS/means instead of
+ * dividing by zero.
  */
 ServingReport summarize(std::vector<CompletedRequest> completed,
                         double offered_qps, std::uint64_t batches,
-                        double joules, double group_utilization);
+                        double joules, double group_utilization,
+                        std::vector<DroppedRequest> dropped = {},
+                        std::uint64_t batch_retries = 0,
+                        std::uint64_t faults_injected = 0);
 
 /**
  * Serialize a report as JSON: the summary scalars, the miss set,

@@ -40,6 +40,31 @@ struct Request
     Tick deadline = 0;
 };
 
+/** Why the scheduler dropped a request instead of completing it. */
+enum class DropReason
+{
+    /** Admission control bounced the arrival (queue over limit). */
+    Rejected,
+    /** Load shedding: the deadline expired while still queued. */
+    Shed,
+    /** The per-request queue timeout elapsed before dispatch. */
+    TimedOut,
+    /** The batch execution was poisoned and retries ran out. */
+    Failed,
+};
+
+/** Stable lowercase name for JSON/logs. */
+const char *dropReasonName(DropReason reason);
+
+/** A request the scheduler gave up on. */
+struct DroppedRequest
+{
+    Request request;
+    /** Simulated time of the drop decision. */
+    Tick at = 0;
+    DropReason reason = DropReason::Shed;
+};
+
 /** A request after the scheduler finished it. */
 struct CompletedRequest
 {
@@ -107,6 +132,41 @@ class RequestQueue
                 names.push_back(model);
         }
         return names;
+    }
+
+    /**
+     * Remove every queued request matching @p pred, preserving FIFO
+     * order within each model. The removed requests are returned in
+     * deterministic order: alphabetical by model, FIFO within.
+     */
+    template <typename Pred>
+    std::vector<Request>
+    removeIf(Pred pred)
+    {
+        std::vector<Request> removed;
+        for (auto &[model, fifo] : queues_) {
+            std::deque<Request> kept;
+            for (Request &r : fifo) {
+                if (pred(r))
+                    removed.push_back(std::move(r));
+                else
+                    kept.push_back(std::move(r));
+            }
+            fifo = std::move(kept);
+        }
+        size_ -= removed.size();
+        return removed;
+    }
+
+    /** Visit every queued request, alphabetical model then FIFO. */
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (const auto &[model, fifo] : queues_) {
+            for (const Request &r : fifo)
+                fn(r);
+        }
     }
 
     /** Dequeue up to @p max_batch oldest requests of @p model. */

@@ -27,6 +27,10 @@ struct ActiveBatch
     int tenant = -1;
     std::string model;
     std::vector<Request> requests;
+    /** Poisoned re-executions this batch needed. */
+    unsigned retries = 0;
+    /** Still poisoned after the last permitted retry. */
+    bool failed = false;
 };
 
 } // namespace
@@ -45,6 +49,23 @@ Scheduler::Scheduler(Dtu &dtu, ResourceManager &manager,
                     dtu_.config().groupsPerCluster,
             "groups per batch must be 1..",
             dtu_.config().groupsPerCluster);
+
+    // The first scheduler on a chip owns the chip-level degradation
+    // counters; further schedulers (the registry rejects duplicate
+    // names) count locally and report through their ServingReport.
+    StatRegistry &stats = dtu_.stats();
+    if (!stats.has("serve.shed_requests")) {
+        shedStat_.init(stats, "serve.shed_requests",
+                       "queued requests shed after deadline expiry");
+        timedOutStat_.init(stats, "serve.timed_out_requests",
+                           "queued requests dropped by timeout");
+        rejectedStat_.init(stats, "serve.rejected_requests",
+                           "arrivals bounced by admission control");
+        failedStat_.init(stats, "serve.failed_requests",
+                         "requests whose batch stayed poisoned");
+        retryStat_.init(stats, "serve.batch_retries",
+                        "poisoned-batch re-executions");
+    }
 }
 
 const ExecutionPlan &
@@ -80,13 +101,20 @@ Scheduler::serve(std::vector<Request> trace)
     if (config_.exec.timeline)
         tracer.setEnabled(true);
     const bool tl = tracer.enabled();
-    TrackId req_track, batch_track;
+    TrackId req_track, batch_track, drop_track;
     if (tl) {
         req_track = tracer.track("serve", "requests");
         batch_track = tracer.track("serve", "batches");
+        drop_track = tracer.track("serve", "degradation");
     }
 
     const double joules_before = dtu_.energy().joules();
+    const DegradationPolicy &degrade = config_.degradation;
+    FaultInjector *faults = dtu_.faults();
+    const std::uint64_t faults_before =
+        faults ? faults->log().size() : 0;
+    std::vector<DroppedRequest> dropped;
+    std::uint64_t batch_retries = 0;
 
     // How many arrivals of each model are still in the future: the
     // batcher stops holding a partial batch once no companion can
@@ -105,12 +133,59 @@ Scheduler::serve(std::vector<Request> trace)
     Tick now = trace.empty() ? 0 : trace.front().arrival;
     Tick last_completion = 0;
 
+    auto drop = [&](const Request &r, Tick at, DropReason reason) {
+        switch (reason) {
+          case DropReason::Rejected: ++rejectedStat_; break;
+          case DropReason::Shed: ++shedStat_; break;
+          case DropReason::TimedOut: ++timedOutStat_; break;
+          case DropReason::Failed: ++failedStat_; break;
+        }
+        if (tl) {
+            tracer.instant(drop_track,
+                           std::string(dropReasonName(reason)) + " #" +
+                               std::to_string(r.id),
+                           "degradation", at);
+        }
+        dropped.push_back({r, at, reason});
+    };
+
     auto admitArrivals = [&](Tick upto) {
         while (next_arrival < trace.size() &&
                trace[next_arrival].arrival <= upto) {
             const Request &r = trace[next_arrival++];
-            queue.push(r);
             --future[r.model];
+            // Admission control: a client sees an immediate reject
+            // instead of a doomed wait when the queue is already over
+            // the configured depth.
+            if (degrade.admissionLimit != 0 &&
+                queue.size() >= degrade.admissionLimit) {
+                drop(r, r.arrival, DropReason::Rejected);
+                continue;
+            }
+            queue.push(r);
+        }
+    };
+
+    // Load shedding + queue timeout: sweep queued requests whose
+    // deadline already passed (they could only waste a lease) or
+    // whose queue wait hit the cap.
+    auto dropExpired = [&](Tick at) {
+        if (!degrade.shedExpired && degrade.requestTimeout == 0)
+            return;
+        auto expired = [&](const Request &r) {
+            return degrade.shedExpired && r.deadline != 0 &&
+                   r.deadline <= at;
+        };
+        std::vector<Request> victims =
+            queue.removeIf([&](const Request &r) {
+                if (expired(r))
+                    return true;
+                return degrade.requestTimeout != 0 &&
+                       at >= r.arrival + degrade.requestTimeout;
+            });
+        for (const Request &r : victims) {
+            drop(r, at,
+                 expired(r) ? DropReason::Shed : DropReason::TimedOut);
         }
     };
 
@@ -148,10 +223,22 @@ Scheduler::serve(std::vector<Request> trace)
             last_completion = std::max(last_completion, b.end);
             auto size = static_cast<unsigned>(b.requests.size());
             if (tl) {
+                TraceArgs args{{"batch", static_cast<double>(size)}};
+                if (b.retries)
+                    args.emplace_back("retries",
+                                      static_cast<double>(b.retries));
+                if (b.failed)
+                    args.emplace_back("failed", 1.0);
                 tracer.span(batch_track, b.model, "serving-batch",
-                            b.dispatched, b.end,
-                            {{"batch",
-                              static_cast<double>(size)}});
+                            b.dispatched, b.end, std::move(args));
+            }
+            if (b.failed) {
+                // Retries ran out with the execution still poisoned:
+                // the whole batch's results are suspect and every
+                // rider fails together.
+                for (const Request &r : b.requests)
+                    drop(r, b.end, DropReason::Failed);
+                continue;
             }
             for (const Request &r : b.requests) {
                 CompletedRequest c;
@@ -176,6 +263,7 @@ Scheduler::serve(std::vector<Request> trace)
     };
 
     admitArrivals(now);
+    dropExpired(now);
     while (true) {
         // Launch everything launchable at the current time. The
         // model scan restarts after every pass so a freed lease can
@@ -200,13 +288,42 @@ Scheduler::serve(std::vector<Request> trace)
                         static_cast<unsigned>(reqs.size()));
                     Executor executor(dtu_, lease->groups,
                                       config_.exec);
-                    ExecResult r = executor.run(p, now);
+                    // Poisoned executions (uncorrectable ECC,
+                    // exhausted DMA retries) re-run on the same lease
+                    // up to maxBatchRetries times; the lease is held
+                    // across retries so the re-execution cannot be
+                    // starved by new admissions.
+                    unsigned retries = 0;
+                    bool poisoned = false;
+                    Tick launch_at = now;
+                    ExecResult r;
+                    for (;;) {
+                        std::uint64_t before =
+                            faults ? faults->poisonCount() : 0;
+                        r = executor.run(p, launch_at);
+                        poisoned =
+                            faults && faults->poisonCount() > before;
+                        if (!poisoned ||
+                            retries >= degrade.maxBatchRetries)
+                            break;
+                        ++retries;
+                        ++batch_retries;
+                        ++retryStat_;
+                        launch_at = r.end;
+                        if (tl) {
+                            tracer.instant(
+                                drop_track, "batch-retry " + model,
+                                "degradation", launch_at);
+                        }
+                    }
                     ActiveBatch batch;
                     batch.end = r.end;
                     batch.dispatched = now;
                     batch.tenant = next_tenant;
                     batch.model = model;
                     batch.requests = std::move(reqs);
+                    batch.retries = retries;
+                    batch.failed = poisoned;
                     active.push_back(std::move(batch));
                     ++next_tenant;
                     ++batches;
@@ -230,6 +347,21 @@ Scheduler::serve(std::vector<Request> trace)
             if (timeout > now)
                 next = std::min(next, timeout);
         }
+        // Degradation deadlines are events too: a queued request's
+        // SLO expiry or queue-timeout maturation must wake the loop
+        // even with no arrival or completion in between.
+        if (degrade.shedExpired || degrade.requestTimeout != 0) {
+            queue.forEach([&](const Request &r) {
+                if (degrade.shedExpired && r.deadline > now)
+                    next = std::min(next, r.deadline);
+                if (degrade.requestTimeout != 0) {
+                    Tick timeout =
+                        r.arrival + degrade.requestTimeout;
+                    if (timeout > now)
+                        next = std::min(next, timeout);
+                }
+            });
+        }
         if (next == kNever) {
             fatalIf(!queue.empty(),
                     "serving deadlock: ", queue.size(),
@@ -239,12 +371,15 @@ Scheduler::serve(std::vector<Request> trace)
         now = next;
         completeBatches(now);
         admitArrivals(now);
+        dropExpired(now);
     }
 
     ServingReport report = summarize(
         std::move(completed), offered, batches,
         dtu_.energy().joules() - joules_before,
-        manager_.utilization(last_completion));
+        manager_.utilization(last_completion), std::move(dropped),
+        batch_retries,
+        faults ? faults->log().size() - faults_before : 0);
     return report;
 }
 

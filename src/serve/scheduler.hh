@@ -69,10 +69,50 @@ struct BatchingPolicy
     }
 };
 
+/**
+ * How the scheduler degrades under overload and faults. Everything
+ * defaults off: a default-constructed policy reproduces the
+ * fault-oblivious scheduler bit-for-bit.
+ */
+struct DegradationPolicy
+{
+    /**
+     * Drop a request still queued this long after arrival; 0 off.
+     * Bounds the queue-wait a client can observe before a reject.
+     */
+    Tick requestTimeout = 0;
+    /**
+     * Deadline-aware load shedding: drop queued requests whose
+     * deadline has already passed — they can only waste a lease.
+     */
+    bool shedExpired = false;
+    /**
+     * Admission control: reject new arrivals while the queue holds
+     * this many requests; 0 disables backpressure.
+     */
+    std::size_t admissionLimit = 0;
+    /**
+     * Re-run a batch whose execution was poisoned (uncorrectable ECC
+     * or exhausted DMA retries) up to this many times before failing
+     * its requests.
+     */
+    unsigned maxBatchRetries = 0;
+
+    /** True when any degradation response is active. */
+    bool
+    anyEnabled() const
+    {
+        return requestTimeout != 0 || shedExpired ||
+               admissionLimit != 0 || maxBatchRetries != 0;
+    }
+};
+
 /** Configuration of one serving run. */
 struct ServingConfig
 {
     BatchingPolicy batching;
+    /** Overload/fault response (all off by default). */
+    DegradationPolicy degradation;
     /** Processing groups leased per in-flight batch. */
     unsigned groupsPerBatch = 1;
     /** Precision the plans compile to. */
@@ -118,6 +158,19 @@ class Scheduler
     ResourceManager &manager_;
     ServingConfig config_;
     std::map<std::pair<std::string, unsigned>, ExecutionPlan> plans_;
+
+    //
+    // Degradation counters. The first scheduler on a chip registers
+    // them as "serve.*" in the chip's StatRegistry; later schedulers
+    // on the same chip count locally (the registry rejects duplicate
+    // names), and the authoritative per-run numbers always live in
+    // the ServingReport.
+    //
+    Stat shedStat_;
+    Stat timedOutStat_;
+    Stat rejectedStat_;
+    Stat failedStat_;
+    Stat retryStat_;
 };
 
 } // namespace serve

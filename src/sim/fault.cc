@@ -1,0 +1,240 @@
+#include "sim/fault.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+#include "sim/tracer.hh"
+
+namespace dtu
+{
+
+namespace
+{
+
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+/** Per-class seed derivation: distinct, stable streams. */
+constexpr std::uint64_t kEccStream = 0xE0CC'5EED'0000'0001ULL;
+constexpr std::uint64_t kDmaStream = 0xD3A0'5EED'0000'0002ULL;
+constexpr std::uint64_t kThermalStream = 0x7E30'5EED'0000'0003ULL;
+
+/** Exponential draw with mean @p mean_seconds, as ticks (>= 1). */
+Tick
+expTicks(Random &rng, double mean_seconds)
+{
+    double seconds = -std::log(1.0 - rng.uniform()) * mean_seconds;
+    return std::max<Tick>(1, secondsToTicks(seconds));
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::EccCorrectable: return "ecc_correctable";
+      case FaultKind::EccUncorrectable: return "ecc_uncorrectable";
+      case FaultKind::DmaTransient: return "dma_transient";
+      case FaultKind::DmaRetryExhausted: return "dma_retry_exhausted";
+      case FaultKind::ThermalThrottle: return "thermal_throttle";
+    }
+    return "?";
+}
+
+bool
+FaultConfig::anyEnabled() const
+{
+    return eccCorrectablePerGiB > 0.0 || eccUncorrectablePerGiB > 0.0 ||
+           dmaTransientRate > 0.0 ||
+           (thermalMeanIntervalS > 0.0 && thermalMeanDurationS > 0.0 &&
+            thermalCapHz > 0.0);
+}
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(config), eccRng_(config.seed ^ kEccStream),
+      dmaRng_(config.seed ^ kDmaStream),
+      thermalRng_(config.seed ^ kThermalStream)
+{
+    fatalIf(config_.eccCorrectablePerGiB < 0.0 ||
+                config_.eccUncorrectablePerGiB < 0.0,
+            "ECC fault rates must be non-negative");
+    fatalIf(config_.dmaTransientRate < 0.0 ||
+                config_.dmaTransientRate > 1.0,
+            "DMA transient rate must be in [0, 1], got ",
+            config_.dmaTransientRate);
+    fatalIf(config_.thermalMeanIntervalS < 0.0 ||
+                config_.thermalMeanDurationS < 0.0 ||
+                config_.thermalCapHz < 0.0,
+            "thermal episode parameters must be non-negative");
+}
+
+void
+FaultInjector::registerStats(StatRegistry &stats)
+{
+    eccCorrectableStat_.init(stats, "fault.ecc_correctable",
+                             "correctable HBM ECC errors injected");
+    eccUncorrectableStat_.init(stats, "fault.ecc_uncorrectable",
+                               "uncorrectable HBM ECC errors injected");
+    dmaTransientStat_.init(stats, "fault.dma_transient",
+                           "transient DMA descriptor faults injected");
+    dmaRetryStat_.init(stats, "fault.dma_retries",
+                       "DMA retries issued after transient faults");
+    dmaExhaustedStat_.init(stats, "fault.dma_exhausted",
+                           "DMA descriptors that failed every retry");
+    thermalEpisodeStat_.init(stats, "fault.thermal_episodes",
+                             "thermal-throttle episodes scheduled");
+    thermalThrottledWindowStat_.init(
+        stats, "fault.thermal_throttled_windows",
+        "observation windows clamped by a thermal episode");
+}
+
+void
+FaultInjector::record(FaultKind kind, Tick at, const std::string &site)
+{
+    log_.push_back({kind, at, site});
+    if (tracer_ && tracer_->enabled()) {
+        tracer_->instant(tracer_->track("faults", site),
+                         faultKindName(kind), "fault", at);
+    }
+}
+
+Tick
+FaultInjector::eccAccess(Tick at, const std::string &site,
+                         std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return 0;
+    double gib = static_cast<double>(bytes) / kGiB;
+    Tick extra = 0;
+    if (config_.eccCorrectablePerGiB > 0.0 &&
+        eccRng_.chance(
+            std::min(1.0, config_.eccCorrectablePerGiB * gib))) {
+        ++eccCorrectableStat_;
+        record(FaultKind::EccCorrectable, at, site);
+        extra += config_.eccScrubTicks;
+    }
+    if (config_.eccUncorrectablePerGiB > 0.0 &&
+        eccRng_.chance(
+            std::min(1.0, config_.eccUncorrectablePerGiB * gib))) {
+        ++eccUncorrectableStat_;
+        ++uncorrectable_;
+        record(FaultKind::EccUncorrectable, at, site);
+    }
+    return extra;
+}
+
+bool
+FaultInjector::dmaTransient(Tick at, const std::string &site)
+{
+    if (!dmaEnabled())
+        return false;
+    if (!dmaRng_.chance(config_.dmaTransientRate))
+        return false;
+    ++dmaTransientStat_;
+    record(FaultKind::DmaTransient, at, site);
+    return true;
+}
+
+void
+FaultInjector::recordDmaRetry()
+{
+    ++dmaRetryStat_;
+}
+
+void
+FaultInjector::recordDmaExhausted(Tick at, const std::string &site)
+{
+    ++dmaExhaustedStat_;
+    ++dmaExhausted_;
+    record(FaultKind::DmaRetryExhausted, at, site);
+}
+
+void
+FaultInjector::extendThermalSchedule(Tick upto)
+{
+    while (thermalCovered_ <= upto) {
+        Tick gap = expTicks(thermalRng_, config_.thermalMeanIntervalS);
+        Tick duration =
+            expTicks(thermalRng_, config_.thermalMeanDurationS);
+        ThermalEpisode episode;
+        episode.start = thermalCovered_ + gap;
+        episode.end = episode.start + duration;
+        thermalCovered_ = episode.end;
+        episodes_.push_back(episode);
+        ++thermalEpisodeStat_;
+        record(FaultKind::ThermalThrottle, episode.start, "thermal");
+        if (tracer_ && tracer_->enabled()) {
+            tracer_->span(tracer_->track("faults", "thermal"),
+                          "thermal-throttle", "fault", episode.start,
+                          episode.end,
+                          {{"cap_ghz", config_.thermalCapHz / 1e9}});
+        }
+    }
+}
+
+double
+FaultInjector::thermalCapHz(Tick at)
+{
+    if (config_.thermalMeanIntervalS <= 0.0 ||
+        config_.thermalMeanDurationS <= 0.0 ||
+        config_.thermalCapHz <= 0.0) {
+        return 0.0;
+    }
+    extendThermalSchedule(at);
+    // Episodes are disjoint and start-sorted by construction.
+    auto it = std::upper_bound(
+        episodes_.begin(), episodes_.end(), at,
+        [](Tick t, const ThermalEpisode &e) { return t < e.start; });
+    if (it == episodes_.begin())
+        return 0.0;
+    --it;
+    return at < it->end ? config_.thermalCapHz : 0.0;
+}
+
+double
+FaultInjector::thermalClampHz(Tick at, double hz)
+{
+    double cap = thermalCapHz(at);
+    if (cap <= 0.0 || cap >= hz)
+        return hz;
+    ++thermalThrottledWindowStat_;
+    return cap;
+}
+
+std::uint64_t
+FaultInjector::count(FaultKind kind) const
+{
+    switch (kind) {
+      case FaultKind::EccCorrectable:
+        return static_cast<std::uint64_t>(eccCorrectableStat_.value());
+      case FaultKind::EccUncorrectable:
+        return uncorrectable_;
+      case FaultKind::DmaTransient:
+        return static_cast<std::uint64_t>(dmaTransientStat_.value());
+      case FaultKind::DmaRetryExhausted:
+        return dmaExhausted_;
+      case FaultKind::ThermalThrottle:
+        return static_cast<std::uint64_t>(thermalEpisodeStat_.value());
+    }
+    return 0;
+}
+
+void
+FaultInjector::writeLogJson(std::ostream &os) const
+{
+    JsonWriter json(os);
+    json.beginArray();
+    for (const InjectedFault &fault : log_) {
+        json.beginObject()
+            .field("kind", faultKindName(fault.kind))
+            .field("at_ticks", fault.at)
+            .field("site", fault.site)
+            .endObject();
+    }
+    json.endArray();
+    os << "\n";
+}
+
+} // namespace dtu

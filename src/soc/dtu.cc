@@ -112,4 +112,19 @@ Dtu::setCoreFrequency(double hz)
         clock->setFrequency(hz);
 }
 
+FaultInjector &
+Dtu::installFaults(const FaultConfig &config)
+{
+    fatalIf(faults_ != nullptr,
+            "chip '", config_.name, "' already has a fault injector");
+    faults_ = std::make_unique<FaultInjector>(config);
+    faults_->registerStats(stats_);
+    faults_->setTracer(&tracer_);
+    hbm_->setFaultInjector(faults_.get());
+    for (unsigned gid = 0; gid < totalGroups(); ++gid)
+        group(gid).dma().setFaultInjector(faults_.get());
+    cpme_->setFaultInjector(faults_.get());
+    return *faults_;
+}
+
 } // namespace dtu

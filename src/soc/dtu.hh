@@ -18,6 +18,7 @@
 
 #include "power/cpme.hh"
 #include "power/power_model.hh"
+#include "sim/fault.hh"
 #include "sim/tracer.hh"
 #include "soc/config.hh"
 #include "soc/processing_group.hh"
@@ -85,6 +86,21 @@ class Dtu
     /** Current core frequency (all clusters track the CPME). */
     double coreFrequency() const { return coreClocks_.front()->frequency(); }
 
+    //
+    // Fault injection (strictly opt-in). Without installFaults() the
+    // chip has no injector and every hook is a null-pointer check.
+    //
+
+    /**
+     * Install a seeded fault injector and wire it into the HBM, every
+     * DMA engine, and the CPME. One injector per chip; installing
+     * twice is a configuration error.
+     */
+    FaultInjector &installFaults(const FaultConfig &config);
+
+    /** The installed injector, or nullptr. */
+    FaultInjector *faults() { return faults_.get(); }
+
   private:
     DtuConfig config_;
     EventQueue queue_;
@@ -97,6 +113,7 @@ class Dtu
     std::vector<std::unique_ptr<Cluster>> clusters_;
     std::unique_ptr<Cpme> cpme_;
     EnergyMeter energy_;
+    std::unique_ptr<FaultInjector> faults_;
 };
 
 } // namespace dtu

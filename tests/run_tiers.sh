@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tiered test driver (see README "Testing"):
+#
+#   tier 1  fast unit/regression tests    build/      ctest -LE slow
+#   tier 2  long serving/fault sweeps     build/      ctest -L slow
+#   tier 3  tier-1 again under ASan+UBSan build-asan/ ctest -LE slow
+#
+#   tests/run_tiers.sh              # tier 1 + tier 3
+#   tests/run_tiers.sh --with-slow  # all three tiers
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+with_slow=0
+for arg in "$@"; do
+    case "$arg" in
+        --with-slow) with_slow=1 ;;
+        *) echo "usage: $0 [--with-slow]" >&2; exit 2 ;;
+    esac
+done
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== tier 1: fast tests =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$jobs"
+(cd build && ctest --output-on-failure -j"$jobs" -LE slow)
+
+if [ "$with_slow" -eq 1 ]; then
+    echo "== tier 2: slow sweeps (-L slow) =="
+    (cd build && ctest --output-on-failure -L slow)
+fi
+
+echo "== tier 3: sanitizer build (ASan+UBSan) =="
+cmake -B build-asan -S . -DDTU_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j"$jobs"
+(cd build-asan && ctest --output-on-failure -j"$jobs" -LE slow)
+
+echo "== all requested tiers passed =="

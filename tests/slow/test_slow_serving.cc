@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Long serving sweeps under injected faults (ctest label: slow).
+ *
+ * These mirror bench_fault_tolerance at test scale: they replay a
+ * near-saturation mixed trace through the scheduler with the fault
+ * injector running hot, and pin the two properties the fast tier
+ * cannot afford to check end-to-end — that deadline-aware shedding
+ * strictly beats serving everything late under overload faults, and
+ * that a long fully-faulted run replays bit-for-bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "serve/arrival.hh"
+#include "serve/scheduler.hh"
+#include "sim/fault.hh"
+
+namespace
+{
+
+using namespace dtu;
+using namespace dtu::serve;
+
+std::vector<Request>
+overloadTrace()
+{
+    const double qps = 3000.0;
+    return finalizeTrace(
+        {poissonTrace("resnet50", qps * 0.75, 96, /*seed=*/101,
+                      /*deadline=*/secondsToTicks(20e-3)),
+         poissonTrace("bert_large", qps * 0.25, 32, /*seed=*/202,
+                      /*deadline=*/secondsToTicks(80e-3))});
+}
+
+FaultConfig
+overloadFaults()
+{
+    FaultConfig config;
+    config.seed = 42;
+    config.eccCorrectablePerGiB = 200.0;
+    config.dmaTransientRate = 0.05;
+    config.thermalMeanIntervalS = 5e-3;
+    config.thermalMeanDurationS = 20e-3;
+    config.thermalCapHz = 0.45e9;
+    return config;
+}
+
+ServingConfig
+servingConfig(bool shed)
+{
+    ServingConfig config;
+    config.batching.maxBatch = 8;
+    config.batching.maxQueueDelay = secondsToTicks(2e-3);
+    config.batching.perModelMaxBatch["bert_large"] = 1;
+    config.groupsPerBatch = 1;
+    config.degradation.maxBatchRetries = 2;
+    if (shed) {
+        config.degradation.shedExpired = true;
+        config.degradation.requestTimeout = secondsToTicks(120e-3);
+        config.degradation.admissionLimit = 64;
+    }
+    return config;
+}
+
+ServingReport
+run(const std::vector<Request> &trace, bool shed)
+{
+    Dtu chip(dtu2Config());
+    chip.installFaults(overloadFaults());
+    ResourceManager rm(chip);
+    Scheduler scheduler(chip, rm, servingConfig(shed));
+    return scheduler.serve(trace);
+}
+
+TEST(SlowFaultServing, SheddingBeatsNoSheddingUnderOverloadFaults)
+{
+    std::vector<Request> trace = overloadTrace();
+    ServingReport none = run(trace, /*shed=*/false);
+    ServingReport shed = run(trace, /*shed=*/true);
+
+    // Under sustained throttling the chip cannot serve the offered
+    // load; without shedding, batches keep carrying requests that
+    // already missed their deadline, so in-deadline completions per
+    // second collapse.
+    EXPECT_GT(shed.goodputQps, none.goodputQps);
+    EXPECT_GT(shed.shedRequests + shed.timedOutRequests +
+                  shed.rejectedRequests,
+              0u);
+    EXPECT_GT(none.faultsInjected, 0u);
+}
+
+TEST(SlowFaultServing, LongFaultedRunReplaysBitForBit)
+{
+    std::vector<Request> trace = overloadTrace();
+    ServingReport a = run(trace, /*shed=*/true);
+    ServingReport b = run(trace, /*shed=*/true);
+
+    std::ostringstream ja;
+    writeJson(a, ja);
+    std::ostringstream jb;
+    writeJson(b, jb);
+    EXPECT_EQ(ja.str(), jb.str());
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
+}
+
+} // namespace

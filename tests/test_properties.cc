@@ -18,7 +18,9 @@
 #include "dma/sparse_codec.hh"
 #include "models/model_zoo.hh"
 #include "runtime/executor.hh"
+#include "serve/arrival.hh"
 #include "sim/random.hh"
+#include "sim/stats.hh"
 
 namespace
 {
@@ -250,6 +252,91 @@ TEST(ExecutorProperty, EveryFeatureOffNeverFaster)
         }
         EXPECT_GE(run_with(options) + 1000, baseline)
             << "feature " << feature;
+    }
+}
+
+//
+// Arrival-generator properties (serve/arrival.hh).
+//
+
+TEST(ArrivalProperty, PoissonEmpiricalMeanNearNominalRate)
+{
+    // The empirical rate of a long Poisson trace converges on the
+    // nominal qps: with n = 4096 gaps the sample mean sits within a
+    // few percent of 1/qps w.h.p.; 15% is a safely loose band that
+    // still catches an inverted or mis-scaled inverse-CDF.
+    for (std::uint64_t seed : {1ull, 77ull, 4096ull}) {
+        double qps = 2500.0;
+        auto trace =
+            serve::poissonTrace("resnet50", qps, 4096, seed);
+        double measured = serve::offeredQps(trace);
+        EXPECT_GT(measured, qps * 0.85) << "seed " << seed;
+        EXPECT_LT(measured, qps * 1.15) << "seed " << seed;
+    }
+}
+
+TEST(ArrivalProperty, GeneratorsEmitMonotoneTimestamps)
+{
+    for (std::uint64_t seed : {2ull, 31ull, 999ull}) {
+        for (const auto &trace :
+             {serve::poissonTrace("a", 3000.0, 512, seed),
+              serve::burstyTrace("a", 3000.0, 512, seed)}) {
+            for (std::size_t i = 1; i < trace.size(); ++i) {
+                ASSERT_GE(trace[i].arrival, trace[i - 1].arrival)
+                    << "seed " << seed << " index " << i;
+            }
+        }
+    }
+}
+
+TEST(ArrivalProperty, DeadlineIsArrivalPlusSlo)
+{
+    Tick slo = secondsToTicks(7e-3);
+    for (const auto &trace :
+         {serve::fixedRateTrace("a", 1000.0, 64, slo),
+          serve::poissonTrace("a", 1000.0, 64, /*seed=*/5, slo),
+          serve::burstyTrace("a", 1000.0, 64, /*seed=*/5, 8, 4.0,
+                             slo)}) {
+        for (const serve::Request &r : trace)
+            ASSERT_EQ(r.deadline, r.arrival + slo);
+    }
+}
+
+TEST(ArrivalProperty, ZeroSloLeavesDeadlineUnset)
+{
+    for (const serve::Request &r :
+         serve::poissonTrace("a", 1000.0, 64, /*seed=*/9))
+        ASSERT_EQ(r.deadline, 0u);
+}
+
+//
+// Histogram percentile properties (sim/stats.hh).
+//
+
+TEST(HistogramProperty, PercentilesAreMonotoneOnRandomSamples)
+{
+    // p50 <= p95 <= p99 must hold for any sample set; sweep several
+    // seeded random shapes (uniform, heavy-tailed, near-constant).
+    Random rng(2024);
+    for (int trial = 0; trial < 20; ++trial) {
+        Histogram h;
+        h.init(0.0, 100.0, 64);
+        int samples = 50 + static_cast<int>(rng.below(500));
+        for (int i = 0; i < samples; ++i) {
+            double v = rng.uniform(0.0, 100.0);
+            if (trial % 3 == 1)
+                v = v * v / 100.0; // heavy tail toward 0
+            if (trial % 3 == 2)
+                v = 50.0 + v / 100.0; // near-constant
+            h.sample(v);
+        }
+        double p50 = h.percentile(0.50);
+        double p95 = h.percentile(0.95);
+        double p99 = h.percentile(0.99);
+        ASSERT_LE(p50, p95) << "trial " << trial;
+        ASSERT_LE(p95, p99) << "trial " << trial;
+        ASSERT_GE(p50, h.min()) << "trial " << trial;
+        ASSERT_LE(p99, h.max()) << "trial " << trial;
     }
 }
 
