@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Top-down bottleneck attribution of the paper's workloads.
+ *
+ * Runs each model on the simulated i20 with the performance sampler
+ * and per-operator tracing enabled, then prints (and exports) where
+ * every core tick went — issue, throttled, dma-wait, icache-stall,
+ * idle — plus each operator's roofline placement against the chip's
+ * compute and HBM ceilings. The Section VI analysis ("ResNet50 is
+ * mostly compute-bound at batch 8; BERT's attention blocks live under
+ * the bandwidth roof") as one reproducible binary.
+ *
+ *   bench_bottleneck                         # table to stdout
+ *   bench_bottleneck --json out.json         # + machine-readable
+ *   bench_bottleneck --prometheus out.prom   # + Prometheus scrape
+ *   bench_bottleneck --csv out.csv           # + PMU time series
+ *   bench_bottleneck --report out.json       # + full BottleneckReport
+ *                                            #   of the last model
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "obs/perf_monitor.hh"
+#include "obs/prometheus.hh"
+#include "obs/topdown.hh"
+
+using namespace dtu;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOutput out(argc, argv, "bench_bottleneck",
+                           {"--prometheus", "--csv", "--report"});
+
+    const DtuConfig config = dtu2Config();
+    const std::vector<std::string> models = {"resnet50", "bert_large",
+                                             "vgg16"};
+    const int batch = 8;
+
+    ReportTable table({"model", "issue %", "throttled %", "dma-wait %",
+                       "icache %", "idle %", "top-op intensity",
+                       "latency ms"});
+
+    std::printf("top-down bottleneck attribution, i20 batch %d\n\n",
+                batch);
+
+    for (std::size_t mi = 0; mi < models.size(); ++mi) {
+        const std::string &model = models[mi];
+        const bool last = mi + 1 == models.size();
+
+        Dtu chip(config);
+        // 50 us sampling period: fine enough to see per-layer phases,
+        // coarse enough that a full model run stays in thousands of
+        // samples.
+        obs::PerfMonitor &pm =
+            chip.enablePerfSampling(secondsToTicks(50e-6));
+
+        Graph graph = models::buildModel(model, batch);
+        ExecutionPlan plan = compile(graph, config, DType::FP16,
+                                     config.totalGroups(), {}, batch);
+        std::vector<unsigned> groups;
+        for (unsigned g = 0; g < config.totalGroups(); ++g)
+            groups.push_back(g);
+        Executor executor(chip, groups, {.trace = true});
+        ExecResult result = executor.run(plan);
+
+        obs::BottleneckReport report = obs::buildBottleneckReport(
+            result, config, DType::FP16, groups);
+
+        std::printf("== %s ==\n", model.c_str());
+        report.print(std::cout);
+        std::printf("  pmu: %zu samples across %zu counters\n\n",
+                    pm.sampleCount(), pm.watched().size());
+
+        // The operator with the highest arithmetic intensity — the
+        // model's best shot at the compute roof.
+        double top_intensity = 0.0;
+        for (const obs::OpAttribution &op : report.operators) {
+            top_intensity = std::max(
+                top_intensity, op.roofline.intensityOpsPerByte);
+        }
+        table.addRow(model,
+                     {100.0 * report.total.share(obs::TdCategory::Issue),
+                      100.0 * report.total.share(
+                                  obs::TdCategory::Throttled),
+                      100.0 * report.total.share(
+                                  obs::TdCategory::DmaWait),
+                      100.0 * report.total.share(
+                                  obs::TdCategory::IcacheStall),
+                      100.0 * report.total.share(obs::TdCategory::Idle),
+                      top_intensity, ticksToMilliSeconds(report.latency)});
+
+        out.metric(model + "_issue_share",
+                   report.total.share(obs::TdCategory::Issue));
+        out.metric(model + "_dma_wait_share",
+                   report.total.share(obs::TdCategory::DmaWait));
+        out.metric(model + "_latency_ms",
+                   ticksToMilliSeconds(report.latency));
+
+        // Artifacts come from the last (largest-trace) model so one
+        // invocation yields one coherent set of files.
+        if (last) {
+            const std::string &prom_path = out.option("--prometheus");
+            if (!prom_path.empty()) {
+                std::ofstream os(prom_path);
+                fatalIf(!os, "cannot open '", prom_path, "'");
+                obs::writePrometheusText(chip.stats(), os);
+                std::printf("  prometheus artifact: %s\n",
+                            prom_path.c_str());
+            }
+            const std::string &csv_path = out.option("--csv");
+            if (!csv_path.empty()) {
+                std::ofstream os(csv_path);
+                fatalIf(!os, "cannot open '", csv_path, "'");
+                pm.writeCsv(os);
+                std::printf("  pmu csv artifact: %s\n",
+                            csv_path.c_str());
+            }
+            const std::string &report_path = out.option("--report");
+            if (!report_path.empty()) {
+                std::ofstream os(report_path);
+                fatalIf(!os, "cannot open '", report_path, "'");
+                report.writeJson(os);
+                std::printf("  bottleneck report artifact: %s\n",
+                            report_path.c_str());
+            }
+        }
+    }
+
+    printBanner("per-model top-down summary");
+    table.print();
+    out.table("bottleneck", table);
+    return out.finish();
+}

@@ -1,5 +1,7 @@
 #include "api/server.hh"
 
+#include "sim/logging.hh"
+
 namespace dtu
 {
 
@@ -36,6 +38,15 @@ Server::serve()
     last_ = scheduler_.serve(std::move(pending_));
     pending_.clear();
     return last_;
+}
+
+obs::SloMonitor &
+Server::enableSloMonitor(obs::SloConfig config)
+{
+    fatalIf(sloMon_ != nullptr, "server already has an SLO monitor");
+    sloMon_ = std::make_unique<obs::SloMonitor>(config);
+    scheduler_.setSloMonitor(sloMon_.get());
+    return *sloMon_;
 }
 
 } // namespace dtu

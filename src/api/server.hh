@@ -26,10 +26,12 @@
 #define DTU_API_SERVER_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "api/tops_runtime.hh"
+#include "obs/slo_monitor.hh"
 #include "serve/scheduler.hh"
 
 namespace dtu
@@ -70,6 +72,19 @@ class Server
 
     const serve::ServingConfig &config() const { return config_; }
 
+    /**
+     * Attach a live SLO monitor to the serving pipeline: tumbling
+     * windows of p50/p95/p99, goodput, and SLO burn rate, with
+     * threshold alert callbacks firing mid-serve at the simulated
+     * time of the crossing (see obs/slo_monitor.hh). Enabling twice
+     * is a configuration error; without it serving is bit-for-bit
+     * unchanged.
+     */
+    obs::SloMonitor &enableSloMonitor(obs::SloConfig config = {});
+
+    /** The attached monitor, or nullptr. */
+    obs::SloMonitor *sloMonitor() { return sloMon_.get(); }
+
   private:
     Device &device_;
     serve::ServingConfig config_;
@@ -77,6 +92,7 @@ class Server
     std::vector<serve::Request> pending_;
     std::uint64_t nextId_ = 1;
     serve::ServingReport last_;
+    std::unique_ptr<obs::SloMonitor> sloMon_;
 };
 
 } // namespace dtu

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/perf_monitor.hh"
+#include "obs/prometheus.hh"
 #include "sim/logging.hh"
 
 namespace dtu
@@ -32,6 +34,18 @@ Device::free(DeviceBuffer &buffer)
     fatalIf(buffer.bytes_ > allocated_, "double free or corruption");
     allocated_ -= buffer.bytes_;
     buffer = DeviceBuffer{};
+}
+
+obs::PerfMonitor &
+Device::enablePerfSampling(Tick period)
+{
+    return dtu_.enablePerfSampling(period);
+}
+
+void
+Device::writePrometheus(std::ostream &os)
+{
+    obs::writePrometheusText(dtu_.stats(), os);
 }
 
 std::optional<Stream>

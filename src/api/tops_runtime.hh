@@ -235,6 +235,25 @@ class Device
     /** Dump the device's full stat registry as JSON. */
     void dumpStatsJson(std::ostream &os) { dtu_.stats().dumpJson(os); }
 
+    /**
+     * Install the PMU-style performance sampler on the chip (once):
+     * every @p period ticks the monitor snapshots the key hardware
+     * counters into in-memory time series and mirrors them onto the
+     * timeline as "pmu.*" counter tracks (see obs/perf_monitor.hh).
+     * Strictly opt-in; timing results are unchanged.
+     */
+    obs::PerfMonitor &enablePerfSampling(Tick period);
+
+    /** The installed sampler, or nullptr. */
+    obs::PerfMonitor *perfMonitor() { return dtu_.perfMonitor(); }
+
+    /**
+     * Export every device stat in Prometheus text exposition format
+     * (version 0.0.4): scalars as gauges, histograms with cumulative
+     * le-buckets (see obs/prometheus.hh).
+     */
+    void writePrometheus(std::ostream &os);
+
     //
     // Fault injection (see sim/fault.hh and the README's "Fault
     // tolerance" section). Strictly opt-in: a device without

@@ -32,12 +32,16 @@ ComputeCore::ComputeCore(std::string name, EventQueue &queue,
                                "instructions retired");
         statCycles_.init(*stats, this->name() + ".cycles",
                          "total execution cycles");
+        statIssueCycles_.init(*stats, this->name() + ".issue_cycles",
+                              "productive VLIW issue cycles");
         statBankStalls_.init(*stats, this->name() + ".bank_stalls",
                              "register bank conflict stall cycles");
         statStructStalls_.init(*stats, this->name() + ".struct_stalls",
                                "structural (unit busy) stall cycles");
         statThrottleCycles_.init(*stats, this->name() + ".throttle_cycles",
                                  "LPME-inserted bubble cycles");
+        statSyncStallTicks_.init(*stats, this->name() + ".sync_stall_ticks",
+                                 "ticks blocked on the sync engine");
         statMacs_.init(*stats, this->name() + ".macs",
                        "multiply-accumulates retired");
     }
@@ -358,11 +362,22 @@ ComputeCore::run(const Kernel &kernel, int kernel_id, Tick start)
     statPackets_ += static_cast<double>(result.packets);
     statInstructions_ += static_cast<double>(result.instructions);
     statCycles_ += static_cast<double>(result.cycles);
+    statIssueCycles_ += static_cast<double>(result.issueCycles);
     statBankStalls_ += static_cast<double>(result.bankStallCycles);
     statStructStalls_ += static_cast<double>(result.structuralStallCycles);
     statThrottleCycles_ += static_cast<double>(result.throttleCycles);
+    statSyncStallTicks_ += static_cast<double>(result.syncStallTicks);
     statMacs_ += result.macs;
     return result;
+}
+
+void
+ComputeCore::creditStats(double cycles, double macs, double throttle_cycles)
+{
+    statCycles_ += cycles;
+    statIssueCycles_ += std::max(0.0, cycles - throttle_cycles);
+    statThrottleCycles_ += throttle_cycles;
+    statMacs_ += macs;
 }
 
 } // namespace dtu

@@ -108,6 +108,15 @@ class ComputeCore : public SimObject
     void setThrottle(double bubble_fraction);
     double throttle() const { return throttle_; }
 
+    /**
+     * Credit activity computed analytically (the plan executor models
+     * compute time arithmetically rather than driving run(), so it
+     * deposits each operator's share here to keep the PMU counters —
+     * .cycles, .macs, .throttle_cycles, .issue_cycles — live for the
+     * performance sampler).
+     */
+    void creditStats(double cycles, double macs, double throttle_cycles);
+
     const CoreConfig &config() const { return config_; }
     const MatrixEngine &matrixEngine() const { return matrix_; }
     const Spu &spu() const { return spu_; }
@@ -137,9 +146,11 @@ class ComputeCore : public SimObject
     Stat statPackets_;
     Stat statInstructions_;
     Stat statCycles_;
+    Stat statIssueCycles_;
     Stat statBankStalls_;
     Stat statStructStalls_;
     Stat statThrottleCycles_;
+    Stat statSyncStallTicks_;
     Stat statMacs_;
 };
 

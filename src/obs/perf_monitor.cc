@@ -1,0 +1,124 @@
+#include "obs/perf_monitor.hh"
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+#include "sim/tracer.hh"
+
+namespace dtu
+{
+namespace obs
+{
+
+PerfMonitor::PerfMonitor(const StatRegistry &stats, Tick period,
+                         Tracer *tracer)
+    : stats_(stats), period_(period), tracer_(tracer)
+{
+    fatalIf(period_ == 0, "performance sample period must be > 0");
+    // The t=0 snapshot anchors rate derivation for the first window.
+    last_ = stats_.snapshot(0);
+    nextBoundary_ = period_;
+}
+
+void
+PerfMonitor::watch(const std::string &stat_name)
+{
+    fatalIf(!stats_.has(stat_name),
+            "PerfMonitor cannot watch unknown stat '", stat_name, "'");
+    for (const std::string &name : watched_)
+        if (name == stat_name)
+            return; // idempotent
+    watched_.push_back(stat_name);
+    series_[stat_name]; // reserve the (possibly empty) series slot
+}
+
+void
+PerfMonitor::sampleUpTo(Tick now)
+{
+    while (nextBoundary_ <= now) {
+        if (samples_ >= maxSamples_) {
+            if (!saturated_) {
+                warn(csprintf("PerfMonitor stopped after ", maxSamples_,
+                              " samples; raise the period"));
+                saturated_ = true;
+            }
+            return;
+        }
+        StatSnapshot snap = stats_.snapshot(nextBoundary_);
+        const bool tl = tracer_ != nullptr && tracer_->enabled();
+        for (const std::string &name : watched_) {
+            PerfSample sample;
+            sample.at = nextBoundary_;
+            sample.value = snap.value(name);
+            sample.ratePerSecond = snap.ratePerSecond(last_, name);
+            series_[name].push_back(sample);
+            if (tl) {
+                tracer_->counter("pmu." + name, "rate/s", sample.at,
+                                 sample.ratePerSecond);
+            }
+        }
+        last_ = std::move(snap);
+        ++samples_;
+        nextBoundary_ += period_;
+    }
+}
+
+const std::vector<PerfSample> &
+PerfMonitor::series(const std::string &name) const
+{
+    static const std::vector<PerfSample> kEmpty;
+    auto it = series_.find(name);
+    return it == series_.end() ? kEmpty : it->second;
+}
+
+double
+PerfMonitor::latest(const std::string &name) const
+{
+    const std::vector<PerfSample> &s = series(name);
+    return s.empty() ? 0.0 : s.back().value;
+}
+
+void
+PerfMonitor::writeCsv(std::ostream &os) const
+{
+    os << "tick,seconds,stat,value,rate_per_s\n";
+    // Long form, ordered by sample instant then watch order, so the
+    // file reads chronologically.
+    for (std::size_t i = 0; i < samples_; ++i) {
+        for (const std::string &name : watched_) {
+            const std::vector<PerfSample> &s = series(name);
+            if (i >= s.size())
+                continue; // series saturated early
+            const PerfSample &p = s[i];
+            os << p.at << "," << jsonNumber(ticksToSeconds(p.at)) << ","
+               << name << "," << jsonNumber(p.value) << ","
+               << jsonNumber(p.ratePerSecond) << "\n";
+        }
+    }
+}
+
+void
+PerfMonitor::writeJson(std::ostream &os) const
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("period_ticks", period_)
+        .field("samples", static_cast<std::uint64_t>(samples_));
+    json.key("series").beginObject();
+    for (const std::string &name : watched_) {
+        json.key(name).beginArray();
+        for (const PerfSample &p : series(name)) {
+            json.beginObject()
+                .field("at_ticks", p.at)
+                .field("value", p.value)
+                .field("rate_per_s", p.ratePerSecond)
+                .endObject();
+        }
+        json.endArray();
+    }
+    json.endObject();
+    json.endObject();
+    os << "\n";
+}
+
+} // namespace obs
+} // namespace dtu

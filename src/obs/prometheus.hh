@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Prometheus text-exposition export of a StatRegistry.
+ *
+ * Renders every scalar stat as a gauge and every histogram in the
+ * native Prometheus histogram form (cumulative le-buckets plus _sum
+ * and _count) in the version-0.0.4 text format a Prometheus server
+ * scrapes. Hierarchical stat names ("dtu2.cluster0.pg1.dma.bytes")
+ * sanitize to legal metric names (dots become underscores) and keep
+ * their StatRegistry description as the HELP line, so a live
+ * dashboard and the simulator's own dumps speak the same vocabulary.
+ */
+
+#ifndef DTU_OBS_PROMETHEUS_HH
+#define DTU_OBS_PROMETHEUS_HH
+
+#include <ostream>
+#include <string>
+
+#include "sim/stats.hh"
+
+namespace dtu
+{
+namespace obs
+{
+
+/**
+ * Sanitize an arbitrary stat name into a legal Prometheus metric
+ * name: [a-zA-Z0-9_:] only, with a leading underscore prepended when
+ * the name would start with a digit.
+ */
+std::string promSanitize(const std::string &name);
+
+/**
+ * Write @p stats in Prometheus text exposition format.
+ * @param prefix prepended (with '_') to every metric name so chips
+ *        scrape under one namespace; empty disables.
+ */
+void writePrometheusText(const StatRegistry &stats, std::ostream &os,
+                         const std::string &prefix = "dtusim");
+
+} // namespace obs
+} // namespace dtu
+
+#endif // DTU_OBS_PROMETHEUS_HH

@@ -1,0 +1,377 @@
+#include "obs/topdown.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+#include "core/matrix_engine.hh"
+#include "graph/graph.hh"
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace dtu
+{
+namespace obs
+{
+
+const char *
+tdCategoryName(TdCategory category)
+{
+    switch (category) {
+      case TdCategory::Issue: return "issue";
+      case TdCategory::Throttled: return "throttled";
+      case TdCategory::DmaWait: return "dma-wait";
+      case TdCategory::SyncWait: return "sync-wait";
+      case TdCategory::IcacheStall: return "icache-stall";
+      case TdCategory::Idle: return "idle";
+    }
+    return "?";
+}
+
+Tick
+TdBreakdown::ticks(TdCategory category) const
+{
+    switch (category) {
+      case TdCategory::Issue: return issue;
+      case TdCategory::Throttled: return throttled;
+      case TdCategory::DmaWait: return dmaWait;
+      case TdCategory::SyncWait: return syncWait;
+      case TdCategory::IcacheStall: return icacheStall;
+      case TdCategory::Idle: return idle;
+    }
+    return 0;
+}
+
+double
+TdBreakdown::share(TdCategory category) const
+{
+    Tick t = total();
+    return t > 0 ? static_cast<double>(ticks(category)) /
+                       static_cast<double>(t)
+                 : 0.0;
+}
+
+TdCategory
+TdBreakdown::dominant() const
+{
+    TdCategory best = TdCategory::Issue;
+    Tick best_ticks = 0;
+    for (TdCategory c : kTdCategories) {
+        if (ticks(c) > best_ticks) {
+            best = c;
+            best_ticks = ticks(c);
+        }
+    }
+    return best;
+}
+
+TdBreakdown &
+TdBreakdown::operator+=(const TdBreakdown &other)
+{
+    issue += other.issue;
+    throttled += other.throttled;
+    dmaWait += other.dmaWait;
+    syncWait += other.syncWait;
+    icacheStall += other.icacheStall;
+    idle += other.idle;
+    return *this;
+}
+
+MachineSpec
+machineSpec(const DtuConfig &config, DType dtype, unsigned cores)
+{
+    MachineSpec spec;
+    spec.cores = cores;
+    spec.peakOpsPerSecond = 2.0 * static_cast<double>(cores) *
+                            MatrixEngine::macsPerCycle(dtype, config.dtu2) *
+                            config.maxHz;
+    spec.hbmBytesPerSecond = config.l3BytesPerSecond;
+    return spec;
+}
+
+namespace
+{
+
+/**
+ * Classify one operator window. The phases tile it exactly:
+ *
+ *   window = launch + kernel_stall + weights_stall + steady + unhidden
+ *   steady = max(compute, dma_in, dma_out) >= compute
+ *
+ * so issue + throttled = compute, dma-wait soaks up the memory excess
+ * (weights_stall + (steady - compute) + unhidden), icache-stall is the
+ * kernel load, and idle is the launch overhead. The executor resolves
+ * sync through analytic phase ordering, so sync-wait stays zero on
+ * this path (kernel-level runs report it via the core counters).
+ */
+TdBreakdown
+classifyOp(const OpTrace &op)
+{
+    TdBreakdown td;
+    Tick window = op.end - op.start;
+    td.icacheStall = op.kernelStallTicks;
+    td.throttled = static_cast<Tick>(
+        static_cast<double>(op.computeTicks) * op.throttle /
+            (1.0 + op.throttle) +
+        0.5);
+    td.throttled = std::min(td.throttled, op.computeTicks);
+    td.issue = op.computeTicks - td.throttled;
+    td.idle = op.launchTicks;
+    Tick accounted = td.icacheStall + op.weightStallTicks +
+                     op.computeTicks + td.idle + op.unhiddenTicks;
+    // steady - compute, recovered from the window so the six
+    // categories sum to it exactly even after tick rounding.
+    Tick memory_excess = window > accounted ? window - accounted : 0;
+    td.dmaWait = op.weightStallTicks + memory_excess + op.unhiddenTicks;
+    // Rounding guard: if the phases overshoot the window (possible
+    // only through upstream arithmetic drift), trim the largest
+    // slack category rather than report ticks that never existed.
+    Tick sum = td.total();
+    if (sum > window) {
+        Tick excess = sum - window;
+        Tick trim = std::min(excess, td.dmaWait);
+        td.dmaWait -= trim;
+        excess -= trim;
+        td.issue -= std::min(excess, td.issue);
+    }
+    return td;
+}
+
+void
+jsonBreakdown(JsonWriter &json, const TdBreakdown &td)
+{
+    json.beginObject();
+    for (TdCategory c : kTdCategories) {
+        std::string base = tdCategoryName(c);
+        std::replace(base.begin(), base.end(), '-', '_');
+        json.field(base + "_ticks", td.ticks(c));
+    }
+    json.field("total_ticks", td.total());
+    json.endObject();
+}
+
+} // namespace
+
+BottleneckReport
+buildBottleneckReport(const ExecResult &result, const DtuConfig &config,
+                      DType dtype, const std::vector<unsigned> &groups)
+{
+    fatalIf(result.trace.empty() && result.latency > 0,
+            "buildBottleneckReport needs a traced run "
+            "(set ExecOptions::trace)");
+
+    BottleneckReport report;
+    report.latency = result.latency;
+    unsigned cores =
+        static_cast<unsigned>(groups.size()) * config.coresPerGroup;
+    report.spec = machineSpec(config, dtype, cores);
+
+    Tick op_window_total = 0;
+    for (const OpTrace &op : result.trace) {
+        OpAttribution attr;
+        attr.name = op.name;
+        attr.kind = opKindName(op.anchor);
+        attr.start = op.start;
+        attr.end = op.end;
+        attr.td = classifyOp(op);
+        op_window_total += attr.td.total();
+
+        double ops = 2.0 * op.macs;
+        double seconds = ticksToSeconds(op.end - op.start);
+        attr.roofline.intensityOpsPerByte =
+            op.bytes > 0.0 ? ops / op.bytes : 0.0;
+        attr.roofline.achievedOpsPerSecond =
+            seconds > 0.0 ? ops / seconds : 0.0;
+        attr.roofline.ceilingOpsPerSecond =
+            std::min(report.spec.peakOpsPerSecond,
+                     attr.roofline.intensityOpsPerByte *
+                         report.spec.hbmBytesPerSecond);
+        attr.roofline.computeBound = attr.roofline.intensityOpsPerByte >=
+                                     report.spec.ridgeOpsPerByte();
+
+        report.total += attr.td;
+        report.operators.push_back(std::move(attr));
+    }
+
+    // Ticks outside every operator window — the host PCIe transfers
+    // before the first operator and after the last — are idle from
+    // the cores' perspective.
+    Tick host_idle =
+        report.latency > op_window_total ? report.latency - op_window_total
+                                         : 0;
+    report.total.idle += host_idle;
+
+    // Every leased core sees the identical breakdown: operators are
+    // data-parallel across the whole lease, so the cores advance in
+    // lockstep through the same phases.
+    for (unsigned gid : groups) {
+        unsigned cluster = gid / config.groupsPerCluster;
+        unsigned pg = gid % config.groupsPerCluster;
+        for (unsigned ci = 0; ci < config.coresPerGroup; ++ci) {
+            CoreAttribution core;
+            core.core = csprintf(config.name, ".cluster", cluster, ".pg",
+                                 pg, ".core", ci);
+            core.td = report.total;
+            report.cores.push_back(std::move(core));
+        }
+    }
+
+    //
+    // Critical path: compress the executed chain (which IS the
+    // critical path — operators run back to back) into maximal
+    // segments sharing one dominant category. Host-transfer gaps
+    // enter as idle pseudo-operators.
+    //
+    struct PathItem
+    {
+        TdCategory category;
+        Tick start;
+        Tick ticks;
+        std::string op;
+    };
+    std::vector<PathItem> items;
+    Tick path_cursor = result.start;
+    for (const OpAttribution &attr : report.operators) {
+        if (attr.start > path_cursor) {
+            items.push_back({TdCategory::Idle, path_cursor,
+                             attr.start - path_cursor, "host-transfer"});
+        }
+        items.push_back(
+            {attr.td.dominant(), attr.start, attr.ticks(), attr.name});
+        path_cursor = attr.end;
+    }
+    if (result.end > path_cursor) {
+        items.push_back({TdCategory::Idle, path_cursor,
+                         result.end - path_cursor, "host-transfer"});
+    }
+    for (const PathItem &item : items) {
+        if (!report.criticalPath.empty() &&
+            report.criticalPath.back().category == item.category) {
+            CriticalSegment &seg = report.criticalPath.back();
+            seg.ticks += item.ticks;
+            // Track the heaviest contributor via its share field
+            // until share is finalized below.
+            if (static_cast<double>(item.ticks) > seg.share) {
+                seg.share = static_cast<double>(item.ticks);
+                seg.dominantOp = item.op;
+            }
+        } else {
+            CriticalSegment seg;
+            seg.category = item.category;
+            seg.start = item.start;
+            seg.ticks = item.ticks;
+            seg.dominantOp = item.op;
+            seg.share = static_cast<double>(item.ticks);
+            report.criticalPath.push_back(std::move(seg));
+        }
+    }
+    for (CriticalSegment &seg : report.criticalPath) {
+        seg.share = report.latency > 0
+                        ? static_cast<double>(seg.ticks) /
+                              static_cast<double>(report.latency)
+                        : 0.0;
+    }
+
+    return report;
+}
+
+void
+BottleneckReport::print(std::ostream &os) const
+{
+    os << "top-down breakdown (" << ticksToMilliSeconds(latency)
+       << " ms, " << spec.cores << " cores)\n";
+    for (TdCategory c : kTdCategories) {
+        os << "  " << std::left << std::setw(13) << tdCategoryName(c)
+           << std::right << std::setw(7) << std::fixed
+           << std::setprecision(2) << 100.0 * total.share(c) << " %  "
+           << std::setprecision(3) << ticksToMilliSeconds(total.ticks(c))
+           << " ms\n";
+    }
+    os << "roofline (ridge " << std::setprecision(1)
+       << spec.ridgeOpsPerByte() << " ops/B)\n";
+    for (const OpAttribution &op : operators) {
+        os << "  " << std::left << std::setw(20) << op.name << std::right
+           << " " << std::setw(8) << std::setprecision(2)
+           << op.roofline.intensityOpsPerByte << " ops/B  "
+           << std::setw(7) << op.roofline.achievedOpsPerSecond / 1e12
+           << " / " << op.roofline.ceilingOpsPerSecond / 1e12
+           << " Tops  "
+           << (op.roofline.computeBound ? "compute" : "memory")
+           << "-bound  [" << tdCategoryName(op.td.dominant()) << "]\n";
+    }
+    os << "critical path\n";
+    for (const CriticalSegment &seg : criticalPath) {
+        os << "  " << std::left << std::setw(13)
+           << tdCategoryName(seg.category) << std::right << std::setw(7)
+           << 100.0 * seg.share << " %  "
+           << std::setprecision(3) << ticksToMilliSeconds(seg.ticks)
+           << " ms  (" << seg.dominantOp << ")\n";
+    }
+    os.unsetf(std::ios::fixed);
+}
+
+void
+BottleneckReport::writeJson(std::ostream &os) const
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("latency_ticks", latency)
+        .field("latency_ms", ticksToMilliSeconds(latency));
+
+    json.key("machine").beginObject();
+    json.field("cores", spec.cores)
+        .field("peak_ops_per_s", spec.peakOpsPerSecond)
+        .field("hbm_bytes_per_s", spec.hbmBytesPerSecond)
+        .field("ridge_ops_per_byte", spec.ridgeOpsPerByte());
+    json.endObject();
+
+    json.key("topdown");
+    jsonBreakdown(json, total);
+
+    json.key("cores").beginArray();
+    for (const CoreAttribution &core : cores) {
+        json.beginObject().field("core", core.core).key("topdown");
+        jsonBreakdown(json, core.td);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("operators").beginArray();
+    for (const OpAttribution &op : operators) {
+        json.beginObject()
+            .field("name", op.name)
+            .field("kind", op.kind)
+            .field("start_ticks", op.start)
+            .field("end_ticks", op.end)
+            .field("dominant", tdCategoryName(op.td.dominant()));
+        json.key("topdown");
+        jsonBreakdown(json, op.td);
+        json.key("roofline").beginObject();
+        json.field("intensity_ops_per_byte",
+                   op.roofline.intensityOpsPerByte)
+            .field("achieved_ops_per_s", op.roofline.achievedOpsPerSecond)
+            .field("ceiling_ops_per_s", op.roofline.ceilingOpsPerSecond)
+            .field("efficiency", op.roofline.efficiency())
+            .field("compute_bound", op.roofline.computeBound);
+        json.endObject();
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("critical_path").beginArray();
+    for (const CriticalSegment &seg : criticalPath) {
+        json.beginObject()
+            .field("category", tdCategoryName(seg.category))
+            .field("start_ticks", seg.start)
+            .field("ticks", seg.ticks)
+            .field("share", seg.share)
+            .field("dominant_op", seg.dominantOp)
+            .endObject();
+    }
+    json.endArray();
+    json.endObject();
+    os << "\n";
+}
+
+} // namespace obs
+} // namespace dtu

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Top-down cycle accounting and roofline attribution.
+ *
+ * Answers the paper's Section VI questions without hand-reading
+ * Perfetto traces: where did every core tick of a run go, which
+ * operators are compute- vs bandwidth-bound against the i20's
+ * roofline, and which phases form the critical path.
+ *
+ * Every tick of every leased core is classified into exactly one
+ * top-down category:
+ *
+ *   issue        productive VLIW issue / compute
+ *   throttled    LPME power-integrity bubbles
+ *   dma-wait     stalled on activation/weight movement (the memory
+ *                phase outlasting compute, plus unhidden fill/drain)
+ *   sync-wait    blocked on the synchronization engine
+ *   icache-stall kernel code loads the prefetcher could not hide
+ *   idle         launch overhead and host-transfer gaps
+ *
+ * The categories tile each operator window exactly and, summed with
+ * the inter-operator gaps (charged to idle), equal the end-to-end
+ * latency — the invariant tests/test_obs.cc pins.
+ *
+ * Each operator also gets a roofline placement: arithmetic intensity
+ * (2*macs / bytes moved), achieved ops/s over its window, and the
+ * ceiling min(peak compute, intensity * HBM bandwidth) from the chip
+ * spec — the Fig. 12 analysis as machine-readable output.
+ */
+
+#ifndef DTU_OBS_TOPDOWN_HH
+#define DTU_OBS_TOPDOWN_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "runtime/executor.hh"
+
+namespace dtu
+{
+namespace obs
+{
+
+/** Where a core tick went (exactly one category per tick). */
+enum class TdCategory
+{
+    Issue,
+    Throttled,
+    DmaWait,
+    SyncWait,
+    IcacheStall,
+    Idle,
+};
+
+/** Stable lowercase name for JSON/tables. */
+const char *tdCategoryName(TdCategory category);
+
+/** All classifiable categories, in display order. */
+inline constexpr TdCategory kTdCategories[] = {
+    TdCategory::Issue,       TdCategory::Throttled,
+    TdCategory::DmaWait,     TdCategory::SyncWait,
+    TdCategory::IcacheStall, TdCategory::Idle,
+};
+
+/** Per-category tick totals over some span (an op, a core, a run). */
+struct TdBreakdown
+{
+    Tick issue = 0;
+    Tick throttled = 0;
+    Tick dmaWait = 0;
+    Tick syncWait = 0;
+    Tick icacheStall = 0;
+    Tick idle = 0;
+
+    Tick ticks(TdCategory category) const;
+    Tick total() const
+    {
+        return issue + throttled + dmaWait + syncWait + icacheStall +
+               idle;
+    }
+
+    /** Fraction of total() in @p category (0 when empty). */
+    double share(TdCategory category) const;
+
+    /** The category holding the most ticks (Issue on an empty span). */
+    TdCategory dominant() const;
+
+    TdBreakdown &operator+=(const TdBreakdown &other);
+};
+
+/** Roofline placement of one operator (or aggregate). */
+struct RooflinePoint
+{
+    /** Arithmetic intensity: 2*macs per byte moved. */
+    double intensityOpsPerByte = 0.0;
+    /** Ops/s achieved over the operator's wall-clock window. */
+    double achievedOpsPerSecond = 0.0;
+    /** min(peak compute, intensity * HBM bandwidth). */
+    double ceilingOpsPerSecond = 0.0;
+    /** True when the intensity sits at or above the ridge point. */
+    bool computeBound = false;
+
+    /** achieved / ceiling (0 when the ceiling is degenerate). */
+    double
+    efficiency() const
+    {
+        return ceilingOpsPerSecond > 0.0
+                   ? achievedOpsPerSecond / ceilingOpsPerSecond
+                   : 0.0;
+    }
+};
+
+/** The roofline the report places operators against. */
+struct MachineSpec
+{
+    /** Peak ops/s of the leased cores at the ladder top. */
+    double peakOpsPerSecond = 0.0;
+    /** HBM bandwidth ceiling in bytes/s. */
+    double hbmBytesPerSecond = 0.0;
+    /** Leased cores the peak was computed over. */
+    unsigned cores = 0;
+
+    /** Intensity at which the two ceilings cross. */
+    double
+    ridgeOpsPerByte() const
+    {
+        return hbmBytesPerSecond > 0.0
+                   ? peakOpsPerSecond / hbmBytesPerSecond
+                   : 0.0;
+    }
+};
+
+/** Roofline spec for @p cores leased cores of a chip at max clock. */
+MachineSpec machineSpec(const DtuConfig &config, DType dtype,
+                        unsigned cores);
+
+/** One operator's classified window and roofline placement. */
+struct OpAttribution
+{
+    std::string name;
+    std::string kind;
+    Tick start = 0;
+    Tick end = 0;
+    TdBreakdown td;
+    RooflinePoint roofline;
+
+    Tick ticks() const { return end - start; }
+};
+
+/** One core's whole-run classification (sums to the run latency). */
+struct CoreAttribution
+{
+    /** Hierarchical core name ("dtu2.cluster0.pg1.core2"). */
+    std::string core;
+    TdBreakdown td;
+};
+
+/**
+ * A maximal run of consecutive operators sharing one dominant
+ * category on the executed chain — the critical path through the
+ * run, compressed to its phase structure.
+ */
+struct CriticalSegment
+{
+    TdCategory category = TdCategory::Issue;
+    Tick start = 0;
+    Tick ticks = 0;
+    /** The operator contributing the most ticks to the segment. */
+    std::string dominantOp;
+    /** ticks / run latency. */
+    double share = 0.0;
+};
+
+/** The rolled-up bottleneck picture of one execution. */
+struct BottleneckReport
+{
+    Tick latency = 0;
+    MachineSpec spec;
+    /** Whole-run classification of one core (they are symmetric). */
+    TdBreakdown total;
+    /** Per leased core; each sums exactly to latency. */
+    std::vector<CoreAttribution> cores;
+    /** Per operator, in execution order. */
+    std::vector<OpAttribution> operators;
+    /** Dominant-category segments along the executed chain. */
+    std::vector<CriticalSegment> criticalPath;
+
+    /** Pretty-print the top-down + roofline summary. */
+    void print(std::ostream &os) const;
+
+    /** Serialize everything (deterministic; golden-diffable). */
+    void writeJson(std::ostream &os) const;
+};
+
+/**
+ * Build the report from a traced execution (requires the run used
+ * ExecOptions::trace).
+ * @param groups the processing-group lease the run executed on; the
+ *        per-core attribution covers exactly these groups' cores.
+ */
+BottleneckReport buildBottleneckReport(const ExecResult &result,
+                                       const DtuConfig &config,
+                                       DType dtype,
+                                       const std::vector<unsigned> &groups);
+
+} // namespace obs
+} // namespace dtu
+
+#endif // DTU_OBS_TOPDOWN_HH

@@ -27,6 +27,34 @@ Cpme::attach(Lpme &lpme)
             "baseline budgets exceed the power limit when attaching '",
             lpme.name(), "'");
     reserveWatts_ -= lpme.baselineWatts();
+    updateStats();
+}
+
+void
+Cpme::attachStats(StatRegistry &stats)
+{
+    fatalIf(statsAttached_, "CPME stats attached twice");
+    statsAttached_ = true;
+    statReserveWatts_.init(stats, "cpme.reserve_watts",
+                           "unassigned watts in the reserve pool");
+    statGrantedWatts_.init(stats, "cpme.granted_watts",
+                           "cumulative watts granted to LPMEs");
+    statFrequencyChanges_.init(stats, "cpme.frequency_changes",
+                               "DVFS ladder steps taken");
+    statFrequencyGhz_.init(stats, "cpme.frequency_ghz",
+                           "current core frequency (GHz)");
+    updateStats();
+}
+
+void
+Cpme::updateStats()
+{
+    if (!statsAttached_)
+        return;
+    statReserveWatts_.set(reserveWatts_);
+    statGrantedWatts_.set(totalGranted_);
+    statFrequencyChanges_.set(frequencyChanges_);
+    statFrequencyGhz_.set(frequency() / 1e9);
 }
 
 double
@@ -36,6 +64,7 @@ Cpme::requestBudget(Lpme &lpme, double watts)
     reserveWatts_ -= granted;
     lpme.grant(granted);
     totalGranted_ += granted;
+    updateStats();
     return granted;
 }
 
@@ -47,6 +76,7 @@ Cpme::returnBudget(Lpme &lpme, double watts)
     reserveWatts_ += surplus;
     panicIf(reserveWatts_ > limitWatts_ + 1e-9,
             "reserve pool exceeded the power limit");
+    updateStats();
 }
 
 double
@@ -131,6 +161,7 @@ Cpme::regulate(const ActivitySample &aggregate, double desired_hz)
         traceDvfsStep(ladderIndex_, new_index);
         ladderIndex_ = new_index;
         ++frequencyChanges_;
+        updateStats();
     }
     return frequency();
 }
@@ -180,6 +211,7 @@ Cpme::onWindow(const ActivitySample &aggregate)
         ladderIndex_ = new_index;
         ++frequencyChanges_;
         history_.clear();
+        updateStats();
     }
     return frequency();
 }

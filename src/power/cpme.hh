@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "power/lpme.hh"
+#include "sim/stats.hh"
 #include "sim/ticks.hh"
 
 namespace dtu
@@ -116,6 +117,14 @@ class Cpme
     unsigned frequencyChanges() const { return frequencyChanges_; }
     double totalGranted() const { return totalGranted_; }
 
+    /**
+     * Register the CPME's gauges (cpme.reserve_watts,
+     * cpme.granted_watts, cpme.frequency_changes, cpme.frequency_ghz)
+     * with @p stats so the performance sampler can watch the power
+     * manager next to the engines. Attach at most once per chip.
+     */
+    void attachStats(StatRegistry &stats);
+
     //
     // Timeline tracing. The CPME has no clock of its own: callers
     // (the executor) stamp each observation window with
@@ -150,6 +159,9 @@ class Cpme
     /** Emit a DVFS ladder-step instant event (no-op untraced). */
     void traceDvfsStep(std::size_t from_index, std::size_t to_index);
 
+    /** Refresh the registered gauges (no-op before attachStats). */
+    void updateStats();
+
     double limitWatts_;
     double reserveWatts_;
     DvfsPolicy policy_;
@@ -160,6 +172,12 @@ class Cpme
     Tracer *tracer_ = nullptr;
     Tick traceTick_ = 0;
     FaultInjector *faults_ = nullptr;
+
+    bool statsAttached_ = false;
+    Stat statReserveWatts_;
+    Stat statGrantedWatts_;
+    Stat statFrequencyChanges_;
+    Stat statFrequencyGhz_;
 };
 
 } // namespace dtu

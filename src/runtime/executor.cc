@@ -7,6 +7,7 @@
 #include "core/register_file.hh"
 #include "core/spu.hh"
 #include "graph/graph.hh"
+#include "obs/perf_monitor.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
 #include "sim/tracer.hh"
@@ -361,6 +362,17 @@ Executor::run(const ExecutionPlan &plan, Tick start)
         auto compute_ticks = static_cast<Tick>(
             compute_cycles * static_cast<double>(ticksPerSecond) / freq +
             0.5);
+        // Deposit this window's analytic activity into the per-core
+        // PMU counters (compute_cycles already carries the throttle
+        // bubbles, so split the bubble share back out).
+        double throttle_cycles =
+            compute_cycles * throttle / (1.0 + throttle);
+        for (unsigned gid : groups_) {
+            for (unsigned ci = 0; ci < config.coresPerGroup; ++ci) {
+                dtu_.group(gid).core(ci).creditStats(
+                    compute_cycles, macs_per_core, throttle_cycles);
+            }
+        }
         if (tl && compute_ticks > 0) {
             tracer.span(compute_track, op.name, "compute", code_ready,
                         code_ready + compute_ticks,
@@ -450,10 +462,26 @@ Executor::run(const ExecutionPlan &plan, Tick start)
                         ngroups, freq);
 
         if (options_.trace) {
-            result.trace.push_back({op.name, op.anchor, op_start, op_end,
-                                    compute_ticks,
-                                    std::max(dma_in_ticks, dma_out_ticks),
-                                    kernel_stall, freq / 1e9, throttle});
+            OpTrace ot;
+            ot.name = op.name;
+            ot.anchor = op.anchor;
+            ot.start = op_start;
+            ot.end = op_end;
+            ot.computeTicks = compute_ticks;
+            ot.dmaTicks = std::max(dma_in_ticks, dma_out_ticks);
+            ot.kernelStallTicks = kernel_stall;
+            ot.frequencyGHz = freq / 1e9;
+            ot.throttle = throttle;
+            ot.dmaInTicks = dma_in_ticks;
+            ot.dmaOutTicks = dma_out_ticks;
+            ot.weightStallTicks = weights_stall;
+            ot.unhiddenTicks = unhidden;
+            ot.launchTicks = config.opLaunchOverheadTicks;
+            ot.macs = op.macs;
+            ot.bytes = static_cast<double>(op.inputBytes) +
+                       static_cast<double>(op.outputBytes) +
+                       static_cast<double>(op.weightBytes);
+            result.trace.push_back(std::move(ot));
         }
 
         if (tl) {
@@ -485,6 +513,12 @@ Executor::run(const ExecutionPlan &plan, Tick start)
         input_in_l2 = output_fits_l2;
         upstream_density = op.outputDensity;
         cursor = op_end;
+
+        // Let the performance sampler materialize any period
+        // boundaries this operator advanced time across (there is no
+        // event loop driving it; see obs/perf_monitor.hh).
+        if (obs::PerfMonitor *pm = dtu_.perfMonitor())
+            pm->sampleUpTo(cursor);
     }
 
     // Output download to the host.
@@ -501,6 +535,9 @@ Executor::run(const ExecutionPlan &plan, Tick start)
     // L3 energy from the bytes that actually crossed the HBM pins
     // (after sparse compression).
     meter.addTraffic(0.0, 0.0, l3_bytes, 0.0);
+
+    if (obs::PerfMonitor *pm = dtu_.perfMonitor())
+        pm->sampleUpTo(cursor);
 
     result.end = cursor;
     result.latency = cursor - start;
@@ -547,7 +584,14 @@ writeJson(const ExecResult &result, std::ostream &os)
             .field("end_ticks", op.end)
             .field("compute_ticks", op.computeTicks)
             .field("dma_ticks", op.dmaTicks)
+            .field("dma_in_ticks", op.dmaInTicks)
+            .field("dma_out_ticks", op.dmaOutTicks)
             .field("kernel_stall_ticks", op.kernelStallTicks)
+            .field("weight_stall_ticks", op.weightStallTicks)
+            .field("unhidden_ticks", op.unhiddenTicks)
+            .field("launch_ticks", op.launchTicks)
+            .field("macs", op.macs)
+            .field("bytes", op.bytes)
             .field("frequency_ghz", op.frequencyGHz)
             .field("throttle", op.throttle)
             .endObject();

@@ -87,6 +87,22 @@ struct OpTrace
     Tick kernelStallTicks = 0;
     double frequencyGHz = 0.0;
     double throttle = 0.0;
+    /** Inbound activation stream span (from code-ready). */
+    Tick dmaInTicks = 0;
+    /** Outbound activation stream span (from code-ready). */
+    Tick dmaOutTicks = 0;
+    /** Wait for this op's prefetched weights beyond the kernel load. */
+    Tick weightStallTicks = 0;
+    /** First-tile fill + last-tile drain that double buffering
+     *  cannot hide. */
+    Tick unhiddenTicks = 0;
+    /** Driver launch overhead charged to this operator. */
+    Tick launchTicks = 0;
+    /** MAC operations the operator performed (all cores). */
+    double macs = 0.0;
+    /** Logical bytes the operator moved (in + out + weights),
+     *  before sparse compression — the roofline denominator. */
+    double bytes = 0.0;
 };
 
 /** Outcome of one plan execution. */

@@ -5,6 +5,7 @@
 
 #include "compiler/lowering.hh"
 #include "models/model_zoo.hh"
+#include "obs/slo_monitor.hh"
 #include "serve/arrival.hh"
 #include "sim/logging.hh"
 #include "sim/tracer.hh"
@@ -147,6 +148,8 @@ Scheduler::serve(std::vector<Request> trace)
                            "degradation", at);
         }
         dropped.push_back({r, at, reason});
+        if (sloMon_)
+            sloMon_->recordDrop(dropped.back());
     };
 
     auto admitArrivals = [&](Tick upto) {
@@ -257,6 +260,8 @@ Scheduler::serve(std::vector<Request> trace)
                          {"missed",
                           c.missedDeadline() ? 1.0 : 0.0}});
                 }
+                if (sloMon_)
+                    sloMon_->recordCompletion(c);
                 completed.push_back(std::move(c));
             }
         }
@@ -372,7 +377,14 @@ Scheduler::serve(std::vector<Request> trace)
         completeBatches(now);
         admitArrivals(now);
         dropExpired(now);
+        // Close SLO windows the loop just stepped past. Events land
+        // in (prev_now, now] and windows close only through now, so
+        // every event is ingested before its window seals.
+        if (sloMon_)
+            sloMon_->advanceTo(now);
     }
+    if (sloMon_)
+        sloMon_->finish(std::max(now, last_completion));
 
     ServingReport report = summarize(
         std::move(completed), offered, batches,

@@ -37,6 +37,12 @@
 
 namespace dtu
 {
+
+namespace obs
+{
+class SloMonitor;
+} // namespace obs
+
 namespace serve
 {
 
@@ -150,6 +156,15 @@ class Scheduler
     /** Compiled-plan cache size (plans are memoized per model/batch). */
     std::size_t cachedPlans() const { return plans_.size(); }
 
+    /**
+     * Attach (or detach, with nullptr) a live SLO monitor. The
+     * scheduler feeds it every completion and drop as they happen and
+     * advances its windows with the event loop, so alert callbacks
+     * fire at the simulated time of the threshold crossing. Without a
+     * monitor the serving path is bit-for-bit unchanged.
+     */
+    void setSloMonitor(obs::SloMonitor *monitor) { sloMon_ = monitor; }
+
   private:
     /** Memoized compile of @p model at @p batch samples. */
     const ExecutionPlan &plan(const std::string &model, unsigned batch);
@@ -171,6 +186,9 @@ class Scheduler
     Stat rejectedStat_;
     Stat failedStat_;
     Stat retryStat_;
+
+    /** Optional live SLO monitor (not owned). */
+    obs::SloMonitor *sloMon_ = nullptr;
 };
 
 } // namespace serve

@@ -41,10 +41,11 @@ jsonNumber(double v)
     if (!std::isfinite(v))
         return "null";
     // %.17g round-trips every double; trim the common integral case
-    // so counters and byte totals stay readable.
+    // so counters and byte totals stay readable. The range check must
+    // precede the int64 cast: casting an out-of-range double is UB.
     char buf[40];
-    if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
-        std::fabs(v) < 1e15) {
+    if (std::fabs(v) < 1e15 &&
+        v == static_cast<double>(static_cast<std::int64_t>(v))) {
         std::snprintf(buf, sizeof(buf), "%lld",
                       static_cast<long long>(v));
     } else {

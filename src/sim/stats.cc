@@ -11,6 +11,29 @@
 namespace dtu
 {
 
+double
+StatSnapshot::value(const std::string &name) const
+{
+    auto it = values.find(name);
+    return it == values.end() ? 0.0 : it->second;
+}
+
+double
+StatSnapshot::delta(const StatSnapshot &earlier,
+                    const std::string &name) const
+{
+    return value(name) - earlier.value(name);
+}
+
+double
+StatSnapshot::ratePerSecond(const StatSnapshot &earlier,
+                            const std::string &name) const
+{
+    if (at <= earlier.at)
+        return 0.0;
+    return delta(earlier, name) / ticksToSeconds(at - earlier.at);
+}
+
 void
 Stat::init(StatRegistry &registry, std::string name, std::string description)
 {
@@ -166,6 +189,16 @@ StatRegistry::sumMatching(const std::string &prefix) const
     return total;
 }
 
+StatSnapshot
+StatRegistry::snapshot(Tick at) const
+{
+    StatSnapshot snap;
+    snap.at = at;
+    for (const auto &[name, stat] : scalars_)
+        snap.values[name] = stat->value();
+    return snap;
+}
+
 void
 StatRegistry::resetAll()
 {
@@ -255,6 +288,13 @@ StatRegistry::histogram(const std::string &name) const
 {
     auto it = histograms_.find(name);
     return it == histograms_.end() ? nullptr : it->second;
+}
+
+const Stat *
+StatRegistry::stat(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? nullptr : it->second;
 }
 
 } // namespace dtu

@@ -19,10 +19,47 @@
 #include <string>
 #include <vector>
 
+#include "sim/ticks.hh"
+
 namespace dtu
 {
 
 class StatRegistry;
+
+/**
+ * A point-in-time capture of every scalar stat in a registry.
+ *
+ * Two snapshots bracket a window: delta() gives the counter movement
+ * inside it and ratePerSecond() the per-second derivation — the
+ * primitive the performance sampler (obs/perf_monitor.hh) and the
+ * serving SLO monitor build their windowed series on.
+ */
+struct StatSnapshot
+{
+    /** Simulated time the snapshot was taken at. */
+    Tick at = 0;
+    /** Scalar stat values by name at that time. */
+    std::map<std::string, double> values;
+
+    /** Value of @p name, or 0.0 when the snapshot lacks it. */
+    double value(const std::string &name) const;
+
+    /**
+     * Counter movement of @p name since @p earlier: value here minus
+     * value there (either side missing reads as 0.0, so a stat
+     * registered mid-window still yields its full count).
+     */
+    double delta(const StatSnapshot &earlier,
+                 const std::string &name) const;
+
+    /**
+     * Per-second rate of change of @p name between @p earlier and
+     * this snapshot. Returns 0.0 when the snapshots are not strictly
+     * ordered in time (no window to derive over).
+     */
+    double ratePerSecond(const StatSnapshot &earlier,
+                         const std::string &name) const;
+};
 
 /** A named scalar statistic (a counter or a gauge). */
 class Stat
@@ -164,6 +201,13 @@ class StatRegistry
     /** Sum of all scalar stats whose name begins with @p prefix. */
     double sumMatching(const std::string &prefix) const;
 
+    /**
+     * Capture every scalar stat at simulated time @p at. Histograms
+     * are not captured: windowed tail estimation needs the raw
+     * samples, which the serving monitor keeps itself.
+     */
+    StatSnapshot snapshot(Tick at) const;
+
     /** Reset every registered stat to zero. */
     void resetAll();
 
@@ -185,6 +229,9 @@ class StatRegistry
 
     /** Find a histogram by exact name, or nullptr. */
     const Histogram *histogram(const std::string &name) const;
+
+    /** Find a scalar stat by exact name, or nullptr. */
+    const Stat *stat(const std::string &name) const;
 
   private:
     std::map<std::string, Stat *> scalars_;

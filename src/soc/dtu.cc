@@ -1,5 +1,6 @@
 #include "soc/dtu.hh"
 
+#include "obs/perf_monitor.hh"
 #include "sim/logging.hh"
 
 namespace dtu
@@ -82,6 +83,10 @@ Dtu::Dtu(const DtuConfig &config)
     }
 }
 
+// Out of line: Dtu holds a unique_ptr to the forward-declared
+// obs::PerfMonitor.
+Dtu::~Dtu() = default;
+
 ProcessingGroup &
 Dtu::group(unsigned gid)
 {
@@ -110,6 +115,43 @@ Dtu::setCoreFrequency(double hz)
 {
     for (auto &clock : coreClocks_)
         clock->setFrequency(hz);
+}
+
+obs::PerfMonitor &
+Dtu::enablePerfSampling(Tick period)
+{
+    fatalIf(perfMon_ != nullptr,
+            "chip '", config_.name, "' already has a perf monitor");
+    // Register the CPME gauges first so the monitor can watch them.
+    cpme_->attachStats(stats_);
+    perfMon_ = std::make_unique<obs::PerfMonitor>(stats_, period,
+                                                  &tracer_);
+
+    for (unsigned gid = 0; gid < totalGroups(); ++gid) {
+        ProcessingGroup &pg = group(gid);
+        const std::string pgname = pg.name();
+        for (unsigned ci = 0; ci < config_.coresPerGroup; ++ci) {
+            std::string core = pgname + ".core" + std::to_string(ci);
+            perfMon_->watch(core + ".cycles");
+            perfMon_->watch(core + ".issue_cycles");
+            perfMon_->watch(core + ".throttle_cycles");
+            perfMon_->watch(core + ".macs");
+            perfMon_->watch(core + ".icache.stall_ticks");
+        }
+        perfMon_->watch(pgname + ".dma.pipe.bytes");
+        perfMon_->watch(pgname + ".dma.pipe.wait_ticks");
+        perfMon_->watch(pgname + ".sync.wait_ticks");
+    }
+    for (unsigned ch = 0; ch < config_.l3Channels; ++ch) {
+        perfMon_->watch(config_.name + ".hbm.ch" + std::to_string(ch) +
+                        ".bytes");
+    }
+    perfMon_->watch(config_.name + ".pcie.bytes");
+    perfMon_->watch("cpme.reserve_watts");
+    perfMon_->watch("cpme.granted_watts");
+    perfMon_->watch("cpme.frequency_changes");
+    perfMon_->watch("cpme.frequency_ghz");
+    return *perfMon_;
 }
 
 FaultInjector &

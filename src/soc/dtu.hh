@@ -26,6 +26,11 @@
 namespace dtu
 {
 
+namespace obs
+{
+class PerfMonitor;
+} // namespace obs
+
 /** A cluster: a set of processing groups sharing broadcast reach. */
 class Cluster : public SimObject
 {
@@ -52,6 +57,7 @@ class Dtu
 {
   public:
     explicit Dtu(const DtuConfig &config);
+    ~Dtu();
 
     const DtuConfig &config() const { return config_; }
     EventQueue &eventQueue() { return queue_; }
@@ -101,6 +107,26 @@ class Dtu
     /** The installed injector, or nullptr. */
     FaultInjector *faults() { return faults_.get(); }
 
+    //
+    // Performance sampling (strictly opt-in, like fault injection).
+    // Without enablePerfSampling() the chip has no monitor and the
+    // executor's sampling hooks are null-pointer checks, so timing
+    // results stay bit-for-bit identical.
+    //
+
+    /**
+     * Install a PMU-style performance sampler with period @p period
+     * and subscribe it to the chip's key counters: per-core cycles /
+     * macs / throttle bubbles, per-group icache stalls, DMA pipe
+     * bytes and wait ticks, sync waits, per-channel HBM bytes, PCIe
+     * bytes, and the CPME power-budget gauges. One monitor per chip;
+     * enabling twice is a configuration error.
+     */
+    obs::PerfMonitor &enablePerfSampling(Tick period);
+
+    /** The installed monitor, or nullptr. */
+    obs::PerfMonitor *perfMonitor() { return perfMon_.get(); }
+
   private:
     DtuConfig config_;
     EventQueue queue_;
@@ -114,6 +140,7 @@ class Dtu
     std::unique_ptr<Cpme> cpme_;
     EnergyMeter energy_;
     std::unique_ptr<FaultInjector> faults_;
+    std::unique_ptr<obs::PerfMonitor> perfMon_;
 };
 
 } // namespace dtu

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * A minimal JSON value + recursive-descent parser shared by the
+ * tests that validate the simulator's JSON exports (trace events,
+ * stat dumps, bottleneck reports). Just enough JSON to parse what
+ * the simulator emits: member order is preserved; numbers are
+ * doubles. Header-only and test-only — the simulator itself never
+ * parses JSON.
+ */
+
+#ifndef DTU_TESTS_JSON_TEST_UTIL_HH
+#define DTU_TESTS_JSON_TEST_UTIL_HH
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dtu::test
+{
+
+struct JValue
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JValue> items;
+    std::vector<std::pair<std::string, JValue>> members;
+
+    const JValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : members)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+
+    bool has(const std::string &key) const { return find(key) != nullptr; }
+
+    /** Number member, or NaN when absent / not a number. */
+    double
+    num(const std::string &key) const
+    {
+        const JValue *v = find(key);
+        return v && v->type == Type::Number ? v->number
+                                            : std::nan("");
+    }
+
+    /** String member, or "" when absent / not a string. */
+    std::string
+    str(const std::string &key) const
+    {
+        const JValue *v = find(key);
+        return v && v->type == Type::String ? v->text : "";
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+    bool ok() const { return ok_; }
+    const std::string &error() const { return error_; }
+
+    JValue
+    parse()
+    {
+        JValue v = parseValue();
+        skipWs();
+        if (ok_ && pos_ != text_.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    void
+    fail(const std::string &what)
+    {
+        if (ok_) {
+            ok_ = false;
+            error_ = what + " at offset " + std::to_string(pos_);
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (!ok_ || pos_ >= text_.size() || text_[pos_] != c) {
+            fail(std::string("expected '") + c + "'");
+            return false;
+        }
+        ++pos_;
+        return true;
+    }
+
+    bool
+    consumeIf(char c)
+    {
+        skipWs();
+        if (ok_ && pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expectWord(const std::string &word)
+    {
+        if (text_.compare(pos_, word.size(), word) == 0)
+            pos_ += word.size();
+        else
+            fail("expected '" + word + "'");
+    }
+
+    std::string
+    parseString()
+    {
+        std::string out;
+        if (!consume('"'))
+            return out;
+        while (ok_ && pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) {
+                fail("dangling escape");
+                break;
+            }
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u':
+                // ASCII subset is enough for simulator output.
+                if (pos_ + 4 <= text_.size()) {
+                    out += static_cast<char>(std::strtol(
+                        text_.substr(pos_, 4).c_str(), nullptr, 16));
+                    pos_ += 4;
+                } else {
+                    fail("truncated \\u escape");
+                }
+                break;
+              default: fail("unknown escape"); break;
+            }
+        }
+        consume('"');
+        return out;
+    }
+
+    JValue
+    parseNumber()
+    {
+        JValue v;
+        v.type = JValue::Type::Number;
+        const char *begin = text_.c_str() + pos_;
+        char *end = nullptr;
+        v.number = std::strtod(begin, &end);
+        if (end == begin)
+            fail("malformed number");
+        else
+            pos_ += static_cast<std::size_t>(end - begin);
+        return v;
+    }
+
+    JValue
+    parseObject()
+    {
+        JValue v;
+        v.type = JValue::Type::Object;
+        consume('{');
+        if (consumeIf('}'))
+            return v;
+        while (ok_) {
+            skipWs();
+            std::string key = parseString();
+            consume(':');
+            v.members.emplace_back(std::move(key), parseValue());
+            if (consumeIf(','))
+                continue;
+            consume('}');
+            break;
+        }
+        return v;
+    }
+
+    JValue
+    parseArray()
+    {
+        JValue v;
+        v.type = JValue::Type::Array;
+        consume('[');
+        if (consumeIf(']'))
+            return v;
+        while (ok_) {
+            v.items.push_back(parseValue());
+            if (consumeIf(','))
+                continue;
+            consume(']');
+            break;
+        }
+        return v;
+    }
+
+    JValue
+    parseValue()
+    {
+        skipWs();
+        if (!ok_)
+            return {};
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return {};
+        }
+        char c = text_[pos_];
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"') {
+            JValue v;
+            v.type = JValue::Type::String;
+            v.text = parseString();
+            return v;
+        }
+        if (c == 't' || c == 'f') {
+            JValue v;
+            v.type = JValue::Type::Bool;
+            v.boolean = c == 't';
+            expectWord(c == 't' ? "true" : "false");
+            return v;
+        }
+        if (c == 'n') {
+            expectWord("null");
+            return {};
+        }
+        return parseNumber();
+    }
+
+    std::string text_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+    std::string error_;
+};
+
+inline JValue
+parseJson(const std::string &text)
+{
+    JsonParser parser(text);
+    JValue v = parser.parse();
+    EXPECT_TRUE(parser.ok()) << parser.error();
+    return v;
+}
+
+} // namespace dtu::test
+
+#endif // DTU_TESTS_JSON_TEST_UTIL_HH

@@ -149,6 +149,53 @@ TEST(Profiler, AggregatesByKind)
     EXPECT_LE(profile.overlapEfficiency(), 1.0);
 }
 
+TEST(Profiler, TwoGroupRunYieldsConsistentSummaries)
+{
+    // A small lease (2 groups of one cluster) stresses the per-kind
+    // aggregation under a different compute/DMA balance than the
+    // whole-chip runs above.
+    DtuConfig config = dtu2Config();
+    Dtu chip(config);
+    ExecutionPlan plan =
+        compile(models::buildResnet50(), config, DType::FP16, 2);
+    Executor executor(chip, {0, 1},
+                      {.powerManagement = false, .trace = true});
+    ExecResult r = executor.run(plan);
+    Profile profile(r);
+
+    // Every traced operator lands in exactly one kind bucket.
+    unsigned ops = 0;
+    Tick total_ticks = 0;
+    for (const auto &k : profile.byKind()) {
+        EXPECT_GT(k.ops, 0u) << k.kind;
+        EXPECT_GT(k.totalTicks, 0u) << k.kind;
+        EXPECT_LE(k.computeTicks, k.totalTicks) << k.kind;
+        EXPECT_DOUBLE_EQ(k.share,
+                         static_cast<double>(k.totalTicks) /
+                             static_cast<double>(r.latency))
+            << k.kind;
+        ops += k.ops;
+        total_ticks += k.totalTicks;
+    }
+    EXPECT_EQ(ops, r.trace.size());
+    EXPECT_LE(total_ticks, r.latency);
+
+    // With 2 groups instead of 6 each operator takes longer but the
+    // DMA/compute overlap metric stays a well-formed fraction.
+    EXPECT_GE(profile.overlapEfficiency(), 0.0);
+    EXPECT_LE(profile.overlapEfficiency(), 1.0);
+    EXPECT_GE(profile.computeBoundFraction(), 0.0);
+    EXPECT_LE(profile.computeBoundFraction(), 1.0);
+
+    // The narrower lease must not be faster than the full chip.
+    Dtu wide(config);
+    ExecutionPlan wide_plan =
+        compile(models::buildResnet50(), config, DType::FP16, 6);
+    Executor wide_exec(wide, {0, 1, 2, 3, 4, 5},
+                       {.powerManagement = false, .trace = true});
+    EXPECT_GE(r.latency, wide_exec.run(wide_plan).latency);
+}
+
 TEST(Profiler, SlowestAreSorted)
 {
     DtuConfig config = dtu2Config();
