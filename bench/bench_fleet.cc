@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Fleet serving: fleet size x routing policy x arrival pattern on
+ * the ResNet50 + BERT-Large mix (3:1 by request count).
+ *
+ * Each cell replays an open-loop arrival trace whose offered load
+ * scales with the fleet (4000 QPS and 128 requests per device, so
+ * per-device pressure is constant) through a FleetServer of N
+ * identically configured i20 devices. Two headlines:
+ *
+ *  - Data-parallel scale-out is near-linear: the aggregate achieved
+ *    QPS of a 4-device fleet under Poisson load is ~4x a single
+ *    device (each card serves its own slice; they share nothing).
+ *  - Routing policy is a tail-latency lever: under bursty arrivals,
+ *    least-outstanding routing undercuts round-robin's p99 because
+ *    it steers bursts away from devices still draining a backlog
+ *    (round-robin stacks requests behind a busy device whenever its
+ *    turn comes up, which the heterogeneous ResNet/BERT mix
+ *    punishes).
+ *
+ *     bench_fleet [--json <path>] [--max-devices <n>]
+ *                 [--requests <per-device>] [--weight-gbps <gbps>]
+ *
+ * --max-devices caps the sweep (CI smoke uses 2); --requests scales
+ * the per-device trace length; --weight-gbps > 0 additionally
+ * models first-placement PCIe weight loads at that bandwidth.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/server.hh"
+#include "bench_common.hh"
+#include "serve/arrival.hh"
+#include "serve/fleet.hh"
+
+using namespace dtu;
+using namespace dtu::bench;
+
+namespace
+{
+
+constexpr double kQpsPerDevice = 4000.0;
+
+std::vector<serve::Request>
+mixTrace(const std::string &pattern, unsigned devices,
+         unsigned per_device)
+{
+    double qps = kQpsPerDevice * devices;
+    unsigned resnet = per_device * devices * 3 / 4;
+    unsigned bert = per_device * devices / 4;
+    Tick resnet_slo = secondsToTicks(20e-3);
+    Tick bert_slo = secondsToTicks(80e-3);
+    if (pattern == "poisson") {
+        return serve::finalizeTrace(
+            {serve::poissonTrace("resnet50", qps * 0.75, resnet,
+                                 /*seed=*/101, resnet_slo),
+             serve::poissonTrace("bert_large", qps * 0.25, bert,
+                                 /*seed=*/202, bert_slo)});
+    }
+    return serve::finalizeTrace(
+        {serve::burstyTrace("resnet50", qps * 0.75, resnet,
+                            /*seed=*/303, /*burst=*/8, /*factor=*/4.0,
+                            resnet_slo),
+         serve::burstyTrace("bert_large", qps * 0.25, bert,
+                            /*seed=*/404, /*burst=*/8, /*factor=*/4.0,
+                            bert_slo)});
+}
+
+serve::ServingConfig
+servingConfig()
+{
+    serve::ServingConfig config;
+    config.batching.maxBatch = 8;
+    config.batching.maxQueueDelay = secondsToTicks(2e-3);
+    config.batching.perModelMaxBatch["bert_large"] = 1;
+    config.groupsPerBatch = 1;
+    return config;
+}
+
+unsigned
+parseCount(const std::string &value, unsigned fallback)
+{
+    return value.empty()
+               ? fallback
+               : static_cast<unsigned>(std::stoul(value));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOutput out(argc, argv, "fleet",
+                    {"--max-devices", "--requests", "--weight-gbps"});
+    unsigned max_devices = parseCount(out.option("--max-devices"), 8);
+    unsigned per_device = parseCount(out.option("--requests"), 128);
+    double weight_gbps = out.option("--weight-gbps").empty()
+                             ? 0.0
+                             : std::stod(out.option("--weight-gbps"));
+
+    printBanner("Fleet serving: size x routing x arrival pattern "
+                "(ResNet50 + BERT-Large, 3:1, "
+                + std::to_string(static_cast<int>(kQpsPerDevice)) +
+                " QPS/device)");
+
+    std::vector<unsigned> sizes;
+    for (unsigned s : {1u, 2u, 4u, 8u})
+        if (s <= max_devices)
+            sizes.push_back(s);
+    const serve::RoutingPolicy policies[] = {
+        serve::RoutingPolicy::RoundRobin,
+        serve::RoutingPolicy::LeastOutstanding,
+        serve::RoutingPolicy::ModelAffinity,
+    };
+
+    ReportTable table({"pattern/n/policy", "achieved_qps", "p50_ms",
+                       "p99_ms", "miss_rate", "util", "j_per_req"});
+
+    // achieved QPS by [pattern][size][policy] for the headlines.
+    std::map<std::string,
+             std::map<unsigned, std::map<std::string, double>>>
+        achieved;
+    std::map<std::string,
+             std::map<unsigned, std::map<std::string, double>>>
+        p99;
+
+    for (const std::string pattern : {"poisson", "bursty"}) {
+        for (unsigned size : sizes) {
+            std::vector<serve::Request> trace =
+                mixTrace(pattern, size, per_device);
+            for (serve::RoutingPolicy policy : policies) {
+                serve::FleetConfig config;
+                config.devices = size;
+                config.routing = policy;
+                config.serving = servingConfig();
+                config.weightLoadGbps = weight_gbps;
+                FleetServer fleet(config);
+                fleet.submit(trace);
+                const serve::FleetReport &r = fleet.serve();
+
+                std::string policy_name =
+                    serve::routingPolicyName(policy);
+                std::string cell = pattern + " n" +
+                                   std::to_string(size) + " " +
+                                   policy_name;
+                table.addRow(cell,
+                             {r.fleet.achievedQps, r.fleet.p50Ms,
+                              r.fleet.p99Ms, r.fleet.missRate,
+                              r.fleet.groupUtilization,
+                              r.fleet.joulesPerRequest});
+                std::string prefix = pattern + "_n" +
+                                     std::to_string(size) + "_" +
+                                     policy_name + "_";
+                out.metric(prefix + "achieved_qps",
+                           r.fleet.achievedQps);
+                out.metric(prefix + "p50_ms", r.fleet.p50Ms);
+                out.metric(prefix + "p99_ms", r.fleet.p99Ms);
+                out.metric(prefix + "miss_rate", r.fleet.missRate);
+                achieved[pattern][size][policy_name] =
+                    r.fleet.achievedQps;
+                p99[pattern][size][policy_name] = r.fleet.p99Ms;
+            }
+        }
+    }
+    table.print();
+    out.table("fleet", table);
+
+    // Headline 1: near-linear aggregate QPS scaling under open-loop
+    // Poisson load (least-outstanding routing, largest size vs 1).
+    unsigned top = sizes.back();
+    double base = achieved["poisson"][1]["least_outstanding"];
+    double scaled = achieved["poisson"][top]["least_outstanding"];
+    double scaling = base > 0.0 ? scaled / base : 0.0;
+    out.metric("poisson_qps_scaling_1_to_" + std::to_string(top),
+               scaling);
+    std::printf("\n  poisson scale-out: %u devices sustain %.2fx the "
+                "QPS of one (ideal %.1fx)%s\n",
+                top, scaling, static_cast<double>(top),
+                scaling > 0.85 * top ? ""
+                                     : "  ** SUBLINEAR **");
+
+    // Headline 2: under bursty arrivals, least-outstanding beats
+    // round-robin on tail latency at the largest fleet size.
+    double lo_p99 = p99["bursty"][top]["least_outstanding"];
+    double rr_p99 = p99["bursty"][top]["round_robin"];
+    double ratio = rr_p99 > 0.0 ? lo_p99 / rr_p99 : 0.0;
+    out.metric("bursty_p99_lo_over_rr_n" + std::to_string(top),
+               ratio);
+    std::printf("  bursty tail: least-outstanding p99 %.2f ms vs "
+                "round-robin %.2f ms (%.2fx)%s\n",
+                lo_p99, rr_p99, ratio,
+                (top == 1 || ratio < 1.0) ? ""
+                                          : "  ** REGRESSION **");
+
+    return out.finish();
+}

@@ -1,5 +1,9 @@
 #include "api/server.hh"
 
+#include <cmath>
+
+#include "obs/prometheus.hh"
+#include "sim/json.hh"
 #include "sim/logging.hh"
 
 namespace dtu
@@ -47,6 +51,160 @@ Server::enableSloMonitor(obs::SloConfig config)
     sloMon_ = std::make_unique<obs::SloMonitor>(config);
     scheduler_.setSloMonitor(sloMon_.get());
     return *sloMon_;
+}
+
+FleetServer::FleetServer(serve::FleetConfig config,
+                         const DtuConfig &chip)
+    : config_(std::move(config))
+{
+    fatalIf(config_.devices == 0, "a fleet needs at least one device");
+    std::vector<serve::Fleet::Member> members;
+    for (unsigned i = 0; i < config_.devices; ++i) {
+        devices_.push_back(std::make_unique<Device>(chip));
+        members.push_back({&devices_.back()->chip(),
+                           &devices_.back()->resources()});
+    }
+    fleet_ = std::make_unique<serve::Fleet>(std::move(members),
+                                            config_);
+}
+
+std::uint64_t
+FleetServer::submit(const std::string &model, Tick arrival,
+                    Tick deadline)
+{
+    serve::Request r;
+    r.id = nextId_++;
+    r.model = model;
+    r.arrival = arrival;
+    r.deadline = deadline;
+    pending_.push_back(std::move(r));
+    return pending_.back().id;
+}
+
+void
+FleetServer::submit(const std::vector<serve::Request> &trace)
+{
+    pending_.reserve(pending_.size() + trace.size());
+    for (serve::Request r : trace) {
+        r.id = nextId_++;
+        pending_.push_back(std::move(r));
+    }
+}
+
+const serve::FleetReport &
+FleetServer::serve()
+{
+    last_ = fleet_->serve(std::move(pending_));
+    pending_.clear();
+    served_ = true;
+    return last_;
+}
+
+obs::SloMonitor &
+FleetServer::enableSloMonitor(obs::SloConfig config)
+{
+    fatalIf(sloMon_ != nullptr, "fleet already has an SLO monitor");
+    sloMon_ = std::make_unique<obs::SloMonitor>(config);
+    fleet_->setSloMonitor(sloMon_.get());
+    return *sloMon_;
+}
+
+namespace
+{
+
+/** Prometheus sample value: text format spells non-finite as NaN. */
+std::string
+promValue(double v)
+{
+    return std::isfinite(v) ? jsonNumber(v) : "NaN";
+}
+
+void
+fleetGauge(std::ostream &os, const std::string &metric,
+           const std::string &help, double v)
+{
+    os << "# HELP " << metric << " " << help << "\n";
+    os << "# TYPE " << metric << " gauge\n";
+    os << metric << " " << promValue(v) << "\n";
+}
+
+} // namespace
+
+void
+FleetServer::writePrometheus(std::ostream &os)
+{
+    for (unsigned i = 0; i < size(); ++i) {
+        obs::writePrometheusText(devices_[i]->chip().stats(), os,
+                                 "dtusim_dev" + std::to_string(i));
+    }
+    if (!served_)
+        return;
+
+    const serve::FleetReport &r = last_;
+    fleetGauge(os, "dtusim_fleet_devices", "devices in the fleet",
+               static_cast<double>(r.devices));
+    fleetGauge(os, "dtusim_fleet_submitted",
+               "requests the last serve submitted",
+               static_cast<double>(r.fleet.submitted));
+    fleetGauge(os, "dtusim_fleet_requests",
+               "requests the last serve completed",
+               static_cast<double>(r.fleet.requests));
+    fleetGauge(os, "dtusim_fleet_achieved_qps",
+               "fleet-wide sustained throughput",
+               r.fleet.achievedQps);
+    fleetGauge(os, "dtusim_fleet_goodput_qps",
+               "fleet-wide in-deadline throughput",
+               r.fleet.goodputQps);
+    fleetGauge(os, "dtusim_fleet_latency_p50_ms",
+               "fleet-wide median latency", r.fleet.p50Ms);
+    fleetGauge(os, "dtusim_fleet_latency_p99_ms",
+               "fleet-wide tail latency", r.fleet.p99Ms);
+    fleetGauge(os, "dtusim_fleet_availability",
+               "completed / submitted", r.fleet.availability);
+
+    const struct
+    {
+        const char *metric;
+        const char *help;
+        double (*get)(const serve::DeviceReport &);
+    } per_device[] = {
+        {"dtusim_fleet_device_routed",
+         "arrivals routed to the device",
+         [](const serve::DeviceReport &d) {
+             return static_cast<double>(d.routed);
+         }},
+        {"dtusim_fleet_device_requests",
+         "requests the device completed",
+         [](const serve::DeviceReport &d) {
+             return static_cast<double>(d.report.requests);
+         }},
+        {"dtusim_fleet_device_peak_queue_depth",
+         "highest arrival-queue depth the device saw",
+         [](const serve::DeviceReport &d) {
+             return static_cast<double>(d.peakQueueDepth);
+         }},
+        {"dtusim_fleet_device_weight_load_ms",
+         "modeled PCIe weight-load time the device paid",
+         [](const serve::DeviceReport &d) {
+             return ticksToMilliSeconds(d.weightLoadTicks);
+         }},
+        {"dtusim_fleet_device_latency_p99_ms",
+         "the device's tail latency",
+         [](const serve::DeviceReport &d) { return d.report.p99Ms; }},
+        {"dtusim_fleet_device_group_utilization",
+         "time-weighted fraction of the device's groups leased",
+         [](const serve::DeviceReport &d) {
+             return d.report.groupUtilization;
+         }},
+    };
+    for (const auto &g : per_device) {
+        os << "# HELP " << g.metric << " " << g.help << "\n";
+        os << "# TYPE " << g.metric << " gauge\n";
+        for (const serve::DeviceReport &d : r.perDevice) {
+            os << g.metric << "{device=\"" << d.device << "\"} "
+               << promValue(g.get(d)) << "\n";
+        }
+    }
 }
 
 } // namespace dtu

@@ -32,6 +32,7 @@
 
 #include "api/tops_runtime.hh"
 #include "obs/slo_monitor.hh"
+#include "serve/fleet.hh"
 #include "serve/scheduler.hh"
 
 namespace dtu
@@ -92,6 +93,93 @@ class Server
     std::vector<serve::Request> pending_;
     std::uint64_t nextId_ = 1;
     serve::ServingReport last_;
+    std::unique_ptr<obs::SloMonitor> sloMon_;
+};
+
+/**
+ * Data-parallel serving across a fleet of devices — the multi-card
+ * deployment facade. Owns N identically configured Devices and a
+ * serve::Fleet that routes one submission stream across them:
+ *
+ *   FleetServer fleet({.devices = 4,
+ *                      .routing =
+ *                          serve::RoutingPolicy::LeastOutstanding,
+ *                      .serving = {.batching = {.maxBatch = 8}}});
+ *   fleet.submit(serve::poissonTrace("resnet50", 2000, 512, seed));
+ *   serve::FleetReport report = fleet.serve();
+ *
+ * A size-1 fleet reproduces Server::serve() bit-for-bit.
+ */
+class FleetServer
+{
+  public:
+    /** Open @p config.devices devices of @p chip and front them. */
+    explicit FleetServer(serve::FleetConfig config = {},
+                         const DtuConfig &chip = dtu2Config());
+
+    /**
+     * Submit one request (routed at serve() time).
+     * @param deadline absolute completion deadline (0 = no SLO).
+     * @return the assigned request id.
+     */
+    std::uint64_t submit(const std::string &model, Tick arrival,
+                         Tick deadline = 0);
+
+    /** Submit a whole arrival trace (ids are reassigned). */
+    void submit(const std::vector<serve::Request> &trace);
+
+    /** Requests submitted and not yet served. */
+    std::size_t pending() const { return pending_.size(); }
+
+    /**
+     * Drain everything submitted so far across the fleet and return
+     * the aggregated report (also retained; see lastReport()).
+     */
+    const serve::FleetReport &serve();
+
+    /** Report of the most recent serve(). */
+    const serve::FleetReport &lastReport() const { return last_; }
+
+    /** Devices in the fleet. */
+    unsigned size() const
+    {
+        return static_cast<unsigned>(devices_.size());
+    }
+
+    /** Device @p i (tracing, faults, perf sampling, stats). */
+    Device &device(unsigned i) { return *devices_[i]; }
+
+    /** The routing/serving coordinator. */
+    serve::Fleet &fleet() { return *fleet_; }
+
+    const serve::FleetConfig &config() const { return config_; }
+
+    /**
+     * Attach one live SLO monitor fleet-wide: completions and drops
+     * from every device feed it in global event order. Enabling
+     * twice is a configuration error.
+     */
+    obs::SloMonitor &enableSloMonitor(obs::SloConfig config = {});
+
+    /** The attached monitor, or nullptr. */
+    obs::SloMonitor *sloMonitor() { return sloMon_.get(); }
+
+    /**
+     * Export the whole fleet in Prometheus text exposition format:
+     * every device's chip registry under a "dtusim_dev<i>" prefix,
+     * then fleet-aggregate and per-device serving gauges (labeled by
+     * device) from the most recent serve().
+     */
+    void writePrometheus(std::ostream &os);
+
+  private:
+    serve::FleetConfig config_;
+    std::vector<std::unique_ptr<Device>> devices_;
+    std::unique_ptr<serve::Fleet> fleet_;
+    std::vector<serve::Request> pending_;
+    std::uint64_t nextId_ = 1;
+    serve::FleetReport last_;
+    bool served_ = false;
     std::unique_ptr<obs::SloMonitor> sloMon_;
 };
 

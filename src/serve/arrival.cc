@@ -19,9 +19,12 @@ Tick
 expGap(Random &rng, double rate_qps)
 {
     // Inverse-CDF sampling; uniform() is in [0, 1) so log(1 - u) is
-    // finite.
+    // finite. At rates approaching one request per tick the sampled
+    // gap rounds to 0, which would emit duplicate timestamps — the
+    // scheduler's wake logic and every strict-monotonicity property
+    // assume arrivals advance — so the gap is clamped to 1 tick.
     double seconds = -std::log(1.0 - rng.uniform()) / rate_qps;
-    return secondsToTicks(seconds);
+    return std::max<Tick>(secondsToTicks(seconds), 1);
 }
 
 Request

@@ -36,6 +36,9 @@ std::vector<Request> fixedRateTrace(const std::string &model,
 /**
  * Poisson arrivals: @p count requests whose inter-arrival gaps are
  * exponentially distributed around 1/@p qps, drawn from @p seed.
+ * Gaps are clamped to at least 1 tick, so arrivals are strictly
+ * increasing even at rates high enough that a sampled gap rounds
+ * to 0 ticks.
  */
 std::vector<Request> poissonTrace(const std::string &model, double qps,
                                   unsigned count, std::uint64_t seed,

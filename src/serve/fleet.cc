@@ -1,0 +1,320 @@
+#include "serve/fleet.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/slo_monitor.hh"
+#include "serve/arrival.hh"
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace dtu
+{
+namespace serve
+{
+
+namespace
+{
+
+constexpr Tick kNever = std::numeric_limits<Tick>::max();
+
+/** Stateless cycle through device indices. */
+class RoundRobinRouter : public Router
+{
+  public:
+    unsigned
+    route(const Request &, const std::vector<Scheduler *> &devices)
+        override
+    {
+        return static_cast<unsigned>(next_++ % devices.size());
+    }
+
+  private:
+    std::size_t next_ = 0;
+};
+
+/** Device with the fewest queued + in-flight requests, lowest index. */
+unsigned
+leastOutstanding(const std::vector<Scheduler *> &devices)
+{
+    unsigned best = 0;
+    std::size_t best_load = devices[0]->outstanding();
+    for (unsigned i = 1; i < devices.size(); ++i) {
+        std::size_t load = devices[i]->outstanding();
+        if (load < best_load) {
+            best = i;
+            best_load = load;
+        }
+    }
+    return best;
+}
+
+class LeastOutstandingRouter : public Router
+{
+  public:
+    unsigned
+    route(const Request &, const std::vector<Scheduler *> &devices)
+        override
+    {
+        return leastOutstanding(devices);
+    }
+};
+
+/**
+ * Least outstanding among devices already holding the model's
+ * weights; globally least outstanding (forcing a new placement)
+ * when no device has them yet.
+ */
+class ModelAffinityRouter : public Router
+{
+  public:
+    unsigned
+    route(const Request &r, const std::vector<Scheduler *> &devices)
+        override
+    {
+        bool found = false;
+        unsigned best = 0;
+        std::size_t best_load = 0;
+        for (unsigned i = 0; i < devices.size(); ++i) {
+            if (!devices[i]->modelPlaced(r.model))
+                continue;
+            std::size_t load = devices[i]->outstanding();
+            if (!found || load < best_load) {
+                found = true;
+                best = i;
+                best_load = load;
+            }
+        }
+        return found ? best : leastOutstanding(devices);
+    }
+};
+
+} // namespace
+
+const char *
+routingPolicyName(RoutingPolicy policy)
+{
+    switch (policy) {
+      case RoutingPolicy::RoundRobin: return "round_robin";
+      case RoutingPolicy::LeastOutstanding: return "least_outstanding";
+      case RoutingPolicy::ModelAffinity: return "model_affinity";
+    }
+    return "?";
+}
+
+std::optional<RoutingPolicy>
+parseRoutingPolicy(const std::string &name)
+{
+    if (name == "round_robin")
+        return RoutingPolicy::RoundRobin;
+    if (name == "least_outstanding")
+        return RoutingPolicy::LeastOutstanding;
+    if (name == "model_affinity")
+        return RoutingPolicy::ModelAffinity;
+    return std::nullopt;
+}
+
+std::unique_ptr<Router>
+Router::make(RoutingPolicy policy)
+{
+    switch (policy) {
+      case RoutingPolicy::RoundRobin:
+        return std::make_unique<RoundRobinRouter>();
+      case RoutingPolicy::LeastOutstanding:
+        return std::make_unique<LeastOutstandingRouter>();
+      case RoutingPolicy::ModelAffinity:
+        return std::make_unique<ModelAffinityRouter>();
+    }
+    fatal("unknown routing policy");
+}
+
+Fleet::Fleet(std::vector<Member> members, FleetConfig config)
+    : config_(std::move(config))
+{
+    fatalIf(members.empty(), "a fleet needs at least one device");
+    fatalIf(config_.devices != members.size(),
+            "fleet config says ", config_.devices,
+            " devices but ", members.size(), " were provided");
+    devices_.reserve(members.size());
+    for (const Member &m : members) {
+        fatalIf(!m.dtu || !m.manager,
+                "fleet member needs a chip and a resource manager");
+        devices_.push_back(std::make_unique<Scheduler>(
+            *m.dtu, *m.manager, config_.serving));
+        if (config_.sharePlans)
+            devices_.back()->sharePlanCache(&sharedPlans_);
+        view_.push_back(devices_.back().get());
+    }
+}
+
+void
+Fleet::setSloMonitor(obs::SloMonitor *monitor)
+{
+    sloMon_ = monitor;
+    for (auto &dev : devices_)
+        dev->setSloMonitor(monitor);
+}
+
+FleetReport
+Fleet::serve(std::vector<Request> trace)
+{
+    std::sort(trace.begin(), trace.end(),
+              [](const Request &a, const Request &b) {
+                  if (a.arrival != b.arrival)
+                      return a.arrival < b.arrival;
+                  return a.id < b.id;
+              });
+    const double offered = offeredQps(trace);
+
+    // The fleet-global future-arrivals map: a device's batcher holds
+    // a partial batch while ANY future arrival of the model exists —
+    // an upper bound on "a companion could still join this device",
+    // and exact for a size-1 fleet.
+    std::map<std::string, unsigned> future;
+    for (const Request &r : trace)
+        ++future[r.model];
+
+    const std::size_t n = devices_.size();
+    Tick now = trace.empty() ? 0 : trace.front().arrival;
+    for (auto &dev : devices_)
+        dev->begin(now, &future);
+
+    // A fresh router per run keeps serve() deterministic regardless
+    // of what earlier runs routed.
+    router_ = Router::make(config_.routing);
+    std::vector<std::vector<Request>> routed(n);
+
+    std::size_t next_arrival = 0;
+    auto admitUpTo = [&](Tick upto) {
+        while (next_arrival < trace.size() &&
+               trace[next_arrival].arrival <= upto) {
+            const Request &r = trace[next_arrival++];
+            --future[r.model];
+            unsigned d = router_->route(r, view_);
+            fatalIf(d >= n, "router picked device ", d, " of ", n);
+            devices_[d]->placeModel(r.model, r.arrival,
+                                    config_.weightLoadGbps);
+            devices_[d]->admit(r);
+            routed[d].push_back(r);
+        }
+    };
+
+    admitUpTo(now);
+    for (auto &dev : devices_)
+        dev->settle(now);
+    while (true) {
+        // Global next event: min over every device's internal events
+        // and the next arrival. Devices are advanced in index order
+        // at each event time, so cross-device ordering (and the SLO
+        // monitor's record order) is deterministic.
+        Tick next = kNever;
+        for (const auto &dev : devices_)
+            next = std::min(next, dev->nextEvent(now));
+        if (next_arrival < trace.size())
+            next = std::min(next, trace[next_arrival].arrival);
+        if (next == kNever) {
+            std::size_t stuck = 0;
+            for (const auto &dev : devices_)
+                stuck += dev->queueDepth();
+            fatalIf(stuck != 0, "fleet serving deadlock: ", stuck,
+                    " queued requests but no future event");
+            break;
+        }
+        now = next;
+        for (auto &dev : devices_)
+            dev->advanceCompletions(now);
+        admitUpTo(now);
+        for (auto &dev : devices_)
+            dev->settle(now);
+        if (sloMon_)
+            sloMon_->advanceTo(now);
+    }
+    Tick last_completion = 0;
+    for (const auto &dev : devices_)
+        last_completion =
+            std::max(last_completion, dev->lastCompletion());
+    if (sloMon_)
+        sloMon_->finish(std::max(now, last_completion));
+
+    FleetReport report;
+    report.devices = static_cast<unsigned>(n);
+    report.routing = config_.routing;
+
+    // Per-device slices first (each device summarizes its routed
+    // subset at the load it actually saw), then the fleet aggregate
+    // over the merged logs — so fleet percentiles are true fleet-wide
+    // order statistics, not an average of averages.
+    std::vector<CompletedRequest> all_completed;
+    std::vector<DroppedRequest> all_dropped;
+    std::uint64_t batches = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t faults = 0;
+    double joules = 0.0;
+    double utilization = 0.0;
+    for (unsigned i = 0; i < n; ++i) {
+        DeviceReport dev;
+        dev.device = i;
+        dev.routed = routed[i].size();
+        dev.peakQueueDepth = devices_[i]->peakQueueDepth();
+        dev.placedModels = devices_[i]->placedModels();
+        dev.weightLoads = devices_[i]->weightLoads();
+        dev.weightLoadTicks = devices_[i]->weightLoadTicks();
+        dev.weightLoadBytes = devices_[i]->weightLoadBytes();
+        dev.report = devices_[i]->finish(offeredQps(routed[i]));
+        all_completed.insert(all_completed.end(),
+                             dev.report.completed.begin(),
+                             dev.report.completed.end());
+        all_dropped.insert(all_dropped.end(),
+                           dev.report.dropped.begin(),
+                           dev.report.dropped.end());
+        batches += dev.report.batches;
+        retries += dev.report.batchRetries;
+        faults += dev.report.faultsInjected;
+        joules += dev.report.joules;
+        utilization += dev.report.groupUtilization;
+        report.perDevice.push_back(std::move(dev));
+    }
+    report.fleet = summarize(std::move(all_completed), offered,
+                             batches, joules,
+                             utilization / static_cast<double>(n),
+                             std::move(all_dropped), retries, faults);
+    return report;
+}
+
+void
+writeJson(const FleetReport &report, std::ostream &os,
+          bool per_request)
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("devices", report.devices)
+        .field("routing", routingPolicyName(report.routing));
+
+    json.key("fleet");
+    writeJson(report.fleet, json, per_request);
+
+    json.key("per_device").beginArray();
+    for (const DeviceReport &dev : report.perDevice) {
+        json.beginObject()
+            .field("device", dev.device)
+            .field("routed", dev.routed)
+            .field("peak_queue_depth", dev.peakQueueDepth)
+            .field("weight_loads", dev.weightLoads)
+            .field("weight_load_ms",
+                   ticksToMilliSeconds(dev.weightLoadTicks))
+            .field("weight_load_bytes", dev.weightLoadBytes);
+        json.key("placed_models").beginArray();
+        for (const std::string &model : dev.placedModels)
+            json.value(model);
+        json.endArray();
+        json.key("report");
+        writeJson(dev.report, json, per_request);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    os << "\n";
+}
+
+} // namespace serve
+} // namespace dtu

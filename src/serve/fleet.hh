@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Multi-device fleet serving: data-parallel scale-out of the
+ * request-level serving runtime.
+ *
+ * A Fleet fronts N independently clocked Dtu instances (each with
+ * its own ResourceManager) with one discrete-event serving loop. A
+ * pluggable Router assigns every arrival to a device; each device
+ * runs its own steppable Scheduler core (per-device queues, dynamic
+ * batching, degradation), while the fleet driver owns the global
+ * timeline and min-reduces the devices' next-event times — so
+ * cross-device ordering is deterministic and a size-1 fleet
+ * reproduces the single-device Scheduler::serve() path bit-for-bit.
+ *
+ * Model placement is explicit: the first time the router assigns a
+ * model to a device, the device "places" it, optionally paying a
+ * modeled PCIe weight-load (weight bytes at weightLoadGbps GB/s,
+ * serialized per device, see Scheduler::placeModel). Batches of a
+ * model cannot launch on a device before its weights are resident,
+ * which is what makes model-affinity routing worth having.
+ *
+ * This is the paper's cloud-deployment story scaled out: the i20
+ * card is a PCIe device, and inference clusters scale by packing
+ * cards behind one request router (data parallelism), not by model
+ * sharding — so the fleet abstraction is N chips + a router, with
+ * per-device SLO accounting rolled up fleet-wide.
+ */
+
+#ifndef DTU_SERVE_FLEET_HH
+#define DTU_SERVE_FLEET_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "serve/scheduler.hh"
+
+namespace dtu
+{
+namespace serve
+{
+
+/** How the fleet router picks a device for each arrival. */
+enum class RoutingPolicy
+{
+    /** Cycle through devices in index order, stateless. */
+    RoundRobin,
+    /**
+     * Pick the device with the fewest outstanding (queued +
+     * in-flight) requests; ties break on the lowest index. The
+     * classic load-aware policy: under bursty arrivals it spreads a
+     * burst across idle devices instead of stacking it behind a
+     * busy one, cutting tail latency.
+     */
+    LeastOutstanding,
+    /**
+     * Prefer devices that already hold the model's weights (least
+     * outstanding among them); fall back to the globally least
+     * loaded device, triggering a placement there. Minimizes PCIe
+     * weight traffic at some load-balance cost.
+     */
+    ModelAffinity,
+};
+
+/** Stable lowercase name ("round_robin", ...). */
+const char *routingPolicyName(RoutingPolicy policy);
+
+/** Parse a policy name; nullopt when unknown. */
+std::optional<RoutingPolicy> parseRoutingPolicy(const std::string &name);
+
+/** Configuration of a serving fleet. */
+struct FleetConfig
+{
+    /** Devices in the fleet. */
+    unsigned devices = 1;
+    /** Arrival-to-device routing policy. */
+    RoutingPolicy routing = RoutingPolicy::RoundRobin;
+    /** Per-device scheduler configuration (identical across devices). */
+    ServingConfig serving;
+    /**
+     * PCIe bandwidth for first-placement weight loads, in GB/s.
+     * 0 disables the cost model: placements are tracked (affinity
+     * routing still works) but weights are resident immediately —
+     * the default, which keeps a size-1 fleet bit-for-bit identical
+     * to the single-device path.
+     */
+    double weightLoadGbps = 0.0;
+    /**
+     * Share one compiled-plan cache across the fleet's identically
+     * configured devices (plans are pure functions of the chip
+     * config). Host-side memoization only; simulated timing is
+     * unchanged.
+     */
+    bool sharePlans = true;
+};
+
+/** One device's slice of a fleet serving run. */
+struct DeviceReport
+{
+    /** Device index within the fleet. */
+    unsigned device = 0;
+    /** Arrivals the router assigned to this device. */
+    std::uint64_t routed = 0;
+    /** Highest arrival-queue depth the device saw. */
+    std::uint64_t peakQueueDepth = 0;
+    /** Models placed on this device, alphabetical. */
+    std::vector<std::string> placedModels;
+    /** First-placement weight loads this device paid. */
+    std::uint64_t weightLoads = 0;
+    /** Total modeled PCIe weight-load time. */
+    Tick weightLoadTicks = 0;
+    /** Total weight bytes loaded. */
+    std::uint64_t weightLoadBytes = 0;
+    /** The device's own serving report (its routed slice). */
+    ServingReport report;
+};
+
+/** Fleet-wide outcome: the aggregate plus every device's slice. */
+struct FleetReport
+{
+    /** Devices served. */
+    unsigned devices = 0;
+    /** Policy that routed the trace. */
+    RoutingPolicy routing = RoutingPolicy::RoundRobin;
+    /**
+     * Fleet-aggregate report over the merged completion/drop logs:
+     * fleet-wide percentiles, summed batches/energy, mean device
+     * utilization. For a size-1 fleet this equals devices[0].report.
+     */
+    ServingReport fleet;
+    /** Per-device slices, index order. */
+    std::vector<DeviceReport> perDevice;
+};
+
+/**
+ * Routing policy implementation. route() sees the live device cores
+ * (queue depths, outstanding work, placements) so policies can be
+ * load- and placement-aware. Implementations must be deterministic:
+ * same arrival sequence and device states => same assignment.
+ */
+class Router
+{
+  public:
+    virtual ~Router() = default;
+
+    /** Pick the device for @p request. */
+    virtual unsigned route(const Request &request,
+                           const std::vector<Scheduler *> &devices) = 0;
+
+    /** Build the standard implementation of @p policy. */
+    static std::unique_ptr<Router> make(RoutingPolicy policy);
+};
+
+/**
+ * N steppable Scheduler cores behind one Router on one timeline.
+ * The Fleet borrows the chips and managers (the api::FleetServer
+ * facade owns them); members must outlive the Fleet.
+ */
+class Fleet
+{
+  public:
+    /** One borrowed device: a chip and its resource manager. */
+    struct Member
+    {
+        Dtu *dtu = nullptr;
+        ResourceManager *manager = nullptr;
+    };
+
+    Fleet(std::vector<Member> members, FleetConfig config);
+
+    /** Drain a finalized arrival trace across the fleet. */
+    FleetReport serve(std::vector<Request> trace);
+
+    /** Devices in the fleet. */
+    std::size_t size() const { return devices_.size(); }
+
+    /** Device @p i's scheduler core (e.g. for placement queries). */
+    Scheduler &device(std::size_t i) { return *devices_[i]; }
+
+    const FleetConfig &config() const { return config_; }
+
+    /**
+     * Attach (or detach) a live SLO monitor fleet-wide: every
+     * device's completions and drops feed one monitor whose windows
+     * the fleet loop advances on the global timeline.
+     */
+    void setSloMonitor(obs::SloMonitor *monitor);
+
+  private:
+    FleetConfig config_;
+    std::vector<std::unique_ptr<Scheduler>> devices_;
+    std::vector<Scheduler *> view_;
+    std::unique_ptr<Router> router_;
+    PlanCache sharedPlans_;
+    obs::SloMonitor *sloMon_ = nullptr;
+};
+
+/**
+ * Serialize a fleet report: fleet config, the aggregate report, and
+ * one per-device section (routing counts, placements, weight-load
+ * totals, the device's own report).
+ * @param per_request include per-request logs in every section.
+ */
+void writeJson(const FleetReport &report, std::ostream &os,
+               bool per_request = false);
+
+} // namespace serve
+} // namespace dtu
+
+#endif // DTU_SERVE_FLEET_HH

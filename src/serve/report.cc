@@ -69,7 +69,14 @@ summarize(std::vector<CompletedRequest> completed, double offered_qps,
         // A run can legitimately complete nothing (everything shed,
         // timed out, or failed); every ratio below divides by the
         // request count, so stop here with zeros instead of NaNs.
+        // The latency percentiles are the exception: there is no
+        // latency distribution to summarize, so they take the empty
+        // histogram's defined NaN and serialize as JSON null rather
+        // than claiming a 0 ms tail.
         report.meanBatchSize = 0.0;
+        report.p50Ms = report.latencyMsHistogram.percentile(0.50);
+        report.p95Ms = report.latencyMsHistogram.percentile(0.95);
+        report.p99Ms = report.latencyMsHistogram.percentile(0.99);
         return report;
     }
 
@@ -130,6 +137,14 @@ writeJson(const ServingReport &report, std::ostream &os,
           bool per_request)
 {
     JsonWriter json(os);
+    writeJson(report, json, per_request);
+    os << "\n";
+}
+
+void
+writeJson(const ServingReport &report, JsonWriter &json,
+          bool per_request)
+{
     json.beginObject();
     json.field("submitted", report.submitted)
         .field("requests", report.requests)
@@ -212,7 +227,6 @@ writeJson(const ServingReport &report, std::ostream &os,
         json.endArray();
     }
     json.endObject();
-    os << "\n";
 }
 
 } // namespace serve

@@ -22,6 +22,9 @@
 
 namespace dtu
 {
+
+class JsonWriter;
+
 namespace serve
 {
 
@@ -55,6 +58,11 @@ struct ServingReport
 
     /** End-to-end latency distribution in milliseconds. */
     Histogram latencyMsHistogram;
+    /**
+     * Tail percentiles of the latency distribution. NaN when zero
+     * requests completed (there is no distribution); the JSON writer
+     * renders non-finite values as null.
+     */
     double p50Ms = 0.0;
     double p95Ms = 0.0;
     double p99Ms = 0.0;
@@ -126,6 +134,14 @@ ServingReport summarize(std::vector<CompletedRequest> completed,
  * @param per_request include the full per-request log.
  */
 void writeJson(const ServingReport &report, std::ostream &os,
+               bool per_request = true);
+
+/**
+ * Emit the report object into an already-open JsonWriter (as the
+ * next value), so composite documents — e.g. the fleet report's
+ * per-device sections — can embed it.
+ */
+void writeJson(const ServingReport &report, JsonWriter &json,
                bool per_request = true);
 
 } // namespace serve

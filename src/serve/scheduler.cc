@@ -20,20 +20,6 @@ namespace
 
 constexpr Tick kNever = std::numeric_limits<Tick>::max();
 
-/** One batch executing on a lease. */
-struct ActiveBatch
-{
-    Tick end = 0;
-    Tick dispatched = 0;
-    int tenant = -1;
-    std::string model;
-    std::vector<Request> requests;
-    /** Poisoned re-executions this batch needed. */
-    unsigned retries = 0;
-    /** Still poisoned after the last permitted retry. */
-    bool failed = false;
-};
-
 } // namespace
 
 Scheduler::Scheduler(Dtu &dtu, ResourceManager &manager,
@@ -72,12 +58,13 @@ Scheduler::Scheduler(Dtu &dtu, ResourceManager &manager,
 const ExecutionPlan &
 Scheduler::plan(const std::string &model, unsigned batch)
 {
+    PlanCache &cache = plans();
     auto key = std::make_pair(model, batch);
-    auto it = plans_.find(key);
-    if (it == plans_.end()) {
+    auto it = cache.find(key);
+    if (it == cache.end()) {
         Graph graph = models::buildModel(model,
                                          static_cast<int>(batch));
-        it = plans_
+        it = cache
                  .emplace(key, compile(graph, dtu_.config(),
                                        config_.dtype,
                                        config_.groupsPerBatch, {},
@@ -85,6 +72,376 @@ Scheduler::plan(const std::string &model, unsigned batch)
                  .first;
     }
     return it->second;
+}
+
+void
+Scheduler::begin(Tick start, const std::map<std::string, unsigned> *future)
+{
+    (void)start;
+    future_ = future;
+    queue_ = RequestQueue();
+    active_.clear();
+    completed_.clear();
+    dropped_.clear();
+    batches_ = 0;
+    batchRetries_ = 0;
+    nextTenant_ = config_.tenantBase;
+    lastCompletion_ = 0;
+    peakQueue_ = 0;
+    joulesBefore_ = dtu_.energy().joules();
+    faults_ = dtu_.faults();
+    faultsBefore_ = faults_ ? faults_->log().size() : 0;
+    weightReady_.clear();
+    loadCursor_ = 0;
+    weightLoads_ = 0;
+    weightLoadTicks_ = 0;
+    weightLoadBytes_ = 0;
+
+    Tracer &tracer = dtu_.tracer();
+    if (config_.exec.timeline)
+        tracer.setEnabled(true);
+    timeline_ = tracer.enabled();
+    placeTrackMade_ = false;
+    if (timeline_) {
+        reqTrack_ = tracer.track("serve", "requests");
+        batchTrack_ = tracer.track("serve", "batches");
+        dropTrack_ = tracer.track("serve", "degradation");
+    }
+}
+
+unsigned
+Scheduler::futureCount(const std::string &model) const
+{
+    if (!future_)
+        return 0;
+    auto it = future_->find(model);
+    return it == future_->end() ? 0 : it->second;
+}
+
+Tick
+Scheduler::weightReadyAt(const std::string &model) const
+{
+    auto it = weightReady_.find(model);
+    return it == weightReady_.end() ? 0 : it->second;
+}
+
+void
+Scheduler::placeModel(const std::string &model, Tick now, double gbps)
+{
+    if (modelPlaced(model))
+        return;
+    if (gbps <= 0.0) {
+        // Placement tracked (model-affinity routing keys on it) but
+        // the load itself is not modeled: weights are resident
+        // immediately, exactly like the single-device path.
+        weightReady_[model] = 0;
+        return;
+    }
+    const std::uint64_t bytes = plan(model, 1).totalWeightBytes();
+    const Tick load =
+        secondsToTicks(static_cast<double>(bytes) / (gbps * 1e9));
+    const Tick start = std::max(loadCursor_, now);
+    loadCursor_ = saturatingAddTicks(start, load);
+    weightReady_[model] = loadCursor_;
+    ++weightLoads_;
+    weightLoadTicks_ += load;
+    weightLoadBytes_ += bytes;
+    if (timeline_) {
+        Tracer &tracer = dtu_.tracer();
+        if (!placeTrackMade_) {
+            placeTrack_ = tracer.track("serve", "placement");
+            placeTrackMade_ = true;
+        }
+        tracer.span(placeTrack_, "load " + model, "weight-load",
+                    start, loadCursor_,
+                    {{"bytes", static_cast<double>(bytes)}});
+    }
+}
+
+std::vector<std::string>
+Scheduler::placedModels() const
+{
+    std::vector<std::string> models;
+    models.reserve(weightReady_.size());
+    for (const auto &[model, ready] : weightReady_)
+        models.push_back(model);
+    return models;
+}
+
+std::size_t
+Scheduler::outstanding() const
+{
+    std::size_t inflight = 0;
+    for (const ActiveBatch &b : active_)
+        inflight += b.requests.size();
+    return queue_.size() + inflight;
+}
+
+void
+Scheduler::drop(const Request &r, Tick at, DropReason reason)
+{
+    switch (reason) {
+      case DropReason::Rejected: ++rejectedStat_; break;
+      case DropReason::Shed: ++shedStat_; break;
+      case DropReason::TimedOut: ++timedOutStat_; break;
+      case DropReason::Failed: ++failedStat_; break;
+    }
+    if (timeline_) {
+        dtu_.tracer().instant(
+            dropTrack_,
+            std::string(dropReasonName(reason)) + " #" +
+                std::to_string(r.id),
+            "degradation", at);
+    }
+    dropped_.push_back({r, at, reason});
+    if (sloMon_)
+        sloMon_->recordDrop(dropped_.back());
+}
+
+void
+Scheduler::admit(const Request &r)
+{
+    // Admission control: a client sees an immediate reject instead
+    // of a doomed wait when the queue is already over the configured
+    // depth.
+    const DegradationPolicy &degrade = config_.degradation;
+    if (degrade.admissionLimit != 0 &&
+        queue_.size() >= degrade.admissionLimit) {
+        drop(r, r.arrival, DropReason::Rejected);
+        return;
+    }
+    queue_.push(r);
+    peakQueue_ = std::max(peakQueue_, queue_.size());
+}
+
+// Load shedding + queue timeout: sweep queued requests whose
+// deadline already passed (they could only waste a lease) or whose
+// queue wait hit the cap. Deadline arithmetic saturates: a timeout
+// configured near maxTick means "never", not a wrapped instant drop.
+void
+Scheduler::dropExpired(Tick at)
+{
+    const DegradationPolicy &degrade = config_.degradation;
+    if (!degrade.shedExpired && degrade.requestTimeout == 0)
+        return;
+    auto expired = [&](const Request &r) {
+        return degrade.shedExpired && r.deadline != 0 &&
+               r.deadline <= at;
+    };
+    std::vector<Request> victims =
+        queue_.removeIf([&](const Request &r) {
+            if (expired(r))
+                return true;
+            return degrade.requestTimeout != 0 &&
+                   at >= saturatingAddTicks(r.arrival,
+                                            degrade.requestTimeout);
+        });
+    for (const Request &r : victims) {
+        drop(r, at,
+             expired(r) ? DropReason::Shed : DropReason::TimedOut);
+    }
+}
+
+// Launch rule: full batch, oldest request timed out, or no future
+// arrival could grow the batch further — and, when the fleet
+// modeled a weight load for this model, the weights are resident.
+bool
+Scheduler::shouldLaunch(const std::string &model, Tick now) const
+{
+    std::size_t depth = queue_.sizeFor(model);
+    if (depth == 0)
+        return false;
+    if (weightReadyAt(model) > now)
+        return false;
+    if (depth >= config_.batching.maxBatchFor(model))
+        return true;
+    if (now >= saturatingAddTicks(queue_.oldestArrival(model),
+                                  config_.batching.maxQueueDelay))
+        return true;
+    return futureCount(model) == 0;
+}
+
+void
+Scheduler::advanceCompletions(Tick upto)
+{
+    std::vector<ActiveBatch> still_running;
+    std::vector<ActiveBatch> done;
+    for (ActiveBatch &b : active_) {
+        (b.end <= upto ? done : still_running)
+            .push_back(std::move(b));
+    }
+    active_ = std::move(still_running);
+    // Deterministic completion order: by (end, tenant).
+    std::sort(done.begin(), done.end(),
+              [](const ActiveBatch &a, const ActiveBatch &b) {
+                  if (a.end != b.end)
+                      return a.end < b.end;
+                  return a.tenant < b.tenant;
+              });
+    Tracer &tracer = dtu_.tracer();
+    for (const ActiveBatch &b : done) {
+        manager_.release(b.tenant, b.end);
+        lastCompletion_ = std::max(lastCompletion_, b.end);
+        auto size = static_cast<unsigned>(b.requests.size());
+        if (timeline_) {
+            TraceArgs args{{"batch", static_cast<double>(size)}};
+            if (b.retries)
+                args.emplace_back("retries",
+                                  static_cast<double>(b.retries));
+            if (b.failed)
+                args.emplace_back("failed", 1.0);
+            tracer.span(batchTrack_, b.model, "serving-batch",
+                        b.dispatched, b.end, std::move(args));
+        }
+        if (b.failed) {
+            // Retries ran out with the execution still poisoned:
+            // the whole batch's results are suspect and every rider
+            // fails together.
+            for (const Request &r : b.requests)
+                drop(r, b.end, DropReason::Failed);
+            continue;
+        }
+        for (const Request &r : b.requests) {
+            CompletedRequest c;
+            c.request = r;
+            c.dispatched = b.dispatched;
+            c.completed = b.end;
+            c.batchSize = size;
+            if (timeline_) {
+                tracer.span(
+                    reqTrack_,
+                    b.model + " #" + std::to_string(r.id),
+                    "request", r.arrival, b.end,
+                    {{"queue_wait_us",
+                      ticksToMicroSeconds(c.queueWait())},
+                     {"batch", static_cast<double>(size)},
+                     {"missed",
+                      c.missedDeadline() ? 1.0 : 0.0}});
+            }
+            if (sloMon_)
+                sloMon_->recordCompletion(c);
+            completed_.push_back(std::move(c));
+        }
+    }
+}
+
+void
+Scheduler::settle(Tick now)
+{
+    dropExpired(now);
+    const DegradationPolicy &degrade = config_.degradation;
+    // Launch everything launchable at the current time. The model
+    // scan restarts after every pass so a freed lease can host the
+    // next queued model (alphabetical, deterministic).
+    bool launched = true;
+    while (launched) {
+        launched = false;
+        for (const std::string &model : queue_.models()) {
+            while (shouldLaunch(model, now) &&
+                   manager_.freeGroups() >= config_.groupsPerBatch) {
+                auto lease = manager_.allocate(
+                    nextTenant_, config_.groupsPerBatch, now);
+                if (!lease)
+                    break; // free groups span clusters
+                std::vector<Request> reqs = queue_.popBatch(
+                    model, config_.batching.maxBatchFor(model));
+                const ExecutionPlan &p = plan(
+                    model, static_cast<unsigned>(reqs.size()));
+                Executor executor(dtu_, lease->groups, config_.exec);
+                // Poisoned executions (uncorrectable ECC, exhausted
+                // DMA retries) re-run on the same lease up to
+                // maxBatchRetries times; the lease is held across
+                // retries so the re-execution cannot be starved by
+                // new admissions.
+                unsigned retries = 0;
+                bool poisoned = false;
+                Tick launch_at = now;
+                ExecResult r;
+                for (;;) {
+                    std::uint64_t before =
+                        faults_ ? faults_->poisonCount() : 0;
+                    r = executor.run(p, launch_at);
+                    poisoned =
+                        faults_ && faults_->poisonCount() > before;
+                    if (!poisoned ||
+                        retries >= degrade.maxBatchRetries)
+                        break;
+                    ++retries;
+                    ++batchRetries_;
+                    ++retryStat_;
+                    launch_at = r.end;
+                    if (timeline_) {
+                        dtu_.tracer().instant(
+                            dropTrack_, "batch-retry " + model,
+                            "degradation", launch_at);
+                    }
+                }
+                ActiveBatch batch;
+                batch.end = r.end;
+                batch.dispatched = now;
+                batch.tenant = nextTenant_;
+                batch.model = model;
+                batch.requests = std::move(reqs);
+                batch.retries = retries;
+                batch.failed = poisoned;
+                active_.push_back(std::move(batch));
+                ++nextTenant_;
+                ++batches_;
+                launched = true;
+            }
+        }
+    }
+}
+
+Tick
+Scheduler::nextEvent(Tick now) const
+{
+    Tick next = kNever;
+    for (const ActiveBatch &b : active_)
+        next = std::min(next, b.end);
+    for (const std::string &model : queue_.models()) {
+        Tick timeout =
+            saturatingAddTicks(queue_.oldestArrival(model),
+                               config_.batching.maxQueueDelay);
+        if (timeout > now && timeout != kNever)
+            next = std::min(next, timeout);
+        Tick ready = weightReadyAt(model);
+        if (ready > now)
+            next = std::min(next, ready);
+    }
+    // Degradation deadlines are events too: a queued request's SLO
+    // expiry or queue-timeout maturation must wake the loop even
+    // with no arrival or completion in between — including when
+    // requestTimeout is the only policy enabled and the requests
+    // carry no deadline of their own.
+    const DegradationPolicy &degrade = config_.degradation;
+    if (degrade.shedExpired || degrade.requestTimeout != 0) {
+        queue_.forEach([&](const Request &r) {
+            if (degrade.shedExpired && r.deadline > now)
+                next = std::min(next, r.deadline);
+            if (degrade.requestTimeout != 0) {
+                Tick timeout = saturatingAddTicks(
+                    r.arrival, degrade.requestTimeout);
+                if (timeout > now && timeout != kNever)
+                    next = std::min(next, timeout);
+            }
+        });
+    }
+    return next;
+}
+
+ServingReport
+Scheduler::finish(double offered_qps)
+{
+    ServingReport report = summarize(
+        std::move(completed_), offered_qps, batches_,
+        dtu_.energy().joules() - joulesBefore_,
+        manager_.utilization(lastCompletion_), std::move(dropped_),
+        batchRetries_,
+        faults_ ? faults_->log().size() - faultsBefore_ : 0);
+    completed_.clear();
+    dropped_.clear();
+    return report;
 }
 
 ServingReport
@@ -98,25 +455,6 @@ Scheduler::serve(std::vector<Request> trace)
               });
     const double offered = offeredQps(trace);
 
-    Tracer &tracer = dtu_.tracer();
-    if (config_.exec.timeline)
-        tracer.setEnabled(true);
-    const bool tl = tracer.enabled();
-    TrackId req_track, batch_track, drop_track;
-    if (tl) {
-        req_track = tracer.track("serve", "requests");
-        batch_track = tracer.track("serve", "batches");
-        drop_track = tracer.track("serve", "degradation");
-    }
-
-    const double joules_before = dtu_.energy().joules();
-    const DegradationPolicy &degrade = config_.degradation;
-    FaultInjector *faults = dtu_.faults();
-    const std::uint64_t faults_before =
-        faults ? faults->log().size() : 0;
-    std::vector<DroppedRequest> dropped;
-    std::uint64_t batch_retries = 0;
-
     // How many arrivals of each model are still in the future: the
     // batcher stops holding a partial batch once no companion can
     // ever join it.
@@ -124,259 +462,39 @@ Scheduler::serve(std::vector<Request> trace)
     for (const Request &r : trace)
         ++future[r.model];
 
-    RequestQueue queue;
-    std::vector<ActiveBatch> active;
-    std::vector<CompletedRequest> completed;
-    completed.reserve(trace.size());
-    std::uint64_t batches = 0;
-    std::size_t next_arrival = 0;
-    int next_tenant = config_.tenantBase;
     Tick now = trace.empty() ? 0 : trace.front().arrival;
-    Tick last_completion = 0;
+    begin(now, &future);
 
-    auto drop = [&](const Request &r, Tick at, DropReason reason) {
-        switch (reason) {
-          case DropReason::Rejected: ++rejectedStat_; break;
-          case DropReason::Shed: ++shedStat_; break;
-          case DropReason::TimedOut: ++timedOutStat_; break;
-          case DropReason::Failed: ++failedStat_; break;
-        }
-        if (tl) {
-            tracer.instant(drop_track,
-                           std::string(dropReasonName(reason)) + " #" +
-                               std::to_string(r.id),
-                           "degradation", at);
-        }
-        dropped.push_back({r, at, reason});
-        if (sloMon_)
-            sloMon_->recordDrop(dropped.back());
-    };
-
-    auto admitArrivals = [&](Tick upto) {
+    std::size_t next_arrival = 0;
+    auto admitUpTo = [&](Tick upto) {
         while (next_arrival < trace.size() &&
                trace[next_arrival].arrival <= upto) {
             const Request &r = trace[next_arrival++];
             --future[r.model];
-            // Admission control: a client sees an immediate reject
-            // instead of a doomed wait when the queue is already over
-            // the configured depth.
-            if (degrade.admissionLimit != 0 &&
-                queue.size() >= degrade.admissionLimit) {
-                drop(r, r.arrival, DropReason::Rejected);
-                continue;
-            }
-            queue.push(r);
+            admit(r);
         }
     };
 
-    // Load shedding + queue timeout: sweep queued requests whose
-    // deadline already passed (they could only waste a lease) or
-    // whose queue wait hit the cap.
-    auto dropExpired = [&](Tick at) {
-        if (!degrade.shedExpired && degrade.requestTimeout == 0)
-            return;
-        auto expired = [&](const Request &r) {
-            return degrade.shedExpired && r.deadline != 0 &&
-                   r.deadline <= at;
-        };
-        std::vector<Request> victims =
-            queue.removeIf([&](const Request &r) {
-                if (expired(r))
-                    return true;
-                return degrade.requestTimeout != 0 &&
-                       at >= r.arrival + degrade.requestTimeout;
-            });
-        for (const Request &r : victims) {
-            drop(r, at,
-                 expired(r) ? DropReason::Shed : DropReason::TimedOut);
-        }
-    };
-
-    // Launch rule: full batch, oldest request timed out, or no
-    // future arrival could grow the batch further.
-    auto shouldLaunch = [&](const std::string &model) {
-        std::size_t depth = queue.sizeFor(model);
-        if (depth == 0)
-            return false;
-        if (depth >= config_.batching.maxBatchFor(model))
-            return true;
-        if (now >= queue.oldestArrival(model) +
-                       config_.batching.maxQueueDelay)
-            return true;
-        return future[model] == 0;
-    };
-
-    auto completeBatches = [&](Tick upto) {
-        std::vector<ActiveBatch> still_running;
-        std::vector<ActiveBatch> done;
-        for (ActiveBatch &b : active) {
-            (b.end <= upto ? done : still_running)
-                .push_back(std::move(b));
-        }
-        active = std::move(still_running);
-        // Deterministic completion order: by (end, tenant).
-        std::sort(done.begin(), done.end(),
-                  [](const ActiveBatch &a, const ActiveBatch &b) {
-                      if (a.end != b.end)
-                          return a.end < b.end;
-                      return a.tenant < b.tenant;
-                  });
-        for (const ActiveBatch &b : done) {
-            manager_.release(b.tenant, b.end);
-            last_completion = std::max(last_completion, b.end);
-            auto size = static_cast<unsigned>(b.requests.size());
-            if (tl) {
-                TraceArgs args{{"batch", static_cast<double>(size)}};
-                if (b.retries)
-                    args.emplace_back("retries",
-                                      static_cast<double>(b.retries));
-                if (b.failed)
-                    args.emplace_back("failed", 1.0);
-                tracer.span(batch_track, b.model, "serving-batch",
-                            b.dispatched, b.end, std::move(args));
-            }
-            if (b.failed) {
-                // Retries ran out with the execution still poisoned:
-                // the whole batch's results are suspect and every
-                // rider fails together.
-                for (const Request &r : b.requests)
-                    drop(r, b.end, DropReason::Failed);
-                continue;
-            }
-            for (const Request &r : b.requests) {
-                CompletedRequest c;
-                c.request = r;
-                c.dispatched = b.dispatched;
-                c.completed = b.end;
-                c.batchSize = size;
-                if (tl) {
-                    tracer.span(
-                        req_track,
-                        b.model + " #" + std::to_string(r.id),
-                        "request", r.arrival, b.end,
-                        {{"queue_wait_us",
-                          ticksToMicroSeconds(c.queueWait())},
-                         {"batch", static_cast<double>(size)},
-                         {"missed",
-                          c.missedDeadline() ? 1.0 : 0.0}});
-                }
-                if (sloMon_)
-                    sloMon_->recordCompletion(c);
-                completed.push_back(std::move(c));
-            }
-        }
-    };
-
-    admitArrivals(now);
-    dropExpired(now);
+    admitUpTo(now);
+    settle(now);
     while (true) {
-        // Launch everything launchable at the current time. The
-        // model scan restarts after every pass so a freed lease can
-        // host the next queued model (alphabetical, deterministic).
-        bool launched = true;
-        while (launched) {
-            launched = false;
-            for (const std::string &model : queue.models()) {
-                while (shouldLaunch(model) &&
-                       manager_.freeGroups() >=
-                           config_.groupsPerBatch) {
-                    auto lease =
-                        manager_.allocate(next_tenant,
-                                          config_.groupsPerBatch,
-                                          now);
-                    if (!lease)
-                        break; // free groups span clusters
-                    std::vector<Request> reqs = queue.popBatch(
-                        model, config_.batching.maxBatchFor(model));
-                    const ExecutionPlan &p = plan(
-                        model,
-                        static_cast<unsigned>(reqs.size()));
-                    Executor executor(dtu_, lease->groups,
-                                      config_.exec);
-                    // Poisoned executions (uncorrectable ECC,
-                    // exhausted DMA retries) re-run on the same lease
-                    // up to maxBatchRetries times; the lease is held
-                    // across retries so the re-execution cannot be
-                    // starved by new admissions.
-                    unsigned retries = 0;
-                    bool poisoned = false;
-                    Tick launch_at = now;
-                    ExecResult r;
-                    for (;;) {
-                        std::uint64_t before =
-                            faults ? faults->poisonCount() : 0;
-                        r = executor.run(p, launch_at);
-                        poisoned =
-                            faults && faults->poisonCount() > before;
-                        if (!poisoned ||
-                            retries >= degrade.maxBatchRetries)
-                            break;
-                        ++retries;
-                        ++batch_retries;
-                        ++retryStat_;
-                        launch_at = r.end;
-                        if (tl) {
-                            tracer.instant(
-                                drop_track, "batch-retry " + model,
-                                "degradation", launch_at);
-                        }
-                    }
-                    ActiveBatch batch;
-                    batch.end = r.end;
-                    batch.dispatched = now;
-                    batch.tenant = next_tenant;
-                    batch.model = model;
-                    batch.requests = std::move(reqs);
-                    batch.retries = retries;
-                    batch.failed = poisoned;
-                    active.push_back(std::move(batch));
-                    ++next_tenant;
-                    ++batches;
-                    launched = true;
-                }
-            }
-        }
-
-        // Next event: an arrival, a batch completion, or a queue
-        // timeout maturing. Timeouts at or before `now` are already
-        // handled (or are waiting on a lease, which frees at a
-        // completion event).
-        Tick next = kNever;
+        // Next event: an arrival, a batch completion, a queue
+        // timeout maturing, or a degradation deadline. Events at or
+        // before `now` are already handled (or are waiting on a
+        // lease, which frees at a completion event).
+        Tick next = nextEvent(now);
         if (next_arrival < trace.size())
             next = std::min(next, trace[next_arrival].arrival);
-        for (const ActiveBatch &b : active)
-            next = std::min(next, b.end);
-        for (const std::string &model : queue.models()) {
-            Tick timeout = queue.oldestArrival(model) +
-                           config_.batching.maxQueueDelay;
-            if (timeout > now)
-                next = std::min(next, timeout);
-        }
-        // Degradation deadlines are events too: a queued request's
-        // SLO expiry or queue-timeout maturation must wake the loop
-        // even with no arrival or completion in between.
-        if (degrade.shedExpired || degrade.requestTimeout != 0) {
-            queue.forEach([&](const Request &r) {
-                if (degrade.shedExpired && r.deadline > now)
-                    next = std::min(next, r.deadline);
-                if (degrade.requestTimeout != 0) {
-                    Tick timeout =
-                        r.arrival + degrade.requestTimeout;
-                    if (timeout > now)
-                        next = std::min(next, timeout);
-                }
-            });
-        }
         if (next == kNever) {
-            fatalIf(!queue.empty(),
-                    "serving deadlock: ", queue.size(),
+            fatalIf(!queue_.empty(),
+                    "serving deadlock: ", queue_.size(),
                     " queued requests but no future event");
             break;
         }
         now = next;
-        completeBatches(now);
-        admitArrivals(now);
-        dropExpired(now);
+        advanceCompletions(now);
+        admitUpTo(now);
+        settle(now);
         // Close SLO windows the loop just stepped past. Events land
         // in (prev_now, now] and windows close only through now, so
         // every event is ingested before its window seals.
@@ -384,15 +502,9 @@ Scheduler::serve(std::vector<Request> trace)
             sloMon_->advanceTo(now);
     }
     if (sloMon_)
-        sloMon_->finish(std::max(now, last_completion));
+        sloMon_->finish(std::max(now, lastCompletion_));
 
-    ServingReport report = summarize(
-        std::move(completed), offered, batches,
-        dtu_.energy().joules() - joules_before,
-        manager_.utilization(last_completion), std::move(dropped),
-        batch_retries,
-        faults ? faults->log().size() - faults_before : 0);
-    return report;
+    return finish(offered);
 }
 
 } // namespace serve

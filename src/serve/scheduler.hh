@@ -19,6 +19,12 @@
  * ties break on request ids, and the only randomness lives in the
  * seeded arrival generators. Same trace + seed => identical
  * makespan, percentiles, and deadline-miss set.
+ *
+ * The scheduler is *steppable*: serve() is a thin driver over a
+ * begin()/admit()/advanceCompletions()/settle()/nextEvent()/finish()
+ * core, and the fleet coordinator (serve/fleet.hh) drives N of these
+ * cores — one per simulated device — on a single global timeline. A
+ * size-1 fleet therefore reproduces serve() bit-for-bit.
  */
 
 #ifndef DTU_SERVE_SCHEDULER_HH
@@ -33,6 +39,7 @@
 #include "runtime/executor.hh"
 #include "serve/report.hh"
 #include "serve/request.hh"
+#include "sim/tracer.hh"
 #include "soc/resource_manager.hh"
 
 namespace dtu
@@ -137,6 +144,9 @@ struct ServingConfig
     int tenantBase = 1 << 20;
 };
 
+/** A memoized (model, batch) -> compiled-plan cache. */
+using PlanCache = std::map<std::pair<std::string, unsigned>, ExecutionPlan>;
+
 /** Admits requests onto leases as dynamic batches and reports SLOs. */
 class Scheduler
 {
@@ -154,7 +164,16 @@ class Scheduler
     ServingReport serve(std::vector<Request> trace);
 
     /** Compiled-plan cache size (plans are memoized per model/batch). */
-    std::size_t cachedPlans() const { return plans_.size(); }
+    std::size_t cachedPlans() const { return plans().size(); }
+
+    /**
+     * Share an external compiled-plan cache (e.g. fleet-wide across
+     * identically configured devices, where compiled plans are pure
+     * functions of the DtuConfig). nullptr reverts to the private
+     * cache. Sharing is a host-side memoization only; simulated
+     * timing is unchanged.
+     */
+    void sharePlanCache(PlanCache *cache) { sharedPlans_ = cache; }
 
     /**
      * Attach (or detach, with nullptr) a live SLO monitor. The
@@ -165,14 +184,148 @@ class Scheduler
      */
     void setSloMonitor(obs::SloMonitor *monitor) { sloMon_ = monitor; }
 
+    //
+    // The steppable discrete-event core. serve() is a driver over
+    // these; the fleet coordinator (serve/fleet.hh) is another,
+    // interleaving N device cores on one global timeline. The
+    // protocol per event time t (strictly non-decreasing):
+    //
+    //   advanceCompletions(t);   // retire batches that ended <= t
+    //   admit(r...);             // arrivals with r.arrival == t
+    //   settle(t);               // shed/timeout sweeps, launch pass
+    //
+    // with nextEvent(t) giving the earliest internal wake-up after t
+    // (the driver min-reduces it with the next arrival time).
+    //
+
+    /**
+     * Start a run at simulated time @p start. @p future counts the
+     * not-yet-admitted arrivals per model (the batcher holds a
+     * partial batch only while a companion could still join); the
+     * caller owns the map and decrements it as arrivals are admitted.
+     * nullptr means "no future arrivals": every partial batch
+     * launches as soon as a lease is free.
+     */
+    void begin(Tick start,
+               const std::map<std::string, unsigned> *future = nullptr);
+
+    /**
+     * Admit one arrived request (at r.arrival). Applies admission
+     * control: over-limit arrivals are dropped as Rejected at their
+     * arrival time, exactly like the single-device path.
+     */
+    void admit(const Request &request);
+
+    /** Retire every active batch that completed at or before @p now. */
+    void advanceCompletions(Tick now);
+
+    /**
+     * Sweep degradation drops (deadline shedding, queue timeouts) at
+     * @p now, then launch every launchable batch onto free leases.
+     */
+    void settle(Tick now);
+
+    /**
+     * Earliest internal event after @p now: an active batch
+     * completion, a batching timeout maturing, a degradation deadline
+     * (request timeout / SLO expiry), or a model's weights finishing
+     * their PCIe load. Returns maxTick when the device is idle.
+     */
+    Tick nextEvent(Tick now) const;
+
+    /** Summarize the run (moves out the completion/drop logs). */
+    ServingReport finish(double offered_qps);
+
+    /** Queue empty and nothing in flight. */
+    bool idle() const { return queue_.empty() && active_.empty(); }
+
+    /** Requests waiting in the arrival queue. */
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    /** Queued plus in-flight requests (the routing load signal). */
+    std::size_t outstanding() const;
+
+    /** Highest queue depth seen this run. */
+    std::size_t peakQueueDepth() const { return peakQueue_; }
+
+    /** Latest batch completion seen this run (0 before any). */
+    Tick lastCompletion() const { return lastCompletion_; }
+
+    //
+    // Model placement. A fleet router calls placeModel() the first
+    // time it assigns a model to this device; with @p gbps > 0 the
+    // first placement pays a modeled PCIe weight-load (weight bytes
+    // at gbps GB/s, serialized per device), and batches of that
+    // model cannot launch before the load finishes. The single-device
+    // serve() path never places, so it is bit-for-bit unaffected.
+    //
+
+    /** Mark @p model resident, paying the first-placement load. */
+    void placeModel(const std::string &model, Tick now, double gbps);
+
+    /** True once placeModel() ran for @p model. */
+    bool modelPlaced(const std::string &model) const
+    {
+        return weightReady_.count(model) != 0;
+    }
+
+    /** Models placed on this device, alphabetical. */
+    std::vector<std::string> placedModels() const;
+
+    /** Placements that paid a weight load this run. */
+    std::uint64_t weightLoads() const { return weightLoads_; }
+
+    /** Total modeled PCIe weight-load time this run. */
+    Tick weightLoadTicks() const { return weightLoadTicks_; }
+
+    /** Total weight bytes loaded this run. */
+    std::uint64_t weightLoadBytes() const { return weightLoadBytes_; }
+
   private:
+    /** One batch executing on a lease. */
+    struct ActiveBatch
+    {
+        Tick end = 0;
+        Tick dispatched = 0;
+        int tenant = -1;
+        std::string model;
+        std::vector<Request> requests;
+        /** Poisoned re-executions this batch needed. */
+        unsigned retries = 0;
+        /** Still poisoned after the last permitted retry. */
+        bool failed = false;
+    };
+
     /** Memoized compile of @p model at @p batch samples. */
     const ExecutionPlan &plan(const std::string &model, unsigned batch);
+
+    /** The active plan cache (shared when sharePlanCache() was set). */
+    PlanCache &plans() { return sharedPlans_ ? *sharedPlans_ : plans_; }
+    const PlanCache &plans() const
+    {
+        return sharedPlans_ ? *sharedPlans_ : plans_;
+    }
+
+    /** Record one dropped request (stats, tracer, SLO monitor). */
+    void drop(const Request &request, Tick at, DropReason reason);
+
+    /** Shed expired deadlines / enforce queue timeouts at @p now. */
+    void dropExpired(Tick now);
+
+    /** Launch rule for @p model at @p now. */
+    bool shouldLaunch(const std::string &model, Tick now) const;
+
+    /** Not-yet-admitted arrivals of @p model (0 without a map). */
+    unsigned futureCount(const std::string &model) const;
+
+    /** Tick the model's weights are resident from (0 = resident). */
+    Tick weightReadyAt(const std::string &model) const;
 
     Dtu &dtu_;
     ResourceManager &manager_;
     ServingConfig config_;
-    std::map<std::pair<std::string, unsigned>, ExecutionPlan> plans_;
+    PlanCache plans_;
+    PlanCache *sharedPlans_ = nullptr;
 
     //
     // Degradation counters. The first scheduler on a chip registers
@@ -189,6 +342,37 @@ class Scheduler
 
     /** Optional live SLO monitor (not owned). */
     obs::SloMonitor *sloMon_ = nullptr;
+
+    //
+    // Per-run state, reset by begin().
+    //
+    const std::map<std::string, unsigned> *future_ = nullptr;
+    RequestQueue queue_;
+    std::vector<ActiveBatch> active_;
+    std::vector<CompletedRequest> completed_;
+    std::vector<DroppedRequest> dropped_;
+    std::uint64_t batches_ = 0;
+    std::uint64_t batchRetries_ = 0;
+    int nextTenant_ = 0;
+    Tick lastCompletion_ = 0;
+    std::size_t peakQueue_ = 0;
+    double joulesBefore_ = 0.0;
+    std::uint64_t faultsBefore_ = 0;
+    FaultInjector *faults_ = nullptr;
+    /** Model -> tick its weights are resident (placement state). */
+    std::map<std::string, Tick> weightReady_;
+    /** The device's serialized PCIe weight-loader cursor. */
+    Tick loadCursor_ = 0;
+    std::uint64_t weightLoads_ = 0;
+    Tick weightLoadTicks_ = 0;
+    std::uint64_t weightLoadBytes_ = 0;
+    /** Timeline recording for this run. */
+    bool timeline_ = false;
+    TrackId reqTrack_;
+    TrackId batchTrack_;
+    TrackId dropTrack_;
+    bool placeTrackMade_ = false;
+    TrackId placeTrack_;
 };
 
 } // namespace serve

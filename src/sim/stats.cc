@@ -71,9 +71,20 @@ Histogram::init(double lo, double hi, std::size_t buckets)
 double
 Histogram::percentile(double fraction) const
 {
+    // An empty histogram has no order statistics: NaN is the defined
+    // "no data" answer. Consumers that serialize it (ServingReport,
+    // stat dumps) render it as JSON null via the non-finite rule
+    // instead of reporting a fabricated 0.
     if (count_ == 0)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     fraction = std::clamp(fraction, 0.0, 1.0);
+    // The extreme order statistics are tracked exactly; answering
+    // from them keeps p == 1.0 correct even when out-of-range
+    // samples were clamped into an edge bucket.
+    if (fraction >= 1.0)
+        return max_;
+    if (count_ == 1)
+        return min_;
     double target = fraction * static_cast<double>(count_);
     double width = (hi_ - lo_) / static_cast<double>(counts_.size());
     std::uint64_t cumulative = 0;

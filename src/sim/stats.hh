@@ -133,8 +133,12 @@ class Histogram
      * 0.99 for p99) by linear interpolation inside the bucket that
      * holds the target rank. The estimate is clamped to the observed
      * [min(), max()] so edge-bucket clamping of out-of-range samples
-     * cannot place a percentile outside the data. Returns 0 when the
-     * histogram is empty.
+     * cannot place a percentile outside the data.
+     *
+     * Edge cases are defined: an empty histogram returns quiet NaN
+     * (the "no data" value — JSON serializers render it null via the
+     * non-finite rule); a single sample returns that sample for every
+     * fraction; fraction == 1.0 returns max().
      */
     double percentile(double fraction) const;
     double min() const { return min_; }

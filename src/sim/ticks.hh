@@ -46,6 +46,18 @@ frequencyFromPeriod(Tick period)
                              static_cast<double>(period);
 }
 
+/**
+ * Add two tick counts, saturating at maxTick instead of wrapping.
+ * Deadline arithmetic ("arrival + timeout") uses this so a timeout
+ * configured near maxTick means "effectively never" rather than
+ * wrapping into the past and firing immediately.
+ */
+constexpr Tick
+saturatingAddTicks(Tick a, Tick b)
+{
+    return a > maxTick - b ? maxTick : a + b;
+}
+
 /** Convert ticks to seconds (for reporting). */
 constexpr double
 ticksToSeconds(Tick t)

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "api/tops_runtime.hh"
@@ -375,6 +376,56 @@ TEST(DegradationTest, QueueTimeoutDropsStarvedRequests)
     }
 }
 
+TEST(DegradationTest, QueueTimeoutWakesWithoutDeadlinesOrShedding)
+{
+    // Regression: the event loop must wake for a maturing queue
+    // timeout even when it is the ONLY degradation response — no
+    // deadlines on the requests (deadline == 0), shedExpired off —
+    // and every lease is busy, so no completion or arrival event
+    // lands before the timeout matures. The starved request must be
+    // dropped at exactly arrival + requestTimeout, not whenever the
+    // next batch happens to complete.
+    Dtu chip(dtu2Config());
+    ResourceManager rm(chip);
+    ServingConfig config = degradedConfig(1);
+    config.groupsPerBatch = 3; // 2 leases exhaust the 6 groups
+    config.degradation.requestTimeout = secondsToTicks(5e-6);
+    config.degradation.shedExpired = false;
+    Scheduler scheduler(chip, rm, config);
+    // Three simultaneous arrivals, batch-1: two launch immediately
+    // on the two cluster leases, the third starves.
+    auto trace = finalizeTrace({fixedRateTrace("conformer", 1e9, 3)});
+    ServingReport report = scheduler.serve(trace);
+    EXPECT_EQ(report.requests, 2u);
+    ASSERT_EQ(report.timedOutRequests, 1u);
+    ASSERT_EQ(report.dropped.size(), 1u);
+    EXPECT_EQ(report.dropped[0].reason, DropReason::TimedOut);
+    EXPECT_EQ(report.dropped[0].at,
+              report.dropped[0].request.arrival +
+                  config.degradation.requestTimeout);
+    // The drop fired strictly before the blocking executions ended.
+    EXPECT_LT(report.dropped[0].at, report.makespan);
+}
+
+TEST(DegradationTest, HugeTimeoutSaturatesInsteadOfWrapping)
+{
+    // Regression: "arrival + requestTimeout" used to wrap for
+    // timeouts near maxTick, putting the deadline in the past and
+    // dropping every request the instant it arrived. Saturating
+    // arithmetic makes such a timeout mean "effectively never".
+    Dtu chip(dtu2Config());
+    ResourceManager rm(chip);
+    ServingConfig config = degradedConfig(2);
+    config.degradation.requestTimeout = maxTick - 1;
+    Scheduler scheduler(chip, rm, config);
+    auto trace = finalizeTrace({fixedRateTrace("conformer", 1e6, 4)});
+    ASSERT_GT(trace[1].arrival, 0u); // nonzero arrivals do the wrap
+    ServingReport report = scheduler.serve(trace);
+    EXPECT_EQ(report.requests, 4u);
+    EXPECT_EQ(report.timedOutRequests, 0u);
+    EXPECT_TRUE(report.dropped.empty());
+}
+
 TEST(DegradationTest, PoisonedBatchesRetryThenFail)
 {
     Dtu chip(dtu2Config());
@@ -516,14 +567,28 @@ TEST(ServingReportTest, ZeroCompletionSummarizeIsGuarded)
     EXPECT_DOUBLE_EQ(report.missRate, 0.0);
     EXPECT_DOUBLE_EQ(report.joulesPerRequest, 0.0);
     EXPECT_DOUBLE_EQ(report.meanBatchSize, 0.0);
+    // With zero completions there is no latency distribution: the
+    // percentiles are NaN (the empty histogram's defined answer),
+    // never a fabricated 0 ms tail.
+    EXPECT_TRUE(std::isnan(report.p50Ms));
+    EXPECT_TRUE(std::isnan(report.p95Ms));
+    EXPECT_TRUE(std::isnan(report.p99Ms));
     // And the empty-trace corner: nothing submitted at all.
     ServingReport empty = summarize({}, 0.0, 0, 0.0, 0.0);
     EXPECT_DOUBLE_EQ(empty.availability, 1.0);
-    // Serialization of both stays well-formed.
+    EXPECT_TRUE(std::isnan(empty.p99Ms));
+    // Serialization of both stays well-formed; the NaN percentiles
+    // serialize as JSON null (the writer's non-finite rule), so no
+    // "nan" token ever reaches a strict parser.
     std::ostringstream os;
     writeJson(report, os);
     EXPECT_NE(os.str().find("\"availability\": 0"),
               std::string::npos);
+    EXPECT_NE(os.str().find("\"latency_p50_ms\": null"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("\"latency_p99_ms\": null"),
+              std::string::npos);
+    EXPECT_EQ(os.str().find("nan"), std::string::npos);
 }
 
 } // namespace

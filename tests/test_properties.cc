@@ -275,16 +275,35 @@ TEST(ArrivalProperty, PoissonEmpiricalMeanNearNominalRate)
     }
 }
 
-TEST(ArrivalProperty, GeneratorsEmitMonotoneTimestamps)
+TEST(ArrivalProperty, GeneratorsEmitStrictlyIncreasingTimestamps)
 {
+    // Strictly increasing, not merely monotone: exponential gaps
+    // are clamped to >= 1 tick, so no two arrivals of one stream
+    // ever collide on a timestamp.
     for (std::uint64_t seed : {2ull, 31ull, 999ull}) {
         for (const auto &trace :
              {serve::poissonTrace("a", 3000.0, 512, seed),
               serve::burstyTrace("a", 3000.0, 512, seed)}) {
             for (std::size_t i = 1; i < trace.size(); ++i) {
-                ASSERT_GE(trace[i].arrival, trace[i - 1].arrival)
+                ASSERT_GT(trace[i].arrival, trace[i - 1].arrival)
                     << "seed " << seed << " index " << i;
             }
+        }
+    }
+}
+
+TEST(ArrivalProperty, ExtremeRatesStillTickForward)
+{
+    // Regression: at rates where the mean gap is well under one
+    // picosecond (here 10^13 qps, mean gap 0.1 ticks), expGap used
+    // to round most gaps to 0 and stack whole traces on duplicate
+    // timestamps. The clamp degrades such a trace to one arrival
+    // per tick instead.
+    for (std::uint64_t seed : {7ull, 1234ull}) {
+        auto trace = serve::poissonTrace("a", 1e13, 256, seed);
+        for (std::size_t i = 1; i < trace.size(); ++i) {
+            ASSERT_GT(trace[i].arrival, trace[i - 1].arrival)
+                << "seed " << seed << " index " << i;
         }
     }
 }

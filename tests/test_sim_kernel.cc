@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/clocked.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
@@ -256,9 +258,28 @@ TEST(Stats, HistogramPercentiles)
     h.sample(1000.0); // clamps into the last bucket
     EXPECT_LE(h.percentile(0.999), 1000.0);
 
+    // Edge cases have defined answers. Empty: no order statistics
+    // exist, so every percentile is NaN (serialized as JSON null by
+    // the non-finite rule), not a fabricated 0.
     Histogram empty;
     empty.init(0.0, 1.0, 4);
-    EXPECT_DOUBLE_EQ(empty.percentile(0.99), 0.0);
+    EXPECT_TRUE(std::isnan(empty.percentile(0.0)));
+    EXPECT_TRUE(std::isnan(empty.percentile(0.5)));
+    EXPECT_TRUE(std::isnan(empty.percentile(0.99)));
+    EXPECT_TRUE(std::isnan(empty.percentile(1.0)));
+
+    // A single sample is every percentile of its own distribution.
+    Histogram one;
+    one.init(0.0, 100.0, 8);
+    one.sample(37.5);
+    EXPECT_DOUBLE_EQ(one.percentile(0.0), 37.5);
+    EXPECT_DOUBLE_EQ(one.percentile(0.5), 37.5);
+    EXPECT_DOUBLE_EQ(one.percentile(0.99), 37.5);
+    EXPECT_DOUBLE_EQ(one.percentile(1.0), 37.5);
+
+    // p == 1.0 is exactly the observed maximum (no bucket-upper-edge
+    // overshoot), including when samples clamped into edge buckets.
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), h.max());
 }
 
 TEST(Random, DeterministicForSameSeed)
