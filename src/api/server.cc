@@ -53,6 +53,24 @@ Server::enableSloMonitor(obs::SloConfig config)
     return *sloMon_;
 }
 
+obs::RequestTracer &
+Server::enableRequestTracing(obs::RequestTraceConfig config)
+{
+    fatalIf(reqTracer_ != nullptr,
+            "server already has a request tracer");
+    reqTracer_ = std::make_unique<obs::RequestTracer>(config);
+    scheduler_.setRequestTracer(reqTracer_.get(), 0);
+    return *reqTracer_;
+}
+
+void
+Server::writeRequestTrace(const std::string &path)
+{
+    fatalIf(reqTracer_ == nullptr,
+            "writeRequestTrace() needs enableRequestTracing()");
+    reqTracer_->writeTrace({&device_.chip().tracer()}, path);
+}
+
 FleetServer::FleetServer(serve::FleetConfig config,
                          const DtuConfig &chip)
     : config_(std::move(config))
@@ -94,6 +112,23 @@ FleetServer::submit(const std::vector<serve::Request> &trace)
 const serve::FleetReport &
 FleetServer::serve()
 {
+    // (Re)hook every installed fault injector into the recorder here
+    // rather than at enableFlightRecorder() time, so installFaults()
+    // may come in either order.
+    if (flightRec_) {
+        for (unsigned i = 0; i < size(); ++i) {
+            FaultInjector *inj = devices_[i]->faults();
+            if (!inj)
+                continue;
+            obs::FlightRecorder *rec = flightRec_.get();
+            inj->onFault([rec, i](const InjectedFault &f) {
+                rec->trigger("fault:" +
+                                 std::string(faultKindName(f.kind)) +
+                                 " dev" + std::to_string(i),
+                             f.at);
+            });
+        }
+    }
     last_ = fleet_->serve(std::move(pending_));
     pending_.clear();
     served_ = true;
@@ -106,18 +141,73 @@ FleetServer::enableSloMonitor(obs::SloConfig config)
     fatalIf(sloMon_ != nullptr, "fleet already has an SLO monitor");
     sloMon_ = std::make_unique<obs::SloMonitor>(config);
     fleet_->setSloMonitor(sloMon_.get());
+    wireFlightAlerts();
     return *sloMon_;
+}
+
+obs::RequestTracer &
+FleetServer::enableRequestTracing(obs::RequestTraceConfig config)
+{
+    fatalIf(reqTracer_ != nullptr,
+            "fleet already has a request tracer");
+    reqTracer_ = std::make_unique<obs::RequestTracer>(config);
+    fleet_->setRequestTracer(reqTracer_.get());
+    if (flightRec_)
+        reqTracer_->setFlightRecorder(flightRec_.get());
+    return *reqTracer_;
+}
+
+obs::FlightRecorder &
+FleetServer::enableFlightRecorder(obs::FlightRecorderConfig config)
+{
+    fatalIf(flightRec_ != nullptr,
+            "fleet already has a flight recorder");
+    flightRec_ = std::make_unique<obs::FlightRecorder>(config);
+    if (reqTracer_)
+        reqTracer_->setFlightRecorder(flightRec_.get());
+    wireFlightAlerts();
+    return *flightRec_;
+}
+
+void
+FleetServer::wireFlightAlerts()
+{
+    // The ISSUE's incident sources are SLO *burn-rate* alerts and
+    // injected faults; p99 alerts still land in SloMonitor::alerts().
+    if (!sloMon_ || !flightRec_ || flightAlertsWired_)
+        return;
+    flightAlertsWired_ = true;
+    obs::FlightRecorder *rec = flightRec_.get();
+    sloMon_->addAlertListener([rec](const obs::SloAlert &alert) {
+        if (alert.kind == "slo_burn_rate")
+            rec->trigger("slo:" + alert.kind, alert.at);
+    });
+}
+
+void
+FleetServer::exportFleetTrace(std::ostream &os)
+{
+    fatalIf(reqTracer_ == nullptr,
+            "exportFleetTrace() needs enableRequestTracing()");
+    std::vector<const Tracer *> chips;
+    for (unsigned i = 0; i < size(); ++i)
+        chips.push_back(&devices_[i]->chip().tracer());
+    reqTracer_->exportTrace(chips, os);
+}
+
+void
+FleetServer::writeFleetTrace(const std::string &path)
+{
+    fatalIf(reqTracer_ == nullptr,
+            "writeFleetTrace() needs enableRequestTracing()");
+    std::vector<const Tracer *> chips;
+    for (unsigned i = 0; i < size(); ++i)
+        chips.push_back(&devices_[i]->chip().tracer());
+    reqTracer_->writeTrace(chips, path);
 }
 
 namespace
 {
-
-/** Prometheus sample value: text format spells non-finite as NaN. */
-std::string
-promValue(double v)
-{
-    return std::isfinite(v) ? jsonNumber(v) : "NaN";
-}
 
 void
 fleetGauge(std::ostream &os, const std::string &metric,
@@ -125,7 +215,7 @@ fleetGauge(std::ostream &os, const std::string &metric,
 {
     os << "# HELP " << metric << " " << help << "\n";
     os << "# TYPE " << metric << " gauge\n";
-    os << metric << " " << promValue(v) << "\n";
+    os << metric << " " << obs::promSampleValue(v) << "\n";
 }
 
 } // namespace
@@ -202,9 +292,14 @@ FleetServer::writePrometheus(std::ostream &os)
         os << "# TYPE " << g.metric << " gauge\n";
         for (const serve::DeviceReport &d : r.perDevice) {
             os << g.metric << "{device=\"" << d.device << "\"} "
-               << promValue(g.get(d)) << "\n";
+               << obs::promSampleValue(g.get(d)) << "\n";
         }
     }
+
+    // The periodic fleet time-series (dtusim_fleet_queue_depth{...}
+    // and friends) when request tracing sampled it.
+    if (reqTracer_ && reqTracer_->metrics().latest())
+        reqTracer_->metrics().writePrometheus(os);
 }
 
 } // namespace dtu

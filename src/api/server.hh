@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "api/tops_runtime.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/request_tracer.hh"
 #include "obs/slo_monitor.hh"
 #include "serve/fleet.hh"
 #include "serve/scheduler.hh"
@@ -86,6 +88,26 @@ class Server
     /** The attached monitor, or nullptr. */
     obs::SloMonitor *sloMonitor() { return sloMon_.get(); }
 
+    /**
+     * Attach a request-lifecycle tracer (obs/request_tracer.hh):
+     * sampled requests become causally-linked queue/execute/lifecycle
+     * spans flow-linked to the chip's operator timeline, and the
+     * scheduler samples the periodic metric time-series. Enabling
+     * twice is a configuration error; without it serving is
+     * bit-for-bit unchanged.
+     */
+    obs::RequestTracer &
+    enableRequestTracing(obs::RequestTraceConfig config = {});
+
+    /** The attached tracer, or nullptr. */
+    obs::RequestTracer *requestTracer() { return reqTracer_.get(); }
+
+    /**
+     * Write the merged request + chip Chrome trace (requires
+     * enableRequestTracing()).
+     */
+    void writeRequestTrace(const std::string &path);
+
   private:
     Device &device_;
     serve::ServingConfig config_;
@@ -94,6 +116,7 @@ class Server
     std::uint64_t nextId_ = 1;
     serve::ServingReport last_;
     std::unique_ptr<obs::SloMonitor> sloMon_;
+    std::unique_ptr<obs::RequestTracer> reqTracer_;
 };
 
 /**
@@ -165,6 +188,46 @@ class FleetServer
     obs::SloMonitor *sloMonitor() { return sloMon_.get(); }
 
     /**
+     * Attach a request-lifecycle tracer fleet-wide: router choices,
+     * per-device admission/batch/terminal spans, flow links into each
+     * device's chip timeline, and the periodic fleet metric
+     * time-series. Enabling twice is a configuration error; without
+     * it serving is bit-for-bit unchanged.
+     */
+    obs::RequestTracer &
+    enableRequestTracing(obs::RequestTraceConfig config = {});
+
+    /** The attached tracer, or nullptr. */
+    obs::RequestTracer *requestTracer() { return reqTracer_.get(); }
+
+    /**
+     * Attach the SLO flight recorder: a bounded ring of recent
+     * sampled request lifecycles and metric snapshots (fed by the
+     * request tracer) that dumps a retrospective JSON incident report
+     * the first time an SloMonitor burn-rate alert fires or an
+     * installed fault injector reports a fault. Works with either
+     * enable order relative to enableSloMonitor()/
+     * enableRequestTracing(); fault injectors are (re)hooked at
+     * serve() time so installFaults() can come later. Enabling twice
+     * is a configuration error.
+     */
+    obs::FlightRecorder &
+    enableFlightRecorder(obs::FlightRecorderConfig config = {});
+
+    /** The attached recorder, or nullptr. */
+    obs::FlightRecorder *flightRecorder() { return flightRec_.get(); }
+
+    /**
+     * Export the merged fleet Chrome trace — request lanes plus every
+     * device's chip timeline on disjoint pids, flow arrows crossing
+     * between them (requires enableRequestTracing()).
+     */
+    void exportFleetTrace(std::ostream &os);
+
+    /** exportFleetTrace() into a file; fatal() on I/O failure. */
+    void writeFleetTrace(const std::string &path);
+
+    /**
      * Export the whole fleet in Prometheus text exposition format:
      * every device's chip registry under a "dtusim_dev<i>" prefix,
      * then fleet-aggregate and per-device serving gauges (labeled by
@@ -181,6 +244,12 @@ class FleetServer
     serve::FleetReport last_;
     bool served_ = false;
     std::unique_ptr<obs::SloMonitor> sloMon_;
+    std::unique_ptr<obs::RequestTracer> reqTracer_;
+    std::unique_ptr<obs::FlightRecorder> flightRec_;
+
+    /** Hook the SLO monitor's alert stream into the recorder once. */
+    void wireFlightAlerts();
+    bool flightAlertsWired_ = false;
 };
 
 } // namespace dtu

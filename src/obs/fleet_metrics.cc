@@ -1,0 +1,87 @@
+#include "obs/fleet_metrics.hh"
+
+#include "obs/prometheus.hh"
+#include "sim/json.hh"
+
+namespace dtu
+{
+namespace obs
+{
+
+void
+FleetMetricSeries::writeJson(std::ostream &os) const
+{
+    JsonWriter json(os);
+    json.beginArray();
+    for (const FleetMetricSample &s : samples_) {
+        json.beginObject().field("at_ticks", s.at);
+        json.key("devices").beginArray();
+        for (const DeviceMetricSample &d : s.devices) {
+            json.beginObject()
+                .field("device", static_cast<std::uint64_t>(d.device))
+                .field("queue_depth", d.queueDepth)
+                .field("in_flight_batches", d.inFlightBatches)
+                .field("outstanding", d.outstanding)
+                .field("completed", d.completed)
+                .field("dropped", d.dropped)
+                .field("retries", d.retries)
+                .endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    os << "\n";
+}
+
+namespace
+{
+
+struct GaugeField
+{
+    const char *name;
+    const char *help;
+    std::uint64_t DeviceMetricSample::*member;
+};
+
+constexpr GaugeField kGauges[] = {
+    {"fleet_queue_depth", "requests waiting in the device arrival queue",
+     &DeviceMetricSample::queueDepth},
+    {"fleet_in_flight_batches", "batches dispatched and not yet complete",
+     &DeviceMetricSample::inFlightBatches},
+    {"fleet_outstanding_requests", "queued plus in-flight requests",
+     &DeviceMetricSample::outstanding},
+    {"fleet_completed_requests_total", "requests completed this run",
+     &DeviceMetricSample::completed},
+    {"fleet_dropped_requests_total", "requests dropped this run",
+     &DeviceMetricSample::dropped},
+    {"fleet_batch_retries_total", "poisoned-batch re-executions this run",
+     &DeviceMetricSample::retries},
+};
+
+} // namespace
+
+void
+FleetMetricSeries::writePrometheus(std::ostream &os,
+                                   const std::string &prefix) const
+{
+    const FleetMetricSample *last = latest();
+    if (!last)
+        return;
+    const std::string pre = prefix.empty() ? "" : prefix + "_";
+    for (const GaugeField &g : kGauges) {
+        std::string metric = pre + g.name;
+        if (g.help && *g.help)
+            os << "# HELP " << metric << " " << g.help << "\n";
+        os << "# TYPE " << metric << " gauge\n";
+        for (const DeviceMetricSample &d : last->devices) {
+            os << metric << "{device=\""
+               << promLabelEscape(std::to_string(d.device)) << "\"} "
+               << promSampleValue(static_cast<double>(d.*g.member))
+               << "\n";
+        }
+    }
+}
+
+} // namespace obs
+} // namespace dtu

@@ -1,5 +1,7 @@
 #include "obs/prometheus.hh"
 
+#include <cmath>
+
 #include "sim/json.hh"
 
 namespace dtu
@@ -20,6 +22,32 @@ promSanitize(const std::string &name)
     if (!out.empty() && out.front() >= '0' && out.front() <= '9')
         out.insert(out.begin(), '_');
     return out;
+}
+
+std::string
+promLabelEscape(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out += c; break;
+        }
+    }
+    return out;
+}
+
+std::string
+promSampleValue(double value)
+{
+    if (std::isnan(value))
+        return "NaN";
+    if (std::isinf(value))
+        return value > 0 ? "+Inf" : "-Inf";
+    return jsonNumber(value);
 }
 
 namespace
@@ -46,7 +74,7 @@ writePrometheusText(const StatRegistry &stats, std::ostream &os,
         const Stat *stat = stats.stat(name);
         std::string metric = pre + promSanitize(name);
         writeHeader(os, metric, stat->description(), "gauge");
-        os << metric << " " << jsonNumber(stat->value()) << "\n";
+        os << metric << " " << promSampleValue(stat->value()) << "\n";
     }
 
     for (const std::string &name : stats.histogramNames()) {
@@ -67,7 +95,7 @@ writePrometheusText(const StatRegistry &stats, std::ostream &os,
                << cumulative << "\n";
         }
         os << metric << "_bucket{le=\"+Inf\"} " << hist->count() << "\n";
-        os << metric << "_sum " << jsonNumber(hist->sum()) << "\n";
+        os << metric << "_sum " << promSampleValue(hist->sum()) << "\n";
         os << metric << "_count " << hist->count() << "\n";
     }
 }

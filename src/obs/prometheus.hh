@@ -32,6 +32,18 @@ namespace obs
 std::string promSanitize(const std::string &name);
 
 /**
+ * Escape a label value for use inside {name="..."}: backslash,
+ * double quote, and newline escape per the text-format spec.
+ */
+std::string promLabelEscape(const std::string &value);
+
+/**
+ * Render a sample value. Prometheus spells non-finite values "NaN",
+ * "+Inf" and "-Inf" (JSON-style "null" is a parse error on scrape).
+ */
+std::string promSampleValue(double value);
+
+/**
  * Write @p stats in Prometheus text exposition format.
  * @param prefix prepended (with '_') to every metric name so chips
  *        scrape under one namespace; empty disables.

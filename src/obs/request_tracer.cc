@@ -1,0 +1,275 @@
+#include "obs/request_tracer.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+namespace obs
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: a well-mixed pure hash, no RNG state. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+Tick
+midpoint(Tick a, Tick b)
+{
+    return a + (b - a) / 2;
+}
+
+} // namespace
+
+RequestTracer::RequestTracer(RequestTraceConfig config)
+    : config_(config)
+{
+    fatalIf(config_.sampleRate < 0.0 || config_.sampleRate > 1.0,
+            "request trace sample rate must be in [0, 1]");
+    // p maps onto the hash's full 2^64 range; p = 1 is exact (every
+    // hash value passes), p = 0 passes nothing.
+    threshold_ = config_.sampleRate >= 1.0
+                     ? ~0ull
+                     : static_cast<std::uint64_t>(
+                           std::ldexp(config_.sampleRate, 64));
+    tracer_.setEnabled(true);
+}
+
+bool
+RequestTracer::sampled(std::uint64_t id) const
+{
+    if (config_.sampleRate >= 1.0)
+        return true;
+    if (threshold_ == 0)
+        return false;
+    return mix64(config_.seed ^ mix64(id)) < threshold_;
+}
+
+std::string
+RequestTracer::deviceProcess(int device)
+{
+    return device < 0 ? std::string("unrouted.requests")
+                      : "dev" + std::to_string(device) + ".requests";
+}
+
+RequestRecord &
+RequestTracer::recordFor(std::uint64_t id, const serve::Request &r)
+{
+    auto it = pending_.find(id);
+    if (it == pending_.end()) {
+        RequestRecord rec;
+        rec.id = id;
+        rec.model = r.model;
+        rec.arrival = r.arrival;
+        it = pending_.emplace(id, std::move(rec)).first;
+        ++sampledSeen_;
+    }
+    return it->second;
+}
+
+void
+RequestTracer::onRoute(unsigned device, const serve::Request &r)
+{
+    if (!sampled(r.id))
+        return;
+    RequestRecord &rec = recordFor(r.id, r);
+    rec.device = static_cast<int>(device);
+    tracer_.instant(tracer_.track("fleet.router", "decisions"),
+                    r.model + " #" + std::to_string(r.id) + " -> dev" +
+                        std::to_string(device),
+                    "trace.route", r.arrival,
+                    {{"device", static_cast<double>(device)}});
+}
+
+void
+RequestTracer::onAdmit(unsigned device, const serve::Request &r)
+{
+    if (!sampled(r.id))
+        return;
+    RequestRecord &rec = recordFor(r.id, r);
+    if (rec.device < 0)
+        rec.device = static_cast<int>(device);
+}
+
+void
+RequestTracer::onWeightLoad(unsigned device, const std::string &model,
+                            Tick start, Tick end, std::uint64_t bytes)
+{
+    // Placement is a device-level event, not a per-request one, so
+    // it is traced whenever request tracing is on at all.
+    tracer_.span(tracer_.track(deviceProcess(static_cast<int>(device)),
+                               "weight-load"),
+                 "load " + model, "trace.weight-load", start, end,
+                 {{"bytes", static_cast<double>(bytes)}});
+}
+
+void
+RequestTracer::onBatchExecuted(unsigned device, Tracer &chip,
+                               const std::vector<serve::Request> &batch,
+                               Tick dispatched, Tick exec_end,
+                               Tick link_ts, unsigned retries)
+{
+    const bool linked = chip.enabled();
+    TrackId ops = chip.track("runtime", "operators");
+    for (const serve::Request &r : batch) {
+        if (!sampled(r.id))
+            continue;
+        RequestRecord &rec = recordFor(r.id, r);
+        rec.device = static_cast<int>(device);
+        rec.executed = true;
+        rec.dispatched = dispatched;
+        rec.terminal = exec_end;
+        rec.batchSize = static_cast<unsigned>(batch.size());
+        rec.retries = retries;
+        rec.deviceLinked = rec.deviceLinked || linked;
+        // The hop into the chip timeline: lands inside an operator
+        // span of the batch this request rode in.
+        chip.flow(ops, rec.model + " #" + std::to_string(r.id),
+                  "request-flow", link_ts, r.id, FlowPhase::Step);
+    }
+}
+
+void
+RequestTracer::finishRecord(RequestRecord &rec)
+{
+    const std::string proc = deviceProcess(rec.device);
+    const std::string name =
+        rec.model + " #" + std::to_string(rec.id);
+    const TrackId queue = tracer_.track(proc, "queue");
+    const TrackId life = tracer_.track(proc, "lifecycle");
+
+    const Tick queue_end = rec.executed ? rec.dispatched : rec.terminal;
+    tracer_.span(queue, name, "trace.queue", rec.arrival, queue_end);
+    tracer_.flow(queue, name, "request-flow",
+                 midpoint(rec.arrival, queue_end), rec.id,
+                 FlowPhase::Start);
+
+    if (rec.executed) {
+        const TrackId exec = tracer_.track(proc, "execute");
+        TraceArgs args{{"batch", static_cast<double>(rec.batchSize)}};
+        if (rec.retries)
+            args.emplace_back("retries",
+                              static_cast<double>(rec.retries));
+        tracer_.span(exec, name, "trace.execute", rec.dispatched,
+                     rec.terminal, std::move(args));
+        if (rec.retries) {
+            tracer_.instant(exec, "batch-retry " + name, "trace.retry",
+                            midpoint(rec.dispatched, rec.terminal));
+        }
+        tracer_.flow(exec, name, "request-flow",
+                     midpoint(rec.dispatched, rec.terminal), rec.id,
+                     FlowPhase::Step);
+    }
+
+    tracer_.span(life, name, "trace.request", rec.arrival, rec.terminal,
+                 {{"latency_us",
+                   ticksToMicroSeconds(rec.terminal - rec.arrival)},
+                  {"batch", static_cast<double>(rec.batchSize)},
+                  {"missed", rec.missed ? 1.0 : 0.0}});
+    if (rec.outcome != "completed") {
+        tracer_.instant(life, rec.outcome + " " + name, "trace.drop",
+                        rec.terminal);
+    }
+    tracer_.flow(life, name, "request-flow",
+                 midpoint(rec.arrival, rec.terminal), rec.id,
+                 FlowPhase::End);
+
+    finished_.push_back(rec);
+    if (flight_)
+        flight_->recordRequest(rec);
+}
+
+void
+RequestTracer::onComplete(unsigned device,
+                          const serve::CompletedRequest &completed)
+{
+    const serve::Request &r = completed.request;
+    if (!sampled(r.id))
+        return;
+    RequestRecord &rec = recordFor(r.id, r);
+    if (rec.device < 0)
+        rec.device = static_cast<int>(device);
+    rec.executed = true;
+    rec.dispatched = completed.dispatched;
+    rec.terminal = completed.completed;
+    rec.batchSize = completed.batchSize;
+    rec.missed = completed.missedDeadline();
+    rec.outcome = "completed";
+    finishRecord(rec);
+    pending_.erase(r.id);
+}
+
+void
+RequestTracer::onDrop(unsigned device,
+                      const serve::DroppedRequest &dropped)
+{
+    const serve::Request &r = dropped.request;
+    if (!sampled(r.id))
+        return;
+    RequestRecord &rec = recordFor(r.id, r);
+    if (rec.device < 0)
+        rec.device = static_cast<int>(device);
+    rec.terminal = dropped.at;
+    rec.outcome = dropReasonName(dropped.reason);
+    finishRecord(rec);
+    pending_.erase(r.id);
+}
+
+void
+RequestTracer::recordMetrics(const FleetMetricSample &sample)
+{
+    for (const DeviceMetricSample &d : sample.devices) {
+        const std::string p = "dev" + std::to_string(d.device);
+        tracer_.counter(p + ".queue_depth", "requests", sample.at,
+                        static_cast<double>(d.queueDepth));
+        tracer_.counter(p + ".in_flight_batches", "batches", sample.at,
+                        static_cast<double>(d.inFlightBatches));
+        tracer_.counter(p + ".outstanding", "requests", sample.at,
+                        static_cast<double>(d.outstanding));
+        tracer_.counter(p + ".dropped_total", "requests", sample.at,
+                        static_cast<double>(d.dropped));
+        tracer_.counter(p + ".batch_retries_total", "retries",
+                        sample.at, static_cast<double>(d.retries));
+    }
+    series_.append(sample);
+    if (flight_)
+        flight_->recordMetrics(sample);
+}
+
+void
+RequestTracer::exportTrace(const std::vector<const Tracer *> &chips,
+                           std::ostream &os) const
+{
+    std::vector<Tracer::ExportPart> parts;
+    parts.push_back({"", &tracer_});
+    for (std::size_t i = 0; i < chips.size(); ++i) {
+        if (chips[i])
+            parts.push_back({"dev" + std::to_string(i), chips[i]});
+    }
+    Tracer::exportMergedChromeTrace(parts, os);
+}
+
+void
+RequestTracer::writeTrace(const std::vector<const Tracer *> &chips,
+                          const std::string &path) const
+{
+    std::vector<Tracer::ExportPart> parts;
+    parts.push_back({"", &tracer_});
+    for (std::size_t i = 0; i < chips.size(); ++i) {
+        if (chips[i])
+            parts.push_back({"dev" + std::to_string(i), chips[i]});
+    }
+    Tracer::writeMergedChromeTrace(parts, path);
+}
+
+} // namespace obs
+} // namespace dtu

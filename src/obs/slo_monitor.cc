@@ -43,6 +43,21 @@ SloMonitor::onAlert(AlertCallback callback)
 }
 
 void
+SloMonitor::addAlertListener(AlertCallback listener)
+{
+    listeners_.push_back(std::move(listener));
+}
+
+void
+SloMonitor::fireAlert(const SloAlert &alert)
+{
+    if (callback_)
+        callback_(alert);
+    for (const AlertCallback &listener : listeners_)
+        listener(alert);
+}
+
+void
 SloMonitor::recordCompletion(const serve::CompletedRequest &completed)
 {
     PendingCompletion p;
@@ -117,15 +132,13 @@ SloMonitor::closeWindow()
     if (config_.p99AlertMs > 0.0 && w.p99Ms > config_.p99AlertMs) {
         alerts_.push_back(
             {w.end, "p99_latency", w.p99Ms, config_.p99AlertMs});
-        if (callback_)
-            callback_(alerts_.back());
+        fireAlert(alerts_.back());
     }
     if (config_.burnRateAlert > 0.0 &&
         w.burnRate > config_.burnRateAlert) {
         alerts_.push_back(
             {w.end, "slo_burn_rate", w.burnRate, config_.burnRateAlert});
-        if (callback_)
-            callback_(alerts_.back());
+        fireAlert(alerts_.back());
     }
     windows_.push_back(std::move(w));
 }

@@ -111,6 +111,14 @@ class SloMonitor
     /** Register the live alert callback (replaces any previous). */
     void onAlert(AlertCallback callback);
 
+    /**
+     * Add a secondary alert listener. Listeners stack (unlike the
+     * primary onAlert callback, which replaces) and run after it, in
+     * registration order — the flight recorder subscribes here so it
+     * never displaces a user's own alert handler.
+     */
+    void addAlertListener(AlertCallback listener);
+
     /** Ingest one completed request (at its completion time). */
     void recordCompletion(const serve::CompletedRequest &completed);
 
@@ -158,8 +166,12 @@ class SloMonitor
     /** Close the window [windowStart_, windowStart_ + window). */
     void closeWindow();
 
+    /** Invoke the primary callback, then every listener. */
+    void fireAlert(const SloAlert &alert);
+
     SloConfig config_;
     AlertCallback callback_;
+    std::vector<AlertCallback> listeners_;
     Tick windowStart_ = 0;
     std::vector<PendingCompletion> pendingCompletions_;
     std::vector<Tick> pendingDrops_;

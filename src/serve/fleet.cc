@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/request_tracer.hh"
 #include "obs/slo_monitor.hh"
 #include "serve/arrival.hh"
 #include "sim/json.hh"
@@ -155,6 +156,14 @@ Fleet::setSloMonitor(obs::SloMonitor *monitor)
         dev->setSloMonitor(monitor);
 }
 
+void
+Fleet::setRequestTracer(obs::RequestTracer *tracer)
+{
+    reqTracer_ = tracer;
+    for (unsigned i = 0; i < devices_.size(); ++i)
+        devices_[i]->setRequestTracer(tracer, i);
+}
+
 FleetReport
 Fleet::serve(std::vector<Request> trace)
 {
@@ -176,8 +185,10 @@ Fleet::serve(std::vector<Request> trace)
 
     const std::size_t n = devices_.size();
     Tick now = trace.empty() ? 0 : trace.front().arrival;
-    for (auto &dev : devices_)
-        dev->begin(now, &future);
+    for (unsigned i = 0; i < n; ++i) {
+        ScopedLogDevice log_dev(static_cast<int>(i));
+        devices_[i]->begin(now, &future);
+    }
 
     // A fresh router per run keeps serve() deterministic regardless
     // of what earlier runs routed.
@@ -192,6 +203,9 @@ Fleet::serve(std::vector<Request> trace)
             --future[r.model];
             unsigned d = router_->route(r, view_);
             fatalIf(d >= n, "router picked device ", d, " of ", n);
+            if (reqTracer_)
+                reqTracer_->onRoute(d, r);
+            ScopedLogDevice log_dev(static_cast<int>(d));
             devices_[d]->placeModel(r.model, r.arrival,
                                     config_.weightLoadGbps);
             devices_[d]->admit(r);
@@ -200,8 +214,19 @@ Fleet::serve(std::vector<Request> trace)
     };
 
     admitUpTo(now);
-    for (auto &dev : devices_)
-        dev->settle(now);
+    for (unsigned i = 0; i < n; ++i) {
+        ScopedLogDevice log_dev(static_cast<int>(i));
+        devices_[i]->settle(now);
+    }
+    // Periodic metric snapshots: pure observation points. The loop
+    // wakes early for them only while a real event is still pending,
+    // and the settle/advance steps are idempotent at non-event ticks,
+    // so sampling never changes simulated results (or termination).
+    const Tick metric_period =
+        reqTracer_ ? reqTracer_->metricPeriod() : 0;
+    Tick next_sample =
+        metric_period ? (now / metric_period + 1) * metric_period
+                      : kNever;
     while (true) {
         // Global next event: min over every device's internal events
         // and the next arrival. Devices are advanced in index order
@@ -220,12 +245,27 @@ Fleet::serve(std::vector<Request> trace)
                     " queued requests but no future event");
             break;
         }
+        if (next_sample < next)
+            next = next_sample;
         now = next;
-        for (auto &dev : devices_)
-            dev->advanceCompletions(now);
+        for (unsigned i = 0; i < n; ++i) {
+            ScopedLogDevice log_dev(static_cast<int>(i));
+            devices_[i]->advanceCompletions(now);
+        }
         admitUpTo(now);
-        for (auto &dev : devices_)
-            dev->settle(now);
+        for (unsigned i = 0; i < n; ++i) {
+            ScopedLogDevice log_dev(static_cast<int>(i));
+            devices_[i]->settle(now);
+        }
+        if (metric_period && now >= next_sample) {
+            obs::FleetMetricSample sample;
+            sample.at = now;
+            for (unsigned i = 0; i < n; ++i)
+                sample.devices.push_back(
+                    devices_[i]->metricSample(i));
+            reqTracer_->recordMetrics(sample);
+            next_sample = (now / metric_period + 1) * metric_period;
+        }
         if (sloMon_)
             sloMon_->advanceTo(now);
     }

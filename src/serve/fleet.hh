@@ -189,6 +189,16 @@ class Fleet
      */
     void setSloMonitor(obs::SloMonitor *monitor);
 
+    /**
+     * Attach (or detach) a request-lifecycle tracer. Every device
+     * scheduler reports its hooks under its fleet index, the router's
+     * choices become trace instants, and the fleet loop samples the
+     * periodic metric time-series (obs/fleet_metrics.hh) at the
+     * tracer's configured period. Without a tracer the serving loop
+     * is bit-for-bit unchanged.
+     */
+    void setRequestTracer(obs::RequestTracer *tracer);
+
   private:
     FleetConfig config_;
     std::vector<std::unique_ptr<Scheduler>> devices_;
@@ -196,6 +206,7 @@ class Fleet
     std::unique_ptr<Router> router_;
     PlanCache sharedPlans_;
     obs::SloMonitor *sloMon_ = nullptr;
+    obs::RequestTracer *reqTracer_ = nullptr;
 };
 
 /**

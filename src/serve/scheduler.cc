@@ -5,6 +5,7 @@
 
 #include "compiler/lowering.hh"
 #include "models/model_zoo.hh"
+#include "obs/request_tracer.hh"
 #include "obs/slo_monitor.hh"
 #include "serve/arrival.hh"
 #include "sim/logging.hh"
@@ -156,6 +157,9 @@ Scheduler::placeModel(const std::string &model, Tick now, double gbps)
                     start, loadCursor_,
                     {{"bytes", static_cast<double>(bytes)}});
     }
+    if (reqTracer_)
+        reqTracer_->onWeightLoad(deviceId_, model, start, loadCursor_,
+                                 bytes);
 }
 
 std::vector<std::string>
@@ -196,6 +200,8 @@ Scheduler::drop(const Request &r, Tick at, DropReason reason)
     dropped_.push_back({r, at, reason});
     if (sloMon_)
         sloMon_->recordDrop(dropped_.back());
+    if (reqTracer_)
+        reqTracer_->onDrop(deviceId_, dropped_.back());
 }
 
 void
@@ -212,6 +218,8 @@ Scheduler::admit(const Request &r)
     }
     queue_.push(r);
     peakQueue_ = std::max(peakQueue_, queue_.size());
+    if (reqTracer_)
+        reqTracer_->onAdmit(deviceId_, r);
 }
 
 // Load shedding + queue timeout: sweep queued requests whose
@@ -320,6 +328,8 @@ Scheduler::advanceCompletions(Tick upto)
             }
             if (sloMon_)
                 sloMon_->recordCompletion(c);
+            if (reqTracer_)
+                reqTracer_->onComplete(deviceId_, c);
             completed_.push_back(std::move(c));
         }
     }
@@ -347,7 +357,24 @@ Scheduler::settle(Tick now)
                     model, config_.batching.maxBatchFor(model));
                 const ExecutionPlan &p = plan(
                     model, static_cast<unsigned>(reqs.size()));
-                Executor executor(dtu_, lease->groups, config_.exec);
+                // A batch carrying a sampled request records its
+                // chip-side operator spans (the flow-arrow targets)
+                // even when the user left the chip timeline off; the
+                // op trace supplies the flow anchor. Recording is
+                // observation only — simulated timing is unchanged.
+                bool sampled_batch = false;
+                if (reqTracer_) {
+                    for (const Request &q : reqs) {
+                        if (reqTracer_->sampled(q.id)) {
+                            sampled_batch = true;
+                            break;
+                        }
+                    }
+                }
+                ExecOptions exec_opts = config_.exec;
+                if (sampled_batch)
+                    exec_opts.trace = true;
+                Executor executor(dtu_, lease->groups, exec_opts);
                 // Poisoned executions (uncorrectable ECC, exhausted
                 // DMA retries) re-run on the same lease up to
                 // maxBatchRetries times; the lease is held across
@@ -357,23 +384,41 @@ Scheduler::settle(Tick now)
                 bool poisoned = false;
                 Tick launch_at = now;
                 ExecResult r;
-                for (;;) {
-                    std::uint64_t before =
-                        faults_ ? faults_->poisonCount() : 0;
-                    r = executor.run(p, launch_at);
-                    poisoned =
-                        faults_ && faults_->poisonCount() > before;
-                    if (!poisoned ||
-                        retries >= degrade.maxBatchRetries)
-                        break;
-                    ++retries;
-                    ++batchRetries_;
-                    ++retryStat_;
-                    launch_at = r.end;
-                    if (timeline_) {
-                        dtu_.tracer().instant(
-                            dropTrack_, "batch-retry " + model,
-                            "degradation", launch_at);
+                {
+                    ScopedTracerEnable chip_scope(dtu_.tracer(),
+                                                  sampled_batch);
+                    for (;;) {
+                        std::uint64_t before =
+                            faults_ ? faults_->poisonCount() : 0;
+                        r = executor.run(p, launch_at);
+                        poisoned =
+                            faults_ && faults_->poisonCount() > before;
+                        if (!poisoned ||
+                            retries >= degrade.maxBatchRetries)
+                            break;
+                        ++retries;
+                        ++batchRetries_;
+                        ++retryStat_;
+                        launch_at = r.end;
+                        if (timeline_) {
+                            dtu_.tracer().instant(
+                                dropTrack_, "batch-retry " + model,
+                                "degradation", launch_at);
+                        }
+                    }
+                    if (sampled_batch) {
+                        // Flow anchor: the midpoint of the first
+                        // operator span of the final execution.
+                        Tick link =
+                            r.trace.empty()
+                                ? launch_at + (r.end - launch_at) / 2
+                                : r.trace.front().start +
+                                      (r.trace.front().end -
+                                       r.trace.front().start) /
+                                          2;
+                        reqTracer_->onBatchExecuted(
+                            deviceId_, dtu_.tracer(), reqs, now,
+                            r.end, link, retries);
                     }
                 }
                 ActiveBatch batch;
@@ -430,6 +475,20 @@ Scheduler::nextEvent(Tick now) const
     return next;
 }
 
+obs::DeviceMetricSample
+Scheduler::metricSample(unsigned device) const
+{
+    obs::DeviceMetricSample d;
+    d.device = device;
+    d.queueDepth = queue_.size();
+    d.inFlightBatches = active_.size();
+    d.outstanding = outstanding();
+    d.completed = completed_.size();
+    d.dropped = dropped_.size();
+    d.retries = batchRetries_;
+    return d;
+}
+
 ServingReport
 Scheduler::finish(double offered_qps)
 {
@@ -477,6 +536,15 @@ Scheduler::serve(std::vector<Request> trace)
 
     admitUpTo(now);
     settle(now);
+    // Periodic metric snapshots: pure observation points. The loop
+    // wakes early for them only while a real event is still pending,
+    // and the settle/advance steps are idempotent at non-event ticks,
+    // so sampling never changes simulated results (or termination).
+    const Tick metric_period =
+        reqTracer_ ? reqTracer_->metricPeriod() : 0;
+    Tick next_sample =
+        metric_period ? (now / metric_period + 1) * metric_period
+                      : kNever;
     while (true) {
         // Next event: an arrival, a batch completion, a queue
         // timeout maturing, or a degradation deadline. Events at or
@@ -491,10 +559,19 @@ Scheduler::serve(std::vector<Request> trace)
                     " queued requests but no future event");
             break;
         }
+        if (next_sample < next)
+            next = next_sample;
         now = next;
         advanceCompletions(now);
         admitUpTo(now);
         settle(now);
+        if (metric_period && now >= next_sample) {
+            obs::FleetMetricSample sample;
+            sample.at = now;
+            sample.devices.push_back(metricSample(deviceId_));
+            reqTracer_->recordMetrics(sample);
+            next_sample = (now / metric_period + 1) * metric_period;
+        }
         // Close SLO windows the loop just stepped past. Events land
         // in (prev_now, now] and windows close only through now, so
         // every event is ingested before its window seals.

@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/fleet_metrics.hh"
 #include "runtime/executor.hh"
 #include "serve/report.hh"
 #include "serve/request.hh"
@@ -48,6 +49,7 @@ namespace dtu
 namespace obs
 {
 class SloMonitor;
+class RequestTracer;
 } // namespace obs
 
 namespace serve
@@ -184,6 +186,21 @@ class Scheduler
      */
     void setSloMonitor(obs::SloMonitor *monitor) { sloMon_ = monitor; }
 
+    /**
+     * Attach (or detach, with nullptr) a request-lifecycle tracer as
+     * fleet device @p device (0 for a single-device Server). The
+     * scheduler reports admissions, batch executions, completions,
+     * drops, and weight loads, and force-enables the chip timeline
+     * around batches carrying a sampled request so their operator
+     * spans exist for flow linking. Without a tracer the serving
+     * path is bit-for-bit unchanged.
+     */
+    void setRequestTracer(obs::RequestTracer *tracer, unsigned device)
+    {
+        reqTracer_ = tracer;
+        deviceId_ = device;
+    }
+
     //
     // The steppable discrete-event core. serve() is a driver over
     // these; the fleet coordinator (serve/fleet.hh) is another,
@@ -244,6 +261,21 @@ class Scheduler
 
     /** Queued plus in-flight requests (the routing load signal). */
     std::size_t outstanding() const;
+
+    /** Batches dispatched and not yet completed. */
+    std::size_t inFlightBatches() const { return active_.size(); }
+
+    /** Requests completed so far this run. */
+    std::uint64_t completedCount() const { return completed_.size(); }
+
+    /** Requests dropped so far this run. */
+    std::uint64_t droppedCount() const { return dropped_.size(); }
+
+    /** Poisoned-batch re-executions so far this run. */
+    std::uint64_t batchRetryCount() const { return batchRetries_; }
+
+    /** Snapshot the live serving state as fleet device @p device. */
+    obs::DeviceMetricSample metricSample(unsigned device) const;
 
     /** Highest queue depth seen this run. */
     std::size_t peakQueueDepth() const { return peakQueue_; }
@@ -342,6 +374,11 @@ class Scheduler
 
     /** Optional live SLO monitor (not owned). */
     obs::SloMonitor *sloMon_ = nullptr;
+
+    /** Optional request-lifecycle tracer (not owned). */
+    obs::RequestTracer *reqTracer_ = nullptr;
+    /** This scheduler's device index under the request tracer. */
+    unsigned deviceId_ = 0;
 
     //
     // Per-run state, reset by begin().

@@ -94,6 +94,8 @@ void
 FaultInjector::record(FaultKind kind, Tick at, const std::string &site)
 {
     log_.push_back({kind, at, site});
+    if (callback_)
+        callback_(log_.back());
     if (tracer_ && tracer_->enabled()) {
         tracer_->instant(tracer_->track("faults", site),
                          faultKindName(kind), "fault", at);

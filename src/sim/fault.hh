@@ -33,6 +33,7 @@
 #define DTU_SIM_FAULT_HH
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -147,6 +148,18 @@ class FaultInjector
 
     /** Attach the chip tracer (fault instants + episode spans). */
     void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    /**
+     * Callback invoked for every injected fault, at injection time
+     * (replaces any previous; empty detaches). The flight recorder
+     * hooks this so a hardware fault snapshots the serving state
+     * leading up to it.
+     */
+    using FaultCallback = std::function<void(const InjectedFault &)>;
+    void onFault(FaultCallback callback)
+    {
+        callback_ = std::move(callback);
+    }
 
     const FaultConfig &config() const { return config_; }
 
@@ -265,6 +278,7 @@ class FaultInjector
     Stat thermalThrottledWindowStat_;
 
     Tracer *tracer_ = nullptr;
+    FaultCallback callback_;
 };
 
 } // namespace dtu

@@ -15,6 +15,7 @@ namespace
 
 bool gLoggingEnabled = false;
 const EventQueue *gLogClock = nullptr;
+int gLogDevice = -1;
 
 /** Parse DTU_LOG once; nullopt when unset or unrecognized. */
 std::optional<bool>
@@ -44,6 +45,11 @@ prefix(const char *severity)
     std::string p = "[";
     p += severity;
     p += "]";
+    if (gLogDevice >= 0) {
+        p += "[dev";
+        p += std::to_string(gLogDevice);
+        p += "]";
+    }
     if (gLogClock) {
         p += "[t=";
         p += std::to_string(gLogClock->now());
@@ -77,6 +83,18 @@ const EventQueue *
 logClock()
 {
     return gLogClock;
+}
+
+void
+setLogDevice(int device)
+{
+    gLogDevice = device;
+}
+
+int
+logDevice()
+{
+    return gLogDevice;
 }
 
 void

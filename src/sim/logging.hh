@@ -116,9 +116,44 @@ void setLogClock(const EventQueue *queue);
 const EventQueue *logClock();
 
 /**
+ * Set the fleet device id stamped into log prefixes, or -1 to clear
+ * it. While set, warn()/inform() lines read
+ * "[WARN][dev3][t=1234ps] ..." so interleaved multi-device output
+ * stays attributable. Prefer ScopedLogDevice over calling this
+ * directly.
+ */
+void setLogDevice(int device);
+
+/** The current log device id, or -1 when none is set. */
+int logDevice();
+
+/**
+ * Stamp log lines with a device id for a lexical scope — the fleet
+ * loop wraps each per-device step so any warning the device emits
+ * carries its id. Restores the previous id on exit (nesting safe).
+ */
+class ScopedLogDevice
+{
+  public:
+    explicit ScopedLogDevice(int device) : saved_(logDevice())
+    {
+        setLogDevice(device);
+    }
+
+    ~ScopedLogDevice() { setLogDevice(saved_); }
+
+    ScopedLogDevice(const ScopedLogDevice &) = delete;
+    ScopedLogDevice &operator=(const ScopedLogDevice &) = delete;
+
+  private:
+    int saved_;
+};
+
+/**
  * Print a warning about possibly-incorrect behaviour, prefixed with
  * severity and, when a log clock is registered, the simulated time:
- * "[WARN][t=1234ps] ...".
+ * "[WARN][t=1234ps] ..." (with "[dev<N>]" after the severity when a
+ * fleet device context is set, see ScopedLogDevice).
  */
 void warn(const std::string &msg);
 

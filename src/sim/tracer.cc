@@ -120,44 +120,52 @@ Tracer::counter(const std::string &counter_name,
 }
 
 void
-Tracer::exportChromeTrace(std::ostream &os) const
+Tracer::flow(TrackId track, const std::string &name,
+             const std::string &category, Tick at, std::uint64_t flow_id,
+             FlowPhase phase)
 {
-    // Sort by start tick (stable: emission order breaks ties) so the
-    // file is monotonic in `ts`, which simplifies diffing and lets
-    // consumers stream it.
-    std::vector<const TraceEvent *> ordered;
-    ordered.reserve(events_.size());
-    for (const TraceEvent &e : events_)
-        ordered.push_back(&e);
-    std::stable_sort(ordered.begin(), ordered.end(),
-                     [](const TraceEvent *a, const TraceEvent *b) {
-                         return a->start < b->start;
-                     });
+    if (!enabled_)
+        return;
+    TraceEvent e;
+    e.kind = Kind::Flow;
+    e.pid = track.pid;
+    e.tid = track.tid;
+    e.name = name;
+    e.category = category;
+    e.start = at;
+    e.end = at;
+    e.flowId = flow_id;
+    e.flowPhase = phase;
+    events_.push_back(std::move(e));
+}
 
-    JsonWriter json(os, 0);
-    json.beginObject();
-    json.key("displayTimeUnit").value("ns");
-    json.key("traceEvents");
-    json.beginArray();
+void
+Tracer::writeTrackMetadata(JsonWriter &json, std::uint32_t pid_offset,
+                           const std::string &label_prefix) const
+{
+    auto displayName = [&](const std::string &name) {
+        return label_prefix.empty() ? name : label_prefix + "." + name;
+    };
 
     // Track metadata: names and a stable sort order.
     for (const auto &[process, pid] : processes_) {
         json.beginObject()
             .field("ph", "M")
             .field("name", "process_name")
-            .field("pid", static_cast<std::uint64_t>(pid))
+            .field("pid", static_cast<std::uint64_t>(pid + pid_offset))
             .key("args")
             .beginObject()
-            .field("name", process)
+            .field("name", displayName(process))
             .endObject()
             .endObject();
         json.beginObject()
             .field("ph", "M")
             .field("name", "process_sort_index")
-            .field("pid", static_cast<std::uint64_t>(pid))
+            .field("pid", static_cast<std::uint64_t>(pid + pid_offset))
             .key("args")
             .beginObject()
-            .field("sort_index", static_cast<std::uint64_t>(pid))
+            .field("sort_index",
+                   static_cast<std::uint64_t>(pid + pid_offset))
             .endObject()
             .endObject();
     }
@@ -166,7 +174,8 @@ Tracer::exportChromeTrace(std::ostream &os) const
         json.beginObject()
             .field("ph", "M")
             .field("name", "thread_name")
-            .field("pid", static_cast<std::uint64_t>(key.first))
+            .field("pid",
+                   static_cast<std::uint64_t>(key.first + pid_offset))
             .field("tid", static_cast<std::uint64_t>(tid))
             .key("args")
             .beginObject()
@@ -178,57 +187,121 @@ Tracer::exportChromeTrace(std::ostream &os) const
         json.beginObject()
             .field("ph", "M")
             .field("name", "process_name")
-            .field("pid", static_cast<std::uint64_t>(pid))
+            .field("pid", static_cast<std::uint64_t>(pid + pid_offset))
             .key("args")
             .beginObject()
-            .field("name", counter_name)
+            .field("name", displayName(counter_name))
             .endObject()
             .endObject();
     }
+}
 
-    for (const TraceEvent *e : ordered) {
-        json.beginObject();
-        switch (e->kind) {
-          case Kind::Span:
-            json.field("ph", "X")
-                .field("name", e->name)
-                .field("cat", e->category.empty() ? "span" : e->category)
-                .field("pid", static_cast<std::uint64_t>(e->pid))
-                .field("tid", static_cast<std::uint64_t>(e->tid))
-                .field("ts", ticksToTraceUs(e->start))
-                .field("dur", ticksToTraceUs(e->end - e->start));
-            break;
-          case Kind::Instant:
-            json.field("ph", "i")
-                .field("name", e->name)
-                .field("cat", e->category.empty() ? "event" : e->category)
-                .field("s", "t") // thread-scoped instant
-                .field("pid", static_cast<std::uint64_t>(e->pid))
-                .field("tid", static_cast<std::uint64_t>(e->tid))
-                .field("ts", ticksToTraceUs(e->start));
-            break;
-          case Kind::Counter:
-            json.field("ph", "C")
-                .field("name", e->name)
-                .field("pid", static_cast<std::uint64_t>(e->pid))
-                .field("tid", std::uint64_t{0})
-                .field("ts", ticksToTraceUs(e->start));
-            break;
-        }
-        if (e->kind == Kind::Counter) {
-            json.key("args")
-                .beginObject()
-                .field(e->seriesKey.empty() ? "value" : e->seriesKey,
-                       e->value)
-                .endObject();
-        } else if (!e->args.empty()) {
-            json.key("args").beginObject();
-            for (const auto &[k, v] : e->args)
-                json.field(k, v);
-            json.endObject();
-        }
+void
+Tracer::writeEvent(JsonWriter &json, const TraceEvent &e,
+                   std::uint32_t pid_offset)
+{
+    json.beginObject();
+    switch (e.kind) {
+      case Kind::Span:
+        json.field("ph", "X")
+            .field("name", e.name)
+            .field("cat", e.category.empty() ? "span" : e.category)
+            .field("pid", static_cast<std::uint64_t>(e.pid + pid_offset))
+            .field("tid", static_cast<std::uint64_t>(e.tid))
+            .field("ts", ticksToTraceUs(e.start))
+            .field("dur", ticksToTraceUs(e.end - e.start));
+        break;
+      case Kind::Instant:
+        json.field("ph", "i")
+            .field("name", e.name)
+            .field("cat", e.category.empty() ? "event" : e.category)
+            .field("s", "t") // thread-scoped instant
+            .field("pid", static_cast<std::uint64_t>(e.pid + pid_offset))
+            .field("tid", static_cast<std::uint64_t>(e.tid))
+            .field("ts", ticksToTraceUs(e.start));
+        break;
+      case Kind::Counter:
+        json.field("ph", "C")
+            .field("name", e.name)
+            .field("pid", static_cast<std::uint64_t>(e.pid + pid_offset))
+            .field("tid", std::uint64_t{0})
+            .field("ts", ticksToTraceUs(e.start));
+        break;
+      case Kind::Flow:
+        json.field("ph", e.flowPhase == FlowPhase::Start  ? "s"
+                         : e.flowPhase == FlowPhase::Step ? "t"
+                                                          : "f")
+            .field("name", e.name)
+            .field("cat", e.category.empty() ? "flow" : e.category)
+            .field("id", e.flowId)
+            .field("pid", static_cast<std::uint64_t>(e.pid + pid_offset))
+            .field("tid", static_cast<std::uint64_t>(e.tid))
+            .field("ts", ticksToTraceUs(e.start));
+        // Bind to the slice *enclosing* the timestamp (default binds
+        // steps/ends to the next slice, which detaches the arrow
+        // when the target span starts at the same tick).
+        if (e.flowPhase != FlowPhase::Start)
+            json.field("bp", "e");
+        break;
+    }
+    if (e.kind == Kind::Counter) {
+        json.key("args")
+            .beginObject()
+            .field(e.seriesKey.empty() ? "value" : e.seriesKey, e.value)
+            .endObject();
+    } else if (!e.args.empty()) {
+        json.key("args").beginObject();
+        for (const auto &[k, v] : e.args)
+            json.field(k, v);
         json.endObject();
     }
+    json.endObject();
+}
+
+void
+Tracer::exportChromeTrace(std::ostream &os) const
+{
+    exportMergedChromeTrace({{"", this}}, os);
+}
+
+void
+Tracer::exportMergedChromeTrace(const std::vector<ExportPart> &parts,
+                                std::ostream &os)
+{
+    // Each part's pids start at 1, so give part k a disjoint range
+    // by offsetting with the running sum of earlier parts' maxPid().
+    std::vector<std::uint32_t> offsets;
+    offsets.reserve(parts.size());
+    std::uint32_t next = 0;
+    for (const ExportPart &part : parts) {
+        offsets.push_back(next);
+        next += part.tracer->maxPid();
+    }
+
+    // Sort by start tick (stable: part order then emission order
+    // breaks ties) so the file is monotonic in `ts`, which
+    // simplifies diffing and lets consumers stream it.
+    std::vector<std::pair<const TraceEvent *, std::uint32_t>> ordered;
+    for (std::size_t k = 0; k < parts.size(); ++k)
+        for (const TraceEvent &e : parts[k].tracer->events_)
+            ordered.emplace_back(&e, offsets[k]);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first->start < b.first->start;
+                     });
+
+    JsonWriter json(os, 0);
+    json.beginObject();
+    json.key("displayTimeUnit").value("ns");
+    json.key("traceEvents");
+    json.beginArray();
+
+    for (std::size_t k = 0; k < parts.size(); ++k)
+        parts[k].tracer->writeTrackMetadata(json, offsets[k],
+                                            parts[k].label);
+
+    for (const auto &[e, offset] : ordered)
+        writeEvent(json, *e, offset);
 
     json.endArray();
     json.endObject();
@@ -244,6 +317,21 @@ Tracer::writeChromeTrace(const std::string &path) const
     fatalIf(!file.good(), "error writing trace to '", path, "'");
     inform(csprintf("wrote timeline trace (", events_.size(),
                     " events, ", trackCount(), " tracks) to ", path));
+}
+
+void
+Tracer::writeMergedChromeTrace(const std::vector<ExportPart> &parts,
+                               const std::string &path)
+{
+    std::ofstream file(path);
+    fatalIf(!file, "cannot open trace output file '", path, "'");
+    exportMergedChromeTrace(parts, file);
+    fatalIf(!file.good(), "error writing trace to '", path, "'");
+    std::size_t events = 0;
+    for (const ExportPart &part : parts)
+        events += part.tracer->eventCount();
+    inform(csprintf("wrote merged timeline trace (", parts.size(),
+                    " tracers, ", events, " events) to ", path));
 }
 
 } // namespace dtu

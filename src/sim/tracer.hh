@@ -40,6 +40,8 @@
 namespace dtu
 {
 
+class JsonWriter;
+
 /** Identifies one (process, thread) timeline track. */
 struct TrackId
 {
@@ -49,6 +51,19 @@ struct TrackId
 
 /** Optional key/value annotations attached to a span or instant. */
 using TraceArgs = std::vector<std::pair<std::string, double>>;
+
+/**
+ * Position of a flow event within its arrow chain. Chrome flow
+ * events with the same id form one arrow sequence: exactly one
+ * Start, any number of Steps, and one End; each binds to the slice
+ * enclosing its timestamp on its track.
+ */
+enum class FlowPhase
+{
+    Start, ///< ph "s" — arrow tail
+    Step,  ///< ph "t" — intermediate hop
+    End,   ///< ph "f" — arrow head
+};
 
 /** Collects timeline events and exports Chrome trace-event JSON. */
 class Tracer
@@ -93,6 +108,18 @@ class Tracer
     void counter(const std::string &counter_name,
                  const std::string &series_key, Tick at, double value);
 
+    /**
+     * Record one hop of flow arrow @p flow_id at @p at on @p track.
+     * The event binds to the slice enclosing @p at on the track, so
+     * emit it inside (or at the start tick of) the span it should
+     * attach to. Flow ids are preserved verbatim by the merged
+     * export, letting arrows cross tracer boundaries (e.g. a fleet
+     * request span linking to a chip operator span).
+     */
+    void flow(TrackId track, const std::string &name,
+              const std::string &category, Tick at,
+              std::uint64_t flow_id, FlowPhase phase);
+
     /** Events recorded so far (spans + instants + counter samples). */
     std::size_t eventCount() const { return events_.size(); }
 
@@ -111,12 +138,42 @@ class Tracer
     /** exportChromeTrace into a file; fatal() on I/O failure. */
     void writeChromeTrace(const std::string &path) const;
 
+    /** One labeled contributor to a merged multi-tracer export. */
+    struct ExportPart
+    {
+        /**
+         * Prefix for the part's process names ("dev0" renders
+         * "dtu2.cluster0" as "dev0.dtu2.cluster0"). Empty leaves
+         * names unprefixed — only safe for a single part.
+         */
+        std::string label;
+        const Tracer *tracer = nullptr;
+    };
+
+    /**
+     * Export several tracers as one Chrome trace. Each part's pids
+     * are remapped into a disjoint range (per-device tracers all
+     * start their pids at 1, so a naive concatenation would collide
+     * two devices' spans onto one track) and its process names get
+     * the part label as a prefix. Flow ids pass through unchanged so
+     * request arrows span devices. Events are globally sorted by
+     * timestamp.
+     */
+    static void
+    exportMergedChromeTrace(const std::vector<ExportPart> &parts,
+                            std::ostream &os);
+
+    /** exportMergedChromeTrace into a file; fatal() on I/O failure. */
+    static void writeMergedChromeTrace(const std::vector<ExportPart> &parts,
+                                       const std::string &path);
+
   private:
     enum class Kind
     {
         Span,
         Instant,
         Counter,
+        Flow,
     };
 
     struct TraceEvent
@@ -130,11 +187,28 @@ class Tracer
         Tick end = 0;
         double value = 0.0; ///< counter sample value
         std::string seriesKey;
+        std::uint64_t flowId = 0;
+        FlowPhase flowPhase = FlowPhase::Start;
         TraceArgs args;
     };
 
     /** pid for a counter track, all grouped under one process. */
     std::uint32_t counterPid(const std::string &counter_name);
+
+    /** Highest pid handed out so far (pids are 1..maxPid()). */
+    std::uint32_t maxPid() const
+    {
+        return static_cast<std::uint32_t>(processes_.size() +
+                                          counters_.size());
+    }
+
+    /** Track-naming metadata records, pids shifted by @p pid_offset. */
+    void writeTrackMetadata(JsonWriter &json, std::uint32_t pid_offset,
+                            const std::string &label_prefix) const;
+
+    /** One event record, pids shifted by @p pid_offset. */
+    static void writeEvent(JsonWriter &json, const TraceEvent &e,
+                           std::uint32_t pid_offset);
 
     bool enabled_ = false;
     std::map<std::string, std::uint32_t> processes_;
@@ -142,6 +216,32 @@ class Tracer
     std::map<std::pair<std::uint32_t, std::string>, std::uint32_t> threads_;
     std::map<std::string, std::uint32_t> counters_;
     std::vector<TraceEvent> events_;
+};
+
+/**
+ * Force a Tracer on for a lexical scope, restoring the previous
+ * state on exit. Used to capture chip-side spans only while a
+ * sampled request's batch executes, so request-trace overhead scales
+ * with the sampling rate instead of the full run.
+ */
+class ScopedTracerEnable
+{
+  public:
+    explicit ScopedTracerEnable(Tracer &tracer, bool enable = true)
+        : tracer_(tracer), saved_(tracer.enabled())
+    {
+        if (enable)
+            tracer_.setEnabled(true);
+    }
+
+    ~ScopedTracerEnable() { tracer_.setEnabled(saved_); }
+
+    ScopedTracerEnable(const ScopedTracerEnable &) = delete;
+    ScopedTracerEnable &operator=(const ScopedTracerEnable &) = delete;
+
+  private:
+    Tracer &tracer_;
+    bool saved_;
 };
 
 } // namespace dtu

@@ -10,10 +10,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 #include <numeric>
+#include <set>
 #include <sstream>
 
 #include "api/server.hh"
+#include "json_test_util.hh"
 #include "serve/arrival.hh"
 #include "serve/fleet.hh"
 #include "sim/logging.hh"
@@ -375,6 +378,75 @@ TEST(FleetTest, PrometheusExportCoversDevicesAndFleet)
           "dtusim_fleet_device_routed{device=\"1\"}"}) {
         EXPECT_NE(doc.find(needle), std::string::npos) << needle;
     }
+}
+
+TEST(FleetTest, PrometheusExportCarriesMetricSeriesFamilies)
+{
+    FleetServer fleet(
+        {.devices = 2, .serving = fleetServingConfig()});
+    fleet.enableRequestTracing(
+        {.sampleRate = 0.0, .metricPeriod = secondsToTicks(100e-6)});
+    fleet.submit(mixedTrace(/*seed=*/41, /*per_model=*/8));
+    fleet.serve();
+    std::ostringstream os;
+    fleet.writePrometheus(os);
+    std::string doc = os.str();
+    for (const char *needle :
+         {"# TYPE dtusim_fleet_queue_depth gauge",
+          "dtusim_fleet_queue_depth{device=\"0\"}",
+          "dtusim_fleet_queue_depth{device=\"1\"}",
+          "dtusim_fleet_outstanding_requests{device=\"0\"}",
+          "dtusim_fleet_completed_requests_total{device=\"1\"}"}) {
+        EXPECT_NE(doc.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(FleetTest, TwoDeviceTraceKeepsChipTimelinesOnDistinctPids)
+{
+    // Regression: both chips' tracers number their pids from 1, so
+    // before the merged export remapped them, a two-device trace
+    // stacked dev1's spans onto dev0's lanes.
+    FleetServer fleet(
+        {.devices = 2, .serving = fleetServingConfig()});
+    fleet.enableRequestTracing({.sampleRate = 1.0});
+    fleet.submit(mixedTrace(/*seed=*/43, /*per_model=*/12));
+    const FleetReport &report = fleet.serve();
+    ASSERT_EQ(report.perDevice.size(), 2u);
+    ASSERT_GT(report.perDevice[0].routed, 0u);
+    ASSERT_GT(report.perDevice[1].routed, 0u);
+
+    std::ostringstream os;
+    fleet.exportFleetTrace(os);
+    const std::string doc = os.str();
+
+    // Pull pid -> process name out of the metadata records with the
+    // shared parser-free approach: scan via the test JSON parser.
+    dtu::test::JValue root = dtu::test::parseJson(doc);
+    const dtu::test::JValue *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    std::map<std::string, std::set<double>> pids_of_prefix;
+    std::map<double, std::string> name_of_pid;
+    for (const dtu::test::JValue &e : events->items) {
+        if (e.str("ph") != "M" || e.str("name") != "process_name")
+            continue;
+        std::string name = e.find("args")->str("name");
+        double pid = e.num("pid");
+        ASSERT_EQ(name_of_pid.count(pid), 0u)
+            << "pid " << pid << " declared twice: '"
+            << name_of_pid[pid] << "' and '" << name << "'";
+        name_of_pid[pid] = name;
+        if (name.rfind("dev0.", 0) == 0)
+            pids_of_prefix["dev0"].insert(pid);
+        if (name.rfind("dev1.", 0) == 0)
+            pids_of_prefix["dev1"].insert(pid);
+    }
+    // Both devices contribute chip-timeline processes...
+    ASSERT_FALSE(pids_of_prefix["dev0"].empty());
+    ASSERT_FALSE(pids_of_prefix["dev1"].empty());
+    // ...and no pid serves two processes across the parts.
+    for (double pid : pids_of_prefix["dev0"])
+        EXPECT_EQ(pids_of_prefix["dev1"].count(pid), 0u)
+            << "pid " << pid << " shared across devices";
 }
 
 TEST(FleetTest, PolicyNamesRoundTrip)

@@ -612,6 +612,124 @@ TEST(SloMonitor, ExportsParse)
     EXPECT_EQ(line.substr(0, 2), "0,");
 }
 
+TEST(Prometheus, LabelValuesEscapeBackslashQuoteAndNewline)
+{
+    EXPECT_EQ(obs::promLabelEscape("plain"), "plain");
+    EXPECT_EQ(obs::promLabelEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(obs::promLabelEscape("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(obs::promLabelEscape("two\nlines"), "two\\nlines");
+    EXPECT_EQ(obs::promLabelEscape("\\\"\n"), "\\\\\\\"\\n");
+    EXPECT_EQ(obs::promLabelEscape(""), "");
+}
+
+TEST(Prometheus, NonFiniteSamplesUseTextExpositionSpelling)
+{
+    // The text format spells non-finite values NaN / +Inf / -Inf —
+    // not JSON's null (which scrapes as a parse error).
+    EXPECT_EQ(obs::promSampleValue(1.5), "1.5");
+    EXPECT_EQ(obs::promSampleValue(0.0), "0");
+    EXPECT_EQ(obs::promSampleValue(std::nan("")), "NaN");
+    EXPECT_EQ(
+        obs::promSampleValue(std::numeric_limits<double>::infinity()),
+        "+Inf");
+    EXPECT_EQ(
+        obs::promSampleValue(-std::numeric_limits<double>::infinity()),
+        "-Inf");
+}
+
+TEST(Prometheus, FleetMetricSeriesEmitsPerDeviceFamilies)
+{
+    obs::FleetMetricSeries series;
+    // Empty series: no families at all.
+    std::ostringstream empty;
+    series.writePrometheus(empty);
+    EXPECT_EQ(empty.str(), "");
+
+    obs::FleetMetricSample s;
+    s.at = 500;
+    s.devices.push_back({.device = 0,
+                         .queueDepth = 3,
+                         .inFlightBatches = 1,
+                         .outstanding = 4,
+                         .completed = 10,
+                         .dropped = 2,
+                         .retries = 1});
+    s.devices.push_back({.device = 1, .queueDepth = 7});
+    series.append(s);
+
+    std::ostringstream os;
+    series.writePrometheus(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("# TYPE dtusim_fleet_queue_depth gauge"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("dtusim_fleet_queue_depth{device=\"0\"} 3"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("dtusim_fleet_queue_depth{device=\"1\"} 7"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(
+        text.find(
+            "dtusim_fleet_dropped_requests_total{device=\"0\"} 2"),
+        std::string::npos)
+        << text;
+    EXPECT_NE(
+        text.find("dtusim_fleet_in_flight_batches{device=\"0\"} 1"),
+        std::string::npos)
+        << text;
+}
+
+TEST(SloMonitor, AlertsRearmPerOffendingWindow)
+{
+    // An alert is per-window, not one-shot: every offending window
+    // re-fires it (the flight recorder latches; the monitor does not).
+    const Tick w = 1000;
+    obs::SloMonitor mon(
+        {.window = w, .sloTarget = 0.9, .burnRateAlert = 2.0});
+    std::vector<obs::SloAlert> seen;
+    mon.onAlert([&](const obs::SloAlert &a) { seen.push_back(a); });
+
+    mon.recordCompletion(completion(10, 1.0, /*missed=*/true));
+    mon.advanceTo(w);
+    ASSERT_EQ(seen.size(), 1u);
+
+    // A healthy window in between fires nothing...
+    mon.recordCompletion(completion(w + 10, 1.0, false));
+    mon.advanceTo(2 * w);
+    ASSERT_EQ(seen.size(), 1u);
+
+    // ...and the next offending window alerts again.
+    mon.recordCompletion(completion(2 * w + 10, 1.0, /*missed=*/true));
+    mon.advanceTo(3 * w);
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[1].at, 3 * w);
+}
+
+TEST(SloMonitor, ListenersStackAfterThePrimaryCallback)
+{
+    const Tick w = 1000;
+    obs::SloMonitor mon(
+        {.window = w, .sloTarget = 0.9, .burnRateAlert = 2.0});
+    std::vector<std::string> order;
+    mon.onAlert([&](const obs::SloAlert &) {
+        order.push_back("primary");
+    });
+    mon.addAlertListener([&](const obs::SloAlert &) {
+        order.push_back("first");
+    });
+    mon.addAlertListener([&](const obs::SloAlert &a) {
+        order.push_back("second:" + a.kind);
+    });
+
+    mon.recordCompletion(completion(10, 1.0, /*missed=*/true));
+    mon.advanceTo(w);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], "primary");
+    EXPECT_EQ(order[1], "first");
+    EXPECT_EQ(order[2], "second:slo_burn_rate");
+}
+
 TEST(SloMonitor, ServingIntegrationSeesEveryRequest)
 {
     Device device;

@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -452,6 +454,161 @@ TEST(Logging, WritesNothingWhenDisabled)
     testing::internal::CaptureStderr();
     warn("invisible");
     EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(Logging, DeviceContextPrefixesWarnings)
+{
+    EventQueue queue;
+    bool was_enabled = loggingEnabled();
+    setLoggingEnabled(true);
+    if (!loggingEnabled()) {
+        setLoggingEnabled(was_enabled);
+        GTEST_SKIP() << "DTU_LOG overrides setLoggingEnabled";
+    }
+    testing::internal::CaptureStderr();
+    {
+        ScopedLogDevice dev(3);
+        EXPECT_EQ(logDevice(), 3);
+        warn("queue backlog");
+        {
+            // Nesting restores the outer device on exit.
+            ScopedLogDevice inner(7);
+            warn("inner");
+        }
+        EXPECT_EQ(logDevice(), 3);
+    }
+    EXPECT_EQ(logDevice(), -1);
+    warn("no device");
+    std::string err = testing::internal::GetCapturedStderr();
+    setLoggingEnabled(was_enabled);
+    EXPECT_NE(err.find("[WARN][dev3][t=0ps] queue backlog"),
+              std::string::npos)
+        << err;
+    EXPECT_NE(err.find("[WARN][dev7][t=0ps] inner"),
+              std::string::npos)
+        << err;
+    EXPECT_NE(err.find("[WARN][t=0ps] no device"), std::string::npos)
+        << err;
+}
+
+//
+// Flow events and the merged multi-tracer export.
+//
+
+TEST(Tracer, FlowEventsExportWithSharedIdAndBindingPoint)
+{
+    Tracer tracer;
+    tracer.setEnabled(true);
+    TrackId a = tracer.track("p1", "t1");
+    TrackId b = tracer.track("p2", "t2");
+    tracer.span(a, "source", "test", 0, 100);
+    tracer.span(b, "sink", "test", 200, 300);
+    tracer.flow(a, "hop", "test", 50, 77, FlowPhase::Start);
+    tracer.flow(b, "hop", "test", 250, 77, FlowPhase::End);
+
+    std::ostringstream ss;
+    tracer.exportChromeTrace(ss);
+    JValue doc = parseJson(ss.str());
+    const JValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    const JValue *start = nullptr, *end = nullptr;
+    for (const JValue &e : events->items) {
+        if (e.str("ph") == "s")
+            start = &e;
+        if (e.str("ph") == "f")
+            end = &e;
+    }
+    ASSERT_NE(start, nullptr);
+    ASSERT_NE(end, nullptr);
+    EXPECT_EQ(start->num("id"), 77.0);
+    EXPECT_EQ(end->num("id"), 77.0);
+    // The terminating event binds to the enclosing slice; the start
+    // must not carry the binding-point field.
+    EXPECT_FALSE(start->has("bp"));
+    EXPECT_EQ(end->str("bp"), "e");
+    // Flow timestamps land inside their spans.
+    EXPECT_GE(start->num("ts"), 0.0);
+    EXPECT_LE(end->num("ts"), 300.0 / 1e6);
+}
+
+TEST(Tracer, DisabledTracerRecordsNoFlows)
+{
+    Tracer tracer;
+    TrackId a = tracer.track("p", "t");
+    tracer.flow(a, "hop", "test", 10, 1, FlowPhase::Start);
+    EXPECT_EQ(tracer.eventCount(), 0u);
+}
+
+TEST(Tracer, MergedExportKeepsPartsOnDisjointPids)
+{
+    // Regression: two devices' tracers each number their pids from 1,
+    // so a naive concatenation collides every device's tracks onto
+    // the same lanes. The merged export must remap them disjointly.
+    Tracer dev0, dev1;
+    dev0.setEnabled(true);
+    dev1.setEnabled(true);
+    dev0.span(dev0.track("runtime", "operators"), "op_a", "test", 0,
+              100);
+    dev0.counter("power_watts", "W", 50, 10.0);
+    dev1.span(dev1.track("runtime", "operators"), "op_b", "test", 0,
+              100);
+    dev1.counter("power_watts", "W", 50, 20.0);
+
+    std::ostringstream ss;
+    Tracer::exportMergedChromeTrace({{"dev0", &dev0}, {"dev1", &dev1}},
+                                    ss);
+    JValue doc = parseJson(ss.str());
+    const JValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    std::map<std::string, double> pid_of;
+    for (const JValue &e : events->items) {
+        if (e.str("ph") == "M" && e.str("name") == "process_name")
+            pid_of[e.find("args")->str("name")] = e.num("pid");
+    }
+    // Both parts present, label-prefixed, on different pids.
+    ASSERT_TRUE(pid_of.count("dev0.runtime"));
+    ASSERT_TRUE(pid_of.count("dev1.runtime"));
+    ASSERT_TRUE(pid_of.count("dev0.power_watts"));
+    ASSERT_TRUE(pid_of.count("dev1.power_watts"));
+    std::set<double> pids;
+    for (const auto &[name, pid] : pid_of)
+        pids.insert(pid);
+    EXPECT_EQ(pids.size(), pid_of.size())
+        << "merged parts share a pid";
+
+    // Every event's pid belongs to exactly one declared process.
+    std::set<double> declared = pids;
+    for (const JValue &e : events->items) {
+        if (e.str("ph") == "X" || e.str("ph") == "C")
+            EXPECT_TRUE(declared.count(e.num("pid")))
+                << e.str("name") << " on undeclared pid "
+                << e.num("pid");
+    }
+}
+
+TEST(Tracer, ScopedEnableRestoresPriorState)
+{
+    Tracer tracer;
+    ASSERT_FALSE(tracer.enabled());
+    {
+        ScopedTracerEnable on(tracer);
+        EXPECT_TRUE(tracer.enabled());
+        {
+            ScopedTracerEnable noop(tracer, false);
+            EXPECT_TRUE(tracer.enabled()); // does not force off
+        }
+        EXPECT_TRUE(tracer.enabled());
+    }
+    EXPECT_FALSE(tracer.enabled());
+
+    tracer.setEnabled(true);
+    {
+        ScopedTracerEnable on(tracer);
+        EXPECT_TRUE(tracer.enabled());
+    }
+    EXPECT_TRUE(tracer.enabled()); // already-on stays on
 }
 
 } // namespace
