@@ -138,7 +138,7 @@ main(int argc, char **argv)
                 config.weightLoadGbps = weight_gbps;
                 FleetServer fleet(config);
                 fleet.submit(trace);
-                const serve::FleetReport &r = fleet.serve();
+                const serve::FleetReport &r = fleet.serveFleet();
 
                 std::string policy_name =
                     serve::routingPolicyName(policy);

@@ -88,7 +88,7 @@ timedServe(unsigned devices,
         fleet->enableRequestTracing({.sampleRate = rate, .seed = 7});
     fleet->submit(trace);
     auto t0 = std::chrono::steady_clock::now();
-    const serve::FleetReport &r = fleet->serve();
+    const serve::FleetReport &r = fleet->serveFleet();
     auto t1 = std::chrono::steady_clock::now();
     if (report_json) {
         std::ostringstream ss;
@@ -107,12 +107,14 @@ chainCompleteness(const obs::RequestTracer &tracer, bool *all_linked)
     std::uint64_t complete = 0, total = 0;
     *all_linked = true;
     for (const obs::RequestRecord &rec : tracer.finished()) {
-        if (rec.outcome != "completed")
+        const serve::RequestOutcome &o = rec.outcome;
+        if (!o.completedOk())
             continue;
         ++total;
-        bool chain = rec.executed && rec.arrival <= rec.dispatched &&
-                     rec.dispatched <= rec.terminal &&
-                     rec.device >= 0 && rec.deviceLinked;
+        bool chain = rec.executed &&
+                     o.request.arrival <= o.dispatched &&
+                     o.dispatched <= o.completed && o.device >= 0 &&
+                     rec.deviceLinked;
         if (chain)
             ++complete;
         else
@@ -139,7 +141,7 @@ flightRecorderDemo(const std::string &path, unsigned devices,
     fleet.submit(serve::finalizeTrace(
         {serve::poissonTrace("resnet50", qps, per_device * devices,
                              /*seed=*/909, secondsToTicks(2e-3))}));
-    fleet.serve();
+    fleet.serveFleet();
     if (rec.dumpCount() == 0) {
         std::printf("  flight recorder: no incident triggered "
                     "(unexpected under this overload)\n");

@@ -9,21 +9,59 @@
 namespace dtu
 {
 
+namespace
+{
+
+void
+servingGauge(std::ostream &os, const std::string &metric,
+             const std::string &help, double v)
+{
+    os << "# HELP " << metric << " " << help << "\n";
+    os << "# TYPE " << metric << " gauge\n";
+    os << metric << " " << obs::promSampleValue(v) << "\n";
+}
+
+/** Generation gauges under @p prefix, when the last run generated. */
+void
+writeGenerationGauges(std::ostream &os, const std::string &prefix,
+                      const serve::ServingReport &r)
+{
+    if (!r.hasGeneration)
+        return;
+    const serve::GenerationReport &g = r.generation;
+    servingGauge(os, prefix + "_tokens_per_second",
+                 "emitted tokens per second of serving makespan",
+                 g.tokensPerSecond);
+    servingGauge(os, prefix + "_ttft_p99_ms",
+                 "p99 time-to-first-token", g.ttftP99Ms);
+    servingGauge(os, prefix + "_itl_p99_ms",
+                 "p99 inter-token latency", g.itlP99Ms);
+    servingGauge(os, prefix + "_kv_peak_occupancy",
+                 "peak KV-cache page occupancy (0..1)",
+                 g.kvPeakOccupancy);
+    servingGauge(os, prefix + "_kv_pages_in_use",
+                 "KV pages still held at end of run (0 == no leak)",
+                 static_cast<double>(g.kvPagesInUseAtEnd));
+}
+
+} // namespace
+
 Server::Server(Device &device, serve::ServingConfig config)
     : device_(device), config_(config),
       scheduler_(device.chip(), device.resources(), config)
 {}
 
 std::uint64_t
+Server::submit(const serve::RequestSpec &spec)
+{
+    pending_.push_back(serve::makeRequest(spec, nextId_++));
+    return pending_.back().id;
+}
+
+std::uint64_t
 Server::submit(const std::string &model, Tick arrival, Tick deadline)
 {
-    serve::Request r;
-    r.id = nextId_++;
-    r.model = model;
-    r.arrival = arrival;
-    r.deadline = deadline;
-    pending_.push_back(std::move(r));
-    return pending_.back().id;
+    return submit(serve::RequestSpec{model, {}, arrival, deadline, {}});
 }
 
 void
@@ -41,6 +79,7 @@ Server::serve()
 {
     last_ = scheduler_.serve(std::move(pending_));
     pending_.clear();
+    served_ = true;
     return last_;
 }
 
@@ -71,6 +110,32 @@ Server::writeRequestTrace(const std::string &path)
     reqTracer_->writeTrace({&device_.chip().tracer()}, path);
 }
 
+void
+Server::writePrometheus(std::ostream &os)
+{
+    obs::writePrometheusText(device_.chip().stats(), os, "dtusim");
+    if (!served_)
+        return;
+    const serve::ServingReport &r = last_;
+    servingGauge(os, "dtusim_serve_submitted",
+                 "requests the last serve submitted",
+                 static_cast<double>(r.submitted));
+    servingGauge(os, "dtusim_serve_requests",
+                 "requests the last serve completed",
+                 static_cast<double>(r.requests));
+    servingGauge(os, "dtusim_serve_achieved_qps",
+                 "sustained throughput", r.achievedQps);
+    servingGauge(os, "dtusim_serve_goodput_qps",
+                 "in-deadline throughput", r.goodputQps);
+    servingGauge(os, "dtusim_serve_latency_p50_ms", "median latency",
+                 r.p50Ms);
+    servingGauge(os, "dtusim_serve_latency_p99_ms", "tail latency",
+                 r.p99Ms);
+    servingGauge(os, "dtusim_serve_availability",
+                 "completed / submitted", r.availability);
+    writeGenerationGauges(os, "dtusim_serve", r);
+}
+
 FleetServer::FleetServer(serve::FleetConfig config,
                          const DtuConfig &chip)
     : config_(std::move(config))
@@ -87,16 +152,17 @@ FleetServer::FleetServer(serve::FleetConfig config,
 }
 
 std::uint64_t
+FleetServer::submit(const serve::RequestSpec &spec)
+{
+    pending_.push_back(serve::makeRequest(spec, nextId_++));
+    return pending_.back().id;
+}
+
+std::uint64_t
 FleetServer::submit(const std::string &model, Tick arrival,
                     Tick deadline)
 {
-    serve::Request r;
-    r.id = nextId_++;
-    r.model = model;
-    r.arrival = arrival;
-    r.deadline = deadline;
-    pending_.push_back(std::move(r));
-    return pending_.back().id;
+    return submit(serve::RequestSpec{model, {}, arrival, deadline, {}});
 }
 
 void
@@ -110,7 +176,7 @@ FleetServer::submit(const std::vector<serve::Request> &trace)
 }
 
 const serve::FleetReport &
-FleetServer::serve()
+FleetServer::serveFleet()
 {
     // (Re)hook every installed fault injector into the recorder here
     // rather than at enableFlightRecorder() time, so installFaults()
@@ -206,20 +272,6 @@ FleetServer::writeFleetTrace(const std::string &path)
     reqTracer_->writeTrace(chips, path);
 }
 
-namespace
-{
-
-void
-fleetGauge(std::ostream &os, const std::string &metric,
-           const std::string &help, double v)
-{
-    os << "# HELP " << metric << " " << help << "\n";
-    os << "# TYPE " << metric << " gauge\n";
-    os << metric << " " << obs::promSampleValue(v) << "\n";
-}
-
-} // namespace
-
 void
 FleetServer::writePrometheus(std::ostream &os)
 {
@@ -231,26 +283,27 @@ FleetServer::writePrometheus(std::ostream &os)
         return;
 
     const serve::FleetReport &r = last_;
-    fleetGauge(os, "dtusim_fleet_devices", "devices in the fleet",
+    servingGauge(os, "dtusim_fleet_devices", "devices in the fleet",
                static_cast<double>(r.devices));
-    fleetGauge(os, "dtusim_fleet_submitted",
+    servingGauge(os, "dtusim_fleet_submitted",
                "requests the last serve submitted",
                static_cast<double>(r.fleet.submitted));
-    fleetGauge(os, "dtusim_fleet_requests",
+    servingGauge(os, "dtusim_fleet_requests",
                "requests the last serve completed",
                static_cast<double>(r.fleet.requests));
-    fleetGauge(os, "dtusim_fleet_achieved_qps",
+    servingGauge(os, "dtusim_fleet_achieved_qps",
                "fleet-wide sustained throughput",
                r.fleet.achievedQps);
-    fleetGauge(os, "dtusim_fleet_goodput_qps",
+    servingGauge(os, "dtusim_fleet_goodput_qps",
                "fleet-wide in-deadline throughput",
                r.fleet.goodputQps);
-    fleetGauge(os, "dtusim_fleet_latency_p50_ms",
+    servingGauge(os, "dtusim_fleet_latency_p50_ms",
                "fleet-wide median latency", r.fleet.p50Ms);
-    fleetGauge(os, "dtusim_fleet_latency_p99_ms",
+    servingGauge(os, "dtusim_fleet_latency_p99_ms",
                "fleet-wide tail latency", r.fleet.p99Ms);
-    fleetGauge(os, "dtusim_fleet_availability",
+    servingGauge(os, "dtusim_fleet_availability",
                "completed / submitted", r.fleet.availability);
+    writeGenerationGauges(os, "dtusim_fleet", r.fleet);
 
     const struct
     {

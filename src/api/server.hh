@@ -1,19 +1,20 @@
 /**
  * @file
- * The inference-server facade — the top of the redesigned host API.
+ * The inference-server facades — the top of the redesigned host API.
  *
- * A Server owns the serving pipeline over an open Device: clients
- * submit timestamped requests (or whole arrival traces from
- * serve/arrival.hh), serve() drains them through the dynamic batcher
- * onto the device's processing-group leases, and the returned
- * ServingReport carries the SLO picture (p50/p95/p99, goodput,
- * deadline misses, energy per request).
+ * Both facades implement the one generation-aware ServingFrontend
+ * interface: clients describe a request with a serve::RequestSpec
+ * (model, tenant, arrival, deadline, and optional GenerationParams —
+ * maxNewTokens == 0 is the classic one-shot case) and submit it the
+ * same way whether the backend is a single Device or a routed fleet.
  *
  *   Device device;
  *   Server server(device, {.batching = {.maxBatch = 8,
  *                                       .maxQueueDelay =
  *                                           secondsToTicks(2e-3)}});
- *   server.submit("resnet50", arrival, deadline);
+ *   server.submit({.model = "resnet50", .arrival = a, .deadline = d});
+ *   server.submit({.model = "gpt_tiny", .arrival = a,
+ *                  .gen = {.promptLen = 128, .maxNewTokens = 64}});
  *   server.submit(serve::poissonTrace("bert_large", 200, 64, seed));
  *   serve::ServingReport report = server.serve();
  *
@@ -27,6 +28,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -40,40 +42,37 @@
 namespace dtu
 {
 
-/** Request-level serving on top of a Device. */
-class Server
+/**
+ * The unified serving frontend: everything a client does to an
+ * inference service, independent of whether one Device or a routed
+ * fleet backs it. Both facades (Server, FleetServer) implement it,
+ * so load generators, benches, and tests drive either through the
+ * same handle — and a size-1 fleet is golden-tested to reproduce the
+ * single-device Server bit-for-bit through this interface.
+ */
+class ServingFrontend
 {
   public:
-    explicit Server(Device &device, serve::ServingConfig config = {});
+    virtual ~ServingFrontend() = default;
 
-    /**
-     * Submit one request.
-     * @param deadline absolute completion deadline (0 = no SLO).
-     * @return the assigned request id.
-     */
-    std::uint64_t submit(const std::string &model, Tick arrival,
-                         Tick deadline = 0);
+    /** Submit one request described by @p spec; returns its id. */
+    virtual std::uint64_t submit(const serve::RequestSpec &spec) = 0;
 
     /**
      * Submit a whole arrival trace (ids are reassigned so the
      * combined submission stream stays uniquely identified).
      */
-    void submit(const std::vector<serve::Request> &trace);
+    virtual void submit(const std::vector<serve::Request> &trace) = 0;
 
     /** Requests submitted and not yet served. */
-    std::size_t pending() const { return pending_.size(); }
+    virtual std::size_t pending() const = 0;
 
     /**
      * Drain everything submitted so far and return the aggregated
-     * report (also retained; see lastReport()). Subsequent submits
-     * start a fresh trace.
+     * serving report (the fleet facade aggregates across devices).
+     * Subsequent submits start a fresh trace.
      */
-    const serve::ServingReport &serve();
-
-    /** Report of the most recent serve(). */
-    const serve::ServingReport &lastReport() const { return last_; }
-
-    const serve::ServingConfig &config() const { return config_; }
+    virtual const serve::ServingReport &serve() = 0;
 
     /**
      * Attach a live SLO monitor to the serving pipeline: tumbling
@@ -83,10 +82,11 @@ class Server
      * is a configuration error; without it serving is bit-for-bit
      * unchanged.
      */
-    obs::SloMonitor &enableSloMonitor(obs::SloConfig config = {});
+    virtual obs::SloMonitor &
+    enableSloMonitor(obs::SloConfig config = {}) = 0;
 
     /** The attached monitor, or nullptr. */
-    obs::SloMonitor *sloMonitor() { return sloMon_.get(); }
+    virtual obs::SloMonitor *sloMonitor() = 0;
 
     /**
      * Attach a request-lifecycle tracer (obs/request_tracer.hh):
@@ -96,17 +96,83 @@ class Server
      * twice is a configuration error; without it serving is
      * bit-for-bit unchanged.
      */
-    obs::RequestTracer &
-    enableRequestTracing(obs::RequestTraceConfig config = {});
+    virtual obs::RequestTracer &
+    enableRequestTracing(obs::RequestTraceConfig config = {}) = 0;
 
     /** The attached tracer, or nullptr. */
-    obs::RequestTracer *requestTracer() { return reqTracer_.get(); }
+    virtual obs::RequestTracer *requestTracer() = 0;
+
+    /**
+     * Export chip stats plus serving gauges from the most recent
+     * serve() in Prometheus text exposition format.
+     */
+    virtual void writePrometheus(std::ostream &os) = 0;
+};
+
+/** Request-level serving on top of a Device. */
+class Server : public ServingFrontend
+{
+  public:
+    explicit Server(Device &device, serve::ServingConfig config = {});
+
+    /** Submit one request described by @p spec; returns its id. */
+    std::uint64_t submit(const serve::RequestSpec &spec) override;
+
+    /**
+     * @deprecated Positional one-shot submit, kept for source
+     * compatibility; use submit(RequestSpec) instead.
+     */
+    std::uint64_t submit(const std::string &model, Tick arrival,
+                         Tick deadline = 0);
+
+    /**
+     * Submit a whole arrival trace (ids are reassigned so the
+     * combined submission stream stays uniquely identified).
+     */
+    void submit(const std::vector<serve::Request> &trace) override;
+
+    /** Requests submitted and not yet served. */
+    std::size_t pending() const override { return pending_.size(); }
+
+    /**
+     * Drain everything submitted so far and return the aggregated
+     * report (also retained; see lastReport()). Subsequent submits
+     * start a fresh trace.
+     */
+    const serve::ServingReport &serve() override;
+
+    /** Report of the most recent serve(). */
+    const serve::ServingReport &lastReport() const { return last_; }
+
+    const serve::ServingConfig &config() const { return config_; }
+
+    obs::SloMonitor &
+    enableSloMonitor(obs::SloConfig config = {}) override;
+
+    /** The attached monitor, or nullptr. */
+    obs::SloMonitor *sloMonitor() override { return sloMon_.get(); }
+
+    obs::RequestTracer &
+    enableRequestTracing(obs::RequestTraceConfig config = {}) override;
+
+    /** The attached tracer, or nullptr. */
+    obs::RequestTracer *requestTracer() override
+    {
+        return reqTracer_.get();
+    }
 
     /**
      * Write the merged request + chip Chrome trace (requires
      * enableRequestTracing()).
      */
     void writeRequestTrace(const std::string &path);
+
+    /**
+     * Export the device's chip registry plus serving gauges (latency,
+     * goodput, and — when the run generated — tokens/s, TTFT/ITL
+     * tails, KV-cache occupancy) from the most recent serve().
+     */
+    void writePrometheus(std::ostream &os) override;
 
   private:
     Device &device_;
@@ -115,6 +181,7 @@ class Server
     std::vector<serve::Request> pending_;
     std::uint64_t nextId_ = 1;
     serve::ServingReport last_;
+    bool served_ = false;
     std::unique_ptr<obs::SloMonitor> sloMon_;
     std::unique_ptr<obs::RequestTracer> reqTracer_;
 };
@@ -133,32 +200,41 @@ class Server
  *
  * A size-1 fleet reproduces Server::serve() bit-for-bit.
  */
-class FleetServer
+class FleetServer : public ServingFrontend
 {
   public:
     /** Open @p config.devices devices of @p chip and front them. */
     explicit FleetServer(serve::FleetConfig config = {},
                          const DtuConfig &chip = dtu2Config());
 
+    /** Submit one request described by @p spec (routed at serve()
+     *  time); returns its id. */
+    std::uint64_t submit(const serve::RequestSpec &spec) override;
+
     /**
-     * Submit one request (routed at serve() time).
-     * @param deadline absolute completion deadline (0 = no SLO).
-     * @return the assigned request id.
+     * @deprecated Positional one-shot submit, kept for source
+     * compatibility; use submit(RequestSpec) instead.
      */
     std::uint64_t submit(const std::string &model, Tick arrival,
                          Tick deadline = 0);
 
     /** Submit a whole arrival trace (ids are reassigned). */
-    void submit(const std::vector<serve::Request> &trace);
+    void submit(const std::vector<serve::Request> &trace) override;
 
     /** Requests submitted and not yet served. */
-    std::size_t pending() const { return pending_.size(); }
+    std::size_t pending() const override { return pending_.size(); }
 
     /**
      * Drain everything submitted so far across the fleet and return
-     * the aggregated report (also retained; see lastReport()).
+     * the full per-device report (also retained; see lastReport()).
      */
-    const serve::FleetReport &serve();
+    const serve::FleetReport &serveFleet();
+
+    /** ServingFrontend view of serveFleet(): the fleet aggregate. */
+    const serve::ServingReport &serve() override
+    {
+        return serveFleet().fleet;
+    }
 
     /** Report of the most recent serve(). */
     const serve::FleetReport &lastReport() const { return last_; }
@@ -182,10 +258,11 @@ class FleetServer
      * from every device feed it in global event order. Enabling
      * twice is a configuration error.
      */
-    obs::SloMonitor &enableSloMonitor(obs::SloConfig config = {});
+    obs::SloMonitor &
+    enableSloMonitor(obs::SloConfig config = {}) override;
 
     /** The attached monitor, or nullptr. */
-    obs::SloMonitor *sloMonitor() { return sloMon_.get(); }
+    obs::SloMonitor *sloMonitor() override { return sloMon_.get(); }
 
     /**
      * Attach a request-lifecycle tracer fleet-wide: router choices,
@@ -195,10 +272,13 @@ class FleetServer
      * it serving is bit-for-bit unchanged.
      */
     obs::RequestTracer &
-    enableRequestTracing(obs::RequestTraceConfig config = {});
+    enableRequestTracing(obs::RequestTraceConfig config = {}) override;
 
     /** The attached tracer, or nullptr. */
-    obs::RequestTracer *requestTracer() { return reqTracer_.get(); }
+    obs::RequestTracer *requestTracer() override
+    {
+        return reqTracer_.get();
+    }
 
     /**
      * Attach the SLO flight recorder: a bounded ring of recent
@@ -233,7 +313,7 @@ class FleetServer
      * then fleet-aggregate and per-device serving gauges (labeled by
      * device) from the most recent serve().
      */
-    void writePrometheus(std::ostream &os);
+    void writePrometheus(std::ostream &os) override;
 
   private:
     serve::FleetConfig config_;

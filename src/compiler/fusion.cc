@@ -233,8 +233,14 @@ fuseGraph(const Graph &graph, DType dtype, FusionOptions options)
           case OpKind::Attention: {
             std::int64_t s = node.shape.dim(1);
             std::int64_t h = node.shape.dim(2);
+            // Score/context free dimension: the key-value context —
+            // the input's own sequence, extended by the KV-cache
+            // depth on autoregressive decode steps (S=1, context=L).
+            std::int64_t ctx = node.attrs.kvLen > 0
+                                   ? node.attrs.kvLen + s
+                                   : s;
             op.dimK = h / node.attrs.heads; // per-head reduction
-            op.dimN = s;
+            op.dimN = ctx;
             op.dimM = node.shape.dim(0) * node.attrs.heads * s;
             break;
           }

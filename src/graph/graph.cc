@@ -309,10 +309,25 @@ Graph::infer(Node &node)
         fatalIf(x.rank() != 3, "attention input must be [B, S, H]");
         std::int64_t b = x.dim(0), s = x.dim(1), h = x.dim(2);
         node.shape = x;
-        // scores: B*heads*S*S*(H/heads); context: same again.
-        node.macs = 2.0 * static_cast<double>(b) * s * s * h;
+        // Context length: the input's own sequence, or the KV-cache
+        // depth for autoregressive decode steps (where S is 1 but
+        // every past token's K/V participates).
+        const std::int64_t kv = node.attrs.kvLen > 0
+                                    ? node.attrs.kvLen + s
+                                    : s;
+        // scores: B*heads*S*KV*(H/heads); context: same again.
+        node.macs = 2.0 * static_cast<double>(b) * s * kv * h;
         node.laneOps =
-            6.0 * static_cast<double>(b) * node.attrs.heads * s * s;
+            6.0 * static_cast<double>(b) * node.attrs.heads * s * kv;
+        if (node.attrs.kvLen > 0) {
+            // The cached K and V tensors live in HBM and re-stream on
+            // every decode step; charging them as weightElems routes
+            // them through the executor's L3->L2 weight-fill path
+            // (per-execution streaming, stalls visible as DMA wait)
+            // rather than the L2-resident activation path.
+            node.weightElems =
+                2.0 * static_cast<double>(b) * node.attrs.kvLen * h;
+        }
         break;
       }
 

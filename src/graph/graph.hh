@@ -86,6 +86,15 @@ struct OpAttrs
     int factor = 2;
     /** Attention heads. */
     int heads = 1;
+    /**
+     * Autoregressive decode: attention over a KV-cache of this many
+     * past tokens instead of the input's own sequence. 0 keeps the
+     * classic self-attention S x S shape. The cached keys/values are
+     * HBM-resident activations that must stream in on every
+     * execution, so they are charged like weights (weightElems), not
+     * like L2-resident inputs.
+     */
+    std::int64_t kvLen = 0;
     /** Embedding table rows. */
     std::int64_t vocab = 0;
     /** Slice extent on `axis`. */

@@ -58,4 +58,57 @@ ScratchpadAllocator::bytesInUse() const
     return used;
 }
 
+PagePool::PagePool(std::string name, std::uint64_t page_bytes,
+                   std::uint64_t pages, MemLevel level, Addr base)
+    : name_(std::move(name)), level_(level), base_(base),
+      pageBytes_(page_bytes)
+{
+    fatalIf(pageBytes_ == 0, "page pool '", name_,
+            "' needs a nonzero page size");
+    fatalIf(pages == 0, "page pool '", name_,
+            "' needs at least one page");
+    allocated_.assign(pages, false);
+    // Seed the LIFO free list so the first allocations come out in
+    // ascending page order (freeList_.back() pops first).
+    freeList_.reserve(pages);
+    for (std::uint64_t p = pages; p-- > 0;)
+        freeList_.push_back(p);
+}
+
+std::optional<std::uint64_t>
+PagePool::allocatePage()
+{
+    if (freeList_.empty())
+        return std::nullopt;
+    std::uint64_t page = freeList_.back();
+    freeList_.pop_back();
+    allocated_[page] = true;
+    ++inUse_;
+    ++totalAllocated_;
+    peakInUse_ = std::max(peakInUse_, inUse_);
+    return page;
+}
+
+void
+PagePool::freePage(std::uint64_t page)
+{
+    fatalIf(page >= allocated_.size(), "page pool '", name_,
+            "': freeing page ", page, " of ", allocated_.size());
+    fatalIf(!allocated_[page], "page pool '", name_,
+            "': double free of page ", page);
+    allocated_[page] = false;
+    freeList_.push_back(page);
+    --inUse_;
+    ++totalFreed_;
+}
+
+double
+PagePool::occupancy() const
+{
+    return allocated_.empty()
+               ? 0.0
+               : static_cast<double>(inUse_) /
+                     static_cast<double>(allocated_.size());
+}
+
 } // namespace dtu

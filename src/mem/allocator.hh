@@ -83,6 +83,69 @@ class ScratchpadAllocator
     std::uint64_t remoteAllocations_ = 0;
 };
 
+/**
+ * A fixed-size-page pool over a contiguous region — the substrate
+ * for HBM-resident tensors with paged block allocation (the serving
+ * KV-cache). Unlike the phase-scoped ScratchpadAllocator bump
+ * allocator, pages free individually in any order: a LIFO free list
+ * keeps allocate/free O(1) and deterministic, fragmentation is
+ * structurally impossible, and a double free is a fatal() (it would
+ * silently alias two sequences' cache blocks).
+ */
+class PagePool
+{
+  public:
+    PagePool(std::string name, std::uint64_t page_bytes,
+             std::uint64_t pages, MemLevel level = MemLevel::L3,
+             Addr base = 0);
+
+    /** Allocate one page; nullopt when the pool is exhausted. */
+    std::optional<std::uint64_t> allocatePage();
+
+    /** Return @p page to the pool; fatal() on double free. */
+    void freePage(std::uint64_t page);
+
+    /** First byte of @p page. */
+    Addr pageAddress(std::uint64_t page) const
+    {
+        return base_ + page * pageBytes_;
+    }
+
+    const std::string &name() const { return name_; }
+    MemLevel level() const { return level_; }
+    std::uint64_t pageBytes() const { return pageBytes_; }
+    std::uint64_t capacityPages() const { return allocated_.size(); }
+    std::uint64_t capacityBytes() const
+    {
+        return capacityPages() * pageBytes_;
+    }
+    std::uint64_t pagesInUse() const { return inUse_; }
+    std::uint64_t pagesFree() const { return capacityPages() - inUse_; }
+    std::uint64_t bytesInUse() const { return inUse_ * pageBytes_; }
+    /** pagesInUse / capacityPages (0 for an empty pool). */
+    double occupancy() const;
+
+    /** High-water mark of pagesInUse over the pool's lifetime. */
+    std::uint64_t peakPagesInUse() const { return peakInUse_; }
+    /** Lifetime allocate / free counts (leak check: equal when idle). */
+    std::uint64_t totalAllocated() const { return totalAllocated_; }
+    std::uint64_t totalFreed() const { return totalFreed_; }
+
+  private:
+    std::string name_;
+    MemLevel level_;
+    Addr base_;
+    std::uint64_t pageBytes_;
+    /** Per-page in-use flag (the double-free check). */
+    std::vector<bool> allocated_;
+    /** LIFO free list: deterministic reuse order. */
+    std::vector<std::uint64_t> freeList_;
+    std::uint64_t inUse_ = 0;
+    std::uint64_t peakInUse_ = 0;
+    std::uint64_t totalAllocated_ = 0;
+    std::uint64_t totalFreed_ = 0;
+};
+
 } // namespace dtu
 
 #endif // DTU_MEM_ALLOCATOR_HH

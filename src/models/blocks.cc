@@ -135,7 +135,7 @@ darknetResidual(Graph &g, int in, const std::string &name,
 
 int
 transformerLayer(Graph &g, int in, const std::string &name, int hidden,
-                 int heads, int ff_hidden)
+                 int heads, int ff_hidden, std::int64_t kv_len)
 {
     // Self-attention sublayer.
     OpAttrs proj;
@@ -147,6 +147,7 @@ transformerLayer(Graph &g, int in, const std::string &name, int hidden,
     int q = g.add(OpKind::Slice, name + ".q", {qkv}, narrow);
     OpAttrs attn;
     attn.heads = heads;
+    attn.kvLen = kv_len;
     int ctx = g.add(OpKind::Attention, name + ".attention", {q}, attn);
     OpAttrs out_proj;
     out_proj.outFeatures = hidden;

@@ -48,10 +48,12 @@ int darknetResidual(Graph &g, int in, const std::string &name,
 /**
  * Transformer encoder layer over [B, S, H]: self-attention (QKV +
  * attention + projection) and a GELU MLP, both with residuals and
- * layer norms.
+ * layer norms. With @p kv_len > 0 the attention additionally reads a
+ * KV-cache of that many past tokens (the autoregressive decode-step
+ * shape: S is the new tokens, kv_len the resident context).
  */
 int transformerLayer(Graph &g, int in, const std::string &name, int hidden,
-                     int heads, int ff_hidden);
+                     int heads, int ff_hidden, std::int64_t kv_len = 0);
 
 } // namespace models
 } // namespace dtu

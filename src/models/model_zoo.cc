@@ -47,6 +47,12 @@ buildModel(const std::string &name, int batch)
         return buildBertLarge(batch);
     if (name == "conformer")
         return buildConformer(batch);
+    // Decoder models build as their prefill graph at a default prompt
+    // length, so model-oblivious paths (placement weight sizing,
+    // one-shot serving) keep working; the serving scheduler compiles
+    // the per-phase variants explicitly.
+    if (decoderSpec(name))
+        return buildDecoderPrefill(name, batch, /*prompt_len=*/128);
     fatal("unknown model '", name, "'");
 }
 

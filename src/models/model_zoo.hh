@@ -18,6 +18,8 @@
 #ifndef DTU_MODELS_MODEL_ZOO_HH
 #define DTU_MODELS_MODEL_ZOO_HH
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -52,6 +54,41 @@ Graph buildUnet(int batch = 1);
 Graph buildSrResnet(int batch = 1);
 Graph buildBertLarge(int batch = 1, int sequence = 384);
 Graph buildConformer(int batch = 1);
+
+//
+// GPT-style autoregressive decoders (LLM serving). Not Table III
+// models: they extend the zoo toward the decode loops dominating
+// cloud inference. A generation request runs one *prefill* graph
+// over the prompt, then one *decode-step* graph per emitted token
+// with the attention reading the KV-cache (OpAttrs::kvLen).
+//
+
+/** Architecture of one decoder model. */
+struct DecoderSpec
+{
+    std::string name;
+    int layers = 0;
+    int hidden = 0;
+    int heads = 0;
+    int ffHidden = 0;
+    int vocab = 0;
+};
+
+/** Spec for a decoder zoo name ("gpt_tiny", "gpt_small"); nullptr
+ *  when @p name is not a decoder model. */
+const DecoderSpec *decoderSpec(const std::string &name);
+
+/** Prompt-ingestion graph: full [batch, prompt_len] pass. */
+Graph buildDecoderPrefill(const std::string &name, int batch,
+                          int prompt_len);
+
+/** One decode step: [batch, 1] pass attending over @p kv_len cached
+ *  tokens (streamed from HBM). */
+Graph buildDecoderStep(const std::string &name, int batch, int kv_len);
+
+/** KV-cache bytes appended per generated token (K+V, every layer). */
+std::uint64_t kvBytesPerToken(const DecoderSpec &spec,
+                              std::size_t dtype_bytes);
 
 } // namespace models
 } // namespace dtu

@@ -1,10 +1,13 @@
 /**
  * @file
- * Sequence models: BERT-Large (NLP) and Conformer (speech).
+ * Sequence models: BERT-Large (NLP), Conformer (speech), and the
+ * GPT-style autoregressive decoders (LLM serving).
  */
 
 #include "models/blocks.hh"
 #include "models/model_zoo.hh"
+
+#include "sim/logging.hh"
 
 namespace dtu
 {
@@ -171,6 +174,96 @@ buildConformer(int batch)
     x = g.add(OpKind::Softmax, "softmax", {x}, softmax);
     g.markOutput(x);
     return g;
+}
+
+//
+// GPT-style decoders. The same pre-norm-ish transformer stack as
+// BERT (we reuse transformerLayer) but consumed autoregressively:
+// a compute-bound *prefill* pass embeds the whole prompt at once,
+// and per-token *decode* steps run the stack over a single position
+// while the attention streams the KV-cache of every past token from
+// HBM (OpAttrs::kvLen).
+//
+
+const DecoderSpec *
+decoderSpec(const std::string &name)
+{
+    // Two sizes: a tiny decoder that keeps tests and smoke runs fast,
+    // and a GPT-2-small-class model for the serving bench.
+    static const DecoderSpec tiny{"gpt_tiny", 4, 256, 4, 1024, 8192};
+    static const DecoderSpec small{"gpt_small", 12, 768, 12, 3072,
+                                   32000};
+    if (name == tiny.name)
+        return &tiny;
+    if (name == small.name)
+        return &small;
+    return nullptr;
+}
+
+namespace
+{
+
+/** Shared decoder stack: embedding -> layers -> last-token LM head. */
+Graph
+buildDecoder(const DecoderSpec &spec, int batch, int seq,
+             std::int64_t kv_len, const std::string &variant)
+{
+    Graph g(spec.name);
+    int ids = g.addInput("token_ids", Shape({batch, seq}));
+    OpAttrs embed;
+    embed.outFeatures = spec.hidden;
+    embed.vocab = spec.vocab;
+    embed.inputDensity = 0.05; // one-hot rows: highly sparse lookups
+    int x = g.add(OpKind::Embedding, "embedding", {ids}, embed);
+    x = g.add(OpKind::LayerNorm, "embedding.ln", {x});
+
+    for (int i = 0; i < spec.layers; ++i) {
+        x = transformerLayer(g, x, variant + ".layer" + std::to_string(i),
+                             spec.hidden, spec.heads, spec.ffHidden,
+                             kv_len);
+    }
+
+    // Only the last position's logits matter for sampling the next
+    // token; slicing before the LM head keeps prefill from paying a
+    // full seq x vocab projection it would throw away.
+    OpAttrs last;
+    last.axis = 1;
+    last.sliceLen = 1;
+    int tail = g.add(OpKind::Slice, "last_token", {x}, last);
+    OpAttrs head;
+    head.outFeatures = spec.vocab;
+    int logits = g.add(OpKind::Linear, "lm_head", {tail}, head);
+    g.markOutput(logits);
+    return g;
+}
+
+} // namespace
+
+Graph
+buildDecoderPrefill(const std::string &name, int batch, int prompt_len)
+{
+    const DecoderSpec *spec = decoderSpec(name);
+    fatalIf(!spec, "unknown decoder model '", name, "'");
+    fatalIf(prompt_len < 1, "decoder prefill needs prompt_len >= 1");
+    return buildDecoder(*spec, batch, prompt_len, /*kv_len=*/0,
+                        "prefill");
+}
+
+Graph
+buildDecoderStep(const std::string &name, int batch, int kv_len)
+{
+    const DecoderSpec *spec = decoderSpec(name);
+    fatalIf(!spec, "unknown decoder model '", name, "'");
+    fatalIf(kv_len < 1, "decoder step needs kv_len >= 1");
+    return buildDecoder(*spec, batch, /*seq=*/1, kv_len, "decode");
+}
+
+std::uint64_t
+kvBytesPerToken(const DecoderSpec &spec, std::size_t dtype_bytes)
+{
+    // One K and one V vector of `hidden` elements per layer per token.
+    return 2ull * static_cast<std::uint64_t>(spec.layers) *
+           static_cast<std::uint64_t>(spec.hidden) * dtype_bytes;
 }
 
 } // namespace models

@@ -94,20 +94,26 @@ FlightRecorder::writeDump(std::ostream &os, const std::string &reason,
 
     json.key("requests").beginArray();
     for (const RequestRecord &r : requests_) {
+        const serve::RequestOutcome &o = r.outcome;
         json.beginObject()
-            .field("id", r.id)
-            .field("model", r.model)
-            .field("device", static_cast<std::int64_t>(r.device))
-            .field("arrival_ticks", r.arrival)
-            .field("dispatched_ticks", r.dispatched)
-            .field("terminal_ticks", r.terminal)
-            .field("batch", static_cast<std::uint64_t>(r.batchSize))
-            .field("retries", static_cast<std::uint64_t>(r.retries))
+            .field("id", o.request.id)
+            .field("model", o.request.model)
+            .field("device", static_cast<std::int64_t>(o.device))
+            .field("arrival_ticks", o.request.arrival)
+            .field("dispatched_ticks", o.dispatched)
+            .field("terminal_ticks", o.completed)
+            .field("batch", static_cast<std::uint64_t>(o.batchSize))
+            .field("retries", static_cast<std::uint64_t>(o.retries))
             .field("executed", r.executed)
             .field("device_linked", r.deviceLinked)
-            .field("missed", r.missed)
-            .field("outcome", r.outcome)
-            .endObject();
+            .field("missed", o.missedDeadline())
+            .field("outcome", o.outcomeName());
+        if (o.request.generative()) {
+            json.field("first_token_ticks", o.firstToken)
+                .field("tokens_emitted",
+                       static_cast<std::uint64_t>(o.tokensEmitted));
+        }
+        json.endObject();
     }
     json.endArray();
 

@@ -27,6 +27,7 @@
 #include <string>
 
 #include "obs/fleet_metrics.hh"
+#include "serve/request.hh"
 #include "sim/ticks.hh"
 
 namespace dtu
@@ -34,29 +35,19 @@ namespace dtu
 namespace obs
 {
 
-/** One sampled request's fully resolved lifecycle. */
+/**
+ * One sampled request's fully resolved lifecycle: the scheduler's
+ * uniform RequestOutcome plus the two bits only the tracer knows.
+ * (This used to be a third parallel bookkeeping struct; now the
+ * outcome is the single source of truth.)
+ */
 struct RequestRecord
 {
-    std::uint64_t id = 0;
-    std::string model;
-    /** Device the request ran on (or was queued at); -1 unknown. */
-    int device = -1;
-    Tick arrival = 0;
-    /** Batch-formation time; 0 when the request never dispatched. */
-    Tick dispatched = 0;
-    /** Completion or drop time. */
-    Tick terminal = 0;
-    unsigned batchSize = 0;
-    /** Poisoned-batch re-executions its batch paid. */
-    unsigned retries = 0;
+    serve::RequestOutcome outcome;
     /** Reached device execution (false for queue-side drops). */
     bool executed = false;
     /** Flow-linked to at least one chip-level operator span. */
     bool deviceLinked = false;
-    /** Completed past its deadline. */
-    bool missed = false;
-    /** "completed" or a drop reason ("shed", "timed_out", ...). */
-    std::string outcome;
 };
 
 /** Ring capacities and the optional dump destination. */

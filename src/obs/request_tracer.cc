@@ -67,9 +67,7 @@ RequestTracer::recordFor(std::uint64_t id, const serve::Request &r)
     auto it = pending_.find(id);
     if (it == pending_.end()) {
         RequestRecord rec;
-        rec.id = id;
-        rec.model = r.model;
-        rec.arrival = r.arrival;
+        rec.outcome.request = r;
         it = pending_.emplace(id, std::move(rec)).first;
         ++sampledSeen_;
     }
@@ -82,7 +80,7 @@ RequestTracer::onRoute(unsigned device, const serve::Request &r)
     if (!sampled(r.id))
         return;
     RequestRecord &rec = recordFor(r.id, r);
-    rec.device = static_cast<int>(device);
+    rec.outcome.device = static_cast<int>(device);
     tracer_.instant(tracer_.track("fleet.router", "decisions"),
                     r.model + " #" + std::to_string(r.id) + " -> dev" +
                         std::to_string(device),
@@ -96,8 +94,8 @@ RequestTracer::onAdmit(unsigned device, const serve::Request &r)
     if (!sampled(r.id))
         return;
     RequestRecord &rec = recordFor(r.id, r);
-    if (rec.device < 0)
-        rec.device = static_cast<int>(device);
+    if (rec.outcome.device < 0)
+        rec.outcome.device = static_cast<int>(device);
 }
 
 void
@@ -124,16 +122,16 @@ RequestTracer::onBatchExecuted(unsigned device, Tracer &chip,
         if (!sampled(r.id))
             continue;
         RequestRecord &rec = recordFor(r.id, r);
-        rec.device = static_cast<int>(device);
+        rec.outcome.device = static_cast<int>(device);
         rec.executed = true;
-        rec.dispatched = dispatched;
-        rec.terminal = exec_end;
-        rec.batchSize = static_cast<unsigned>(batch.size());
-        rec.retries = retries;
+        rec.outcome.dispatched = dispatched;
+        rec.outcome.completed = exec_end;
+        rec.outcome.batchSize = static_cast<unsigned>(batch.size());
+        rec.outcome.retries = retries;
         rec.deviceLinked = rec.deviceLinked || linked;
         // The hop into the chip timeline: lands inside an operator
         // span of the batch this request rode in.
-        chip.flow(ops, rec.model + " #" + std::to_string(r.id),
+        chip.flow(ops, r.model + " #" + std::to_string(r.id),
                   "request-flow", link_ts, r.id, FlowPhase::Step);
     }
 }
@@ -141,46 +139,63 @@ RequestTracer::onBatchExecuted(unsigned device, Tracer &chip,
 void
 RequestTracer::finishRecord(RequestRecord &rec)
 {
-    const std::string proc = deviceProcess(rec.device);
+    const serve::RequestOutcome &o = rec.outcome;
+    const std::string proc = deviceProcess(o.device);
     const std::string name =
-        rec.model + " #" + std::to_string(rec.id);
+        o.request.model + " #" + std::to_string(o.request.id);
     const TrackId queue = tracer_.track(proc, "queue");
     const TrackId life = tracer_.track(proc, "lifecycle");
 
-    const Tick queue_end = rec.executed ? rec.dispatched : rec.terminal;
-    tracer_.span(queue, name, "trace.queue", rec.arrival, queue_end);
+    const Tick arrival = o.request.arrival;
+    const Tick queue_end = rec.executed ? o.dispatched : o.completed;
+    tracer_.span(queue, name, "trace.queue", arrival, queue_end);
     tracer_.flow(queue, name, "request-flow",
-                 midpoint(rec.arrival, queue_end), rec.id,
+                 midpoint(arrival, queue_end), o.request.id,
                  FlowPhase::Start);
 
     if (rec.executed) {
         const TrackId exec = tracer_.track(proc, "execute");
-        TraceArgs args{{"batch", static_cast<double>(rec.batchSize)}};
-        if (rec.retries)
+        TraceArgs args{{"batch", static_cast<double>(o.batchSize)}};
+        if (o.retries)
             args.emplace_back("retries",
-                              static_cast<double>(rec.retries));
-        tracer_.span(exec, name, "trace.execute", rec.dispatched,
-                     rec.terminal, std::move(args));
-        if (rec.retries) {
+                              static_cast<double>(o.retries));
+        tracer_.span(exec, name, "trace.execute", o.dispatched,
+                     o.completed, std::move(args));
+        // Generative lifecycles split the execution window into the
+        // compute-bound prefill (dispatch -> first token) and the
+        // bandwidth-bound decode loop (first token -> completion).
+        if (o.request.generative() && o.firstToken > o.dispatched &&
+            o.completed >= o.firstToken) {
+            tracer_.span(exec, "prefill " + name, "trace.prefill",
+                         o.dispatched, o.firstToken,
+                         {{"prompt_len", static_cast<double>(
+                                             o.request.gen.promptLen)}});
+            tracer_.span(exec, "decode " + name, "trace.decode",
+                         o.firstToken, o.completed,
+                         {{"tokens", static_cast<double>(
+                                         o.tokensEmitted)}});
+        }
+        if (o.retries) {
             tracer_.instant(exec, "batch-retry " + name, "trace.retry",
-                            midpoint(rec.dispatched, rec.terminal));
+                            midpoint(o.dispatched, o.completed));
         }
         tracer_.flow(exec, name, "request-flow",
-                     midpoint(rec.dispatched, rec.terminal), rec.id,
+                     midpoint(o.dispatched, o.completed), o.request.id,
                      FlowPhase::Step);
     }
 
-    tracer_.span(life, name, "trace.request", rec.arrival, rec.terminal,
+    tracer_.span(life, name, "trace.request", arrival, o.completed,
                  {{"latency_us",
-                   ticksToMicroSeconds(rec.terminal - rec.arrival)},
-                  {"batch", static_cast<double>(rec.batchSize)},
-                  {"missed", rec.missed ? 1.0 : 0.0}});
-    if (rec.outcome != "completed") {
-        tracer_.instant(life, rec.outcome + " " + name, "trace.drop",
-                        rec.terminal);
+                   ticksToMicroSeconds(o.completed - arrival)},
+                  {"batch", static_cast<double>(o.batchSize)},
+                  {"missed", o.missedDeadline() ? 1.0 : 0.0}});
+    if (!o.completedOk()) {
+        tracer_.instant(life,
+                        std::string(o.outcomeName()) + " " + name,
+                        "trace.drop", o.completed);
     }
     tracer_.flow(life, name, "request-flow",
-                 midpoint(rec.arrival, rec.terminal), rec.id,
+                 midpoint(arrival, o.completed), o.request.id,
                  FlowPhase::End);
 
     finished_.push_back(rec);
@@ -190,36 +205,37 @@ RequestTracer::finishRecord(RequestRecord &rec)
 
 void
 RequestTracer::onComplete(unsigned device,
-                          const serve::CompletedRequest &completed)
+                          const serve::RequestOutcome &completed)
 {
     const serve::Request &r = completed.request;
     if (!sampled(r.id))
         return;
     RequestRecord &rec = recordFor(r.id, r);
-    if (rec.device < 0)
-        rec.device = static_cast<int>(device);
+    const int routed = rec.outcome.device;
+    rec.outcome = completed;
+    if (rec.outcome.device < 0)
+        rec.outcome.device =
+            routed >= 0 ? routed : static_cast<int>(device);
     rec.executed = true;
-    rec.dispatched = completed.dispatched;
-    rec.terminal = completed.completed;
-    rec.batchSize = completed.batchSize;
-    rec.missed = completed.missedDeadline();
-    rec.outcome = "completed";
     finishRecord(rec);
     pending_.erase(r.id);
 }
 
 void
 RequestTracer::onDrop(unsigned device,
-                      const serve::DroppedRequest &dropped)
+                      const serve::RequestOutcome &dropped)
 {
     const serve::Request &r = dropped.request;
     if (!sampled(r.id))
         return;
     RequestRecord &rec = recordFor(r.id, r);
-    if (rec.device < 0)
-        rec.device = static_cast<int>(device);
-    rec.terminal = dropped.at;
-    rec.outcome = dropReasonName(dropped.reason);
+    const int routed = rec.outcome.device;
+    const bool executed = rec.executed;
+    rec.outcome = dropped;
+    if (rec.outcome.device < 0)
+        rec.outcome.device =
+            routed >= 0 ? routed : static_cast<int>(device);
+    rec.executed = executed;
     finishRecord(rec);
     pending_.erase(r.id);
 }

@@ -123,10 +123,10 @@ class RequestTracer
 
     /** Terminal state: @p completed finished on @p device. */
     void onComplete(unsigned device,
-                    const serve::CompletedRequest &completed);
+                    const serve::RequestOutcome &completed);
 
     /** Terminal state: @p dropped left @p device's pipeline. */
-    void onDrop(unsigned device, const serve::DroppedRequest &dropped);
+    void onDrop(unsigned device, const serve::RequestOutcome &dropped);
 
     //
     // Metric time-series.

@@ -58,7 +58,7 @@ SloMonitor::fireAlert(const SloAlert &alert)
 }
 
 void
-SloMonitor::recordCompletion(const serve::CompletedRequest &completed)
+SloMonitor::recordCompletion(const serve::RequestOutcome &completed)
 {
     PendingCompletion p;
     p.at = completed.completed;
@@ -71,9 +71,9 @@ SloMonitor::recordCompletion(const serve::CompletedRequest &completed)
 }
 
 void
-SloMonitor::recordDrop(const serve::DroppedRequest &dropped)
+SloMonitor::recordDrop(const serve::RequestOutcome &dropped)
 {
-    pendingDrops_.push_back(dropped.at);
+    pendingDrops_.push_back(dropped.completed);
     ++totalDropped_;
 }
 

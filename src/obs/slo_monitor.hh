@@ -120,10 +120,10 @@ class SloMonitor
     void addAlertListener(AlertCallback listener);
 
     /** Ingest one completed request (at its completion time). */
-    void recordCompletion(const serve::CompletedRequest &completed);
+    void recordCompletion(const serve::RequestOutcome &completed);
 
     /** Ingest one dropped request (at its drop time). */
-    void recordDrop(const serve::DroppedRequest &dropped);
+    void recordDrop(const serve::RequestOutcome &dropped);
 
     /**
      * Close every window that ends at or before @p now. Safe to call

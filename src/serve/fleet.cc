@@ -240,7 +240,7 @@ Fleet::serve(std::vector<Request> trace)
         if (next == kNever) {
             std::size_t stuck = 0;
             for (const auto &dev : devices_)
-                stuck += dev->queueDepth();
+                stuck += dev->queueDepth() + dev->decodeReadyCount();
             fatalIf(stuck != 0, "fleet serving deadlock: ", stuck,
                     " queued requests but no future event");
             break;
@@ -284,8 +284,8 @@ Fleet::serve(std::vector<Request> trace)
     // subset at the load it actually saw), then the fleet aggregate
     // over the merged logs — so fleet percentiles are true fleet-wide
     // order statistics, not an average of averages.
-    std::vector<CompletedRequest> all_completed;
-    std::vector<DroppedRequest> all_dropped;
+    std::vector<RequestOutcome> all_outcomes;
+    GenerationLog fleet_gen;
     std::uint64_t batches = 0;
     std::uint64_t retries = 0;
     std::uint64_t faults = 0;
@@ -300,13 +300,15 @@ Fleet::serve(std::vector<Request> trace)
         dev.weightLoads = devices_[i]->weightLoads();
         dev.weightLoadTicks = devices_[i]->weightLoadTicks();
         dev.weightLoadBytes = devices_[i]->weightLoadBytes();
+        // The raw generation log must be grabbed before finish()
+        // summarizes the device (finish moves the outcome log but
+        // leaves the generation counters readable; taking it here
+        // keeps the ordering obviously safe).
+        fleet_gen.merge(devices_[i]->generationLog());
         dev.report = devices_[i]->finish(offeredQps(routed[i]));
-        all_completed.insert(all_completed.end(),
-                             dev.report.completed.begin(),
-                             dev.report.completed.end());
-        all_dropped.insert(all_dropped.end(),
-                           dev.report.dropped.begin(),
-                           dev.report.dropped.end());
+        all_outcomes.insert(all_outcomes.end(),
+                            dev.report.outcomes.begin(),
+                            dev.report.outcomes.end());
         batches += dev.report.batches;
         retries += dev.report.batchRetries;
         faults += dev.report.faultsInjected;
@@ -314,10 +316,10 @@ Fleet::serve(std::vector<Request> trace)
         utilization += dev.report.groupUtilization;
         report.perDevice.push_back(std::move(dev));
     }
-    report.fleet = summarize(std::move(all_completed), offered,
+    report.fleet = summarize(std::move(all_outcomes), offered,
                              batches, joules,
                              utilization / static_cast<double>(n),
-                             std::move(all_dropped), retries, faults);
+                             retries, faults, std::move(fleet_gen));
     return report;
 }
 

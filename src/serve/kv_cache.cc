@@ -1,0 +1,112 @@
+#include "serve/kv_cache.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+namespace serve
+{
+
+KvCache::KvCache(KvCacheConfig config)
+    : config_(config),
+      pool_("kv_cache", config.pageBytes,
+            std::max<std::uint64_t>(1, config.budgetBytes /
+                                           std::max<std::uint64_t>(
+                                               1, config.pageBytes)))
+{
+    fatalIf(config_.pageBytes == 0, "KV-cache page size must be > 0");
+    fatalIf(config_.budgetBytes < config_.pageBytes,
+            "KV-cache budget (", config_.budgetBytes,
+            " B) smaller than one page (", config_.pageBytes, " B)");
+}
+
+std::uint64_t
+KvCache::tokensPerPage(std::uint64_t bytes_per_token) const
+{
+    fatalIf(bytes_per_token == 0, "KV bytes-per-token must be > 0");
+    fatalIf(bytes_per_token > config_.pageBytes,
+            "KV bytes-per-token (", bytes_per_token,
+            ") exceeds the page size (", config_.pageBytes,
+            " B); raise KvCacheConfig::pageBytes");
+    return config_.pageBytes / bytes_per_token;
+}
+
+std::uint64_t
+KvCache::pagesFor(std::uint64_t tokens,
+                  std::uint64_t bytes_per_token) const
+{
+    const std::uint64_t per_page = tokensPerPage(bytes_per_token);
+    return (tokens + per_page - 1) / per_page;
+}
+
+bool
+KvCache::fitsEver(std::uint64_t tokens,
+                  std::uint64_t bytes_per_token) const
+{
+    return pagesFor(tokens, bytes_per_token) <= pool_.capacityPages();
+}
+
+bool
+KvCache::fitsNow(std::uint64_t tokens,
+                 std::uint64_t bytes_per_token) const
+{
+    return pagesFor(tokens, bytes_per_token) <=
+           pool_.capacityPages() - reservedPages_;
+}
+
+bool
+KvCache::reserve(std::uint64_t id, std::uint64_t tokens,
+                 std::uint64_t bytes_per_token)
+{
+    fatalIf(seqs_.count(id), "KV-cache: sequence ", id,
+            " reserved twice");
+    const std::uint64_t pages = pagesFor(tokens, bytes_per_token);
+    if (pages > pool_.capacityPages() - reservedPages_)
+        return false;
+    Sequence seq;
+    seq.bytesPerToken = bytes_per_token;
+    seq.reservedPages = pages;
+    seqs_.emplace(id, std::move(seq));
+    reservedPages_ += pages;
+    peakReserved_ = std::max(peakReserved_, reservedPages_);
+    return true;
+}
+
+void
+KvCache::grow(std::uint64_t id, std::uint64_t tokens)
+{
+    auto it = seqs_.find(id);
+    fatalIf(it == seqs_.end(), "KV-cache: growing unknown sequence ",
+            id);
+    Sequence &seq = it->second;
+    const std::uint64_t need = pagesFor(tokens, seq.bytesPerToken);
+    fatalIf(need > seq.reservedPages, "KV-cache: sequence ", id,
+            " grew past its reservation (", need, " > ",
+            seq.reservedPages, " pages)");
+    while (seq.pages.size() < need) {
+        auto page = pool_.allocatePage();
+        // The reservation discipline makes exhaustion impossible:
+        // every live page is covered by some sequence's reservation
+        // and reservations never exceed the pool.
+        fatalIf(!page, "KV-cache: page pool exhausted despite "
+                       "reservations");
+        seq.pages.push_back(*page);
+    }
+}
+
+void
+KvCache::release(std::uint64_t id)
+{
+    auto it = seqs_.find(id);
+    fatalIf(it == seqs_.end(), "KV-cache: releasing unknown sequence ",
+            id);
+    for (std::uint64_t page : it->second.pages)
+        pool_.freePage(page);
+    reservedPages_ -= it->second.reservedPages;
+    seqs_.erase(it);
+}
+
+} // namespace serve
+} // namespace dtu

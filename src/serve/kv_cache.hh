@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The serving KV-cache: a first-class HBM-resident tensor with paged
+ * block allocation (vLLM-style), shared by every generation sequence
+ * on one device.
+ *
+ * Autoregressive decode keeps, per sequence, one K and one V vector
+ * per layer per past token. Those tensors dominate HBM footprint at
+ * high concurrency, so the scheduler treats them as the admission
+ * currency: a sequence *reserves* its worst-case pages (prompt plus
+ * every token it may still emit) before its prefill launches, grows
+ * into the reservation page by page as tokens are emitted, and frees
+ * everything the moment it completes (eviction-on-completion). The
+ * reservation discipline means a mid-flight sequence can never hit
+ * an out-of-pages condition — admission is the only place the budget
+ * is checked, and the scheduler queues or sheds when it is full.
+ *
+ * Built on mem/allocator's PagePool: fixed-size pages from a budget
+ * carved out of device HBM, LIFO reuse, double-free fatal. Distinct
+ * models share the pool; each sequence packs floor(pageBytes /
+ * bytesPerToken) tokens into a page.
+ */
+
+#ifndef DTU_SERVE_KV_CACHE_HH
+#define DTU_SERVE_KV_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mem/allocator.hh"
+
+namespace dtu
+{
+namespace serve
+{
+
+/** Sizing of one device's KV-cache pool. */
+struct KvCacheConfig
+{
+    /** HBM carved out for cached K/V tensors (the page budget). */
+    std::uint64_t budgetBytes = 1ull << 30;
+    /** Fixed page size; sequences pack whole tokens into pages. */
+    std::uint64_t pageBytes = 64 * 1024;
+};
+
+/** Paged per-sequence KV block allocator with admission reservation. */
+class KvCache
+{
+  public:
+    explicit KvCache(KvCacheConfig config = {});
+
+    const KvCacheConfig &config() const { return config_; }
+
+    /** Pages the pool can hold in total. */
+    std::uint64_t pageBudget() const { return pool_.capacityPages(); }
+
+    /** Tokens of @p bytes_per_token that fit in one page (>= 1?). */
+    std::uint64_t tokensPerPage(std::uint64_t bytes_per_token) const;
+
+    /** Pages a sequence of @p tokens needs at @p bytes_per_token. */
+    std::uint64_t pagesFor(std::uint64_t tokens,
+                           std::uint64_t bytes_per_token) const;
+
+    /**
+     * Whether a new sequence of worst-case @p tokens could ever /
+     * currently be admitted. "Ever": against the whole budget (a
+     * false forever-answer means reject, not queue). "Currently":
+     * against budget minus live reservations.
+     */
+    bool fitsEver(std::uint64_t tokens,
+                  std::uint64_t bytes_per_token) const;
+    bool fitsNow(std::uint64_t tokens,
+                 std::uint64_t bytes_per_token) const;
+
+    /**
+     * Reserve worst-case room for sequence @p id: @p tokens at
+     * @p bytes_per_token. Returns false (reserving nothing) when the
+     * un-reserved budget cannot hold it. fatal() on a duplicate id.
+     */
+    bool reserve(std::uint64_t id, std::uint64_t tokens,
+                 std::uint64_t bytes_per_token);
+
+    /**
+     * Grow sequence @p id's allocated pages to cover @p tokens
+     * (idempotent for already-covered lengths). fatal() when growth
+     * would exceed the sequence's reservation — the scheduler's
+     * admission math went wrong, not the workload.
+     */
+    void grow(std::uint64_t id, std::uint64_t tokens);
+
+    /** Eviction-on-completion: free @p id's pages + reservation. */
+    void release(std::uint64_t id);
+
+    /** Live sequences holding pages or reservations. */
+    std::size_t sequences() const { return seqs_.size(); }
+
+    /** Currently allocated (backed) pages / bytes. */
+    std::uint64_t pagesInUse() const { return pool_.pagesInUse(); }
+    std::uint64_t bytesInUse() const { return pool_.bytesInUse(); }
+    /** Currently reserved pages (allocated or not). */
+    std::uint64_t pagesReserved() const { return reservedPages_; }
+    /** pagesInUse / budget — the occupancy gauge. */
+    double occupancy() const { return pool_.occupancy(); }
+
+    /** High-water marks over the cache's lifetime. */
+    std::uint64_t peakPagesInUse() const
+    {
+        return pool_.peakPagesInUse();
+    }
+    std::uint64_t peakPagesReserved() const { return peakReserved_; }
+
+    /** Lifetime page allocate/free counts (leak check). */
+    std::uint64_t totalPagesAllocated() const
+    {
+        return pool_.totalAllocated();
+    }
+    std::uint64_t totalPagesFreed() const { return pool_.totalFreed(); }
+
+  private:
+    struct Sequence
+    {
+        std::uint64_t bytesPerToken = 0;
+        std::uint64_t reservedPages = 0;
+        std::vector<std::uint64_t> pages;
+    };
+
+    KvCacheConfig config_;
+    PagePool pool_;
+    std::map<std::uint64_t, Sequence> seqs_;
+    std::uint64_t reservedPages_ = 0;
+    std::uint64_t peakReserved_ = 0;
+};
+
+} // namespace serve
+} // namespace dtu
+
+#endif // DTU_SERVE_KV_CACHE_HH

@@ -21,11 +21,126 @@ dropReasonName(DropReason reason)
     return "?";
 }
 
+const char *
+PhaseBreakdown::dominant() const
+{
+    if (dmaTicks >= issueTicks && dmaTicks >= otherTicks)
+        return issueTicks + dmaTicks + otherTicks > 0.0 ? "dma" : "none";
+    if (issueTicks >= otherTicks)
+        return "issue";
+    return "other";
+}
+
+void
+PhaseBreakdown::add(const PhaseBreakdown &other)
+{
+    issueTicks += other.issueTicks;
+    dmaTicks += other.dmaTicks;
+    otherTicks += other.otherTicks;
+    macs += other.macs;
+    bytes += other.bytes;
+}
+
+void
+GenerationLog::merge(const GenerationLog &other)
+{
+    itlMs.insert(itlMs.end(), other.itlMs.begin(), other.itlMs.end());
+    prefillBatches += other.prefillBatches;
+    decodeSteps += other.decodeSteps;
+    tokens += other.tokens;
+    kvPageBudget += other.kvPageBudget;
+    // Page geometry is uniform across a fleet; keep the first seen.
+    kvPageBytes = kvPageBytes ? kvPageBytes : other.kvPageBytes;
+    kvPeakPages += other.kvPeakPages;
+    kvPeakReservedPages += other.kvPeakReservedPages;
+    kvPagesAllocated += other.kvPagesAllocated;
+    kvPagesFreed += other.kvPagesFreed;
+    kvPagesInUseAtEnd += other.kvPagesInUseAtEnd;
+    prefill.add(other.prefill);
+    decode.add(other.decode);
+}
+
+namespace
+{
+
+/**
+ * Fill a (histogram, p50/p95/p99/mean/max) block from raw samples.
+ * Zero samples leaves the NaN percentiles of an empty histogram,
+ * which the JSON writer renders as null.
+ */
+void
+summarizeSamples(const std::vector<double> &samples, Histogram &hist,
+                 double &p50, double &p95, double &p99, double &mean,
+                 double &max)
+{
+    double max_v = 0.0;
+    double sum = 0.0;
+    for (double s : samples) {
+        max_v = std::max(max_v, s);
+        sum += s;
+    }
+    hist.init(0.0, std::max(max_v, 1e-9) * 1.001, 512);
+    for (double s : samples)
+        hist.sample(s);
+    p50 = hist.percentile(0.50);
+    p95 = hist.percentile(0.95);
+    p99 = hist.percentile(0.99);
+    mean = samples.empty()
+               ? 0.0
+               : sum / static_cast<double>(samples.size());
+    max = max_v;
+}
+
+/** Derive the GenerationReport from the raw log + outcome list. */
+void
+summarizeGeneration(ServingReport &report, const GenerationLog &gen)
+{
+    if (!gen.any())
+        return;
+    report.hasGeneration = true;
+    GenerationReport &g = report.generation;
+    g.prefillBatches = gen.prefillBatches;
+    g.decodeSteps = gen.decodeSteps;
+    g.tokens = gen.tokens;
+    g.kvPageBudget = gen.kvPageBudget;
+    g.kvPageBytes = gen.kvPageBytes;
+    g.kvPeakPages = gen.kvPeakPages;
+    g.kvPeakReservedPages = gen.kvPeakReservedPages;
+    g.kvPagesAllocated = gen.kvPagesAllocated;
+    g.kvPagesFreed = gen.kvPagesFreed;
+    g.kvPagesInUseAtEnd = gen.kvPagesInUseAtEnd;
+    g.kvPeakOccupancy =
+        gen.kvPageBudget
+            ? static_cast<double>(gen.kvPeakPages) /
+                  static_cast<double>(gen.kvPageBudget)
+            : 0.0;
+    g.prefill = gen.prefill;
+    g.decode = gen.decode;
+
+    std::vector<double> ttft;
+    for (const RequestOutcome &r : report.outcomes) {
+        if (!r.completedOk() || !r.request.generative())
+            continue;
+        ++g.requests;
+        ttft.push_back(ticksToMilliSeconds(r.ttft()));
+    }
+    summarizeSamples(ttft, g.ttftMsHistogram, g.ttftP50Ms, g.ttftP95Ms,
+                     g.ttftP99Ms, g.ttftMeanMs, g.ttftMaxMs);
+    summarizeSamples(gen.itlMs, g.itlMsHistogram, g.itlP50Ms,
+                     g.itlP95Ms, g.itlP99Ms, g.itlMeanMs, g.itlMaxMs);
+
+    double seconds = ticksToSeconds(report.makespan);
+    if (seconds > 0.0)
+        g.tokensPerSecond = static_cast<double>(g.tokens) / seconds;
+}
+
+} // namespace
+
 ServingReport
-summarize(std::vector<CompletedRequest> completed, double offered_qps,
+summarize(std::vector<RequestOutcome> outcomes, double offered_qps,
           std::uint64_t batches, double joules,
-          double group_utilization, std::vector<DroppedRequest> dropped,
-          std::uint64_t batch_retries, std::uint64_t faults_injected)
+          double group_utilization, std::uint64_t batch_retries,
+          std::uint64_t faults_injected, GenerationLog gen)
 {
     ServingReport report;
     report.offeredQps = offered_qps;
@@ -35,31 +150,31 @@ summarize(std::vector<CompletedRequest> completed, double offered_qps,
     report.batchRetries = batch_retries;
     report.faultsInjected = faults_injected;
 
-    std::sort(dropped.begin(), dropped.end(),
-              [](const DroppedRequest &a, const DroppedRequest &b) {
-                  if (a.at != b.at)
-                      return a.at < b.at;
+    // One sort covers both populations: completions were logged with
+    // their completion time in `completed` and drops with the drop
+    // decision time, so (terminal time, id) is the deterministic
+    // order for each — and filtering the merged log preserves it.
+    std::sort(outcomes.begin(), outcomes.end(),
+              [](const RequestOutcome &a, const RequestOutcome &b) {
+                  if (a.completed != b.completed)
+                      return a.completed < b.completed;
                   return a.request.id < b.request.id;
               });
-    for (const DroppedRequest &d : dropped) {
-        switch (d.reason) {
+    std::uint64_t dropped = 0;
+    for (const RequestOutcome &r : outcomes) {
+        if (r.completedOk())
+            continue;
+        ++dropped;
+        switch (r.dropReason) {
           case DropReason::Rejected: ++report.rejectedRequests; break;
           case DropReason::Shed: ++report.shedRequests; break;
           case DropReason::TimedOut: ++report.timedOutRequests; break;
           case DropReason::Failed: ++report.failedRequests; break;
         }
     }
-    report.dropped = std::move(dropped);
-
-    std::sort(completed.begin(), completed.end(),
-              [](const CompletedRequest &a, const CompletedRequest &b) {
-                  if (a.completed != b.completed)
-                      return a.completed < b.completed;
-                  return a.request.id < b.request.id;
-              });
-    report.completed = std::move(completed);
-    report.requests = report.completed.size();
-    report.submitted = report.requests + report.dropped.size();
+    report.outcomes = std::move(outcomes);
+    report.submitted = report.outcomes.size();
+    report.requests = report.submitted - dropped;
     report.availability =
         report.submitted
             ? static_cast<double>(report.requests) /
@@ -77,6 +192,7 @@ summarize(std::vector<CompletedRequest> completed, double offered_qps,
         report.p50Ms = report.latencyMsHistogram.percentile(0.50);
         report.p95Ms = report.latencyMsHistogram.percentile(0.95);
         report.p99Ms = report.latencyMsHistogram.percentile(0.99);
+        summarizeGeneration(report, gen);
         return report;
     }
 
@@ -84,7 +200,9 @@ summarize(std::vector<CompletedRequest> completed, double offered_qps,
     double sum_ms = 0.0;
     double sum_queue_ms = 0.0;
     double sum_exec_ms = 0.0;
-    for (const CompletedRequest &r : report.completed) {
+    for (const RequestOutcome &r : report.outcomes) {
+        if (!r.completedOk())
+            continue;
         report.makespan = std::max(report.makespan, r.completed);
         max_ms = std::max(max_ms, ticksToMilliSeconds(r.latency()));
         sum_ms += ticksToMilliSeconds(r.latency());
@@ -123,12 +241,15 @@ summarize(std::vector<CompletedRequest> completed, double offered_qps,
     // resolution, then percentile() interpolates inside the bucket.
     report.latencyMsHistogram.init(0.0, std::max(max_ms, 1e-9) * 1.001,
                                    512);
-    for (const CompletedRequest &r : report.completed)
-        report.latencyMsHistogram.sample(
-            ticksToMilliSeconds(r.latency()));
+    for (const RequestOutcome &r : report.outcomes) {
+        if (r.completedOk())
+            report.latencyMsHistogram.sample(
+                ticksToMilliSeconds(r.latency()));
+    }
     report.p50Ms = report.latencyMsHistogram.percentile(0.50);
     report.p95Ms = report.latencyMsHistogram.percentile(0.95);
     report.p99Ms = report.latencyMsHistogram.percentile(0.99);
+    summarizeGeneration(report, gen);
     return report;
 }
 
@@ -140,6 +261,26 @@ writeJson(const ServingReport &report, std::ostream &os,
     writeJson(report, json, per_request);
     os << "\n";
 }
+
+namespace
+{
+
+void
+writePhaseJson(JsonWriter &json, const char *key,
+               const PhaseBreakdown &phase)
+{
+    json.key(key).beginObject();
+    json.field("issue_ticks", phase.issueTicks)
+        .field("dma_ticks", phase.dmaTicks)
+        .field("other_ticks", phase.otherTicks)
+        .field("macs", phase.macs)
+        .field("bytes", phase.bytes)
+        .field("intensity_ops_per_byte", phase.intensityOpsPerByte())
+        .field("dominant", phase.dominant());
+    json.endObject();
+}
+
+} // namespace
 
 void
 writeJson(const ServingReport &report, JsonWriter &json,
@@ -174,6 +315,42 @@ writeJson(const ServingReport &report, JsonWriter &json,
         .field("batch_retries", report.batchRetries)
         .field("faults_injected", report.faultsInjected);
 
+    // The generation section exists only for runs that generated, so
+    // a one-shot run's JSON is byte-identical to the pre-generation
+    // format (the checked-in goldens pin that).
+    if (report.hasGeneration) {
+        const GenerationReport &g = report.generation;
+        json.key("generation").beginObject();
+        json.field("requests", g.requests)
+            .field("tokens", g.tokens)
+            .field("prefill_batches", g.prefillBatches)
+            .field("decode_steps", g.decodeSteps)
+            .field("tokens_per_second", g.tokensPerSecond)
+            .field("ttft_p50_ms", g.ttftP50Ms)
+            .field("ttft_p95_ms", g.ttftP95Ms)
+            .field("ttft_p99_ms", g.ttftP99Ms)
+            .field("ttft_mean_ms", g.ttftMeanMs)
+            .field("ttft_max_ms", g.ttftMaxMs)
+            .field("itl_p50_ms", g.itlP50Ms)
+            .field("itl_p95_ms", g.itlP95Ms)
+            .field("itl_p99_ms", g.itlP99Ms)
+            .field("itl_mean_ms", g.itlMeanMs)
+            .field("itl_max_ms", g.itlMaxMs);
+        json.key("kv_cache").beginObject();
+        json.field("page_bytes", g.kvPageBytes)
+            .field("page_budget", g.kvPageBudget)
+            .field("peak_pages", g.kvPeakPages)
+            .field("peak_reserved_pages", g.kvPeakReservedPages)
+            .field("pages_allocated", g.kvPagesAllocated)
+            .field("pages_freed", g.kvPagesFreed)
+            .field("pages_in_use_at_end", g.kvPagesInUseAtEnd)
+            .field("peak_occupancy", g.kvPeakOccupancy);
+        json.endObject();
+        writePhaseJson(json, "prefill", g.prefill);
+        writePhaseJson(json, "decode", g.decode);
+        json.endObject();
+    }
+
     json.key("missed_ids").beginArray();
     for (std::uint64_t id : report.missedIds)
         json.value(id);
@@ -190,7 +367,9 @@ writeJson(const ServingReport &report, JsonWriter &json,
 
     if (per_request) {
         json.key("requests_detail").beginArray();
-        for (const CompletedRequest &r : report.completed) {
+        for (const RequestOutcome &r : report.outcomes) {
+            if (!r.completedOk())
+                continue;
             json.beginObject()
                 .field("id", r.request.id)
                 .field("model", r.request.model)
@@ -206,22 +385,31 @@ writeJson(const ServingReport &report, JsonWriter &json,
                 .field("queue_wait_ms",
                        ticksToMilliSeconds(r.queueWait()))
                 .field("batch_size", r.batchSize)
-                .field("missed", r.missedDeadline())
-                .endObject();
+                .field("missed", r.missedDeadline());
+            if (r.request.generative()) {
+                json.field("prompt_len", r.request.gen.promptLen)
+                    .field("tokens_emitted", r.tokensEmitted)
+                    .field("ttft_ms", ticksToMilliSeconds(r.ttft()))
+                    .field("decode_span_ms",
+                           ticksToMilliSeconds(r.decodeSpan()));
+            }
+            json.endObject();
         }
         json.endArray();
 
         json.key("dropped_detail").beginArray();
-        for (const DroppedRequest &d : report.dropped) {
+        for (const RequestOutcome &r : report.outcomes) {
+            if (r.completedOk())
+                continue;
             json.beginObject()
-                .field("id", d.request.id)
-                .field("model", d.request.model)
+                .field("id", r.request.id)
+                .field("model", r.request.model)
                 .field("arrival_ms",
-                       ticksToMilliSeconds(d.request.arrival))
+                       ticksToMilliSeconds(r.request.arrival))
                 .field("deadline_ms",
-                       ticksToMilliSeconds(d.request.deadline))
-                .field("dropped_ms", ticksToMilliSeconds(d.at))
-                .field("reason", dropReasonName(d.reason))
+                       ticksToMilliSeconds(r.request.deadline))
+                .field("dropped_ms", ticksToMilliSeconds(r.completed))
+                .field("reason", dropReasonName(r.dropReason))
                 .endObject();
         }
         json.endArray();

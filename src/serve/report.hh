@@ -28,6 +28,119 @@ class JsonWriter;
 namespace serve
 {
 
+/**
+ * Where one generation phase's simulated time went, summed over the
+ * operators of every execution in that phase. A coarse top-down
+ * split (obs/topdown.hh does the per-core version): issue = the
+ * tensor/vector engines were the limiter, dma = weight/KV streaming
+ * or activation DMA was, other = launch + kernel-load overheads.
+ */
+struct PhaseBreakdown
+{
+    double issueTicks = 0.0;
+    double dmaTicks = 0.0;
+    double otherTicks = 0.0;
+    /** MACs and DRAM-level bytes, for the roofline placement. */
+    double macs = 0.0;
+    double bytes = 0.0;
+
+    double totalTicks() const
+    {
+        return issueTicks + dmaTicks + otherTicks;
+    }
+    /** Arithmetic intensity in ops/byte (2 ops per MAC). */
+    double intensityOpsPerByte() const
+    {
+        return bytes > 0.0 ? 2.0 * macs / bytes : 0.0;
+    }
+    /** "issue", "dma", or "other" — the dominant category. */
+    const char *dominant() const;
+
+    void add(const PhaseBreakdown &other);
+};
+
+/**
+ * Raw per-run generation bookkeeping the scheduler hands to
+ * summarize() alongside the outcome log: inter-token-latency samples
+ * (one per emitted decode token; per-request percentiles would hide
+ * the cross-batch distribution), phase counters, KV-cache gauges,
+ * and the per-phase time split.
+ */
+struct GenerationLog
+{
+    /** One sample per decode-step token emission, in ms. */
+    std::vector<double> itlMs;
+    std::uint64_t prefillBatches = 0;
+    std::uint64_t decodeSteps = 0;
+    /** Tokens emitted across all sequences (first tokens included). */
+    std::uint64_t tokens = 0;
+
+    //
+    // KV-cache occupancy (pages of the device pool).
+    //
+    std::uint64_t kvPageBudget = 0;
+    std::uint64_t kvPageBytes = 0;
+    std::uint64_t kvPeakPages = 0;
+    std::uint64_t kvPeakReservedPages = 0;
+    std::uint64_t kvPagesAllocated = 0;
+    std::uint64_t kvPagesFreed = 0;
+    /** Pages still held when the run drained (0 == no leak). */
+    std::uint64_t kvPagesInUseAtEnd = 0;
+
+    PhaseBreakdown prefill;
+    PhaseBreakdown decode;
+
+    bool any() const { return prefillBatches || decodeSteps; }
+    /** Fleet aggregation: fold another device's log into this one. */
+    void merge(const GenerationLog &other);
+};
+
+/** Generation-phase metrics (present when the run generated). */
+struct GenerationReport
+{
+    /** Generative requests completed. */
+    std::uint64_t requests = 0;
+    /** Tokens emitted by completed generative requests. */
+    std::uint64_t tokens = 0;
+    std::uint64_t prefillBatches = 0;
+    std::uint64_t decodeSteps = 0;
+    /** Emitted tokens per second of serving makespan. */
+    double tokensPerSecond = 0.0;
+
+    /** Time-to-first-token over completed generative requests. */
+    Histogram ttftMsHistogram;
+    double ttftP50Ms = 0.0;
+    double ttftP95Ms = 0.0;
+    double ttftP99Ms = 0.0;
+    double ttftMeanMs = 0.0;
+    double ttftMaxMs = 0.0;
+
+    /** Inter-token latency over every emitted decode token. */
+    Histogram itlMsHistogram;
+    double itlP50Ms = 0.0;
+    double itlP95Ms = 0.0;
+    double itlP99Ms = 0.0;
+    double itlMeanMs = 0.0;
+    double itlMaxMs = 0.0;
+
+    //
+    // KV-cache occupancy.
+    //
+    std::uint64_t kvPageBudget = 0;
+    std::uint64_t kvPageBytes = 0;
+    std::uint64_t kvPeakPages = 0;
+    std::uint64_t kvPeakReservedPages = 0;
+    std::uint64_t kvPagesAllocated = 0;
+    std::uint64_t kvPagesFreed = 0;
+    std::uint64_t kvPagesInUseAtEnd = 0;
+    /** kvPeakPages / kvPageBudget. */
+    double kvPeakOccupancy = 0.0;
+
+    /** Prefill-vs-decode top-down split (the roofline contrast). */
+    PhaseBreakdown prefill;
+    PhaseBreakdown decode;
+};
+
 /** Aggregated serving metrics over one drained request trace. */
 struct ServingReport
 {
@@ -100,33 +213,39 @@ struct ServingReport
     /** completed / submitted; 1.0 when nothing was submitted. */
     double availability = 1.0;
 
-    /** Every completed request, ordered by completion then id. */
-    std::vector<CompletedRequest> completed;
-    /** Every dropped request, ordered by drop time then id. */
-    std::vector<DroppedRequest> dropped;
+    /**
+     * Every request's terminal record — completions and drops in one
+     * log, ordered by terminal time then id.
+     */
+    std::vector<RequestOutcome> outcomes;
+
+    /** True when the run served at least one generative request. */
+    bool hasGeneration = false;
+    /** Generation metrics; meaningful only when hasGeneration. */
+    GenerationReport generation;
 };
 
 /**
- * Build a report from the scheduler's raw completion log.
- * @param completed per-request outcomes (any order).
+ * Build a report from the scheduler's raw outcome log.
+ * @param outcomes per-request terminal records (any order).
  * @param offered_qps the trace's offered load.
  * @param batches dynamic batches launched.
  * @param joules energy drawn between serve start and last completion.
  * @param group_utilization lease occupancy from the ResourceManager.
- * @param dropped requests the scheduler gave up on (any order).
  * @param batch_retries poisoned-batch re-executions.
  * @param faults_injected faults scheduled during the run.
+ * @param gen generation bookkeeping (ignored when gen.any() is false).
  *
  * Every ratio is guarded: a run that completes zero requests (all
  * shed, timed out, or failed) reports zero QPS/means instead of
  * dividing by zero.
  */
-ServingReport summarize(std::vector<CompletedRequest> completed,
+ServingReport summarize(std::vector<RequestOutcome> outcomes,
                         double offered_qps, std::uint64_t batches,
                         double joules, double group_utilization,
-                        std::vector<DroppedRequest> dropped = {},
                         std::uint64_t batch_retries = 0,
-                        std::uint64_t faults_injected = 0);
+                        std::uint64_t faults_injected = 0,
+                        GenerationLog gen = {});
 
 /**
  * Serialize a report as JSON: the summary scalars, the miss set,

@@ -1,0 +1,76 @@
+#include "serve/request.hh"
+
+namespace dtu
+{
+namespace serve
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: a well-mixed pure hash, no RNG state. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+unsigned
+Request::targetNewTokens() const
+{
+    if (gen.maxNewTokens == 0)
+        return 0;
+    if (gen.stop == StopPolicy::MaxTokens)
+        return gen.maxNewTokens;
+    // EosHash: a deterministic "EOS fired" length in
+    // [1, maxNewTokens], pure in the request id.
+    return 1 + static_cast<unsigned>(mix64(id) % gen.maxNewTokens);
+}
+
+Request
+makeRequest(const RequestSpec &spec, std::uint64_t id)
+{
+    Request r;
+    r.id = id;
+    r.model = spec.model;
+    r.arrival = spec.arrival;
+    r.deadline = spec.deadline;
+    r.tenant = spec.tenant;
+    r.gen = spec.gen;
+    return r;
+}
+
+const char *
+terminalStateName(TerminalState state)
+{
+    switch (state) {
+      case TerminalState::Completed: return "completed";
+      case TerminalState::Shed: return "shed";
+      case TerminalState::Expired: return "expired";
+      case TerminalState::Faulted: return "faulted";
+    }
+    return "?";
+}
+
+TerminalState
+terminalStateFor(DropReason reason)
+{
+    switch (reason) {
+      case DropReason::Rejected:
+      case DropReason::Shed:
+        return TerminalState::Shed;
+      case DropReason::TimedOut:
+        return TerminalState::Expired;
+      case DropReason::Failed:
+        return TerminalState::Faulted;
+    }
+    return TerminalState::Shed;
+}
+
+} // namespace serve
+} // namespace dtu

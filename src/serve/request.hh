@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
@@ -27,7 +28,53 @@ namespace dtu
 namespace serve
 {
 
-/** One inference request as submitted by a client. */
+/** When does a generation sequence stop emitting tokens? */
+enum class StopPolicy
+{
+    /** Emit exactly maxNewTokens tokens. */
+    MaxTokens,
+    /**
+     * Emit a deterministic pseudo-random count in [1, maxNewTokens],
+     * hashed from the request id — the simulator's stand-in for an
+     * EOS token, giving ragged sequence lengths without RNG state.
+     */
+    EosHash,
+};
+
+/**
+ * Autoregressive generation parameters. maxNewTokens == 0 is the
+ * degenerate one-shot case: the request is a single feed-forward
+ * pass (classic zoo inference) and promptLen/stop are ignored.
+ */
+struct GenerationParams
+{
+    /** Prompt tokens ingested by the prefill pass. */
+    unsigned promptLen = 0;
+    /** Upper bound on generated tokens; 0 = one-shot request. */
+    unsigned maxNewTokens = 0;
+    StopPolicy stop = StopPolicy::MaxTokens;
+};
+
+/**
+ * Everything a client specifies when submitting a request — the one
+ * submission shape both serving facades accept (api/server.hh).
+ * One-shot and generation traffic flow through the same struct;
+ * gen.maxNewTokens distinguishes them.
+ */
+struct RequestSpec
+{
+    /** Zoo model name ("resnet50", "gpt_tiny", ...). */
+    std::string model;
+    /** Optional client/tenant tag, carried through to the outcome. */
+    std::string tenant;
+    /** Simulated arrival time. */
+    Tick arrival = 0;
+    /** Absolute completion deadline; 0 means no SLO. */
+    Tick deadline = 0;
+    GenerationParams gen;
+};
+
+/** One inference request as tracked by the scheduler. */
 struct Request
 {
     /** Unique id; finalizeTrace() assigns them in arrival order. */
@@ -38,7 +85,29 @@ struct Request
     Tick arrival = 0;
     /** Absolute completion deadline; 0 means no SLO. */
     Tick deadline = 0;
+    /** Optional client/tenant tag (informational). */
+    std::string tenant;
+    GenerationParams gen;
+
+    /** True for autoregressive requests (prefill + decode loop). */
+    bool generative() const { return gen.maxNewTokens > 0; }
+
+    /**
+     * Tokens this request will actually emit (>= 1), applying the
+     * stop policy. Pure function of (id, gen), so admission can
+     * reserve exact KV room up front.
+     */
+    unsigned targetNewTokens() const;
+
+    /** The spec this request was made from (id stripped). */
+    RequestSpec spec() const
+    {
+        return RequestSpec{model, tenant, arrival, deadline, gen};
+    }
 };
+
+/** Build a Request from @p spec with @p id. */
+Request makeRequest(const RequestSpec &spec, std::uint64_t id);
 
 /** Why the scheduler dropped a request instead of completing it. */
 enum class DropReason
@@ -56,32 +125,83 @@ enum class DropReason
 /** Stable lowercase name for JSON/logs. */
 const char *dropReasonName(DropReason reason);
 
-/** A request the scheduler gave up on. */
-struct DroppedRequest
+/** How a request left the system. */
+enum class TerminalState
 {
-    Request request;
-    /** Simulated time of the drop decision. */
-    Tick at = 0;
-    DropReason reason = DropReason::Shed;
+    /** Finished successfully (in or out of deadline). */
+    Completed,
+    /** Load-shed before execution (admission reject or deadline
+     *  shed — see RequestOutcome::dropReason for which). */
+    Shed,
+    /** The per-request queue timeout expired before dispatch. */
+    Expired,
+    /** Lost to a hardware fault (poisoned batch, retries spent). */
+    Faulted,
 };
 
-/** A request after the scheduler finished it. */
-struct CompletedRequest
+/** Stable lowercase name for JSON/logs. */
+const char *terminalStateName(TerminalState state);
+
+/** The coarse terminal state a drop reason maps to. */
+TerminalState terminalStateFor(DropReason reason);
+
+/**
+ * The uniform terminal record of one request — completion and drop,
+ * one-shot and generation, single device and fleet all produce this
+ * one shape. Consumed by the ServingReport, the SLO monitor, the
+ * request tracer, and the flight recorder (which used to keep three
+ * parallel bookkeeping structs).
+ */
+struct RequestOutcome
 {
     Request request;
-    /** When the batch containing this request launched. */
-    Tick dispatched = 0;
-    /** When the batch finished (request completion time). */
-    Tick completed = 0;
-    /** Size of the dynamic batch the request rode in. */
-    unsigned batchSize = 0;
+    TerminalState state = TerminalState::Completed;
+    /** Fine-grained drop cause; meaningful when state != Completed. */
+    DropReason dropReason = DropReason::Shed;
+    /** Fleet device the request terminated on; -1 unknown. */
+    int device = -1;
 
+    //
+    // Per-phase timestamps. A drop before dispatch leaves
+    // dispatched == firstToken == 0; a one-shot completion has
+    // firstToken == completed.
+    //
+    /** When the batch/prefill containing this request launched. */
+    Tick dispatched = 0;
+    /** Prefill completion — the time-to-first-token reference. */
+    Tick firstToken = 0;
+    /** Terminal time: completion, or the drop decision. */
+    Tick completed = 0;
+
+    /** Size of the dynamic batch the request dispatched in. */
+    unsigned batchSize = 0;
+    /** Poisoned-batch re-executions its batch paid. */
+    unsigned retries = 0;
+    /** Tokens emitted (first token included); 0 for one-shot. */
+    unsigned tokensEmitted = 0;
+
+    bool completedOk() const
+    {
+        return state == TerminalState::Completed;
+    }
+    /** Reached execution (drops before dispatch never did). */
+    bool executed() const { return dispatched != 0 || completedOk(); }
     Tick latency() const { return completed - request.arrival; }
     Tick queueWait() const { return dispatched - request.arrival; }
     Tick execTime() const { return completed - dispatched; }
+    /** Arrival -> first token (== latency for one-shot requests). */
+    Tick ttft() const { return firstToken - request.arrival; }
+    /** First token -> completion (the decode phase span). */
+    Tick decodeSpan() const { return completed - firstToken; }
     bool missedDeadline() const
     {
-        return request.deadline != 0 && completed > request.deadline;
+        return completedOk() && request.deadline != 0 &&
+               completed > request.deadline;
+    }
+    /** "completed" or the fine-grained drop reason. */
+    const char *outcomeName() const
+    {
+        return completedOk() ? "completed" : dropReasonName(dropReason);
     }
 };
 
@@ -120,6 +240,31 @@ class RequestQueue
         return it == queues_.end() || it->second.empty()
                    ? 0
                    : it->second.front().arrival;
+    }
+
+    /** The oldest queued request for @p model; nullptr when empty. */
+    const Request *
+    front(const std::string &model) const
+    {
+        auto it = queues_.find(model);
+        return it == queues_.end() || it->second.empty()
+                   ? nullptr
+                   : &it->second.front();
+    }
+
+    /**
+     * Re-enqueue @p requests at @p model's FIFO head, preserving
+     * their relative order — the launch pass backed out of admitting
+     * them (e.g. they did not fit the KV budget this pass).
+     */
+    void
+    pushFront(const std::string &model, std::vector<Request> requests)
+    {
+        auto &fifo = queues_[model];
+        fifo.insert(fifo.begin(),
+                    std::make_move_iterator(requests.begin()),
+                    std::make_move_iterator(requests.end()));
+        size_ += requests.size();
     }
 
     /** Models with at least one queued request, alphabetical. */

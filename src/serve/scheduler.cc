@@ -10,6 +10,7 @@
 #include "serve/arrival.hh"
 #include "sim/logging.hh"
 #include "sim/tracer.hh"
+#include "tensor/dtype.hh"
 
 namespace dtu
 {
@@ -20,6 +21,18 @@ namespace
 {
 
 constexpr Tick kNever = std::numeric_limits<Tick>::max();
+
+/** The per-request completion span, shared by every terminal path. */
+void
+requestSpan(Tracer &tracer, TrackId track, const std::string &model,
+            const RequestOutcome &c)
+{
+    tracer.span(track, model + " #" + std::to_string(c.request.id),
+                "request", c.request.arrival, c.completed,
+                {{"queue_wait_us", ticksToMicroSeconds(c.queueWait())},
+                 {"batch", static_cast<double>(c.batchSize)},
+                 {"missed", c.missedDeadline() ? 1.0 : 0.0}});
+}
 
 } // namespace
 
@@ -37,6 +50,10 @@ Scheduler::Scheduler(Dtu &dtu, ResourceManager &manager,
                     dtu_.config().groupsPerCluster,
             "groups per batch must be 1..",
             dtu_.config().groupsPerCluster);
+    fatalIf(config_.generation.maxDecodeBatch == 0,
+            "decode batch size must be at least 1");
+    fatalIf(config_.generation.ctxBucket == 0,
+            "generation context bucket must be at least 1");
 
     // The first scheduler on a chip owns the chip-level degradation
     // counters; further schedulers (the registry rejects duplicate
@@ -75,15 +92,100 @@ Scheduler::plan(const std::string &model, unsigned batch)
     return it->second;
 }
 
+const ExecutionPlan &
+Scheduler::prefillPlan(const std::string &model, unsigned batch,
+                       unsigned prompt)
+{
+    PlanCache &cache = plans();
+    auto key = std::make_pair(model + "@p" + std::to_string(prompt),
+                              batch);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        Graph graph = models::buildDecoderPrefill(
+            model, static_cast<int>(batch), static_cast<int>(prompt));
+        it = cache
+                 .emplace(key, compile(graph, dtu_.config(),
+                                       config_.dtype,
+                                       config_.groupsPerBatch, {},
+                                       static_cast<int>(batch)))
+                 .first;
+    }
+    return it->second;
+}
+
+const ExecutionPlan &
+Scheduler::decodePlan(const std::string &model, unsigned batch,
+                      unsigned ctx)
+{
+    PlanCache &cache = plans();
+    auto key = std::make_pair(model + "@d" + std::to_string(ctx),
+                              batch);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        Graph graph = models::buildDecoderStep(
+            model, static_cast<int>(batch), static_cast<int>(ctx));
+        it = cache
+                 .emplace(key, compile(graph, dtu_.config(),
+                                       config_.dtype,
+                                       config_.groupsPerBatch, {},
+                                       static_cast<int>(batch)))
+                 .first;
+    }
+    return it->second;
+}
+
+unsigned
+Scheduler::bucketLen(unsigned len) const
+{
+    const unsigned bucket = config_.generation.ctxBucket;
+    return ((std::max(len, 1u) + bucket - 1) / bucket) * bucket;
+}
+
+std::uint64_t
+Scheduler::bytesPerTokenFor(const std::string &model)
+{
+    auto it = kvBytesPerToken_.find(model);
+    if (it == kvBytesPerToken_.end()) {
+        const models::DecoderSpec *spec = models::decoderSpec(model);
+        fatalIf(!spec, "'", model, "' is not a decoder model");
+        it = kvBytesPerToken_
+                 .emplace(model, models::kvBytesPerToken(
+                                     *spec, dtypeBytes(config_.dtype)))
+                 .first;
+    }
+    return it->second;
+}
+
+std::uint64_t
+Scheduler::kvTokens(const Request &r) const
+{
+    return static_cast<std::uint64_t>(r.gen.promptLen) +
+           r.targetNewTokens();
+}
+
+KvCache &
+Scheduler::ensureKv()
+{
+    if (!kv_)
+        kv_ = std::make_unique<KvCache>(config_.generation.kv);
+    return *kv_;
+}
+
 void
 Scheduler::begin(Tick start, const std::map<std::string, unsigned> *future)
 {
     (void)start;
     future_ = future;
     queue_ = RequestQueue();
+    genQueue_ = RequestQueue();
     active_.clear();
-    completed_.clear();
-    dropped_.clear();
+    decoding_.clear();
+    decodeReady_.clear();
+    outcomes_.clear();
+    completedN_ = 0;
+    droppedN_ = 0;
+    kv_.reset();
+    genLog_ = GenerationLog();
     batches_ = 0;
     batchRetries_ = 0;
     nextTenant_ = config_.tenantBase;
@@ -103,6 +205,7 @@ Scheduler::begin(Tick start, const std::map<std::string, unsigned> *future)
         tracer.setEnabled(true);
     timeline_ = tracer.enabled();
     placeTrackMade_ = false;
+    decodeTrackMade_ = false;
     if (timeline_) {
         reqTrack_ = tracer.track("serve", "requests");
         batchTrack_ = tracer.track("serve", "batches");
@@ -138,7 +241,10 @@ Scheduler::placeModel(const std::string &model, Tick now, double gbps)
         weightReady_[model] = 0;
         return;
     }
-    const std::uint64_t bytes = plan(model, 1).totalWeightBytes();
+    const bool decoder = models::decoderSpec(model) != nullptr;
+    const std::uint64_t bytes =
+        decoder ? prefillPlan(model, 1, bucketLen(1)).totalWeightBytes()
+                : plan(model, 1).totalWeightBytes();
     const Tick load =
         secondsToTicks(static_cast<double>(bytes) / (gbps * 1e9));
     const Tick start = std::max(loadCursor_, now);
@@ -178,13 +284,47 @@ Scheduler::outstanding() const
     std::size_t inflight = 0;
     for (const ActiveBatch &b : active_)
         inflight += b.requests.size();
-    return queue_.size() + inflight;
+    for (const DecodeBatch &b : decoding_)
+        inflight += b.seqs.size();
+    return queueDepth() + decodeReadyCount() + inflight;
+}
+
+std::size_t
+Scheduler::inFlightBatches() const
+{
+    std::size_t stepping = 0;
+    for (const DecodeBatch &b : decoding_) {
+        if (b.inStep)
+            ++stepping;
+    }
+    return active_.size() + stepping;
+}
+
+std::size_t
+Scheduler::decodeReadyCount() const
+{
+    std::size_t waiting = 0;
+    for (const auto &[model, seqs] : decodeReady_)
+        waiting += seqs.size();
+    return waiting;
 }
 
 void
-Scheduler::drop(const Request &r, Tick at, DropReason reason)
+Scheduler::complete(RequestOutcome outcome)
 {
-    switch (reason) {
+    lastCompletion_ = std::max(lastCompletion_, outcome.completed);
+    if (sloMon_)
+        sloMon_->recordCompletion(outcome);
+    if (reqTracer_)
+        reqTracer_->onComplete(deviceId_, outcome);
+    outcomes_.push_back(std::move(outcome));
+    ++completedN_;
+}
+
+void
+Scheduler::dropOutcome(RequestOutcome outcome)
+{
+    switch (outcome.dropReason) {
       case DropReason::Rejected: ++rejectedStat_; break;
       case DropReason::Shed: ++shedStat_; break;
       case DropReason::TimedOut: ++timedOutStat_; break;
@@ -193,15 +333,28 @@ Scheduler::drop(const Request &r, Tick at, DropReason reason)
     if (timeline_) {
         dtu_.tracer().instant(
             dropTrack_,
-            std::string(dropReasonName(reason)) + " #" +
-                std::to_string(r.id),
-            "degradation", at);
+            std::string(dropReasonName(outcome.dropReason)) + " #" +
+                std::to_string(outcome.request.id),
+            "degradation", outcome.completed);
     }
-    dropped_.push_back({r, at, reason});
     if (sloMon_)
-        sloMon_->recordDrop(dropped_.back());
+        sloMon_->recordDrop(outcome);
     if (reqTracer_)
-        reqTracer_->onDrop(deviceId_, dropped_.back());
+        reqTracer_->onDrop(deviceId_, outcome);
+    outcomes_.push_back(std::move(outcome));
+    ++droppedN_;
+}
+
+void
+Scheduler::drop(const Request &r, Tick at, DropReason reason)
+{
+    RequestOutcome o;
+    o.request = r;
+    o.state = terminalStateFor(reason);
+    o.dropReason = reason;
+    o.device = static_cast<int>(deviceId_);
+    o.completed = at;
+    dropOutcome(std::move(o));
 }
 
 void
@@ -212,12 +365,30 @@ Scheduler::admit(const Request &r)
     // depth.
     const DegradationPolicy &degrade = config_.degradation;
     if (degrade.admissionLimit != 0 &&
-        queue_.size() >= degrade.admissionLimit) {
+        queueDepth() >= degrade.admissionLimit) {
         drop(r, r.arrival, DropReason::Rejected);
         return;
     }
-    queue_.push(r);
-    peakQueue_ = std::max(peakQueue_, queue_.size());
+    if (r.generative()) {
+        fatalIf(!models::decoderSpec(r.model),
+                "generative request #", r.id, " targets '", r.model,
+                "', which is not a decoder model");
+        fatalIf(r.gen.promptLen == 0, "generative request #", r.id,
+                " has an empty prompt");
+        // KV admission: a sequence whose worst-case footprint
+        // (prompt + every token it could emit) exceeds the whole
+        // pool can never run — queueing would deadlock, so it is
+        // bounced like an over-limit arrival.
+        if (!ensureKv().fitsEver(kvTokens(r),
+                                 bytesPerTokenFor(r.model))) {
+            drop(r, r.arrival, DropReason::Rejected);
+            return;
+        }
+        genQueue_.push(r);
+    } else {
+        queue_.push(r);
+    }
+    peakQueue_ = std::max(peakQueue_, queueDepth());
     if (reqTracer_)
         reqTracer_->onAdmit(deviceId_, r);
 }
@@ -226,6 +397,8 @@ Scheduler::admit(const Request &r)
 // deadline already passed (they could only waste a lease) or whose
 // queue wait hit the cap. Deadline arithmetic saturates: a timeout
 // configured near maxTick means "never", not a wrapped instant drop.
+// Queued generative requests hold no KV pages yet, so the sweep
+// needs no release.
 void
 Scheduler::dropExpired(Tick at)
 {
@@ -236,17 +409,20 @@ Scheduler::dropExpired(Tick at)
         return degrade.shedExpired && r.deadline != 0 &&
                r.deadline <= at;
     };
-    std::vector<Request> victims =
-        queue_.removeIf([&](const Request &r) {
-            if (expired(r))
-                return true;
-            return degrade.requestTimeout != 0 &&
-                   at >= saturatingAddTicks(r.arrival,
-                                            degrade.requestTimeout);
-        });
-    for (const Request &r : victims) {
-        drop(r, at,
-             expired(r) ? DropReason::Shed : DropReason::TimedOut);
+    for (RequestQueue *queue : {&queue_, &genQueue_}) {
+        std::vector<Request> victims =
+            queue->removeIf([&](const Request &r) {
+                if (expired(r))
+                    return true;
+                return degrade.requestTimeout != 0 &&
+                       at >= saturatingAddTicks(
+                                 r.arrival, degrade.requestTimeout);
+            });
+        for (const Request &r : victims) {
+            drop(r, at,
+                 expired(r) ? DropReason::Shed
+                            : DropReason::TimedOut);
+        }
     }
 }
 
@@ -267,6 +443,119 @@ Scheduler::shouldLaunch(const std::string &model, Tick now) const
                                   config_.batching.maxQueueDelay))
         return true;
     return futureCount(model) == 0;
+}
+
+// The same rule over the generation queue (prefill launches).
+bool
+Scheduler::shouldLaunchGen(const std::string &model, Tick now) const
+{
+    std::size_t depth = genQueue_.sizeFor(model);
+    if (depth == 0)
+        return false;
+    if (weightReadyAt(model) > now)
+        return false;
+    if (depth >= config_.batching.maxBatchFor(model))
+        return true;
+    if (now >= saturatingAddTicks(genQueue_.oldestArrival(model),
+                                  config_.batching.maxQueueDelay))
+        return true;
+    return futureCount(model) == 0;
+}
+
+Scheduler::BatchRun
+Scheduler::executeBatch(const ExecutionPlan &p,
+                        const std::vector<Request> &riders,
+                        const std::vector<unsigned> &groups, Tick now,
+                        unsigned max_retries, bool record_ops,
+                        const std::string &model)
+{
+    // A batch carrying a sampled request records its chip-side
+    // operator spans (the flow-arrow targets) even when the user
+    // left the chip timeline off; the op trace supplies the flow
+    // anchor. Recording is observation only — simulated timing is
+    // unchanged.
+    bool sampled_batch = false;
+    if (reqTracer_) {
+        for (const Request &q : riders) {
+            if (reqTracer_->sampled(q.id)) {
+                sampled_batch = true;
+                break;
+            }
+        }
+    }
+    ExecOptions exec_opts = config_.exec;
+    if (sampled_batch)
+        exec_opts.trace = true;
+    if (record_ops)
+        exec_opts.trace = true;
+    Executor executor(dtu_, groups, exec_opts);
+    // Poisoned executions (uncorrectable ECC, exhausted DMA retries)
+    // re-run on the same lease up to max_retries times; the lease is
+    // held across retries so the re-execution cannot be starved by
+    // new admissions.
+    BatchRun run;
+    Tick launch_at = now;
+    {
+        ScopedTracerEnable chip_scope(dtu_.tracer(), sampled_batch);
+        for (;;) {
+            std::uint64_t before =
+                faults_ ? faults_->poisonCount() : 0;
+            run.result = executor.run(p, launch_at);
+            run.poisoned =
+                faults_ && faults_->poisonCount() > before;
+            if (!run.poisoned || run.retries >= max_retries)
+                break;
+            ++run.retries;
+            ++batchRetries_;
+            ++retryStat_;
+            launch_at = run.result.end;
+            if (timeline_) {
+                dtu_.tracer().instant(
+                    dropTrack_, "batch-retry " + model,
+                    "degradation", launch_at);
+            }
+        }
+        if (sampled_batch) {
+            // Flow anchor: the midpoint of the first operator span
+            // of the final execution.
+            const ExecResult &r = run.result;
+            Tick link =
+                r.trace.empty()
+                    ? launch_at + (r.end - launch_at) / 2
+                    : r.trace.front().start +
+                          (r.trace.front().end -
+                           r.trace.front().start) /
+                              2;
+            reqTracer_->onBatchExecuted(deviceId_, dtu_.tracer(),
+                                        riders, now, r.end, link,
+                                        run.retries);
+        }
+    }
+    run.end = run.result.end;
+    return run;
+}
+
+void
+Scheduler::accumulatePhase(PhaseBreakdown &phase,
+                           const ExecResult &result)
+{
+    for (const OpTrace &op : result.trace) {
+        const double compute = static_cast<double>(op.computeTicks);
+        const double act_dma = static_cast<double>(
+            std::max(op.dmaInTicks, op.dmaOutTicks));
+        phase.issueTicks += compute;
+        // Memory time: weight-stream stalls, DMA the pipeline could
+        // not hide, and activation DMA overhanging the compute it
+        // was double-buffered against.
+        phase.dmaTicks += static_cast<double>(op.weightStallTicks) +
+                          static_cast<double>(op.unhiddenTicks) +
+                          std::max(0.0, act_dma - compute);
+        phase.otherTicks +=
+            static_cast<double>(op.launchTicks) +
+            static_cast<double>(op.kernelStallTicks);
+        phase.macs += op.macs;
+        phase.bytes += op.bytes;
+    }
 }
 
 void
@@ -298,47 +587,211 @@ Scheduler::advanceCompletions(Tick upto)
                                   static_cast<double>(b.retries));
             if (b.failed)
                 args.emplace_back("failed", 1.0);
-            tracer.span(batchTrack_, b.model, "serving-batch",
-                        b.dispatched, b.end, std::move(args));
+            tracer.span(batchTrack_,
+                        b.prefill ? b.model + " prefill" : b.model,
+                        "serving-batch", b.dispatched, b.end,
+                        std::move(args));
+        }
+        if (b.prefill) {
+            retirePrefill(b);
+            continue;
         }
         if (b.failed) {
             // Retries ran out with the execution still poisoned:
             // the whole batch's results are suspect and every rider
             // fails together.
-            for (const Request &r : b.requests)
-                drop(r, b.end, DropReason::Failed);
+            for (const Request &r : b.requests) {
+                RequestOutcome o;
+                o.request = r;
+                o.state = TerminalState::Faulted;
+                o.dropReason = DropReason::Failed;
+                o.device = static_cast<int>(deviceId_);
+                o.dispatched = b.dispatched;
+                o.completed = b.end;
+                o.batchSize = size;
+                o.retries = b.retries;
+                dropOutcome(std::move(o));
+            }
             continue;
         }
         for (const Request &r : b.requests) {
-            CompletedRequest c;
+            RequestOutcome c;
             c.request = r;
+            c.device = static_cast<int>(deviceId_);
             c.dispatched = b.dispatched;
+            c.firstToken = b.end;
             c.completed = b.end;
             c.batchSize = size;
-            if (timeline_) {
-                tracer.span(
-                    reqTrack_,
-                    b.model + " #" + std::to_string(r.id),
-                    "request", r.arrival, b.end,
-                    {{"queue_wait_us",
-                      ticksToMicroSeconds(c.queueWait())},
-                     {"batch", static_cast<double>(size)},
-                     {"missed",
-                      c.missedDeadline() ? 1.0 : 0.0}});
-            }
-            if (sloMon_)
-                sloMon_->recordCompletion(c);
-            if (reqTracer_)
-                reqTracer_->onComplete(deviceId_, c);
-            completed_.push_back(std::move(c));
+            c.retries = b.retries;
+            if (timeline_)
+                requestSpan(tracer, reqTrack_, b.model, c);
+            complete(std::move(c));
         }
     }
+    advanceDecode(upto);
+}
+
+void
+Scheduler::retirePrefill(const ActiveBatch &b)
+{
+    KvCache &kv = *kv_;
+    Tracer &tracer = dtu_.tracer();
+    const auto size = static_cast<unsigned>(b.requests.size());
+    if (b.failed) {
+        // A poisoned prefill leaves no trustworthy KV state: the
+        // riders fail here and their reservations free immediately.
+        for (const Request &r : b.requests) {
+            kv.release(r.id);
+            RequestOutcome o;
+            o.request = r;
+            o.state = TerminalState::Faulted;
+            o.dropReason = DropReason::Failed;
+            o.device = static_cast<int>(deviceId_);
+            o.dispatched = b.dispatched;
+            o.completed = b.end;
+            o.batchSize = size;
+            o.retries = b.retries;
+            dropOutcome(std::move(o));
+        }
+        return;
+    }
+    for (const Request &r : b.requests) {
+        // Prefill materializes the prompt's KV pages plus the first
+        // generated token.
+        kv.grow(r.id, r.gen.promptLen + 1);
+        ++genLog_.tokens;
+        const unsigned target = r.targetNewTokens();
+        if (target <= 1) {
+            // Single-token generation: the first token is also the
+            // last, no decode step needed.
+            kv.release(r.id);
+            RequestOutcome o;
+            o.request = r;
+            o.device = static_cast<int>(deviceId_);
+            o.dispatched = b.dispatched;
+            o.firstToken = b.end;
+            o.completed = b.end;
+            o.batchSize = size;
+            o.retries = b.retries;
+            o.tokensEmitted = 1;
+            if (timeline_)
+                requestSpan(tracer, reqTrack_, b.model, o);
+            complete(std::move(o));
+            continue;
+        }
+        DecodeSeq seq;
+        seq.request = r;
+        seq.dispatched = b.dispatched;
+        seq.firstToken = b.end;
+        seq.lastToken = b.end;
+        seq.prefillBatchSize = size;
+        seq.retries = b.retries;
+        seq.emitted = 1;
+        seq.target = target;
+        decodeReady_[b.model].push_back(std::move(seq));
+    }
+}
+
+void
+Scheduler::advanceDecode(Tick upto)
+{
+    if (decoding_.empty())
+        return;
+    // Deterministic retirement order across batches: (stepEnd,
+    // tenant), matching the one-shot completion sort.
+    std::vector<DecodeBatch *> due;
+    for (DecodeBatch &b : decoding_) {
+        if (b.inStep && b.stepEnd <= upto)
+            due.push_back(&b);
+    }
+    std::sort(due.begin(), due.end(),
+              [](const DecodeBatch *a, const DecodeBatch *b) {
+                  if (a->stepEnd != b->stepEnd)
+                      return a->stepEnd < b->stepEnd;
+                  return a->tenant < b->tenant;
+              });
+    Tracer &tracer = dtu_.tracer();
+    for (DecodeBatch *bp : due) {
+        DecodeBatch &b = *bp;
+        b.inStep = false;
+        ++genLog_.decodeSteps;
+        if (b.stepPoisoned) {
+            // The decode loop does not retry poisoned steps: the KV
+            // state behind them is suspect, so every rider fails
+            // together at the step end.
+            for (DecodeSeq &seq : b.seqs) {
+                kv_->release(seq.request.id);
+                RequestOutcome o;
+                o.request = seq.request;
+                o.state = TerminalState::Faulted;
+                o.dropReason = DropReason::Failed;
+                o.device = static_cast<int>(deviceId_);
+                o.dispatched = seq.dispatched;
+                o.firstToken = seq.firstToken;
+                o.completed = b.stepEnd;
+                o.batchSize = seq.prefillBatchSize;
+                o.retries = seq.retries;
+                o.tokensEmitted = seq.emitted;
+                dropOutcome(std::move(o));
+            }
+            b.seqs.clear();
+        } else {
+            std::vector<DecodeSeq> live;
+            live.reserve(b.seqs.size());
+            for (DecodeSeq &seq : b.seqs) {
+                ++seq.emitted;
+                ++genLog_.tokens;
+                genLog_.itlMs.push_back(
+                    ticksToMilliSeconds(b.stepEnd - seq.lastToken));
+                seq.lastToken = b.stepEnd;
+                kv_->grow(seq.request.id,
+                          seq.request.gen.promptLen + seq.emitted);
+                if (seq.emitted >= seq.target) {
+                    // Finished: pages free immediately, and in
+                    // continuous mode the slot is joinable at the
+                    // very next settle.
+                    kv_->release(seq.request.id);
+                    RequestOutcome o;
+                    o.request = seq.request;
+                    o.device = static_cast<int>(deviceId_);
+                    o.dispatched = seq.dispatched;
+                    o.firstToken = seq.firstToken;
+                    o.completed = b.stepEnd;
+                    o.batchSize = seq.prefillBatchSize;
+                    o.retries = seq.retries;
+                    o.tokensEmitted = seq.emitted;
+                    if (timeline_)
+                        requestSpan(tracer, reqTrack_, b.model, o);
+                    complete(std::move(o));
+                } else {
+                    live.push_back(std::move(seq));
+                }
+            }
+            b.seqs = std::move(live);
+        }
+        if (b.seqs.empty()) {
+            manager_.release(b.tenant, b.stepEnd);
+            b.tenant = -1; // marks the batch retired
+        }
+    }
+    decoding_.erase(std::remove_if(decoding_.begin(), decoding_.end(),
+                                   [](const DecodeBatch &b) {
+                                       return b.tenant < 0;
+                                   }),
+                    decoding_.end());
 }
 
 void
 Scheduler::settle(Tick now)
 {
     dropExpired(now);
+    launchOneShots(now);
+    launchGeneration(now);
+}
+
+void
+Scheduler::launchOneShots(Tick now)
+{
     const DegradationPolicy &degrade = config_.degradation;
     // Launch everything launchable at the current time. The model
     // scan restarts after every pass so a freed lease can host the
@@ -357,78 +810,17 @@ Scheduler::settle(Tick now)
                     model, config_.batching.maxBatchFor(model));
                 const ExecutionPlan &p = plan(
                     model, static_cast<unsigned>(reqs.size()));
-                // A batch carrying a sampled request records its
-                // chip-side operator spans (the flow-arrow targets)
-                // even when the user left the chip timeline off; the
-                // op trace supplies the flow anchor. Recording is
-                // observation only — simulated timing is unchanged.
-                bool sampled_batch = false;
-                if (reqTracer_) {
-                    for (const Request &q : reqs) {
-                        if (reqTracer_->sampled(q.id)) {
-                            sampled_batch = true;
-                            break;
-                        }
-                    }
-                }
-                ExecOptions exec_opts = config_.exec;
-                if (sampled_batch)
-                    exec_opts.trace = true;
-                Executor executor(dtu_, lease->groups, exec_opts);
-                // Poisoned executions (uncorrectable ECC, exhausted
-                // DMA retries) re-run on the same lease up to
-                // maxBatchRetries times; the lease is held across
-                // retries so the re-execution cannot be starved by
-                // new admissions.
-                unsigned retries = 0;
-                bool poisoned = false;
-                Tick launch_at = now;
-                ExecResult r;
-                {
-                    ScopedTracerEnable chip_scope(dtu_.tracer(),
-                                                  sampled_batch);
-                    for (;;) {
-                        std::uint64_t before =
-                            faults_ ? faults_->poisonCount() : 0;
-                        r = executor.run(p, launch_at);
-                        poisoned =
-                            faults_ && faults_->poisonCount() > before;
-                        if (!poisoned ||
-                            retries >= degrade.maxBatchRetries)
-                            break;
-                        ++retries;
-                        ++batchRetries_;
-                        ++retryStat_;
-                        launch_at = r.end;
-                        if (timeline_) {
-                            dtu_.tracer().instant(
-                                dropTrack_, "batch-retry " + model,
-                                "degradation", launch_at);
-                        }
-                    }
-                    if (sampled_batch) {
-                        // Flow anchor: the midpoint of the first
-                        // operator span of the final execution.
-                        Tick link =
-                            r.trace.empty()
-                                ? launch_at + (r.end - launch_at) / 2
-                                : r.trace.front().start +
-                                      (r.trace.front().end -
-                                       r.trace.front().start) /
-                                          2;
-                        reqTracer_->onBatchExecuted(
-                            deviceId_, dtu_.tracer(), reqs, now,
-                            r.end, link, retries);
-                    }
-                }
+                BatchRun run = executeBatch(
+                    p, reqs, lease->groups, now,
+                    degrade.maxBatchRetries, false, model);
                 ActiveBatch batch;
-                batch.end = r.end;
+                batch.end = run.end;
                 batch.dispatched = now;
                 batch.tenant = nextTenant_;
                 batch.model = model;
                 batch.requests = std::move(reqs);
-                batch.retries = retries;
-                batch.failed = poisoned;
+                batch.retries = run.retries;
+                batch.failed = run.poisoned;
                 active_.push_back(std::move(batch));
                 ++nextTenant_;
                 ++batches_;
@@ -438,21 +830,222 @@ Scheduler::settle(Tick now)
     }
 }
 
+void
+Scheduler::launchGeneration(Tick now)
+{
+    if (decoding_.empty() && decodeReady_.empty() &&
+        genQueue_.empty())
+        return;
+    const GenerationPolicy &gen = config_.generation;
+    const DegradationPolicy &degrade = config_.degradation;
+
+    // 1) Step idle decode batches, absorbing waiting sequences first
+    //    in continuous mode (iteration-level batching: a sequence
+    //    joins between steps, never mid-step). Deterministic order:
+    //    by tenant, i.e. formation order.
+    std::vector<DecodeBatch *> idle;
+    for (DecodeBatch &b : decoding_) {
+        if (!b.inStep)
+            idle.push_back(&b);
+    }
+    std::sort(idle.begin(), idle.end(),
+              [](const DecodeBatch *a, const DecodeBatch *b) {
+                  return a->tenant < b->tenant;
+              });
+    for (DecodeBatch *bp : idle) {
+        DecodeBatch &b = *bp;
+        if (gen.continuousBatching) {
+            auto it = decodeReady_.find(b.model);
+            if (it != decodeReady_.end()) {
+                std::vector<DecodeSeq> &ready = it->second;
+                while (!ready.empty() &&
+                       b.seqs.size() < gen.maxDecodeBatch) {
+                    b.seqs.push_back(std::move(ready.front()));
+                    ready.erase(ready.begin());
+                }
+                if (ready.empty())
+                    decodeReady_.erase(it);
+            }
+        }
+        if (!b.seqs.empty())
+            launchDecodeStep(b, now);
+    }
+
+    // 2) Form new decode batches from leftover ready sequences
+    //    (alphabetical by model). Each batch takes a lease it holds
+    //    until its last sequence finishes.
+    bool formed = true;
+    while (formed) {
+        formed = false;
+        for (auto it = decodeReady_.begin();
+             it != decodeReady_.end();) {
+            std::vector<DecodeSeq> &ready = it->second;
+            if (ready.empty()) {
+                it = decodeReady_.erase(it);
+                continue;
+            }
+            if (manager_.freeGroups() < config_.groupsPerBatch) {
+                ++it;
+                continue;
+            }
+            auto lease = manager_.allocate(
+                nextTenant_, config_.groupsPerBatch, now);
+            if (!lease) {
+                ++it;
+                continue;
+            }
+            DecodeBatch b;
+            b.tenant = nextTenant_;
+            b.model = it->first;
+            b.groups = lease->groups;
+            while (!ready.empty() &&
+                   b.seqs.size() < gen.maxDecodeBatch) {
+                b.seqs.push_back(std::move(ready.front()));
+                ready.erase(ready.begin());
+            }
+            b.formed = static_cast<unsigned>(b.seqs.size());
+            decoding_.push_back(std::move(b));
+            launchDecodeStep(decoding_.back(), now);
+            ++nextTenant_;
+            formed = true;
+            if (ready.empty())
+                it = decodeReady_.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    // 3) Launch prefills, gated on the KV budget: the queue head
+    //    must fit *now* (reservable against unreserved pages) or the
+    //    whole model waits — strict FIFO, no small-sequence bypass,
+    //    so admission order stays deterministic and starvation-free.
+    bool launched = true;
+    while (launched) {
+        launched = false;
+        for (const std::string &model : genQueue_.models()) {
+            while (shouldLaunchGen(model, now) &&
+                   manager_.freeGroups() >= config_.groupsPerBatch) {
+                const Request *head = genQueue_.front(model);
+                if (!head)
+                    break;
+                const std::uint64_t bpt = bytesPerTokenFor(model);
+                if (!kv_->fitsNow(kvTokens(*head), bpt))
+                    break; // KV full: wait for sequences to finish
+                auto lease = manager_.allocate(
+                    nextTenant_, config_.groupsPerBatch, now);
+                if (!lease)
+                    break;
+                std::vector<Request> cand = genQueue_.popBatch(
+                    model, config_.batching.maxBatchFor(model));
+                // Reserve worst-case pages per rider, FIFO prefix:
+                // the first failure sends it and everything behind
+                // it back to the queue head. The head itself always
+                // reserves (fitsNow above is the same arithmetic).
+                std::vector<Request> reqs;
+                std::vector<Request> back;
+                for (Request &r : cand) {
+                    if (back.empty() &&
+                        kv_->reserve(r.id, kvTokens(r), bpt)) {
+                        reqs.push_back(std::move(r));
+                    } else {
+                        back.push_back(std::move(r));
+                    }
+                }
+                if (!back.empty())
+                    genQueue_.pushFront(model, std::move(back));
+                unsigned max_prompt = 0;
+                for (const Request &r : reqs)
+                    max_prompt =
+                        std::max(max_prompt, r.gen.promptLen);
+                const ExecutionPlan &p = prefillPlan(
+                    model, static_cast<unsigned>(reqs.size()),
+                    bucketLen(max_prompt));
+                BatchRun run = executeBatch(
+                    p, reqs, lease->groups, now,
+                    degrade.maxBatchRetries, true, model);
+                accumulatePhase(genLog_.prefill, run.result);
+                ++genLog_.prefillBatches;
+                ActiveBatch batch;
+                batch.end = run.end;
+                batch.dispatched = now;
+                batch.tenant = nextTenant_;
+                batch.model = model;
+                batch.requests = std::move(reqs);
+                batch.retries = run.retries;
+                batch.failed = run.poisoned;
+                batch.prefill = true;
+                active_.push_back(std::move(batch));
+                ++nextTenant_;
+                ++batches_;
+                launched = true;
+            }
+        }
+    }
+}
+
+void
+Scheduler::launchDecodeStep(DecodeBatch &b, Tick now)
+{
+    const GenerationPolicy &gen = config_.generation;
+    unsigned ctx = 0;
+    for (const DecodeSeq &seq : b.seqs)
+        ctx = std::max(ctx, seq.request.gen.promptLen + seq.emitted);
+    // Static batching pays the formed (padded) batch size every step
+    // even after members finish; continuous pays only live sequences.
+    const unsigned cost_batch =
+        gen.continuousBatching ? static_cast<unsigned>(b.seqs.size())
+                               : b.formed;
+    const ExecutionPlan &p =
+        decodePlan(b.model, cost_batch, bucketLen(ctx));
+    std::vector<Request> riders;
+    riders.reserve(b.seqs.size());
+    for (const DecodeSeq &seq : b.seqs)
+        riders.push_back(seq.request);
+    // Decode steps do not retry on poison (max_retries 0): the KV
+    // state is already suspect after one poisoned pass.
+    BatchRun run =
+        executeBatch(p, riders, b.groups, now, 0, true, b.model);
+    accumulatePhase(genLog_.decode, run.result);
+    ++batches_;
+    b.inStep = true;
+    b.stepPoisoned = run.poisoned;
+    b.stepStart = now;
+    b.stepEnd = run.end;
+    if (timeline_) {
+        Tracer &tracer = dtu_.tracer();
+        if (!decodeTrackMade_) {
+            decodeTrack_ = tracer.track("serve", "decode");
+            decodeTrackMade_ = true;
+        }
+        tracer.span(decodeTrack_, b.model, "decode-step", now,
+                    run.end,
+                    {{"batch", static_cast<double>(cost_batch)},
+                     {"live", static_cast<double>(b.seqs.size())},
+                     {"ctx", static_cast<double>(ctx)}});
+    }
+}
+
 Tick
 Scheduler::nextEvent(Tick now) const
 {
     Tick next = kNever;
     for (const ActiveBatch &b : active_)
         next = std::min(next, b.end);
-    for (const std::string &model : queue_.models()) {
-        Tick timeout =
-            saturatingAddTicks(queue_.oldestArrival(model),
-                               config_.batching.maxQueueDelay);
-        if (timeout > now && timeout != kNever)
-            next = std::min(next, timeout);
-        Tick ready = weightReadyAt(model);
-        if (ready > now)
-            next = std::min(next, ready);
+    for (const DecodeBatch &b : decoding_) {
+        if (b.inStep)
+            next = std::min(next, b.stepEnd);
+    }
+    for (const RequestQueue *queue : {&queue_, &genQueue_}) {
+        for (const std::string &model : queue->models()) {
+            Tick timeout =
+                saturatingAddTicks(queue->oldestArrival(model),
+                                   config_.batching.maxQueueDelay);
+            if (timeout > now && timeout != kNever)
+                next = std::min(next, timeout);
+            Tick ready = weightReadyAt(model);
+            if (ready > now)
+                next = std::min(next, ready);
+        }
     }
     // Degradation deadlines are events too: a queued request's SLO
     // expiry or queue-timeout maturation must wake the loop even
@@ -461,7 +1054,7 @@ Scheduler::nextEvent(Tick now) const
     // carry no deadline of their own.
     const DegradationPolicy &degrade = config_.degradation;
     if (degrade.shedExpired || degrade.requestTimeout != 0) {
-        queue_.forEach([&](const Request &r) {
+        auto deadline = [&](const Request &r) {
             if (degrade.shedExpired && r.deadline > now)
                 next = std::min(next, r.deadline);
             if (degrade.requestTimeout != 0) {
@@ -470,7 +1063,9 @@ Scheduler::nextEvent(Tick now) const
                 if (timeout > now && timeout != kNever)
                     next = std::min(next, timeout);
             }
-        });
+        };
+        queue_.forEach(deadline);
+        genQueue_.forEach(deadline);
     }
     return next;
 }
@@ -480,26 +1075,41 @@ Scheduler::metricSample(unsigned device) const
 {
     obs::DeviceMetricSample d;
     d.device = device;
-    d.queueDepth = queue_.size();
-    d.inFlightBatches = active_.size();
+    d.queueDepth = queueDepth();
+    d.inFlightBatches = inFlightBatches();
     d.outstanding = outstanding();
-    d.completed = completed_.size();
-    d.dropped = dropped_.size();
+    d.completed = completedN_;
+    d.dropped = droppedN_;
     d.retries = batchRetries_;
     return d;
+}
+
+GenerationLog
+Scheduler::generationLog() const
+{
+    GenerationLog log = genLog_;
+    if (kv_) {
+        log.kvPageBudget = kv_->pageBudget();
+        log.kvPageBytes = kv_->config().pageBytes;
+        log.kvPeakPages = kv_->peakPagesInUse();
+        log.kvPeakReservedPages = kv_->peakPagesReserved();
+        log.kvPagesAllocated = kv_->totalPagesAllocated();
+        log.kvPagesFreed = kv_->totalPagesFreed();
+        log.kvPagesInUseAtEnd = kv_->pagesInUse();
+    }
+    return log;
 }
 
 ServingReport
 Scheduler::finish(double offered_qps)
 {
     ServingReport report = summarize(
-        std::move(completed_), offered_qps, batches_,
+        std::move(outcomes_), offered_qps, batches_,
         dtu_.energy().joules() - joulesBefore_,
-        manager_.utilization(lastCompletion_), std::move(dropped_),
-        batchRetries_,
-        faults_ ? faults_->log().size() - faultsBefore_ : 0);
-    completed_.clear();
-    dropped_.clear();
+        manager_.utilization(lastCompletion_), batchRetries_,
+        faults_ ? faults_->log().size() - faultsBefore_ : 0,
+        generationLog());
+    outcomes_.clear();
     return report;
 }
 
@@ -546,17 +1156,18 @@ Scheduler::serve(std::vector<Request> trace)
         metric_period ? (now / metric_period + 1) * metric_period
                       : kNever;
     while (true) {
-        // Next event: an arrival, a batch completion, a queue
-        // timeout maturing, or a degradation deadline. Events at or
-        // before `now` are already handled (or are waiting on a
-        // lease, which frees at a completion event).
+        // Next event: an arrival, a batch completion or decode step,
+        // a queue timeout maturing, or a degradation deadline.
+        // Events at or before `now` are already handled (or are
+        // waiting on a lease, which frees at a completion event).
         Tick next = nextEvent(now);
         if (next_arrival < trace.size())
             next = std::min(next, trace[next_arrival].arrival);
         if (next == kNever) {
-            fatalIf(!queue_.empty(),
-                    "serving deadlock: ", queue_.size(),
-                    " queued requests but no future event");
+            fatalIf(queueDepth() + decodeReadyCount() != 0,
+                    "serving deadlock: ",
+                    queueDepth() + decodeReadyCount(),
+                    " waiting requests but no future event");
             break;
         }
         if (next_sample < next)

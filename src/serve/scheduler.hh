@@ -32,12 +32,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/fleet_metrics.hh"
 #include "runtime/executor.hh"
+#include "serve/kv_cache.hh"
 #include "serve/report.hh"
 #include "serve/request.hh"
 #include "sim/tracer.hh"
@@ -122,10 +124,42 @@ struct DegradationPolicy
     }
 };
 
+/**
+ * How autoregressive generation requests are scheduled. Only
+ * consulted for requests with gen.maxNewTokens > 0; a run without
+ * them never touches this policy (or the KV cache), so the one-shot
+ * serving path is bit-for-bit unchanged.
+ */
+struct GenerationPolicy
+{
+    /**
+     * Iteration-level (continuous) batching: sequences join a
+     * running decode batch between steps and finished sequences free
+     * their slot immediately. Off = static request-level batching,
+     * the classic baseline: a decode batch is formed once and steps
+     * at its formed size until its last member finishes (early
+     * finishers' slots are wasted as padding).
+     */
+    bool continuousBatching = true;
+    /** Largest decode batch (sequences stepped together). */
+    unsigned maxDecodeBatch = 8;
+    /**
+     * Context-length bucket for plan memoization: prefill and decode
+     * costs are compiled at context lengths rounded up to a multiple
+     * of this, so the plan cache stays small while the KV length a
+     * decode step streams still grows with the sequence.
+     */
+    unsigned ctxBucket = 64;
+    /** Per-device KV-cache pool (the admission currency). */
+    KvCacheConfig kv;
+};
+
 /** Configuration of one serving run. */
 struct ServingConfig
 {
     BatchingPolicy batching;
+    /** Autoregressive generation scheduling (see GenerationPolicy). */
+    GenerationPolicy generation;
     /** Overload/fault response (all off by default). */
     DegradationPolicy degradation;
     /** Processing groups leased per in-flight batch. */
@@ -250,26 +284,49 @@ class Scheduler
      */
     Tick nextEvent(Tick now) const;
 
-    /** Summarize the run (moves out the completion/drop logs). */
+    /** Summarize the run (moves out the outcome log). */
     ServingReport finish(double offered_qps);
 
     /** Queue empty and nothing in flight. */
-    bool idle() const { return queue_.empty() && active_.empty(); }
+    bool
+    idle() const
+    {
+        return queue_.empty() && genQueue_.empty() &&
+               active_.empty() && decoding_.empty() &&
+               decodeReadyCount() == 0;
+    }
 
-    /** Requests waiting in the arrival queue. */
-    std::size_t queueDepth() const { return queue_.size(); }
+    /** Requests waiting in the arrival queues. */
+    std::size_t
+    queueDepth() const
+    {
+        return queue_.size() + genQueue_.size();
+    }
 
     /** Queued plus in-flight requests (the routing load signal). */
     std::size_t outstanding() const;
 
     /** Batches dispatched and not yet completed. */
-    std::size_t inFlightBatches() const { return active_.size(); }
+    std::size_t inFlightBatches() const;
 
     /** Requests completed so far this run. */
-    std::uint64_t completedCount() const { return completed_.size(); }
+    std::uint64_t completedCount() const { return completedN_; }
 
     /** Requests dropped so far this run. */
-    std::uint64_t droppedCount() const { return dropped_.size(); }
+    std::uint64_t droppedCount() const { return droppedN_; }
+
+    /** Sequences through prefill, waiting for a decode slot. */
+    std::size_t decodeReadyCount() const;
+
+    /**
+     * Raw generation bookkeeping so far (phase counters, ITL
+     * samples, KV gauges). finish() folds it into the report; the
+     * fleet merges the per-device logs for its aggregate.
+     */
+    GenerationLog generationLog() const;
+
+    /** The device's KV cache (nullptr before any generative admit). */
+    const KvCache *kvCache() const { return kv_.get(); }
 
     /** Poisoned-batch re-executions so far this run. */
     std::uint64_t batchRetryCount() const { return batchRetries_; }
@@ -326,10 +383,131 @@ class Scheduler
         unsigned retries = 0;
         /** Still poisoned after the last permitted retry. */
         bool failed = false;
+        /** A generation prefill pass (riders enter decode, not
+         *  completion, when it retires). */
+        bool prefill = false;
+    };
+
+    /** One generation sequence past prefill. */
+    struct DecodeSeq
+    {
+        Request request;
+        /** Prefill dispatch time (the outcome's dispatched). */
+        Tick dispatched = 0;
+        Tick firstToken = 0;
+        /** Last token emission (the ITL reference). */
+        Tick lastToken = 0;
+        /** Prefill batch size (the outcome's batchSize). */
+        unsigned prefillBatchSize = 0;
+        /** Prefill retries (the outcome's retries). */
+        unsigned retries = 0;
+        /** Tokens emitted so far, first token included. */
+        unsigned emitted = 1;
+        /** targetNewTokens(), memoized. */
+        unsigned target = 1;
+    };
+
+    /**
+     * One decode batch stepping on a long-held lease. Between steps
+     * (inStep == false) it can absorb waiting sequences (continuous
+     * mode) or retire; each step emits one token per live sequence.
+     */
+    struct DecodeBatch
+    {
+        int tenant = -1;
+        std::string model;
+        /** Size at formation: the static-mode padded cost size. */
+        unsigned formed = 0;
+        bool inStep = false;
+        /** The in-flight step was poisoned (faults the decode loop
+         *  does not retry: its riders fail at the step end). */
+        bool stepPoisoned = false;
+        Tick stepStart = 0;
+        Tick stepEnd = 0;
+        /** The lease's processing groups, held across steps. */
+        std::vector<unsigned> groups;
+        std::vector<DecodeSeq> seqs;
+    };
+
+    /** Outcome of one executor run on a lease (with retries). */
+    struct BatchRun
+    {
+        Tick end = 0;
+        unsigned retries = 0;
+        bool poisoned = false;
+        ExecResult result;
     };
 
     /** Memoized compile of @p model at @p batch samples. */
     const ExecutionPlan &plan(const std::string &model, unsigned batch);
+
+    /** Memoized decoder prefill / decode-step plans. The cache key
+     *  encodes the phase and context bucket in the model string
+     *  ("gpt_tiny@p128", "gpt_tiny@d256"). */
+    const ExecutionPlan &prefillPlan(const std::string &model,
+                                     unsigned batch, unsigned prompt);
+    const ExecutionPlan &decodePlan(const std::string &model,
+                                    unsigned batch, unsigned ctx);
+
+    /** @p len rounded up to the generation ctxBucket multiple. */
+    unsigned bucketLen(unsigned len) const;
+
+    /** KV bytes per generated token for decoder @p model. */
+    std::uint64_t bytesPerTokenFor(const std::string &model);
+
+    /** Worst-case KV tokens @p r can occupy (prompt + target). */
+    std::uint64_t kvTokens(const Request &r) const;
+
+    /** The lazily built KV cache. */
+    KvCache &ensureKv();
+
+    /**
+     * Run @p p on @p groups at @p now with the poison-retry loop and
+     * request-tracer hooks (mirrors the one-shot launch path).
+     * @p record_ops forces per-operator traces (phase attribution).
+     */
+    BatchRun executeBatch(const ExecutionPlan &p,
+                          const std::vector<Request> &riders,
+                          const std::vector<unsigned> &groups,
+                          Tick now, unsigned max_retries,
+                          bool record_ops, const std::string &model);
+
+    /** Fold @p result's operator traces into @p phase. */
+    static void accumulatePhase(PhaseBreakdown &phase,
+                                const ExecResult &result);
+
+    /** Record one completion (stats, timeline, tracer, SLO monitor). */
+    void complete(RequestOutcome outcome);
+
+    /** Record one dropped request (stats, tracer, SLO monitor). */
+    void drop(const Request &request, Tick at, DropReason reason);
+
+    /** drop() with execution context (failed batches). */
+    void dropOutcome(RequestOutcome outcome);
+
+    /** Retire one finished prefill batch into the decode stage. */
+    void retirePrefill(const ActiveBatch &batch);
+
+    /** Retire decode steps that ended at or before @p upto. */
+    void advanceDecode(Tick upto);
+
+    /** The one-shot launch pass (the pre-generation settle body). */
+    void launchOneShots(Tick now);
+
+    /** Join/step/form decode batches, then launch prefills. */
+    void launchGeneration(Tick now);
+
+    /** Launch the next step of @p batch at @p now. */
+    void launchDecodeStep(DecodeBatch &batch, Tick now);
+
+    /** Shed expired deadlines / enforce queue timeouts at @p now. */
+    void dropExpired(Tick now);
+
+    /** Launch rule for @p model at @p now. */
+    bool shouldLaunch(const std::string &model, Tick now) const;
+
+    /** Launch rule for queued prefills of @p model at @p now. */
+    bool shouldLaunchGen(const std::string &model, Tick now) const;
 
     /** The active plan cache (shared when sharePlanCache() was set). */
     PlanCache &plans() { return sharedPlans_ ? *sharedPlans_ : plans_; }
@@ -337,15 +515,6 @@ class Scheduler
     {
         return sharedPlans_ ? *sharedPlans_ : plans_;
     }
-
-    /** Record one dropped request (stats, tracer, SLO monitor). */
-    void drop(const Request &request, Tick at, DropReason reason);
-
-    /** Shed expired deadlines / enforce queue timeouts at @p now. */
-    void dropExpired(Tick now);
-
-    /** Launch rule for @p model at @p now. */
-    bool shouldLaunch(const std::string &model, Tick now) const;
 
     /** Not-yet-admitted arrivals of @p model (0 without a map). */
     unsigned futureCount(const std::string &model) const;
@@ -385,9 +554,26 @@ class Scheduler
     //
     const std::map<std::string, unsigned> *future_ = nullptr;
     RequestQueue queue_;
+    /** Generative arrivals queue separately: their launch pass is
+     *  KV-gated, and keeping them out of queue_ leaves the one-shot
+     *  path untouched. */
+    RequestQueue genQueue_;
     std::vector<ActiveBatch> active_;
-    std::vector<CompletedRequest> completed_;
-    std::vector<DroppedRequest> dropped_;
+    /** Decode batches holding leases across steps. */
+    std::vector<DecodeBatch> decoding_;
+    /** Sequences past prefill awaiting a decode slot, per model. */
+    std::map<std::string, std::vector<DecodeSeq>> decodeReady_;
+    /** The unified terminal log (completions and drops). */
+    std::vector<RequestOutcome> outcomes_;
+    std::uint64_t completedN_ = 0;
+    std::uint64_t droppedN_ = 0;
+    /** Per-device KV-cache pool, built on the first generative
+     *  admission (a one-shot run never constructs it). */
+    std::unique_ptr<KvCache> kv_;
+    /** Model -> KV bytes per token, memoized. */
+    std::map<std::string, std::uint64_t> kvBytesPerToken_;
+    /** Generation bookkeeping for the report. */
+    GenerationLog genLog_;
     std::uint64_t batches_ = 0;
     std::uint64_t batchRetries_ = 0;
     int nextTenant_ = 0;
@@ -410,6 +596,8 @@ class Scheduler
     TrackId dropTrack_;
     bool placeTrackMade_ = false;
     TrackId placeTrack_;
+    bool decodeTrackMade_ = false;
+    TrackId decodeTrack_;
 };
 
 } // namespace serve

@@ -26,6 +26,18 @@ namespace
 using namespace dtu;
 using namespace dtu::serve;
 
+/** The dropped slice of the unified outcome log, terminal-ordered. */
+std::vector<RequestOutcome>
+droppedOf(const ServingReport &report)
+{
+    std::vector<RequestOutcome> dropped;
+    for (const RequestOutcome &o : report.outcomes) {
+        if (!o.completedOk())
+            dropped.push_back(o);
+    }
+    return dropped;
+}
+
 //
 // FaultInjector unit behaviour.
 //
@@ -291,10 +303,10 @@ TEST(FaultHooksTest, ZeroRateInjectorIsBitForBitTransparent)
     EXPECT_DOUBLE_EQ(on.joules, off.joules);
     EXPECT_DOUBLE_EQ(on.p99Ms, off.p99Ms);
     EXPECT_EQ(on.missedIds, off.missedIds);
-    ASSERT_EQ(on.completed.size(), off.completed.size());
-    for (std::size_t i = 0; i < on.completed.size(); ++i) {
-        EXPECT_EQ(on.completed[i].completed,
-                  off.completed[i].completed);
+    ASSERT_EQ(on.outcomes.size(), off.outcomes.size());
+    for (std::size_t i = 0; i < on.outcomes.size(); ++i) {
+        EXPECT_EQ(on.outcomes[i].completed,
+                  off.outcomes[i].completed);
     }
     EXPECT_EQ(on.faultsInjected, 0u);
 }
@@ -324,9 +336,9 @@ TEST(DegradationTest, AdmissionControlBouncesOverflowArrivals)
     ServingReport report = scheduler.serve(trace);
     EXPECT_GT(report.rejectedRequests, 0u);
     EXPECT_EQ(report.submitted, 24u);
-    EXPECT_EQ(report.requests + report.dropped.size(), 24u);
-    for (const DroppedRequest &d : report.dropped)
-        EXPECT_EQ(d.reason, DropReason::Rejected);
+    EXPECT_EQ(report.requests + droppedOf(report).size(), 24u);
+    for (const RequestOutcome &d : droppedOf(report))
+        EXPECT_EQ(d.dropReason, DropReason::Rejected);
     EXPECT_LT(report.availability, 1.0);
     EXPECT_DOUBLE_EQ(
         chip.stats().lookup("serve.rejected_requests"),
@@ -347,13 +359,13 @@ TEST(DegradationTest, ShedsRequestsWhoseDeadlineExpired)
                         /*deadline=*/secondsToTicks(20e-6))});
     ServingReport report = scheduler.serve(trace);
     EXPECT_GT(report.shedRequests, 0u);
-    EXPECT_EQ(report.requests + report.dropped.size(), 12u);
+    EXPECT_EQ(report.requests + droppedOf(report).size(), 12u);
     // Shed requests never held a lease.
     EXPECT_EQ(rm.activeGroups(), 0u);
     // Nothing completed after its shed time recorded it as dropped.
-    for (const DroppedRequest &d : report.dropped) {
-        EXPECT_EQ(d.reason, DropReason::Shed);
-        EXPECT_GE(d.at, d.request.deadline);
+    for (const RequestOutcome &d : droppedOf(report)) {
+        EXPECT_EQ(d.dropReason, DropReason::Shed);
+        EXPECT_GE(d.completed, d.request.deadline);
     }
 }
 
@@ -368,11 +380,11 @@ TEST(DegradationTest, QueueTimeoutDropsStarvedRequests)
         {fixedRateTrace("conformer", 1e9, 12)}); // no deadlines
     ServingReport report = scheduler.serve(trace);
     EXPECT_GT(report.timedOutRequests, 0u);
-    EXPECT_EQ(report.requests + report.dropped.size(), 12u);
-    for (const DroppedRequest &d : report.dropped) {
-        EXPECT_EQ(d.reason, DropReason::TimedOut);
-        EXPECT_EQ(d.at, d.request.arrival +
-                            config.degradation.requestTimeout);
+    EXPECT_EQ(report.requests + droppedOf(report).size(), 12u);
+    for (const RequestOutcome &d : droppedOf(report)) {
+        EXPECT_EQ(d.dropReason, DropReason::TimedOut);
+        EXPECT_EQ(d.completed, d.request.arrival +
+                                   config.degradation.requestTimeout);
     }
 }
 
@@ -398,13 +410,14 @@ TEST(DegradationTest, QueueTimeoutWakesWithoutDeadlinesOrShedding)
     ServingReport report = scheduler.serve(trace);
     EXPECT_EQ(report.requests, 2u);
     ASSERT_EQ(report.timedOutRequests, 1u);
-    ASSERT_EQ(report.dropped.size(), 1u);
-    EXPECT_EQ(report.dropped[0].reason, DropReason::TimedOut);
-    EXPECT_EQ(report.dropped[0].at,
-              report.dropped[0].request.arrival +
+    std::vector<RequestOutcome> dropped = droppedOf(report);
+    ASSERT_EQ(dropped.size(), 1u);
+    EXPECT_EQ(dropped[0].dropReason, DropReason::TimedOut);
+    EXPECT_EQ(dropped[0].completed,
+              dropped[0].request.arrival +
                   config.degradation.requestTimeout);
     // The drop fired strictly before the blocking executions ended.
-    EXPECT_LT(report.dropped[0].at, report.makespan);
+    EXPECT_LT(dropped[0].completed, report.makespan);
 }
 
 TEST(DegradationTest, HugeTimeoutSaturatesInsteadOfWrapping)
@@ -423,7 +436,7 @@ TEST(DegradationTest, HugeTimeoutSaturatesInsteadOfWrapping)
     ServingReport report = scheduler.serve(trace);
     EXPECT_EQ(report.requests, 4u);
     EXPECT_EQ(report.timedOutRequests, 0u);
-    EXPECT_TRUE(report.dropped.empty());
+    EXPECT_TRUE(droppedOf(report).empty());
 }
 
 TEST(DegradationTest, PoisonedBatchesRetryThenFail)
@@ -503,20 +516,16 @@ TEST(DegradationTest, FaultReplayProducesIdenticalServingRuns)
     EXPECT_EQ(a.report.failedRequests, b.report.failedRequests);
     EXPECT_DOUBLE_EQ(a.report.joules, b.report.joules);
     EXPECT_EQ(a.report.missedIds, b.report.missedIds);
-    ASSERT_EQ(a.report.dropped.size(), b.report.dropped.size());
-    for (std::size_t i = 0; i < a.report.dropped.size(); ++i) {
-        EXPECT_EQ(a.report.dropped[i].request.id,
-                  b.report.dropped[i].request.id);
-        EXPECT_EQ(a.report.dropped[i].at, b.report.dropped[i].at);
-        EXPECT_EQ(a.report.dropped[i].reason,
-                  b.report.dropped[i].reason);
-    }
-    ASSERT_EQ(a.report.completed.size(), b.report.completed.size());
-    for (std::size_t i = 0; i < a.report.completed.size(); ++i) {
-        EXPECT_EQ(a.report.completed[i].request.id,
-                  b.report.completed[i].request.id);
-        EXPECT_EQ(a.report.completed[i].completed,
-                  b.report.completed[i].completed);
+    ASSERT_EQ(a.report.outcomes.size(), b.report.outcomes.size());
+    for (std::size_t i = 0; i < a.report.outcomes.size(); ++i) {
+        EXPECT_EQ(a.report.outcomes[i].request.id,
+                  b.report.outcomes[i].request.id);
+        EXPECT_EQ(a.report.outcomes[i].completed,
+                  b.report.outcomes[i].completed);
+        EXPECT_EQ(a.report.outcomes[i].state,
+                  b.report.outcomes[i].state);
+        EXPECT_EQ(a.report.outcomes[i].dropReason,
+                  b.report.outcomes[i].dropReason);
     }
 }
 
@@ -547,17 +556,18 @@ TEST(ServingReportTest, ZeroCompletionSummarizeIsGuarded)
 {
     // The direct unit test for the divide-by-zero fix: an all-shed
     // run reaches summarize() with no completions at all.
-    std::vector<DroppedRequest> dropped(3);
+    std::vector<RequestOutcome> dropped(3);
     for (std::uint64_t i = 0; i < dropped.size(); ++i) {
         dropped[i].request.id = i + 1;
         dropped[i].request.model = "conformer";
-        dropped[i].at = (i + 1) * 1000;
-        dropped[i].reason = DropReason::Shed;
+        dropped[i].state = TerminalState::Shed;
+        dropped[i].dropReason = DropReason::Shed;
+        dropped[i].completed = (i + 1) * 1000;
     }
     ServingReport report =
-        summarize({}, /*offered_qps=*/100.0, /*batches=*/0,
-                  /*joules=*/2.5, /*group_utilization=*/0.0,
-                  std::move(dropped));
+        summarize(std::move(dropped), /*offered_qps=*/100.0,
+                  /*batches=*/0, /*joules=*/2.5,
+                  /*group_utilization=*/0.0);
     EXPECT_EQ(report.requests, 0u);
     EXPECT_EQ(report.submitted, 3u);
     EXPECT_EQ(report.shedRequests, 3u);

@@ -44,6 +44,16 @@ mixedTrace(std::uint64_t seed, unsigned per_model = 24)
          poissonTrace("resnet50", 4000.0, per_model, seed + 1)});
 }
 
+/** Dropped (non-completed) records in the unified outcome log. */
+std::size_t
+droppedCount(const ServingReport &report)
+{
+    std::size_t n = 0;
+    for (const RequestOutcome &o : report.outcomes)
+        n += o.completedOk() ? 0 : 1;
+    return n;
+}
+
 /** Equality that treats two NaNs ("no data") as the same answer. */
 void
 expectSameDouble(double x, double y)
@@ -83,21 +93,19 @@ expectSameReport(const ServingReport &a, const ServingReport &b)
     EXPECT_EQ(a.failedRequests, b.failedRequests);
     EXPECT_EQ(a.batchRetries, b.batchRetries);
     EXPECT_DOUBLE_EQ(a.availability, b.availability);
-    ASSERT_EQ(a.completed.size(), b.completed.size());
-    for (std::size_t i = 0; i < a.completed.size(); ++i) {
-        const CompletedRequest &x = a.completed[i];
-        const CompletedRequest &y = b.completed[i];
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+        const RequestOutcome &x = a.outcomes[i];
+        const RequestOutcome &y = b.outcomes[i];
         EXPECT_EQ(x.request.id, y.request.id);
         EXPECT_EQ(x.request.model, y.request.model);
+        EXPECT_EQ(x.state, y.state);
+        EXPECT_EQ(x.dropReason, y.dropReason);
         EXPECT_EQ(x.dispatched, y.dispatched);
+        EXPECT_EQ(x.firstToken, y.firstToken);
         EXPECT_EQ(x.completed, y.completed);
         EXPECT_EQ(x.batchSize, y.batchSize);
-    }
-    ASSERT_EQ(a.dropped.size(), b.dropped.size());
-    for (std::size_t i = 0; i < a.dropped.size(); ++i) {
-        EXPECT_EQ(a.dropped[i].request.id, b.dropped[i].request.id);
-        EXPECT_EQ(a.dropped[i].at, b.dropped[i].at);
-        EXPECT_EQ(a.dropped[i].reason, b.dropped[i].reason);
+        EXPECT_EQ(x.tokensEmitted, y.tokensEmitted);
     }
 }
 
@@ -142,7 +150,7 @@ TEST(FleetTest, SizeOneFleetServerMatchesServer)
     FleetServer fleet({.devices = 1,
                        .serving = fleetServingConfig()});
     fleet.submit(trace);
-    FleetReport report = fleet.serve();
+    FleetReport report = fleet.serveFleet();
 
     expectSameReport(single, report.fleet);
 }
@@ -160,7 +168,7 @@ TEST(FleetTest, RoutingIsDeterministicPerSeed)
         fleet.submit(finalizeTrace(
             {burstyTrace("conformer", 6000.0, 96, /*seed=*/7),
              burstyTrace("resnet50", 6000.0, 96, /*seed=*/8)}));
-        return fleet.serve();
+        return fleet.serveFleet();
     };
     for (RoutingPolicy policy : {RoutingPolicy::RoundRobin,
                                  RoutingPolicy::LeastOutstanding,
@@ -183,7 +191,7 @@ TEST(FleetTest, RoundRobinCyclesThroughDevices)
     FleetServer fleet({.devices = 4,
                        .serving = fleetServingConfig(1)});
     fleet.submit(finalizeTrace({fixedRateTrace("conformer", 1e6, 8)}));
-    const FleetReport &report = fleet.serve();
+    const FleetReport &report = fleet.serveFleet();
     for (const DeviceReport &dev : report.perDevice)
         EXPECT_EQ(dev.routed, 2u) << "device " << dev.device;
 }
@@ -201,7 +209,7 @@ TEST(FleetTest, LeastOutstandingTracksLoadNotTurnOrder)
                     .routing = RoutingPolicy::LeastOutstanding,
                     .serving = fleetServingConfig(1)});
     lo.submit(trace);
-    const FleetReport &lo_report = lo.serve();
+    const FleetReport &lo_report = lo.serveFleet();
     EXPECT_EQ(lo_report.perDevice[0].routed, 2u);
     EXPECT_EQ(lo_report.perDevice[1].routed, 0u);
 
@@ -209,7 +217,7 @@ TEST(FleetTest, LeastOutstandingTracksLoadNotTurnOrder)
                     .routing = RoutingPolicy::RoundRobin,
                     .serving = fleetServingConfig(1)});
     rr.submit(trace);
-    const FleetReport &rr_report = rr.serve();
+    const FleetReport &rr_report = rr.serveFleet();
     EXPECT_EQ(rr_report.perDevice[0].routed, 1u);
     EXPECT_EQ(rr_report.perDevice[1].routed, 1u);
 }
@@ -223,7 +231,7 @@ TEST(FleetTest, LeastOutstandingSpreadsASimultaneousBurst)
                        .routing = RoutingPolicy::LeastOutstanding,
                        .serving = fleetServingConfig(1)});
     fleet.submit(finalizeTrace({fixedRateTrace("conformer", 1e13, 4)}));
-    const FleetReport &report = fleet.serve();
+    const FleetReport &report = fleet.serveFleet();
     for (const DeviceReport &dev : report.perDevice)
         EXPECT_EQ(dev.routed, 1u) << "device " << dev.device;
 }
@@ -240,7 +248,7 @@ TEST(FleetTest, ModelAffinityKeepsModelsSticky)
     fleet.submit(finalizeTrace(
         {fixedRateTrace("bert_large", 1e13, 6),
          fixedRateTrace("conformer", 1e13, 6)}));
-    const FleetReport &report = fleet.serve();
+    const FleetReport &report = fleet.serveFleet();
     ASSERT_EQ(report.perDevice.size(), 2u);
     EXPECT_EQ(report.perDevice[0].placedModels,
               std::vector<std::string>{"bert_large"});
@@ -248,7 +256,7 @@ TEST(FleetTest, ModelAffinityKeepsModelsSticky)
               std::vector<std::string>{"conformer"});
     for (const DeviceReport &dev : report.perDevice) {
         EXPECT_EQ(dev.routed, 6u);
-        for (const CompletedRequest &r : dev.report.completed)
+        for (const RequestOutcome &r : dev.report.outcomes)
             EXPECT_EQ(r.request.model, dev.placedModels.front());
     }
 }
@@ -267,7 +275,7 @@ TEST(FleetTest, PerDeviceAccountingSumsToFleetTotals)
     fleet.submit(finalizeTrace(
         {burstyTrace("conformer", 20000.0, 128, /*seed=*/3),
          burstyTrace("resnet50", 20000.0, 128, /*seed=*/4)}));
-    const FleetReport &report = fleet.serve();
+    const FleetReport &report = fleet.serveFleet();
 
     std::uint64_t routed = 0, requests = 0, batches = 0;
     std::uint64_t dropped = 0, timed_out = 0, retries = 0;
@@ -277,7 +285,7 @@ TEST(FleetTest, PerDeviceAccountingSumsToFleetTotals)
         routed += dev.routed;
         requests += dev.report.requests;
         batches += dev.report.batches;
-        dropped += dev.report.dropped.size();
+        dropped += droppedCount(dev.report);
         timed_out += dev.report.timedOutRequests;
         retries += dev.report.batchRetries;
         joules += dev.report.joules;
@@ -285,14 +293,14 @@ TEST(FleetTest, PerDeviceAccountingSumsToFleetTotals)
         makespan = std::max(makespan, dev.report.makespan);
         // Each device's own accounting is internally consistent.
         EXPECT_EQ(dev.report.submitted,
-                  dev.report.requests + dev.report.dropped.size());
+                  dev.report.requests + droppedCount(dev.report));
         EXPECT_EQ(dev.report.submitted, dev.routed);
     }
     EXPECT_EQ(routed, 256u);
     EXPECT_EQ(report.fleet.submitted, 256u);
     EXPECT_EQ(report.fleet.requests, requests);
     EXPECT_EQ(report.fleet.batches, batches);
-    EXPECT_EQ(report.fleet.dropped.size(), dropped);
+    EXPECT_EQ(droppedCount(report.fleet), dropped);
     EXPECT_EQ(report.fleet.timedOutRequests, timed_out);
     EXPECT_EQ(report.fleet.batchRetries, retries);
     EXPECT_EQ(report.fleet.makespan, makespan);
@@ -313,7 +321,7 @@ TEST(FleetTest, WeightLoadDelaysTheFirstBatch)
     FleetServer free_fleet({.devices = 1,
                             .serving = fleetServingConfig()});
     free_fleet.submit(trace);
-    FleetReport free_report = free_fleet.serve();
+    FleetReport free_report = free_fleet.serveFleet();
     EXPECT_EQ(free_report.perDevice[0].weightLoads, 0u);
     EXPECT_EQ(free_report.perDevice[0].weightLoadTicks, 0u);
 
@@ -321,15 +329,15 @@ TEST(FleetTest, WeightLoadDelaysTheFirstBatch)
                             .serving = fleetServingConfig(),
                             .weightLoadGbps = 1.0});
     paid_fleet.submit(trace);
-    FleetReport paid_report = paid_fleet.serve();
+    FleetReport paid_report = paid_fleet.serveFleet();
     const DeviceReport &dev = paid_report.perDevice[0];
     EXPECT_EQ(dev.weightLoads, 1u);
     EXPECT_GT(dev.weightLoadTicks, 0u);
     EXPECT_GT(dev.weightLoadBytes, 0u);
     // No batch may start before the weights are resident, so the
     // whole run shifts right by at least the load time.
-    ASSERT_FALSE(dev.report.completed.empty());
-    EXPECT_GE(dev.report.completed.front().dispatched,
+    ASSERT_FALSE(dev.report.outcomes.empty());
+    EXPECT_GE(dev.report.outcomes.front().dispatched,
               dev.weightLoadTicks);
     EXPECT_GT(paid_report.fleet.makespan, free_report.fleet.makespan);
     // Placement pays once: both models of weight traffic are the
@@ -348,7 +356,7 @@ TEST(FleetTest, FleetJsonCarriesAggregateAndPerDeviceSections)
                        .routing = RoutingPolicy::LeastOutstanding,
                        .serving = fleetServingConfig()});
     fleet.submit(mixedTrace(/*seed=*/31, /*per_model=*/12));
-    const FleetReport &report = fleet.serve();
+    const FleetReport &report = fleet.serveFleet();
     std::ostringstream os;
     writeJson(report, os);
     std::string doc = os.str();
@@ -367,7 +375,7 @@ TEST(FleetTest, PrometheusExportCoversDevicesAndFleet)
     FleetServer fleet({.devices = 2,
                        .serving = fleetServingConfig()});
     fleet.submit(mixedTrace(/*seed=*/41, /*per_model=*/8));
-    fleet.serve();
+    fleet.serveFleet();
     std::ostringstream os;
     fleet.writePrometheus(os);
     std::string doc = os.str();
@@ -387,7 +395,7 @@ TEST(FleetTest, PrometheusExportCarriesMetricSeriesFamilies)
     fleet.enableRequestTracing(
         {.sampleRate = 0.0, .metricPeriod = secondsToTicks(100e-6)});
     fleet.submit(mixedTrace(/*seed=*/41, /*per_model=*/8));
-    fleet.serve();
+    fleet.serveFleet();
     std::ostringstream os;
     fleet.writePrometheus(os);
     std::string doc = os.str();
@@ -410,7 +418,7 @@ TEST(FleetTest, TwoDeviceTraceKeepsChipTimelinesOnDistinctPids)
         {.devices = 2, .serving = fleetServingConfig()});
     fleet.enableRequestTracing({.sampleRate = 1.0});
     fleet.submit(mixedTrace(/*seed=*/43, /*per_model=*/12));
-    const FleetReport &report = fleet.serve();
+    const FleetReport &report = fleet.serveFleet();
     ASSERT_EQ(report.perDevice.size(), 2u);
     ASSERT_GT(report.perDevice[0].routed, 0u);
     ASSERT_GT(report.perDevice[1].routed, 0u);

@@ -488,14 +488,15 @@ TEST(Prometheus, TextExportIsWellFormed)
 // 5. The serving SLO monitor.
 //
 
-serve::CompletedRequest
+serve::RequestOutcome
 completion(Tick completed_at, double latency_ms, bool missed)
 {
-    serve::CompletedRequest c;
+    serve::RequestOutcome c;
     Tick latency = secondsToTicks(latency_ms * 1e-3);
     c.request.arrival = completed_at - latency;
     c.request.deadline = missed ? completed_at - 1 : completed_at + 1;
     c.completed = completed_at;
+    c.firstToken = completed_at;
     c.dispatched = c.request.arrival;
     return c;
 }
@@ -511,8 +512,9 @@ TEST(SloMonitor, WindowsPercentilesAndBurnRate)
             static_cast<Tick>(i) * (w / 16), static_cast<double>(i),
             /*missed=*/i > 8));
     }
-    serve::DroppedRequest drop;
-    drop.at = w / 2;
+    serve::RequestOutcome drop;
+    drop.state = serve::TerminalState::Shed;
+    drop.completed = w / 2;
     mon.recordDrop(drop);
 
     // Nothing closes until simulated time passes the window end.

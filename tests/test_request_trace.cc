@@ -78,7 +78,7 @@ std::string
 renderFleetReport(FleetServer &fleet)
 {
     fleet.submit(goldenTrace());
-    const serve::FleetReport &report = fleet.serve();
+    const serve::FleetReport &report = fleet.serveFleet();
     std::ostringstream os;
     serve::writeJson(report, os, /*per_request=*/true);
     return os.str();
@@ -190,24 +190,25 @@ TEST(RequestTrace, EveryRequestChainCompleteAtFullSampling)
     obs::RequestTracer &tracer =
         fleet.enableRequestTracing({.sampleRate = 1.0});
     fleet.submit(goldenTrace());
-    const serve::FleetReport &report = fleet.serve();
+    const serve::FleetReport &report = fleet.serveFleet();
 
     EXPECT_EQ(tracer.sampledSeen(), report.fleet.submitted);
     EXPECT_EQ(tracer.finished().size(), report.fleet.submitted);
 
     for (const obs::RequestRecord &rec : tracer.finished()) {
-        EXPECT_GE(rec.device, 0) << "request " << rec.id;
-        EXPECT_GE(rec.terminal, rec.arrival) << "request " << rec.id;
-        EXPECT_FALSE(rec.outcome.empty()) << "request " << rec.id;
-        if (rec.outcome == "completed") {
-            EXPECT_TRUE(rec.executed) << "request " << rec.id;
-            EXPECT_GE(rec.dispatched, rec.arrival)
-                << "request " << rec.id;
-            EXPECT_LE(rec.dispatched, rec.terminal)
-                << "request " << rec.id;
-            EXPECT_GE(rec.batchSize, 1u) << "request " << rec.id;
+        const serve::RequestOutcome &o = rec.outcome;
+        std::uint64_t id = o.request.id;
+        EXPECT_GE(o.device, 0) << "request " << id;
+        EXPECT_GE(o.completed, o.request.arrival) << "request " << id;
+        EXPECT_STRNE(o.outcomeName(), "") << "request " << id;
+        if (o.completedOk()) {
+            EXPECT_TRUE(rec.executed) << "request " << id;
+            EXPECT_GE(o.dispatched, o.request.arrival)
+                << "request " << id;
+            EXPECT_LE(o.dispatched, o.completed) << "request " << id;
+            EXPECT_GE(o.batchSize, 1u) << "request " << id;
             EXPECT_TRUE(rec.deviceLinked)
-                << "request " << rec.id
+                << "request " << id
                 << " has no flow link into its chip timeline";
         }
     }
@@ -219,7 +220,7 @@ TEST(RequestTrace, PartialSamplingKeepsWholeChains)
     obs::RequestTracer &tracer =
         fleet.enableRequestTracing({.sampleRate = 0.4, .seed = 5});
     fleet.submit(goldenTrace());
-    const serve::FleetReport &report = fleet.serve();
+    const serve::FleetReport &report = fleet.serveFleet();
 
     EXPECT_GT(tracer.sampledSeen(), 0u);
     EXPECT_LT(tracer.sampledSeen(), report.fleet.submitted);
@@ -227,9 +228,10 @@ TEST(RequestTrace, PartialSamplingKeepsWholeChains)
     // decision is per-request, never per-hook.
     EXPECT_EQ(tracer.finished().size(), tracer.sampledSeen());
     for (const obs::RequestRecord &rec : tracer.finished()) {
-        EXPECT_TRUE(tracer.sampled(rec.id));
-        if (rec.outcome == "completed")
-            EXPECT_TRUE(rec.deviceLinked) << "request " << rec.id;
+        EXPECT_TRUE(tracer.sampled(rec.outcome.request.id));
+        if (rec.outcome.completedOk())
+            EXPECT_TRUE(rec.deviceLinked)
+                << "request " << rec.outcome.request.id;
     }
 }
 
@@ -239,7 +241,7 @@ TEST(RequestTrace, ExportedFlowsLinkRequestLanesToChipSpans)
     obs::RequestTracer &tracer =
         fleet.enableRequestTracing({.sampleRate = 0.4, .seed = 5});
     fleet.submit(goldenTrace());
-    fleet.serve();
+    fleet.serveFleet();
 
     std::ostringstream os;
     fleet.exportFleetTrace(os);
@@ -298,12 +300,13 @@ TEST(RequestTrace, ExportedFlowsLinkRequestLanesToChipSpans)
 
     // Every completed sampled request has its flow in the export.
     for (const obs::RequestRecord &rec : tracer.finished()) {
-        if (rec.outcome != "completed")
+        if (!rec.outcome.completedOk())
             continue;
-        auto it = flows.find(static_cast<double>(rec.id));
-        ASSERT_NE(it, flows.end()) << "request " << rec.id;
+        std::uint64_t id = rec.outcome.request.id;
+        auto it = flows.find(static_cast<double>(id));
+        ASSERT_NE(it, flows.end()) << "request " << id;
         EXPECT_TRUE(it->second.chip_step)
-            << "request " << rec.id
+            << "request " << id
             << " never crossed into a chip timeline";
     }
 }
@@ -318,7 +321,7 @@ TEST(FleetMetrics, PeriodicSamplesCoverEveryDevice)
     obs::RequestTracer &tracer = fleet.enableRequestTracing(
         {.sampleRate = 0.0, .metricPeriod = secondsToTicks(100e-6)});
     fleet.submit(goldenTrace());
-    fleet.serve();
+    fleet.serveFleet();
 
     const obs::FleetMetricSeries &series = tracer.metrics();
     ASSERT_GT(series.samples().size(), 1u);
@@ -395,7 +398,7 @@ TEST(FlightRecorder, SloBurnDumpsExactlyOnce)
                             .sloTarget = 0.999,
                             .burnRateAlert = 5.0});
     fleet.submit(overloadTrace());
-    fleet.serve();
+    fleet.serveFleet();
 
     ASSERT_FALSE(fleet.sloMonitor()->alerts().empty());
     EXPECT_GE(rec.triggerCount(), 1u);
@@ -427,7 +430,7 @@ TEST(FlightRecorder, EnableOrderDoesNotMatter)
                             .burnRateAlert = 5.0});
     fleet.enableRequestTracing({.sampleRate = 1.0});
     fleet.submit(overloadTrace());
-    fleet.serve();
+    fleet.serveFleet();
     EXPECT_EQ(rec.dumpCount(), 1u);
 }
 
@@ -442,7 +445,7 @@ TEST(FlightRecorder, InjectedFaultTriggersDump)
     fleet.device(0).installFaults({.seed = 3,
                                    .eccCorrectablePerGiB = 1e6});
     fleet.submit(goldenTrace());
-    fleet.serve();
+    fleet.serveFleet();
 
     EXPECT_GE(rec.triggerCount(), 1u);
     EXPECT_EQ(rec.dumpCount(), 1u);
@@ -457,7 +460,7 @@ TEST(FlightRecorder, RingsAreBounded)
         {.requestCapacity = 8, .metricCapacity = 2});
     for (std::uint64_t i = 0; i < 50; ++i) {
         obs::RequestRecord r;
-        r.id = i;
+        r.outcome.request.id = i;
         rec.recordRequest(r);
     }
     for (int i = 0; i < 5; ++i) {

@@ -136,7 +136,7 @@ TEST(SchedulerTest, DrainsEveryRequestExactlyOnce)
     EXPECT_GT(report.groupUtilization, 0.0);
     // Every trace id completed exactly once.
     std::vector<std::uint64_t> ids;
-    for (const CompletedRequest &r : report.completed) {
+    for (const RequestOutcome &r : report.outcomes) {
         ids.push_back(r.request.id);
         EXPECT_GE(r.dispatched, r.request.arrival);
         EXPECT_GT(r.completed, r.dispatched);
@@ -162,7 +162,7 @@ TEST(SchedulerTest, DynamicBatcherFormsBatches)
     ServingReport report = scheduler.serve(trace);
     EXPECT_EQ(report.requests, 12u);
     EXPECT_GT(report.meanBatchSize, 1.0);
-    for (const CompletedRequest &r : report.completed)
+    for (const RequestOutcome &r : report.outcomes)
         EXPECT_LE(r.batchSize, 4u);
 }
 
@@ -183,11 +183,11 @@ TEST(SchedulerTest, MaxQueueDelayBoundsWaiting)
     trace[1].arrival = secondsToTicks(1.0);
     ServingReport report = scheduler.serve(trace);
     ASSERT_EQ(report.requests, 2u);
-    // completed[] is completion-ordered; request 1 dispatched at its
+    // outcomes[] is terminal-ordered; request 1 dispatched at its
     // timeout, not at request 2's arrival.
-    EXPECT_EQ(report.completed[0].request.id, 1u);
-    EXPECT_EQ(report.completed[0].dispatched, delay);
-    EXPECT_EQ(report.completed[0].batchSize, 1u);
+    EXPECT_EQ(report.outcomes[0].request.id, 1u);
+    EXPECT_EQ(report.outcomes[0].dispatched, delay);
+    EXPECT_EQ(report.outcomes[0].batchSize, 1u);
 }
 
 TEST(SchedulerTest, PerModelBatchCapOverridesGlobal)
@@ -205,7 +205,7 @@ TEST(SchedulerTest, PerModelBatchCapOverridesGlobal)
          fixedRateTrace("resnet50", 1e9, 8)});
     ServingReport report = scheduler.serve(trace);
     EXPECT_EQ(report.requests, 16u);
-    for (const CompletedRequest &r : report.completed) {
+    for (const RequestOutcome &r : report.outcomes) {
         if (r.request.model == "conformer") {
             EXPECT_LE(r.batchSize, 2u);
         } else {
@@ -242,12 +242,12 @@ TEST(SchedulerTest, DeterministicAcrossRuns)
     EXPECT_DOUBLE_EQ(a.joules, b.joules);
     EXPECT_EQ(a.deadlineMisses, b.deadlineMisses);
     EXPECT_EQ(a.missedIds, b.missedIds);
-    ASSERT_EQ(a.completed.size(), b.completed.size());
-    for (std::size_t i = 0; i < a.completed.size(); ++i) {
-        EXPECT_EQ(a.completed[i].request.id,
-                  b.completed[i].request.id);
-        EXPECT_EQ(a.completed[i].completed,
-                  b.completed[i].completed);
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+        EXPECT_EQ(a.outcomes[i].request.id,
+                  b.outcomes[i].request.id);
+        EXPECT_EQ(a.outcomes[i].completed,
+                  b.outcomes[i].completed);
     }
 }
 
