@@ -20,14 +20,26 @@
  *
  *     bench_fleet [--json <path>] [--max-devices <n>]
  *                 [--requests <per-device>] [--weight-gbps <gbps>]
+ *                 [--threads <n>]
  *
  * --max-devices caps the sweep (CI smoke uses 2); --requests scales
  * the per-device trace length; --weight-gbps > 0 additionally
  * models first-placement PCIe weight loads at that bandwidth.
+ * --threads drives every fleet with that many worker threads
+ * (FleetConfig::threads) and adds a serial-vs-parallel A/B at the
+ * largest size that fatals unless the two reports are byte-identical.
+ *
+ * The JSON artifact always carries simulator-speed metrics —
+ * wall_clock_seconds and sim_ticks_per_second over the whole sweep —
+ * so the perf trajectory (BENCH_*.json) can track simulator speed
+ * across commits.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/server.hh"
@@ -87,18 +99,34 @@ parseCount(const std::string &value, unsigned fallback)
                : static_cast<unsigned>(std::stoul(value));
 }
 
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     BenchOutput out(argc, argv, "fleet",
-                    {"--max-devices", "--requests", "--weight-gbps"});
+                    {"--max-devices", "--requests", "--weight-gbps",
+                     "--threads"});
     unsigned max_devices = parseCount(out.option("--max-devices"), 8);
     unsigned per_device = parseCount(out.option("--requests"), 128);
     double weight_gbps = out.option("--weight-gbps").empty()
                              ? 0.0
                              : std::stod(out.option("--weight-gbps"));
+    unsigned threads = parseCount(out.option("--threads"), 1);
+    unsigned hw = std::thread::hardware_concurrency();
+    if (threads > 1 && hw > 0 && hw < threads)
+        std::printf("  note: --threads %u > %u hardware thread%s; "
+                    "results stay bit-identical but wall-clock gains "
+                    "need real cores\n",
+                    threads, hw, hw == 1 ? "" : "s");
 
     printBanner("Fleet serving: size x routing x arrival pattern "
                 "(ResNet50 + BERT-Large, 3:1, "
@@ -126,6 +154,9 @@ main(int argc, char **argv)
              std::map<unsigned, std::map<std::string, double>>>
         p99;
 
+    auto sweep_start = std::chrono::steady_clock::now();
+    double simulated_seconds = 0.0;
+
     for (const std::string pattern : {"poisson", "bursty"}) {
         for (unsigned size : sizes) {
             std::vector<serve::Request> trace =
@@ -136,6 +167,7 @@ main(int argc, char **argv)
                 config.routing = policy;
                 config.serving = servingConfig();
                 config.weightLoadGbps = weight_gbps;
+                config.threads = threads;
                 FleetServer fleet(config);
                 fleet.submit(trace);
                 const serve::FleetReport &r = fleet.serveFleet();
@@ -161,11 +193,67 @@ main(int argc, char **argv)
                 achieved[pattern][size][policy_name] =
                     r.fleet.achievedQps;
                 p99[pattern][size][policy_name] = r.fleet.p99Ms;
+                simulated_seconds += ticksToSeconds(r.fleet.makespan);
             }
         }
     }
+    double wall_seconds = secondsSince(sweep_start);
     table.print();
     out.table("fleet", table);
+
+    // Simulator-speed headline: simulated time retired per second of
+    // host wall-clock, summed over every sweep cell.
+    double sim_ticks =
+        simulated_seconds * static_cast<double>(ticksPerSecond);
+    out.metric("wall_clock_seconds", wall_seconds);
+    out.metric("simulated_ticks", sim_ticks);
+    out.metric("sim_ticks_per_second",
+               wall_seconds > 0.0 ? sim_ticks / wall_seconds : 0.0);
+    std::printf("\n  sweep wall clock: %.2f s for %.3f simulated "
+                "seconds (%.3g ticks/s, threads=%u)\n",
+                wall_seconds, simulated_seconds,
+                wall_seconds > 0.0 ? sim_ticks / wall_seconds : 0.0,
+                threads);
+
+    // Serial-vs-parallel A/B at the largest size: the parallel window
+    // scheduler must reproduce the serial report byte-for-byte, and
+    // we record the speedup it buys on this host.
+    if (threads > 1) {
+        unsigned ab_size = sizes.back();
+        std::vector<serve::Request> trace =
+            mixTrace("poisson", ab_size, per_device);
+        auto run_ab = [&](unsigned n_threads, double *seconds) {
+            serve::FleetConfig config;
+            config.devices = ab_size;
+            config.routing = serve::RoutingPolicy::LeastOutstanding;
+            config.serving = servingConfig();
+            config.weightLoadGbps = weight_gbps;
+            config.threads = n_threads;
+            FleetServer fleet(config);
+            fleet.submit(trace);
+            auto start = std::chrono::steady_clock::now();
+            const serve::FleetReport &r = fleet.serveFleet();
+            *seconds = secondsSince(start);
+            std::ostringstream os;
+            serve::writeJson(r, os, /*per_request=*/true);
+            return os.str();
+        };
+        double serial_s = 0.0, parallel_s = 0.0;
+        std::string serial = run_ab(1, &serial_s);
+        std::string parallel = run_ab(threads, &parallel_s);
+        fatalIf(serial != parallel,
+                "threads=", threads, " fleet report diverged from "
+                "serial at ", ab_size, " devices");
+        double speedup =
+            parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+        out.metric("ab_serial_seconds", serial_s);
+        out.metric("ab_parallel_seconds", parallel_s);
+        out.metric("ab_speedup_threads_" + std::to_string(threads),
+                   speedup);
+        std::printf("  serial/parallel A/B at n%u: %.2f s -> %.2f s "
+                    "(%.2fx, threads=%u), reports byte-identical\n",
+                    ab_size, serial_s, parallel_s, speedup, threads);
+    }
 
     // Headline 1: near-linear aggregate QPS scaling under open-loop
     // Poisson load (least-outstanding routing, largest size vs 1).

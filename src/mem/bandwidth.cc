@@ -33,6 +33,20 @@ BandwidthResource::bucketBytes() const
     return bytesPerSecond_ * ticksToSeconds(bucketTicks_);
 }
 
+double &
+BandwidthResource::usedAt(std::uint64_t idx)
+{
+    std::uint64_t page_no = idx / kPageBuckets;
+    if (page_no != cachedPageNo_) {
+        std::unique_ptr<Page> &page = pages_[page_no];
+        if (!page)
+            page = std::make_unique<Page>();
+        cachedPageNo_ = page_no;
+        cachedPage_ = page.get();
+    }
+    return (*cachedPage_)[idx % kPageBuckets];
+}
+
 Tick
 BandwidthResource::serviceTime(std::uint64_t bytes) const
 {
@@ -69,7 +83,7 @@ BandwidthResource::transferAt(Tick at, std::uint64_t bytes)
     while (remaining > 0.0) {
         double bucket_cap = cap * (idx == at / bucketTicks_ ? first_frac
                                                             : 1.0);
-        double &used = used_[idx];
+        double &used = usedAt(idx);
         double avail = bucket_cap - used;
         if (avail > 1e-12) {
             double take = std::min(avail, remaining);

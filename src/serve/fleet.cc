@@ -8,6 +8,8 @@
 #include "serve/arrival.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/worker_pool.hh"
+#include "soc/dtu.hh"
 
 namespace dtu
 {
@@ -143,7 +145,8 @@ Fleet::Fleet(std::vector<Member> members, FleetConfig config)
         devices_.push_back(std::make_unique<Scheduler>(
             *m.dtu, *m.manager, config_.serving));
         if (config_.sharePlans)
-            devices_.back()->sharePlanCache(&sharedPlans_);
+            devices_.back()->sharePlanCache(&sharedPlans_,
+                                            &planMutex_);
         view_.push_back(devices_.back().get());
     }
 }
@@ -162,6 +165,20 @@ Fleet::setRequestTracer(obs::RequestTracer *tracer)
     reqTracer_ = tracer;
     for (unsigned i = 0; i < devices_.size(); ++i)
         devices_[i]->setRequestTracer(tracer, i);
+}
+
+unsigned
+Fleet::effectiveThreads() const
+{
+    unsigned threads = std::max(1u, config_.threads);
+    threads = static_cast<unsigned>(
+        std::min<std::size_t>(threads, devices_.size()));
+    if (threads > 1 && (sloMon_ || reqTracer_)) {
+        warn("fleet observers (SLO monitor / request tracer) need a "
+             "globally ordered record stream; serving with threads=1");
+        return 1;
+    }
+    return threads;
 }
 
 FleetReport
@@ -212,6 +229,13 @@ Fleet::serve(std::vector<Request> trace)
             routed[d].push_back(r);
         }
     };
+
+    const unsigned threads = effectiveThreads();
+    if (threads > 1) {
+        now = serveParallel(trace, threads, now, next_arrival,
+                            admitUpTo);
+        return buildReport(offered, routed);
+    }
 
     admitUpTo(now);
     for (unsigned i = 0; i < n; ++i) {
@@ -276,6 +300,77 @@ Fleet::serve(std::vector<Request> trace)
     if (sloMon_)
         sloMon_->finish(std::max(now, last_completion));
 
+    return buildReport(offered, routed);
+}
+
+Tick
+Fleet::serveParallel(const std::vector<Request> &trace,
+                     unsigned threads, Tick start,
+                     std::size_t &next_arrival,
+                     const std::function<void(Tick)> &admit_up_to)
+{
+    const unsigned n = static_cast<unsigned>(devices_.size());
+    WorkerPool pool(threads);
+    Tick now = start;
+
+    auto settleAll = [&](Tick at) {
+        pool.parallelFor(n, [&](unsigned i) {
+            ScopedLogDevice log_dev(static_cast<int>(i));
+            devices_[i]->settle(at);
+        });
+    };
+
+    admit_up_to(now);
+    settleAll(now);
+    while (true) {
+        // The next arrival bounds the window: devices interact only
+        // through routing and admission, so between arrivals each
+        // device's simulation is causally independent of the others.
+        const Tick barrier = next_arrival < trace.size()
+                                 ? trace[next_arrival].arrival
+                                 : kNever;
+        const Tick from = now;
+        pool.parallelFor(n, [&](unsigned i) {
+            Scheduler &dev = *devices_[i];
+            ScopedLogDevice log_dev(static_cast<int>(i));
+            // Advance through the device's own events inside the
+            // window. Each visited tick replays the serial driver's
+            // advance/settle pair; ticks the serial driver visited
+            // for *other* devices are no-ops here by idempotence.
+            Tick t = from;
+            for (;;) {
+                Tick tn = dev.nextEvent(t);
+                if (tn >= barrier)
+                    break;
+                t = tn;
+                dev.advanceCompletions(t);
+                dev.settle(t);
+            }
+            // Retire work completing exactly at the barrier before
+            // the router reads device state (serial order: advance
+            // all devices, then admit, then settle).
+            if (barrier != kNever)
+                dev.advanceCompletions(barrier);
+        });
+        if (barrier == kNever)
+            break;
+        now = barrier;
+        admit_up_to(now);
+        settleAll(now);
+    }
+    std::size_t stuck = 0;
+    for (const auto &dev : devices_)
+        stuck += dev->queueDepth() + dev->decodeReadyCount();
+    fatalIf(stuck != 0, "fleet serving deadlock: ", stuck,
+            " queued requests but no future event");
+    return now;
+}
+
+FleetReport
+Fleet::buildReport(double offered,
+                   const std::vector<std::vector<Request>> &routed)
+{
+    const std::size_t n = devices_.size();
     FleetReport report;
     report.devices = static_cast<unsigned>(n);
     report.routing = config_.routing;

@@ -12,6 +12,20 @@
  * cross-device ordering is deterministic and a size-1 fleet
  * reproduces the single-device Scheduler::serve() path bit-for-bit.
  *
+ * With FleetConfig::threads > 1 the driver becomes a conservative
+ * time-window scheduler: devices touch each other only through the
+ * router at arrival times, so the span between consecutive arrivals
+ * is a synchronization window. Inside a window each device advances
+ * through its own internal events on its own worker thread (devices
+ * share nothing but the mutex-guarded plan cache); at the window
+ * barrier the fleet thread routes and admits the due arrivals, then
+ * the workers settle. Because the serial loop's per-device steps at
+ * ticks belonging to *other* devices are no-ops by construction
+ * (settle/advance are idempotent between a device's own events and
+ * admissions), the parallel schedule retires exactly the same events
+ * at exactly the same simulated ticks — reports are bit-identical to
+ * threads=1 at any thread count.
+ *
  * Model placement is explicit: the first time the router assigns a
  * model to a device, the device "places" it, optionally paying a
  * modeled PCIe weight-load (weight bytes at weightLoadGbps GB/s,
@@ -30,7 +44,9 @@
 #define DTU_SERVE_FLEET_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -95,6 +111,19 @@ struct FleetConfig
      * unchanged.
      */
     bool sharePlans = true;
+    /**
+     * Worker threads driving the devices, clamped to the fleet size.
+     * 1 (the default) is the classic serial event loop. With more,
+     * each device runs on its own worker under conservative
+     * time-window synchronization: windows span the gaps between
+     * arrival times (the only cross-device coupling — routing reads
+     * device load, placement — happens at arrivals), devices share
+     * nothing inside a window, and every report is bit-identical to
+     * threads=1. Runs with an SLO monitor or request tracer attached
+     * fall back to threads=1 (with a warning): those observers
+     * promise one globally ordered record stream.
+     */
+    unsigned threads = 1;
 };
 
 /** One device's slice of a fleet serving run. */
@@ -200,11 +229,32 @@ class Fleet
     void setRequestTracer(obs::RequestTracer *tracer);
 
   private:
+    /** Worker threads serve() will actually use (clamp + fallback). */
+    unsigned effectiveThreads() const;
+
+    /**
+     * The parallel window loop: per-device worker threads between
+     * arrival-time barriers. @p admit_up_to runs on the fleet thread
+     * at each barrier (routing + admission). Returns the final
+     * barrier time.
+     */
+    Tick serveParallel(const std::vector<Request> &trace,
+                       unsigned threads, Tick start,
+                       std::size_t &next_arrival,
+                       const std::function<void(Tick)> &admit_up_to);
+
+    /** Assemble the per-device and fleet-aggregate reports. */
+    FleetReport
+    buildReport(double offered,
+                const std::vector<std::vector<Request>> &routed);
+
     FleetConfig config_;
     std::vector<std::unique_ptr<Scheduler>> devices_;
     std::vector<Scheduler *> view_;
     std::unique_ptr<Router> router_;
     PlanCache sharedPlans_;
+    /** Guards sharedPlans_ while workers compile concurrently. */
+    std::mutex planMutex_;
     obs::SloMonitor *sloMon_ = nullptr;
     obs::RequestTracer *reqTracer_ = nullptr;
 };

@@ -73,65 +73,75 @@ Scheduler::Scheduler(Dtu &dtu, ResourceManager &manager,
     }
 }
 
+template <typename BuildGraph>
+const ExecutionPlan &
+Scheduler::cachedPlan(const std::pair<std::string, unsigned> &key,
+                      BuildGraph &&build)
+{
+    PlanCache &cache = plans();
+    if (!planMutex_) {
+        auto it = cache.find(key);
+        if (it == cache.end())
+            it = cache
+                     .emplace(key, compile(build(), dtu_.config(),
+                                           config_.dtype,
+                                           config_.groupsPerBatch, {},
+                                           static_cast<int>(key.second)))
+                     .first;
+        return it->second;
+    }
+    // Shared cache under parallel fleet workers: look up under the
+    // lock, compile outside it (plans are pure functions of the graph
+    // and chip config, so a concurrent racer just builds a duplicate
+    // and the try_emplace loser is discarded). std::map entries are
+    // reference-stable and never erased, so the returned reference is
+    // safe to use unlocked.
+    {
+        std::lock_guard<std::mutex> lock(*planMutex_);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
+    ExecutionPlan compiled =
+        compile(build(), dtu_.config(), config_.dtype,
+                config_.groupsPerBatch, {},
+                static_cast<int>(key.second));
+    std::lock_guard<std::mutex> lock(*planMutex_);
+    return cache.try_emplace(key, std::move(compiled)).first->second;
+}
+
 const ExecutionPlan &
 Scheduler::plan(const std::string &model, unsigned batch)
 {
-    PlanCache &cache = plans();
-    auto key = std::make_pair(model, batch);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        Graph graph = models::buildModel(model,
-                                         static_cast<int>(batch));
-        it = cache
-                 .emplace(key, compile(graph, dtu_.config(),
-                                       config_.dtype,
-                                       config_.groupsPerBatch, {},
-                                       static_cast<int>(batch)))
-                 .first;
-    }
-    return it->second;
+    return cachedPlan(std::make_pair(model, batch), [&] {
+        return models::buildModel(model, static_cast<int>(batch));
+    });
 }
 
 const ExecutionPlan &
 Scheduler::prefillPlan(const std::string &model, unsigned batch,
                        unsigned prompt)
 {
-    PlanCache &cache = plans();
-    auto key = std::make_pair(model + "@p" + std::to_string(prompt),
-                              batch);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        Graph graph = models::buildDecoderPrefill(
-            model, static_cast<int>(batch), static_cast<int>(prompt));
-        it = cache
-                 .emplace(key, compile(graph, dtu_.config(),
-                                       config_.dtype,
-                                       config_.groupsPerBatch, {},
-                                       static_cast<int>(batch)))
-                 .first;
-    }
-    return it->second;
+    return cachedPlan(
+        std::make_pair(model + "@p" + std::to_string(prompt), batch),
+        [&] {
+            return models::buildDecoderPrefill(
+                model, static_cast<int>(batch),
+                static_cast<int>(prompt));
+        });
 }
 
 const ExecutionPlan &
 Scheduler::decodePlan(const std::string &model, unsigned batch,
                       unsigned ctx)
 {
-    PlanCache &cache = plans();
-    auto key = std::make_pair(model + "@d" + std::to_string(ctx),
-                              batch);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        Graph graph = models::buildDecoderStep(
-            model, static_cast<int>(batch), static_cast<int>(ctx));
-        it = cache
-                 .emplace(key, compile(graph, dtu_.config(),
-                                       config_.dtype,
-                                       config_.groupsPerBatch, {},
-                                       static_cast<int>(batch)))
-                 .first;
-    }
-    return it->second;
+    return cachedPlan(
+        std::make_pair(model + "@d" + std::to_string(ctx), batch),
+        [&] {
+            return models::buildDecoderStep(model,
+                                            static_cast<int>(batch),
+                                            static_cast<int>(ctx));
+        });
 }
 
 unsigned

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -207,9 +208,21 @@ class Scheduler
      * identically configured devices, where compiled plans are pure
      * functions of the DtuConfig). nullptr reverts to the private
      * cache. Sharing is a host-side memoization only; simulated
-     * timing is unchanged.
+     * timing is unchanged. When the fleet drives its devices from
+     * worker threads it also passes @p mutex: lookups lock it,
+     * compilation happens outside the lock (plans are pure, a losing
+     * racer's copy is discarded), and entries are never erased, so
+     * returned references stay valid unlocked.
      */
-    void sharePlanCache(PlanCache *cache) { sharedPlans_ = cache; }
+    void
+    sharePlanCache(PlanCache *cache, std::mutex *mutex = nullptr)
+    {
+        sharedPlans_ = cache;
+        planMutex_ = cache ? mutex : nullptr;
+    }
+
+    /** The chip this core schedules onto. */
+    Dtu &chip() { return dtu_; }
 
     /**
      * Attach (or detach, with nullptr) a live SLO monitor. The
@@ -438,6 +451,16 @@ class Scheduler
         ExecResult result;
     };
 
+    /**
+     * Look up @p key in the active plan cache, compiling the graph
+     * @p build returns on a miss (thread-safe when a shared-cache
+     * mutex was provided, see sharePlanCache).
+     */
+    template <typename BuildGraph>
+    const ExecutionPlan &
+    cachedPlan(const std::pair<std::string, unsigned> &key,
+               BuildGraph &&build);
+
     /** Memoized compile of @p model at @p batch samples. */
     const ExecutionPlan &plan(const std::string &model, unsigned batch);
 
@@ -527,6 +550,8 @@ class Scheduler
     ServingConfig config_;
     PlanCache plans_;
     PlanCache *sharedPlans_ = nullptr;
+    /** Guards sharedPlans_ under parallel fleet workers (may be null). */
+    std::mutex *planMutex_ = nullptr;
 
     //
     // Degradation counters. The first scheduler on a chip registers

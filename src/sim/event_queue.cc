@@ -1,15 +1,26 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace dtu
 {
+
+namespace
+{
+
+/** Smallest bucket-ring size (power of two). */
+constexpr std::size_t kMinBuckets = 16;
+
+} // namespace
 
 Event::Event(std::function<void()> callback, std::string name)
     : callback_(std::move(callback)), name_(std::move(name))
 {}
 
 EventQueue::EventQueue()
+    : buckets_(kMinBuckets), mask_(kMinBuckets - 1)
 {
     // Timestamp warn()/inform() with this queue's simulated time.
     setLogClock(this);
@@ -28,6 +39,93 @@ Event::~Event()
 }
 
 void
+EventQueue::insertEntry(const Entry &entry)
+{
+    std::vector<Entry> &bucket =
+        buckets_[(entry.when / width_) & mask_];
+    auto pos = std::upper_bound(
+        bucket.begin(), bucket.end(), entry,
+        [](const Entry &a, const Entry &b) {
+            return a.when != b.when ? a.when < b.when
+                                    : a.sequence < b.sequence;
+        });
+    bucket.insert(pos, entry);
+}
+
+void
+EventQueue::removeEntry(const Event &event)
+{
+    std::vector<Entry> &bucket =
+        buckets_[(event.when_ / width_) & mask_];
+    auto pos = std::lower_bound(
+        bucket.begin(), bucket.end(), event.when_,
+        [](const Entry &a, Tick when) { return a.when < when; });
+    while (pos != bucket.end() && pos->when == event.when_ &&
+           pos->event != &event)
+        ++pos;
+    panicIf(pos == bucket.end() || pos->event != &event,
+            "event '", event.name_, "' missing from its bucket");
+    bucket.erase(pos);
+}
+
+void
+EventQueue::resize(std::size_t nbuckets)
+{
+    std::vector<Entry> entries;
+    entries.reserve(live_);
+    for (std::vector<Entry> &bucket : buckets_) {
+        entries.insert(entries.end(), bucket.begin(), bucket.end());
+        bucket.clear();
+    }
+    // Re-derive the day width so one trip around the ring covers the
+    // live span: average inter-event gap, never below one tick.
+    if (entries.size() >= 2) {
+        Tick lo = maxTick, hi = 0;
+        for (const Entry &e : entries) {
+            lo = std::min(lo, e.when);
+            hi = std::max(hi, e.when);
+        }
+        width_ = std::max<Tick>(1, (hi - lo) / nbuckets + 1);
+    }
+    buckets_.resize(nbuckets);
+    mask_ = nbuckets - 1;
+    for (const Entry &e : entries)
+        insertEntry(e);
+}
+
+const EventQueue::Entry *
+EventQueue::peekNext() const
+{
+    if (live_ == 0)
+        return nullptr;
+    // Scan days from the current one: every live event's day is
+    // >= now's (pop order is monotonic and schedule requires
+    // when >= now), and a bucket is ascending-sorted, so its front
+    // carries the bucket's smallest day — front matching the probed
+    // day is the global minimum.
+    const std::size_t n = buckets_.size();
+    std::uint64_t day = now_ / width_;
+    for (std::size_t i = 0; i < n; ++i, ++day) {
+        const std::vector<Entry> &bucket = buckets_[day & mask_];
+        if (!bucket.empty() && bucket.front().when / width_ == day)
+            return &bucket.front();
+    }
+    // Everything pending is more than one trip around the ring out
+    // (sparse far-future events): direct scan of the bucket minima.
+    const Entry *best = nullptr;
+    for (const std::vector<Entry> &bucket : buckets_) {
+        if (bucket.empty())
+            continue;
+        const Entry &front = bucket.front();
+        if (!best || front.when < best->when ||
+            (front.when == best->when &&
+             front.sequence < best->sequence))
+            best = &front;
+    }
+    return best;
+}
+
+void
 EventQueue::schedule(Event &event, Tick when)
 {
     panicIf(event.scheduled_,
@@ -38,8 +136,10 @@ EventQueue::schedule(Event &event, Tick when)
     event.sequence_ = nextSequence_++;
     event.scheduled_ = true;
     event.queue_ = this;
-    queue_.push(Entry{when, event.sequence_, &event});
+    insertEntry(Entry{when, event.sequence_, &event});
     ++live_;
+    if (live_ > buckets_.size() * 2)
+        resize(buckets_.size() * 2);
 }
 
 void
@@ -47,11 +147,11 @@ EventQueue::deschedule(Event &event)
 {
     panicIf(!event.scheduled_ || event.queue_ != this,
             "descheduling event '", event.name_, "' not in this queue");
-    // Lazy deletion: mark the event descheduled; the stale queue entry
-    // is discarded when popped. The sequence number distinguishes a
-    // stale entry from a re-scheduled incarnation of the same event.
+    removeEntry(event);
     event.scheduled_ = false;
     --live_;
+    if (buckets_.size() > kMinBuckets && live_ < buckets_.size() / 4)
+        resize(buckets_.size() / 2);
 }
 
 void
@@ -62,38 +162,38 @@ EventQueue::reschedule(Event &event, Tick when)
     schedule(event, when);
 }
 
+void
+EventQueue::popAndRun(const Entry &top)
+{
+    Entry entry = top;
+    std::vector<Entry> &bucket =
+        buckets_[(entry.when / width_) & mask_];
+    bucket.erase(bucket.begin());
+    --live_;
+    if (buckets_.size() > kMinBuckets && live_ < buckets_.size() / 4)
+        resize(buckets_.size() / 2);
+    now_ = entry.when;
+    entry.event->scheduled_ = false;
+    ++executed_;
+    entry.event->callback_();
+}
+
 bool
 EventQueue::step()
 {
-    while (!queue_.empty()) {
-        Entry top = queue_.top();
-        queue_.pop();
-        Event *event = top.event;
-        if (!event->scheduled_ || event->sequence_ != top.sequence)
-            continue; // stale entry from deschedule/reschedule
-        now_ = top.when;
-        event->scheduled_ = false;
-        --live_;
-        ++executed_;
-        event->callback_();
-        return true;
-    }
-    return false;
+    const Entry *top = peekNext();
+    if (!top)
+        return false;
+    popAndRun(*top);
+    return true;
 }
 
 Tick
 EventQueue::run(Tick limit)
 {
-    while (!queue_.empty()) {
-        const Entry &top = queue_.top();
-        if (!top.event->scheduled_ || top.event->sequence_ != top.sequence) {
-            queue_.pop();
-            continue;
-        }
-        if (top.when > limit)
-            break;
-        step();
-    }
+    const Entry *top;
+    while ((top = peekNext()) && top->when <= limit)
+        popAndRun(*top);
     return now_;
 }
 
@@ -101,16 +201,10 @@ void
 EventQueue::advanceTo(Tick when)
 {
     panicIf(when < now_, "cannot advance time backwards");
-    while (!queue_.empty()) {
-        const Entry &top = queue_.top();
-        if (!top.event->scheduled_ || top.event->sequence_ != top.sequence) {
-            queue_.pop();
-            continue;
-        }
-        panicIf(top.when < when,
+    if (const Entry *top = peekNext()) {
+        panicIf(top->when < when,
                 "advanceTo(", when, ") would skip event '",
-                top.event->name_, "' at ", top.when);
-        break;
+                top->event->name_, "' at ", top->when);
     }
     now_ = when;
 }

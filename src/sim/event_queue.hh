@@ -7,6 +7,17 @@
  * power-management observation windows — is an Event scheduled on a
  * single EventQueue. Events at the same tick execute in FIFO order of
  * scheduling (stable), which keeps runs deterministic.
+ *
+ * The queue is an indexed calendar queue (R. Brown, CACM 1988): time
+ * is divided into fixed-width "days" hashed onto a power-of-two ring
+ * of buckets, so schedule/deschedule/pop are O(1) amortized instead
+ * of the O(log n) heap push plus O(n) lazy-deletion backlog of a
+ * binary heap. Descheduling removes the entry eagerly, so the queue
+ * never holds a pointer to an Event that may since have been
+ * destroyed (the lazy-deletion scheme dereferenced stale Event
+ * pointers at pop time). The bucket ring resizes with the live event
+ * population and re-derives the day width from the observed event
+ * span, keeping ~O(1) events per bucket across workload scales.
  */
 
 #ifndef DTU_SIM_EVENT_QUEUE_HH
@@ -14,7 +25,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -28,7 +38,8 @@ class EventQueue;
 /**
  * A schedulable unit of work. Events are owned by the caller and may
  * be rescheduled after they fire; an event can only be in the queue
- * once at a time.
+ * once at a time. Destroying a still-scheduled event removes it from
+ * its queue.
  */
 class Event
 {
@@ -65,7 +76,8 @@ class Event
  *
  * The queue is not global: each simulation (each DTU instance, each
  * test) owns its own queue, so independent simulations can coexist in
- * one process.
+ * one process — and, in a parallel fleet, each device's queue is
+ * confined to the worker thread driving that device.
  */
 class EventQueue
 {
@@ -96,7 +108,7 @@ class EventQueue
     void reschedule(Event &event, Tick when);
 
     /** True when no events remain. */
-    bool empty() const { return live_ != 0 ? false : true; }
+    bool empty() const { return live_ == 0; }
 
     /** Number of live (scheduled) events. */
     std::size_t size() const { return live_; }
@@ -127,17 +139,35 @@ class EventQueue
         Tick when;
         std::uint64_t sequence;
         Event *event;
-
-        bool
-        operator>(const Entry &other) const
-        {
-            return when != other.when ? when > other.when
-                                      : sequence > other.sequence;
-        }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
-        queue_;
+    /** The earliest pending entry, or nullptr when empty. */
+    const Entry *peekNext() const;
+
+    /** Pop @p top (must be peekNext()'s result) and run its event. */
+    void popAndRun(const Entry &top);
+
+    /** Insert into the bucket for @p entry.when, keeping it sorted. */
+    void insertEntry(const Entry &entry);
+
+    /** Eagerly remove @p event's entry from its bucket. */
+    void removeEntry(const Event &event);
+
+    /** Rebuild onto @p nbuckets buckets, re-deriving the day width. */
+    void resize(std::size_t nbuckets);
+
+    /**
+     * Bucket ring. Each bucket holds the entries of every day hashing
+     * onto it, sorted ascending by (when, sequence); since a bucket
+     * stays small (resize keeps load ~O(1)) the sorted-vector insert
+     * and erase are effectively O(1).
+     */
+    std::vector<std::vector<Entry>> buckets_;
+    /** Ticks per calendar day. */
+    Tick width_ = 1024;
+    /** buckets_.size() - 1; the size is a power of two. */
+    std::size_t mask_ = 0;
+
     Tick now_ = 0;
     std::uint64_t nextSequence_ = 0;
     std::uint64_t executed_ = 0;

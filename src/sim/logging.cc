@@ -14,8 +14,11 @@ namespace
 {
 
 bool gLoggingEnabled = false;
-const EventQueue *gLogClock = nullptr;
-int gLogDevice = -1;
+// Per-thread log sinks: in a parallel fleet each worker thread drives
+// its own devices, and its warn()/inform() prefixes must follow the
+// device it is stepping, not whatever another thread last registered.
+thread_local const EventQueue *gLogClock = nullptr;
+thread_local int gLogDevice = -1;
 
 /** Parse DTU_LOG once; nullopt when unset or unrecognized. */
 std::optional<bool>

@@ -108,7 +108,9 @@ void setLoggingEnabled(bool enabled);
  * Register the event queue whose now() timestamps log messages.
  * Pass nullptr to unregister. Each EventQueue registers itself on
  * construction (last one constructed wins — with several coexisting
- * simulations, timestamps follow the most recent chip).
+ * simulations, timestamps follow the most recent chip). The
+ * registration is per thread, so parallel fleet workers each stamp
+ * log lines with their own device's clock.
  */
 void setLogClock(const EventQueue *queue);
 

@@ -1,0 +1,98 @@
+#include "sim/worker_pool.hh"
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+
+WorkerPool::WorkerPool(unsigned threads)
+    : threads_(threads)
+{
+    fatalIf(threads == 0, "a worker pool needs at least one thread");
+    helpers_.reserve(threads - 1);
+    for (unsigned w = 1; w < threads; ++w)
+        helpers_.emplace_back([this, w] { workerMain(w); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    start_.notify_all();
+    for (std::thread &helper : helpers_)
+        helper.join();
+}
+
+void
+WorkerPool::runStripe(unsigned worker)
+{
+    try {
+        for (unsigned job = worker; job < jobs_; job += threads_)
+            (*fn_)(job);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_ || worker < errorWorker_) {
+            error_ = std::current_exception();
+            errorWorker_ = worker;
+        }
+    }
+}
+
+void
+WorkerPool::workerMain(unsigned worker)
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            start_.wait(lock, [&] {
+                return shutdown_ || round_ != seen;
+            });
+            if (shutdown_)
+                return;
+            seen = round_;
+        }
+        runStripe(worker);
+        bool last;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            last = --pending_ == 0;
+        }
+        if (last)
+            done_.notify_one();
+    }
+}
+
+void
+WorkerPool::parallelFor(unsigned jobs,
+                        const std::function<void(unsigned)> &fn)
+{
+    if (threads_ == 1) {
+        // Inline fast path: no locks, exceptions propagate directly.
+        for (unsigned job = 0; job < jobs; ++job)
+            fn(job);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        fn_ = &fn;
+        jobs_ = jobs;
+        error_ = nullptr;
+        errorWorker_ = 0;
+        pending_ = threads_ - 1;
+        ++round_;
+    }
+    start_.notify_all();
+    runStripe(0);
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] { return pending_ == 0; });
+        fn_ = nullptr;
+    }
+    if (error_)
+        std::rethrow_exception(error_);
+}
+
+} // namespace dtu

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A fixed pool of worker threads for barrier-style parallel loops.
+ *
+ * The parallel fleet driver (serve/fleet.cc) advances N share-nothing
+ * device simulations through one synchronization window at a time:
+ * every window is a parallelFor() over the devices, and the join at
+ * the end of each call is the conservative time barrier. The pool
+ * keeps its threads across calls (a serving run executes thousands of
+ * windows, so per-window thread spawn cost would dominate), uses a
+ * deterministic job-to-worker striping so a given device is always
+ * stepped by the same thread (thread-local log sinks stay attached to
+ * the device), and rethrows the first worker exception on the calling
+ * thread.
+ */
+
+#ifndef DTU_SIM_WORKER_POOL_HH
+#define DTU_SIM_WORKER_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dtu
+{
+
+class WorkerPool
+{
+  public:
+    /**
+     * @param threads total workers, >= 1. The calling thread acts as
+     * worker 0; threads - 1 helper threads are spawned, so a pool of
+     * 1 runs everything inline with no threads at all.
+     */
+    explicit WorkerPool(unsigned threads);
+
+    /** Joins the helper threads. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Total workers (including the calling thread). */
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Run fn(job) for every job in [0, jobs), striped across workers
+     * (worker w runs jobs w, w + threads, ...), and block until all
+     * complete. fn must be safe to call concurrently for distinct
+     * jobs. If any invocation throws, the first exception (lowest
+     * worker index) is rethrown here after the barrier.
+     */
+    void parallelFor(unsigned jobs,
+                     const std::function<void(unsigned)> &fn);
+
+  private:
+    /** Helper-thread main loop: wait for a round, run a stripe. */
+    void workerMain(unsigned worker);
+
+    /** Run worker @p worker's stripe of the current round. */
+    void runStripe(unsigned worker);
+
+    const unsigned threads_;
+    std::vector<std::thread> helpers_;
+
+    std::mutex mutex_;
+    std::condition_variable start_;
+    std::condition_variable done_;
+    /** Round counter; a bump publishes a new parallelFor round. */
+    std::uint64_t round_ = 0;
+    /** Helpers still running the current round. */
+    unsigned pending_ = 0;
+    bool shutdown_ = false;
+    const std::function<void(unsigned)> *fn_ = nullptr;
+    unsigned jobs_ = 0;
+    /** First (lowest worker index) exception of the round. */
+    std::exception_ptr error_;
+    unsigned errorWorker_ = 0;
+};
+
+} // namespace dtu
+
+#endif // DTU_SIM_WORKER_POOL_HH

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * The parallel-fleet determinism guarantee (serve/fleet.hh,
+ * sim/worker_pool.hh): a fleet served with threads=N produces
+ * byte-identical results to threads=1 — same serving/generation JSON
+ * (per-request outcome logs included), same per-device StatRegistry
+ * dumps — for any thread count, workload shape, seed, fault
+ * pressure, and degradation policy.
+ *
+ * This is the contract that makes the parallel simulator trustworthy:
+ * devices interact only through routing/admission at arrival times,
+ * so the conservative window scheduler retires exactly the serial
+ * schedule. Each workload below stresses a different coupling path:
+ * Poisson and bursty arrivals (routing pressure), per-device fault
+ * injection (ECC/DMA perturbations of batch timing), degradation
+ * (shedding, timeouts, batch retries), and autoregressive generation
+ * (KV admission, continuous batching, decode steps).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/server.hh"
+#include "serve/arrival.hh"
+#include "serve/fleet.hh"
+#include "sim/fault.hh"
+
+namespace
+{
+
+using namespace dtu;
+using namespace dtu::serve;
+
+struct Workload
+{
+    const char *name;
+    std::uint64_t seed;
+    bool bursty;
+    bool faults;
+    bool generative;
+};
+
+FleetConfig
+fleetConfig(unsigned threads)
+{
+    FleetConfig config;
+    config.devices = 4;
+    config.routing = RoutingPolicy::LeastOutstanding;
+    config.threads = threads;
+    config.serving.batching.maxBatch = 4;
+    config.serving.batching.maxQueueDelay = secondsToTicks(500e-6);
+    config.serving.batching.perModelMaxBatch["bert_large"] = 1;
+    config.serving.degradation.shedExpired = true;
+    config.serving.degradation.requestTimeout = secondsToTicks(30e-3);
+    config.serving.degradation.maxBatchRetries = 1;
+    config.serving.generation.maxDecodeBatch = 4;
+    // Placement weight loads give every device weight-ready events
+    // near the start of the run (a window-edge case worth covering).
+    config.weightLoadGbps = 8.0;
+    return config;
+}
+
+std::vector<Request>
+oneShotTrace(const Workload &w)
+{
+    const double qps = 6000.0;
+    const Tick resnet_slo = secondsToTicks(25e-3);
+    const Tick bert_slo = secondsToTicks(80e-3);
+    if (w.bursty)
+        return finalizeTrace(
+            {burstyTrace("resnet50", qps * 0.75, 24, w.seed,
+                         /*burst=*/6, /*factor=*/4.0, resnet_slo),
+             burstyTrace("bert_large", qps * 0.25, 8, w.seed + 1,
+                         /*burst=*/4, /*factor=*/4.0, bert_slo)});
+    return finalizeTrace(
+        {poissonTrace("resnet50", qps * 0.75, 24, w.seed, resnet_slo),
+         poissonTrace("bert_large", qps * 0.25, 8, w.seed + 1,
+                      bert_slo)});
+}
+
+/** Ragged gpt_tiny traffic layered over the one-shot trace. */
+std::vector<RequestSpec>
+genSpecs(std::uint64_t seed)
+{
+    std::vector<RequestSpec> specs;
+    const Tick gap = secondsToTicks(1.0 / 2500.0);
+    for (unsigned i = 0; i < 10; ++i) {
+        RequestSpec spec;
+        spec.model = "gpt_tiny";
+        spec.arrival = gap * i + gap / (2 + (seed + i) % 3);
+        spec.gen.promptLen =
+            16 + 8 * static_cast<unsigned>((seed + i) % 4);
+        spec.gen.maxNewTokens =
+            4 + static_cast<unsigned>((seed + 2 * i) % 5);
+        spec.gen.stop = (seed + i) % 2 ? StopPolicy::EosHash
+                                       : StopPolicy::MaxTokens;
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+/**
+ * One full fleet serving run at @p threads: the report JSON with
+ * per-request outcome logs, plus every device's final StatRegistry
+ * dump in @p stats_out.
+ */
+std::string
+runOnce(unsigned threads, const Workload &w, std::string *stats_out)
+{
+    FleetServer fleet(fleetConfig(threads));
+    if (w.faults) {
+        for (unsigned i = 0; i < fleet.size(); ++i) {
+            FaultConfig f;
+            f.seed = w.seed * 97 + i;
+            f.eccCorrectablePerGiB = 60.0;
+            f.eccUncorrectablePerGiB = 3.0;
+            f.dmaTransientRate = 5e-4;
+            fleet.device(i).installFaults(f);
+        }
+    }
+    fleet.submit(oneShotTrace(w));
+    if (w.generative)
+        for (const RequestSpec &spec : genSpecs(w.seed))
+            fleet.submit(spec);
+    const FleetReport &report = fleet.serveFleet();
+
+    std::ostringstream os;
+    writeJson(report, os, /*per_request=*/true);
+    if (stats_out) {
+        std::ostringstream stats;
+        for (unsigned i = 0; i < fleet.size(); ++i)
+            fleet.device(i).dumpStatsJson(stats);
+        *stats_out = stats.str();
+    }
+    return os.str();
+}
+
+/** Pinpoint the first differing line for a readable failure. */
+void
+expectSameText(const std::string &base, const std::string &other,
+               const std::string &label)
+{
+    if (base == other)
+        return;
+    std::istringstream a(base), b(other);
+    std::string la, lb;
+    std::size_t line = 0;
+    while (true) {
+        ++line;
+        bool more_a = static_cast<bool>(std::getline(a, la));
+        bool more_b = static_cast<bool>(std::getline(b, lb));
+        if (!more_a && !more_b)
+            break;
+        ASSERT_EQ(la, lb) << label << ": first divergence at line "
+                          << line;
+        ASSERT_EQ(more_a, more_b)
+            << label << ": lengths diverge at line " << line;
+    }
+    FAIL() << label << ": texts differ";
+}
+
+TEST(Determinism, ByteIdenticalAcrossThreadCounts)
+{
+    const Workload workloads[] = {
+        {"poisson", 11, false, false, false},
+        {"bursty", 23, true, false, false},
+        {"bursty_faults", 37, true, true, false},
+        {"faults_generative", 53, false, true, true},
+        {"generative", 71, false, false, true},
+    };
+    for (const Workload &w : workloads) {
+        std::string base_stats;
+        const std::string base = runOnce(1, w, &base_stats);
+        ASSERT_FALSE(base.empty());
+        // threads=8 on 4 devices exercises the clamp to fleet size.
+        for (unsigned threads : {2u, 4u, 8u}) {
+            std::string stats;
+            const std::string json = runOnce(threads, w, &stats);
+            expectSameText(base, json,
+                           std::string(w.name) + " report, threads=" +
+                               std::to_string(threads));
+            expectSameText(base_stats, stats,
+                           std::string(w.name) + " stats, threads=" +
+                               std::to_string(threads));
+        }
+    }
+}
+
+TEST(Determinism, ObserversFallBackToSerialWithIdenticalReports)
+{
+    // An attached SLO monitor needs the global record order only the
+    // serial loop provides; threads>1 must fall back (with a warning)
+    // and still produce the threads=1 result.
+    const Workload w{"observer", 5, false, false, false};
+    auto run = [&](unsigned threads) {
+        FleetServer fleet(fleetConfig(threads));
+        fleet.enableSloMonitor();
+        fleet.submit(oneShotTrace(w));
+        std::ostringstream os;
+        writeJson(fleet.serveFleet(), os, /*per_request=*/true);
+        return os.str();
+    };
+    expectSameText(run(1), run(4), "observer fallback");
+}
+
+} // namespace

@@ -523,4 +523,36 @@ TEST(GoldenLlm, RunMatchesCheckedInJson)
     EXPECT_EQ(got.size(), want.size());
 }
 
+TEST(GoldenLlm, ParallelFleetConfigMatchesCheckedInJson)
+{
+    // The generative golden workload served through a fleet with the
+    // threads knob raised must still reproduce llm_serving.json. A
+    // size-1 fleet clamps threads to the device count, so this pins
+    // the clamp (threads=4 on one device stays the serial path); the
+    // genuinely concurrent generative runs are byte-compared against
+    // serial in test_determinism.cc.
+    FleetConfig fleet_config;
+    fleet_config.devices = 1;
+    fleet_config.serving = genConfig();
+    fleet_config.threads = 4;
+    FleetServer fleet(fleet_config);
+    std::string rendered = renderFrontend(fleet);
+
+    std::ifstream in(llmGoldenPath());
+    ASSERT_TRUE(in) << "missing " << llmGoldenPath()
+                    << "; regenerate with DTU_UPDATE_GOLDEN=1";
+    std::stringstream golden;
+    golden << in.rdbuf();
+
+    std::vector<std::string> want = splitLines(golden.str());
+    std::vector<std::string> got = splitLines(rendered);
+    std::size_t common = std::min(want.size(), got.size());
+    for (std::size_t i = 0; i < common; ++i) {
+        ASSERT_EQ(got[i], want[i])
+            << "threads=4 LLM serving report diverged from golden "
+            << "at line " << i + 1;
+    }
+    EXPECT_EQ(got.size(), want.size());
+}
+
 } // namespace

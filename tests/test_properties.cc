@@ -3,14 +3,17 @@
  * Cross-cutting property tests: functional VMM against a host
  * reference over every (dtype, rows) pattern, sparse-codec and DMA
  * monotonicity, bandwidth-ledger conservation under out-of-order
- * arrival, and executor scaling laws.
+ * arrival, executor scaling laws, and the calendar event queue
+ * against a sorted-vector reference model.
  */
 
 #include <gtest/gtest.h>
 
 #include "sim/logging.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "compiler/lowering.hh"
 #include "core/matrix_engine.hh"
@@ -357,6 +360,202 @@ TEST(HistogramProperty, PercentilesAreMonotoneOnRandomSamples)
         ASSERT_GE(p50, h.min()) << "trial " << trial;
         ASSERT_LE(p99, h.max()) << "trial " << trial;
     }
+}
+
+//
+// The calendar event queue against a sorted-vector reference model.
+//
+// The EventQueue rewrite (indexed calendar buckets, eager removal)
+// must preserve the kernel's ordering contract exactly: strictly
+// time-ordered pops, same-tick FIFO by schedule order, reschedule
+// moving an event to the back of its new tick's FIFO, and safe
+// destruction of still-scheduled events.
+//
+
+/** A scheduled-event reference model: (when, serial) kept sorted. */
+struct RefModel
+{
+    struct Item
+    {
+        Tick when;
+        std::uint64_t serial;
+        int id;
+    };
+
+    std::vector<Item> items;
+    std::uint64_t nextSerial = 0;
+
+    void
+    schedule(int id, Tick when)
+    {
+        items.push_back({when, nextSerial++, id});
+        std::sort(items.begin(), items.end(),
+                  [](const Item &a, const Item &b) {
+                      return a.when != b.when ? a.when < b.when
+                                              : a.serial < b.serial;
+                  });
+    }
+
+    void
+    deschedule(int id)
+    {
+        items.erase(std::find_if(items.begin(), items.end(),
+                                 [&](const Item &i) {
+                                     return i.id == id;
+                                 }));
+    }
+
+    Item
+    pop()
+    {
+        Item front = items.front();
+        items.erase(items.begin());
+        return front;
+    }
+};
+
+TEST(EventQueueProperty, RandomOpsMatchReferenceModel)
+{
+    for (std::uint64_t seed : {1u, 7u, 42u, 1234u}) {
+        Random rng(seed);
+        EventQueue q;
+        RefModel ref;
+        std::vector<int> popped;
+
+        // Events outlive the whole trial; index == id. The callback
+        // records pops so the pop ORDER (not just the set) is
+        // compared against the model.
+        std::vector<std::unique_ptr<Event>> events;
+        std::vector<bool> live;
+        auto makeEvent = [&]() {
+            int id = static_cast<int>(events.size());
+            events.push_back(std::make_unique<Event>(
+                [&popped, id] { popped.push_back(id); },
+                "prop" + std::to_string(id)));
+            live.push_back(false);
+            return id;
+        };
+
+        for (unsigned op = 0; op < 2000; ++op) {
+            double dice = rng.uniform();
+            if (dice < 0.45 || ref.items.empty()) {
+                // Schedule a fresh event; a coarse tick range forces
+                // plenty of same-tick collisions.
+                int id = makeEvent();
+                Tick when =
+                    q.now() + static_cast<Tick>(rng.next() % 400);
+                q.schedule(*events[id], when);
+                ref.schedule(id, when);
+                live[id] = true;
+            } else if (dice < 0.60) {
+                // Deschedule a random live event.
+                const RefModel::Item &victim = ref.items
+                    [rng.next() % ref.items.size()];
+                int id = victim.id;
+                q.deschedule(*events[id]);
+                ref.deschedule(id);
+                live[id] = false;
+            } else if (dice < 0.75) {
+                // Reschedule: moves to the back of the new tick FIFO.
+                const RefModel::Item &victim = ref.items
+                    [rng.next() % ref.items.size()];
+                int id = victim.id;
+                Tick when =
+                    q.now() + static_cast<Tick>(rng.next() % 400);
+                q.reschedule(*events[id], when);
+                ref.deschedule(id);
+                ref.schedule(id, when);
+            } else {
+                // Pop one event and check order + time monotonicity.
+                Tick before = q.now();
+                std::size_t n_popped = popped.size();
+                ASSERT_TRUE(q.step());
+                RefModel::Item expect = ref.pop();
+                ASSERT_EQ(popped.size(), n_popped + 1);
+                ASSERT_EQ(popped.back(), expect.id)
+                    << "seed " << seed << " op " << op;
+                ASSERT_EQ(q.now(), expect.when);
+                ASSERT_GE(q.now(), before);
+                live[expect.id] = false;
+            }
+            ASSERT_EQ(q.size(), ref.items.size());
+            ASSERT_EQ(q.empty(), ref.items.empty());
+        }
+
+        // Drain: the tail must come out in exact model order.
+        while (!ref.items.empty()) {
+            ASSERT_TRUE(q.step());
+            RefModel::Item expect = ref.pop();
+            ASSERT_EQ(popped.back(), expect.id);
+            live[expect.id] = false;
+        }
+        ASSERT_FALSE(q.step());
+        ASSERT_TRUE(q.empty());
+        for (std::size_t id = 0; id < events.size(); ++id)
+            ASSERT_EQ(events[id]->scheduled(), live[id]);
+    }
+}
+
+TEST(EventQueueProperty, SameTickFifoIsStableAcrossResizes)
+{
+    EventQueue q;
+    std::vector<int> popped;
+    std::vector<std::unique_ptr<Event>> events;
+    // Far more same-tick events than the initial bucket count, so
+    // the ring grows (and later shrinks) mid-sequence while the
+    // schedule-order FIFO within each tick must survive.
+    constexpr int kPerTick = 40;
+    for (int tick = 0; tick < 4; ++tick)
+        for (int i = 0; i < kPerTick; ++i) {
+            int id = tick * kPerTick + i;
+            events.push_back(std::make_unique<Event>(
+                [&popped, id] { popped.push_back(id); }));
+            q.schedule(*events.back(),
+                       static_cast<Tick>(100 * (tick + 1)));
+        }
+    q.run();
+    ASSERT_EQ(popped.size(), events.size());
+    for (std::size_t i = 0; i < popped.size(); ++i)
+        EXPECT_EQ(popped[i], static_cast<int>(i));
+    EXPECT_EQ(q.now(), 400u);
+}
+
+TEST(EventQueueProperty, SparseFarFutureEventsStayOrdered)
+{
+    // Events far beyond one trip around the bucket ring exercise the
+    // direct-scan fallback path.
+    EventQueue q;
+    std::vector<Tick> fired;
+    Event near([&] { fired.push_back(q.now()); });
+    Event mid([&] { fired.push_back(q.now()); });
+    Event far([&] { fired.push_back(q.now()); });
+    q.schedule(far, 40'000'000'000ULL);
+    q.schedule(mid, 7'000'000ULL);
+    q.schedule(near, 3ULL);
+    q.run();
+    ASSERT_EQ(fired.size(), 3u);
+    EXPECT_EQ(fired[0], 3u);
+    EXPECT_EQ(fired[1], 7'000'000u);
+    EXPECT_EQ(fired[2], 40'000'000'000u);
+}
+
+TEST(EventQueueProperty, DestroyingScheduledEventRemovesItSafely)
+{
+    // Regression: the old lazy-deletion heap kept a raw pointer to
+    // descheduled events and dereferenced it at pop time — a
+    // destroyed-while-scheduled event was a use-after-free. Eager
+    // removal makes destruction safe.
+    EventQueue q;
+    int fired = 0;
+    auto doomed = std::make_unique<Event>([&] { ++fired; });
+    Event survivor([&] { ++fired; });
+    q.schedule(*doomed, 10);
+    q.schedule(survivor, 20);
+    doomed.reset(); // destroys a still-scheduled event
+    EXPECT_EQ(q.size(), 1u);
+    q.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 20u);
 }
 
 } // namespace

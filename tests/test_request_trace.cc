@@ -25,6 +25,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <map>
@@ -164,6 +165,36 @@ TEST(GoldenFleet, UntracedRunMatchesCheckedInJson)
             << "; if intentional, regenerate with DTU_UPDATE_GOLDEN=1";
     }
     EXPECT_EQ(got.size(), want.size());
+}
+
+TEST(GoldenFleet, ParallelRunMatchesCheckedInJson)
+{
+    // The parallel window scheduler (FleetConfig::threads > 1) must
+    // reproduce the checked-in serial golden byte-for-byte; threads
+    // beyond the device count clamp to it.
+    for (unsigned threads : {2u, 8u}) {
+        serve::FleetConfig config = goldenConfig();
+        config.threads = threads;
+        FleetServer fleet(config);
+        std::string rendered = renderFleetReport(fleet);
+
+        std::ifstream in(goldenPath());
+        ASSERT_TRUE(in) << "missing " << goldenPath()
+                        << "; regenerate with DTU_UPDATE_GOLDEN=1";
+        std::stringstream golden;
+        golden << in.rdbuf();
+
+        std::vector<std::string> want = splitLines(golden.str());
+        std::vector<std::string> got = splitLines(rendered);
+        std::size_t common = std::min(want.size(), got.size());
+        for (std::size_t i = 0; i < common; ++i) {
+            ASSERT_EQ(got[i], want[i])
+                << "threads=" << threads
+                << " fleet report diverged from golden at line "
+                << i + 1;
+        }
+        EXPECT_EQ(got.size(), want.size());
+    }
 }
 
 TEST(GoldenFleet, TracedRunIsByteIdenticalToUntraced)
