@@ -7,6 +7,7 @@
 #define DTU_BENCH_BENCH_COMMON_HH
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -39,12 +40,17 @@ namespace bench
  *
  * the same numbers are also written to @p path as a JSON artifact:
  *
- *     {"bench": "...",
+ *     {"schema_version": 1,
+ *      "bench": "...",
+ *      "run": {"git_describe": "...", "threads": "8", ...},
  *      "metrics": {"geomean_vs_t4": 2.2, ...},
  *      "tables": {"fig13": {"columns": [...], "rows": [...]}}}
  *
  * so CI can diff results across commits without screen-scraping the
- * aligned-column text (see EXPERIMENTS.md).
+ * aligned-column text (see EXPERIMENTS.md). schema_version guards
+ * downstream parsers against artifact-shape drift; the run section
+ * records provenance (the producing commit plus whatever knobs the
+ * bench declares with meta(), e.g. threads and seed).
  */
 class BenchOutput
 {
@@ -108,6 +114,43 @@ class BenchOutput
     }
 
     /**
+     * Record one run-provenance entry (threads, seed, trace length —
+     * whatever identifies the run). Rendered as strings in the
+     * artifact's "run" object next to the producing commit.
+     */
+    void
+    meta(const std::string &name, const std::string &value)
+    {
+        meta_.emplace_back(name, value);
+    }
+
+    void
+    meta(const std::string &name, std::uint64_t value)
+    {
+        meta(name, std::to_string(value));
+    }
+
+    /** `git describe` of the producing tree, or "unknown". */
+    static std::string
+    gitDescribe()
+    {
+        std::string out;
+#if !defined(_WIN32)
+        if (FILE *pipe = ::popen(
+                "git describe --always --dirty 2>/dev/null", "r")) {
+            char buf[128];
+            while (std::fgets(buf, sizeof(buf), pipe))
+                out += buf;
+            ::pclose(pipe);
+        }
+#endif
+        while (!out.empty() &&
+               (out.back() == '\n' || out.back() == '\r'))
+            out.pop_back();
+        return out.empty() ? "unknown" : out;
+    }
+
+    /**
      * Write the artifact when --json was given. Call last in main();
      * returns the process exit code.
      */
@@ -120,7 +163,14 @@ class BenchOutput
         fatalIf(!out, "cannot open '", jsonPath_, "' for writing");
         JsonWriter json(out);
         json.beginObject();
+        json.field("schema_version",
+                   static_cast<std::uint64_t>(kSchemaVersion));
         json.field("bench", benchName_);
+        json.key("run").beginObject();
+        json.field("git_describe", gitDescribe());
+        for (const auto &[name, value] : meta_)
+            json.field(name, value);
+        json.endObject();
         json.key("metrics").beginObject();
         for (const auto &[name, value] : metrics_)
             json.field(name, value);
@@ -136,10 +186,14 @@ class BenchOutput
         return 0;
     }
 
+    /** Artifact shape version; bump on breaking layout changes. */
+    static constexpr unsigned kSchemaVersion = 1;
+
   private:
     std::string benchName_;
     std::string jsonPath_;
     std::map<std::string, std::string> options_;
+    std::vector<std::pair<std::string, std::string>> meta_;
     std::vector<std::pair<std::string, double>> metrics_;
     std::vector<std::pair<std::string, std::string>> tables_;
 };

@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Power & energy observability: per-component attribution, the
+ * CPME/LPME decision audit trail, and the serving-level energy
+ * rollups, exercised end to end.
+ *
+ * Three parts:
+ *
+ *  1. Attribution tightness. Every zoo model runs once on a bare
+ *     chip and the per-component EnergyBreakdown (MAC, vector/SPU,
+ *     L1, L2, HBM, DMA, static leakage) must sum back to the energy
+ *     meter's joules. max_component_sum_error is the CI gate
+ *     (acceptance: within 0.1%).
+ *
+ *  2. Serving headline. ResNet50 request serving vs gpt_small
+ *     autoregressive decode through a FleetServer with the energy
+ *     monitor attached: the classic CNN burns its joules in the MAC
+ *     arrays while decode pays the HBM/DMA streaming tax — the
+ *     prefill/decode J/token contrast the capacity planner budgets
+ *     by. Also emits the EnergyReport artifact (--energy-out) and
+ *     the opt-in per-operator energy-feature corpus (--corpus-out).
+ *
+ *  3. Audit replay. A power-starved chip (tdpWatts cut to 60 W)
+ *     serves a ResNet50+BERT mix with power management on; the run
+ *     must replay at least one budget-denial -> DVFS-downshift ->
+ *     recovery sequence, visible in all three exports: the
+ *     PowerAuditTrail ring, the flight-recorder incident dump, and
+ *     the merged Chrome trace. audit_replay_ok is the CI gate.
+ *
+ *     bench_energy [--json <path>] [--energy-out <path>]
+ *                  [--corpus-out <path>] [--requests <n>]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/server.hh"
+#include "bench_common.hh"
+#include "power/power_event.hh"
+#include "serve/arrival.hh"
+
+using namespace dtu;
+using namespace dtu::bench;
+
+namespace
+{
+
+serve::ServingConfig
+servingConfig()
+{
+    serve::ServingConfig config;
+    config.batching.maxBatch = 8;
+    config.batching.maxQueueDelay = secondsToTicks(2e-3);
+    config.batching.perModelMaxBatch["bert_large"] = 1;
+    config.groupsPerBatch = 1;
+    return config;
+}
+
+/** One full-chip run keeping the component breakdown and op trace. */
+ExecResult
+runTraced(const std::string &model)
+{
+    DtuConfig config = dtu2Config();
+    Dtu chip(config);
+    Graph graph = models::buildModel(model, 1);
+    ExecutionPlan plan =
+        compile(graph, config, DType::FP16, config.totalGroups(), {}, 1);
+    std::vector<unsigned> groups;
+    for (unsigned g = 0; g < config.totalGroups(); ++g)
+        groups.push_back(g);
+    Executor executor(chip, groups, {.powerManagement = true,
+                                     .trace = true});
+    return executor.run(plan);
+}
+
+double
+fraction(double part, double total)
+{
+    return total > 0.0 ? part / total : 0.0;
+}
+
+/** Component percentages of @p e plus a per-unit joules column. */
+std::vector<double>
+splitRow(const EnergyBreakdown &e, double per_unit)
+{
+    double t = e.total();
+    return {100.0 * fraction(e.macJoules, t),
+            100.0 * fraction(e.vectorJoules, t),
+            100.0 * fraction(e.l1Joules, t),
+            100.0 * fraction(e.l2Joules, t),
+            100.0 * fraction(e.hbmJoules, t),
+            100.0 * fraction(e.dmaJoules, t),
+            100.0 * fraction(e.staticJoules, t),
+            per_unit};
+}
+
+unsigned
+parseCount(const std::string &value, unsigned fallback)
+{
+    return value.empty()
+               ? fallback
+               : static_cast<unsigned>(std::stoul(value));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOutput out(argc, argv, "energy",
+                    {"--energy-out", "--corpus-out", "--requests"});
+    unsigned requests = parseCount(out.option("--requests"), 256);
+    out.meta("requests", static_cast<std::uint64_t>(requests));
+    out.meta("arrival_seeds", "11/21/22");
+
+    printBanner("Power & energy observability: attribution, audit "
+                "trail, fleet telemetry");
+
+    //
+    // Part 1: the per-component split must sum to the meter total on
+    // every zoo model (the attribution is exact bucket deltas, so
+    // anything above float noise means a component went missing).
+    //
+    ReportTable attr({"model", "joules", "mac%", "vec%", "l1%", "l2%",
+                      "hbm%", "dma%", "static%", "sum_err"});
+    double max_err = 0.0;
+    for (const models::ModelInfo &info : models::modelZoo()) {
+        ExecResult r = runTraced(info.name);
+        double err = r.joules > 0.0
+                         ? std::fabs(r.energy.total() - r.joules) /
+                               r.joules
+                         : 0.0;
+        max_err = std::max(max_err, err);
+        double t = r.energy.total();
+        attr.addRow(info.name,
+                    {r.joules,
+                     100.0 * fraction(r.energy.macJoules, t),
+                     100.0 * fraction(r.energy.vectorJoules, t),
+                     100.0 * fraction(r.energy.l1Joules, t),
+                     100.0 * fraction(r.energy.l2Joules, t),
+                     100.0 * fraction(r.energy.hbmJoules, t),
+                     100.0 * fraction(r.energy.dmaJoules, t),
+                     100.0 * fraction(r.energy.staticJoules, t),
+                     err});
+    }
+    attr.print();
+    out.table("attribution", attr);
+    out.metric("max_component_sum_error", max_err);
+    std::printf("\n  worst component-sum error: %.3g (gate: 1e-3)\n",
+                max_err);
+
+    //
+    // Part 2: serving headline — ResNet50 request serving vs
+    // gpt_small prefill/decode, through the energy monitor.
+    //
+    ReportTable headline({"workload", "mac%", "vec%", "l1%", "l2%",
+                          "hbm%", "dma%", "static%", "j_per_unit"});
+
+    {
+        serve::FleetConfig config;
+        config.devices = 1;
+        config.serving = servingConfig();
+        FleetServer fleet(config);
+        fleet.enableEnergyMonitor();
+        fleet.submit(serve::finalizeTrace(
+            {serve::poissonTrace("resnet50", 2000.0, requests,
+                                 /*seed=*/11, secondsToTicks(20e-3))}));
+        const serve::FleetReport &r = fleet.serveFleet();
+        fatalIf(!r.fleet.hasEnergy,
+                "energy monitor attached but the report has no "
+                "energy section");
+        headline.addRow("resnet50 serve (J/req)",
+                        splitRow(r.fleet.energy,
+                                 r.fleet.joulesPerRequest));
+        out.metric("resnet50_j_per_request", r.fleet.joulesPerRequest);
+        out.metric("resnet50_mac_fraction",
+                   fraction(r.fleet.energy.macJoules,
+                            r.fleet.energy.total()));
+        out.metric("resnet50_hbm_dma_fraction",
+                   fraction(r.fleet.energy.hbmJoules +
+                                r.fleet.energy.dmaJoules,
+                            r.fleet.energy.total()));
+    }
+
+    double decode_mem_fraction = 0.0;
+    {
+        serve::FleetConfig config;
+        config.devices = 1;
+        config.serving = servingConfig();
+        FleetServer fleet(config);
+        obs::EnergyMonitorConfig mon_config;
+        mon_config.corpus = !out.option("--corpus-out").empty();
+        obs::EnergyMonitor &monitor =
+            fleet.enableEnergyMonitor(mon_config);
+        std::vector<serve::Request> gen_trace;
+        for (unsigned i = 0; i < 32; ++i) {
+            serve::Request r;
+            r.model = "gpt_small";
+            r.arrival = secondsToTicks(1e-4) * i;
+            r.gen.promptLen = 64;
+            r.gen.maxNewTokens = 32;
+            gen_trace.push_back(r);
+        }
+        fleet.submit(serve::finalizeTrace({std::move(gen_trace)}));
+        const serve::FleetReport &r = fleet.serveFleet();
+        const serve::GenerationReport &g = r.fleet.generation;
+        fatalIf(!r.fleet.hasGeneration, "gpt_small run did not generate");
+        headline.addRow("gpt_small prefill (J/tok)",
+                        splitRow(g.prefill.energy,
+                                 g.prefillJoulesPerToken));
+        headline.addRow("gpt_small decode (J/tok)",
+                        splitRow(g.decode.energy,
+                                 g.decodeJoulesPerToken));
+        out.metric("gpt_small_j_per_token", g.joulesPerToken);
+        out.metric("gpt_small_prefill_j_per_token",
+                   g.prefillJoulesPerToken);
+        out.metric("gpt_small_decode_j_per_token",
+                   g.decodeJoulesPerToken);
+        decode_mem_fraction =
+            fraction(g.decode.energy.hbmJoules +
+                         g.decode.energy.dmaJoules,
+                     g.decode.energy.total());
+        out.metric("gpt_small_decode_hbm_dma_fraction",
+                   decode_mem_fraction);
+        out.metric("gpt_small_decode_mac_fraction",
+                   fraction(g.decode.energy.macJoules,
+                            g.decode.energy.total()));
+        if (!out.option("--corpus-out").empty()) {
+            std::ofstream corpus(out.option("--corpus-out"));
+            fatalIf(!corpus, "cannot open '",
+                    out.option("--corpus-out"), "'");
+            monitor.writeCorpusJson(corpus);
+            out.meta("corpus_rows", static_cast<std::uint64_t>(
+                                        monitor.corpus().size()));
+            std::printf("  energy corpus: %zu operator rows -> %s\n",
+                        monitor.corpus().size(),
+                        out.option("--corpus-out").c_str());
+        }
+    }
+    std::printf("\n");
+    headline.print();
+    out.table("headline", headline);
+
+    //
+    // Part 3: audit replay on a power-starved chip. tdpWatts drops
+    // from 150 W to 60 W: the reserve pool is nearly empty after the
+    // boot-time baselines, so LPME borrows get denied, the feedback
+    // throttles bite, and the DVFS loop coasts and climbs around the
+    // ResNet/BERT phase changes. The denial -> downshift -> recovery
+    // story must survive into all three exports.
+    //
+    DtuConfig starved = dtu2Config();
+    starved.tdpWatts = 60.0;
+    serve::FleetConfig config;
+    config.devices = 1;
+    config.serving = servingConfig();
+    config.serving.exec.powerManagement = true;
+    config.serving.exec.timeline = true;
+    FleetServer fleet(config, starved);
+    fleet.enableRequestTracing();
+    obs::FlightRecorderConfig rec_config;
+    rec_config.powerCapacity = 4096;
+    fleet.enableFlightRecorder(rec_config);
+    obs::EnergyMonitorConfig mon_config;
+    mon_config.auditCapacity = 1 << 16;
+    obs::EnergyMonitor &monitor = fleet.enableEnergyMonitor(mon_config);
+    fleet.submit(serve::finalizeTrace(
+        {serve::poissonTrace("resnet50", 2000.0, (requests * 3) / 4,
+                             /*seed=*/21, secondsToTicks(40e-3)),
+         serve::poissonTrace("bert_large", 700.0, requests / 4,
+                             /*seed=*/22, secondsToTicks(120e-3))}));
+    const serve::FleetReport &r = fleet.serveFleet();
+    fleet.flightRecorder()->trigger("bench:energy_audit",
+                                    r.fleet.makespan);
+
+    const PowerAuditTrail *trail = monitor.auditTrail(0);
+    fatalIf(trail == nullptr, "energy monitor installed no audit trail");
+    auto count = [&](PowerEventKind kind) {
+        return trail->count(kind);
+    };
+    out.metric("audit_budget_grants",
+               static_cast<double>(count(PowerEventKind::BudgetGrant)));
+    out.metric("audit_budget_denials",
+               static_cast<double>(count(PowerEventKind::BudgetDeny)));
+    out.metric("audit_dvfs_coasts",
+               static_cast<double>(count(PowerEventKind::DvfsCoast)));
+    out.metric("audit_dvfs_climbs",
+               static_cast<double>(count(PowerEventKind::DvfsClimb)));
+    out.metric("audit_throttles",
+               static_cast<double>(count(PowerEventKind::Throttle)));
+
+    // The replay: a denial, then a downshift, then a climb back up,
+    // in simulated-time order within the buffered ring.
+    int stage = 0; // 0 = want deny, 1 = want coast, 2 = want climb
+    for (const PowerEvent &event : trail->events()) {
+        if (stage == 0 && event.kind == PowerEventKind::BudgetDeny)
+            stage = 1;
+        else if (stage == 1 && event.kind == PowerEventKind::DvfsCoast)
+            stage = 2;
+        else if (stage == 2 && event.kind == PowerEventKind::DvfsClimb) {
+            stage = 3;
+            break;
+        }
+    }
+    bool in_trail = stage == 3;
+
+    const std::string &dump = fleet.flightRecorder()->lastDump();
+    bool in_dump = dump.find("\"power_events\"") != std::string::npos &&
+                   dump.find("budget_deny") != std::string::npos &&
+                   dump.find("dvfs_coast") != std::string::npos &&
+                   dump.find("dvfs_climb") != std::string::npos;
+
+    std::ostringstream trace;
+    fleet.exportFleetTrace(trace);
+    const std::string chrome = trace.str();
+    bool in_trace =
+        chrome.find("budget denial") != std::string::npos &&
+        chrome.find("dvfs coast") != std::string::npos &&
+        chrome.find("dvfs climb") != std::string::npos;
+
+    bool replay_ok = in_trail && in_dump && in_trace;
+    out.metric("audit_replay_ok", replay_ok ? 1.0 : 0.0);
+    std::printf("\n  audit replay @ 60 W: %llu denials, %llu coasts, "
+                "%llu climbs, %llu throttles\n",
+                static_cast<unsigned long long>(
+                    count(PowerEventKind::BudgetDeny)),
+                static_cast<unsigned long long>(
+                    count(PowerEventKind::DvfsCoast)),
+                static_cast<unsigned long long>(
+                    count(PowerEventKind::DvfsClimb)),
+                static_cast<unsigned long long>(
+                    count(PowerEventKind::Throttle)));
+    std::printf("  deny -> coast -> climb visible: audit trail %s, "
+                "flight dump %s, chrome trace %s%s\n",
+                in_trail ? "yes" : "NO", in_dump ? "yes" : "NO",
+                in_trace ? "yes" : "NO",
+                replay_ok ? "" : "  ** MISSING **");
+
+    if (!out.option("--energy-out").empty()) {
+        fleet.writeEnergyReport(out.option("--energy-out"));
+        std::printf("  energy report: %s\n",
+                    out.option("--energy-out").c_str());
+    }
+
+    std::printf("\n  headline: gpt_small decode spends %.0f%% of its "
+                "energy on HBM+DMA streaming (the KV tax); ResNet50 "
+                "serving stays MAC-dominated\n",
+                100.0 * decode_mem_fraction);
+
+    return out.finish();
+}

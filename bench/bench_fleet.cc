@@ -128,6 +128,12 @@ main(int argc, char **argv)
                     "need real cores\n",
                     threads, hw, hw == 1 ? "" : "s");
 
+    out.meta("threads", static_cast<std::uint64_t>(threads));
+    out.meta("requests_per_device",
+             static_cast<std::uint64_t>(per_device));
+    out.meta("max_devices", static_cast<std::uint64_t>(max_devices));
+    out.meta("arrival_seeds", "101/202/303/404");
+
     printBanner("Fleet serving: size x routing x arrival pattern "
                 "(ResNet50 + BERT-Large, 3:1, "
                 + std::to_string(static_cast<int>(kQpsPerDevice)) +
@@ -253,6 +259,35 @@ main(int argc, char **argv)
         std::printf("  serial/parallel A/B at n%u: %.2f s -> %.2f s "
                     "(%.2fx, threads=%u), reports byte-identical\n",
                     ab_size, serial_s, parallel_s, speedup, threads);
+    }
+
+    // Generation smoke: a short gpt_small decode run on one device,
+    // so the perf-trajectory artifact also tracks tokens/s next to
+    // the simulator-speed metrics.
+    {
+        serve::FleetConfig config;
+        config.devices = 1;
+        config.serving = servingConfig();
+        FleetServer fleet(config);
+        std::vector<serve::Request> gen_trace;
+        for (unsigned i = 0; i < 16; ++i) {
+            serve::Request r;
+            r.model = "gpt_small";
+            r.arrival = secondsToTicks(1e-4) * i;
+            r.gen.promptLen = 64;
+            r.gen.maxNewTokens = 16;
+            gen_trace.push_back(r);
+        }
+        fleet.submit(serve::finalizeTrace({std::move(gen_trace)}));
+        auto gen_start = std::chrono::steady_clock::now();
+        const serve::FleetReport &g = fleet.serveFleet();
+        double gen_wall = secondsSince(gen_start);
+        out.metric("gen_tokens_per_second",
+                   g.fleet.generation.tokensPerSecond);
+        out.metric("gen_wall_clock_seconds", gen_wall);
+        std::printf("  generation smoke: %.0f tokens/s simulated "
+                    "(gpt_small, 16 req x 16 tokens, %.2f s wall)\n",
+                    g.fleet.generation.tokensPerSecond, gen_wall);
     }
 
     // Headline 1: near-linear aggregate QPS scaling under open-loop

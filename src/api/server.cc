@@ -1,6 +1,7 @@
 #include "api/server.hh"
 
 #include <cmath>
+#include <fstream>
 
 #include "obs/prometheus.hh"
 #include "sim/json.hh"
@@ -102,6 +103,28 @@ Server::enableRequestTracing(obs::RequestTraceConfig config)
     return *reqTracer_;
 }
 
+obs::EnergyMonitor &
+Server::enableEnergyMonitor(obs::EnergyMonitorConfig config)
+{
+    fatalIf(energyMon_ != nullptr,
+            "server already has an energy monitor");
+    energyMon_ = std::make_unique<obs::EnergyMonitor>(config);
+    energyMon_->attach(0, device_.chip());
+    scheduler_.setEnergyMonitor(energyMon_.get(), 0);
+    return *energyMon_;
+}
+
+void
+Server::writeEnergyReport(const std::string &path)
+{
+    fatalIf(energyMon_ == nullptr,
+            "writeEnergyReport() needs enableEnergyMonitor()");
+    std::ofstream file(path);
+    fatalIf(!file, "cannot open energy report '", path, "'");
+    energyMon_->writeJson(file);
+    fatalIf(!file.good(), "error writing energy report '", path, "'");
+}
+
 void
 Server::writeRequestTrace(const std::string &path)
 {
@@ -134,6 +157,8 @@ Server::writePrometheus(std::ostream &os)
     servingGauge(os, "dtusim_serve_availability",
                  "completed / submitted", r.availability);
     writeGenerationGauges(os, "dtusim_serve", r);
+    if (energyMon_)
+        energyMon_->writePrometheus(os);
 }
 
 FleetServer::FleetServer(serve::FleetConfig config,
@@ -223,6 +248,31 @@ FleetServer::enableRequestTracing(obs::RequestTraceConfig config)
     return *reqTracer_;
 }
 
+obs::EnergyMonitor &
+FleetServer::enableEnergyMonitor(obs::EnergyMonitorConfig config)
+{
+    fatalIf(energyMon_ != nullptr,
+            "fleet already has an energy monitor");
+    energyMon_ = std::make_unique<obs::EnergyMonitor>(config);
+    for (unsigned i = 0; i < size(); ++i)
+        energyMon_->attach(i, devices_[i]->chip());
+    fleet_->setEnergyMonitor(energyMon_.get());
+    if (flightRec_)
+        energyMon_->setFlightRecorder(flightRec_.get());
+    return *energyMon_;
+}
+
+void
+FleetServer::writeEnergyReport(const std::string &path)
+{
+    fatalIf(energyMon_ == nullptr,
+            "writeEnergyReport() needs enableEnergyMonitor()");
+    std::ofstream file(path);
+    fatalIf(!file, "cannot open energy report '", path, "'");
+    energyMon_->writeJson(file);
+    fatalIf(!file.good(), "error writing energy report '", path, "'");
+}
+
 obs::FlightRecorder &
 FleetServer::enableFlightRecorder(obs::FlightRecorderConfig config)
 {
@@ -231,6 +281,8 @@ FleetServer::enableFlightRecorder(obs::FlightRecorderConfig config)
     flightRec_ = std::make_unique<obs::FlightRecorder>(config);
     if (reqTracer_)
         reqTracer_->setFlightRecorder(flightRec_.get());
+    if (energyMon_)
+        energyMon_->setFlightRecorder(flightRec_.get());
     wireFlightAlerts();
     return *flightRec_;
 }
@@ -353,6 +405,10 @@ FleetServer::writePrometheus(std::ostream &os)
     // and friends) when request tracing sampled it.
     if (reqTracer_ && reqTracer_->metrics().latest())
         reqTracer_->metrics().writePrometheus(os);
+
+    // Power & energy telemetry (dtusim_power_*, dtusim_energy_*).
+    if (energyMon_)
+        energyMon_->writePrometheus(os);
 }
 
 } // namespace dtu

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "api/tops_runtime.hh"
+#include "obs/energy_monitor.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/request_tracer.hh"
 #include "obs/slo_monitor.hh"
@@ -103,6 +104,27 @@ class ServingFrontend
     virtual obs::RequestTracer *requestTracer() = 0;
 
     /**
+     * Attach an energy monitor (obs/energy_monitor.hh): serving
+     * reports gain per-component energy attribution and J/token,
+     * metric samples carry power telemetry, every chip records its
+     * CPME/LPME decision audit trail, and writePrometheus() exports
+     * the dtusim_power_* / dtusim_energy_* families. Enabling twice
+     * is a configuration error; without it serving is bit-for-bit
+     * unchanged.
+     */
+    virtual obs::EnergyMonitor &
+    enableEnergyMonitor(obs::EnergyMonitorConfig config = {}) = 0;
+
+    /** The attached energy monitor, or nullptr. */
+    virtual obs::EnergyMonitor *energyMonitor() = 0;
+
+    /**
+     * Write the EnergyReport JSON artifact of the most recent
+     * serve() to @p path (requires enableEnergyMonitor()).
+     */
+    virtual void writeEnergyReport(const std::string &path) = 0;
+
+    /**
      * Export chip stats plus serving gauges from the most recent
      * serve() in Prometheus text exposition format.
      */
@@ -161,6 +183,17 @@ class Server : public ServingFrontend
         return reqTracer_.get();
     }
 
+    obs::EnergyMonitor &
+    enableEnergyMonitor(obs::EnergyMonitorConfig config = {}) override;
+
+    /** The attached energy monitor, or nullptr. */
+    obs::EnergyMonitor *energyMonitor() override
+    {
+        return energyMon_.get();
+    }
+
+    void writeEnergyReport(const std::string &path) override;
+
     /**
      * Write the merged request + chip Chrome trace (requires
      * enableRequestTracing()).
@@ -184,6 +217,7 @@ class Server : public ServingFrontend
     bool served_ = false;
     std::unique_ptr<obs::SloMonitor> sloMon_;
     std::unique_ptr<obs::RequestTracer> reqTracer_;
+    std::unique_ptr<obs::EnergyMonitor> energyMon_;
 };
 
 /**
@@ -281,6 +315,26 @@ class FleetServer : public ServingFrontend
     }
 
     /**
+     * Attach one energy monitor fleet-wide: every chip is watched
+     * under its fleet index (each gets its PowerAuditTrail
+     * installed), the fleet loop's metric samples carry power
+     * telemetry, and the flight recorder (either enable order)
+     * receives the CPME/LPME decision stream. Enabling twice is a
+     * configuration error; without it serving is bit-for-bit
+     * unchanged.
+     */
+    obs::EnergyMonitor &
+    enableEnergyMonitor(obs::EnergyMonitorConfig config = {}) override;
+
+    /** The attached energy monitor, or nullptr. */
+    obs::EnergyMonitor *energyMonitor() override
+    {
+        return energyMon_.get();
+    }
+
+    void writeEnergyReport(const std::string &path) override;
+
+    /**
      * Attach the SLO flight recorder: a bounded ring of recent
      * sampled request lifecycles and metric snapshots (fed by the
      * request tracer) that dumps a retrospective JSON incident report
@@ -325,6 +379,7 @@ class FleetServer : public ServingFrontend
     bool served_ = false;
     std::unique_ptr<obs::SloMonitor> sloMon_;
     std::unique_ptr<obs::RequestTracer> reqTracer_;
+    std::unique_ptr<obs::EnergyMonitor> energyMon_;
     std::unique_ptr<obs::FlightRecorder> flightRec_;
 
     /** Hook the SLO monitor's alert stream into the recorder once. */

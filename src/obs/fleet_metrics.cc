@@ -24,8 +24,14 @@ FleetMetricSeries::writeJson(std::ostream &os) const
                 .field("outstanding", d.outstanding)
                 .field("completed", d.completed)
                 .field("dropped", d.dropped)
-                .field("retries", d.retries)
-                .endObject();
+                .field("retries", d.retries);
+            if (d.hasPower) {
+                json.field("power_watts", d.powerWatts)
+                    .field("energy_joules", d.energyJoules)
+                    .field("throttle_fraction", d.throttleFraction)
+                    .field("frequency_ghz", d.frequencyGhz);
+            }
+            json.endObject();
         }
         json.endArray();
         json.endObject();

@@ -49,6 +49,21 @@ struct DeviceMetricSample
     std::uint64_t dropped = 0;
     /** Poisoned-batch re-executions so far this run (cumulative). */
     std::uint64_t retries = 0;
+
+    //
+    // Power telemetry (filled only when an EnergyMonitor is
+    // attached; hasPower gates the JSON fields so energy-disabled
+    // series keep the pre-energy format).
+    //
+    bool hasPower = false;
+    /** Mean chip power since the previous sample, watts. */
+    double powerWatts = 0.0;
+    /** Cumulative chip energy this run, joules. */
+    double energyJoules = 0.0;
+    /** Fraction of CPME windows throttled since the previous sample. */
+    double throttleFraction = 0.0;
+    /** Core DVFS point at the sample instant, GHz. */
+    double frequencyGhz = 0.0;
 };
 
 /** A whole-fleet snapshot at one simulated instant. */

@@ -37,6 +37,14 @@ FlightRecorder::recordMetrics(const FleetMetricSample &sample)
 }
 
 void
+FlightRecorder::recordPowerEvent(unsigned device, const PowerEvent &event)
+{
+    power_.push_back({device, event});
+    while (power_.size() > config_.powerCapacity)
+        power_.pop_front();
+}
+
+void
 FlightRecorder::trigger(const std::string &reason, Tick at)
 {
     ++triggers_;
@@ -75,6 +83,7 @@ FlightRecorder::reset()
 {
     requests_.clear();
     metrics_.clear();
+    power_.clear();
     triggers_ = 0;
     dumped_ = false;
     dump_.clear();
@@ -91,6 +100,8 @@ FlightRecorder::writeDump(std::ostream &os, const std::string &reason,
                static_cast<std::uint64_t>(requests_.size()));
     json.field("buffered_metrics",
                static_cast<std::uint64_t>(metrics_.size()));
+    json.field("buffered_power_events",
+               static_cast<std::uint64_t>(power_.size()));
 
     json.key("requests").beginArray();
     for (const RequestRecord &r : requests_) {
@@ -129,10 +140,26 @@ FlightRecorder::writeDump(std::ostream &os, const std::string &reason,
                 .field("outstanding", d.outstanding)
                 .field("completed", d.completed)
                 .field("dropped", d.dropped)
-                .field("retries", d.retries)
-                .endObject();
+                .field("retries", d.retries);
+            if (d.hasPower) {
+                json.field("power_watts", d.powerWatts)
+                    .field("energy_joules", d.energyJoules)
+                    .field("throttle_fraction", d.throttleFraction)
+                    .field("frequency_ghz", d.frequencyGhz);
+            }
+            json.endObject();
         }
         json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("power_events").beginArray();
+    for (const PowerEventRecord &p : power_) {
+        json.beginObject();
+        json.field("device", static_cast<std::uint64_t>(p.device));
+        json.key("event");
+        writePowerEventJson(p.event, json);
         json.endObject();
     }
     json.endArray();

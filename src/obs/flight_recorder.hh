@@ -27,6 +27,7 @@
 #include <string>
 
 #include "obs/fleet_metrics.hh"
+#include "power/power_event.hh"
 #include "serve/request.hh"
 #include "sim/ticks.hh"
 
@@ -50,6 +51,13 @@ struct RequestRecord
     bool deviceLinked = false;
 };
 
+/** A CPME/LPME decision stamped with its fleet device index. */
+struct PowerEventRecord
+{
+    unsigned device = 0;
+    PowerEvent event;
+};
+
 /** Ring capacities and the optional dump destination. */
 struct FlightRecorderConfig
 {
@@ -57,6 +65,8 @@ struct FlightRecorderConfig
     std::size_t requestCapacity = 256;
     /** Most recent fleet metric snapshots retained. */
     std::size_t metricCapacity = 64;
+    /** Most recent power-management decisions retained. */
+    std::size_t powerCapacity = 128;
     /** When non-empty, the trigger also writes the dump here. */
     std::string dumpPath;
 };
@@ -74,6 +84,14 @@ class FlightRecorder
 
     /** Append one fleet metric snapshot (oldest evicted). */
     void recordMetrics(const FleetMetricSample &sample);
+
+    /**
+     * Append one CPME/LPME decision (oldest evicted). Fed by the
+     * EnergyMonitor, which drains each chip's PowerAuditTrail at the
+     * metric sample points — so the dump can replay the power
+     * manager's recent decisions next to the request lifecycles.
+     */
+    void recordPowerEvent(unsigned device, const PowerEvent &event);
 
     /**
      * An incident fired at simulated time @p at. The first trigger
@@ -101,6 +119,9 @@ class FlightRecorder
     /** Metric snapshots currently buffered. */
     std::size_t bufferedMetrics() const { return metrics_.size(); }
 
+    /** Power events currently buffered. */
+    std::size_t bufferedPowerEvents() const { return power_.size(); }
+
     /** Re-arm the trigger latch and clear the rings and dump. */
     void reset();
 
@@ -111,6 +132,7 @@ class FlightRecorder
     FlightRecorderConfig config_;
     std::deque<RequestRecord> requests_;
     std::deque<FleetMetricSample> metrics_;
+    std::deque<PowerEventRecord> power_;
     std::uint64_t triggers_ = 0;
     bool dumped_ = false;
     std::string dump_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "sim/json.hh"
 #include "sim/logging.hh"
@@ -125,9 +126,15 @@ SloMonitor::closeWindow()
     w.throughputPerSecond = static_cast<double>(w.completed) / seconds;
     w.goodputPerSecond =
         static_cast<double>(w.completed - w.missed) / seconds;
+    // An sloTarget at (or past) 1.0 would make the error-budget
+    // denominator zero: every miss is then infinitely over budget,
+    // which is correct arithmetic but poison in JSON and Prometheus
+    // exports. Saturate to the bad fraction over the smallest
+    // representable budget instead of dividing by zero.
     double bad = static_cast<double>(w.missed + w.dropped);
-    w.burnRate = bad / static_cast<double>(w.total()) /
-                 (1.0 - config_.sloTarget);
+    double budget = std::max(1.0 - config_.sloTarget,
+                             std::numeric_limits<double>::min());
+    w.burnRate = bad / static_cast<double>(w.total()) / budget;
 
     if (config_.p99AlertMs > 0.0 && w.p99Ms > config_.p99AlertMs) {
         alerts_.push_back(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "power/power_event.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/tracer.hh"
@@ -64,6 +65,20 @@ Cpme::requestBudget(Lpme &lpme, double watts)
     reserveWatts_ -= granted;
     lpme.grant(granted);
     totalGranted_ += granted;
+    bool denied = granted + 1e-12 < watts;
+    if (denied)
+        ++budgetDenials_;
+    if (audit_) {
+        PowerEvent event;
+        event.at = traceTick_;
+        event.kind = denied ? PowerEventKind::BudgetDeny
+                            : PowerEventKind::BudgetGrant;
+        event.unit = lpme.name();
+        event.requestedWatts = watts;
+        event.grantedWatts = granted;
+        event.reserveWatts = reserveWatts_;
+        audit_->record(event);
+    }
     updateStats();
     return granted;
 }
@@ -76,6 +91,16 @@ Cpme::returnBudget(Lpme &lpme, double watts)
     reserveWatts_ += surplus;
     panicIf(reserveWatts_ > limitWatts_ + 1e-9,
             "reserve pool exceeded the power limit");
+    if (audit_) {
+        PowerEvent event;
+        event.at = traceTick_;
+        event.kind = PowerEventKind::BudgetReturn;
+        event.unit = lpme.name();
+        event.requestedWatts = watts;
+        event.grantedWatts = surplus;
+        event.reserveWatts = reserveWatts_;
+        audit_->record(event);
+    }
     updateStats();
 }
 
@@ -84,12 +109,30 @@ Cpme::thermalCappedHz(Tick at, double hz)
 {
     if (!faults_)
         return hz;
-    return faults_->thermalClampHz(at, hz);
+    double capped = faults_->thermalClampHz(at, hz);
+    if (audit_ && capped < hz) {
+        PowerEvent event;
+        event.at = at;
+        event.kind = PowerEventKind::ThermalCap;
+        event.fromGhz = hz / 1e9;
+        event.toGhz = capped / 1e9;
+        audit_->record(event);
+    }
+    return capped;
 }
 
 void
 Cpme::traceDvfsStep(std::size_t from_index, std::size_t to_index)
 {
+    if (audit_) {
+        PowerEvent event;
+        event.at = traceTick_;
+        event.kind = to_index > from_index ? PowerEventKind::DvfsClimb
+                                           : PowerEventKind::DvfsCoast;
+        event.fromGhz = policy_.ladderHz[from_index] / 1e9;
+        event.toGhz = policy_.ladderHz[to_index] / 1e9;
+        audit_->record(event);
+    }
     if (!tracer_ || !tracer_->enabled())
         return;
     tracer_->instant(
@@ -103,6 +146,7 @@ Cpme::traceDvfsStep(std::size_t from_index, std::size_t to_index)
 double
 Cpme::serviceWindow(Lpme &lpme, const ActivitySample &sample)
 {
+    ++windowsServiced_;
     if (tracer_ && tracer_->enabled()) {
         tracer_->counter("cpme.reserve_watts", "W", traceTick_,
                          reserveWatts_);
@@ -120,20 +164,39 @@ Cpme::serviceWindow(Lpme &lpme, const ActivitySample &sample)
                            : decision.returnWatts},
              {"reserve_watts", reserveWatts_}});
     }
+    double throttle = decision.throttle;
     if (decision.requestWatts > 0.0) {
         double granted = requestBudget(lpme, decision.requestWatts);
+        if (tracer_ && tracer_->enabled() &&
+            granted + 1e-12 < decision.requestWatts) {
+            tracer_->instant(tracer_->track("cpme", "budget"),
+                             "budget denial", "power", traceTick_,
+                             {{"requested_watts", decision.requestWatts},
+                              {"granted_watts", granted},
+                              {"reserve_watts", reserveWatts_}});
+        }
         if (granted > 0.0 && sample.projectedWatts <= lpme.budgetWatts()) {
             // The grant removed the bottleneck: no bubbles needed.
-            return 0.0;
-        }
-        if (granted > 0.0) {
+            throttle = 0.0;
+        } else if (granted > 0.0) {
             // Partially satisfied: recompute the feedback throttle.
-            return sample.projectedWatts / lpme.budgetWatts() - 1.0;
+            throttle = sample.projectedWatts / lpme.budgetWatts() - 1.0;
         }
     } else if (decision.returnWatts > 0.0) {
         returnBudget(lpme, decision.returnWatts);
     }
-    return decision.throttle;
+    if (throttle > 0.0) {
+        ++throttledWindows_;
+        if (audit_) {
+            PowerEvent event;
+            event.at = traceTick_;
+            event.kind = PowerEventKind::Throttle;
+            event.unit = lpme.name();
+            event.throttle = throttle;
+            audit_->record(event);
+        }
+    }
+    return throttle;
 }
 
 double

@@ -15,6 +15,7 @@
 #ifndef DTU_POWER_CPME_HH
 #define DTU_POWER_CPME_HH
 
+#include <cstdint>
 #include <deque>
 #include <vector>
 
@@ -26,6 +27,7 @@ namespace dtu
 {
 
 class FaultInjector;
+class PowerAuditTrail;
 class Tracer;
 
 /** Workload classification used by the Evaluation stage. */
@@ -117,6 +119,13 @@ class Cpme
     unsigned frequencyChanges() const { return frequencyChanges_; }
     double totalGranted() const { return totalGranted_; }
 
+    /** serviceWindow() passes completed (any unit). */
+    std::uint64_t windowsServiced() const { return windowsServiced_; }
+    /** Windows that ended with a nonzero throttle order. */
+    std::uint64_t throttledWindows() const { return throttledWindows_; }
+    /** Borrow requests the reserve pool could not serve in full. */
+    std::uint64_t budgetDenials() const { return budgetDenials_; }
+
     /**
      * Register the CPME's gauges (cpme.reserve_watts,
      * cpme.granted_watts, cpme.frequency_changes, cpme.frequency_ghz)
@@ -135,6 +144,18 @@ class Cpme
 
     /** Attach the chip tracer (null detaches). */
     void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    /**
+     * Attach (or detach, with nullptr) a decision audit trail. Every
+     * budget grant/denial/return, DVFS step, throttle order, and
+     * thermal clamp is recorded as a structured PowerEvent stamped
+     * with the current trace window. Unlike the tracer instants the
+     * trail does not need the chip timeline enabled — it is the
+     * always-on black box the flight recorder reads. No trail, no
+     * behavior change.
+     */
+    void setAuditTrail(PowerAuditTrail *trail) { audit_ = trail; }
+    PowerAuditTrail *auditTrail() const { return audit_; }
 
     /** Timestamp for the trace events of the coming window. */
     void beginTraceWindow(Tick at) { traceTick_ = at; }
@@ -169,9 +190,13 @@ class Cpme
     std::deque<WorkloadClass> history_;
     unsigned frequencyChanges_ = 0;
     double totalGranted_ = 0.0;
+    std::uint64_t windowsServiced_ = 0;
+    std::uint64_t throttledWindows_ = 0;
+    std::uint64_t budgetDenials_ = 0;
     Tracer *tracer_ = nullptr;
     Tick traceTick_ = 0;
     FaultInjector *faults_ = nullptr;
+    PowerAuditTrail *audit_ = nullptr;
 
     bool statsAttached_ = false;
     Stat statReserveWatts_;

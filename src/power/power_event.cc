@@ -1,0 +1,118 @@
+#include "power/power_event.hh"
+
+#include "sim/json.hh"
+
+namespace dtu
+{
+
+const char *
+powerEventKindName(PowerEventKind kind)
+{
+    switch (kind) {
+      case PowerEventKind::BudgetGrant: return "budget_grant";
+      case PowerEventKind::BudgetDeny: return "budget_deny";
+      case PowerEventKind::BudgetReturn: return "budget_return";
+      case PowerEventKind::DvfsClimb: return "dvfs_climb";
+      case PowerEventKind::DvfsCoast: return "dvfs_coast";
+      case PowerEventKind::Throttle: return "throttle";
+      case PowerEventKind::ThermalCap: return "thermal_cap";
+    }
+    return "unknown";
+}
+
+PowerAuditTrail::PowerAuditTrail(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1)
+{}
+
+void
+PowerAuditTrail::record(const PowerEvent &event)
+{
+    events_.push_back(event);
+    while (events_.size() > capacity_)
+        events_.pop_front();
+    ++totalRecorded_;
+    ++counts_[static_cast<std::size_t>(event.kind)];
+}
+
+std::uint64_t
+PowerAuditTrail::count(PowerEventKind kind) const
+{
+    return counts_[static_cast<std::size_t>(kind)];
+}
+
+void
+PowerAuditTrail::clear()
+{
+    events_.clear();
+    totalRecorded_ = 0;
+    for (auto &c : counts_)
+        c = 0;
+}
+
+void
+writePowerEventJson(const PowerEvent &event, JsonWriter &json)
+{
+    json.beginObject();
+    json.field("at_ticks", static_cast<std::uint64_t>(event.at));
+    json.field("kind", powerEventKindName(event.kind));
+    if (!event.unit.empty())
+        json.field("unit", event.unit);
+    switch (event.kind) {
+      case PowerEventKind::BudgetGrant:
+      case PowerEventKind::BudgetDeny:
+      case PowerEventKind::BudgetReturn:
+        json.field("requested_watts", event.requestedWatts);
+        json.field("granted_watts", event.grantedWatts);
+        json.field("reserve_watts", event.reserveWatts);
+        break;
+      case PowerEventKind::DvfsClimb:
+      case PowerEventKind::DvfsCoast:
+      case PowerEventKind::ThermalCap:
+        json.field("from_ghz", event.fromGhz);
+        json.field("to_ghz", event.toGhz);
+        break;
+      case PowerEventKind::Throttle:
+        json.field("throttle", event.throttle);
+        break;
+    }
+    json.endObject();
+}
+
+void
+writeEnergyBreakdownJson(const EnergyBreakdown &energy, JsonWriter &json)
+{
+    json.beginObject();
+    json.field("mac_joules", energy.macJoules);
+    json.field("vector_joules", energy.vectorJoules);
+    json.field("l1_joules", energy.l1Joules);
+    json.field("l2_joules", energy.l2Joules);
+    json.field("hbm_joules", energy.hbmJoules);
+    json.field("dma_joules", energy.dmaJoules);
+    json.field("static_joules", energy.staticJoules);
+    json.field("total_joules", energy.total());
+    json.endObject();
+}
+
+void
+PowerAuditTrail::writeJson(std::ostream &os) const
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("total_recorded", totalRecorded_);
+    json.field("buffered", static_cast<std::uint64_t>(events_.size()));
+    json.field("capacity", static_cast<std::uint64_t>(capacity_));
+    json.key("counts").beginObject();
+    for (int k = 0; k <= static_cast<int>(PowerEventKind::ThermalCap); ++k) {
+        json.field(powerEventKindName(static_cast<PowerEventKind>(k)),
+                   counts_[k]);
+    }
+    json.endObject();
+    json.key("events").beginArray();
+    for (const PowerEvent &event : events_)
+        writePowerEventJson(event, json);
+    json.endArray();
+    json.endObject();
+    os << '\n';
+}
+
+} // namespace dtu

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Structured audit trail of CPME/LPME power-management decisions.
+ *
+ * The closed-loop power manager makes hundreds of decisions per
+ * millisecond — budget borrows granted or denied against the reserve
+ * pool, DVFS ladder steps, feedback throttles, thermal clamps — and
+ * until now all of them were invisible outside the odd tracer
+ * instant. The PowerAuditTrail records each decision as a structured
+ * event in a bounded ring (newest wins, evictions counted), so the
+ * sequence that explains a latency cliff ("denied 12 W, coasted to
+ * 1.1 GHz, throttled 8 windows, recovered") can be replayed from the
+ * flight recorder or the EnergyReport after the fact.
+ *
+ * Strictly opt-in: a Cpme without a trail attached behaves
+ * bit-for-bit identically (null-pointer hooks).
+ */
+
+#ifndef DTU_POWER_POWER_EVENT_HH
+#define DTU_POWER_POWER_EVENT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+
+#include "power/power_model.hh"
+#include "sim/ticks.hh"
+
+namespace dtu
+{
+
+/** What kind of power-management decision an event records. */
+enum class PowerEventKind
+{
+    /** Reserve-pool borrow served in full. */
+    BudgetGrant,
+    /** Borrow clipped by an empty (or short) reserve pool. */
+    BudgetDeny,
+    /** Surplus watts returned to the reserve pool. */
+    BudgetReturn,
+    /** DVFS ladder step up (compute-bound demand). */
+    DvfsClimb,
+    /** DVFS ladder step down (bandwidth-bound coast). */
+    DvfsCoast,
+    /** Feedback throttle ordered for the coming window. */
+    Throttle,
+    /** Thermal episode clamped the clock below the DVFS point. */
+    ThermalCap,
+};
+
+/** Stable lowercase name ("budget_grant", ...). */
+const char *powerEventKindName(PowerEventKind kind);
+
+/** One CPME/LPME decision. */
+struct PowerEvent
+{
+    /** Simulated time of the decision (the trace window stamp). */
+    Tick at = 0;
+    PowerEventKind kind = PowerEventKind::BudgetGrant;
+    /** LPME the decision concerns ("" for chip-level DVFS events). */
+    std::string unit;
+    /** Watts the unit asked for (budget events). */
+    double requestedWatts = 0.0;
+    /** Watts actually granted / returned (budget events). */
+    double grantedWatts = 0.0;
+    /** Reserve pool after the decision (budget events). */
+    double reserveWatts = 0.0;
+    /** Clock before the step (DVFS / thermal events), GHz. */
+    double fromGhz = 0.0;
+    /** Clock after the step (DVFS / thermal events), GHz. */
+    double toGhz = 0.0;
+    /** Throttle ratio ordered for the next window (throttle events). */
+    double throttle = 0.0;
+};
+
+/** Bounded ring of PowerEvents with per-kind running counts. */
+class PowerAuditTrail
+{
+  public:
+    /** @param capacity ring size; older events are evicted. */
+    explicit PowerAuditTrail(std::size_t capacity = 1024);
+
+    /** Append @p event, evicting the oldest past capacity. */
+    void record(const PowerEvent &event);
+
+    /** Buffered events, oldest first. */
+    const std::deque<PowerEvent> &events() const { return events_; }
+
+    /** Events ever recorded (monotonic, survives eviction). */
+    std::uint64_t totalRecorded() const { return totalRecorded_; }
+
+    /** Running count of @p kind over the whole run (not just the ring). */
+    std::uint64_t count(PowerEventKind kind) const;
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Drop all buffered events and reset the counters. */
+    void clear();
+
+    /**
+     * Serialize the trail: per-kind totals plus the buffered ring
+     * (oldest first). Null-safe for embedding in larger documents.
+     */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    std::size_t capacity_;
+    std::deque<PowerEvent> events_;
+    std::uint64_t totalRecorded_ = 0;
+    std::uint64_t counts_[7] = {};
+};
+
+class JsonWriter;
+
+/**
+ * Emit one event as a JSON object into an open @p json writer (used
+ * by the flight-recorder dump and the EnergyReport).
+ */
+void writePowerEventJson(const PowerEvent &event, JsonWriter &json);
+
+/**
+ * Emit an EnergyBreakdown as a JSON object (mac/vector/l1/l2/hbm/
+ * dma/static joules plus the bucket total) into an open writer. One
+ * spelling shared by ExecResult, ServingReport, the EnergyReport,
+ * and the flight dump.
+ */
+void writeEnergyBreakdownJson(const EnergyBreakdown &energy,
+                              JsonWriter &json);
+
+} // namespace dtu
+
+#endif // DTU_POWER_POWER_EVENT_HH

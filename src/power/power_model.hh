@@ -81,6 +81,68 @@ struct PowerParams
     }
 };
 
+/**
+ * Per-component split of accumulated energy. The buckets mirror the
+ * chip's energy sinks: MAC arrays, vector/SPU lanes, the three cache
+ * levels (L3 is the HBM interface, by far the most expensive byte),
+ * DMA engines, and static leakage. The bucket sum equals the meter's
+ * scalar total up to floating-point rounding — the meter adds the
+ * same products to both.
+ */
+struct EnergyBreakdown
+{
+    /** MAC-array dynamic energy. */
+    double macJoules = 0.0;
+    /** Vector/SPU lane dynamic energy. */
+    double vectorJoules = 0.0;
+    /** L1 (core-local) data movement. */
+    double l1Joules = 0.0;
+    /** L2 (cluster shared memory) data movement. */
+    double l2Joules = 0.0;
+    /** L3/HBM data movement (DRAM access + PHY). */
+    double hbmJoules = 0.0;
+    /** DMA engine switching energy. */
+    double dmaJoules = 0.0;
+    /** Leakage + always-on uncore. */
+    double staticJoules = 0.0;
+
+    /** Sum of all buckets. */
+    double
+    total() const
+    {
+        return macJoules + vectorJoules + l1Joules + l2Joules +
+               hbmJoules + dmaJoules + staticJoules;
+    }
+
+    /** Accumulate @p other into this breakdown. */
+    void
+    add(const EnergyBreakdown &other)
+    {
+        macJoules += other.macJoules;
+        vectorJoules += other.vectorJoules;
+        l1Joules += other.l1Joules;
+        l2Joules += other.l2Joules;
+        hbmJoules += other.hbmJoules;
+        dmaJoules += other.dmaJoules;
+        staticJoules += other.staticJoules;
+    }
+
+    /** Bucket-wise difference (for interval attribution). */
+    EnergyBreakdown
+    minus(const EnergyBreakdown &base) const
+    {
+        EnergyBreakdown d;
+        d.macJoules = macJoules - base.macJoules;
+        d.vectorJoules = vectorJoules - base.vectorJoules;
+        d.l1Joules = l1Joules - base.l1Joules;
+        d.l2Joules = l2Joules - base.l2Joules;
+        d.hbmJoules = hbmJoules - base.hbmJoules;
+        d.dmaJoules = dmaJoules - base.dmaJoules;
+        d.staticJoules = staticJoules - base.staticJoules;
+        return d;
+    }
+};
+
 /** Accumulates energy and exposes average power. */
 class EnergyMeter
 {
@@ -106,6 +168,8 @@ class EnergyMeter
         double scale = margin2_ * params_.voltageScale(hz);
         joules_ += scale * (macs * params_.joulesPerMac(t) +
                             lane_ops * params_.joulesPerLaneOp);
+        breakdown_.macJoules += scale * macs * params_.joulesPerMac(t);
+        breakdown_.vectorJoules += scale * lane_ops * params_.joulesPerLaneOp;
     }
 
     /** Add data movement activity. */
@@ -117,6 +181,10 @@ class EnergyMeter
                    l2_bytes * params_.joulesPerByteL2 +
                    l3_bytes * params_.joulesPerByteL3 +
                    dma_bytes * params_.joulesPerByteDma;
+        breakdown_.l1Joules += l1_bytes * params_.joulesPerByteL1;
+        breakdown_.l2Joules += l2_bytes * params_.joulesPerByteL2;
+        breakdown_.hbmJoules += l3_bytes * params_.joulesPerByteL3;
+        breakdown_.dmaJoules += dma_bytes * params_.joulesPerByteDma;
     }
 
     /**
@@ -135,10 +203,18 @@ class EnergyMeter
                        active_cores * params_.coreStaticWatts +
                        active_dmas * params_.dmaStaticWatts;
         joules_ += scale * watts * seconds;
+        breakdown_.staticJoules += scale * watts * seconds;
     }
 
     /** Total accumulated energy. */
     double joules() const { return joules_; }
+
+    /**
+     * Per-component attribution of joules(). Buckets sum to the
+     * scalar total up to floating-point rounding (the meter adds the
+     * same products to both, only associated differently).
+     */
+    const EnergyBreakdown &breakdown() const { return breakdown_; }
 
     /** Average power over @p duration of wall time. */
     double
@@ -148,11 +224,17 @@ class EnergyMeter
         return seconds > 0.0 ? joules_ / seconds : 0.0;
     }
 
-    void reset() { joules_ = 0.0; }
+    void
+    reset()
+    {
+        joules_ = 0.0;
+        breakdown_ = EnergyBreakdown{};
+    }
 
   private:
     PowerParams params_;
     double joules_ = 0.0;
+    EnergyBreakdown breakdown_;
     double margin2_ = 1.0;
 };
 

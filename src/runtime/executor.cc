@@ -8,6 +8,7 @@
 #include "core/spu.hh"
 #include "graph/graph.hh"
 #include "obs/perf_monitor.hh"
+#include "power/power_event.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
 #include "sim/tracer.hh"
@@ -39,6 +40,7 @@ Executor::run(const ExecutionPlan &plan, Tick start)
     const unsigned total_cores = cores();
     EnergyMeter &meter = dtu_.energy();
     double joules_before = meter.joules();
+    EnergyBreakdown energy_before = meter.breakdown();
 
     // Power management: OFF pins the clocks at the ladder top for
     // maximal performance (the paper's comparison configuration) and
@@ -164,6 +166,7 @@ Executor::run(const ExecutionPlan &plan, Tick start)
         double freq = dtu_.coreFrequency();
         Tick op_start = cursor;
         double op_joules_before = meter.joules();
+        EnergyBreakdown op_energy_before = meter.breakdown();
         double op_l3_before = l3_bytes;
 
         //
@@ -481,6 +484,14 @@ Executor::run(const ExecutionPlan &plan, Tick start)
             ot.bytes = static_cast<double>(op.inputBytes) +
                        static_cast<double>(op.outputBytes) +
                        static_cast<double>(op.weightBytes);
+            // Per-component attribution: exact meter deltas for the
+            // voltage-scaled buckets; HBM joules analytically from
+            // this window's L3 bytes (the meter batches the L3 term
+            // at end of run, but byte energy carries no voltage
+            // scaling, so the product is identical either way).
+            ot.energy = meter.breakdown().minus(op_energy_before);
+            ot.energy.hbmJoules = (l3_bytes - op_l3_before) *
+                                  meter.params().joulesPerByteL3;
             result.trace.push_back(std::move(ot));
         }
 
@@ -543,6 +554,7 @@ Executor::run(const ExecutionPlan &plan, Tick start)
     result.latency = cursor - start;
     result.l3Bytes = l3_bytes;
     result.joules = meter.joules() - joules_before;
+    result.energy = meter.breakdown().minus(energy_before);
     result.watts =
         result.latency > 0
             ? result.joules / ticksToSeconds(result.latency)
@@ -575,6 +587,8 @@ writeJson(const ExecResult &result, std::ostream &os)
         .field("throughput_per_s", result.throughput)
         .field("l3_bytes", result.l3Bytes)
         .field("mean_frequency_ghz", result.meanFrequencyGHz);
+    json.key("energy");
+    writeEnergyBreakdownJson(result.energy, json);
     json.key("operators").beginArray();
     for (const OpTrace &op : result.trace) {
         json.beginObject()
@@ -593,8 +607,10 @@ writeJson(const ExecResult &result, std::ostream &os)
             .field("macs", op.macs)
             .field("bytes", op.bytes)
             .field("frequency_ghz", op.frequencyGHz)
-            .field("throttle", op.throttle)
-            .endObject();
+            .field("throttle", op.throttle);
+        json.key("energy");
+        writeEnergyBreakdownJson(op.energy, json);
+        json.endObject();
     }
     json.endArray();
     json.endObject();

@@ -103,6 +103,13 @@ struct OpTrace
     /** Logical bytes the operator moved (in + out + weights),
      *  before sparse compression — the roofline denominator. */
     double bytes = 0.0;
+    /**
+     * Per-component energy this operator consumed. HBM joules are
+     * attributed analytically from the L3 bytes the operator's window
+     * moved (the meter batches L3 energy at end of run); the other
+     * buckets are exact meter deltas.
+     */
+    EnergyBreakdown energy;
 };
 
 /** Outcome of one plan execution. */
@@ -122,6 +129,8 @@ struct ExecResult
     double l3Bytes = 0.0;
     /** Mean core frequency over the run (time-weighted, GHz). */
     double meanFrequencyGHz = 0.0;
+    /** Per-component attribution of joules (buckets sum to it). */
+    EnergyBreakdown energy;
     std::vector<OpTrace> trace;
 
     double latencyMs() const { return ticksToMilliSeconds(latency); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/energy_monitor.hh"
 #include "obs/request_tracer.hh"
 #include "obs/slo_monitor.hh"
 #include "serve/arrival.hh"
@@ -167,15 +168,24 @@ Fleet::setRequestTracer(obs::RequestTracer *tracer)
         devices_[i]->setRequestTracer(tracer, i);
 }
 
+void
+Fleet::setEnergyMonitor(obs::EnergyMonitor *monitor)
+{
+    energyMon_ = monitor;
+    for (unsigned i = 0; i < devices_.size(); ++i)
+        devices_[i]->setEnergyMonitor(monitor, i);
+}
+
 unsigned
 Fleet::effectiveThreads() const
 {
     unsigned threads = std::max(1u, config_.threads);
     threads = static_cast<unsigned>(
         std::min<std::size_t>(threads, devices_.size()));
-    if (threads > 1 && (sloMon_ || reqTracer_)) {
-        warn("fleet observers (SLO monitor / request tracer) need a "
-             "globally ordered record stream; serving with threads=1");
+    if (threads > 1 && (sloMon_ || reqTracer_ || energyMon_)) {
+        warn("fleet observers (SLO monitor / request tracer / energy "
+             "monitor) need a globally ordered record stream; serving "
+             "with threads=1");
         return 1;
     }
     return threads;
@@ -206,6 +216,8 @@ Fleet::serve(std::vector<Request> trace)
         ScopedLogDevice log_dev(static_cast<int>(i));
         devices_[i]->begin(now, &future);
     }
+    if (energyMon_)
+        energyMon_->beginRun(now);
 
     // A fresh router per run keeps serve() deterministic regardless
     // of what earlier runs routed.
@@ -247,7 +259,8 @@ Fleet::serve(std::vector<Request> trace)
     // and the settle/advance steps are idempotent at non-event ticks,
     // so sampling never changes simulated results (or termination).
     const Tick metric_period =
-        reqTracer_ ? reqTracer_->metricPeriod() : 0;
+        reqTracer_ ? reqTracer_->metricPeriod()
+                   : (energyMon_ ? energyMon_->samplePeriod() : 0);
     Tick next_sample =
         metric_period ? (now / metric_period + 1) * metric_period
                       : kNever;
@@ -287,7 +300,10 @@ Fleet::serve(std::vector<Request> trace)
             for (unsigned i = 0; i < n; ++i)
                 sample.devices.push_back(
                     devices_[i]->metricSample(i));
-            reqTracer_->recordMetrics(sample);
+            if (energyMon_)
+                energyMon_->annotate(sample);
+            if (reqTracer_)
+                reqTracer_->recordMetrics(sample);
             next_sample = (now / metric_period + 1) * metric_period;
         }
         if (sloMon_)
@@ -299,6 +315,8 @@ Fleet::serve(std::vector<Request> trace)
             std::max(last_completion, dev->lastCompletion());
     if (sloMon_)
         sloMon_->finish(std::max(now, last_completion));
+    if (energyMon_)
+        energyMon_->endRun(std::max(now, last_completion));
 
     return buildReport(offered, routed);
 }
@@ -415,6 +433,14 @@ Fleet::buildReport(double offered,
                              batches, joules,
                              utilization / static_cast<double>(n),
                              retries, faults, std::move(fleet_gen));
+    if (energyMon_) {
+        // Fleet-aggregate attribution: sum of the per-device deltas
+        // the schedulers' finish() already attributed.
+        EnergyBreakdown fleet_energy;
+        for (const DeviceReport &dev : report.perDevice)
+            fleet_energy.add(dev.report.energy);
+        finalizeEnergy(report.fleet, fleet_energy);
+    }
     return report;
 }
 

@@ -228,6 +228,17 @@ class Fleet
      */
     void setRequestTracer(obs::RequestTracer *tracer);
 
+    /**
+     * Attach (or detach) an energy monitor. Every device scheduler
+     * attributes its run energy by component under its fleet index,
+     * the fleet loop's metric samples carry power telemetry, and the
+     * fleet report gains the per-device and aggregate energy
+     * rollups. Without a monitor the serving loop is bit-for-bit
+     * unchanged. The caller attaches the chips to the monitor
+     * (EnergyMonitor::attach) — the fleet only drives sampling.
+     */
+    void setEnergyMonitor(obs::EnergyMonitor *monitor);
+
   private:
     /** Worker threads serve() will actually use (clamp + fallback). */
     unsigned effectiveThreads() const;
@@ -257,6 +268,7 @@ class Fleet
     std::mutex planMutex_;
     obs::SloMonitor *sloMon_ = nullptr;
     obs::RequestTracer *reqTracer_ = nullptr;
+    obs::EnergyMonitor *energyMon_ = nullptr;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "power/power_event.hh"
 #include "sim/json.hh"
 
 namespace dtu
@@ -39,6 +40,7 @@ PhaseBreakdown::add(const PhaseBreakdown &other)
     otherTicks += other.otherTicks;
     macs += other.macs;
     bytes += other.bytes;
+    energy.add(other.energy);
 }
 
 void
@@ -254,6 +256,32 @@ summarize(std::vector<RequestOutcome> outcomes, double offered_qps,
 }
 
 void
+finalizeEnergy(ServingReport &report, const EnergyBreakdown &energy)
+{
+    report.hasEnergy = true;
+    report.energy = energy;
+    if (!report.hasGeneration)
+        return;
+    GenerationReport &g = report.generation;
+    double gen_joules = g.prefill.energy.total() + g.decode.energy.total();
+    g.joulesPerToken =
+        g.tokens ? gen_joules / static_cast<double>(g.tokens) : 0.0;
+    // Prefill emits each sequence's first token; decode emits the
+    // rest. Tokens from sequences dropped mid-generation keep the
+    // decode denominator conservative, never negative.
+    g.prefillJoulesPerToken =
+        g.requests ? g.prefill.energy.total() /
+                         static_cast<double>(g.requests)
+                   : 0.0;
+    std::uint64_t decode_tokens =
+        g.tokens > g.requests ? g.tokens - g.requests : 0;
+    g.decodeJoulesPerToken =
+        decode_tokens ? g.decode.energy.total() /
+                            static_cast<double>(decode_tokens)
+                      : 0.0;
+}
+
+void
 writeJson(const ServingReport &report, std::ostream &os,
           bool per_request)
 {
@@ -267,7 +295,7 @@ namespace
 
 void
 writePhaseJson(JsonWriter &json, const char *key,
-               const PhaseBreakdown &phase)
+               const PhaseBreakdown &phase, bool with_energy)
 {
     json.key(key).beginObject();
     json.field("issue_ticks", phase.issueTicks)
@@ -277,6 +305,10 @@ writePhaseJson(JsonWriter &json, const char *key,
         .field("bytes", phase.bytes)
         .field("intensity_ops_per_byte", phase.intensityOpsPerByte())
         .field("dominant", phase.dominant());
+    if (with_energy) {
+        json.key("energy");
+        writeEnergyBreakdownJson(phase.energy, json);
+    }
     json.endObject();
 }
 
@@ -315,6 +347,14 @@ writeJson(const ServingReport &report, JsonWriter &json,
         .field("batch_retries", report.batchRetries)
         .field("faults_injected", report.faultsInjected);
 
+    // Like the generation section, the energy section exists only
+    // when a monitor attributed the run — energy-disabled reports
+    // stay byte-identical to the pre-energy goldens.
+    if (report.hasEnergy) {
+        json.key("energy");
+        writeEnergyBreakdownJson(report.energy, json);
+    }
+
     // The generation section exists only for runs that generated, so
     // a one-shot run's JSON is byte-identical to the pre-generation
     // format (the checked-in goldens pin that).
@@ -336,6 +376,13 @@ writeJson(const ServingReport &report, JsonWriter &json,
             .field("itl_p99_ms", g.itlP99Ms)
             .field("itl_mean_ms", g.itlMeanMs)
             .field("itl_max_ms", g.itlMaxMs);
+        if (report.hasEnergy) {
+            json.field("joules_per_token", g.joulesPerToken)
+                .field("prefill_joules_per_token",
+                       g.prefillJoulesPerToken)
+                .field("decode_joules_per_token",
+                       g.decodeJoulesPerToken);
+        }
         json.key("kv_cache").beginObject();
         json.field("page_bytes", g.kvPageBytes)
             .field("page_budget", g.kvPageBudget)
@@ -346,8 +393,8 @@ writeJson(const ServingReport &report, JsonWriter &json,
             .field("pages_in_use_at_end", g.kvPagesInUseAtEnd)
             .field("peak_occupancy", g.kvPeakOccupancy);
         json.endObject();
-        writePhaseJson(json, "prefill", g.prefill);
-        writePhaseJson(json, "decode", g.decode);
+        writePhaseJson(json, "prefill", g.prefill, report.hasEnergy);
+        writePhaseJson(json, "decode", g.decode, report.hasEnergy);
         json.endObject();
     }
 

@@ -17,6 +17,7 @@
 #include <ostream>
 #include <vector>
 
+#include "power/power_model.hh"
 #include "serve/request.hh"
 #include "sim/stats.hh"
 
@@ -43,6 +44,11 @@ struct PhaseBreakdown
     /** MACs and DRAM-level bytes, for the roofline placement. */
     double macs = 0.0;
     double bytes = 0.0;
+    /**
+     * Per-component energy of the phase's operators (filled only
+     * when the run attributes energy; see Scheduler::setEnergyMonitor).
+     */
+    EnergyBreakdown energy;
 
     double totalTicks() const
     {
@@ -139,6 +145,16 @@ struct GenerationReport
     /** Prefill-vs-decode top-down split (the roofline contrast). */
     PhaseBreakdown prefill;
     PhaseBreakdown decode;
+
+    //
+    // Energy per token (filled by finalizeEnergy when an energy
+    // monitor is attached; zero otherwise). Decode J/token is the
+    // marginal serving cost the capacity planner cares about;
+    // prefill J/token is the first-token surcharge.
+    //
+    double joulesPerToken = 0.0;
+    double prefillJoulesPerToken = 0.0;
+    double decodeJoulesPerToken = 0.0;
 };
 
 /** Aggregated serving metrics over one drained request trace. */
@@ -223,6 +239,15 @@ struct ServingReport
     bool hasGeneration = false;
     /** Generation metrics; meaningful only when hasGeneration. */
     GenerationReport generation;
+
+    /**
+     * True when an energy monitor attributed the run's joules; the
+     * JSON energy sections exist only then, keeping energy-disabled
+     * reports byte-identical to the pre-energy format.
+     */
+    bool hasEnergy = false;
+    /** Per-component split of `joules`; meaningful when hasEnergy. */
+    EnergyBreakdown energy;
 };
 
 /**
@@ -246,6 +271,16 @@ ServingReport summarize(std::vector<RequestOutcome> outcomes,
                         std::uint64_t batch_retries = 0,
                         std::uint64_t faults_injected = 0,
                         GenerationLog gen = {});
+
+/**
+ * Attach per-component energy attribution to a summarized report:
+ * stores @p energy (the meter's bucket delta over the run), marks
+ * hasEnergy, and derives the generation J/token figures from the
+ * phase energy the scheduler folded into the GenerationLog. All
+ * divisions are guarded — zero tokens or zero completions yield
+ * zeros, never non-finite values.
+ */
+void finalizeEnergy(ServingReport &report, const EnergyBreakdown &energy);
 
 /**
  * Serialize a report as JSON: the summary scalars, the miss set,

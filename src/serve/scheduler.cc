@@ -5,6 +5,7 @@
 
 #include "compiler/lowering.hh"
 #include "models/model_zoo.hh"
+#include "obs/energy_monitor.hh"
 #include "obs/request_tracer.hh"
 #include "obs/slo_monitor.hh"
 #include "serve/arrival.hh"
@@ -202,6 +203,7 @@ Scheduler::begin(Tick start, const std::map<std::string, unsigned> *future)
     lastCompletion_ = 0;
     peakQueue_ = 0;
     joulesBefore_ = dtu_.energy().joules();
+    energyBefore_ = dtu_.energy().breakdown();
     faults_ = dtu_.faults();
     faultsBefore_ = faults_ ? faults_->log().size() : 0;
     weightReady_.clear();
@@ -477,7 +479,7 @@ Scheduler::executeBatch(const ExecutionPlan &p,
                         const std::vector<Request> &riders,
                         const std::vector<unsigned> &groups, Tick now,
                         unsigned max_retries, bool record_ops,
-                        const std::string &model)
+                        const std::string &model, const char *phase)
 {
     // A batch carrying a sampled request records its chip-side
     // operator spans (the flow-arrow targets) even when the user
@@ -497,6 +499,11 @@ Scheduler::executeBatch(const ExecutionPlan &p,
     if (sampled_batch)
         exec_opts.trace = true;
     if (record_ops)
+        exec_opts.trace = true;
+    // The energy-feature corpus needs every batch's operator traces,
+    // not just the generative phases' — same observation-only rule.
+    const bool corpus = energyMon_ && energyMon_->corpusEnabled();
+    if (corpus)
         exec_opts.trace = true;
     Executor executor(dtu_, groups, exec_opts);
     // Poisoned executions (uncorrectable ECC, exhausted DMA retries)
@@ -541,6 +548,8 @@ Scheduler::executeBatch(const ExecutionPlan &p,
                                         run.retries);
         }
     }
+    if (corpus)
+        energyMon_->recordOps(deviceId_, model, phase, run.result);
     run.end = run.result.end;
     return run;
 }
@@ -565,6 +574,7 @@ Scheduler::accumulatePhase(PhaseBreakdown &phase,
             static_cast<double>(op.kernelStallTicks);
         phase.macs += op.macs;
         phase.bytes += op.bytes;
+        phase.energy.add(op.energy);
     }
 }
 
@@ -822,7 +832,7 @@ Scheduler::launchOneShots(Tick now)
                     model, static_cast<unsigned>(reqs.size()));
                 BatchRun run = executeBatch(
                     p, reqs, lease->groups, now,
-                    degrade.maxBatchRetries, false, model);
+                    degrade.maxBatchRetries, false, model, "batch");
                 ActiveBatch batch;
                 batch.end = run.end;
                 batch.dispatched = now;
@@ -972,7 +982,7 @@ Scheduler::launchGeneration(Tick now)
                     bucketLen(max_prompt));
                 BatchRun run = executeBatch(
                     p, reqs, lease->groups, now,
-                    degrade.maxBatchRetries, true, model);
+                    degrade.maxBatchRetries, true, model, "prefill");
                 accumulatePhase(genLog_.prefill, run.result);
                 ++genLog_.prefillBatches;
                 ActiveBatch batch;
@@ -1013,8 +1023,8 @@ Scheduler::launchDecodeStep(DecodeBatch &b, Tick now)
         riders.push_back(seq.request);
     // Decode steps do not retry on poison (max_retries 0): the KV
     // state is already suspect after one poisoned pass.
-    BatchRun run =
-        executeBatch(p, riders, b.groups, now, 0, true, b.model);
+    BatchRun run = executeBatch(p, riders, b.groups, now, 0, true,
+                                b.model, "decode");
     accumulatePhase(genLog_.decode, run.result);
     ++batches_;
     b.inStep = true;
@@ -1119,6 +1129,10 @@ Scheduler::finish(double offered_qps)
         manager_.utilization(lastCompletion_), batchRetries_,
         faults_ ? faults_->log().size() - faultsBefore_ : 0,
         generationLog());
+    if (energyMon_) {
+        finalizeEnergy(report,
+                       dtu_.energy().breakdown().minus(energyBefore_));
+    }
     outcomes_.clear();
     return report;
 }
@@ -1143,6 +1157,8 @@ Scheduler::serve(std::vector<Request> trace)
 
     Tick now = trace.empty() ? 0 : trace.front().arrival;
     begin(now, &future);
+    if (energyMon_)
+        energyMon_->beginRun(now);
 
     std::size_t next_arrival = 0;
     auto admitUpTo = [&](Tick upto) {
@@ -1161,7 +1177,8 @@ Scheduler::serve(std::vector<Request> trace)
     // and the settle/advance steps are idempotent at non-event ticks,
     // so sampling never changes simulated results (or termination).
     const Tick metric_period =
-        reqTracer_ ? reqTracer_->metricPeriod() : 0;
+        reqTracer_ ? reqTracer_->metricPeriod()
+                   : (energyMon_ ? energyMon_->samplePeriod() : 0);
     Tick next_sample =
         metric_period ? (now / metric_period + 1) * metric_period
                       : kNever;
@@ -1190,7 +1207,10 @@ Scheduler::serve(std::vector<Request> trace)
             obs::FleetMetricSample sample;
             sample.at = now;
             sample.devices.push_back(metricSample(deviceId_));
-            reqTracer_->recordMetrics(sample);
+            if (energyMon_)
+                energyMon_->annotate(sample);
+            if (reqTracer_)
+                reqTracer_->recordMetrics(sample);
             next_sample = (now / metric_period + 1) * metric_period;
         }
         // Close SLO windows the loop just stepped past. Events land
@@ -1201,6 +1221,8 @@ Scheduler::serve(std::vector<Request> trace)
     }
     if (sloMon_)
         sloMon_->finish(std::max(now, lastCompletion_));
+    if (energyMon_)
+        energyMon_->endRun(std::max(now, lastCompletion_));
 
     return finish(offered);
 }

@@ -53,6 +53,7 @@ namespace obs
 {
 class SloMonitor;
 class RequestTracer;
+class EnergyMonitor;
 } // namespace obs
 
 namespace serve
@@ -245,6 +246,20 @@ class Scheduler
     void setRequestTracer(obs::RequestTracer *tracer, unsigned device)
     {
         reqTracer_ = tracer;
+        deviceId_ = device;
+    }
+
+    /**
+     * Attach (or detach, with nullptr) an energy monitor as fleet
+     * device @p device. finish() then attributes the run's energy by
+     * component (finalizeEnergy), metric samples carry power
+     * telemetry, and — when the monitor's corpus is enabled — every
+     * batch records its per-operator energy features. Without a
+     * monitor the serving path is bit-for-bit unchanged.
+     */
+    void setEnergyMonitor(obs::EnergyMonitor *monitor, unsigned device)
+    {
+        energyMon_ = monitor;
         deviceId_ = device;
     }
 
@@ -488,12 +503,15 @@ class Scheduler
      * Run @p p on @p groups at @p now with the poison-retry loop and
      * request-tracer hooks (mirrors the one-shot launch path).
      * @p record_ops forces per-operator traces (phase attribution).
+     * @p phase labels the execution for the energy corpus ("batch",
+     * "prefill", "decode").
      */
     BatchRun executeBatch(const ExecutionPlan &p,
                           const std::vector<Request> &riders,
                           const std::vector<unsigned> &groups,
                           Tick now, unsigned max_retries,
-                          bool record_ops, const std::string &model);
+                          bool record_ops, const std::string &model,
+                          const char *phase);
 
     /** Fold @p result's operator traces into @p phase. */
     static void accumulatePhase(PhaseBreakdown &phase,
@@ -571,7 +589,9 @@ class Scheduler
 
     /** Optional request-lifecycle tracer (not owned). */
     obs::RequestTracer *reqTracer_ = nullptr;
-    /** This scheduler's device index under the request tracer. */
+    /** Optional energy monitor (not owned). */
+    obs::EnergyMonitor *energyMon_ = nullptr;
+    /** This scheduler's device index under the fleet observers. */
     unsigned deviceId_ = 0;
 
     //
@@ -605,6 +625,8 @@ class Scheduler
     Tick lastCompletion_ = 0;
     std::size_t peakQueue_ = 0;
     double joulesBefore_ = 0.0;
+    /** Meter breakdown at begin(), for the run's component delta. */
+    EnergyBreakdown energyBefore_;
     std::uint64_t faultsBefore_ = 0;
     FaultInjector *faults_ = nullptr;
     /** Model -> tick its weights are resident (placement state). */

@@ -169,4 +169,14 @@ Dtu::installFaults(const FaultConfig &config)
     return *faults_;
 }
 
+PowerAuditTrail &
+Dtu::installPowerAudit(std::size_t capacity)
+{
+    fatalIf(powerAudit_ != nullptr,
+            "chip '", config_.name, "' already has a power audit trail");
+    powerAudit_ = std::make_unique<PowerAuditTrail>(capacity);
+    cpme_->setAuditTrail(powerAudit_.get());
+    return *powerAudit_;
+}
+
 } // namespace dtu

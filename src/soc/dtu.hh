@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "power/cpme.hh"
+#include "power/power_event.hh"
 #include "power/power_model.hh"
 #include "sim/fault.hh"
 #include "sim/tracer.hh"
@@ -127,6 +128,24 @@ class Dtu
     /** The installed monitor, or nullptr. */
     obs::PerfMonitor *perfMonitor() { return perfMon_.get(); }
 
+    //
+    // Power-decision auditing (strictly opt-in, same pattern). The
+    // chip owns the bounded ring; the CPME records every budget
+    // grant/denial/return, DVFS step, throttle order, and thermal
+    // clamp into it. Without installPowerAudit() the CPME hook is a
+    // null-pointer check and behavior is bit-for-bit unchanged.
+    //
+
+    /**
+     * Install a bounded power-decision audit trail and attach it to
+     * the CPME. One trail per chip; installing twice is a
+     * configuration error.
+     */
+    PowerAuditTrail &installPowerAudit(std::size_t capacity = 1024);
+
+    /** The installed trail, or nullptr. */
+    PowerAuditTrail *powerAudit() { return powerAudit_.get(); }
+
   private:
     DtuConfig config_;
     EventQueue queue_;
@@ -141,6 +160,7 @@ class Dtu
     EnergyMeter energy_;
     std::unique_ptr<FaultInjector> faults_;
     std::unique_ptr<obs::PerfMonitor> perfMon_;
+    std::unique_ptr<PowerAuditTrail> powerAudit_;
 };
 
 } // namespace dtu
