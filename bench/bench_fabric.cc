@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Multi-chip model parallelism over the interconnect fabric: tensor-
+ * parallel speedup vs all-reduce overhead, pipeline bubble fraction
+ * vs microbatch count, and a topology x placement sweep.
+ *
+ * Every cell serves the same open-loop gpt_small generation trace
+ * through one placement group, so the contrasts isolate the fabric:
+ *
+ *  - TP sweep (degree 1/2/4 on a ring): sharded layers shrink the
+ *    per-device compute, two ring all-reduces per layer pay for it.
+ *    The speedup headline is makespan(degree 1) / makespan(d).
+ *  - PP sweep (2 and 4 stages, microbatches 1..16): the pipeline
+ *    fills as microbatches shrink the bubble — the classic
+ *    (d-1)/(d+m-1) curve, measured end-to-end.
+ *  - Topology x placement sweep (--sweep, the slow tier): shared
+ *    root complex vs ring vs full mesh under TP and PP, with the
+ *    root-link utilization showing why peer links matter.
+ *
+ * The fast-tier CI smoke always runs: a 2-device tensor-parallel
+ * fleet must drain its trace clean (every request completes) and
+ * produce byte-identical reports at threads=1 and threads=2; either
+ * failure is fatal (nonzero exit).
+ *
+ *     bench_fabric [--json <path>] [--requests <n>]
+ *                  [--max-degree <1|2|4>] [--max-microbatches <m>]
+ *                  [--sweep]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/server.hh"
+#include "bench_common.hh"
+#include "fabric/fabric.hh"
+#include "serve/arrival.hh"
+#include "serve/fleet.hh"
+#include "sim/logging.hh"
+
+using namespace dtu;
+using namespace dtu::bench;
+
+namespace
+{
+
+std::vector<serve::Request>
+genTrace(unsigned requests)
+{
+    std::vector<serve::Request> trace;
+    for (unsigned i = 0; i < requests; ++i) {
+        serve::Request r;
+        r.model = "gpt_small";
+        r.arrival = secondsToTicks(2e-4) * i;
+        r.gen.promptLen = 64;
+        r.gen.maxNewTokens = 8;
+        trace.push_back(r);
+    }
+    return serve::finalizeTrace({std::move(trace)});
+}
+
+serve::FleetConfig
+groupConfig(unsigned degree, serve::PlacementMode mode,
+            fabric::Topology topology, unsigned microbatches = 4,
+            unsigned threads = 1)
+{
+    serve::FleetConfig config;
+    config.devices = degree;
+    config.threads = threads;
+    config.serving.batching.maxBatch = 4;
+    config.serving.batching.maxQueueDelay = secondsToTicks(500e-6);
+    config.serving.generation.maxDecodeBatch = 8;
+    config.fabric.enabled = true;
+    config.fabric.topology = topology;
+    config.fabric.linkGbps = 32.0;
+    config.fabric.hostGbps = 64.0;
+    config.placement.mode = mode;
+    config.placement.degree = degree;
+    config.placement.microbatches = microbatches;
+    return config;
+}
+
+struct CellResult
+{
+    double makespanMs = 0.0;
+    double tokensPerSecond = 0.0;
+    serve::FleetReport report;
+};
+
+CellResult
+runCell(const serve::FleetConfig &config,
+        const std::vector<serve::Request> &trace)
+{
+    FleetServer fleet(config);
+    fleet.submit(trace);
+    CellResult cell;
+    cell.report = fleet.serveFleet();
+    fatalIf(cell.report.fleet.requests != trace.size(),
+            "fabric cell dropped requests: ",
+            cell.report.fleet.requests, " of ", trace.size(),
+            " completed");
+    cell.makespanMs = ticksToMilliSeconds(cell.report.fleet.makespan);
+    cell.tokensPerSecond =
+        cell.report.fleet.generation.tokensPerSecond;
+    return cell;
+}
+
+unsigned
+parseCount(const std::string &value, unsigned fallback)
+{
+    return value.empty()
+               ? fallback
+               : static_cast<unsigned>(std::stoul(value));
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOutput out(argc, argv, "fabric",
+                    {"--requests", "--max-degree", "--max-microbatches",
+                     "--sweep"});
+    const unsigned requests = parseCount(out.option("--requests"), 16);
+    const unsigned max_degree =
+        parseCount(out.option("--max-degree"), 4);
+    const unsigned max_micro =
+        parseCount(out.option("--max-microbatches"), 16);
+    const bool sweep = !out.option("--sweep").empty();
+
+    out.meta("model", "gpt_small");
+    out.meta("requests", static_cast<std::uint64_t>(requests));
+    out.meta("link_gbps", "32");
+    out.meta("host_gbps", "64");
+
+    printBanner("Interconnect fabric: TP speedup, PP bubbles, "
+                "topology sweep (gpt_small, " +
+                std::to_string(requests) + " requests)");
+
+    const std::vector<serve::Request> trace = genTrace(requests);
+    auto sweep_start = std::chrono::steady_clock::now();
+    double simulated_seconds = 0.0;
+
+    //
+    // Fast-tier smoke: a 2-device TP fleet drains clean and is
+    // byte-identical across thread counts. runCell() already fatals
+    // on drops; the A/B fatals on divergence.
+    //
+    {
+        auto render = [&](unsigned threads) {
+            serve::FleetConfig config = groupConfig(
+                2, serve::PlacementMode::TensorParallel,
+                fabric::Topology::Ring, 4, threads);
+            FleetServer fleet(config);
+            fleet.submit(trace);
+            const serve::FleetReport &r = fleet.serveFleet();
+            fatalIf(r.fleet.requests != trace.size(),
+                    "TP smoke dropped requests");
+            simulated_seconds += ticksToSeconds(r.fleet.makespan);
+            std::ostringstream os;
+            serve::writeJson(r, os, /*per_request=*/true);
+            return os.str();
+        };
+        const std::string serial = render(1);
+        const std::string parallel = render(2);
+        fatalIf(serial != parallel,
+                "threads=2 TP fleet report diverged from serial");
+        out.metric("smoke_drained_clean", 1.0);
+        out.metric("smoke_byte_identical_threads_2", 1.0);
+        std::printf("  smoke: 2-device TP drained clean, reports "
+                    "byte-identical at threads=1/2\n\n");
+    }
+
+    //
+    // Tensor parallelism: speedup vs all-reduce overhead.
+    //
+    ReportTable tp_table({"degree", "makespan_ms", "tokens_per_s",
+                          "speedup", "allreduce_gb", "link_wait_ms"});
+    double tp_base_ms = 0.0;
+    for (unsigned d : {1u, 2u, 4u}) {
+        if (d > max_degree)
+            break;
+        serve::FleetConfig config = groupConfig(
+            d,
+            d == 1 ? serve::PlacementMode::DataParallel
+                   : serve::PlacementMode::TensorParallel,
+            fabric::Topology::Ring);
+        CellResult cell = runCell(config, trace);
+        simulated_seconds += ticksToSeconds(cell.report.fleet.makespan);
+        if (d == 1)
+            tp_base_ms = cell.makespanMs;
+        const double speedup =
+            cell.makespanMs > 0.0 ? tp_base_ms / cell.makespanMs : 0.0;
+        double wait_ms = 0.0;
+        for (const fabric::LinkStats &l : cell.report.fabric.links)
+            wait_ms += l.waitMs;
+        const double allreduce_gb =
+            cell.report.fabric.totals.collectiveBytes / 1e9;
+        tp_table.addRow("tp" + std::to_string(d),
+                        {cell.makespanMs, cell.tokensPerSecond,
+                         speedup, allreduce_gb, wait_ms});
+        const std::string prefix = "tp" + std::to_string(d) + "_";
+        out.metric(prefix + "makespan_ms", cell.makespanMs);
+        out.metric(prefix + "tokens_per_second", cell.tokensPerSecond);
+        out.metric(prefix + "speedup", speedup);
+        out.metric(prefix + "allreduce_bytes",
+                   cell.report.fabric.totals.collectiveBytes);
+    }
+    tp_table.print();
+    out.table("tensor_parallel", tp_table);
+
+    //
+    // Pipeline parallelism: bubble fraction vs microbatch count.
+    //
+    ReportTable pp_table({"stages/micro", "makespan_ms",
+                          "tokens_per_s", "bubble_theory",
+                          "activation_mb"});
+    for (unsigned d : {2u, 4u}) {
+        if (d > max_degree)
+            break;
+        for (unsigned m : {1u, 2u, 4u, 8u, 16u}) {
+            if (m > max_micro)
+                break;
+            serve::FleetConfig config = groupConfig(
+                d, serve::PlacementMode::PipelineParallel,
+                fabric::Topology::FullMesh, m);
+            CellResult cell = runCell(config, trace);
+            simulated_seconds +=
+                ticksToSeconds(cell.report.fleet.makespan);
+            const double bubble =
+                static_cast<double>(d - 1) / (d + m - 1);
+            pp_table.addRow(
+                "d" + std::to_string(d) + " m" + std::to_string(m),
+                {cell.makespanMs, cell.tokensPerSecond, bubble,
+                 cell.report.fabric.totals.activationBytes / 1e6});
+            const std::string prefix = "pp_d" + std::to_string(d) +
+                                       "_m" + std::to_string(m) + "_";
+            out.metric(prefix + "makespan_ms", cell.makespanMs);
+            out.metric(prefix + "tokens_per_second",
+                       cell.tokensPerSecond);
+            out.metric(prefix + "bubble_theory", bubble);
+        }
+    }
+    pp_table.print();
+    out.table("pipeline_parallel", pp_table);
+
+    //
+    // Topology x placement sweep (slow tier).
+    //
+    if (sweep) {
+        ReportTable topo_table({"topology/placement", "makespan_ms",
+                                "tokens_per_s", "peer_gb",
+                                "root_util"});
+        const struct
+        {
+            fabric::Topology topology;
+            const char *name;
+        } topologies[] = {
+            {fabric::Topology::SharedRoot, "shared_root"},
+            {fabric::Topology::Ring, "ring"},
+            {fabric::Topology::FullMesh, "full_mesh"},
+        };
+        for (const auto &t : topologies) {
+            for (serve::PlacementMode mode :
+                 {serve::PlacementMode::TensorParallel,
+                  serve::PlacementMode::PipelineParallel}) {
+                const unsigned d = std::min(2u, max_degree);
+                serve::FleetConfig config =
+                    groupConfig(d, mode, t.topology);
+                CellResult cell = runCell(config, trace);
+                simulated_seconds +=
+                    ticksToSeconds(cell.report.fleet.makespan);
+                const serve::FleetFabricReport &fab =
+                    cell.report.fabric;
+                const double peer_gb =
+                    (fab.totals.collectiveBytes +
+                     fab.totals.activationBytes) /
+                    1e9;
+                double root_util = 0.0;
+                if (!fab.links.empty())
+                    root_util = fab.links[0].utilization;
+                const std::string mode_name =
+                    serve::placementModeName(mode);
+                topo_table.addRow(
+                    std::string(t.name) + " " + mode_name,
+                    {cell.makespanMs, cell.tokensPerSecond, peer_gb,
+                     root_util});
+                const std::string prefix = std::string(t.name) + "_" +
+                                           mode_name + "_";
+                out.metric(prefix + "makespan_ms", cell.makespanMs);
+                out.metric(prefix + "tokens_per_second",
+                           cell.tokensPerSecond);
+                out.metric(prefix + "root_utilization", root_util);
+            }
+        }
+        topo_table.print();
+        out.table("topology_sweep", topo_table);
+    }
+
+    const double wall_seconds = secondsSince(sweep_start);
+    const double sim_ticks =
+        simulated_seconds * static_cast<double>(ticksPerSecond);
+    out.metric("wall_clock_seconds", wall_seconds);
+    out.metric("simulated_ticks", sim_ticks);
+    out.metric("sim_ticks_per_second",
+               wall_seconds > 0.0 ? sim_ticks / wall_seconds : 0.0);
+    std::printf("\n  sweep wall clock: %.2f s for %.3f simulated "
+                "seconds\n",
+                wall_seconds, simulated_seconds);
+
+    return out.finish();
+}

@@ -401,6 +401,62 @@ FleetServer::writePrometheus(std::ostream &os)
         }
     }
 
+    // Interconnect traffic (dtusim_fabric_*) when the fleet fabric
+    // is enabled: totals plus one labeled sample per link.
+    if (const fabric::Fabric *fab = fleet_->fabricPtr()) {
+        const fabric::FabricTotals t = fab->totals();
+        servingGauge(os, "dtusim_fabric_collectives_total",
+                     "all-reduce collectives the fabric carried",
+                     static_cast<double>(t.collectives));
+        servingGauge(os, "dtusim_fabric_collective_bytes_total",
+                     "tensor bytes all-reduced across groups",
+                     t.collectiveBytes);
+        servingGauge(os, "dtusim_fabric_activation_sends_total",
+                     "pipeline activation sends the fabric carried",
+                     static_cast<double>(t.activationSends));
+        servingGauge(os, "dtusim_fabric_activation_bytes_total",
+                     "activation bytes streamed between stages",
+                     t.activationBytes);
+        servingGauge(os, "dtusim_fabric_weight_loads_total",
+                     "weight loads routed over the host root complex",
+                     static_cast<double>(t.weightLoads));
+        servingGauge(os, "dtusim_fabric_weight_load_bytes_total",
+                     "weight bytes the host root complex moved",
+                     t.weightLoadBytes);
+
+        const struct
+        {
+            const char *metric;
+            const char *help;
+            double (*get)(const fabric::LinkStats &);
+        } per_link[] = {
+            {"dtusim_fabric_link_bytes_total",
+             "bytes the link carried",
+             [](const fabric::LinkStats &l) { return l.bytes; }},
+            {"dtusim_fabric_link_transfers_total",
+             "transfers the link carried",
+             [](const fabric::LinkStats &l) {
+                 return static_cast<double>(l.transfers);
+             }},
+            {"dtusim_fabric_link_wait_ms",
+             "time transfers queued behind earlier link traffic",
+             [](const fabric::LinkStats &l) { return l.waitMs; }},
+            {"dtusim_fabric_link_utilization",
+             "busy fraction of the link's active horizon",
+             [](const fabric::LinkStats &l) { return l.utilization; }},
+        };
+        const std::vector<fabric::LinkStats> links = fab->linkStats(0);
+        for (const auto &g : per_link) {
+            os << "# HELP " << g.metric << " " << g.help << "\n";
+            os << "# TYPE " << g.metric << " gauge\n";
+            for (const fabric::LinkStats &l : links) {
+                os << g.metric << "{link=\""
+                   << obs::promLabelEscape(l.name) << "\"} "
+                   << obs::promSampleValue(g.get(l)) << "\n";
+            }
+        }
+    }
+
     // The periodic fleet time-series (dtusim_fleet_queue_depth{...}
     // and friends) when request tracing sampled it.
     if (reqTracer_ && reqTracer_->metrics().latest())

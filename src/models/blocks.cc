@@ -169,5 +169,50 @@ transformerLayer(Graph &g, int in, const std::string &name, int hidden,
     return g.add(OpKind::LayerNorm, name + ".ln2", {res2});
 }
 
+int
+transformerLayerShard(Graph &g, int in, const std::string &name,
+                      int hidden, int heads, int ff_hidden, int tp,
+                      std::int64_t kv_len)
+{
+    if (tp <= 1)
+        return transformerLayer(g, in, name, hidden, heads, ff_hidden,
+                                kv_len);
+
+    // Self-attention sublayer, column-split: this device holds
+    // heads/tp heads and the matching hidden/tp slice of Q/K/V.
+    OpAttrs proj;
+    proj.outFeatures = 3 * hidden / tp;
+    int qkv = g.add(OpKind::Linear, name + ".qkv", {in}, proj);
+    OpAttrs narrow;
+    narrow.axis = 2;
+    narrow.sliceLen = hidden / tp;
+    int q = g.add(OpKind::Slice, name + ".q", {qkv}, narrow);
+    OpAttrs attn;
+    attn.heads = heads / tp;
+    attn.kvLen = kv_len;
+    int ctx = g.add(OpKind::Attention, name + ".attention", {q}, attn);
+    // Row-split out-projection back to the full width; the partial
+    // sums from the tp shards meet in an all-reduce after this op.
+    OpAttrs out_proj;
+    out_proj.outFeatures = hidden;
+    int o = g.add(OpKind::Linear, name + ".proj", {ctx}, out_proj);
+    int res1 = g.add(OpKind::Add, name + ".res1", {o, in});
+    int ln1 = g.add(OpKind::LayerNorm, name + ".ln1", {res1});
+
+    // Feed-forward sublayer: column-split up, row-split down (the
+    // second all-reduce point).
+    OpAttrs up;
+    up.outFeatures = ff_hidden / tp;
+    int ff1 = g.add(OpKind::Linear, name + ".ff1", {ln1}, up);
+    OpAttrs gelu;
+    gelu.func = SpuFunc::Gelu;
+    int act = g.add(OpKind::Activation, name + ".gelu", {ff1}, gelu);
+    OpAttrs down;
+    down.outFeatures = hidden;
+    int ff2 = g.add(OpKind::Linear, name + ".ff2", {act}, down);
+    int res2 = g.add(OpKind::Add, name + ".res2", {ff2, ln1});
+    return g.add(OpKind::LayerNorm, name + ".ln2", {res2});
+}
+
 } // namespace models
 } // namespace dtu

@@ -55,6 +55,20 @@ int darknetResidual(Graph &g, int in, const std::string &name,
 int transformerLayer(Graph &g, int in, const std::string &name, int hidden,
                      int heads, int ff_hidden, std::int64_t kv_len = 0);
 
+/**
+ * One tensor-parallel shard of a transformer layer (Megatron-style
+ * column/row split across @p tp devices): the QKV projection, the
+ * attention heads, and the FFN up-projection each keep 1/tp of their
+ * output features, while the out-projection and FFN down-projection
+ * reduce back to the full @p hidden width — the points where the real
+ * system runs an all-reduce across the group. The graph models one
+ * device's share; the serving layer adds the collectives as timed
+ * fabric transfers. Requires heads and ff_hidden divisible by tp.
+ */
+int transformerLayerShard(Graph &g, int in, const std::string &name,
+                          int hidden, int heads, int ff_hidden, int tp,
+                          std::int64_t kv_len = 0);
+
 } // namespace models
 } // namespace dtu
 

@@ -90,6 +90,38 @@ Graph buildDecoderStep(const std::string &name, int batch, int kv_len);
 std::uint64_t kvBytesPerToken(const DecoderSpec &spec,
                               std::size_t dtype_bytes);
 
+//
+// Sharded decoder construction for multi-chip model parallelism. A
+// tensor-parallel shard keeps 1/tp of every layer's heads and FFN
+// width on one device (Megatron split); a pipeline stage keeps a
+// contiguous slice of the layer stack (embedding on stage 0, LM head
+// on the last). Either lets a model bigger than one device's HBM be
+// served by a placement group over the fabric.
+//
+
+/** Fatal unless @p tp divides the model's heads, FFN, and vocab. */
+void validateTensorShard(const DecoderSpec &spec, unsigned tp);
+
+/** Fatal unless @p stages divides the model's layer count. */
+void validatePipelineStages(const DecoderSpec &spec, unsigned stages);
+
+/** One device's tensor-parallel shard of the prefill graph. */
+Graph buildDecoderPrefillTP(const std::string &name, int batch,
+                            int prompt_len, unsigned tp);
+
+/** One device's tensor-parallel shard of a decode step. */
+Graph buildDecoderStepTP(const std::string &name, int batch, int kv_len,
+                         unsigned tp);
+
+/** Pipeline stage @p stage (of @p stages) of the prefill graph. */
+Graph buildDecoderPrefillStage(const std::string &name, int batch,
+                               int prompt_len, unsigned stage,
+                               unsigned stages);
+
+/** Pipeline stage @p stage (of @p stages) of a decode step. */
+Graph buildDecoderStepStage(const std::string &name, int batch,
+                            int kv_len, unsigned stage, unsigned stages);
+
 } // namespace models
 } // namespace dtu
 

@@ -188,39 +188,66 @@ buildConformer(int batch)
 const DecoderSpec *
 decoderSpec(const std::string &name)
 {
-    // Two sizes: a tiny decoder that keeps tests and smoke runs fast,
-    // and a GPT-2-small-class model for the serving bench.
+    // Three sizes: a tiny decoder that keeps tests and smoke runs
+    // fast, a GPT-2-small-class model for the serving bench, and an
+    // ~11.9B-parameter model (~23.7 GB of FP16 weights) that does NOT
+    // fit one device's 16 GiB HBM — the multi-chip placement target.
     static const DecoderSpec tiny{"gpt_tiny", 4, 256, 4, 1024, 8192};
     static const DecoderSpec small{"gpt_small", 12, 768, 12, 3072,
                                    32000};
+    static const DecoderSpec big{"gpt_11b", 36, 5120, 40, 20480, 51200};
     if (name == tiny.name)
         return &tiny;
     if (name == small.name)
         return &small;
+    if (name == big.name)
+        return &big;
     return nullptr;
 }
 
 namespace
 {
 
-/** Shared decoder stack: embedding -> layers -> last-token LM head. */
+/**
+ * Shared decoder stack: embedding -> layers -> last-token LM head,
+ * optionally restricted to one tensor-parallel shard (@p tp > 1) or
+ * one pipeline stage (@p stages > 1). A non-first stage takes the
+ * upstream stage's activations as its input and skips the embedding;
+ * a non-last stage stops before the LM head and outputs activations.
+ */
 Graph
 buildDecoder(const DecoderSpec &spec, int batch, int seq,
-             std::int64_t kv_len, const std::string &variant)
+             std::int64_t kv_len, const std::string &variant,
+             unsigned tp = 1, unsigned stage = 0, unsigned stages = 1)
 {
     Graph g(spec.name);
-    int ids = g.addInput("token_ids", Shape({batch, seq}));
-    OpAttrs embed;
-    embed.outFeatures = spec.hidden;
-    embed.vocab = spec.vocab;
-    embed.inputDensity = 0.05; // one-hot rows: highly sparse lookups
-    int x = g.add(OpKind::Embedding, "embedding", {ids}, embed);
-    x = g.add(OpKind::LayerNorm, "embedding.ln", {x});
+    const int first_layer = spec.layers * static_cast<int>(stage) /
+                            static_cast<int>(stages);
+    const int last_layer = spec.layers * static_cast<int>(stage + 1) /
+                           static_cast<int>(stages);
+    int x;
+    if (stage == 0) {
+        int ids = g.addInput("token_ids", Shape({batch, seq}));
+        OpAttrs embed;
+        embed.outFeatures = spec.hidden;
+        embed.vocab = spec.vocab;
+        embed.inputDensity = 0.05; // one-hot rows: highly sparse lookups
+        x = g.add(OpKind::Embedding, "embedding", {ids}, embed);
+        x = g.add(OpKind::LayerNorm, "embedding.ln", {x});
+    } else {
+        // Activations streamed from the previous pipeline stage.
+        x = g.addInput("activations", Shape({batch, seq, spec.hidden}));
+    }
 
-    for (int i = 0; i < spec.layers; ++i) {
-        x = transformerLayer(g, x, variant + ".layer" + std::to_string(i),
-                             spec.hidden, spec.heads, spec.ffHidden,
-                             kv_len);
+    for (int i = first_layer; i < last_layer; ++i) {
+        x = transformerLayerShard(
+            g, x, variant + ".layer" + std::to_string(i), spec.hidden,
+            spec.heads, spec.ffHidden, static_cast<int>(tp), kv_len);
+    }
+
+    if (stage + 1 < stages) {
+        g.markOutput(x);
+        return g;
     }
 
     // Only the last position's logits matter for sampling the next
@@ -231,7 +258,8 @@ buildDecoder(const DecoderSpec &spec, int batch, int seq,
     last.sliceLen = 1;
     int tail = g.add(OpKind::Slice, "last_token", {x}, last);
     OpAttrs head;
-    head.outFeatures = spec.vocab;
+    // Under tensor parallelism the vocabulary is column-split too.
+    head.outFeatures = spec.vocab / static_cast<int>(tp);
     int logits = g.add(OpKind::Linear, "lm_head", {tail}, head);
     g.markOutput(logits);
     return g;
@@ -264,6 +292,78 @@ kvBytesPerToken(const DecoderSpec &spec, std::size_t dtype_bytes)
     // One K and one V vector of `hidden` elements per layer per token.
     return 2ull * static_cast<std::uint64_t>(spec.layers) *
            static_cast<std::uint64_t>(spec.hidden) * dtype_bytes;
+}
+
+void
+validateTensorShard(const DecoderSpec &spec, unsigned tp)
+{
+    fatalIf(tp == 0, "tensor-parallel degree must be > 0");
+    fatalIf(spec.heads % static_cast<int>(tp) != 0,
+            "tensor-parallel degree ", tp, " does not divide ",
+            spec.name, "'s ", spec.heads, " attention heads");
+    fatalIf(spec.hidden % static_cast<int>(tp) != 0 ||
+                spec.ffHidden % static_cast<int>(tp) != 0 ||
+                spec.vocab % static_cast<int>(tp) != 0,
+            "tensor-parallel degree ", tp, " does not divide ",
+            spec.name, "'s hidden/FFN/vocab widths");
+}
+
+void
+validatePipelineStages(const DecoderSpec &spec, unsigned stages)
+{
+    fatalIf(stages == 0, "pipeline stage count must be > 0");
+    fatalIf(spec.layers % static_cast<int>(stages) != 0,
+            "pipeline stage count ", stages, " does not divide ",
+            spec.name, "'s ", spec.layers, " layers");
+}
+
+Graph
+buildDecoderPrefillTP(const std::string &name, int batch, int prompt_len,
+                      unsigned tp)
+{
+    const DecoderSpec *spec = decoderSpec(name);
+    fatalIf(!spec, "unknown decoder model '", name, "'");
+    fatalIf(prompt_len < 1, "decoder prefill needs prompt_len >= 1");
+    validateTensorShard(*spec, tp);
+    return buildDecoder(*spec, batch, prompt_len, /*kv_len=*/0,
+                        "prefill", tp);
+}
+
+Graph
+buildDecoderStepTP(const std::string &name, int batch, int kv_len,
+                   unsigned tp)
+{
+    const DecoderSpec *spec = decoderSpec(name);
+    fatalIf(!spec, "unknown decoder model '", name, "'");
+    fatalIf(kv_len < 1, "decoder step needs kv_len >= 1");
+    validateTensorShard(*spec, tp);
+    return buildDecoder(*spec, batch, /*seq=*/1, kv_len, "decode", tp);
+}
+
+Graph
+buildDecoderPrefillStage(const std::string &name, int batch,
+                         int prompt_len, unsigned stage, unsigned stages)
+{
+    const DecoderSpec *spec = decoderSpec(name);
+    fatalIf(!spec, "unknown decoder model '", name, "'");
+    fatalIf(prompt_len < 1, "decoder prefill needs prompt_len >= 1");
+    fatalIf(stage >= stages, "pipeline stage out of range");
+    validatePipelineStages(*spec, stages);
+    return buildDecoder(*spec, batch, prompt_len, /*kv_len=*/0,
+                        "prefill", /*tp=*/1, stage, stages);
+}
+
+Graph
+buildDecoderStepStage(const std::string &name, int batch, int kv_len,
+                      unsigned stage, unsigned stages)
+{
+    const DecoderSpec *spec = decoderSpec(name);
+    fatalIf(!spec, "unknown decoder model '", name, "'");
+    fatalIf(kv_len < 1, "decoder step needs kv_len >= 1");
+    fatalIf(stage >= stages, "pipeline stage out of range");
+    validatePipelineStages(*spec, stages);
+    return buildDecoder(*spec, batch, /*seq=*/1, kv_len, "decode",
+                        /*tp=*/1, stage, stages);
 }
 
 } // namespace models

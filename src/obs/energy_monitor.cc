@@ -343,6 +343,7 @@ constexpr ComponentColumn kComponents[] = {
     {"l2", &EnergyBreakdown::l2Joules},
     {"hbm", &EnergyBreakdown::hbmJoules},
     {"dma", &EnergyBreakdown::dmaJoules},
+    {"fabric", &EnergyBreakdown::fabricJoules},
     {"static", &EnergyBreakdown::staticJoules},
 };
 

@@ -88,6 +88,7 @@ writeEnergyBreakdownJson(const EnergyBreakdown &energy, JsonWriter &json)
     json.field("l2_joules", energy.l2Joules);
     json.field("hbm_joules", energy.hbmJoules);
     json.field("dma_joules", energy.dmaJoules);
+    json.field("fabric_joules", energy.fabricJoules);
     json.field("static_joules", energy.staticJoules);
     json.field("total_joules", energy.total());
     json.endObject();

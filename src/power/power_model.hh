@@ -43,6 +43,11 @@ struct PowerParams
     double joulesPerByteL2 = 2.4e-12;
     double joulesPerByteL3 = 28.0e-12;
     double joulesPerByteDma = 0.8e-12;
+    /**
+     * Off-chip interconnect (PCIe/peer fabric) energy per byte:
+     * SerDes + controller, roughly 4-5 pJ/bit for PCIe-class PHYs.
+     */
+    double joulesPerByteFabric = 35.0e-12;
 
     /** DVFS voltage curve: V(f) = v0 + vSlope * (f - f0). */
     double f0Hz = 1.0e9;
@@ -103,6 +108,8 @@ struct EnergyBreakdown
     double hbmJoules = 0.0;
     /** DMA engine switching energy. */
     double dmaJoules = 0.0;
+    /** Off-chip fabric traffic (weight loads, collectives). */
+    double fabricJoules = 0.0;
     /** Leakage + always-on uncore. */
     double staticJoules = 0.0;
 
@@ -111,7 +118,7 @@ struct EnergyBreakdown
     total() const
     {
         return macJoules + vectorJoules + l1Joules + l2Joules +
-               hbmJoules + dmaJoules + staticJoules;
+               hbmJoules + dmaJoules + fabricJoules + staticJoules;
     }
 
     /** Accumulate @p other into this breakdown. */
@@ -124,6 +131,7 @@ struct EnergyBreakdown
         l2Joules += other.l2Joules;
         hbmJoules += other.hbmJoules;
         dmaJoules += other.dmaJoules;
+        fabricJoules += other.fabricJoules;
         staticJoules += other.staticJoules;
     }
 
@@ -138,6 +146,7 @@ struct EnergyBreakdown
         d.l2Joules = l2Joules - base.l2Joules;
         d.hbmJoules = hbmJoules - base.hbmJoules;
         d.dmaJoules = dmaJoules - base.dmaJoules;
+        d.fabricJoules = fabricJoules - base.fabricJoules;
         d.staticJoules = staticJoules - base.staticJoules;
         return d;
     }
@@ -185,6 +194,14 @@ class EnergyMeter
         breakdown_.l2Joules += l2_bytes * params_.joulesPerByteL2;
         breakdown_.hbmJoules += l3_bytes * params_.joulesPerByteL3;
         breakdown_.dmaJoules += dma_bytes * params_.joulesPerByteDma;
+    }
+
+    /** Add off-chip fabric traffic (interconnect SerDes energy). */
+    void
+    addFabric(double bytes)
+    {
+        joules_ += bytes * params_.joulesPerByteFabric;
+        breakdown_.fabricJoules += bytes * params_.joulesPerByteFabric;
     }
 
     /**

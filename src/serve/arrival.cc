@@ -33,7 +33,10 @@ makeRequest(const std::string &model, Tick arrival, Tick deadline)
     Request r;
     r.model = model;
     r.arrival = arrival;
-    r.deadline = deadline == 0 ? 0 : arrival + deadline;
+    // Saturate: a deadline budget near maxTick means "effectively
+    // never", not a wrapped tick in the past that sheds on arrival.
+    r.deadline =
+        deadline == 0 ? 0 : saturatingAddTicks(arrival, deadline);
     return r;
 }
 

@@ -139,10 +139,29 @@ Fleet::Fleet(std::vector<Member> members, FleetConfig config)
     fatalIf(config_.devices != members.size(),
             "fleet config says ", config_.devices,
             " devices but ", members.size(), " were provided");
-    devices_.reserve(members.size());
     for (const Member &m : members) {
         fatalIf(!m.dtu || !m.manager,
                 "fleet member needs a chip and a resource manager");
+    }
+    validatePlacement(config_.placement, config_.devices);
+    if (config_.fabric.enabled)
+        config_.fabric.validate();
+    fatalIf(config_.placement.mode != PlacementMode::DataParallel &&
+                !config_.fabric.enabled,
+            placementModeName(config_.placement.mode),
+            " placements need the fleet fabric enabled");
+    groupSize_ = config_.placement.mode == PlacementMode::DataParallel
+                     ? 1
+                     : config_.placement.degree;
+
+    // One scheduler core per placement group, on the group-leader
+    // chip: the leader models one representative device of the
+    // lockstep group (TP peers execute the same shard in unison; PP
+    // stage timing is folded in analytically, see shardOverlay).
+    const std::size_t groups = members.size() / groupSize_;
+    devices_.reserve(groups);
+    for (std::size_t g = 0; g < groups; ++g) {
+        const Member &m = members[g * groupSize_];
         devices_.push_back(std::make_unique<Scheduler>(
             *m.dtu, *m.manager, config_.serving));
         if (config_.sharePlans)
@@ -150,6 +169,20 @@ Fleet::Fleet(std::vector<Member> members, FleetConfig config)
                                             &planMutex_);
         view_.push_back(devices_.back().get());
     }
+    rebuildFabric();
+}
+
+void
+Fleet::rebuildFabric()
+{
+    if (!config_.fabric.enabled)
+        return;
+    // A fresh ledger per run: serve() re-places every model, so the
+    // fabric's contention state must start empty too.
+    fabric_ = std::make_unique<fabric::Fabric>(
+        config_.fabric, config_.devices, groupSize_);
+    for (unsigned g = 0; g < devices_.size(); ++g)
+        devices_[g]->setSharding(fabric_.get(), g, config_.placement);
 }
 
 void
@@ -188,6 +221,12 @@ Fleet::effectiveThreads() const
              "with threads=1");
         return 1;
     }
+    if (threads > 1 && fabric_ && fabric_->peerTrafficSharesRoot()) {
+        warn("shared-root fabric topologies route group collectives "
+             "over the shared root link, which worker threads would "
+             "race on; serving with threads=1");
+        return 1;
+    }
     return threads;
 }
 
@@ -212,6 +251,7 @@ Fleet::serve(std::vector<Request> trace)
 
     const std::size_t n = devices_.size();
     Tick now = trace.empty() ? 0 : trace.front().arrival;
+    rebuildFabric();
     for (unsigned i = 0; i < n; ++i) {
         ScopedLogDevice log_dev(static_cast<int>(i));
         devices_[i]->begin(now, &future);
@@ -390,8 +430,20 @@ Fleet::buildReport(double offered,
 {
     const std::size_t n = devices_.size();
     FleetReport report;
-    report.devices = static_cast<unsigned>(n);
+    report.devices = config_.devices;
     report.routing = config_.routing;
+    report.placement = config_.placement;
+    if (fabric_) {
+        report.fabric.enabled = true;
+        report.fabric.topology = config_.fabric.topology;
+        report.fabric.groups = static_cast<unsigned>(n);
+        report.fabric.groupSize = groupSize_;
+        report.fabric.linkGbps = config_.fabric.linkGbps;
+        report.fabric.hostGbps = config_.fabric.hostGbps;
+        report.fabric.totals = fabric_->totals();
+        // Each link measures utilization over its own busy horizon.
+        report.fabric.links = fabric_->linkStats(0);
+    }
 
     // Per-device slices first (each device summarizes its routed
     // subset at the load it actually saw), then the fleet aggregate
@@ -452,6 +504,44 @@ writeJson(const FleetReport &report, std::ostream &os,
     json.beginObject();
     json.field("devices", report.devices)
         .field("routing", routingPolicyName(report.routing));
+
+    // Both sections are gated so a classic data-parallel fleet's JSON
+    // is byte-identical to what it was before the fabric existed.
+    if (report.placement.mode != PlacementMode::DataParallel) {
+        json.key("placement").beginObject();
+        json.field("mode", placementModeName(report.placement.mode))
+            .field("degree", report.placement.degree)
+            .field("microbatches", report.placement.microbatches);
+        json.endObject();
+    }
+    if (report.fabric.enabled) {
+        const FleetFabricReport &fab = report.fabric;
+        json.key("fabric").beginObject();
+        json.field("topology", fabric::topologyName(fab.topology))
+            .field("groups", fab.groups)
+            .field("group_size", fab.groupSize)
+            .field("link_gbps", fab.linkGbps)
+            .field("host_gbps", fab.hostGbps)
+            .field("collectives", fab.totals.collectives)
+            .field("collective_bytes", fab.totals.collectiveBytes)
+            .field("activation_sends", fab.totals.activationSends)
+            .field("activation_bytes", fab.totals.activationBytes)
+            .field("weight_loads", fab.totals.weightLoads)
+            .field("weight_load_bytes", fab.totals.weightLoadBytes);
+        json.key("links").beginArray();
+        for (const fabric::LinkStats &link : fab.links) {
+            json.beginObject()
+                .field("name", link.name)
+                .field("gbps", link.gbps)
+                .field("bytes", link.bytes)
+                .field("transfers", link.transfers)
+                .field("wait_ms", link.waitMs)
+                .field("utilization", link.utilization)
+                .endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
 
     json.key("fleet");
     writeJson(report.fleet, json, per_request);

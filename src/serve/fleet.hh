@@ -38,6 +38,16 @@
  * cards behind one request router (data parallelism), not by model
  * sharding — so the fleet abstraction is N chips + a router, with
  * per-device SLO accounting rolled up fleet-wide.
+ *
+ * Beyond data parallelism, a FleetConfig can enable the interconnect
+ * fabric (fabric/fabric.hh) and a model-parallel placement
+ * (serve/placement.hh): the fleet then partitions its devices into
+ * groups of `placement.degree`, runs one scheduler core per group
+ * (on the group-leader chip, which models one representative device
+ * of the lockstep group), and the schedulers submit the placement's
+ * collectives and activation streams as timed fabric transfers.
+ * Weight loads always cross the fabric's shared host root complex,
+ * so concurrent placements contend.
  */
 
 #ifndef DTU_SERVE_FLEET_HH
@@ -52,6 +62,8 @@
 #include <string>
 #include <vector>
 
+#include "fabric/fabric.hh"
+#include "serve/placement.hh"
 #include "serve/scheduler.hh"
 
 namespace dtu
@@ -121,9 +133,24 @@ struct FleetConfig
      * nothing inside a window, and every report is bit-identical to
      * threads=1. Runs with an SLO monitor or request tracer attached
      * fall back to threads=1 (with a warning): those observers
-     * promise one globally ordered record stream.
+     * promise one globally ordered record stream. So do shared-root
+     * fabric topologies under a model-parallel placement, whose peer
+     * traffic would cross the shared root link from worker threads.
      */
     unsigned threads = 1;
+    /**
+     * The interconnect fabric (off by default). When enabled, weight
+     * loads route through the fabric's shared host root complex —
+     * concurrent placements contend on its bandwidth ledger instead
+     * of each enjoying the full weightLoadGbps — and model-parallel
+     * placements run their collectives over the peer links.
+     */
+    fabric::FabricConfig fabric;
+    /**
+     * How devices are grouped into serving units (data parallel by
+     * default). Tensor/pipeline placements require the fabric.
+     */
+    PlacementConfig placement;
 };
 
 /** One device's slice of a fleet serving run. */
@@ -147,6 +174,19 @@ struct DeviceReport
     ServingReport report;
 };
 
+/** Fabric traffic rollup for the fleet report (all zero when off). */
+struct FleetFabricReport
+{
+    bool enabled = false;
+    fabric::Topology topology = fabric::Topology::SharedRoot;
+    unsigned groups = 0;
+    unsigned groupSize = 1;
+    double linkGbps = 0.0;
+    double hostGbps = 0.0;
+    fabric::FabricTotals totals;
+    std::vector<fabric::LinkStats> links;
+};
+
 /** Fleet-wide outcome: the aggregate plus every device's slice. */
 struct FleetReport
 {
@@ -154,13 +194,17 @@ struct FleetReport
     unsigned devices = 0;
     /** Policy that routed the trace. */
     RoutingPolicy routing = RoutingPolicy::RoundRobin;
+    /** How devices were grouped into serving units. */
+    PlacementConfig placement;
+    /** Interconnect traffic (enabled=false keeps the JSON unchanged). */
+    FleetFabricReport fabric;
     /**
      * Fleet-aggregate report over the merged completion/drop logs:
      * fleet-wide percentiles, summed batches/energy, mean device
      * utilization. For a size-1 fleet this equals devices[0].report.
      */
     ServingReport fleet;
-    /** Per-device slices, index order. */
+    /** Per-device slices (one per placement group), index order. */
     std::vector<DeviceReport> perDevice;
 };
 
@@ -203,13 +247,16 @@ class Fleet
     /** Drain a finalized arrival trace across the fleet. */
     FleetReport serve(std::vector<Request> trace);
 
-    /** Devices in the fleet. */
+    /** Scheduler cores in the fleet (placement groups). */
     std::size_t size() const { return devices_.size(); }
 
-    /** Device @p i's scheduler core (e.g. for placement queries). */
+    /** Group @p i's scheduler core (e.g. for placement queries). */
     Scheduler &device(std::size_t i) { return *devices_[i]; }
 
     const FleetConfig &config() const { return config_; }
+
+    /** The interconnect fabric, or nullptr when disabled. */
+    const fabric::Fabric *fabricPtr() const { return fabric_.get(); }
 
     /**
      * Attach (or detach) a live SLO monitor fleet-wide: every
@@ -259,9 +306,15 @@ class Fleet
     buildReport(double offered,
                 const std::vector<std::vector<Request>> &routed);
 
+    /** (Re)build the fabric and hand it to the group schedulers. */
+    void rebuildFabric();
+
     FleetConfig config_;
+    /** Physical devices per scheduler core (1 = data parallel). */
+    unsigned groupSize_ = 1;
     std::vector<std::unique_ptr<Scheduler>> devices_;
     std::vector<Scheduler *> view_;
+    std::unique_ptr<fabric::Fabric> fabric_;
     std::unique_ptr<Router> router_;
     PlanCache sharedPlans_;
     /** Guards sharedPlans_ while workers compile concurrently. */

@@ -1,0 +1,56 @@
+#include "serve/placement.hh"
+
+#include "sim/logging.hh"
+
+namespace dtu
+{
+namespace serve
+{
+
+const char *
+placementModeName(PlacementMode mode)
+{
+    switch (mode) {
+      case PlacementMode::DataParallel:
+        return "data-parallel";
+      case PlacementMode::TensorParallel:
+        return "tensor-parallel";
+      case PlacementMode::PipelineParallel:
+        return "pipeline-parallel";
+    }
+    return "unknown";
+}
+
+PlacementMode
+parsePlacementMode(const std::string &name)
+{
+    if (name == "data-parallel")
+        return PlacementMode::DataParallel;
+    if (name == "tensor-parallel")
+        return PlacementMode::TensorParallel;
+    if (name == "pipeline-parallel")
+        return PlacementMode::PipelineParallel;
+    fatal("unknown placement mode '", name,
+          "' (expected data-parallel, tensor-parallel, or "
+          "pipeline-parallel)");
+    return PlacementMode::DataParallel;
+}
+
+void
+validatePlacement(const PlacementConfig &config, unsigned devices)
+{
+    fatalIf(config.degree == 0, "placement degree must be > 0");
+    fatalIf(config.microbatches == 0,
+            "pipeline microbatch count must be > 0");
+    if (config.mode == PlacementMode::DataParallel) {
+        fatalIf(config.degree != 1, "data-parallel placements have "
+                "degree 1 (got ", config.degree, ")");
+        return;
+    }
+    fatalIf(devices == 0 || devices % config.degree != 0,
+            placementModeName(config.mode), " degree ", config.degree,
+            " does not divide the fleet's ", devices, " devices");
+}
+
+} // namespace serve
+} // namespace dtu

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Model-parallel placement policy for the fleet.
+ *
+ * A placement decides how the fleet's physical devices are grouped
+ * into serving units. Data parallel keeps one full model replica per
+ * device (the classic fleet). Tensor parallel shards every decoder
+ * layer Megatron-style across a group of `degree` devices and runs a
+ * ring all-reduce over the fabric after each sharded attention and
+ * FFN block. Pipeline parallel splits the layer stack into `degree`
+ * contiguous stages and streams activations between stage devices,
+ * overlapping `microbatches` microbatches to shrink the bubble.
+ */
+
+#ifndef DTU_SERVE_PLACEMENT_HH
+#define DTU_SERVE_PLACEMENT_HH
+
+#include <string>
+
+namespace dtu
+{
+namespace serve
+{
+
+enum class PlacementMode
+{
+    /** One full model replica per device. */
+    DataParallel,
+    /** Layers sharded across a group; all-reduce per sharded block. */
+    TensorParallel,
+    /** Layer stack split into stages; activations stream point-to-point. */
+    PipelineParallel,
+};
+
+const char *placementModeName(PlacementMode mode);
+
+/** Parse a mode name ("data-parallel", "tensor-parallel", ...). */
+PlacementMode parsePlacementMode(const std::string &name);
+
+struct PlacementConfig
+{
+    PlacementMode mode = PlacementMode::DataParallel;
+
+    /** Devices per model replica (TP ways / PP stages). */
+    unsigned degree = 1;
+
+    /** Microbatches a pipeline-parallel batch is split into. */
+    unsigned microbatches = 1;
+};
+
+/**
+ * Fatal on impossible placements: zero degree, a degree the device
+ * count does not divide into, or zero microbatches.
+ */
+void validatePlacement(const PlacementConfig &config, unsigned devices);
+
+} // namespace serve
+} // namespace dtu
+
+#endif // DTU_SERVE_PLACEMENT_HH

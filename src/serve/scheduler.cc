@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "compiler/lowering.hh"
+#include "fabric/fabric.hh"
 #include "models/model_zoo.hh"
 #include "obs/energy_monitor.hh"
 #include "obs/request_tracer.hh"
@@ -121,8 +122,22 @@ Scheduler::plan(const std::string &model, unsigned batch)
 
 const ExecutionPlan &
 Scheduler::prefillPlan(const std::string &model, unsigned batch,
-                       unsigned prompt)
+                      unsigned prompt)
 {
+    const unsigned tp = tpDegreeFor(model);
+    if (tp > 1) {
+        // The cache key encodes the shard so a tensor-parallel plan
+        // never collides with the full model's.
+        return cachedPlan(
+            std::make_pair(model + "@p" + std::to_string(prompt) +
+                               "!tp" + std::to_string(tp),
+                           batch),
+            [&] {
+                return models::buildDecoderPrefillTP(
+                    model, static_cast<int>(batch),
+                    static_cast<int>(prompt), tp);
+            });
+    }
     return cachedPlan(
         std::make_pair(model + "@p" + std::to_string(prompt), batch),
         [&] {
@@ -136,6 +151,18 @@ const ExecutionPlan &
 Scheduler::decodePlan(const std::string &model, unsigned batch,
                       unsigned ctx)
 {
+    const unsigned tp = tpDegreeFor(model);
+    if (tp > 1) {
+        return cachedPlan(
+            std::make_pair(model + "@d" + std::to_string(ctx) + "!tp" +
+                               std::to_string(tp),
+                           batch),
+            [&] {
+                return models::buildDecoderStepTP(
+                    model, static_cast<int>(batch),
+                    static_cast<int>(ctx), tp);
+            });
+    }
     return cachedPlan(
         std::make_pair(model + "@d" + std::to_string(ctx), batch),
         [&] {
@@ -143,6 +170,26 @@ Scheduler::decodePlan(const std::string &model, unsigned batch,
                                             static_cast<int>(batch),
                                             static_cast<int>(ctx));
         });
+}
+
+bool
+Scheduler::shardedDecoder(const std::string &model) const
+{
+    return fabric_ &&
+           placement_.mode != PlacementMode::DataParallel &&
+           placement_.degree > 1 &&
+           models::decoderSpec(model) != nullptr;
+}
+
+unsigned
+Scheduler::tpDegreeFor(const std::string &model) const
+{
+    return fabric_ &&
+                   placement_.mode == PlacementMode::TensorParallel &&
+                   placement_.degree > 1 &&
+                   models::decoderSpec(model)
+               ? placement_.degree
+               : 1;
 }
 
 unsigned
@@ -159,10 +206,14 @@ Scheduler::bytesPerTokenFor(const std::string &model)
     if (it == kvBytesPerToken_.end()) {
         const models::DecoderSpec *spec = models::decoderSpec(model);
         fatalIf(!spec, "'", model, "' is not a decoder model");
-        it = kvBytesPerToken_
-                 .emplace(model, models::kvBytesPerToken(
-                                     *spec, dtypeBytes(config_.dtype)))
-                 .first;
+        std::uint64_t bytes =
+            models::kvBytesPerToken(*spec, dtypeBytes(config_.dtype));
+        // A sharded model keeps only its share of the KV cache per
+        // device (heads under TP, layers under PP).
+        if (shardedDecoder(model))
+            bytes = std::max<std::uint64_t>(bytes / placement_.degree,
+                                            1);
+        it = kvBytesPerToken_.emplace(model, bytes).first;
     }
     return it->second;
 }
@@ -218,6 +269,7 @@ Scheduler::begin(Tick start, const std::map<std::string, unsigned> *future)
     timeline_ = tracer.enabled();
     placeTrackMade_ = false;
     decodeTrackMade_ = false;
+    fabricTrackMade_ = false;
     if (timeline_) {
         reqTrack_ = tracer.track("serve", "requests");
         batchTrack_ = tracer.track("serve", "batches");
@@ -241,30 +293,84 @@ Scheduler::weightReadyAt(const std::string &model) const
     return it == weightReady_.end() ? 0 : it->second;
 }
 
+std::uint64_t
+Scheduler::placedWeightBytes(const std::string &model)
+{
+    const models::DecoderSpec *spec = models::decoderSpec(model);
+    if (!spec)
+        return plan(model, 1).totalWeightBytes();
+    if (fabric_ &&
+        placement_.mode == PlacementMode::PipelineParallel &&
+        placement_.degree > 1) {
+        // Per-device residency under pipeline parallelism is the
+        // largest stage's share of the layer stack.
+        const unsigned stages = placement_.degree;
+        std::uint64_t worst = 0;
+        for (unsigned s = 0; s < stages; ++s) {
+            const ExecutionPlan &sp = cachedPlan(
+                std::make_pair(model + "@p" +
+                                   std::to_string(bucketLen(1)) + "!s" +
+                                   std::to_string(s) + "of" +
+                                   std::to_string(stages),
+                               1u),
+                [&] {
+                    return models::buildDecoderPrefillStage(
+                        model, 1, static_cast<int>(bucketLen(1)), s,
+                        stages);
+                });
+            worst = std::max(worst, sp.totalWeightBytes());
+        }
+        return worst;
+    }
+    // Full model, or the per-device shard under tensor parallelism
+    // (prefillPlan compiles the sharded graph under a !tp key).
+    return prefillPlan(model, 1, bucketLen(1)).totalWeightBytes();
+}
+
 void
 Scheduler::placeModel(const std::string &model, Tick now, double gbps)
 {
     if (modelPlaced(model))
         return;
-    if (gbps <= 0.0) {
+    if (!fabric_ && gbps <= 0.0) {
         // Placement tracked (model-affinity routing keys on it) but
         // the load itself is not modeled: weights are resident
         // immediately, exactly like the single-device path.
         weightReady_[model] = 0;
         return;
     }
-    const bool decoder = models::decoderSpec(model) != nullptr;
-    const std::uint64_t bytes =
-        decoder ? prefillPlan(model, 1, bucketLen(1)).totalWeightBytes()
-                : plan(model, 1).totalWeightBytes();
-    const Tick load =
-        secondsToTicks(static_cast<double>(bytes) / (gbps * 1e9));
+    const std::uint64_t bytes = placedWeightBytes(model);
+    fatalIf(bytes > dtu_.config().l3Bytes, "model '", model, "' needs ",
+            bytes, " weight bytes but the device HBM holds only ",
+            dtu_.config().l3Bytes,
+            " — shard it across devices with a tensor-parallel or "
+            "pipeline-parallel placement");
     const Tick start = std::max(loadCursor_, now);
-    loadCursor_ = saturatingAddTicks(start, load);
-    weightReady_[model] = loadCursor_;
+    Tick ready;
+    std::uint64_t moved = bytes;
+    if (fabric_) {
+        // Every group member DMAs its shard over the shared root
+        // complex; the group is ready when the slowest load lands,
+        // and loads co-scheduled with other placements contend on
+        // the fabric ledger instead of each enjoying full bandwidth.
+        const unsigned loads =
+            shardedDecoder(model) ? placement_.degree : 1;
+        ready = start;
+        for (unsigned i = 0; i < loads; ++i)
+            ready = std::max(ready, fabric_->hostLoadAt(start, bytes));
+        moved = bytes * loads;
+        dtu_.energy().addFabric(static_cast<double>(moved));
+    } else {
+        const Tick load =
+            secondsToTicks(static_cast<double>(bytes) / (gbps * 1e9));
+        ready = saturatingAddTicks(start, load);
+    }
+    loadCursor_ = ready;
+    weightReady_[model] = ready;
     ++weightLoads_;
-    weightLoadTicks_ += load;
-    weightLoadBytes_ += bytes;
+    weightLoadTicks_ =
+        saturatingAddTicks(weightLoadTicks_, ready - start);
+    weightLoadBytes_ += moved;
     if (timeline_) {
         Tracer &tracer = dtu_.tracer();
         if (!placeTrackMade_) {
@@ -272,12 +378,101 @@ Scheduler::placeModel(const std::string &model, Tick now, double gbps)
             placeTrackMade_ = true;
         }
         tracer.span(placeTrack_, "load " + model, "weight-load",
-                    start, loadCursor_,
-                    {{"bytes", static_cast<double>(bytes)}});
+                    start, ready,
+                    {{"bytes", static_cast<double>(moved)}});
     }
     if (reqTracer_)
-        reqTracer_->onWeightLoad(deviceId_, model, start, loadCursor_,
-                                 bytes);
+        reqTracer_->onWeightLoad(deviceId_, model, start, ready,
+                                 moved);
+}
+
+Tick
+Scheduler::shardOverlay(const std::string &model, Tick now,
+                        Tick compute_end, unsigned batch,
+                        unsigned tokens)
+{
+    const models::DecoderSpec *spec = models::decoderSpec(model);
+    if (!spec)
+        return compute_end;
+    const unsigned d = placement_.degree;
+    // The tensor crossing the fabric after each sharded block (TP)
+    // or at each stage boundary (PP): the layer's activations.
+    const std::uint64_t act = static_cast<std::uint64_t>(batch) *
+                              tokens *
+                              static_cast<std::uint64_t>(spec->hidden) *
+                              dtypeBytes(config_.dtype);
+    const Tick T = compute_end > now ? compute_end - now : 0;
+    Tracer &tracer = dtu_.tracer();
+    if (timeline_ && !fabricTrackMade_) {
+        fabricTrack_ = tracer.track("serve", "fabric");
+        fabricTrackMade_ = true;
+    }
+    Tick end = compute_end;
+    if (placement_.mode == PlacementMode::TensorParallel) {
+        // One ring all-reduce after the attention out-projection and
+        // one after the FFN down-projection of every layer, each
+        // submitted where its layer ends within the compute interval.
+        const unsigned n = 2 * static_cast<unsigned>(spec->layers);
+        for (unsigned k = 0; k < n; ++k) {
+            const Tick at = saturatingAddTicks(
+                now, static_cast<Tick>(static_cast<double>(T) *
+                                       (k + 1) / n));
+            const Tick done =
+                fabric_->allReduceAt(fabricGroup_, at, act);
+            end = std::max(end, done);
+            if (timeline_) {
+                tracer.span(fabricTrack_,
+                            model + ".allreduce" + std::to_string(k),
+                            "all-reduce", at, done,
+                            {{"bytes", static_cast<double>(act)},
+                             {"degree", static_cast<double>(d)}});
+            }
+        }
+        // Ring wire traffic: every device moves 2(d-1)/d of the
+        // payload per collective.
+        dtu_.energy().addFabric(static_cast<double>(n) *
+                                static_cast<double>(act) * 2.0 *
+                                (d - 1) / d);
+    } else if (placement_.mode == PlacementMode::PipelineParallel) {
+        // The batch re-times as a (d stages x m microbatches)
+        // pipeline: each microbatch spends T/(d*m) per stage, and a
+        // point-to-point activation send crosses each stage boundary.
+        // The bubble fraction (d-1)/(d+m-1) falls out of the shape.
+        const unsigned m = placement_.microbatches;
+        const Tick t_micro = std::max<Tick>(
+            T / (static_cast<Tick>(d) * m), 1);
+        const std::uint64_t mact =
+            std::max<std::uint64_t>(act / m, 1);
+        Tick pp_end = saturatingAddTicks(
+            now, (static_cast<Tick>(d) + m - 1) * t_micro);
+        for (unsigned s = 0; s + 1 < d; ++s) {
+            for (unsigned j = 0; j < m; ++j) {
+                const Tick at = saturatingAddTicks(
+                    now,
+                    (static_cast<Tick>(s) + j + 1) * t_micro);
+                const Tick done =
+                    fabric_->sendAt(fabricGroup_, s, at, mact);
+                pp_end = std::max(
+                    pp_end,
+                    saturatingAddTicks(
+                        done,
+                        static_cast<Tick>(d - 1 - s) * t_micro));
+                if (timeline_) {
+                    tracer.span(fabricTrack_,
+                                model + ".act s" + std::to_string(s) +
+                                    ">s" + std::to_string(s + 1) +
+                                    " mb" + std::to_string(j),
+                                "activation", at, done,
+                                {{"bytes",
+                                  static_cast<double>(mact)}});
+                }
+            }
+        }
+        end = pp_end;
+        dtu_.energy().addFabric(static_cast<double>(d - 1) * m *
+                                static_cast<double>(mact));
+    }
+    return std::max(end, now);
 }
 
 std::vector<std::string>
@@ -986,7 +1181,13 @@ Scheduler::launchGeneration(Tick now)
                 accumulatePhase(genLog_.prefill, run.result);
                 ++genLog_.prefillBatches;
                 ActiveBatch batch;
-                batch.end = run.end;
+                batch.end =
+                    shardedDecoder(model)
+                        ? shardOverlay(
+                              model, now, run.end,
+                              static_cast<unsigned>(reqs.size()),
+                              bucketLen(max_prompt))
+                        : run.end;
                 batch.dispatched = now;
                 batch.tenant = nextTenant_;
                 batch.model = model;
@@ -1030,7 +1231,10 @@ Scheduler::launchDecodeStep(DecodeBatch &b, Tick now)
     b.inStep = true;
     b.stepPoisoned = run.poisoned;
     b.stepStart = now;
-    b.stepEnd = run.end;
+    b.stepEnd = shardedDecoder(b.model)
+                    ? shardOverlay(b.model, now, run.end, cost_batch,
+                                   /*tokens=*/1)
+                    : run.end;
     if (timeline_) {
         Tracer &tracer = dtu_.tracer();
         if (!decodeTrackMade_) {

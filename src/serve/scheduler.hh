@@ -41,6 +41,7 @@
 #include "obs/fleet_metrics.hh"
 #include "runtime/executor.hh"
 #include "serve/kv_cache.hh"
+#include "serve/placement.hh"
 #include "serve/report.hh"
 #include "serve/request.hh"
 #include "sim/tracer.hh"
@@ -55,6 +56,11 @@ class SloMonitor;
 class RequestTracer;
 class EnergyMonitor;
 } // namespace obs
+
+namespace fabric
+{
+class Fabric;
+} // namespace fabric
 
 namespace serve
 {
@@ -261,6 +267,25 @@ class Scheduler
     {
         energyMon_ = monitor;
         deviceId_ = device;
+    }
+
+    /**
+     * Attach (or detach, with nullptr) the fleet interconnect. This
+     * scheduler then drives placement group @p group under
+     * @p placement: weight loads route through the fabric's shared
+     * root complex (so concurrent placements contend), tensor-parallel
+     * decoders execute their per-device shard followed by timed ring
+     * all-reduces, and pipeline-parallel decoders stream activations
+     * between stage devices. Without a fabric the serving path is
+     * bit-for-bit unchanged.
+     */
+    void
+    setSharding(fabric::Fabric *fab, unsigned group,
+                PlacementConfig placement)
+    {
+        fabric_ = fab;
+        fabricGroup_ = group;
+        placement_ = placement;
     }
 
     //
@@ -490,6 +515,26 @@ class Scheduler
     /** @p len rounded up to the generation ctxBucket multiple. */
     unsigned bucketLen(unsigned len) const;
 
+    /** True when @p model is a decoder sharded across a fabric group. */
+    bool shardedDecoder(const std::string &model) const;
+
+    /** Tensor-parallel ways @p model's plans compile at (1 = full). */
+    unsigned tpDegreeFor(const std::string &model) const;
+
+    /** Bytes of @p model resident per device under the placement. */
+    std::uint64_t placedWeightBytes(const std::string &model);
+
+    /**
+     * Fold the placement's fabric traffic into a batch that computed
+     * over [now, compute_end): TP submits a ring all-reduce of the
+     * activation tensor after every sharded attention and FFN block;
+     * PP re-times the batch as a (degree x microbatches) pipeline
+     * with point-to-point activation sends at each stage boundary.
+     * @return the batch's new completion tick.
+     */
+    Tick shardOverlay(const std::string &model, Tick now,
+                      Tick compute_end, unsigned batch, unsigned tokens);
+
     /** KV bytes per generated token for decoder @p model. */
     std::uint64_t bytesPerTokenFor(const std::string &model);
 
@@ -593,6 +638,12 @@ class Scheduler
     obs::EnergyMonitor *energyMon_ = nullptr;
     /** This scheduler's device index under the fleet observers. */
     unsigned deviceId_ = 0;
+    /** Optional fleet interconnect (not owned; see setSharding). */
+    fabric::Fabric *fabric_ = nullptr;
+    /** The placement group this scheduler drives over the fabric. */
+    unsigned fabricGroup_ = 0;
+    /** How the group's devices share the model (see placement.hh). */
+    PlacementConfig placement_{};
 
     //
     // Per-run state, reset by begin().
@@ -645,6 +696,8 @@ class Scheduler
     TrackId placeTrack_;
     bool decodeTrackMade_ = false;
     TrackId decodeTrack_;
+    bool fabricTrackMade_ = false;
+    TrackId fabricTrack_;
 };
 
 } // namespace serve

@@ -189,6 +189,89 @@ TEST(Determinism, ByteIdenticalAcrossThreadCounts)
     }
 }
 
+/** A model-parallel fleet: 4 devices in 2 groups over the fabric. */
+FleetConfig
+shardedConfig(unsigned threads, PlacementMode mode,
+              fabric::Topology topology)
+{
+    FleetConfig config = fleetConfig(threads);
+    config.fabric.enabled = true;
+    config.fabric.topology = topology;
+    config.fabric.linkGbps = 32.0;
+    config.placement.mode = mode;
+    config.placement.degree = 2;
+    config.placement.microbatches = 4;
+    return config;
+}
+
+TEST(Determinism, ModelParallelByteIdenticalAcrossThreadCounts)
+{
+    // Tensor- and pipeline-parallel groups drive their own peer
+    // links from worker threads; only the shared root complex is
+    // fleet-thread territory. Every topology x placement combination
+    // that parallelizes must retire the serial schedule exactly.
+    const struct
+    {
+        const char *name;
+        PlacementMode mode;
+        fabric::Topology topology;
+    } combos[] = {
+        {"tp_ring", PlacementMode::TensorParallel,
+         fabric::Topology::Ring},
+        {"tp_mesh", PlacementMode::TensorParallel,
+         fabric::Topology::FullMesh},
+        {"pp_ring", PlacementMode::PipelineParallel,
+         fabric::Topology::Ring},
+        {"pp_mesh", PlacementMode::PipelineParallel,
+         fabric::Topology::FullMesh},
+    };
+    for (const auto &combo : combos) {
+        for (std::uint64_t seed : {13ull, 41ull}) {
+            const Workload w{combo.name, seed, false, false, true};
+            auto run = [&](unsigned threads) {
+                FleetServer fleet(shardedConfig(threads, combo.mode,
+                                                combo.topology));
+                fleet.submit(oneShotTrace(w));
+                for (const RequestSpec &spec : genSpecs(w.seed))
+                    fleet.submit(spec);
+                std::ostringstream os;
+                writeJson(fleet.serveFleet(), os,
+                          /*per_request=*/true);
+                return os.str();
+            };
+            const std::string base = run(1);
+            ASSERT_FALSE(base.empty());
+            for (unsigned threads : {2u, 4u, 8u}) {
+                expectSameText(base, run(threads),
+                               std::string(combo.name) + " seed " +
+                                   std::to_string(seed) +
+                                   ", threads=" +
+                                   std::to_string(threads));
+            }
+        }
+    }
+}
+
+TEST(Determinism, SharedRootShardingFallsBackToSerial)
+{
+    // Under SharedRoot, group collectives would cross the shared
+    // root link from worker threads; the fleet must fall back to the
+    // serial loop and still match threads=1 byte-for-byte.
+    const Workload w{"shared_root", 29, false, false, true};
+    auto run = [&](unsigned threads) {
+        FleetServer fleet(shardedConfig(
+            threads, PlacementMode::TensorParallel,
+            fabric::Topology::SharedRoot));
+        fleet.submit(oneShotTrace(w));
+        for (const RequestSpec &spec : genSpecs(w.seed))
+            fleet.submit(spec);
+        std::ostringstream os;
+        writeJson(fleet.serveFleet(), os, /*per_request=*/true);
+        return os.str();
+    };
+    expectSameText(run(1), run(4), "shared-root fallback");
+}
+
 TEST(Determinism, ObserversFallBackToSerialWithIdenticalReports)
 {
     // An attached SLO monitor needs the global record order only the

@@ -439,6 +439,34 @@ TEST(DegradationTest, HugeTimeoutSaturatesInsteadOfWrapping)
     EXPECT_TRUE(droppedOf(report).empty());
 }
 
+TEST(DegradationTest, HugeDeadlineBudgetSaturatesInsteadOfWrapping)
+{
+    // Same wrap hazard one layer up: the arrival generators compute
+    // "arrival + deadline" per request, and a budget near maxTick
+    // used to wrap into the past, deadline-missing the entire trace
+    // on completion. Saturation makes it "effectively no deadline".
+    auto trace =
+        finalizeTrace({fixedRateTrace("conformer", 1e6, 4,
+                                      /*deadline=*/maxTick - 1)});
+    ASSERT_GT(trace[1].arrival, 0u); // nonzero arrivals do the wrap
+    for (const Request &r : trace) {
+        // Unsaturated, "arrival + budget" would land at arrival - 2,
+        // behind the arrival itself.
+        EXPECT_GE(r.deadline, maxTick - 1) << "request " << r.id;
+        EXPECT_GT(r.deadline, r.arrival) << "request " << r.id;
+    }
+
+    Dtu chip(dtu2Config());
+    ResourceManager rm(chip);
+    ServingConfig config = degradedConfig(2);
+    config.degradation.shedExpired = true;
+    Scheduler scheduler(chip, rm, config);
+    ServingReport report = scheduler.serve(trace);
+    EXPECT_EQ(report.requests, 4u);
+    EXPECT_EQ(report.deadlineMisses, 0u);
+    EXPECT_EQ(report.shedRequests, 0u);
+}
+
 TEST(DegradationTest, PoisonedBatchesRetryThenFail)
 {
     Dtu chip(dtu2Config());
